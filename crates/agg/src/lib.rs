@@ -1,0 +1,32 @@
+//! # viva-agg — multi-scale data aggregation
+//!
+//! Implements the aggregation machinery of the paper's §3.2. The
+//! central object is Equation 1: given a measured quantity
+//! `ρ : R × T → ℝ` (a metric's signals over the resources), its
+//! approximation at spatial scale `Γ` and temporal scale `Δ` is
+//!
+//! ```text
+//! F_{Γ,Δ}(r, t) = ∬_{N_{Γ,Δ}(r,t)} ρ(r', t') dr' dt'
+//! ```
+//!
+//! * the **temporal** neighbourhood is a [`TimeSlice`] (§3.2.1);
+//! * the **spatial** neighbourhood is a *group* of monitored entities,
+//!   usually a subtree of the container hierarchy (§3.2.2);
+//! * [`multiscale::integrate_group`] evaluates the double integral
+//!   exactly for piecewise-constant signals.
+//!
+//! [`ViewState`] tracks which groups the analyst has collapsed
+//! (aggregated) and exposes the *visible frontier* — the set of nodes a
+//! topology view should draw. [`stats`] provides the statistical
+//! indicators (variance, median, ...) the paper's §6 calls for to
+//! qualify aggregated values.
+
+pub mod multiscale;
+pub mod stats;
+pub mod timeslice;
+pub mod view;
+
+pub use multiscale::{integrate_group, mean_over_group, GroupAggregate};
+pub use stats::Summary;
+pub use timeslice::TimeSlice;
+pub use view::ViewState;

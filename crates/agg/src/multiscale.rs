@@ -1,0 +1,291 @@
+//! Equation 1: the space × time integral `F_{Γ,Δ}`.
+
+use viva_trace::{ContainerId, MetricId, Trace};
+
+use crate::stats::Summary;
+use crate::timeslice::TimeSlice;
+
+/// Collects the leaf containers under `group` that carry a signal for
+/// `metric` and returns each one's time integral over `slice`.
+///
+/// `group` may be a leaf itself (singleton neighbourhood) or any
+/// internal container of the hierarchy — a cluster, a site, the root.
+pub fn leaf_integrals(
+    trace: &Trace,
+    metric: MetricId,
+    group: ContainerId,
+    slice: TimeSlice,
+) -> Vec<(ContainerId, f64)> {
+    trace
+        .containers()
+        .subtree(group)
+        .into_iter()
+        .filter_map(|c| {
+            trace
+                .signal(c, metric)
+                .map(|s| (c, s.integrate(slice.start(), slice.end())))
+        })
+        .collect()
+}
+
+/// `F_{Γ,Δ}` for the neighbourhood `subtree(group) × slice`: the sum of
+/// the time integrals of `metric` over every container under `group`.
+///
+/// # Example
+///
+/// ```
+/// use viva_agg::{integrate_group, TimeSlice};
+/// use viva_trace::{ContainerKind, TraceBuilder};
+///
+/// let mut b = TraceBuilder::new();
+/// let cluster = b.new_container(b.root(), "c", ContainerKind::Cluster)?;
+/// let h1 = b.new_container(cluster, "h1", ContainerKind::Host)?;
+/// let h2 = b.new_container(cluster, "h2", ContainerKind::Host)?;
+/// let used = b.metric("power_used", "MFlop/s");
+/// b.set_variable(0.0, h1, used, 100.0)?;
+/// b.set_variable(0.0, h2, used, 50.0)?;
+/// let t = b.finish(10.0);
+/// let f = integrate_group(&t, used, cluster, TimeSlice::new(0.0, 10.0));
+/// assert_eq!(f, 1500.0); // 100·10 + 50·10
+/// # Ok::<(), viva_trace::TraceError>(())
+/// ```
+pub fn integrate_group(
+    trace: &Trace,
+    metric: MetricId,
+    group: ContainerId,
+    slice: TimeSlice,
+) -> f64 {
+    leaf_integrals(trace, metric, group, slice)
+        .into_iter()
+        .map(|(_, v)| v)
+        .sum()
+}
+
+/// The space-time *mean* of `metric` over the neighbourhood: `F`
+/// normalized by `|group| · Δ`. This is the natural "utilization level"
+/// to map onto an aggregated node's fill (paper Fig. 3).
+///
+/// Returns 0 when the slice is empty or the group carries no signal.
+pub fn mean_over_group(
+    trace: &Trace,
+    metric: MetricId,
+    group: ContainerId,
+    slice: TimeSlice,
+) -> f64 {
+    let vals = leaf_integrals(trace, metric, group, slice);
+    if vals.is_empty() || slice.width() <= 0.0 {
+        return 0.0;
+    }
+    let sum: f64 = vals.iter().map(|(_, v)| v).sum();
+    sum / (vals.len() as f64 * slice.width())
+}
+
+/// Full per-group aggregate: the Equation 1 integral plus the
+/// statistical indicators of §6 computed over the member time-means.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupAggregate {
+    /// The group that was aggregated.
+    pub group: ContainerId,
+    /// Number of member containers carrying the metric.
+    pub members: usize,
+    /// `F_{Γ,Δ}`: total integral (metric-unit × seconds).
+    pub integral: f64,
+    /// Statistics over the members' time-averaged values (metric
+    /// units) — mean, variance, median, ...
+    pub summary: Summary,
+}
+
+impl GroupAggregate {
+    /// Computes the aggregate of `metric` over `subtree(group) × slice`.
+    pub fn compute(
+        trace: &Trace,
+        metric: MetricId,
+        group: ContainerId,
+        slice: TimeSlice,
+    ) -> GroupAggregate {
+        let vals = leaf_integrals(trace, metric, group, slice);
+        let width = slice.width();
+        let integral: f64 = vals.iter().map(|(_, v)| v).sum();
+        let means = vals
+            .iter()
+            .map(|(_, v)| if width > 0.0 { v / width } else { 0.0 });
+        GroupAggregate {
+            group,
+            members: vals.len(),
+            integral,
+            summary: Summary::of(means),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use viva_trace::{ContainerKind, TraceBuilder};
+
+    /// Two clusters of two hosts each with known utilizations.
+    fn trace() -> (Trace, ContainerId, ContainerId, MetricId) {
+        let mut b = TraceBuilder::new();
+        let c1 = b.new_container(b.root(), "c1", ContainerKind::Cluster).unwrap();
+        let c2 = b.new_container(b.root(), "c2", ContainerKind::Cluster).unwrap();
+        let m = b.metric("power_used", "MFlop/s");
+        for (cl, base) in [(c1, 100.0), (c2, 10.0)] {
+            for i in 0..2 {
+                let h = b
+                    .new_container(cl, format!("h{cl:?}-{i}"), ContainerKind::Host)
+                    .unwrap();
+                b.set_variable(0.0, h, m, base * (i + 1) as f64).unwrap();
+                b.set_variable(5.0, h, m, 0.0).unwrap();
+            }
+        }
+        (b.finish(10.0), c1, c2, m)
+    }
+
+    #[test]
+    fn integrate_group_sums_members() {
+        let (t, c1, c2, m) = trace();
+        let whole = TimeSlice::new(0.0, 10.0);
+        // c1: (100 + 200) · 5 s = 1500; c2: (10 + 20) · 5 = 150.
+        assert_eq!(integrate_group(&t, m, c1, whole), 1500.0);
+        assert_eq!(integrate_group(&t, m, c2, whole), 150.0);
+        // Root = both clusters.
+        assert_eq!(integrate_group(&t, m, t.containers().root(), whole), 1650.0);
+    }
+
+    #[test]
+    fn integral_respects_slice() {
+        let (t, c1, _, m) = trace();
+        // Activity stops at t=5: the second half integrates to 0.
+        assert_eq!(integrate_group(&t, m, c1, TimeSlice::new(5.0, 10.0)), 0.0);
+        assert_eq!(integrate_group(&t, m, c1, TimeSlice::new(0.0, 5.0)), 1500.0);
+    }
+
+    #[test]
+    fn spatial_additivity() {
+        let (t, c1, c2, m) = trace();
+        let s = TimeSlice::new(1.0, 7.0);
+        let parts = integrate_group(&t, m, c1, s) + integrate_group(&t, m, c2, s);
+        let whole = integrate_group(&t, m, t.containers().root(), s);
+        assert!((whole - parts).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_over_group_normalizes() {
+        let (t, c1, _, m) = trace();
+        // Over [0,5): members average 100 and 200 → group mean 150.
+        assert_eq!(mean_over_group(&t, m, c1, TimeSlice::new(0.0, 5.0)), 150.0);
+        // Over [0,10): half the time idle → 75.
+        assert_eq!(mean_over_group(&t, m, c1, TimeSlice::new(0.0, 10.0)), 75.0);
+        // Empty slice.
+        assert_eq!(mean_over_group(&t, m, c1, TimeSlice::new(3.0, 3.0)), 0.0);
+    }
+
+    #[test]
+    fn missing_metric_gives_empty_aggregate() {
+        let (t, c1, _, _) = trace();
+        let bogus = viva_trace::MetricId::from_index(7);
+        assert_eq!(integrate_group(&t, bogus, c1, TimeSlice::new(0.0, 10.0)), 0.0);
+        let agg = GroupAggregate::compute(&t, bogus, c1, TimeSlice::new(0.0, 10.0));
+        assert_eq!(agg.members, 0);
+        assert_eq!(agg.summary.count, 0);
+    }
+
+    #[test]
+    fn group_aggregate_summary() {
+        let (t, c1, _, m) = trace();
+        let agg = GroupAggregate::compute(&t, m, c1, TimeSlice::new(0.0, 5.0));
+        assert_eq!(agg.members, 2);
+        assert_eq!(agg.integral, 1500.0);
+        assert_eq!(agg.summary.mean, 150.0);
+        assert_eq!(agg.summary.min, 100.0);
+        assert_eq!(agg.summary.max, 200.0);
+        assert_eq!(agg.summary.median, 150.0);
+        // Variance of {100, 200} = 2500.
+        assert_eq!(agg.summary.variance, 2500.0);
+    }
+
+    #[test]
+    fn leaf_group_is_singleton() {
+        let (t, c1, _, m) = trace();
+        let leaf = t.containers().node(c1).children()[0];
+        let vals = leaf_integrals(&t, m, leaf, TimeSlice::new(0.0, 5.0));
+        assert_eq!(vals.len(), 1);
+        assert_eq!(vals[0].0, leaf);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use viva_trace::{ContainerKind, TraceBuilder};
+
+    /// A random two-cluster trace: per-host utilization signals with
+    /// random breakpoints.
+    fn random_trace() -> impl Strategy<Value = (Trace, ContainerId, ContainerId)> {
+        proptest::collection::vec(
+            proptest::collection::vec((0.0f64..100.0, 0.0f64..500.0), 1..8),
+            2..6,
+        )
+        .prop_map(|hosts| {
+            let mut b = TraceBuilder::new();
+            let c1 = b.new_container(b.root(), "c1", ContainerKind::Cluster).unwrap();
+            let c2 = b.new_container(b.root(), "c2", ContainerKind::Cluster).unwrap();
+            let m = b.metric("power_used", "MFlop/s");
+            for (i, mut points) in hosts.into_iter().enumerate() {
+                let parent = if i % 2 == 0 { c1 } else { c2 };
+                let h = b
+                    .new_container(parent, format!("h{i}"), ContainerKind::Host)
+                    .unwrap();
+                points.sort_by(|a, b| a.0.total_cmp(&b.0));
+                for (t, v) in points {
+                    b.set_variable(t, h, m, v).unwrap();
+                }
+            }
+            (b.finish(100.0), c1, c2)
+        })
+    }
+
+    proptest! {
+        /// Spatial additivity of Equation 1: the root integral equals
+        /// the sum of the cluster integrals, whatever the slice.
+        #[test]
+        fn spatial_additivity((trace, c1, c2) in random_trace(),
+                              a in 0.0f64..100.0, w in 0.0f64..100.0) {
+            let m = trace.metric_id("power_used").unwrap();
+            let s = TimeSlice::new(a, (a + w).min(100.0));
+            let whole = integrate_group(&trace, m, trace.containers().root(), s);
+            let parts = integrate_group(&trace, m, c1, s) + integrate_group(&trace, m, c2, s);
+            prop_assert!((whole - parts).abs() <= 1e-9 * whole.abs().max(1.0));
+        }
+
+        /// Temporal additivity: adjacent slices sum to their union.
+        #[test]
+        fn temporal_additivity((trace, c1, _) in random_trace(),
+                               a in 0.0f64..50.0, w1 in 0.0f64..25.0, w2 in 0.0f64..25.0) {
+            let m = trace.metric_id("power_used").unwrap();
+            let s1 = TimeSlice::new(a, a + w1);
+            let s2 = TimeSlice::new(a + w1, a + w1 + w2);
+            let both = TimeSlice::new(a, a + w1 + w2);
+            let sum = integrate_group(&trace, m, c1, s1) + integrate_group(&trace, m, c1, s2);
+            let whole = integrate_group(&trace, m, c1, both);
+            prop_assert!((whole - sum).abs() <= 1e-9 * whole.abs().max(1.0));
+        }
+
+        /// The group mean is bounded by the member means.
+        #[test]
+        fn group_mean_bounded((trace, c1, _) in random_trace(),
+                              a in 0.0f64..90.0, w in 0.1f64..10.0) {
+            let m = trace.metric_id("power_used").unwrap();
+            let s = TimeSlice::new(a, a + w);
+            let agg = GroupAggregate::compute(&trace, m, c1, s);
+            if agg.members > 0 {
+                prop_assert!(agg.summary.mean >= agg.summary.min - 1e-9);
+                prop_assert!(agg.summary.mean <= agg.summary.max + 1e-9);
+                // Integral consistency: mean · members · Δ = integral.
+                let back = agg.summary.mean * agg.members as f64 * s.width();
+                prop_assert!((back - agg.integral).abs() <= 1e-6 * agg.integral.abs().max(1.0));
+            }
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Statistical indicators over aggregated values.
+//!
+//! The paper's §6 notes that "aggregating a large amount of values into
+//! a single object leads to an important loss of information" and asks
+//! for "additional information (e.g., statistical indicators like the
+//! variance or the median)". [`Summary`] is that indicator set.
+
+/// Summary statistics of a sample of values.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Summary {
+    /// Number of values.
+    pub count: usize,
+    /// Sum of values.
+    pub sum: f64,
+    /// Arithmetic mean (0 for an empty sample).
+    pub mean: f64,
+    /// Smallest value (0 for an empty sample).
+    pub min: f64,
+    /// Largest value (0 for an empty sample).
+    pub max: f64,
+    /// Population variance (0 for an empty sample).
+    pub variance: f64,
+    /// Median (0 for an empty sample).
+    pub median: f64,
+}
+
+impl Summary {
+    /// Computes the summary of `values`.
+    ///
+    /// Non-finite values are ignored.
+    pub fn of(values: impl IntoIterator<Item = f64>) -> Summary {
+        let mut v: Vec<f64> = values.into_iter().filter(|x| x.is_finite()).collect();
+        if v.is_empty() {
+            return Summary::default();
+        }
+        v.sort_by(f64::total_cmp);
+        let count = v.len();
+        let sum: f64 = v.iter().sum();
+        let mean = sum / count as f64;
+        let variance = v.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / count as f64;
+        let median = if count % 2 == 1 {
+            v[count / 2]
+        } else {
+            (v[count / 2 - 1] + v[count / 2]) / 2.0
+        };
+        Summary {
+            count,
+            sum,
+            mean,
+            min: v[0],
+            max: v[count - 1],
+            variance,
+            median,
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance.sqrt()
+    }
+
+    /// Coefficient of variation (`std_dev / mean`; 0 when the mean is
+    /// 0). A quick imbalance indicator for aggregated groups.
+    pub fn cv(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            self.std_dev() / self.mean
+        }
+    }
+}
+
+/// The `q`-quantile (0 ≤ q ≤ 1) of `values` by linear interpolation.
+/// Returns 0 for an empty sample.
+///
+/// # Panics
+///
+/// Panics when `q` is outside `[0, 1]`.
+pub fn quantile(values: impl IntoIterator<Item = f64>, q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "quantile {q} out of range");
+    let mut v: Vec<f64> = values.into_iter().filter(|x| x.is_finite()).collect();
+    if v.is_empty() {
+        return 0.0;
+    }
+    v.sort_by(f64::total_cmp);
+    let pos = q * (v.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    v[lo] * (1.0 - frac) + v[hi] * frac
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = Summary::of([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.count, 8);
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.variance, 4.0);
+        assert_eq!(s.std_dev(), 2.0);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        assert_eq!(s.median, 4.5);
+        assert_eq!(s.cv(), 0.4);
+    }
+
+    #[test]
+    fn summary_of_empty_and_singleton() {
+        let e = Summary::of([]);
+        assert_eq!(e.count, 0);
+        assert_eq!(e.mean, 0.0);
+        assert_eq!(e.cv(), 0.0);
+        let s = Summary::of([3.0]);
+        assert_eq!(s.count, 1);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.variance, 0.0);
+    }
+
+    #[test]
+    fn summary_ignores_non_finite() {
+        let s = Summary::of([1.0, f64::NAN, 3.0, f64::INFINITY]);
+        assert_eq!(s.count, 2);
+        assert_eq!(s.mean, 2.0);
+    }
+
+    #[test]
+    fn median_odd_sample() {
+        assert_eq!(Summary::of([5.0, 1.0, 3.0]).median, 3.0);
+    }
+
+    #[test]
+    fn quantiles() {
+        let v = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(quantile(v, 0.0), 1.0);
+        assert_eq!(quantile(v, 1.0), 5.0);
+        assert_eq!(quantile(v, 0.5), 3.0);
+        assert_eq!(quantile(v, 0.25), 2.0);
+        assert_eq!(quantile([], 0.5), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn quantile_rejects_bad_q() {
+        let _ = quantile([1.0], 1.5);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn mean_between_min_and_max(v in proptest::collection::vec(-1e6f64..1e6, 1..50)) {
+            let s = Summary::of(v.clone());
+            prop_assert!(s.min <= s.mean + 1e-9);
+            prop_assert!(s.mean <= s.max + 1e-9);
+            prop_assert!(s.min <= s.median && s.median <= s.max);
+            prop_assert!(s.variance >= 0.0);
+        }
+
+        #[test]
+        fn quantile_is_monotonic(v in proptest::collection::vec(-1e6f64..1e6, 1..50),
+                                 a in 0.0f64..1.0, b in 0.0f64..1.0) {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(quantile(v.clone(), lo) <= quantile(v.clone(), hi) + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Time-slices: the temporal neighbourhood `Δ` of Equation 1.
+
+use std::fmt;
+
+/// A half-open observation window `[start, end)` chosen by the analyst
+/// (paper §3.2.1; the cursors A1/A2 of Fig. 2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimeSlice {
+    start: f64,
+    end: f64,
+}
+
+impl TimeSlice {
+    /// Creates the slice `[start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `end < start` or either bound is not finite.
+    pub fn new(start: f64, end: f64) -> TimeSlice {
+        assert!(
+            start.is_finite() && end.is_finite() && end >= start,
+            "invalid time slice [{start}, {end})"
+        );
+        TimeSlice { start, end }
+    }
+
+    /// Slice start.
+    pub fn start(self) -> f64 {
+        self.start
+    }
+
+    /// Slice end.
+    pub fn end(self) -> f64 {
+        self.end
+    }
+
+    /// Slice width `Δ`.
+    pub fn width(self) -> f64 {
+        self.end - self.start
+    }
+
+    /// Whether `t` falls inside the slice.
+    pub fn contains(self, t: f64) -> bool {
+        t >= self.start && t < self.end
+    }
+
+    /// The slice translated by `dt` (used to "shift the corresponding
+    /// frame considering other time intervals", §3.2).
+    #[must_use]
+    pub fn shifted(self, dt: f64) -> TimeSlice {
+        TimeSlice::new(self.start + dt, self.end + dt)
+    }
+
+    /// The slice scaled by `factor` around its start.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `factor` is negative or not finite.
+    #[must_use]
+    pub fn scaled(self, factor: f64) -> TimeSlice {
+        assert!(factor.is_finite() && factor >= 0.0, "invalid scale {factor}");
+        TimeSlice::new(self.start, self.start + self.width() * factor)
+    }
+
+    /// Splits the slice into `n` equal consecutive sub-slices (the
+    /// animation frames of Fig. 9).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n` is 0.
+    pub fn split(self, n: usize) -> Vec<TimeSlice> {
+        assert!(n > 0, "cannot split into 0 sub-slices");
+        let w = self.width() / n as f64;
+        (0..n)
+            .map(|i| {
+                let s = self.start + w * i as f64;
+                // Use the exact end for the last slice to avoid
+                // accumulation error.
+                let e = if i == n - 1 { self.end } else { s + w };
+                TimeSlice::new(s, e)
+            })
+            .collect()
+    }
+
+    /// The intersection of two slices, or `None` when disjoint.
+    pub fn intersect(self, other: TimeSlice) -> Option<TimeSlice> {
+        let s = self.start.max(other.start);
+        let e = self.end.min(other.end);
+        (e > s).then(|| TimeSlice::new(s, e))
+    }
+}
+
+impl fmt::Display for TimeSlice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {})", self.start, self.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basics() {
+        let s = TimeSlice::new(2.0, 6.0);
+        assert_eq!(s.width(), 4.0);
+        assert!(s.contains(2.0));
+        assert!(s.contains(5.999));
+        assert!(!s.contains(6.0));
+        assert!(!s.contains(1.0));
+        assert_eq!(s.to_string(), "[2, 6)");
+    }
+
+    #[test]
+    fn empty_slice_is_allowed() {
+        let s = TimeSlice::new(3.0, 3.0);
+        assert_eq!(s.width(), 0.0);
+        assert!(!s.contains(3.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid time slice")]
+    fn inverted_slice_panics() {
+        let _ = TimeSlice::new(5.0, 4.0);
+    }
+
+    #[test]
+    fn shifted_and_scaled() {
+        let s = TimeSlice::new(2.0, 6.0);
+        assert_eq!(s.shifted(4.0), TimeSlice::new(6.0, 10.0));
+        assert_eq!(s.scaled(0.5), TimeSlice::new(2.0, 4.0));
+        assert_eq!(s.scaled(2.0), TimeSlice::new(2.0, 10.0));
+    }
+
+    #[test]
+    fn split_covers_exactly() {
+        let s = TimeSlice::new(0.0, 10.0);
+        let parts = s.split(4);
+        assert_eq!(parts.len(), 4);
+        assert_eq!(parts[0].start(), 0.0);
+        assert_eq!(parts[3].end(), 10.0);
+        for w in parts.windows(2) {
+            assert_eq!(w[0].end(), w[1].start());
+        }
+        let total: f64 = parts.iter().map(|p| p.width()).sum();
+        assert!((total - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn intersect_cases() {
+        let a = TimeSlice::new(0.0, 5.0);
+        let b = TimeSlice::new(3.0, 8.0);
+        assert_eq!(a.intersect(b), Some(TimeSlice::new(3.0, 5.0)));
+        assert_eq!(b.intersect(a), Some(TimeSlice::new(3.0, 5.0)));
+        let c = TimeSlice::new(6.0, 7.0);
+        assert_eq!(a.intersect(c), None);
+        // Touching slices are disjoint (half-open).
+        let d = TimeSlice::new(5.0, 6.0);
+        assert_eq!(a.intersect(d), None);
+    }
+}

@@ -1,0 +1,110 @@
+//! Interactivity claims of §4: time-slice aggregation, level changes
+//! and view recomputation must be fast enough for live exploration.
+//!
+//! Benchmarks Equation 1 queries and full session operations on a real
+//! DT trace and on a mid-size Grid'5000 master-worker trace.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use viva::{AnalysisSession, SessionConfig};
+use viva_agg::{integrate_group, TimeSlice};
+use viva_platform::generators;
+use viva_simflow::TracingConfig;
+use viva_trace::Trace;
+use viva_workloads::{run_dt, run_master_worker, AppSpec, Deployment, DtConfig, MwConfig};
+
+fn dt_trace() -> Trace {
+    let p = generators::two_clusters(&Default::default()).unwrap();
+    run_dt(
+        p,
+        &DtConfig::default(),
+        Deployment::Sequential,
+        Some(TracingConfig { record_messages: false, record_accounts: false }),
+    )
+    .trace
+    .expect("traced")
+}
+
+fn grid_trace() -> (viva_platform::Platform, Trace) {
+    let p = generators::grid5000(&generators::Grid5000Config {
+        total_hosts: 400,
+        ..Default::default()
+    })
+    .unwrap();
+    let apps = vec![AppSpec {
+        name: "app1".into(),
+        master: p.hosts()[0].id(),
+        config: MwConfig { tasks: 800, ..Default::default() },
+    }];
+    let trace = run_master_worker(
+        p.clone(),
+        &apps,
+        Some(TracingConfig { record_messages: false, record_accounts: true }),
+    )
+    .trace
+    .expect("traced");
+    (p, trace)
+}
+
+fn bench_equation1(c: &mut Criterion) {
+    let trace = dt_trace();
+    let used = trace.metric_id("bandwidth_used").unwrap();
+    let root = trace.containers().root();
+    let slice = TimeSlice::new(trace.start(), trace.end());
+    let mut group = c.benchmark_group("equation1");
+    group.bench_function("integrate_whole_platform_dt", |b| {
+        b.iter(|| integrate_group(&trace, used, root, slice));
+    });
+    let narrow = TimeSlice::new(trace.end() * 0.4, trace.end() * 0.6);
+    group.bench_function("integrate_narrow_slice_dt", |b| {
+        b.iter(|| integrate_group(&trace, used, root, narrow));
+    });
+    group.finish();
+}
+
+fn bench_session_interactivity(c: &mut Criterion) {
+    let (platform, trace) = grid_trace();
+    let mut group = c.benchmark_group("session");
+    group.sample_size(20);
+    group.bench_function("build_view_hosts_400", |b| {
+        let session =
+            AnalysisSession::with_platform(trace.clone(), SessionConfig::default(), &platform);
+        b.iter(|| session.view());
+    });
+    group.bench_function("level_change_roundtrip_400", |b| {
+        let mut session =
+            AnalysisSession::with_platform(trace.clone(), SessionConfig::default(), &platform);
+        b.iter(|| {
+            session.collapse_at_depth(1);
+            session.collapse_at_depth(3);
+            session.expand_all();
+        });
+    });
+    group.bench_function("time_slice_sweep_view_400", |b| {
+        let mut session =
+            AnalysisSession::with_platform(trace.clone(), SessionConfig::default(), &platform);
+        session.collapse_at_depth(2);
+        let slices = TimeSlice::new(trace.start(), trace.end()).split(8);
+        b.iter(|| {
+            for &s in &slices {
+                session.set_time_slice(s);
+                std::hint::black_box(session.view());
+            }
+        });
+    });
+    group.finish();
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(10);
+    group.bench_function("dt_class_a_wh_30_rounds", |b| {
+        b.iter(|| {
+            let p = generators::two_clusters(&Default::default()).unwrap();
+            run_dt(p, &DtConfig::default(), Deployment::Sequential, None).makespan
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_equation1, bench_session_interactivity, bench_simulation);
+criterion_main!(benches);

@@ -1,0 +1,121 @@
+//! The paper's §3.3 scalability claim: "the basic force-directed
+//! algorithm has severe performance problems on scale — O(n²) ... we
+//! adopt the scalable Barnes-Hut algorithm — O(n log n)".
+//!
+//! Benchmarks one layout step, naive vs Barnes-Hut, over growing random
+//! graphs and over the real 2170-host Grid'5000 topology, plus a θ
+//! (opening angle) ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use viva_layout::{LayoutConfig, LayoutEngine, NodeKey};
+
+/// A random sparse graph of `n` nodes, pre-relaxed a little so the
+/// step cost is representative of steady-state interaction.
+fn engine(n: u64, theta: f64) -> LayoutEngine {
+    let mut e = LayoutEngine::new(LayoutConfig { theta, ..Default::default() }, 99);
+    for i in 0..n {
+        e.add_node(NodeKey(i), 1.0 + (i % 7) as f64);
+    }
+    for i in 1..n {
+        // Tree backbone plus a few chords.
+        e.add_edge(NodeKey(i), NodeKey(i / 2));
+        if i % 5 == 0 {
+            e.add_edge(NodeKey(i), NodeKey(i / 3));
+        }
+    }
+    for _ in 0..5 {
+        e.step();
+    }
+    e
+}
+
+fn grid5000_engine() -> LayoutEngine {
+    let p = viva_platform::generators::grid5000(&Default::default()).unwrap();
+    let mut e = LayoutEngine::new(LayoutConfig::default(), 7);
+    // Hosts, routers and links all become layout nodes, as in the
+    // topology view.
+    let mut next = 0u64;
+    let mut host_keys = Vec::new();
+    let mut router_keys = Vec::new();
+    for _ in p.hosts() {
+        e.add_node(NodeKey(next), 1.0);
+        host_keys.push(NodeKey(next));
+        next += 1;
+    }
+    for _ in p.routers() {
+        e.add_node(NodeKey(next), 1.0);
+        router_keys.push(NodeKey(next));
+        next += 1;
+    }
+    for l in p.links() {
+        let key = NodeKey(next);
+        e.add_node(key, 1.0);
+        next += 1;
+        let (a, b) = p.link_endpoints(l.id());
+        for endpoint in [a, b] {
+            let ek = match endpoint {
+                viva_platform::NodeId::Host(h) => host_keys[h.index()],
+                viva_platform::NodeId::Router(r) => router_keys[r.index()],
+            };
+            e.add_edge(key, ek);
+        }
+    }
+    for _ in 0..5 {
+        e.step();
+    }
+    e
+}
+
+fn bench_step_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("layout_step");
+    group.sample_size(20);
+    for n in [64u64, 256, 1024, 4096] {
+        group.bench_with_input(BenchmarkId::new("barnes_hut", n), &n, |b, &n| {
+            let mut e = engine(n, 0.7);
+            b.iter(|| e.step());
+        });
+        // The naive baseline becomes painful past a few thousand nodes;
+        // that is the point of the figure.
+        if n <= 1024 {
+            group.bench_with_input(BenchmarkId::new("naive", n), &n, |b, &n| {
+                let mut e = engine(n, 0.7);
+                b.iter(|| e.step_naive());
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_theta_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("layout_theta");
+    group.sample_size(20);
+    for theta in [0.0, 0.3, 0.7, 1.2] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("theta_{theta}")),
+            &theta,
+            |b, &theta| {
+                let mut e = engine(1024, theta);
+                b.iter(|| e.step());
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_grid5000_graph(c: &mut Criterion) {
+    let mut group = c.benchmark_group("layout_grid5000");
+    group.sample_size(10);
+    group.bench_function("barnes_hut_step_4427_nodes", |b| {
+        let mut e = grid5000_engine();
+        b.iter(|| e.step());
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_step_scaling,
+    bench_theta_ablation,
+    bench_grid5000_graph
+);
+criterion_main!(benches);

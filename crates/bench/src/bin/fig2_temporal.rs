@@ -1,0 +1,56 @@
+//! Figure 2 — temporal aggregation of one host over a time-slice.
+//!
+//! One host with computing-power capacity and utilization signals; the
+//! analyst picks a slice `[A1, A2]` and the node's size/fill become the
+//! time-integrated values. Also demonstrates the §3.2.1 caveat: slices
+//! wider than a burst attenuate it.
+
+use viva_agg::TimeSlice;
+use viva_bench::print_table;
+use viva_trace::{ContainerKind, TraceBuilder};
+
+fn main() {
+    println!("Figure 2: time-aggregated metrics of HostA over a slice");
+    let mut b = TraceBuilder::new();
+    let h = b.new_container(b.root(), "HostA", ContainerKind::Host).unwrap();
+    let power = b.metric("power", "MFlop/s");
+    let used = b.metric("power_used", "MFlop/s");
+    // Capacity dips in the middle (another user's reservation).
+    b.set_variable(0.0, h, power, 100.0).unwrap();
+    b.set_variable(4.0, h, power, 60.0).unwrap();
+    b.set_variable(8.0, h, power, 100.0).unwrap();
+    // Utilization: one short burst while capacity is still full.
+    b.set_variable(0.0, h, used, 0.0).unwrap();
+    b.set_variable(1.0, h, used, 90.0).unwrap();
+    b.set_variable(3.0, h, used, 10.0).unwrap();
+    let trace = b.finish(12.0);
+    let power = trace.metric_id("power").unwrap();
+    let used = trace.metric_id("power_used").unwrap();
+
+    let slices = [
+        ("narrow, inside the burst", TimeSlice::new(1.0, 3.0)),
+        ("the paper's [A1, A2]", TimeSlice::new(2.0, 9.0)),
+        ("whole run", TimeSlice::new(0.0, 12.0)),
+    ];
+    let mut rows = Vec::new();
+    for (label, s) in slices {
+        let cap = trace.signal(h, power).unwrap().mean(s.start(), s.end());
+        let use_mean = trace.signal(h, used).unwrap().mean(s.start(), s.end());
+        rows.push(vec![
+            label.to_owned(),
+            format!("{s}"),
+            format!("{cap:.1}"),
+            format!("{use_mean:.1}"),
+            format!("{:.0}%", 100.0 * use_mean / cap),
+        ]);
+    }
+    print_table(
+        &["slice", "window", "size = mean power", "fill value", "fill"],
+        &rows,
+    );
+    println!(
+        "\nNote (§3.2.1): the 90 MFlop/s burst reads as {:.1} over the wide slice —\n\
+         aggregation attenuates events shorter than the chosen interval.",
+        trace.signal(h, used).unwrap().mean(0.0, 12.0)
+    );
+}

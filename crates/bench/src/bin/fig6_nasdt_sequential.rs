@@ -1,0 +1,73 @@
+//! Figure 6 — NAS-DT class A White-Hole, *sequential* deployment.
+//!
+//! Reproduces the paper's first case study: DT on two 11-host clusters
+//! with processes allocated in hostfile order. The series behind the
+//! figure is the utilization of every network link over four
+//! time-slices (whole run, beginning, middle, end); the phenomenon is
+//! that the two inter-cluster links are "almost saturated ... most of
+//! the time".
+
+use viva::{AnalysisSession, SessionConfig};
+use viva_agg::TimeSlice;
+use viva_bench::{link_utilization, print_table, save_svg, trace_links};
+use viva_platform::generators::{self, TwoClustersConfig};
+use viva_simflow::TracingConfig;
+use viva_workloads::{run_dt, Deployment, DtConfig};
+
+fn main() {
+    println!("Figure 6: NAS-DT class A WH, sequential deployment, link utilization");
+    let platform = generators::two_clusters(&TwoClustersConfig::default()).unwrap();
+    let cfg = DtConfig::default();
+    let run = run_dt(
+        platform.clone(),
+        &cfg,
+        Deployment::Sequential,
+        Some(TracingConfig { record_messages: false, record_accounts: false }),
+    );
+    let trace = run.trace.expect("traced run");
+    println!("  makespan: {:.3} s ({} processes)", run.makespan, cfg.processes());
+
+    let whole = TimeSlice::new(0.0, run.makespan);
+    let thirds = whole.split(3);
+    let slices = [
+        ("whole run", whole),
+        ("beginning", thirds[0]),
+        ("middle", thirds[1]),
+        ("end", thirds[2]),
+    ];
+    let links = trace_links(&trace);
+    for (label, s) in slices {
+        let mut rows: Vec<(f64, Vec<String>)> = links
+            .iter()
+            .map(|(id, name)| {
+                let u = link_utilization(&trace, *id, s.start(), s.end());
+                let marker = if name.ends_with("-bb") { "  <-- inter-cluster" } else { "" };
+                (
+                    u,
+                    vec![name.clone(), format!("{:.0}%{marker}", u * 100.0)],
+                )
+            })
+            .collect();
+        rows.sort_by(|a, b| b.0.total_cmp(&a.0));
+        println!("\nslice: {label} [{:.2}, {:.2})", s.start(), s.end());
+        print_table(
+            &["link", "utilization"],
+            &rows.into_iter().take(6).map(|(_, r)| r).collect::<Vec<_>>(),
+        );
+    }
+
+    // The four SVG snapshots of the figure.
+    let mut session =
+        AnalysisSession::with_platform(trace, SessionConfig::default(), &platform);
+    session.relax(600);
+    for (name, s) in [
+        ("fig6_whole.svg", whole),
+        ("fig6_begin.svg", thirds[0]),
+        ("fig6_middle.svg", thirds[1]),
+        ("fig6_end.svg", thirds[2]),
+    ] {
+        session.set_time_slice(s);
+        session.relax(30);
+        save_svg(name, &session.render_svg(700.0, 500.0));
+    }
+}

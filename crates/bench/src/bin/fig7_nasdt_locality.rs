@@ -1,0 +1,89 @@
+//! Figure 7 — NAS-DT class A White-Hole, *locality-aware* deployment,
+//! plus the §5.1 headline claim: the new hostfile reduces the run time
+//! by about 20 %.
+//!
+//! Prints both makespans, the improvement, and the per-slice link
+//! utilization under the locality deployment (the contention moves from
+//! the inter-cluster links to the intra-cluster uplinks).
+
+use viva::{AnalysisSession, SessionConfig};
+use viva_agg::TimeSlice;
+use viva_bench::{link_utilization, print_table, save_svg, trace_links};
+use viva_platform::generators::{self, TwoClustersConfig};
+use viva_simflow::TracingConfig;
+use viva_workloads::{run_dt, Deployment, DtConfig};
+
+fn main() {
+    println!("Figure 7: NAS-DT class A WH, locality deployment");
+    let platform = generators::two_clusters(&TwoClustersConfig::default()).unwrap();
+    let cfg = DtConfig::default();
+    let tracing = TracingConfig { record_messages: false, record_accounts: false };
+    let seq = run_dt(platform.clone(), &cfg, Deployment::Sequential, Some(tracing.clone()));
+    let loc = run_dt(platform.clone(), &cfg, Deployment::Locality, Some(tracing));
+    let improvement = 100.0 * (1.0 - loc.makespan / seq.makespan);
+    println!("  sequential makespan: {:.3} s", seq.makespan);
+    println!("  locality   makespan: {:.3} s", loc.makespan);
+    println!("  improvement:         {improvement:.1} %   (paper reports ~20 %)");
+
+    let trace = loc.trace.expect("traced run");
+    let seq_trace = seq.trace.expect("traced run");
+    let whole_loc = TimeSlice::new(0.0, loc.makespan);
+    let whole_seq = TimeSlice::new(0.0, seq.makespan);
+
+    // Inter-cluster utilization comparison (the figure's headline).
+    println!("\ninter-cluster link utilization, whole run:");
+    let mut rows = Vec::new();
+    for name in ["adonis-bb", "griffon-bb"] {
+        let l_seq = seq_trace.containers().by_name(name).unwrap().id();
+        let l_loc = trace.containers().by_name(name).unwrap().id();
+        rows.push(vec![
+            name.to_owned(),
+            format!(
+                "{:.0}%",
+                100.0 * link_utilization(&seq_trace, l_seq, 0.0, whole_seq.end())
+            ),
+            format!(
+                "{:.0}%",
+                100.0 * link_utilization(&trace, l_loc, 0.0, whole_loc.end())
+            ),
+        ]);
+    }
+    print_table(&["link", "sequential (fig 6)", "locality (fig 7)"], &rows);
+
+    let thirds = whole_loc.split(3);
+    for (label, s) in [
+        ("whole run", whole_loc),
+        ("beginning", thirds[0]),
+        ("middle", thirds[1]),
+        ("end", thirds[2]),
+    ] {
+        let mut rows: Vec<(f64, Vec<String>)> = trace_links(&trace)
+            .iter()
+            .map(|(id, name)| {
+                let u = link_utilization(&trace, *id, s.start(), s.end());
+                let marker = if name.ends_with("-bb") { "  <-- inter-cluster" } else { "" };
+                (u, vec![name.clone(), format!("{:.0}%{marker}", u * 100.0)])
+            })
+            .collect();
+        rows.sort_by(|a, b| b.0.total_cmp(&a.0));
+        println!("\nslice: {label} [{:.2}, {:.2})", s.start(), s.end());
+        print_table(
+            &["link", "utilization"],
+            &rows.into_iter().take(6).map(|(_, r)| r).collect::<Vec<_>>(),
+        );
+    }
+
+    let mut session =
+        AnalysisSession::with_platform(trace, SessionConfig::default(), &platform);
+    session.relax(600);
+    for (name, s) in [
+        ("fig7_whole.svg", whole_loc),
+        ("fig7_begin.svg", thirds[0]),
+        ("fig7_middle.svg", thirds[1]),
+        ("fig7_end.svg", thirds[2]),
+    ] {
+        session.set_time_slice(s);
+        session.relax(30);
+        save_svg(name, &session.render_svg(700.0, 500.0));
+    }
+}

@@ -1,0 +1,168 @@
+//! Figure 8 — two competing master-worker applications on a 2170-host
+//! Grid'5000 model, viewed at four spatial aggregation levels.
+//!
+//! The paper's three expected phenomena, invisible at host level but
+//! obvious at cluster/site level:
+//!
+//! 1. the CPU-bound application achieves better overall resource usage
+//!    than the communication-heavier one;
+//! 2. the second application exhibits locality (it concentrates on
+//!    well-connected workers);
+//! 3. the applications interfere on computing resources.
+//!
+//! Pass `--small` to run a reduced platform (CI-friendly).
+
+use viva::{AnalysisSession, SessionConfig};
+use viva_agg::{GroupAggregate, TimeSlice};
+use viva_bench::{best_connected_host, print_table, save_svg};
+use viva_platform::generators::{self, Grid5000Config};
+use viva_simflow::TracingConfig;
+use viva_trace::{ContainerKind, Trace};
+use viva_workloads::{run_master_worker, AppSpec, MwConfig};
+
+fn aggregate(trace: &Trace, metric: &str, group: viva_trace::ContainerId, s: TimeSlice) -> f64 {
+    trace
+        .metric_id(metric)
+        .map(|m| GroupAggregate::compute(trace, m, group, s).integral)
+        .unwrap_or(0.0)
+}
+
+fn main() {
+    let small = std::env::args().any(|a| a == "--small");
+    let cfg = if small {
+        Grid5000Config { total_hosts: 120, sites: 6, ..Default::default() }
+    } else {
+        Grid5000Config::default()
+    };
+    println!(
+        "Figure 8: competing master-workers on grid5000 ({} hosts), 4 aggregation levels",
+        cfg.total_hosts
+    );
+    let platform = generators::grid5000(&cfg).unwrap();
+    let apps = vec![
+        AppSpec {
+            name: "app1".into(),
+            master: best_connected_host(&platform, 0),
+            // Long tasks: one site cannot absorb the master's send
+            // rate, so work (and interference) spreads across sites.
+            config: MwConfig {
+                tasks: if small { 400 } else { 4000 },
+                task_flops: 50_000.0,
+                ..MwConfig::cpu_bound()
+            },
+        },
+        AppSpec {
+            name: "app2".into(),
+            master: best_connected_host(&platform, 1),
+            config: MwConfig {
+                tasks: if small { 300 } else { 3000 },
+                task_flops: 20_000.0,
+                ..MwConfig::network_bound()
+            },
+        },
+    ];
+    let run = run_master_worker(
+        platform.clone(),
+        &apps,
+        Some(TracingConfig { record_messages: false, record_accounts: true }),
+    );
+    println!("  makespan: {:.1} s", run.makespan);
+    let trace = run.trace.expect("traced run");
+    // A fixed slice in the busy middle of the run (the paper's "given
+    // time slice").
+    let slice = TimeSlice::new(run.makespan * 0.2, run.makespan * 0.6);
+    println!("  fixed time slice: [{:.1}, {:.1}) s", slice.start(), slice.end());
+
+    // Site-level table: the paper's quantitative reading.
+    let tree = trace.containers();
+    let mut rows = Vec::new();
+    let mut overlap_sites = 0;
+    let mut app1_total = 0.0;
+    let mut app2_total = 0.0;
+    for site in tree.of_kind(ContainerKind::Site) {
+        let a1 = aggregate(&trace, "power_used:app1", site, slice);
+        let a2 = aggregate(&trace, "power_used:app2", site, slice);
+        let cap = aggregate(&trace, "power", site, slice);
+        app1_total += a1;
+        app2_total += a2;
+        if a1 > 0.0 && a2 > 0.0 {
+            overlap_sites += 1;
+        }
+        rows.push(vec![
+            tree.node(site).name().to_owned(),
+            format!("{:.1}%", (100.0 * a1 / cap.max(1e-9)).max(0.0)),
+            format!("{:.1}%", (100.0 * a2 / cap.max(1e-9)).max(0.0)),
+        ]);
+    }
+    println!("\nsite level (share of site compute capacity used in the slice):");
+    print_table(&["site", "app1 (cpu-bound)", "app2 (net-bound)"], &rows);
+    println!(
+        "\nphenomenon 1: app1 used {:.1}x the compute of app2 in this slice",
+        app1_total / app2_total.max(1e-9)
+    );
+    println!(
+        "phenomenon 3: the two applications overlap on {overlap_sites} site(s)"
+    );
+
+    // Cluster-level locality of app2 (phenomenon 2): top clusters by
+    // app2 usage should be the best-connected ones.
+    let mut cluster_rows: Vec<(f64, Vec<String>)> = Vec::new();
+    for cl in tree.of_kind(ContainerKind::Cluster) {
+        let a2 = aggregate(&trace, "power_used:app2", cl, slice);
+        if a2 <= 0.0 {
+            continue;
+        }
+        let name = tree.node(cl).name().to_owned();
+        let bw = platform
+            .cluster_by_name(&name)
+            .and_then(|c| c.hosts().first().copied())
+            .map(|h| {
+                let l = platform
+                    .link_by_name(&format!("{}-up", platform.host(h).name()))
+                    .expect("uplink");
+                l.bandwidth()
+            })
+            .unwrap_or(0.0);
+        cluster_rows.push((a2, vec![name, format!("{a2:.0}"), format!("{bw:.0}")]));
+    }
+    cluster_rows.sort_by(|a, b| b.0.total_cmp(&a.0));
+    println!("\nphenomenon 2: clusters serving app2 (top 8), with their uplink bandwidth:");
+    print_table(
+        &["cluster", "app2 MFlop in slice", "host uplink Mbit/s"],
+        &cluster_rows
+            .into_iter()
+            .take(8)
+            .map(|(_, r)| r)
+            .collect::<Vec<_>>(),
+    );
+
+    // The four aggregation-level snapshots, with per-application pie
+    // glyphs (the §6 extension) splitting each node's usage.
+    let mut session =
+        AnalysisSession::with_platform(trace, SessionConfig::default(), &platform);
+    session.set_time_slice(slice);
+    session.set_breakdown_metrics(vec![
+        "power_used:app1".into(),
+        "power_used:app2".into(),
+    ]);
+    for (name, depth, steps) in [
+        ("fig8_hosts.svg", u32::MAX, 120),
+        ("fig8_clusters.svg", 2, 200),
+        ("fig8_sites.svg", 1, 200),
+        ("fig8_grid.svg", 0, 100),
+    ] {
+        if depth == u32::MAX {
+            session.expand_all();
+        } else {
+            session.collapse_at_depth(depth);
+        }
+        session.relax(steps);
+        save_svg(name, &session.render_svg(900.0, 700.0));
+    }
+    println!(
+        "\nnode counts per level: hosts {}, clusters {}, sites {}, grid 1",
+        platform.hosts().len() + platform.links().len() + platform.routers().len(),
+        platform.clusters().len(),
+        platform.sites().len()
+    );
+}

@@ -1,0 +1,68 @@
+//! # viva — scalable topology-based visualization of large distributed systems
+//!
+//! A Rust reproduction of the visualization technique of *"Interactive
+//! Analysis of Large Distributed Systems with Scalable Topology-based
+//! Visualization"* (Schnorr, Legrand, Vincent — ISPASS 2013), the
+//! technique behind the VIVA tool.
+//!
+//! The technique correlates network characteristics (bandwidth,
+//! topology) with application behaviour by drawing the *monitored
+//! entities* of a trace as a graph — squares for hosts sized by
+//! computing power, diamonds for links sized by bandwidth, proportional
+//! fill for utilization — and makes it scale through two ingredients:
+//!
+//! 1. **multi-scale data aggregation** (`viva-agg`): any group of the
+//!    container hierarchy can be collapsed into one node carrying the
+//!    space × time integral of its members' metrics (Equation 1), over
+//!    an analyst-chosen time-slice;
+//! 2. **dynamic force-directed layout** (`viva-layout`): Barnes-Hut
+//!    accelerated springs/charges keep the picture stable while groups
+//!    collapse or expand, nodes are dragged, and parameters change.
+//!
+//! The central type is [`AnalysisSession`]: it owns a trace (and
+//! optionally the platform it was recorded on), the interactive state
+//! (time-slice, collapsed groups, sliders, pinned nodes) and produces
+//! [`GraphView`]s — pure scene descriptions — that render to SVG.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use viva::{AnalysisSession, SessionConfig};
+//! use viva_agg::TimeSlice;
+//! use viva_trace::{ContainerKind, TraceBuilder};
+//!
+//! // A two-host trace (normally produced by viva-simflow).
+//! let mut b = TraceBuilder::new();
+//! let cl = b.new_container(b.root(), "c", ContainerKind::Cluster)?;
+//! let h1 = b.new_container(cl, "h1", ContainerKind::Host)?;
+//! let h2 = b.new_container(cl, "h2", ContainerKind::Host)?;
+//! let power = b.metric("power", "MFlop/s");
+//! let used = b.metric("power_used", "MFlop/s");
+//! b.set_variable(0.0, h1, power, 100.0)?;
+//! b.set_variable(0.0, h2, power, 25.0)?;
+//! b.set_variable(0.0, h1, used, 50.0)?;
+//! let trace = b.finish(10.0);
+//!
+//! let mut session = AnalysisSession::new(trace, SessionConfig::default());
+//! session.set_time_slice(TimeSlice::new(0.0, 10.0));
+//! session.relax(200);
+//! let view = session.view();
+//! assert_eq!(view.nodes.len(), 2);
+//! let svg = session.render_svg(640.0, 480.0);
+//! assert!(svg.starts_with("<svg"));
+//! # Ok::<(), viva_trace::TraceError>(())
+//! ```
+
+pub mod animation;
+pub mod color;
+pub mod mapping;
+pub mod scaling;
+pub mod session;
+pub mod svg;
+pub mod view;
+
+pub use animation::Animation;
+pub use mapping::{MappingConfig, NodeMapping, Shape};
+pub use scaling::ScalingConfig;
+pub use session::{AnalysisSession, SessionConfig};
+pub use view::{GraphView, ViewEdge, ViewNode};

@@ -1,0 +1,186 @@
+//! Mapping trace metrics to graph visuals (paper §3.1).
+//!
+//! "A square can be used to represent a host, its size according to its
+//! computing power; a diamond to a network link, its size according to
+//! the bandwidth utilization" — and, deliberately, *only* simple shapes
+//! and properties are offered: square, diamond, circle; size, color and
+//! an optional proportional fill.
+
+use std::collections::HashMap;
+
+use viva_trace::ContainerKind;
+
+/// The geometric shape of a node (the paper's full set).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Shape {
+    /// A square (hosts, by convention).
+    #[default]
+    Square,
+    /// A diamond (links, by convention).
+    Diamond,
+    /// A circle (routers and generic entities).
+    Circle,
+}
+
+impl Shape {
+    /// Short lowercase label (used by SVG class names and tests).
+    pub fn label(self) -> &'static str {
+        match self {
+            Shape::Square => "square",
+            Shape::Diamond => "diamond",
+            Shape::Circle => "circle",
+        }
+    }
+}
+
+/// How one kind of monitored entity is drawn.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeMapping {
+    /// Geometric shape.
+    pub shape: Shape,
+    /// Metric whose aggregated value drives the node size (e.g.
+    /// `"power"`). `None` draws a fixed-size node.
+    pub size_metric: Option<String>,
+    /// Metric whose aggregated value drives the proportional fill
+    /// (e.g. `"power_used"`). `None` draws an unfilled node.
+    pub fill_metric: Option<String>,
+}
+
+impl NodeMapping {
+    /// A fixed-size, unfilled node of the given shape.
+    pub fn plain(shape: Shape) -> NodeMapping {
+        NodeMapping { shape, size_metric: None, fill_metric: None }
+    }
+}
+
+/// The full metric→visual mapping, per container kind.
+///
+/// "Any mapping defined can be dynamically changed at a given point of
+/// the analysis" (§3.1): all accessors have mutable counterparts and
+/// the next [`crate::AnalysisSession::view`] call picks changes up.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MappingConfig {
+    rules: HashMap<ContainerKind, NodeMapping>,
+}
+
+impl MappingConfig {
+    /// The paper's §3.1 default: hosts are squares sized by `power`
+    /// and filled by `power_used`; links are diamonds sized by
+    /// `bandwidth` and filled by `bandwidth_used`; routers are small
+    /// plain circles. Grouping kinds (site/cluster/...) inherit the
+    /// host mapping since host metrics dominate their aggregates.
+    pub fn paper_defaults() -> MappingConfig {
+        use viva_trace::metric::names;
+        let host = NodeMapping {
+            shape: Shape::Square,
+            size_metric: Some(names::POWER.to_owned()),
+            fill_metric: Some(names::POWER_USED.to_owned()),
+        };
+        let link = NodeMapping {
+            shape: Shape::Diamond,
+            size_metric: Some(names::BANDWIDTH.to_owned()),
+            fill_metric: Some(names::BANDWIDTH_USED.to_owned()),
+        };
+        let mut rules = HashMap::new();
+        rules.insert(ContainerKind::Host, host.clone());
+        rules.insert(ContainerKind::Link, link);
+        rules.insert(ContainerKind::Router, NodeMapping::plain(Shape::Circle));
+        for kind in [
+            ContainerKind::Root,
+            ContainerKind::Site,
+            ContainerKind::Cluster,
+            ContainerKind::Group,
+            ContainerKind::Process,
+        ] {
+            rules.insert(kind, host.clone());
+        }
+        MappingConfig { rules }
+    }
+
+    /// The mapping for `kind` (falls back to a plain circle for kinds
+    /// with no rule).
+    pub fn rule(&self, kind: ContainerKind) -> NodeMapping {
+        self.rules
+            .get(&kind)
+            .cloned()
+            .unwrap_or_else(|| NodeMapping::plain(Shape::Circle))
+    }
+
+    /// Replaces the mapping for `kind`.
+    pub fn set_rule(&mut self, kind: ContainerKind, mapping: NodeMapping) {
+        self.rules.insert(kind, mapping);
+    }
+
+    /// The *size group* of a kind: nodes whose size is driven by the
+    /// same metric share one screen scale (paper §4.1). Kinds with no
+    /// size metric get their own fixed-size group.
+    pub fn size_group(&self, kind: ContainerKind) -> String {
+        self.rule(kind)
+            .size_metric
+            .unwrap_or_else(|| format!("fixed:{kind}"))
+    }
+}
+
+impl Default for MappingConfig {
+    fn default() -> Self {
+        MappingConfig::paper_defaults()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_follow_section_3_1() {
+        let m = MappingConfig::paper_defaults();
+        let host = m.rule(ContainerKind::Host);
+        assert_eq!(host.shape, Shape::Square);
+        assert_eq!(host.size_metric.as_deref(), Some("power"));
+        assert_eq!(host.fill_metric.as_deref(), Some("power_used"));
+        let link = m.rule(ContainerKind::Link);
+        assert_eq!(link.shape, Shape::Diamond);
+        assert_eq!(link.size_metric.as_deref(), Some("bandwidth"));
+        let router = m.rule(ContainerKind::Router);
+        assert_eq!(router.shape, Shape::Circle);
+        assert!(router.size_metric.is_none());
+    }
+
+    #[test]
+    fn rules_can_change_dynamically() {
+        let mut m = MappingConfig::default();
+        m.set_rule(
+            ContainerKind::Host,
+            NodeMapping {
+                shape: Shape::Circle,
+                size_metric: Some("power_used".into()),
+                fill_metric: None,
+            },
+        );
+        assert_eq!(m.rule(ContainerKind::Host).shape, Shape::Circle);
+    }
+
+    #[test]
+    fn size_groups_by_metric() {
+        let m = MappingConfig::default();
+        // Clusters aggregate hosts: same size group.
+        assert_eq!(
+            m.size_group(ContainerKind::Host),
+            m.size_group(ContainerKind::Cluster)
+        );
+        assert_ne!(
+            m.size_group(ContainerKind::Host),
+            m.size_group(ContainerKind::Link)
+        );
+        // Fixed-size kinds get distinct groups.
+        assert_eq!(m.size_group(ContainerKind::Router), "fixed:router");
+    }
+
+    #[test]
+    fn shape_labels() {
+        assert_eq!(Shape::Square.label(), "square");
+        assert_eq!(Shape::Diamond.label(), "diamond");
+        assert_eq!(Shape::Circle.label(), "circle");
+        assert_eq!(Shape::default(), Shape::Square);
+    }
+}

@@ -1,0 +1,130 @@
+//! Independent per-metric-type screen scaling (paper §4.1, Fig. 4).
+//!
+//! Metrics of different nature (MFlop/s vs Mbit/s) are not comparable;
+//! each *size group* (one per size metric) therefore gets its own
+//! scale, computed so that "the bigger size of a type of object within
+//! a time-slice [maps] to the maximum pixel size of objects in the
+//! representation". Interactive sliders multiply each group's automatic
+//! scale (Fig. 4, scheme C).
+
+use std::collections::HashMap;
+
+/// Screen-scaling parameters and per-group slider state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalingConfig {
+    /// Pixel size the largest object of each group gets.
+    pub max_px: f64,
+    /// Floor pixel size so tiny-but-present objects stay visible.
+    pub min_px: f64,
+    /// Per-size-group slider multiplier (1.0 = automatic scale; the
+    /// slider middle position of Fig. 4 schemes A/B).
+    sliders: HashMap<String, f64>,
+}
+
+impl Default for ScalingConfig {
+    fn default() -> Self {
+        ScalingConfig { max_px: 40.0, min_px: 2.0, sliders: HashMap::new() }
+    }
+}
+
+impl ScalingConfig {
+    /// The slider multiplier of a size group (1.0 when untouched).
+    pub fn slider(&self, group: &str) -> f64 {
+        self.sliders.get(group).copied().unwrap_or(1.0)
+    }
+
+    /// Sets the slider multiplier of a size group.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `factor` is non-finite or negative.
+    pub fn set_slider(&mut self, group: impl Into<String>, factor: f64) {
+        assert!(factor.is_finite() && factor >= 0.0, "bad slider {factor}");
+        self.sliders.insert(group.into(), factor);
+    }
+
+    /// Resets all sliders to automatic.
+    pub fn reset_sliders(&mut self) {
+        self.sliders.clear();
+    }
+
+    /// Computes pixel sizes for one size group: the automatic scale
+    /// maps the group maximum to `max_px`, then the group slider
+    /// multiplies, then `min_px` floors. `values` of 0 (or groups whose
+    /// max is 0) collapse to `min_px`.
+    pub fn pixel_sizes(&self, group: &str, values: &[f64]) -> Vec<f64> {
+        let max = values.iter().copied().fold(0.0f64, f64::max);
+        let auto = if max > 0.0 { self.max_px / max } else { 0.0 };
+        let s = auto * self.slider(group);
+        values
+            .iter()
+            .map(|v| (v * s).max(self.min_px))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_maps_to_max_px() {
+        let cfg = ScalingConfig::default();
+        // Fig. 4 scheme A: hosts of 100 and 25 MFlop/s.
+        let px = cfg.pixel_sizes("power", &[100.0, 25.0]);
+        assert_eq!(px[0], 40.0);
+        assert_eq!(px[1], 10.0);
+    }
+
+    #[test]
+    fn groups_are_independent() {
+        let cfg = ScalingConfig::default();
+        // Fig. 4: a 10000 Mbit/s link is as large on screen as a
+        // 100 MFlop/s host — different metrics, both group maxima.
+        let hosts = cfg.pixel_sizes("power", &[100.0, 25.0]);
+        let links = cfg.pixel_sizes("bandwidth", &[10000.0]);
+        assert_eq!(hosts[0], links[0]);
+    }
+
+    #[test]
+    fn rescaling_follows_time_slice_change() {
+        let cfg = ScalingConfig::default();
+        // Fig. 4 scheme B: after a new time slice, HostB (40) is the
+        // biggest and takes the maximum size that 100 had in scheme A.
+        let px = cfg.pixel_sizes("power", &[10.0, 40.0]);
+        assert_eq!(px[1], 40.0);
+        assert_eq!(px[0], 10.0);
+    }
+
+    #[test]
+    fn sliders_override_automatic_scale() {
+        let mut cfg = ScalingConfig::default();
+        // Fig. 4 scheme C: hosts bigger, links smaller.
+        cfg.set_slider("power", 2.0);
+        cfg.set_slider("bandwidth", 0.5);
+        let hosts = cfg.pixel_sizes("power", &[10.0, 40.0]);
+        let links = cfg.pixel_sizes("bandwidth", &[10000.0]);
+        assert_eq!(hosts[1], 80.0);
+        assert_eq!(links[0], 20.0);
+        cfg.reset_sliders();
+        assert_eq!(cfg.slider("power"), 1.0);
+    }
+
+    #[test]
+    fn min_px_floors_small_and_zero_values() {
+        let cfg = ScalingConfig::default();
+        let px = cfg.pixel_sizes("power", &[1000.0, 0.001, 0.0]);
+        assert_eq!(px[1], 2.0);
+        assert_eq!(px[2], 2.0);
+        // All-zero group.
+        let px = cfg.pixel_sizes("power", &[0.0, 0.0]);
+        assert!(px.iter().all(|&p| p == 2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "bad slider")]
+    fn slider_rejects_nan() {
+        let mut cfg = ScalingConfig::default();
+        cfg.set_slider("power", f64::NAN);
+    }
+}

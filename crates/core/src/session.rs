@@ -1,0 +1,522 @@
+//! The interactive analysis session: the paper's tool loop.
+//!
+//! An [`AnalysisSession`] owns everything the analyst manipulates:
+//!
+//! * the **trace** under analysis (and optionally the **platform** it
+//!   was recorded on, used to wire the topology graph);
+//! * the **time-slice** (§3.2.1) and the **collapse state** (§3.2.2);
+//! * the **force-directed layout** with its charge/spring/damping
+//!   sliders (§4.2), node pinning and dragging;
+//! * the **visual mapping** (§3.1) and **per-type scaling sliders**
+//!   (§4.1).
+//!
+//! Every mutation keeps the layout *warm*: collapsing a group merges
+//! its nodes into one aggregate placed at their barycenter, expanding
+//! spawns members around the aggregate — so the picture morphs smoothly
+//! instead of being recomputed from scratch (§3.3).
+
+use std::collections::HashSet;
+
+use viva_agg::{GroupAggregate, TimeSlice, ViewState};
+use viva_layout::{LayoutConfig, LayoutEngine, NodeKey, Vec2};
+use viva_platform::Platform;
+use viva_trace::{ContainerId, Trace};
+
+use crate::mapping::MappingConfig;
+use crate::scaling::ScalingConfig;
+use crate::svg;
+use crate::view::{build_view, GraphView};
+
+/// Initial configuration of a session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionConfig {
+    /// Metric → visual mapping.
+    pub mapping: MappingConfig,
+    /// Screen scaling parameters.
+    pub scaling: ScalingConfig,
+    /// Force-model parameters.
+    pub layout: LayoutConfig,
+    /// Seed for initial node placement.
+    pub seed: u64,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig {
+            mapping: MappingConfig::default(),
+            scaling: ScalingConfig::default(),
+            layout: LayoutConfig::default(),
+            seed: 0x1234_5678,
+        }
+    }
+}
+
+/// An interactive topology-based analysis of one trace.
+#[derive(Debug)]
+pub struct AnalysisSession {
+    trace: Trace,
+    mapping: MappingConfig,
+    scaling: ScalingConfig,
+    state: ViewState,
+    slice: TimeSlice,
+    layout: LayoutEngine,
+    /// Relationships between leaf containers (host ↔ link ↔ router).
+    leaf_edges: Vec<(ContainerId, ContainerId)>,
+    /// Metrics whose shares fill each node's pie chart (§6 extension).
+    breakdown: Vec<String>,
+    /// Current visible frontier (mirrors the layout's node set).
+    frontier: Vec<ContainerId>,
+}
+
+fn key(c: ContainerId) -> NodeKey {
+    NodeKey(c.index() as u64)
+}
+
+impl AnalysisSession {
+    /// Creates a session over `trace` alone; the topology graph is
+    /// inferred from the trace's communication pairs (§3.1.1's first
+    /// option).
+    pub fn new(trace: Trace, config: SessionConfig) -> AnalysisSession {
+        let edges = trace.communication_pairs();
+        AnalysisSession::with_edges(trace, config, edges)
+    }
+
+    /// Creates a session over a trace recorded on `platform`; the
+    /// topology graph is the physical interconnection: every link
+    /// container is connected to the containers of its two endpoints
+    /// (§3.1.1's second option).
+    ///
+    /// Platform resources are matched to trace containers by name;
+    /// resources with no matching container are skipped.
+    pub fn with_platform(
+        trace: Trace,
+        config: SessionConfig,
+        platform: &Platform,
+    ) -> AnalysisSession {
+        let tree = trace.containers();
+        let by_name = |name: &str| tree.by_name(name).map(|c| c.id());
+        let mut edges = Vec::new();
+        for link in platform.links() {
+            let Some(lc) = by_name(link.name()) else { continue };
+            let (a, b) = platform.link_endpoints(link.id());
+            for endpoint in [a, b] {
+                let name = match endpoint {
+                    viva_platform::NodeId::Host(h) => platform.host(h).name(),
+                    viva_platform::NodeId::Router(r) => platform.router(r).name(),
+                };
+                if let Some(ec) = by_name(name) {
+                    edges.push((ec, lc));
+                }
+            }
+        }
+        AnalysisSession::with_edges(trace, config, edges)
+    }
+
+    /// Creates a session with explicit leaf-container relationships
+    /// (§3.1.1's third option: "the information can be dynamically
+    /// provided by the analyst").
+    pub fn with_edges(
+        trace: Trace,
+        config: SessionConfig,
+        leaf_edges: Vec<(ContainerId, ContainerId)>,
+    ) -> AnalysisSession {
+        let slice = TimeSlice::new(trace.start(), trace.end());
+        let mut session = AnalysisSession {
+            layout: LayoutEngine::new(config.layout, config.seed),
+            mapping: config.mapping,
+            scaling: config.scaling,
+            state: ViewState::new(),
+            slice,
+            leaf_edges,
+            breakdown: Vec::new(),
+            frontier: Vec::new(),
+            trace,
+        };
+        session.frontier = session.state.visible(session.trace.containers());
+        for &c in &session.frontier.clone() {
+            session.layout.add_node(key(c), session.charge_of(c));
+        }
+        session.sync_edges();
+        session
+    }
+
+    /// Charge of a (possibly aggregated) node: the number of leaves it
+    /// stands for (§4.2: an aggregate's charge is the sum of its
+    /// members').
+    fn charge_of(&self, c: ContainerId) -> f64 {
+        self.trace.containers().leaves_under(c).len().max(1) as f64
+    }
+
+    /// The trace under analysis.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Current time-slice.
+    pub fn time_slice(&self) -> TimeSlice {
+        self.slice
+    }
+
+    /// Sets the time-slice (§3.2.1). Values shown by the next
+    /// [`view`](AnalysisSession::view) are aggregated over it.
+    pub fn set_time_slice(&mut self, slice: TimeSlice) {
+        self.slice = slice;
+    }
+
+    /// Configures the pie-chart breakdown: each node shows the relative
+    /// shares of these metrics (e.g. `power_used:app1`,
+    /// `power_used:app2`) as a pie glyph — the paper's §6 "increasing
+    /// graphical object flexibility (e.g., pie-charts...)" extension.
+    pub fn set_breakdown_metrics(&mut self, metrics: Vec<String>) {
+        self.breakdown = metrics;
+    }
+
+    /// Read access to the collapse state.
+    pub fn view_state(&self) -> &ViewState {
+        &self.state
+    }
+
+    /// The visual mapping (mutable: mappings "can be dynamically
+    /// changed at a given point of the analysis", §3.1).
+    pub fn mapping_mut(&mut self) -> &mut MappingConfig {
+        &mut self.mapping
+    }
+
+    /// The per-type size scaling and its sliders (§4.1).
+    pub fn scaling_mut(&mut self) -> &mut ScalingConfig {
+        &mut self.scaling
+    }
+
+    /// The layout parameters — the charge/spring/damping sliders of
+    /// §4.2.
+    pub fn layout_config_mut(&mut self) -> &mut LayoutConfig {
+        self.layout.config_mut()
+    }
+
+    /// Direct access to the layout engine (pinning, dragging,
+    /// stepping).
+    pub fn layout_mut(&mut self) -> &mut LayoutEngine {
+        &mut self.layout
+    }
+
+    /// Read access to the layout engine.
+    pub fn layout(&self) -> &LayoutEngine {
+        &self.layout
+    }
+
+    /// Collapses `group` into one aggregated node (§3.2.2, Fig. 3).
+    /// No-op if the group is already hidden or collapsed.
+    pub fn collapse(&mut self, group: ContainerId) {
+        if self.state.is_collapsed(group) {
+            return;
+        }
+        self.state.collapse(group);
+        self.apply_state();
+    }
+
+    /// Expands a collapsed group back into its members.
+    pub fn expand(&mut self, group: ContainerId) {
+        if !self.state.is_collapsed(group) {
+            return;
+        }
+        self.state.expand(group);
+        self.apply_state();
+    }
+
+    /// Jumps to one hierarchy level (Fig. 8: host / cluster / site /
+    /// grid views): collapses every grouping container at `depth`.
+    pub fn collapse_at_depth(&mut self, depth: u32) {
+        let tree = self.trace.containers();
+        let mut next = self.state.clone();
+        next.collapse_at_depth(tree, depth);
+        self.state = next;
+        self.apply_state();
+    }
+
+    /// Expands everything (finest view).
+    pub fn expand_all(&mut self) {
+        self.state.expand_all();
+        self.apply_state();
+    }
+
+    /// Reconciles the layout with the current collapse state: new
+    /// aggregates swallow their visible members (barycenter placement),
+    /// expanded groups spawn members around the old aggregate, and the
+    /// edge set is re-lifted.
+    fn apply_state(&mut self) {
+        let tree = self.trace.containers();
+        let new_frontier = self.state.visible(tree);
+        let old_set: HashSet<ContainerId> = self.frontier.iter().copied().collect();
+        let new_set: HashSet<ContainerId> = new_frontier.iter().copied().collect();
+
+        let is_ancestor_of = |anc: ContainerId, node: ContainerId| {
+            tree.node(node).depth() > tree.node(anc).depth()
+                && tree.ancestor_at_depth(node, tree.node(anc).depth()) == Some(anc)
+        };
+
+        // 1. Additions that aggregate existing nodes: merge.
+        for &a in &new_frontier {
+            if old_set.contains(&a) {
+                continue;
+            }
+            let members: Vec<ContainerId> = self
+                .frontier
+                .iter()
+                .copied()
+                .filter(|&o| !new_set.contains(&o) && is_ancestor_of(a, o))
+                .collect();
+            if !members.is_empty() {
+                let member_keys: Vec<NodeKey> = members.iter().map(|&m| key(m)).collect();
+                self.layout.merge_nodes(key(a), &member_keys);
+                self.layout.set_charge(key(a), self.charge_of(a));
+            }
+        }
+        // 2. Removals that disaggregate into new nodes: split.
+        for &r in &self.frontier.clone() {
+            if new_set.contains(&r) || self.layout.position(key(r)).is_none() {
+                continue;
+            }
+            let children: Vec<(NodeKey, f64)> = new_frontier
+                .iter()
+                .copied()
+                .filter(|&n| !old_set.contains(&n) && is_ancestor_of(r, n))
+                .map(|n| (key(n), self.charge_of(n)))
+                .collect();
+            if !children.is_empty() {
+                self.layout.split_node(key(r), &children);
+            } else {
+                self.layout.remove_node(key(r));
+            }
+        }
+        // 3. Anything still missing (e.g. a node that is both new and
+        // unrelated to the old frontier) gets a fresh spot.
+        for &a in &new_frontier {
+            if self.layout.position(key(a)).is_none() {
+                self.layout.add_node(key(a), self.charge_of(a));
+            }
+        }
+        self.frontier = new_frontier;
+        self.sync_edges();
+    }
+
+    /// Rebuilds the layout's edge set from the leaf relationships
+    /// lifted to the visible frontier.
+    fn sync_edges(&mut self) {
+        let tree = self.trace.containers();
+        let mut desired: HashSet<(NodeKey, NodeKey)> = HashSet::new();
+        for &(a, b) in &self.leaf_edges {
+            let (Some(ra), Some(rb)) = (
+                self.state.representative(tree, a),
+                self.state.representative(tree, b),
+            ) else {
+                continue;
+            };
+            if ra == rb {
+                continue;
+            }
+            let (ka, kb) = (key(ra), key(rb));
+            desired.insert(if ka <= kb { (ka, kb) } else { (kb, ka) });
+        }
+        let current: Vec<(NodeKey, NodeKey)> = self.layout.edges().collect();
+        for (a, b) in current {
+            if !desired.contains(&(a, b)) {
+                self.layout.remove_edge(a, b);
+            }
+        }
+        for (a, b) in desired {
+            if !self.layout.has_edge(a, b) {
+                self.layout.add_edge(a, b);
+            }
+        }
+    }
+
+    /// Runs up to `steps` layout iterations (stops early on
+    /// convergence). Returns the number of steps executed.
+    pub fn relax(&mut self, steps: usize) -> usize {
+        self.layout.run(steps, 1e-4)
+    }
+
+    /// Drags the node of `container` to `pos` and pins it there.
+    pub fn drag(&mut self, container: ContainerId, pos: Vec2) -> bool {
+        let k = key(container);
+        self.layout.move_node(k, pos) && self.layout.pin(k)
+    }
+
+    /// Releases a pinned node back to the force simulation.
+    pub fn release(&mut self, container: ContainerId) -> bool {
+        self.layout.unpin(key(container))
+    }
+
+    /// Computes the scene for the current slice, collapse state,
+    /// mapping, scaling and layout.
+    pub fn view(&self) -> GraphView {
+        build_view(
+            &self.trace,
+            &self.state,
+            self.slice,
+            &self.mapping,
+            &self.scaling,
+            &|c| self.layout.position(key(c)).unwrap_or_default(),
+            &self.leaf_edges,
+            &self.breakdown,
+        )
+    }
+
+    /// Renders the current view to an SVG document.
+    pub fn render_svg(&self, width: f64, height: f64) -> String {
+        svg::render(&self.view(), &svg::SvgOptions { width, height, ..Default::default() })
+    }
+
+    /// Aggregates `metric` over the subtree of `group` and the current
+    /// slice (Equation 1 plus §6 indicators) — the numeric companion of
+    /// the visual view, used by the figure harnesses.
+    pub fn aggregate(&self, metric: &str, group: ContainerId) -> Option<GroupAggregate> {
+        let m = self.trace.metric_id(metric)?;
+        Some(GroupAggregate::compute(&self.trace, m, group, self.slice))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use viva_trace::{ContainerKind, TraceBuilder};
+
+    /// Two clusters of two hosts; one link per cluster; one backbone
+    /// link under the root; edges host—link—host chains.
+    fn session() -> AnalysisSession {
+        let mut b = TraceBuilder::new();
+        let power = b.metric("power", "MFlop/s");
+        let used = b.metric("power_used", "MFlop/s");
+        let bw = b.metric("bandwidth", "Mbit/s");
+        let mut hosts = Vec::new();
+        let mut clusters = Vec::new();
+        for cn in ["c1", "c2"] {
+            let cl = b.new_container(b.root(), cn, ContainerKind::Cluster).unwrap();
+            clusters.push(cl);
+            for i in 0..2 {
+                let h = b
+                    .new_container(cl, format!("{cn}-h{i}"), ContainerKind::Host)
+                    .unwrap();
+                b.set_variable(0.0, h, power, 100.0).unwrap();
+                b.set_variable(0.0, h, used, 60.0).unwrap();
+                hosts.push(h);
+            }
+        }
+        let bb = b.new_container(b.root(), "bb", ContainerKind::Link).unwrap();
+        b.set_variable(0.0, bb, bw, 1000.0).unwrap();
+        let trace = b.finish(10.0);
+        let edges = vec![
+            (hosts[0], hosts[1]),
+            (hosts[2], hosts[3]),
+            (hosts[1], bb),
+            (bb, hosts[2]),
+        ];
+        AnalysisSession::with_edges(trace, SessionConfig::default(), edges)
+    }
+
+    #[test]
+    fn initial_frontier_is_all_leaves() {
+        let s = session();
+        let view = s.view();
+        // 4 hosts + 1 link.
+        assert_eq!(view.nodes.len(), 5);
+        assert_eq!(s.layout().len(), 5);
+        assert_eq!(view.edges.len(), 4);
+    }
+
+    #[test]
+    fn collapse_merges_layout_nodes_and_lifts_edges() {
+        let mut s = session();
+        let c1 = s.trace().containers().by_name("c1").unwrap().id();
+        s.collapse(c1);
+        let view = s.view();
+        // c1 aggregate + 2 hosts of c2 + bb link.
+        assert_eq!(view.nodes.len(), 4);
+        assert_eq!(s.layout().len(), 4);
+        let agg = view.node_by_label("c1").unwrap();
+        assert_eq!(agg.members, 2);
+        assert_eq!(agg.size_value, 200.0);
+        // The intra-c1 edge vanished; the bb edge lifted to c1.
+        let bb = s.trace().containers().by_name("bb").unwrap().id();
+        assert!(view.edges.iter().any(|e| (e.a == c1 && e.b == bb) || (e.a == bb && e.b == c1)));
+        // Aggregate charge = 2 leaves.
+        assert_eq!(s.layout().charge(key(c1)), Some(2.0));
+    }
+
+    #[test]
+    fn expand_restores_members_near_aggregate() {
+        let mut s = session();
+        let c1 = s.trace().containers().by_name("c1").unwrap().id();
+        s.relax(100);
+        s.collapse(c1);
+        let agg_pos = s.layout().position(key(c1)).unwrap();
+        s.expand(c1);
+        let view = s.view();
+        assert_eq!(view.nodes.len(), 5);
+        let h0 = s.trace().containers().by_name("c1-h0").unwrap().id();
+        let p = s.layout().position(key(h0)).unwrap();
+        assert!(p.distance(agg_pos) < s.layout().config().spring_length * 2.0);
+    }
+
+    #[test]
+    fn collapse_at_depth_matches_level_views() {
+        let mut s = session();
+        s.collapse_at_depth(1); // cluster level
+        let view = s.view();
+        // c1, c2 aggregates + bb link (a leaf at depth 1).
+        assert_eq!(view.nodes.len(), 3);
+        s.collapse_at_depth(0); // grid level
+        assert_eq!(s.view().nodes.len(), 1);
+        s.expand_all();
+        assert_eq!(s.view().nodes.len(), 5);
+    }
+
+    #[test]
+    fn double_collapse_is_idempotent() {
+        let mut s = session();
+        let c1 = s.trace().containers().by_name("c1").unwrap().id();
+        s.collapse(c1);
+        let n = s.layout().len();
+        s.collapse(c1);
+        assert_eq!(s.layout().len(), n);
+        s.expand(c1);
+        s.expand(c1);
+        assert_eq!(s.layout().len(), 5);
+    }
+
+    #[test]
+    fn drag_pins_and_release_unpins() {
+        let mut s = session();
+        let h = s.trace().containers().by_name("c1-h0").unwrap().id();
+        assert!(s.drag(h, Vec2::new(123.0, 45.0)));
+        assert_eq!(s.layout().position(key(h)), Some(Vec2::new(123.0, 45.0)));
+        s.relax(50);
+        assert_eq!(
+            s.layout().position(key(h)),
+            Some(Vec2::new(123.0, 45.0)),
+            "pinned node stays put"
+        );
+        assert!(s.release(h));
+        assert!(!s.layout().is_pinned(key(h)));
+    }
+
+    #[test]
+    fn time_slice_drives_view_values() {
+        let mut s = session();
+        s.set_time_slice(TimeSlice::new(0.0, 5.0));
+        let h = s.trace().containers().by_name("c1-h0").unwrap().id();
+        assert_eq!(s.view().node(h).unwrap().fill_value, 60.0);
+        let agg = s.aggregate("power_used", h).unwrap();
+        assert_eq!(agg.integral, 300.0);
+    }
+
+    #[test]
+    fn svg_renders_all_nodes() {
+        let mut s = session();
+        s.relax(100);
+        let svg = s.render_svg(800.0, 600.0);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        assert_eq!(svg.matches("class=\"node").count(), 5);
+    }
+}

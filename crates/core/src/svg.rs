@@ -1,0 +1,349 @@
+//! Deterministic SVG rendering of [`GraphView`]s.
+//!
+//! The renderer draws exactly the paper's vocabulary: squares, diamonds
+//! and circles with an optional proportional fill (a bottom-up filled
+//! portion for squares, an inner scaled shape for diamonds/circles),
+//! colored by container kind, connected by thin edges. Output is a
+//! plain string, byte-stable for identical views — golden tests rely on
+//! this.
+
+use std::fmt::Write as _;
+
+use viva_layout::Vec2;
+
+use crate::color::kind_color;
+use crate::mapping::Shape;
+use crate::view::{GraphView, ViewNode};
+
+/// Rendering options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SvgOptions {
+    /// Canvas width, pixels.
+    pub width: f64,
+    /// Canvas height, pixels.
+    pub height: f64,
+    /// Draw node labels.
+    pub labels: bool,
+    /// Padding around the drawing, pixels.
+    pub padding: f64,
+}
+
+impl Default for SvgOptions {
+    fn default() -> Self {
+        SvgOptions { width: 800.0, height: 600.0, labels: false, padding: 30.0 }
+    }
+}
+
+/// Maps layout coordinates to the SVG viewport (uniform scale,
+/// centered).
+struct Projection {
+    scale: f64,
+    offset: Vec2,
+}
+
+impl Projection {
+    fn fit(view: &GraphView, opts: &SvgOptions) -> Projection {
+        let (lo, hi) = view.bounds().unwrap_or((Vec2::default(), Vec2::default()));
+        let span = hi - lo;
+        let usable_w = (opts.width - 2.0 * opts.padding).max(1.0);
+        let usable_h = (opts.height - 2.0 * opts.padding).max(1.0);
+        let sx = if span.x > 0.0 { usable_w / span.x } else { f64::INFINITY };
+        let sy = if span.y > 0.0 { usable_h / span.y } else { f64::INFINITY };
+        let scale = sx.min(sy);
+        let scale = if scale.is_finite() { scale } else { 1.0 };
+        let center = (lo + hi) * 0.5;
+        let canvas_center = Vec2::new(opts.width / 2.0, opts.height / 2.0);
+        Projection { scale, offset: canvas_center - center * scale }
+    }
+
+    fn project(&self, p: Vec2) -> Vec2 {
+        p * self.scale + self.offset
+    }
+}
+
+fn write_shape(out: &mut String, shape: Shape, center: Vec2, size: f64, style: &str) {
+    let h = size / 2.0;
+    match shape {
+        Shape::Square => {
+            let _ = write!(
+                out,
+                r#"<rect x="{:.2}" y="{:.2}" width="{:.2}" height="{:.2}" {}/>"#,
+                center.x - h,
+                center.y - h,
+                size,
+                size,
+                style
+            );
+        }
+        Shape::Diamond => {
+            let _ = write!(
+                out,
+                r#"<polygon points="{:.2},{:.2} {:.2},{:.2} {:.2},{:.2} {:.2},{:.2}" {}/>"#,
+                center.x,
+                center.y - h,
+                center.x + h,
+                center.y,
+                center.x,
+                center.y + h,
+                center.x - h,
+                center.y,
+                style
+            );
+        }
+        Shape::Circle => {
+            let _ = write!(
+                out,
+                r#"<circle cx="{:.2}" cy="{:.2}" r="{:.2}" {}/>"#,
+                center.x, center.y, h, style
+            );
+        }
+    }
+}
+
+fn write_node(out: &mut String, node: &ViewNode, center: Vec2, opts: &SvgOptions) {
+    let color = kind_color(node.kind).hex();
+    let _ = write!(
+        out,
+        r#"<g class="node node-{}" data-container="{}" data-members="{}">"#,
+        node.shape.label(),
+        node.container.index(),
+        node.members
+    );
+    // Outline.
+    let outline = format!(r#"fill="none" stroke="{color}" stroke-width="1.5""#);
+    write_shape(out, node.shape, center, node.px_size, &outline);
+    // Proportional fill (§3.1): squares fill bottom-up; diamonds and
+    // circles get an inner shape of proportional area.
+    if node.fill_fraction > 0.0 {
+        match node.shape {
+            Shape::Square => {
+                let s = node.px_size;
+                let fh = s * node.fill_fraction;
+                let _ = write!(
+                    out,
+                    r#"<rect x="{:.2}" y="{:.2}" width="{:.2}" height="{:.2}" fill="{}" fill-opacity="0.75"/>"#,
+                    center.x - s / 2.0,
+                    center.y + s / 2.0 - fh,
+                    s,
+                    fh,
+                    color
+                );
+            }
+            Shape::Diamond | Shape::Circle => {
+                let inner = node.px_size * node.fill_fraction.sqrt();
+                let style = format!(r#"fill="{color}" fill-opacity="0.75""#);
+                write_shape(out, node.shape, center, inner, &style);
+            }
+        }
+    }
+    // Fig. 3 link badge of aggregated groups: a diamond at the
+    // north-east corner.
+    if let Some(badge) = &node.link_badge {
+        let at = center + Vec2::new(node.px_size / 2.0, -node.px_size / 2.0);
+        let color = kind_color(viva_trace::ContainerKind::Link).hex();
+        let outline = format!(r#"fill="none" stroke="{color}" stroke-width="1.2""#);
+        write_shape(out, Shape::Diamond, at, badge.px_size, &outline);
+        if badge.fill_fraction > 0.0 {
+            let style = format!(r#"fill="{color}" fill-opacity="0.75""#);
+            write_shape(
+                out,
+                Shape::Diamond,
+                at,
+                badge.px_size * badge.fill_fraction.sqrt(),
+                &style,
+            );
+        }
+    }
+    // §6 pie glyph: per-metric shares at the south-east corner.
+    if !node.segments.is_empty() {
+        let at = center + Vec2::new(node.px_size / 2.0, node.px_size / 2.0);
+        let r = (node.px_size / 3.0).max(3.0);
+        let mut angle = -std::f64::consts::FRAC_PI_2;
+        for (i, (name, share)) in node.segments.iter().enumerate() {
+            let sweep = share * std::f64::consts::TAU;
+            let (x0, y0) = (at.x + r * angle.cos(), at.y + r * angle.sin());
+            let end = angle + sweep;
+            let (x1, y1) = (at.x + r * end.cos(), at.y + r * end.sin());
+            let large = i32::from(sweep > std::f64::consts::PI);
+            let color = crate::color::account_color(i).hex();
+            if *share >= 1.0 - 1e-9 {
+                let _ = write!(
+                    out,
+                    r#"<circle cx="{:.2}" cy="{:.2}" r="{:.2}" fill="{}" class="pie" data-metric="{}"/>"#,
+                    at.x, at.y, r, color, xml_escape(name)
+                );
+            } else {
+                let _ = write!(
+                    out,
+                    r#"<path d="M {:.2} {:.2} L {:.2} {:.2} A {r:.2} {r:.2} 0 {large} 1 {:.2} {:.2} Z" fill="{}" class="pie" data-metric="{}"/>"#,
+                    at.x, at.y, x0, y0, x1, y1, color, xml_escape(name)
+                );
+            }
+            angle = end;
+        }
+    }
+    if opts.labels {
+        let _ = write!(
+            out,
+            r##"<text x="{:.2}" y="{:.2}" font-size="9" text-anchor="middle" fill="#333">{}</text>"##,
+            center.x,
+            center.y + node.px_size / 2.0 + 10.0,
+            xml_escape(&node.label)
+        );
+    }
+    out.push_str("</g>\n");
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+/// Renders a view to a standalone SVG document.
+pub fn render(view: &GraphView, opts: &SvgOptions) -> String {
+    let proj = Projection::fit(view, opts);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{}" height="{}" viewBox="0 0 {} {}">"#,
+        opts.width, opts.height, opts.width, opts.height
+    );
+    let _ = writeln!(
+        out,
+        r##"<rect width="100%" height="100%" fill="#ffffff"/>"##
+    );
+    // Edges below nodes.
+    for e in &view.edges {
+        let (Some(a), Some(b)) = (view.node(e.a), view.node(e.b)) else {
+            continue;
+        };
+        let pa = proj.project(a.position);
+        let pb = proj.project(b.position);
+        let _ = writeln!(
+            out,
+            r##"<line x1="{:.2}" y1="{:.2}" x2="{:.2}" y2="{:.2}" stroke="#bbbbbb" stroke-width="1"/>"##,
+            pa.x, pa.y, pb.x, pb.y
+        );
+    }
+    for node in &view.nodes {
+        write_node(&mut out, node, proj.project(node.position), opts);
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use viva_agg::{TimeSlice, ViewState};
+    use viva_trace::{ContainerKind, TraceBuilder};
+
+    fn view() -> GraphView {
+        let mut b = TraceBuilder::new();
+        let h = b.new_container(b.root(), "h", ContainerKind::Host).unwrap();
+        let l = b.new_container(b.root(), "l<&>", ContainerKind::Link).unwrap();
+        let power = b.metric("power", "MFlop/s");
+        let used = b.metric("power_used", "MFlop/s");
+        let bw = b.metric("bandwidth", "Mbit/s");
+        b.set_variable(0.0, h, power, 100.0).unwrap();
+        b.set_variable(0.0, h, used, 50.0).unwrap();
+        b.set_variable(0.0, l, bw, 1000.0).unwrap();
+        let t = b.finish(10.0);
+        crate::view::build_view(
+            &t,
+            &ViewState::new(),
+            TimeSlice::new(0.0, 10.0),
+            &crate::mapping::MappingConfig::default(),
+            &crate::scaling::ScalingConfig::default(),
+            &|c| viva_layout::Vec2::new(c.index() as f64 * 50.0, 10.0),
+            &[(h, l)],
+            &[],
+        )
+    }
+
+    #[test]
+    fn renders_document_with_shapes_and_edges() {
+        let svg = render(&view(), &SvgOptions::default());
+        assert!(svg.starts_with("<svg xmlns"));
+        assert!(svg.ends_with("</svg>\n"));
+        assert!(svg.contains("node-square"));
+        assert!(svg.contains("node-diamond"));
+        assert!(svg.contains("<line"));
+        // The half-utilized host gets a fill rect (outline + fill).
+        assert!(svg.matches("<rect").count() >= 3); // bg + outline + fill
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let v = view();
+        assert_eq!(
+            render(&v, &SvgOptions::default()),
+            render(&v, &SvgOptions::default())
+        );
+    }
+
+    #[test]
+    fn labels_are_escaped() {
+        let svg = render(&view(), &SvgOptions { labels: true, ..Default::default() });
+        assert!(svg.contains("l&lt;&amp;&gt;"));
+    }
+
+    #[test]
+    fn empty_view_renders() {
+        let v = GraphView {
+            nodes: Vec::new(),
+            edges: Vec::new(),
+            slice: TimeSlice::new(0.0, 1.0),
+        };
+        let svg = render(&v, &SvgOptions::default());
+        assert!(svg.starts_with("<svg"));
+    }
+
+    #[test]
+    fn single_node_is_centered() {
+        let mut v = view();
+        v.nodes.truncate(1);
+        v.edges.clear();
+        let svg = render(&v, &SvgOptions { width: 200.0, height: 100.0, ..Default::default() });
+        // Degenerate bounds: scale 1, node at canvas center.
+        assert!(svg.contains(r#"x="80.00""#), "{svg}");
+    }
+}
+
+#[cfg(test)]
+mod pie_tests {
+    use super::*;
+    use viva_agg::{TimeSlice, ViewState};
+    use viva_trace::{ContainerKind, TraceBuilder};
+
+    #[test]
+    fn pie_segments_render_as_paths() {
+        let mut b = TraceBuilder::new();
+        let h = b.new_container(b.root(), "h", ContainerKind::Host).unwrap();
+        let power = b.metric("power", "MFlop/s");
+        let a1 = b.metric("power_used:app1", "MFlop/s");
+        let a2 = b.metric("power_used:app2", "MFlop/s");
+        b.set_variable(0.0, h, power, 100.0).unwrap();
+        b.set_variable(0.0, h, a1, 60.0).unwrap();
+        b.set_variable(0.0, h, a2, 20.0).unwrap();
+        let t = b.finish(10.0);
+        let view = crate::view::build_view(
+            &t,
+            &ViewState::new(),
+            TimeSlice::new(0.0, 10.0),
+            &crate::mapping::MappingConfig::default(),
+            &crate::scaling::ScalingConfig::default(),
+            &|_| viva_layout::Vec2::default(),
+            &[],
+            &["power_used:app1".to_owned(), "power_used:app2".to_owned()],
+        );
+        let svg = render(&view, &SvgOptions::default());
+        assert_eq!(svg.matches("class=\"pie\"").count(), 2);
+        assert!(svg.contains("data-metric=\"power_used:app1\""));
+        // A single 100% segment renders as a full circle.
+        let mut only = view.clone();
+        only.nodes[0].segments = vec![("power_used:app1".to_owned(), 1.0)];
+        let svg = render(&only, &SvgOptions::default());
+        assert!(svg.contains("class=\"pie\""));
+        assert!(!svg.contains("<path"), "full share uses a circle, not an arc");
+    }
+}

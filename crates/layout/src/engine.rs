@@ -1,0 +1,625 @@
+//! The dynamic layout engine: node/edge bookkeeping, force
+//! integration, pinning, and smooth aggregation morphs.
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::forces::{spring_force, LayoutConfig};
+use crate::quadtree::{naive_repulsion, QuadTree};
+use crate::vec2::Vec2;
+
+/// Caller-chosen stable identifier of a layout node (the visualization
+/// layer uses trace container ids).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeKey(pub u64);
+
+#[derive(Debug, Clone)]
+struct Node {
+    key: NodeKey,
+    pos: Vec2,
+    vel: Vec2,
+    charge: f64,
+    pinned: bool,
+}
+
+/// A dynamic force-directed layout.
+///
+/// Node positions evolve one [`step`](LayoutEngine::step) at a time;
+/// topology changes (add/remove/merge/split) take effect immediately
+/// and the ongoing iteration smoothly absorbs them — the property the
+/// paper relies on for non-confusing aggregation (§3.3).
+#[derive(Debug, Clone)]
+pub struct LayoutEngine {
+    config: LayoutConfig,
+    nodes: Vec<Node>,
+    index: HashMap<NodeKey, usize>,
+    // BTreeSet: deterministic iteration order makes force summation
+    // order (and hence floating-point results) reproducible.
+    edges: BTreeSet<(NodeKey, NodeKey)>,
+    rng: SmallRng,
+    steps: u64,
+}
+
+impl LayoutEngine {
+    /// Creates an empty layout. `seed` drives initial node placement
+    /// (two engines with equal seeds and operation sequences produce
+    /// identical layouts).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `config` is invalid (see
+    /// [`LayoutConfig::validated`]).
+    pub fn new(config: LayoutConfig, seed: u64) -> LayoutEngine {
+        LayoutEngine {
+            config: config.validated(),
+            nodes: Vec::new(),
+            index: HashMap::new(),
+            edges: BTreeSet::new(),
+            rng: SmallRng::seed_from_u64(seed),
+            steps: 0,
+        }
+    }
+
+    /// Current parameters.
+    pub fn config(&self) -> &LayoutConfig {
+        &self.config
+    }
+
+    /// Mutable parameters — the §4.2 sliders. Values are validated on
+    /// the next [`step`](LayoutEngine::step).
+    pub fn config_mut(&mut self) -> &mut LayoutConfig {
+        &mut self.config
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the layout has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Steps executed so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Adds a node with `charge` at a seeded random position near the
+    /// current layout. No-op (returning `false`) when the key exists.
+    pub fn add_node(&mut self, key: NodeKey, charge: f64) -> bool {
+        let spread = self.config.spring_length * (self.nodes.len() as f64).sqrt().max(1.0);
+        let pos = Vec2::new(
+            self.rng.gen_range(-spread..=spread),
+            self.rng.gen_range(-spread..=spread),
+        );
+        self.add_node_at(key, charge, pos)
+    }
+
+    /// Adds a node at an explicit position. Returns `false` when the
+    /// key already exists.
+    pub fn add_node_at(&mut self, key: NodeKey, charge: f64, pos: Vec2) -> bool {
+        if self.index.contains_key(&key) {
+            return false;
+        }
+        self.index.insert(key, self.nodes.len());
+        self.nodes.push(Node { key, pos, vel: Vec2::default(), charge, pinned: false });
+        true
+    }
+
+    /// Removes a node and its incident edges. Returns `false` for an
+    /// unknown key.
+    pub fn remove_node(&mut self, key: NodeKey) -> bool {
+        let Some(i) = self.index.remove(&key) else {
+            return false;
+        };
+        self.nodes.swap_remove(i);
+        if i < self.nodes.len() {
+            self.index.insert(self.nodes[i].key, i);
+        }
+        self.edges.retain(|&(a, b)| a != key && b != key);
+        true
+    }
+
+    fn edge_key(a: NodeKey, b: NodeKey) -> (NodeKey, NodeKey) {
+        if a <= b {
+            (a, b)
+        } else {
+            (b, a)
+        }
+    }
+
+    /// Adds an undirected edge (spring). Self-edges and duplicates are
+    /// ignored. Returns `true` when a new edge was inserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either endpoint is unknown.
+    pub fn add_edge(&mut self, a: NodeKey, b: NodeKey) -> bool {
+        assert!(self.index.contains_key(&a), "unknown node {a:?}");
+        assert!(self.index.contains_key(&b), "unknown node {b:?}");
+        if a == b {
+            return false;
+        }
+        self.edges.insert(Self::edge_key(a, b))
+    }
+
+    /// Removes an edge; returns whether it existed.
+    pub fn remove_edge(&mut self, a: NodeKey, b: NodeKey) -> bool {
+        self.edges.remove(&Self::edge_key(a, b))
+    }
+
+    /// Whether an edge exists.
+    pub fn has_edge(&self, a: NodeKey, b: NodeKey) -> bool {
+        self.edges.contains(&Self::edge_key(a, b))
+    }
+
+    /// Iterates over edges in unspecified order.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeKey, NodeKey)> + '_ {
+        self.edges.iter().copied()
+    }
+
+    /// Position of a node.
+    pub fn position(&self, key: NodeKey) -> Option<Vec2> {
+        self.index.get(&key).map(|&i| self.nodes[i].pos)
+    }
+
+    /// Charge of a node.
+    pub fn charge(&self, key: NodeKey) -> Option<f64> {
+        self.index.get(&key).map(|&i| self.nodes[i].charge)
+    }
+
+    /// Updates a node's charge (e.g. when its aggregate grows).
+    /// Returns `false` for an unknown key.
+    pub fn set_charge(&mut self, key: NodeKey, charge: f64) -> bool {
+        match self.index.get(&key) {
+            Some(&i) => {
+                self.nodes[i].charge = charge;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Pins a node: forces no longer move it (the analyst is holding
+    /// it, or wants it anchored — "machines being on the north of the
+    /// country would be put on the top of the screen", §4.2).
+    pub fn pin(&mut self, key: NodeKey) -> bool {
+        match self.index.get(&key) {
+            Some(&i) => {
+                self.nodes[i].pinned = true;
+                self.nodes[i].vel = Vec2::default();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Unpins a node.
+    pub fn unpin(&mut self, key: NodeKey) -> bool {
+        match self.index.get(&key) {
+            Some(&i) => {
+                self.nodes[i].pinned = false;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Whether a node is pinned.
+    pub fn is_pinned(&self, key: NodeKey) -> bool {
+        self.index.get(&key).is_some_and(|&i| self.nodes[i].pinned)
+    }
+
+    /// Moves a node to `pos` (mouse drag). The neighbours will follow
+    /// through their springs on subsequent steps. Returns `false` for
+    /// an unknown key.
+    pub fn move_node(&mut self, key: NodeKey, pos: Vec2) -> bool {
+        match self.index.get(&key) {
+            Some(&i) => {
+                self.nodes[i].pos = pos;
+                self.nodes[i].vel = Vec2::default();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Iterates over `(key, position)` pairs in insertion-ish order.
+    pub fn positions(&self) -> impl Iterator<Item = (NodeKey, Vec2)> + '_ {
+        self.nodes.iter().map(|n| (n.key, n.pos))
+    }
+
+    /// Axis-aligned bounding box of all nodes, `None` when empty.
+    pub fn bounds(&self) -> Option<(Vec2, Vec2)> {
+        let first = self.nodes.first()?.pos;
+        let mut lo = first;
+        let mut hi = first;
+        for n in &self.nodes {
+            lo = lo.min(n.pos);
+            hi = hi.max(n.pos);
+        }
+        Some((lo, hi))
+    }
+
+    /// Mean kinetic energy per node — the convergence measure.
+    pub fn kinetic_energy(&self) -> f64 {
+        if self.nodes.is_empty() {
+            return 0.0;
+        }
+        self.nodes.iter().map(|n| n.vel.length_sq()).sum::<f64>() / self.nodes.len() as f64
+    }
+
+    fn apply_forces(&mut self, forces: &[Vec2]) -> f64 {
+        let cfg = self.config;
+        let mut max_disp: f64 = 0.0;
+        for (n, &f) in self.nodes.iter_mut().zip(forces) {
+            if n.pinned {
+                n.vel = Vec2::default();
+                continue;
+            }
+            n.vel = (n.vel + f * cfg.dt) * cfg.damping;
+            let mut disp = n.vel * cfg.dt;
+            let d = disp.length();
+            if d > cfg.max_displacement {
+                disp = disp * (cfg.max_displacement / d);
+            }
+            n.pos += disp;
+            max_disp = max_disp.max(disp.length());
+        }
+        self.steps += 1;
+        max_disp
+    }
+
+    fn spring_forces(&self, forces: &mut [Vec2]) {
+        let cfg = &self.config;
+        for &(a, b) in &self.edges {
+            let (ia, ib) = (self.index[&a], self.index[&b]);
+            let f = spring_force(
+                self.nodes[ia].pos,
+                self.nodes[ib].pos,
+                cfg.spring,
+                cfg.spring_length,
+            );
+            forces[ia] += f;
+            forces[ib] -= f;
+        }
+    }
+
+    /// One Barnes-Hut iteration (`O(n log n)`). Returns the largest
+    /// node displacement, usable as a convergence measure.
+    pub fn step(&mut self) -> f64 {
+        let cfg = self.config.validated();
+        let points: Vec<(Vec2, f64)> = self.nodes.iter().map(|n| (n.pos, n.charge)).collect();
+        let tree = QuadTree::build(&points);
+        let mut forces = vec![Vec2::default(); self.nodes.len()];
+        for (i, n) in self.nodes.iter().enumerate() {
+            forces[i] = tree
+                .repulsion(n.pos, n.charge, i, cfg.theta, cfg.min_distance)
+                * cfg.repulsion;
+        }
+        self.spring_forces(&mut forces);
+        self.apply_forces(&forces)
+    }
+
+    /// One exact iteration (`O(n²)`); the scalability baseline.
+    pub fn step_naive(&mut self) -> f64 {
+        let cfg = self.config.validated();
+        let points: Vec<(Vec2, f64)> = self.nodes.iter().map(|n| (n.pos, n.charge)).collect();
+        let mut forces = vec![Vec2::default(); self.nodes.len()];
+        for (i, n) in self.nodes.iter().enumerate() {
+            forces[i] =
+                naive_repulsion(&points, n.pos, n.charge, i, cfg.min_distance) * cfg.repulsion;
+        }
+        self.spring_forces(&mut forces);
+        self.apply_forces(&forces)
+    }
+
+    /// Iterates until the largest displacement falls below `tol` or
+    /// `max_steps` is reached. Returns the number of steps taken.
+    pub fn run(&mut self, max_steps: usize, tol: f64) -> usize {
+        for i in 0..max_steps {
+            if self.step() < tol {
+                return i + 1;
+            }
+        }
+        max_steps
+    }
+
+    /// Collapses `members` into a single aggregated node `key`, placed
+    /// at the members' charge-weighted barycenter, with charge equal to
+    /// the **sum** of member charges (paper §4.2). Edges incident to a
+    /// member are re-attached to the aggregate (edges between two
+    /// members vanish). Unknown members are ignored.
+    ///
+    /// The barycenter placement is what makes collapsing visually
+    /// smooth: the new node appears exactly where the group's visual
+    /// mass was.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `key` already exists and is not itself a member.
+    pub fn merge_nodes(&mut self, key: NodeKey, members: &[NodeKey]) {
+        assert!(
+            !self.index.contains_key(&key) || members.contains(&key),
+            "aggregate key {key:?} already present"
+        );
+        let mut total_charge = 0.0;
+        let mut weighted = Vec2::default();
+        let mut count = 0usize;
+        let mut neighbours: Vec<NodeKey> = Vec::new();
+        let member_set: HashSet<NodeKey> = members.iter().copied().collect();
+        for &m in members {
+            let Some(&i) = self.index.get(&m) else { continue };
+            let n = &self.nodes[i];
+            total_charge += n.charge;
+            weighted += n.pos * n.charge.max(1e-12);
+            count += 1;
+            for &(a, b) in &self.edges {
+                if a == m && !member_set.contains(&b) {
+                    neighbours.push(b);
+                }
+                if b == m && !member_set.contains(&a) {
+                    neighbours.push(a);
+                }
+            }
+        }
+        if count == 0 {
+            return;
+        }
+        let denom: f64 = members
+            .iter()
+            .filter_map(|m| self.index.get(m))
+            .map(|&i| self.nodes[i].charge.max(1e-12))
+            .sum();
+        let barycenter = weighted / denom;
+        for &m in members {
+            self.remove_node(m);
+        }
+        self.add_node_at(key, total_charge, barycenter);
+        neighbours.sort();
+        neighbours.dedup();
+        for nb in neighbours {
+            if self.index.contains_key(&nb) {
+                self.add_edge(key, nb);
+            }
+        }
+    }
+
+    /// Expands an aggregated node into `children` (key + charge each),
+    /// placed on a small deterministic ring around the parent position
+    /// so the force simulation can separate them smoothly. Edges of the
+    /// parent are dropped (the caller rewires edges from its model).
+    /// Returns `false` when `key` is unknown.
+    pub fn split_node(&mut self, key: NodeKey, children: &[(NodeKey, f64)]) -> bool {
+        let Some(pos) = self.position(key) else {
+            return false;
+        };
+        self.remove_node(key);
+        let r = self.config.spring_length * 0.25;
+        let n = children.len().max(1) as f64;
+        for (i, &(child, charge)) in children.iter().enumerate() {
+            let angle = std::f64::consts::TAU * i as f64 / n;
+            let offset = Vec2::new(angle.cos(), angle.sin()) * r;
+            self.add_node_at(child, charge, pos + offset);
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> LayoutEngine {
+        LayoutEngine::new(LayoutConfig::default(), 42)
+    }
+
+    #[test]
+    fn add_remove_nodes_and_edges() {
+        let mut e = engine();
+        assert!(e.add_node(NodeKey(1), 1.0));
+        assert!(!e.add_node(NodeKey(1), 2.0), "duplicate rejected");
+        assert!(e.add_node(NodeKey(2), 1.0));
+        assert!(e.add_edge(NodeKey(1), NodeKey(2)));
+        assert!(!e.add_edge(NodeKey(2), NodeKey(1)), "undirected dedup");
+        assert!(!e.add_edge(NodeKey(1), NodeKey(1)), "self edge ignored");
+        assert_eq!(e.len(), 2);
+        assert_eq!(e.edge_count(), 1);
+        assert!(e.remove_node(NodeKey(1)));
+        assert_eq!(e.edge_count(), 0, "incident edges removed");
+        assert!(!e.remove_node(NodeKey(1)));
+    }
+
+    #[test]
+    fn two_connected_nodes_settle_near_spring_length() {
+        let mut e = engine();
+        e.add_node_at(NodeKey(1), 1.0, Vec2::new(0.0, 0.0));
+        e.add_node_at(NodeKey(2), 1.0, Vec2::new(1.0, 0.0));
+        e.add_edge(NodeKey(1), NodeKey(2));
+        e.run(2000, 1e-7);
+        let d = e
+            .position(NodeKey(1))
+            .unwrap()
+            .distance(e.position(NodeKey(2)).unwrap());
+        // Equilibrium: spring pull == charge push, slightly beyond L.
+        assert!(d > e.config().spring_length * 0.9, "d = {d}");
+        assert!(d < e.config().spring_length * 3.0, "d = {d}");
+    }
+
+    #[test]
+    fn disconnected_nodes_repel() {
+        let mut e = engine();
+        e.add_node_at(NodeKey(1), 1.0, Vec2::new(0.0, 0.0));
+        e.add_node_at(NodeKey(2), 1.0, Vec2::new(0.5, 0.0));
+        for _ in 0..200 {
+            e.step();
+        }
+        let d = e
+            .position(NodeKey(1))
+            .unwrap()
+            .distance(e.position(NodeKey(2)).unwrap());
+        assert!(d > 5.0, "nodes should fly apart, d = {d}");
+    }
+
+    #[test]
+    fn pinned_node_does_not_move() {
+        let mut e = engine();
+        e.add_node_at(NodeKey(1), 1.0, Vec2::new(0.0, 0.0));
+        e.add_node_at(NodeKey(2), 1.0, Vec2::new(1.0, 0.0));
+        e.pin(NodeKey(1));
+        assert!(e.is_pinned(NodeKey(1)));
+        for _ in 0..100 {
+            e.step();
+        }
+        assert_eq!(e.position(NodeKey(1)).unwrap(), Vec2::new(0.0, 0.0));
+        e.unpin(NodeKey(1));
+        e.step();
+        assert_ne!(e.position(NodeKey(1)).unwrap(), Vec2::new(0.0, 0.0));
+    }
+
+    #[test]
+    fn move_node_drags_neighbours() {
+        let mut e = engine();
+        e.add_node_at(NodeKey(1), 1.0, Vec2::new(0.0, 0.0));
+        e.add_node_at(NodeKey(2), 1.0, Vec2::new(10.0, 0.0));
+        e.add_edge(NodeKey(1), NodeKey(2));
+        e.run(500, 1e-6);
+        // Drag node 1 far away; its neighbour must follow.
+        e.move_node(NodeKey(1), Vec2::new(200.0, 200.0));
+        e.pin(NodeKey(1));
+        e.run(3000, 1e-6);
+        let p2 = e.position(NodeKey(2)).unwrap();
+        assert!(
+            p2.distance(Vec2::new(200.0, 200.0)) < 40.0,
+            "neighbour at {p2} did not follow"
+        );
+    }
+
+    #[test]
+    fn determinism_same_seed_same_layout() {
+        let build = || {
+            let mut e = engine();
+            for i in 0..20 {
+                e.add_node(NodeKey(i), 1.0 + i as f64 * 0.1);
+            }
+            for i in 0..19 {
+                e.add_edge(NodeKey(i), NodeKey(i + 1));
+            }
+            e.run(200, 1e-9);
+            e.positions().collect::<Vec<_>>()
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn naive_and_bh_agree_on_small_graphs() {
+        let mut a = engine();
+        let mut b = engine();
+        a.config_mut().theta = 0.0; // exact BH
+        for e in [&mut a, &mut b] {
+            e.add_node_at(NodeKey(1), 1.0, Vec2::new(0.0, 0.0));
+            e.add_node_at(NodeKey(2), 2.0, Vec2::new(7.0, 1.0));
+            e.add_node_at(NodeKey(3), 1.5, Vec2::new(-3.0, 4.0));
+            e.add_edge(NodeKey(1), NodeKey(2));
+        }
+        for _ in 0..50 {
+            a.step();
+            b.step_naive();
+        }
+        for k in [NodeKey(1), NodeKey(2), NodeKey(3)] {
+            let pa = a.position(k).unwrap();
+            let pb = b.position(k).unwrap();
+            assert!((pa - pb).length() < 1e-6, "{k:?}: {pa} vs {pb}");
+        }
+    }
+
+    #[test]
+    fn merge_places_aggregate_at_barycenter_with_summed_charge() {
+        let mut e = engine();
+        e.add_node_at(NodeKey(1), 2.0, Vec2::new(0.0, 0.0));
+        e.add_node_at(NodeKey(2), 2.0, Vec2::new(10.0, 0.0));
+        e.add_node_at(NodeKey(3), 1.0, Vec2::new(100.0, 100.0));
+        e.add_edge(NodeKey(1), NodeKey(3));
+        e.add_edge(NodeKey(1), NodeKey(2)); // internal edge: vanishes
+        e.merge_nodes(NodeKey(99), &[NodeKey(1), NodeKey(2)]);
+        assert_eq!(e.len(), 2);
+        assert_eq!(e.charge(NodeKey(99)), Some(4.0), "charge is the sum (§4.2)");
+        assert_eq!(e.position(NodeKey(99)), Some(Vec2::new(5.0, 0.0)));
+        assert!(e.has_edge(NodeKey(99), NodeKey(3)), "external edge re-attached");
+        assert_eq!(e.edge_count(), 1);
+    }
+
+    #[test]
+    fn split_spawns_children_around_parent() {
+        let mut e = engine();
+        e.add_node_at(NodeKey(99), 4.0, Vec2::new(5.0, 5.0));
+        assert!(e.split_node(NodeKey(99), &[(NodeKey(1), 2.0), (NodeKey(2), 2.0)]));
+        assert_eq!(e.len(), 2);
+        assert!(e.position(NodeKey(99)).is_none());
+        for k in [NodeKey(1), NodeKey(2)] {
+            let p = e.position(k).unwrap();
+            assert!(p.distance(Vec2::new(5.0, 5.0)) < e.config().spring_length);
+        }
+        assert!(!e.split_node(NodeKey(98), &[]), "unknown parent");
+    }
+
+    #[test]
+    fn merge_then_split_roundtrip_is_smooth() {
+        let mut e = engine();
+        for i in 0..6 {
+            e.add_node(NodeKey(i), 1.0);
+        }
+        for i in 0..5 {
+            e.add_edge(NodeKey(i), NodeKey(i + 1));
+        }
+        e.run(300, 1e-6);
+        let before = e.position(NodeKey(2)).unwrap();
+        e.merge_nodes(NodeKey(100), &[NodeKey(2), NodeKey(3)]);
+        let agg = e.position(NodeKey(100)).unwrap();
+        // Aggregate appears between its members, near where they were.
+        assert!(agg.distance(before) < e.config().spring_length * 4.0);
+        e.split_node(NodeKey(100), &[(NodeKey(2), 1.0), (NodeKey(3), 1.0)]);
+        let after = e.position(NodeKey(2)).unwrap();
+        assert!(after.distance(agg) < e.config().spring_length);
+    }
+
+    #[test]
+    fn kinetic_energy_decreases_towards_convergence() {
+        let mut e = engine();
+        for i in 0..12 {
+            e.add_node(NodeKey(i), 1.0);
+        }
+        for i in 0..11 {
+            e.add_edge(NodeKey(i), NodeKey(i + 1));
+        }
+        for _ in 0..30 {
+            e.step();
+        }
+        let early = e.kinetic_energy();
+        for _ in 0..1000 {
+            e.step();
+        }
+        let late = e.kinetic_energy();
+        assert!(late < early, "energy should decay: {early} → {late}");
+    }
+
+    #[test]
+    fn bounds_cover_all_nodes() {
+        let mut e = engine();
+        assert!(e.bounds().is_none());
+        e.add_node_at(NodeKey(1), 1.0, Vec2::new(-5.0, 2.0));
+        e.add_node_at(NodeKey(2), 1.0, Vec2::new(7.0, -3.0));
+        let (lo, hi) = e.bounds().unwrap();
+        assert_eq!(lo, Vec2::new(-5.0, -3.0));
+        assert_eq!(hi, Vec2::new(7.0, 2.0));
+    }
+}

@@ -1,0 +1,241 @@
+//! Layout quality measures (paper §2.3: "several quality measures are
+//! taken into account when drawing a graph: area used, symmetry,
+//! angular resolution ..., and crossing number").
+//!
+//! These are used by tests and the ablation benches to check that the
+//! Barnes-Hut approximation and the dynamic morphs do not degrade the
+//! drawing.
+
+use crate::engine::LayoutEngine;
+use crate::vec2::Vec2;
+
+/// Orientation of the ordered triple (a, b, c).
+fn orient(a: Vec2, b: Vec2, c: Vec2) -> f64 {
+    (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x)
+}
+
+/// Whether segments `a1–a2` and `b1–b2` properly cross (shared
+/// endpoints do not count — adjacent edges always touch).
+pub fn segments_cross(a1: Vec2, a2: Vec2, b1: Vec2, b2: Vec2) -> bool {
+    // Shared endpoint: not a crossing.
+    for p in [a1, a2] {
+        for q in [b1, b2] {
+            if p == q {
+                return false;
+            }
+        }
+    }
+    let d1 = orient(b1, b2, a1);
+    let d2 = orient(b1, b2, a2);
+    let d3 = orient(a1, a2, b1);
+    let d4 = orient(a1, a2, b2);
+    (d1 * d2 < 0.0) && (d3 * d4 < 0.0)
+}
+
+/// Number of properly crossing edge pairs in the layout — the
+/// *crossing number* of the drawing (`O(E²)`; fine for view-sized
+/// graphs).
+pub fn crossing_count(engine: &LayoutEngine) -> usize {
+    let edges: Vec<(Vec2, Vec2)> = engine
+        .edges()
+        .filter_map(|(a, b)| Some((engine.position(a)?, engine.position(b)?)))
+        .collect();
+    let mut count = 0;
+    for i in 0..edges.len() {
+        for j in (i + 1)..edges.len() {
+            if segments_cross(edges[i].0, edges[i].1, edges[j].0, edges[j].1) {
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+/// Mean Euclidean edge length (0 for an edge-less layout).
+pub fn mean_edge_length(engine: &LayoutEngine) -> f64 {
+    let mut total = 0.0;
+    let mut n = 0usize;
+    for (a, b) in engine.edges() {
+        if let (Some(pa), Some(pb)) = (engine.position(a), engine.position(b)) {
+            total += pa.distance(pb);
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        total / n as f64
+    }
+}
+
+/// Area of the layout's bounding box (0 when degenerate).
+pub fn bounding_area(engine: &LayoutEngine) -> f64 {
+    engine
+        .bounds()
+        .map(|(lo, hi)| {
+            let d = hi - lo;
+            d.x * d.y
+        })
+        .unwrap_or(0.0)
+}
+
+/// Normalized *stress* of the drawing against graph-theoretic
+/// distances: `Σ (|pᵢ-pⱼ| - L·dᵢⱼ)² / dᵢⱼ²` over connected pairs,
+/// averaged, where `dᵢⱼ` is the BFS hop distance and `L` the natural
+/// spring length. Lower is better; a perfect drawing of a path graph
+/// scores near 0.
+pub fn stress(engine: &LayoutEngine) -> f64 {
+    let keys: Vec<_> = engine.positions().map(|(k, _)| k).collect();
+    let index: std::collections::HashMap<_, _> =
+        keys.iter().enumerate().map(|(i, &k)| (k, i)).collect();
+    let n = keys.len();
+    if n < 2 {
+        return 0.0;
+    }
+    // Adjacency.
+    let mut adj = vec![Vec::new(); n];
+    for (a, b) in engine.edges() {
+        let (ia, ib) = (index[&a], index[&b]);
+        adj[ia].push(ib);
+        adj[ib].push(ia);
+    }
+    let l = engine.config().spring_length;
+    let mut total = 0.0;
+    let mut pairs = 0usize;
+    for start in 0..n {
+        // BFS from `start`.
+        let mut dist = vec![usize::MAX; n];
+        dist[start] = 0;
+        let mut queue = std::collections::VecDeque::from([start]);
+        while let Some(u) = queue.pop_front() {
+            for &v in &adj[u] {
+                if dist[v] == usize::MAX {
+                    dist[v] = dist[u] + 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        for other in (start + 1)..n {
+            if dist[other] == usize::MAX {
+                continue;
+            }
+            let ideal = l * dist[other] as f64;
+            let actual = engine
+                .position(keys[start])
+                .unwrap()
+                .distance(engine.position(keys[other]).unwrap());
+            let d = dist[other] as f64;
+            total += (actual - ideal) * (actual - ideal) / (d * d * l * l);
+            pairs += 1;
+        }
+    }
+    if pairs == 0 {
+        0.0
+    } else {
+        total / pairs as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::NodeKey;
+    use crate::forces::LayoutConfig;
+
+    #[test]
+    fn crossing_detection() {
+        // An X.
+        assert!(segments_cross(
+            Vec2::new(0.0, 0.0),
+            Vec2::new(2.0, 2.0),
+            Vec2::new(0.0, 2.0),
+            Vec2::new(2.0, 0.0)
+        ));
+        // Parallel.
+        assert!(!segments_cross(
+            Vec2::new(0.0, 0.0),
+            Vec2::new(2.0, 0.0),
+            Vec2::new(0.0, 1.0),
+            Vec2::new(2.0, 1.0)
+        ));
+        // Shared endpoint.
+        assert!(!segments_cross(
+            Vec2::new(0.0, 0.0),
+            Vec2::new(2.0, 2.0),
+            Vec2::new(0.0, 0.0),
+            Vec2::new(2.0, 0.0)
+        ));
+    }
+
+    fn fixed_engine(positions: &[(u64, f64, f64)], edges: &[(u64, u64)]) -> LayoutEngine {
+        let mut e = LayoutEngine::new(LayoutConfig::default(), 1);
+        for &(k, x, y) in positions {
+            e.add_node_at(NodeKey(k), 1.0, Vec2::new(x, y));
+        }
+        for &(a, b) in edges {
+            e.add_edge(NodeKey(a), NodeKey(b));
+        }
+        e
+    }
+
+    #[test]
+    fn crossing_count_on_known_drawings() {
+        // A square cycle drawn properly: 0 crossings.
+        let square = fixed_engine(
+            &[(0, 0.0, 0.0), (1, 1.0, 0.0), (2, 1.0, 1.0), (3, 0.0, 1.0)],
+            &[(0, 1), (1, 2), (2, 3), (3, 0)],
+        );
+        assert_eq!(crossing_count(&square), 0);
+        // The same cycle drawn with a twist: the two diagonals cross.
+        let twisted = fixed_engine(
+            &[(0, 0.0, 0.0), (1, 1.0, 0.0), (2, 0.0, 1.0), (3, 1.0, 1.0)],
+            &[(0, 1), (1, 2), (2, 3), (3, 0)],
+        );
+        assert_eq!(crossing_count(&twisted), 1);
+    }
+
+    #[test]
+    fn mean_edge_length_and_area() {
+        let e = fixed_engine(
+            &[(0, 0.0, 0.0), (1, 3.0, 4.0), (2, 6.0, 8.0)],
+            &[(0, 1), (1, 2)],
+        );
+        assert_eq!(mean_edge_length(&e), 5.0);
+        assert_eq!(bounding_area(&e), 48.0);
+        let empty = fixed_engine(&[], &[]);
+        assert_eq!(mean_edge_length(&empty), 0.0);
+        assert_eq!(bounding_area(&empty), 0.0);
+    }
+
+    #[test]
+    fn stress_of_ideal_path_is_low() {
+        let l = LayoutConfig::default().spring_length;
+        let ideal = fixed_engine(
+            &[(0, 0.0, 0.0), (1, l, 0.0), (2, 2.0 * l, 0.0)],
+            &[(0, 1), (1, 2)],
+        );
+        assert!(stress(&ideal) < 1e-12);
+        // Folding the path doubles nodes over: stress rises.
+        let folded = fixed_engine(
+            &[(0, 0.0, 0.0), (1, l, 0.0), (2, 0.0, 0.1)],
+            &[(0, 1), (1, 2)],
+        );
+        assert!(stress(&folded) > 0.1);
+    }
+
+    #[test]
+    fn relaxed_layout_beats_random_layout_on_stress() {
+        let mut random = LayoutEngine::new(LayoutConfig::default(), 3);
+        for i in 0..16 {
+            random.add_node(NodeKey(i), 1.0);
+        }
+        for i in 0..15 {
+            random.add_edge(NodeKey(i), NodeKey(i + 1));
+        }
+        let before = stress(&random);
+        let mut relaxed = random.clone();
+        relaxed.run(2000, 1e-6);
+        let after = stress(&relaxed);
+        assert!(after < before, "relaxation should reduce stress: {before} -> {after}");
+    }
+}

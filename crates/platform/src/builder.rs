@@ -1,0 +1,396 @@
+//! Incremental construction and validation of [`Platform`]s.
+
+use std::collections::HashSet;
+
+use crate::error::PlatformError;
+use crate::graph::Platform;
+use crate::resource::{
+    Cluster, ClusterId, Host, HostId, Link, LinkId, LinkScope, NodeId, Router, RouterId, Site,
+    SiteId,
+};
+
+/// Builder for [`Platform`].
+///
+/// Resources are created first ([`site`](PlatformBuilder::site),
+/// [`cluster`](PlatformBuilder::cluster), [`host`](PlatformBuilder::host),
+/// [`router`](PlatformBuilder::router), [`link`](PlatformBuilder::link)),
+/// then wired with [`connect`](PlatformBuilder::connect), and finally
+/// validated by [`build`](PlatformBuilder::build).
+#[derive(Debug)]
+pub struct PlatformBuilder {
+    name: String,
+    sites: Vec<Site>,
+    clusters: Vec<Cluster>,
+    hosts: Vec<Host>,
+    routers: Vec<Router>,
+    links: Vec<Link>,
+    endpoints: Vec<Option<(NodeId, NodeId)>>,
+}
+
+impl PlatformBuilder {
+    /// Creates an empty builder for a platform called `name`.
+    pub fn new(name: impl Into<String>) -> PlatformBuilder {
+        PlatformBuilder {
+            name: name.into(),
+            sites: Vec::new(),
+            clusters: Vec::new(),
+            hosts: Vec::new(),
+            routers: Vec::new(),
+            links: Vec::new(),
+            endpoints: Vec::new(),
+        }
+    }
+
+    /// Declares a site.
+    pub fn site(&mut self, name: impl Into<String>) -> SiteId {
+        let id = SiteId::from_index(self.sites.len());
+        self.sites.push(Site { id, name: name.into(), clusters: Vec::new() });
+        id
+    }
+
+    /// Declares a cluster inside `site`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `site` was not created by this builder.
+    pub fn cluster(&mut self, site: SiteId, name: impl Into<String>) -> ClusterId {
+        let id = ClusterId::from_index(self.clusters.len());
+        self.clusters.push(Cluster {
+            id,
+            name: name.into(),
+            site,
+            hosts: Vec::new(),
+        });
+        self.sites[site.index()].clusters.push(id);
+        id
+    }
+
+    /// Declares a host of `power` MFlop/s inside `cluster`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cluster` was not created by this builder.
+    pub fn host(&mut self, cluster: ClusterId, name: impl Into<String>, power: f64) -> HostId {
+        let id = HostId::from_index(self.hosts.len());
+        self.hosts.push(Host { id, name: name.into(), power, cluster });
+        self.clusters[cluster.index()].hosts.push(id);
+        id
+    }
+
+    /// Declares a router.
+    pub fn router(&mut self, name: impl Into<String>) -> RouterId {
+        let id = RouterId::from_index(self.routers.len());
+        self.routers.push(Router { id, name: name.into() });
+        id
+    }
+
+    /// Declares a link of `bandwidth` Mbit/s and `latency` seconds.
+    /// The link still needs to be wired with
+    /// [`connect`](PlatformBuilder::connect).
+    pub fn link(
+        &mut self,
+        name: impl Into<String>,
+        bandwidth: f64,
+        latency: f64,
+        scope: LinkScope,
+    ) -> LinkId {
+        let id = LinkId::from_index(self.links.len());
+        self.links.push(Link { id, name: name.into(), bandwidth, latency, scope });
+        self.endpoints.push(None);
+        id
+    }
+
+    /// Wires `link` between `a` and `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `link` was not created by this builder or was
+    /// already connected.
+    pub fn connect(&mut self, a: NodeId, b: NodeId, link: LinkId) {
+        let slot = &mut self.endpoints[link.index()];
+        assert!(slot.is_none(), "link {link} connected twice");
+        *slot = Some((a, b));
+    }
+
+    /// Convenience: declares a host, its uplink and the wiring to a
+    /// switch in one call. Returns the new host id.
+    pub fn host_with_uplink(
+        &mut self,
+        cluster: ClusterId,
+        name: &str,
+        power: f64,
+        switch: RouterId,
+        bandwidth: f64,
+        latency: f64,
+    ) -> HostId {
+        let h = self.host(cluster, name, power);
+        let l = self.link(
+            format!("{name}-up"),
+            bandwidth,
+            latency,
+            LinkScope::Cluster(cluster),
+        );
+        self.connect(h.into(), switch.into(), l);
+        h
+    }
+
+    /// Convenience: declares a star cluster — `n` homogeneous hosts
+    /// named `{name}-1..n` behind a fresh switch `{name}-sw`. Returns
+    /// the cluster id and its switch.
+    #[allow(clippy::too_many_arguments)]
+    pub fn star_cluster(
+        &mut self,
+        site: SiteId,
+        name: &str,
+        n: usize,
+        host_power: f64,
+        link_bandwidth: f64,
+        link_latency: f64,
+    ) -> (ClusterId, RouterId) {
+        let cl = self.cluster(site, name);
+        let sw = self.router(format!("{name}-sw"));
+        for i in 1..=n {
+            self.host_with_uplink(
+                cl,
+                &format!("{name}-{i}"),
+                host_power,
+                sw,
+                link_bandwidth,
+                link_latency,
+            );
+        }
+        (cl, sw)
+    }
+
+    fn check_names(&self) -> Result<(), PlatformError> {
+        fn dup<'a>(names: impl Iterator<Item = &'a str>) -> Option<String> {
+            let mut seen = HashSet::new();
+            for n in names {
+                if !seen.insert(n) {
+                    return Some(n.to_owned());
+                }
+            }
+            None
+        }
+        let found = [
+            dup(self.hosts.iter().map(|h| h.name.as_str())),
+            dup(self.routers.iter().map(|r| r.name.as_str())),
+            dup(self.links.iter().map(|l| l.name.as_str())),
+            dup(self.clusters.iter().map(|c| c.name.as_str())),
+            dup(self.sites.iter().map(|s| s.name.as_str())),
+        ]
+        .into_iter()
+        .flatten()
+        .next();
+        match found {
+            Some(name) => Err(PlatformError::DuplicateName(name)),
+            None => Ok(()),
+        }
+    }
+
+    /// Validates and freezes the platform.
+    ///
+    /// # Errors
+    ///
+    /// * [`PlatformError::InvalidCapacity`] — non-positive or
+    ///   non-finite host power / link bandwidth;
+    /// * [`PlatformError::InvalidLatency`] — negative or non-finite
+    ///   link latency;
+    /// * [`PlatformError::DuplicateName`] — name reuse within a
+    ///   resource kind;
+    /// * [`PlatformError::SelfLoop`] / [`PlatformError::DanglingLink`]
+    ///   — miswired links;
+    /// * [`PlatformError::Disconnected`] — a host unreachable from the
+    ///   first host.
+    pub fn build(self) -> Result<Platform, PlatformError> {
+        for h in &self.hosts {
+            if !(h.power.is_finite() && h.power > 0.0) {
+                return Err(PlatformError::InvalidCapacity {
+                    resource: h.name.clone(),
+                    value: h.power,
+                });
+            }
+        }
+        for l in &self.links {
+            if !(l.bandwidth.is_finite() && l.bandwidth > 0.0) {
+                return Err(PlatformError::InvalidCapacity {
+                    resource: l.name.clone(),
+                    value: l.bandwidth,
+                });
+            }
+            if !(l.latency.is_finite() && l.latency >= 0.0) {
+                return Err(PlatformError::InvalidLatency {
+                    link: l.name.clone(),
+                    value: l.latency,
+                });
+            }
+        }
+        self.check_names()?;
+
+        let mut endpoints = Vec::with_capacity(self.links.len());
+        for (l, ep) in self.links.iter().zip(&self.endpoints) {
+            match ep {
+                None => {
+                    return Err(PlatformError::DanglingLink { link: l.name.clone() });
+                }
+                Some((a, b)) if a == b => {
+                    return Err(PlatformError::SelfLoop { link: l.name.clone() });
+                }
+                Some(pair) => endpoints.push(*pair),
+            }
+        }
+
+        let mut p = Platform {
+            name: self.name,
+            sites: self.sites,
+            clusters: self.clusters,
+            hosts: self.hosts,
+            routers: self.routers,
+            links: self.links,
+            endpoints,
+            adj: Vec::new(),
+        };
+        let n = p.node_count();
+        let mut adj = vec![Vec::new(); n];
+        for (l, &(a, b)) in p.links.iter().zip(&p.endpoints) {
+            adj[p.node_index(a)].push((l.id, b));
+            adj[p.node_index(b)].push((l.id, a));
+        }
+        p.adj = adj;
+
+        // Connectivity check: BFS over nodes from the first host.
+        if let Some(first) = p.hosts.first() {
+            let mut seen = vec![false; n];
+            let mut queue = vec![p.node_index(NodeId::Host(first.id))];
+            seen[queue[0]] = true;
+            while let Some(i) = queue.pop() {
+                for &(_, next) in &p.adj[i] {
+                    let j = p.node_index(next);
+                    if !seen[j] {
+                        seen[j] = true;
+                        queue.push(j);
+                    }
+                }
+            }
+            for h in &p.hosts {
+                if !seen[p.node_index(NodeId::Host(h.id))] {
+                    return Err(PlatformError::Disconnected { host: h.name.clone() });
+                }
+            }
+        }
+        Ok(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn star_cluster_wires_everything() {
+        let mut pb = PlatformBuilder::new("t");
+        let s = pb.site("s");
+        let (cl, _sw) = pb.star_cluster(s, "c", 4, 100.0, 1000.0, 1e-4);
+        let p = pb.build().unwrap();
+        assert_eq!(p.cluster(cl).hosts().len(), 4);
+        assert_eq!(p.links().len(), 4);
+        assert_eq!(p.routers().len(), 1);
+        assert_eq!(p.host_by_name("c-3").unwrap().cluster(), cl);
+    }
+
+    #[test]
+    fn rejects_bad_power() {
+        let mut pb = PlatformBuilder::new("t");
+        let s = pb.site("s");
+        let cl = pb.cluster(s, "c");
+        pb.host(cl, "h", 0.0);
+        assert!(matches!(
+            pb.build(),
+            Err(PlatformError::InvalidCapacity { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_bandwidth_and_latency() {
+        let mut pb = PlatformBuilder::new("t");
+        let s = pb.site("s");
+        let cl = pb.cluster(s, "c");
+        let h = pb.host(cl, "h", 1.0);
+        let r = pb.router("r");
+        let l = pb.link("l", -5.0, 1e-4, LinkScope::Cluster(cl));
+        pb.connect(h.into(), r.into(), l);
+        assert!(matches!(
+            pb.build(),
+            Err(PlatformError::InvalidCapacity { .. })
+        ));
+
+        let mut pb = PlatformBuilder::new("t");
+        let s = pb.site("s");
+        let cl = pb.cluster(s, "c");
+        let h = pb.host(cl, "h", 1.0);
+        let r = pb.router("r");
+        let l = pb.link("l", 5.0, -1.0, LinkScope::Cluster(cl));
+        pb.connect(h.into(), r.into(), l);
+        assert!(matches!(
+            pb.build(),
+            Err(PlatformError::InvalidLatency { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_duplicate_names() {
+        let mut pb = PlatformBuilder::new("t");
+        let s = pb.site("s");
+        let cl = pb.cluster(s, "c");
+        pb.host(cl, "h", 1.0);
+        pb.host(cl, "h", 1.0);
+        assert_eq!(
+            pb.build().unwrap_err(),
+            PlatformError::DuplicateName("h".into())
+        );
+    }
+
+    #[test]
+    fn rejects_dangling_link() {
+        let mut pb = PlatformBuilder::new("t");
+        let s = pb.site("s");
+        let cl = pb.cluster(s, "c");
+        pb.host(cl, "h", 1.0);
+        pb.link("l", 5.0, 0.0, LinkScope::Cluster(cl));
+        assert!(matches!(pb.build(), Err(PlatformError::DanglingLink { .. })));
+    }
+
+    #[test]
+    fn rejects_self_loop() {
+        let mut pb = PlatformBuilder::new("t");
+        let s = pb.site("s");
+        let cl = pb.cluster(s, "c");
+        let h = pb.host(cl, "h", 1.0);
+        let l = pb.link("l", 5.0, 0.0, LinkScope::Cluster(cl));
+        pb.connect(h.into(), h.into(), l);
+        assert!(matches!(pb.build(), Err(PlatformError::SelfLoop { .. })));
+    }
+
+    #[test]
+    fn rejects_disconnected_host() {
+        let mut pb = PlatformBuilder::new("t");
+        let s = pb.site("s");
+        let cl = pb.cluster(s, "c");
+        let h1 = pb.host(cl, "h1", 1.0);
+        pb.host(cl, "h2", 1.0); // never wired
+        let r = pb.router("r");
+        let l = pb.link("l", 5.0, 0.0, LinkScope::Cluster(cl));
+        pb.connect(h1.into(), r.into(), l);
+        assert_eq!(
+            pb.build().unwrap_err(),
+            PlatformError::Disconnected { host: "h2".into() }
+        );
+    }
+
+    #[test]
+    fn empty_platform_builds() {
+        let p = PlatformBuilder::new("empty").build().unwrap();
+        assert!(p.hosts().is_empty());
+        assert_eq!(p.node_count(), 0);
+    }
+}

@@ -1,0 +1,79 @@
+//! Error type for platform construction and queries.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or querying platforms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlatformError {
+    /// A capacity (power, bandwidth) was zero, negative or non-finite.
+    InvalidCapacity {
+        /// Name of the offending resource.
+        resource: String,
+        /// The rejected capacity value.
+        value: f64,
+    },
+    /// A latency was negative or non-finite.
+    InvalidLatency {
+        /// Name of the offending link.
+        link: String,
+        /// The rejected latency value.
+        value: f64,
+    },
+    /// Two resources of the same kind share a name.
+    DuplicateName(String),
+    /// A link was connected to the same node on both ends.
+    SelfLoop {
+        /// Name of the offending link.
+        link: String,
+    },
+    /// A link was never connected, or connected more than once.
+    DanglingLink {
+        /// Name of the offending link.
+        link: String,
+    },
+    /// Some host cannot reach some other host.
+    Disconnected {
+        /// Name of an unreachable host.
+        host: String,
+    },
+    /// No route exists between two hosts (should not happen after a
+    /// successful build).
+    NoRoute,
+}
+
+impl fmt::Display for PlatformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlatformError::InvalidCapacity { resource, value } => {
+                write!(f, "invalid capacity {value} on {resource}")
+            }
+            PlatformError::InvalidLatency { link, value } => {
+                write!(f, "invalid latency {value} on link {link}")
+            }
+            PlatformError::DuplicateName(n) => write!(f, "duplicate resource name {n:?}"),
+            PlatformError::SelfLoop { link } => write!(f, "link {link:?} is a self-loop"),
+            PlatformError::DanglingLink { link } => {
+                write!(f, "link {link:?} is not connected to exactly two nodes")
+            }
+            PlatformError::Disconnected { host } => {
+                write!(f, "host {host:?} is unreachable")
+            }
+            PlatformError::NoRoute => write!(f, "no route between the requested hosts"),
+        }
+    }
+}
+
+impl Error for PlatformError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        assert!(!PlatformError::NoRoute.to_string().is_empty());
+        let e = PlatformError::InvalidCapacity { resource: "h".into(), value: -1.0 };
+        assert!(e.to_string().contains("-1"));
+    }
+}

@@ -1,0 +1,90 @@
+//! Platform serialization to Graphviz DOT.
+//!
+//! The paper's §2.3 discusses Graphviz-style static layout tools; this
+//! exporter makes our platforms loadable by them, which is handy both
+//! for debugging generators and for comparing static layouts against
+//! the dynamic force-directed one.
+
+use std::fmt::Write as _;
+
+use crate::graph::Platform;
+use crate::resource::NodeId;
+
+/// Renders `platform` as an undirected Graphviz graph: hosts as boxes
+/// (labelled with their power), routers as points, links as edges
+/// (labelled with bandwidth). Deterministic output.
+pub fn to_dot(platform: &Platform) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "graph {} {{", sanitize(platform.name()));
+    let _ = writeln!(out, "  node [fontsize=9];");
+    for h in platform.hosts() {
+        let _ = writeln!(
+            out,
+            "  {} [shape=box label=\"{}\\n{} MF/s\"];",
+            sanitize(h.name()),
+            h.name(),
+            h.power()
+        );
+    }
+    for r in platform.routers() {
+        let _ = writeln!(out, "  {} [shape=point];", sanitize(r.name()));
+    }
+    for l in platform.links() {
+        let (a, b) = platform.link_endpoints(l.id());
+        let name_of = |n: NodeId| match n {
+            NodeId::Host(h) => sanitize(platform.host(h).name()),
+            NodeId::Router(r) => sanitize(platform.router(r).name()),
+        };
+        let _ = writeln!(
+            out,
+            "  {} -- {} [label=\"{}\" weight=1];",
+            name_of(a),
+            name_of(b),
+            l.bandwidth()
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Makes a resource name a valid DOT identifier.
+fn sanitize(name: &str) -> String {
+    let mut s: String = name
+        .chars()
+        .map(|c| if c.is_alphanumeric() { c } else { '_' })
+        .collect();
+    if s.chars().next().is_none_or(|c| c.is_ascii_digit()) {
+        s.insert(0, 'n');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn dot_contains_all_resources() {
+        let p = generators::star(3, 100.0, 1000.0).unwrap();
+        let dot = to_dot(&p);
+        assert!(dot.starts_with("graph star"));
+        assert!(dot.ends_with("}\n"));
+        assert_eq!(dot.matches("shape=box").count(), 3);
+        assert_eq!(dot.matches("shape=point").count(), 1);
+        assert_eq!(dot.matches(" -- ").count(), 3);
+    }
+
+    #[test]
+    fn dot_is_deterministic() {
+        let p = generators::two_clusters(&Default::default()).unwrap();
+        assert_eq!(to_dot(&p), to_dot(&p));
+    }
+
+    #[test]
+    fn sanitize_makes_identifiers() {
+        assert_eq!(sanitize("adonis-1"), "adonis_1");
+        assert_eq!(sanitize("3com"), "n3com");
+        assert_eq!(sanitize(""), "n");
+    }
+}

@@ -1,0 +1,414 @@
+//! Ready-made platform generators for the paper's case studies and for
+//! layout stress tests.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::builder::PlatformBuilder;
+use crate::error::PlatformError;
+use crate::graph::Platform;
+use crate::resource::LinkScope;
+
+/// Configuration of the NAS-DT platform of paper §5.1: two homogeneous
+/// clusters joined by a narrow interconnection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TwoClustersConfig {
+    /// Hosts per cluster (the paper uses 11 + 11).
+    pub hosts_per_cluster: usize,
+    /// Host power, MFlop/s.
+    pub host_power: f64,
+    /// Intra-cluster uplink bandwidth, Mbit/s.
+    pub intra_bandwidth: f64,
+    /// Intra-cluster uplink latency, seconds.
+    pub intra_latency: f64,
+    /// Inter-cluster link bandwidth, Mbit/s.
+    pub inter_bandwidth: f64,
+    /// Inter-cluster link latency, seconds.
+    pub inter_latency: f64,
+}
+
+impl Default for TwoClustersConfig {
+    fn default() -> Self {
+        TwoClustersConfig {
+            hosts_per_cluster: 11,
+            host_power: 1000.0,     // 1 GFlop/s, Grid'5000-era node
+            intra_bandwidth: 1000.0, // GbE uplinks
+            intra_latency: 5e-5,
+            // Wider than one uplink but far narrower than the sum of
+            // the cluster's uplinks: aggregate cross-cluster traffic
+            // saturates it (the phenomenon of Fig. 6).
+            inter_bandwidth: 1500.0,
+            inter_latency: 5e-4,
+        }
+    }
+}
+
+/// Builds the two-cluster platform of §5.1 (clusters `adonis` and
+/// `griffon`, hosts `adonis-1..n` / `griffon-1..n`).
+///
+/// The clusters sit on distinct sites joined by a two-segment backbone
+/// (`adonis-bb` and `griffon-bb` around a core router), mirroring the
+/// paper's Fig. 6 where *two* interconnecting links appear saturated.
+///
+/// # Errors
+///
+/// Propagates [`PlatformError`] from validation (e.g. a zero
+/// `hosts_per_cluster` yields an empty, valid platform though).
+pub fn two_clusters(cfg: &TwoClustersConfig) -> Result<Platform, PlatformError> {
+    let mut pb = PlatformBuilder::new("two-clusters");
+    let s1 = pb.site("grenoble");
+    let s2 = pb.site("nancy");
+    let (_, sw1) = pb.star_cluster(
+        s1,
+        "adonis",
+        cfg.hosts_per_cluster,
+        cfg.host_power,
+        cfg.intra_bandwidth,
+        cfg.intra_latency,
+    );
+    let (_, sw2) = pb.star_cluster(
+        s2,
+        "griffon",
+        cfg.hosts_per_cluster,
+        cfg.host_power,
+        cfg.intra_bandwidth,
+        cfg.intra_latency,
+    );
+    let core = pb.router("backbone");
+    let bb1 = pb.link("adonis-bb", cfg.inter_bandwidth, cfg.inter_latency, LinkScope::Grid);
+    let bb2 = pb.link("griffon-bb", cfg.inter_bandwidth, cfg.inter_latency, LinkScope::Grid);
+    pb.connect(sw1.into(), core.into(), bb1);
+    pb.connect(sw2.into(), core.into(), bb2);
+    pb.build()
+}
+
+/// Configuration of the synthetic Grid'5000 model of paper §5.2.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Grid5000Config {
+    /// Number of sites (Grid'5000 had 9–10 around 2012).
+    pub sites: usize,
+    /// Inclusive range of clusters per site.
+    pub clusters_per_site: (usize, usize),
+    /// Total number of hosts; the generator spreads them over the
+    /// clusters (the paper states 2170 computing hosts).
+    pub total_hosts: usize,
+    /// Inclusive range of per-host power, MFlop/s (heterogeneous
+    /// generations of nodes).
+    pub host_power: (f64, f64),
+    /// Inclusive range of intra-cluster uplink bandwidth, Mbit/s —
+    /// homogeneous inside a cluster, heterogeneous across clusters
+    /// (mixed NIC generations). This heterogeneity is what the
+    /// bandwidth-centric scheduler keys on (Fig. 9's locality).
+    pub intra_bandwidth: (f64, f64),
+    /// Site-to-backbone bandwidth range, Mbit/s (heterogeneous national
+    /// backbone).
+    pub site_bandwidth: (f64, f64),
+    /// RNG seed for the heterogeneity draws.
+    pub seed: u64,
+}
+
+impl Default for Grid5000Config {
+    fn default() -> Self {
+        Grid5000Config {
+            sites: 10,
+            clusters_per_site: (2, 4),
+            total_hosts: 2170,
+            host_power: (800.0, 2400.0),
+            intra_bandwidth: (100.0, 1000.0),
+            site_bandwidth: (150.0, 1500.0),
+            seed: 0x9e37_79b9,
+        }
+    }
+}
+
+/// Site names used by the Grid'5000 generator (the real testbed's
+/// sites, for familiarity).
+pub const G5K_SITE_NAMES: [&str; 10] = [
+    "grenoble", "nancy", "rennes", "lyon", "bordeaux", "lille", "toulouse", "sophia",
+    "orsay", "reims",
+];
+
+/// Builds a synthetic Grid'5000-like platform.
+///
+/// Structure: one core backbone router; each site has a router linked
+/// to the core (`{site}-bb`, heterogeneous bandwidth); each cluster is
+/// a star behind the site router (`{cluster}-up` links of scope
+/// [`LinkScope::Site`]); hosts hang off cluster switches.
+///
+/// Deterministic for a given config (all randomness from `cfg.seed`).
+///
+/// # Errors
+///
+/// Propagates [`PlatformError`] from validation.
+pub fn grid5000(cfg: &Grid5000Config) -> Result<Platform, PlatformError> {
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut pb = PlatformBuilder::new("grid5000");
+    let core = pb.router("renater");
+
+    // Decide the cluster layout first so that hosts can be spread.
+    let mut site_clusters: Vec<usize> = Vec::with_capacity(cfg.sites);
+    for _ in 0..cfg.sites {
+        site_clusters.push(rng.gen_range(cfg.clusters_per_site.0..=cfg.clusters_per_site.1));
+    }
+    let total_clusters: usize = site_clusters.iter().sum::<usize>().max(1);
+    let base = cfg.total_hosts / total_clusters;
+    let mut remainder = cfg.total_hosts % total_clusters;
+
+    let mut cluster_no = 0usize;
+    for (si, &n_clusters) in site_clusters.iter().enumerate() {
+        let site_name = G5K_SITE_NAMES
+            .get(si)
+            .map(|s| (*s).to_owned())
+            .unwrap_or_else(|| format!("site{si}"));
+        let site = pb.site(site_name.clone());
+        let site_router = pb.router(format!("{site_name}-rt"));
+        let bb = pb.link(
+            format!("{site_name}-bb"),
+            rng.gen_range(cfg.site_bandwidth.0..=cfg.site_bandwidth.1),
+            5e-3,
+            LinkScope::Grid,
+        );
+        pb.connect(site_router.into(), core.into(), bb);
+        for ci in 0..n_clusters {
+            cluster_no += 1;
+            let mut n_hosts = base;
+            if remainder > 0 {
+                n_hosts += 1;
+                remainder -= 1;
+            }
+            // Homogeneous power inside a cluster, heterogeneous across.
+            let power = rng.gen_range(cfg.host_power.0..=cfg.host_power.1);
+            let uplink_bw = rng.gen_range(cfg.intra_bandwidth.0..=cfg.intra_bandwidth.1);
+            let cname = format!("{site_name}-c{}", ci + 1);
+            let (cl, sw) =
+                pb.star_cluster(site, &cname, n_hosts, power, uplink_bw, 5e-5);
+            let up = pb.link(
+                format!("{cname}-up"),
+                cfg.intra_bandwidth.1 * 10.0,
+                1e-4,
+                LinkScope::Site(site),
+            );
+            pb.connect(sw.into(), site_router.into(), up);
+            let _ = (cl, cluster_no);
+        }
+    }
+    pb.build()
+}
+
+/// Builds a star platform: `n` hosts around one switch. Useful for
+/// layout and sharing unit experiments.
+///
+/// # Errors
+///
+/// Propagates [`PlatformError`] from validation.
+pub fn star(n: usize, host_power: f64, bandwidth: f64) -> Result<Platform, PlatformError> {
+    let mut pb = PlatformBuilder::new("star");
+    let s = pb.site("site");
+    pb.star_cluster(s, "star", n, host_power, bandwidth, 1e-5);
+    pb.build()
+}
+
+/// Builds a two-level fat-tree-ish platform: `pods` pods of `hosts_per_pod`
+/// hosts; pod switches all connect to a core router with `core_bandwidth`
+/// links. Exercises multi-level routing beyond the case studies.
+///
+/// # Errors
+///
+/// Propagates [`PlatformError`] from validation.
+pub fn fat_tree(
+    pods: usize,
+    hosts_per_pod: usize,
+    host_power: f64,
+    edge_bandwidth: f64,
+    core_bandwidth: f64,
+) -> Result<Platform, PlatformError> {
+    let mut pb = PlatformBuilder::new("fat-tree");
+    let s = pb.site("dc");
+    let core = pb.router("core");
+    for p in 0..pods {
+        let name = format!("pod{p}");
+        let (_, sw) = pb.star_cluster(s, &name, hosts_per_pod, host_power, edge_bandwidth, 1e-5);
+        let up = pb.link(format!("{name}-up"), core_bandwidth, 1e-5, LinkScope::Site(s));
+        pb.connect(sw.into(), core.into(), up);
+    }
+    pb.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routing::RouteTable;
+
+    #[test]
+    fn two_clusters_shape() {
+        let p = two_clusters(&TwoClustersConfig::default()).unwrap();
+        assert_eq!(p.hosts().len(), 22);
+        assert_eq!(p.clusters().len(), 2);
+        assert_eq!(p.sites().len(), 2);
+        // 22 uplinks + 2 backbone segments.
+        assert_eq!(p.links().len(), 24);
+        assert_eq!(p.links_in_scope(LinkScope::Grid).len(), 2);
+    }
+
+    #[test]
+    fn two_clusters_cross_route_uses_backbone() {
+        let p = two_clusters(&TwoClustersConfig::default()).unwrap();
+        let mut rt = RouteTable::new();
+        let a = p.host_by_name("adonis-3").unwrap().id();
+        let g = p.host_by_name("griffon-7").unwrap().id();
+        let r = rt.route(&p, a, g).unwrap();
+        // up, cluster-sw → core via adonis-bb, core → cluster-sw via
+        // griffon-bb, down: 4 links.
+        assert_eq!(r.links.len(), 4);
+        let names: Vec<&str> = r.links.iter().map(|&l| p.link(l).name()).collect();
+        assert!(names.contains(&"adonis-bb"));
+        assert!(names.contains(&"griffon-bb"));
+    }
+
+    #[test]
+    fn grid5000_shape_and_determinism() {
+        let cfg = Grid5000Config::default();
+        let p1 = grid5000(&cfg).unwrap();
+        let p2 = grid5000(&cfg).unwrap();
+        assert_eq!(p1.hosts().len(), 2170);
+        assert_eq!(p1.sites().len(), 10);
+        assert!(p1.clusters().len() >= 20);
+        // Determinism: same seed, same structure.
+        assert_eq!(p1.hosts().len(), p2.hosts().len());
+        assert_eq!(p1.links().len(), p2.links().len());
+        assert_eq!(
+            p1.host_by_name("nancy-c1-1").unwrap().power(),
+            p2.host_by_name("nancy-c1-1").unwrap().power()
+        );
+    }
+
+    #[test]
+    fn grid5000_different_seed_differs() {
+        let a = grid5000(&Grid5000Config::default()).unwrap();
+        let b = grid5000(&Grid5000Config { seed: 7, ..Default::default() }).unwrap();
+        let pa: f64 = a.total_power();
+        let pb_: f64 = b.total_power();
+        assert_ne!(pa, pb_);
+    }
+
+    #[test]
+    fn grid5000_routes_cross_hierarchy() {
+        let p = grid5000(&Grid5000Config {
+            total_hosts: 64,
+            ..Default::default()
+        })
+        .unwrap();
+        let mut rt = RouteTable::new();
+        let h0 = p.hosts().first().unwrap().id();
+        let hn = p.hosts().last().unwrap().id();
+        let r = rt.route(&p, h0, hn).unwrap();
+        // host-up, cluster-up, site-bb, site-bb, cluster-up, host-up.
+        assert_eq!(r.links.len(), 6);
+        assert!(r.bottleneck > 0.0);
+    }
+
+    #[test]
+    fn star_and_fat_tree_build() {
+        let s = star(8, 100.0, 1000.0).unwrap();
+        assert_eq!(s.hosts().len(), 8);
+        let f = fat_tree(4, 4, 100.0, 1000.0, 4000.0).unwrap();
+        assert_eq!(f.hosts().len(), 16);
+        let mut rt = RouteTable::new();
+        let a = f.host_by_name("pod0-1").unwrap().id();
+        let b = f.host_by_name("pod3-2").unwrap().id();
+        assert_eq!(rt.route(&f, a, b).unwrap().links.len(), 4);
+    }
+}
+
+/// Builds a 2-D torus of `rows × cols` hosts: each host links to its
+/// east and south neighbours (wrapping). The regular topologies of
+/// Blue Gene-class machines (paper §2.4's [24, 34]) are tori; this
+/// generator lets layout and routing be exercised on them.
+///
+/// All hosts land in a single cluster; links are direct host-to-host
+/// (no switches).
+///
+/// # Errors
+///
+/// Propagates [`PlatformError`] from validation.
+///
+/// # Panics
+///
+/// Panics when `rows` or `cols` is zero.
+pub fn torus(
+    rows: usize,
+    cols: usize,
+    host_power: f64,
+    bandwidth: f64,
+) -> Result<Platform, PlatformError> {
+    assert!(rows > 0 && cols > 0, "torus dimensions must be positive");
+    let mut pb = PlatformBuilder::new("torus");
+    let site = pb.site("machine");
+    let cl = pb.cluster(site, "torus");
+    let mut hosts = Vec::with_capacity(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            hosts.push(pb.host(cl, format!("node-{r}-{c}"), host_power));
+        }
+    }
+    let at = |r: usize, c: usize| hosts[(r % rows) * cols + (c % cols)];
+    for r in 0..rows {
+        for c in 0..cols {
+            // East link (skip duplicates on 1-wide dimensions).
+            if cols > 1 {
+                let l = pb.link(
+                    format!("l-{r}-{c}-e"),
+                    bandwidth,
+                    1e-6,
+                    LinkScope::Cluster(cl),
+                );
+                pb.connect(at(r, c).into(), at(r, c + 1).into(), l);
+            }
+            if rows > 1 {
+                let l = pb.link(
+                    format!("l-{r}-{c}-s"),
+                    bandwidth,
+                    1e-6,
+                    LinkScope::Cluster(cl),
+                );
+                pb.connect(at(r, c).into(), at(r + 1, c).into(), l);
+            }
+        }
+    }
+    pb.build()
+}
+
+#[cfg(test)]
+mod torus_tests {
+    use super::*;
+    use crate::routing::RouteTable;
+
+    #[test]
+    fn torus_shape() {
+        let p = torus(4, 4, 100.0, 1000.0).unwrap();
+        assert_eq!(p.hosts().len(), 16);
+        // 2 links per node in a 2-D torus.
+        assert_eq!(p.links().len(), 32);
+        assert!(p.routers().is_empty());
+    }
+
+    #[test]
+    fn torus_routes_wrap_around() {
+        let p = torus(4, 4, 100.0, 1000.0).unwrap();
+        let mut rt = RouteTable::new();
+        let a = p.host_by_name("node-0-0").unwrap().id();
+        let b = p.host_by_name("node-0-3").unwrap().id();
+        // Wrapping makes node-0-3 one hop away from node-0-0.
+        assert_eq!(rt.route(&p, a, b).unwrap().links.len(), 1);
+        let c = p.host_by_name("node-2-2").unwrap().id();
+        // Manhattan distance on the torus: 2 + 2 = 4 hops.
+        assert_eq!(rt.route(&p, a, c).unwrap().links.len(), 4);
+    }
+
+    #[test]
+    fn degenerate_torus_line() {
+        let p = torus(1, 5, 100.0, 1000.0).unwrap();
+        assert_eq!(p.hosts().len(), 5);
+        assert_eq!(p.links().len(), 5); // ring
+    }
+}

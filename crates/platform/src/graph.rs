@@ -1,0 +1,241 @@
+//! The immutable platform graph produced by [`crate::PlatformBuilder`].
+
+use crate::resource::{
+    Cluster, ClusterId, Host, HostId, Link, LinkId, LinkScope, NodeId, Router, RouterId, Site,
+    SiteId,
+};
+
+/// An immutable platform: resources plus the undirected network graph
+/// connecting them.
+///
+/// Obtained from [`crate::PlatformBuilder::build`], which validates
+/// capacities, connectivity and name uniqueness.
+#[derive(Debug, Clone)]
+pub struct Platform {
+    pub(crate) name: String,
+    pub(crate) sites: Vec<Site>,
+    pub(crate) clusters: Vec<Cluster>,
+    pub(crate) hosts: Vec<Host>,
+    pub(crate) routers: Vec<Router>,
+    pub(crate) links: Vec<Link>,
+    /// Endpoints of each link (parallel to `links`).
+    pub(crate) endpoints: Vec<(NodeId, NodeId)>,
+    /// Adjacency per node, indexed by [`Platform::node_index`].
+    pub(crate) adj: Vec<Vec<(LinkId, NodeId)>>,
+}
+
+impl Platform {
+    /// Platform name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All sites.
+    pub fn sites(&self) -> &[Site] {
+        &self.sites
+    }
+
+    /// All clusters.
+    pub fn clusters(&self) -> &[Cluster] {
+        &self.clusters
+    }
+
+    /// All hosts.
+    pub fn hosts(&self) -> &[Host] {
+        &self.hosts
+    }
+
+    /// All routers.
+    pub fn routers(&self) -> &[Router] {
+        &self.routers
+    }
+
+    /// All links.
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// The host with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` is not part of this platform.
+    pub fn host(&self, id: HostId) -> &Host {
+        &self.hosts[id.index()]
+    }
+
+    /// The router with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` is not part of this platform.
+    pub fn router(&self, id: RouterId) -> &Router {
+        &self.routers[id.index()]
+    }
+
+    /// The link with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` is not part of this platform.
+    pub fn link(&self, id: LinkId) -> &Link {
+        &self.links[id.index()]
+    }
+
+    /// The cluster with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` is not part of this platform.
+    pub fn cluster(&self, id: ClusterId) -> &Cluster {
+        &self.clusters[id.index()]
+    }
+
+    /// The site with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` is not part of this platform.
+    pub fn site(&self, id: SiteId) -> &Site {
+        &self.sites[id.index()]
+    }
+
+    /// Looks a host up by name.
+    pub fn host_by_name(&self, name: &str) -> Option<&Host> {
+        self.hosts.iter().find(|h| h.name == name)
+    }
+
+    /// Looks a link up by name.
+    pub fn link_by_name(&self, name: &str) -> Option<&Link> {
+        self.links.iter().find(|l| l.name == name)
+    }
+
+    /// Looks a cluster up by name.
+    pub fn cluster_by_name(&self, name: &str) -> Option<&Cluster> {
+        self.clusters.iter().find(|c| c.name == name)
+    }
+
+    /// Looks a site up by name.
+    pub fn site_by_name(&self, name: &str) -> Option<&Site> {
+        self.sites.iter().find(|s| s.name == name)
+    }
+
+    /// The two endpoints of a link.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` is not part of this platform.
+    pub fn link_endpoints(&self, id: LinkId) -> (NodeId, NodeId) {
+        self.endpoints[id.index()]
+    }
+
+    /// Total number of graph nodes (hosts + routers).
+    pub fn node_count(&self) -> usize {
+        self.hosts.len() + self.routers.len()
+    }
+
+    /// Dense index of a node: hosts first, then routers.
+    pub fn node_index(&self, node: NodeId) -> usize {
+        match node {
+            NodeId::Host(h) => h.index(),
+            NodeId::Router(r) => self.hosts.len() + r.index(),
+        }
+    }
+
+    /// Inverse of [`Platform::node_index`].
+    pub fn node_at(&self, index: usize) -> NodeId {
+        if index < self.hosts.len() {
+            NodeId::Host(HostId::from_index(index))
+        } else {
+            NodeId::Router(RouterId::from_index(index - self.hosts.len()))
+        }
+    }
+
+    /// Links incident to `node`, with the node on the other side.
+    pub fn neighbors(&self, node: NodeId) -> &[(LinkId, NodeId)] {
+        &self.adj[self.node_index(node)]
+    }
+
+    /// The site of a host (via its cluster).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` is not part of this platform.
+    pub fn site_of_host(&self, id: HostId) -> SiteId {
+        self.cluster(self.host(id).cluster).site
+    }
+
+    /// Links of a given scope, in id order.
+    pub fn links_in_scope(&self, scope: LinkScope) -> Vec<LinkId> {
+        self.links
+            .iter()
+            .filter(|l| l.scope == scope)
+            .map(|l| l.id)
+            .collect()
+    }
+
+    /// Total computing power across all hosts, MFlop/s.
+    pub fn total_power(&self) -> f64 {
+        self.hosts.iter().map(|h| h.power).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::PlatformBuilder;
+
+    fn tiny() -> Platform {
+        let mut pb = PlatformBuilder::new("tiny");
+        let site = pb.site("s");
+        let cl = pb.cluster(site, "c");
+        let h1 = pb.host(cl, "h1", 100.0);
+        let h2 = pb.host(cl, "h2", 25.0);
+        let sw = pb.router("sw");
+        let l1 = pb.link("h1-up", 1000.0, 1e-4, LinkScope::Cluster(cl));
+        let l2 = pb.link("h2-up", 1000.0, 1e-4, LinkScope::Cluster(cl));
+        pb.connect(h1.into(), sw.into(), l1);
+        pb.connect(h2.into(), sw.into(), l2);
+        pb.build().unwrap()
+    }
+
+    #[test]
+    fn lookups_by_name() {
+        let p = tiny();
+        assert_eq!(p.host_by_name("h1").unwrap().power(), 100.0);
+        assert!(p.host_by_name("nope").is_none());
+        assert_eq!(p.link_by_name("h2-up").unwrap().bandwidth(), 1000.0);
+        assert_eq!(p.cluster_by_name("c").unwrap().hosts().len(), 2);
+        assert_eq!(p.site_by_name("s").unwrap().clusters().len(), 1);
+    }
+
+    #[test]
+    fn node_index_roundtrip() {
+        let p = tiny();
+        for i in 0..p.node_count() {
+            assert_eq!(p.node_index(p.node_at(i)), i);
+        }
+    }
+
+    #[test]
+    fn neighbors_are_symmetric() {
+        let p = tiny();
+        let h1 = p.host_by_name("h1").unwrap().id();
+        let sw = p.routers()[0].id();
+        let n_h1 = p.neighbors(h1.into());
+        assert_eq!(n_h1.len(), 1);
+        assert_eq!(n_h1[0].1, NodeId::Router(sw));
+        let n_sw = p.neighbors(sw.into());
+        assert_eq!(n_sw.len(), 2);
+    }
+
+    #[test]
+    fn scope_filter_and_power() {
+        let p = tiny();
+        let cl = p.clusters()[0].id();
+        assert_eq!(p.links_in_scope(LinkScope::Cluster(cl)).len(), 2);
+        assert!(p.links_in_scope(LinkScope::Grid).is_empty());
+        assert_eq!(p.total_power(), 125.0);
+        assert_eq!(p.site_of_host(p.hosts()[0].id()), p.sites()[0].id());
+    }
+}

@@ -1,0 +1,47 @@
+//! # viva-platform — network/machine topology substrate
+//!
+//! Models the execution environments whose traces VIVA visualizes:
+//! hosts with computing power, network links with bandwidth and
+//! latency, routers/switches, static shortest-path routing, and the
+//! `grid → site → cluster → host` hierarchy the paper's spatial
+//! aggregation operates on (§3.2.2).
+//!
+//! Ready-made generators reproduce the two evaluation platforms:
+//!
+//! * [`generators::two_clusters`] — the NAS-DT setting of §5.1: two
+//!   homogeneous 11-host clusters (Adonis and Griffon) joined by a
+//!   narrow interconnection.
+//! * [`generators::grid5000`] — a synthetic 2170-host model of the
+//!   Grid'5000 testbed used in §5.2.
+//!
+//! ## Example
+//!
+//! ```
+//! use viva_platform::generators;
+//!
+//! let p = generators::two_clusters(&generators::TwoClustersConfig::default())?;
+//! assert_eq!(p.hosts().len(), 22);
+//! let mut routes = viva_platform::RouteTable::new();
+//! // A route between the clusters crosses the interconnection links.
+//! let h0 = p.host_by_name("adonis-1").unwrap().id();
+//! let h21 = p.host_by_name("griffon-11").unwrap().id();
+//! assert!(!routes.route(&p, h0, h21)?.links.is_empty());
+//! # Ok::<(), viva_platform::PlatformError>(())
+//! ```
+
+pub mod builder;
+pub mod error;
+pub mod export;
+pub mod generators;
+pub mod graph;
+pub mod resource;
+pub mod routing;
+
+pub use builder::PlatformBuilder;
+pub use error::PlatformError;
+pub use graph::Platform;
+pub use resource::{
+    Cluster, ClusterId, Host, HostId, Link, LinkId, LinkScope, NodeId, Router, RouterId, Site,
+    SiteId,
+};
+pub use routing::{Route, RouteTable};

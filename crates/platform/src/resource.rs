@@ -1,0 +1,270 @@
+//! Resource records: hosts, routers, links, clusters, sites.
+
+use std::fmt;
+
+macro_rules! dense_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        pub struct $name(pub(crate) u32);
+
+        impl $name {
+            /// Returns the dense index backing this id.
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Builds an id from a dense index previously obtained via
+            /// `index` on the same platform.
+            pub fn from_index(index: usize) -> $name {
+                $name(index as u32)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+dense_id!(
+    /// Identifier of a [`Host`] within one [`crate::Platform`].
+    HostId, "h"
+);
+dense_id!(
+    /// Identifier of a [`Router`] within one [`crate::Platform`].
+    RouterId, "r"
+);
+dense_id!(
+    /// Identifier of a [`Link`] within one [`crate::Platform`].
+    LinkId, "l"
+);
+dense_id!(
+    /// Identifier of a [`Cluster`] within one [`crate::Platform`].
+    ClusterId, "cl"
+);
+dense_id!(
+    /// Identifier of a [`Site`] within one [`crate::Platform`].
+    SiteId, "s"
+);
+
+/// A vertex of the network graph: either a host or a router.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum NodeId {
+    /// A computing host.
+    Host(HostId),
+    /// A router or switch.
+    Router(RouterId),
+}
+
+impl From<HostId> for NodeId {
+    fn from(h: HostId) -> NodeId {
+        NodeId::Host(h)
+    }
+}
+
+impl From<RouterId> for NodeId {
+    fn from(r: RouterId) -> NodeId {
+        NodeId::Router(r)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeId::Host(h) => h.fmt(f),
+            NodeId::Router(r) => r.fmt(f),
+        }
+    }
+}
+
+/// A computing host.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Host {
+    pub(crate) id: HostId,
+    pub(crate) name: String,
+    /// Computing power, MFlop/s.
+    pub(crate) power: f64,
+    pub(crate) cluster: ClusterId,
+}
+
+impl Host {
+    /// This host's id.
+    pub fn id(&self) -> HostId {
+        self.id
+    }
+
+    /// Unique host name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Computing power in MFlop/s.
+    pub fn power(&self) -> f64 {
+        self.power
+    }
+
+    /// The cluster this host belongs to.
+    pub fn cluster(&self) -> ClusterId {
+        self.cluster
+    }
+}
+
+/// A router or switch (no computing power; zero-cost crossing).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Router {
+    pub(crate) id: RouterId,
+    pub(crate) name: String,
+}
+
+impl Router {
+    /// This router's id.
+    pub fn id(&self) -> RouterId {
+        self.id
+    }
+
+    /// Unique router name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Where a link sits in the platform hierarchy.
+///
+/// The case studies reason about levels: Fig. 6/7 single out the links
+/// "interconnecting the two clusters"; Fig. 8 aggregates links together
+/// with the hosts of their cluster/site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LinkScope {
+    /// An intra-cluster link (host uplink or cluster switch fabric).
+    Cluster(ClusterId),
+    /// A link between clusters of the same site.
+    Site(SiteId),
+    /// A backbone link between sites.
+    Grid,
+}
+
+/// A network link with bandwidth and latency.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Link {
+    pub(crate) id: LinkId,
+    pub(crate) name: String,
+    /// Bandwidth capacity, Mbit/s.
+    pub(crate) bandwidth: f64,
+    /// Latency, seconds.
+    pub(crate) latency: f64,
+    pub(crate) scope: LinkScope,
+}
+
+impl Link {
+    /// This link's id.
+    pub fn id(&self) -> LinkId {
+        self.id
+    }
+
+    /// Unique link name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Bandwidth capacity in Mbit/s.
+    pub fn bandwidth(&self) -> f64 {
+        self.bandwidth
+    }
+
+    /// Latency in seconds.
+    pub fn latency(&self) -> f64 {
+        self.latency
+    }
+
+    /// Hierarchical scope of the link.
+    pub fn scope(&self) -> LinkScope {
+        self.scope
+    }
+}
+
+/// A homogeneous group of hosts behind a common switch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cluster {
+    pub(crate) id: ClusterId,
+    pub(crate) name: String,
+    pub(crate) site: SiteId,
+    pub(crate) hosts: Vec<HostId>,
+}
+
+impl Cluster {
+    /// This cluster's id.
+    pub fn id(&self) -> ClusterId {
+        self.id
+    }
+
+    /// Unique cluster name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The site this cluster belongs to.
+    pub fn site(&self) -> SiteId {
+        self.site
+    }
+
+    /// Hosts of this cluster, in creation order.
+    pub fn hosts(&self) -> &[HostId] {
+        &self.hosts
+    }
+}
+
+/// A geographical/administrative site grouping clusters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Site {
+    pub(crate) id: SiteId,
+    pub(crate) name: String,
+    pub(crate) clusters: Vec<ClusterId>,
+}
+
+impl Site {
+    /// This site's id.
+    pub fn id(&self) -> SiteId {
+        self.id
+    }
+
+    /// Unique site name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Clusters of this site, in creation order.
+    pub fn clusters(&self) -> &[ClusterId] {
+        &self.clusters
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_display_with_prefix() {
+        assert_eq!(HostId(3).to_string(), "h3");
+        assert_eq!(LinkId(0).to_string(), "l0");
+        assert_eq!(NodeId::Router(RouterId(7)).to_string(), "r7");
+        assert_eq!(SiteId(1).to_string(), "s1");
+        assert_eq!(ClusterId(2).to_string(), "cl2");
+    }
+
+    #[test]
+    fn id_index_roundtrip() {
+        assert_eq!(HostId::from_index(5).index(), 5);
+        assert_eq!(LinkId::from_index(9).index(), 9);
+    }
+
+    #[test]
+    fn node_id_from_impls() {
+        let n: NodeId = HostId(1).into();
+        assert_eq!(n, NodeId::Host(HostId(1)));
+        let n: NodeId = RouterId(2).into();
+        assert_eq!(n, NodeId::Router(RouterId(2)));
+    }
+}

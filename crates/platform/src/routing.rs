@@ -1,0 +1,263 @@
+//! Static shortest-path routing between hosts.
+//!
+//! Routes are computed with Dijkstra over link latencies (ties broken
+//! by hop count, then link id, so routes are deterministic) and cached
+//! per source host — the usage pattern of the simulator is many flows
+//! from few sources (masters, DT forwarders), which one-shot Dijkstra
+//! per source serves well.
+
+use std::cmp::Ordering;
+use std::collections::hash_map::Entry;
+use std::collections::{BinaryHeap, HashMap};
+
+use crate::error::PlatformError;
+use crate::graph::Platform;
+use crate::resource::{HostId, LinkId, NodeId};
+
+/// A routed path between two hosts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Route {
+    /// Links crossed, source side first. Empty when `src == dst`
+    /// (loopback communication).
+    pub links: Vec<LinkId>,
+    /// Sum of link latencies along the path, seconds.
+    pub latency: f64,
+    /// Minimum bandwidth along the path, Mbit/s (`f64::INFINITY` for
+    /// loopback).
+    pub bottleneck: f64,
+}
+
+#[derive(Debug, PartialEq)]
+struct QueueItem {
+    dist: f64,
+    hops: usize,
+    node: usize,
+}
+
+impl Eq for QueueItem {}
+
+impl Ord for QueueItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want the smallest dist.
+        other
+            .dist
+            .total_cmp(&self.dist)
+            .then(other.hops.cmp(&self.hops))
+            .then(other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for QueueItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Per-source shortest-path tree: for each node, the link and previous
+/// node on the best path from the source.
+#[derive(Debug, Clone)]
+struct SourceTree {
+    prev: Vec<Option<(LinkId, usize)>>,
+}
+
+/// Route cache over a [`Platform`].
+///
+/// # Example
+///
+/// ```
+/// use viva_platform::{generators, RouteTable};
+///
+/// let p = generators::two_clusters(&Default::default())?;
+/// let mut rt = RouteTable::new();
+/// let a = p.host_by_name("adonis-1").unwrap().id();
+/// let b = p.host_by_name("adonis-2").unwrap().id();
+/// let route = rt.route(&p, a, b)?;
+/// assert_eq!(route.links.len(), 2); // up to the switch, down again
+/// # Ok::<(), viva_platform::PlatformError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RouteTable {
+    trees: HashMap<HostId, SourceTree>,
+}
+
+impl RouteTable {
+    /// Creates an empty route cache.
+    pub fn new() -> RouteTable {
+        RouteTable::default()
+    }
+
+    /// Number of cached source trees.
+    pub fn cached_sources(&self) -> usize {
+        self.trees.len()
+    }
+
+    fn tree_for(&mut self, platform: &Platform, src: HostId) -> &SourceTree {
+        match self.trees.entry(src) {
+            Entry::Occupied(e) => e.into_mut(),
+            Entry::Vacant(e) => e.insert(dijkstra(platform, src)),
+        }
+    }
+
+    /// The route from `src` to `dst`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::NoRoute`] when `dst` is unreachable
+    /// (cannot happen on platforms accepted by
+    /// [`crate::PlatformBuilder::build`]).
+    pub fn route(
+        &mut self,
+        platform: &Platform,
+        src: HostId,
+        dst: HostId,
+    ) -> Result<Route, PlatformError> {
+        if src == dst {
+            return Ok(Route { links: Vec::new(), latency: 0.0, bottleneck: f64::INFINITY });
+        }
+        let tree = self.tree_for(platform, src);
+        let mut links = Vec::new();
+        let mut cur = platform.node_index(NodeId::Host(dst));
+        let src_idx = platform.node_index(NodeId::Host(src));
+        while cur != src_idx {
+            let (link, prev) = tree.prev[cur].ok_or(PlatformError::NoRoute)?;
+            links.push(link);
+            cur = prev;
+        }
+        links.reverse();
+        let latency = links.iter().map(|&l| platform.link(l).latency()).sum();
+        let bottleneck = links
+            .iter()
+            .map(|&l| platform.link(l).bandwidth())
+            .fold(f64::INFINITY, f64::min);
+        Ok(Route { links, latency, bottleneck })
+    }
+}
+
+fn dijkstra(platform: &Platform, src: HostId) -> SourceTree {
+    let n = platform.node_count();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut hops = vec![usize::MAX; n];
+    let mut prev: Vec<Option<(LinkId, usize)>> = vec![None; n];
+    let start = platform.node_index(NodeId::Host(src));
+    dist[start] = 0.0;
+    hops[start] = 0;
+    let mut heap = BinaryHeap::new();
+    heap.push(QueueItem { dist: 0.0, hops: 0, node: start });
+    while let Some(QueueItem { dist: d, hops: h, node }) = heap.pop() {
+        if d > dist[node] || (d == dist[node] && h > hops[node]) {
+            continue;
+        }
+        for &(link, next) in &platform.adj[node] {
+            let l = platform.link(link);
+            let nd = d + l.latency();
+            let nh = h + 1;
+            let j = platform.node_index(next);
+            let better = nd < dist[j]
+                || (nd == dist[j] && nh < hops[j])
+                || (nd == dist[j]
+                    && nh == hops[j]
+                    && prev[j].is_some_and(|(pl, _)| link < pl));
+            if better {
+                dist[j] = nd;
+                hops[j] = nh;
+                prev[j] = Some((link, node));
+                heap.push(QueueItem { dist: nd, hops: nh, node: j });
+            }
+        }
+    }
+    SourceTree { prev }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::PlatformBuilder;
+    use crate::resource::LinkScope;
+
+    /// h1 -- sw1 -- sw2 -- h2, plus a slow direct bypass h1 -- h2.
+    fn diamond() -> (Platform, HostId, HostId) {
+        let mut pb = PlatformBuilder::new("d");
+        let s = pb.site("s");
+        let cl = pb.cluster(s, "c");
+        let h1 = pb.host(cl, "h1", 1.0);
+        let h2 = pb.host(cl, "h2", 1.0);
+        let sw1 = pb.router("sw1");
+        let sw2 = pb.router("sw2");
+        let scope = LinkScope::Cluster(cl);
+        let fast1 = pb.link("fast1", 1000.0, 1e-5, scope);
+        let fast2 = pb.link("fast2", 1000.0, 1e-5, scope);
+        let fast3 = pb.link("fast3", 1000.0, 1e-5, scope);
+        let slow = pb.link("slow", 10.0, 1.0, scope);
+        pb.connect(h1.into(), sw1.into(), fast1);
+        pb.connect(sw1.into(), sw2.into(), fast2);
+        pb.connect(sw2.into(), h2.into(), fast3);
+        pb.connect(h1.into(), h2.into(), slow);
+        (pb.build().unwrap(), h1, h2)
+    }
+
+    #[test]
+    fn picks_lowest_latency_path() {
+        let (p, h1, h2) = diamond();
+        let mut rt = RouteTable::new();
+        let r = rt.route(&p, h1, h2).unwrap();
+        assert_eq!(r.links.len(), 3);
+        assert!((r.latency - 3e-5).abs() < 1e-12);
+        assert_eq!(r.bottleneck, 1000.0);
+    }
+
+    #[test]
+    fn loopback_route_is_empty() {
+        let (p, h1, _) = diamond();
+        let mut rt = RouteTable::new();
+        let r = rt.route(&p, h1, h1).unwrap();
+        assert!(r.links.is_empty());
+        assert_eq!(r.latency, 0.0);
+    }
+
+    #[test]
+    fn routes_are_symmetric_in_link_set() {
+        let (p, h1, h2) = diamond();
+        let mut rt = RouteTable::new();
+        let fwd = rt.route(&p, h1, h2).unwrap();
+        let mut bwd = rt.route(&p, h2, h1).unwrap();
+        bwd.links.reverse();
+        assert_eq!(fwd.links, bwd.links);
+    }
+
+    #[test]
+    fn source_trees_are_cached() {
+        let (p, h1, h2) = diamond();
+        let mut rt = RouteTable::new();
+        rt.route(&p, h1, h2).unwrap();
+        rt.route(&p, h1, h1).unwrap();
+        assert_eq!(rt.cached_sources(), 1);
+        rt.route(&p, h2, h1).unwrap();
+        assert_eq!(rt.cached_sources(), 2);
+    }
+
+    #[test]
+    fn deterministic_tie_break() {
+        // Two identical parallel 2-hop paths: the route must always use
+        // the lexicographically smallest link ids.
+        let mut pb = PlatformBuilder::new("t");
+        let s = pb.site("s");
+        let cl = pb.cluster(s, "c");
+        let h1 = pb.host(cl, "h1", 1.0);
+        let h2 = pb.host(cl, "h2", 1.0);
+        let sw1 = pb.router("sw1");
+        let sw2 = pb.router("sw2");
+        let scope = LinkScope::Cluster(cl);
+        let a1 = pb.link("a1", 100.0, 1e-4, scope);
+        let a2 = pb.link("a2", 100.0, 1e-4, scope);
+        let b1 = pb.link("b1", 100.0, 1e-4, scope);
+        let b2 = pb.link("b2", 100.0, 1e-4, scope);
+        pb.connect(h1.into(), sw1.into(), a1);
+        pb.connect(sw1.into(), h2.into(), a2);
+        pb.connect(h1.into(), sw2.into(), b1);
+        pb.connect(sw2.into(), h2.into(), b2);
+        let p = pb.build().unwrap();
+        let mut rt = RouteTable::new();
+        let r = rt.route(&p, h1, h2).unwrap();
+        assert_eq!(r.links, vec![a1, a2]);
+    }
+}

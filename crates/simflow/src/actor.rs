@@ -1,0 +1,244 @@
+//! The actor programming model: event-driven application processes.
+
+use std::any::Any;
+use std::fmt;
+
+use viva_platform::{HostId, Platform};
+
+/// Identifier of a spawned actor within one [`crate::Simulation`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ActorId(pub(crate) u32);
+
+impl ActorId {
+    /// Dense index of this actor (spawn order).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds the id of the `index`-th spawned actor. Ids are assigned
+    /// deterministically in spawn order, so workloads may compute the
+    /// ids of actors they have not spawned yet (e.g. to wire a task
+    /// graph whose stages reference each other).
+    pub fn from_index(index: usize) -> ActorId {
+        ActorId(index as u32)
+    }
+}
+
+impl fmt::Display for ActorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+/// Identifier of a traced *account* — one competing application whose
+/// resource usage is recorded separately (paper §5.2 traces two
+/// master-worker applications on the same platform).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AccountId(pub(crate) u32);
+
+impl AccountId {
+    /// Dense index of this account (registration order).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// User-chosen correlation tag echoed back in completion callbacks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Tag(pub u64);
+
+/// An opaque message payload.
+pub type Payload = Box<dyn Any>;
+
+/// An application process. All methods default to no-ops; implement
+/// the ones your protocol needs.
+///
+/// Methods receive a [`Ctx`] through which all side effects (sends,
+/// computations, timers) are issued; effects are applied by the engine
+/// after the callback returns, in issue order.
+pub trait Actor {
+    /// Called once when the simulation starts.
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        let _ = ctx;
+    }
+
+    /// A message sent by `from` has been fully received.
+    fn on_message(&mut self, from: ActorId, payload: Payload, ctx: &mut Ctx<'_>) {
+        let _ = (from, payload, ctx);
+    }
+
+    /// A send issued with this tag has left this actor's NIC (the flow
+    /// completed; the receiver gets `on_message` at the same instant).
+    fn on_send_done(&mut self, tag: Tag, ctx: &mut Ctx<'_>) {
+        let _ = (tag, ctx);
+    }
+
+    /// A computation issued with this tag finished.
+    fn on_compute_done(&mut self, tag: Tag, ctx: &mut Ctx<'_>) {
+        let _ = (tag, ctx);
+    }
+
+    /// A timer issued with this tag fired.
+    fn on_timer(&mut self, tag: Tag, ctx: &mut Ctx<'_>) {
+        let _ = (tag, ctx);
+    }
+}
+
+/// A side effect requested by an actor callback.
+#[derive(Debug)]
+pub(crate) enum Command {
+    Send {
+        from: ActorId,
+        to: ActorId,
+        size: f64,
+        payload: Payload,
+        tag: Tag,
+        account: Option<AccountId>,
+    },
+    Execute {
+        actor: ActorId,
+        flops: f64,
+        tag: Tag,
+        account: Option<AccountId>,
+    },
+    Timer {
+        actor: ActorId,
+        delay: f64,
+        tag: Tag,
+    },
+    PushState {
+        actor: ActorId,
+        state: String,
+    },
+    PopState {
+        actor: ActorId,
+    },
+}
+
+/// The command context handed to actor callbacks.
+///
+/// Provides read access to simulated time and the platform, and
+/// collects the side effects the actor requests.
+#[derive(Debug)]
+pub struct Ctx<'a> {
+    pub(crate) now: f64,
+    pub(crate) me: ActorId,
+    pub(crate) host: HostId,
+    pub(crate) platform: &'a Platform,
+    pub(crate) commands: &'a mut Vec<Command>,
+}
+
+impl Ctx<'_> {
+    /// Current simulated time, seconds.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// The actor being called.
+    pub fn me(&self) -> ActorId {
+        self.me
+    }
+
+    /// The host this actor runs on.
+    pub fn host(&self) -> HostId {
+        self.host
+    }
+
+    /// The simulated platform.
+    pub fn platform(&self) -> &Platform {
+        self.platform
+    }
+
+    /// Sends `size` Mbit to `to`; the receiver gets
+    /// [`Actor::on_message`] when the flow completes, and this actor
+    /// gets [`Actor::on_send_done`] with `tag` at the same instant.
+    pub fn send(&mut self, to: ActorId, size: f64, payload: Payload, tag: Tag) {
+        self.send_as(to, size, payload, tag, None);
+    }
+
+    /// Like [`Ctx::send`] but billed to `account` in the trace.
+    pub fn send_as(
+        &mut self,
+        to: ActorId,
+        size: f64,
+        payload: Payload,
+        tag: Tag,
+        account: Option<AccountId>,
+    ) {
+        self.commands.push(Command::Send {
+            from: self.me,
+            to,
+            size,
+            payload,
+            tag,
+            account,
+        });
+    }
+
+    /// Starts a computation of `flops` MFlop on this actor's host;
+    /// completion is signalled via [`Actor::on_compute_done`].
+    pub fn execute(&mut self, flops: f64, tag: Tag) {
+        self.execute_as(flops, tag, None);
+    }
+
+    /// Like [`Ctx::execute`] but billed to `account` in the trace.
+    pub fn execute_as(&mut self, flops: f64, tag: Tag, account: Option<AccountId>) {
+        self.commands.push(Command::Execute {
+            actor: self.me,
+            flops,
+            tag,
+            account,
+        });
+    }
+
+    /// Fires [`Actor::on_timer`] with `tag` after `delay` seconds.
+    pub fn set_timer(&mut self, delay: f64, tag: Tag) {
+        self.commands.push(Command::Timer { actor: self.me, delay, tag });
+    }
+
+    /// Records entering a named state on this actor's host container
+    /// (no-op when tracing is disabled).
+    pub fn push_state(&mut self, state: impl Into<String>) {
+        self.commands.push(Command::PushState { actor: self.me, state: state.into() });
+    }
+
+    /// Records leaving the current state (no-op when tracing is
+    /// disabled).
+    pub fn pop_state(&mut self) {
+        self.commands.push(Command::PopState { actor: self.me });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_display() {
+        assert_eq!(ActorId(4).to_string(), "a4");
+        assert_eq!(ActorId(4).index(), 4);
+        assert_eq!(AccountId(1).index(), 1);
+    }
+
+    #[test]
+    fn ctx_queues_commands_in_order() {
+        let platform = viva_platform::PlatformBuilder::new("x").build().unwrap();
+        let mut commands = Vec::new();
+        let mut ctx = Ctx {
+            now: 1.0,
+            me: ActorId(0),
+            host: viva_platform::HostId::from_index(0),
+            platform: &platform,
+            commands: &mut commands,
+        };
+        ctx.execute(10.0, Tag(1));
+        ctx.set_timer(2.0, Tag(2));
+        ctx.push_state("busy");
+        assert_eq!(ctx.now(), 1.0);
+        assert_eq!(ctx.me(), ActorId(0));
+        assert_eq!(commands.len(), 3);
+        assert!(matches!(commands[0], Command::Execute { flops, .. } if flops == 10.0));
+        assert!(matches!(commands[1], Command::Timer { delay, .. } if delay == 2.0));
+        assert!(matches!(&commands[2], Command::PushState { state, .. } if state == "busy"));
+    }
+}

@@ -1,0 +1,278 @@
+//! Fluid CPU model: tasks on one host share its power equally.
+
+use std::collections::HashMap;
+
+use viva_platform::{HostId, Platform};
+
+use crate::actor::{AccountId, ActorId, Tag};
+
+/// A running computation.
+#[derive(Debug)]
+pub struct Task {
+    /// The actor that issued the computation.
+    pub actor: ActorId,
+    /// Correlation tag echoed in `on_compute_done`.
+    pub tag: Tag,
+    /// Optional billing account.
+    pub account: Option<AccountId>,
+    /// Host executing the task.
+    pub host: HostId,
+    /// Remaining work, MFlop.
+    pub remaining: f64,
+    /// Current rate, MFlop/s.
+    pub rate: f64,
+}
+
+/// All running computations, with per-host fair sharing.
+#[derive(Debug, Default)]
+pub struct CpuState {
+    tasks: HashMap<u64, Task>,
+    next_id: u64,
+    /// Task ids per host (dense by host index).
+    per_host: Vec<Vec<u64>>,
+    /// Current effective power per host (capacity may change over
+    /// time, e.g. external load or reservations — paper Fig. 1 shows
+    /// time-varying availability).
+    power: Vec<f64>,
+    updated_at: f64,
+}
+
+impl CpuState {
+    /// Creates an idle CPU state for the hosts of `platform`, at their
+    /// nominal power.
+    pub fn new_for(platform: &Platform) -> CpuState {
+        CpuState {
+            tasks: HashMap::new(),
+            next_id: 0,
+            per_host: vec![Vec::new(); platform.hosts().len()],
+            power: platform.hosts().iter().map(|h| h.power()).collect(),
+            updated_at: 0.0,
+        }
+    }
+
+    /// Creates an idle CPU state for `n_hosts` hosts (all at power 0
+    /// until [`CpuState::set_power`] is called — prefer
+    /// [`CpuState::new_for`]).
+    pub fn new(n_hosts: usize) -> CpuState {
+        CpuState {
+            tasks: HashMap::new(),
+            next_id: 0,
+            per_host: vec![Vec::new(); n_hosts],
+            power: vec![0.0; n_hosts],
+            updated_at: 0.0,
+        }
+    }
+
+    /// Current effective power of `host`, MFlop/s.
+    pub fn power(&self, host: HostId) -> f64 {
+        self.power[host.index()]
+    }
+
+    /// Changes the effective power of `host` (caller must `advance`
+    /// first) and rebalances its running tasks.
+    pub fn set_power(&mut self, host: HostId, power: f64) {
+        self.power[host.index()] = power.max(0.0);
+        self.rebalance(host);
+    }
+
+    /// Number of running tasks (all hosts).
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Whether no task is running.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Read access to a task.
+    pub fn task(&self, id: u64) -> Option<&Task> {
+        self.tasks.get(&id)
+    }
+
+    /// Number of tasks on `host`.
+    pub fn tasks_on(&self, host: HostId) -> usize {
+        self.per_host[host.index()].len()
+    }
+
+    /// Drains `remaining` of every task for the elapsed time since the
+    /// last call.
+    pub fn advance(&mut self, now: f64) {
+        let dt = now - self.updated_at;
+        if dt > 0.0 {
+            for t in self.tasks.values_mut() {
+                t.remaining = (t.remaining - t.rate * dt).max(0.0);
+            }
+        }
+        self.updated_at = now;
+    }
+
+    /// Registers a task and rebalances its host. Returns the task id.
+    pub fn add(&mut self, task: Task) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        let host = task.host;
+        self.per_host[host.index()].push(id);
+        self.tasks.insert(id, task);
+        self.rebalance(host);
+        id
+    }
+
+    /// Removes a task and rebalances its host.
+    pub fn remove(&mut self, id: u64) -> Option<Task> {
+        let task = self.tasks.remove(&id)?;
+        let slot = &mut self.per_host[task.host.index()];
+        slot.retain(|&t| t != id);
+        self.rebalance(task.host);
+        Some(task)
+    }
+
+    fn rebalance(&mut self, host: HostId) {
+        let ids = &self.per_host[host.index()];
+        if ids.is_empty() {
+            return;
+        }
+        let share = self.power[host.index()] / ids.len() as f64;
+        for id in ids {
+            self.tasks.get_mut(id).expect("listed id").rate = share;
+        }
+    }
+
+    /// The earliest completion `(task id, time)` over all tasks.
+    pub fn next_completion(&self) -> Option<(u64, f64)> {
+        let mut best: Option<(u64, f64)> = None;
+        for (&id, t) in &self.tasks {
+            if t.rate <= 0.0 {
+                continue;
+            }
+            let at = self.updated_at + t.remaining / t.rate;
+            match best {
+                Some((bid, bt)) if at > bt || (at == bt && id > bid) => {}
+                _ => best = Some((id, at)),
+            }
+        }
+        best
+    }
+
+    /// Ids of tasks finished at `now`, ascending.
+    pub fn completed_at(&self, now: f64) -> Vec<u64> {
+        let _ = now;
+        let eps = 1e-9;
+        let mut done: Vec<u64> = self
+            .tasks
+            .iter()
+            .filter(|(_, t)| t.remaining <= eps || (t.rate > 0.0 && t.remaining / t.rate <= eps))
+            .map(|(&id, _)| id)
+            .collect();
+        done.sort_unstable();
+        done
+    }
+
+    /// Power used on `host` by each account, `(account, MFlop/s)`.
+    pub fn usage_by_account(&self, host: HostId) -> HashMap<AccountId, f64> {
+        let mut out = HashMap::new();
+        for id in &self.per_host[host.index()] {
+            let t = &self.tasks[id];
+            if let Some(acc) = t.account {
+                *out.entry(acc).or_insert(0.0) += t.rate;
+            }
+        }
+        out
+    }
+
+    /// Total power currently used on `host`, MFlop/s.
+    pub fn usage(&self, host: HostId) -> f64 {
+        self.per_host[host.index()]
+            .iter()
+            .map(|id| self.tasks[id].rate)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use viva_platform::generators;
+
+    fn platform() -> Platform {
+        generators::star(2, 100.0, 1000.0).unwrap()
+    }
+
+    fn task(host: HostId, flops: f64) -> Task {
+        Task {
+            actor: ActorId(0),
+            tag: Tag(0),
+            account: None,
+            host,
+            remaining: flops,
+            rate: 0.0,
+        }
+    }
+
+    #[test]
+    fn single_task_runs_at_full_power() {
+        let p = platform();
+        let h = p.hosts()[0].id();
+        let mut cpu = CpuState::new_for(&p);
+        let id = cpu.add(task(h, 200.0));
+        assert_eq!(cpu.task(id).unwrap().rate, 100.0);
+        assert_eq!(cpu.next_completion(), Some((id, 2.0)));
+        assert_eq!(cpu.usage(h), 100.0);
+    }
+
+    #[test]
+    fn two_tasks_share_equally() {
+        let p = platform();
+        let h = p.hosts()[0].id();
+        let mut cpu = CpuState::new_for(&p);
+        let a = cpu.add(task(h, 100.0));
+        let b = cpu.add(task(h, 100.0));
+        assert_eq!(cpu.task(a).unwrap().rate, 50.0);
+        assert_eq!(cpu.task(b).unwrap().rate, 50.0);
+        // Removing one re-accelerates the other.
+        cpu.advance(1.0);
+        cpu.remove(a);
+        assert_eq!(cpu.task(b).unwrap().rate, 100.0);
+        assert_eq!(cpu.task(b).unwrap().remaining, 50.0);
+        assert_eq!(cpu.next_completion(), Some((b, 1.5)));
+    }
+
+    #[test]
+    fn tasks_on_different_hosts_are_independent() {
+        let p = platform();
+        let h0 = p.hosts()[0].id();
+        let h1 = p.hosts()[1].id();
+        let mut cpu = CpuState::new_for(&p);
+        let a = cpu.add(task(h0, 100.0));
+        let b = cpu.add(task(h1, 100.0));
+        assert_eq!(cpu.task(a).unwrap().rate, 100.0);
+        assert_eq!(cpu.task(b).unwrap().rate, 100.0);
+        assert_eq!(cpu.tasks_on(h0), 1);
+    }
+
+    #[test]
+    fn account_usage_tracks_shares() {
+        let p = platform();
+        let h = p.hosts()[0].id();
+        let mut cpu = CpuState::new_for(&p);
+        let mut t1 = task(h, 100.0);
+        t1.account = Some(AccountId(0));
+        let mut t2 = task(h, 100.0);
+        t2.account = Some(AccountId(1));
+        cpu.add(t1);
+        cpu.add(t2);
+        let usage = cpu.usage_by_account(h);
+        assert_eq!(usage[&AccountId(0)], 50.0);
+        assert_eq!(usage[&AccountId(1)], 50.0);
+    }
+
+    #[test]
+    fn completed_at_flags_drained_tasks() {
+        let p = platform();
+        let h = p.hosts()[0].id();
+        let mut cpu = CpuState::new_for(&p);
+        let id = cpu.add(task(h, 100.0));
+        cpu.advance(1.0);
+        assert_eq!(cpu.completed_at(1.0), vec![id]);
+    }
+}

@@ -1,0 +1,69 @@
+//! # viva-simflow — discrete-event flow-level simulator
+//!
+//! A SimGrid-flavoured simulator that produces the traces the paper's
+//! case studies visualize (§5: "The traces used in these case studies
+//! were obtained using SMPI and the SimGrid simulation toolkit").
+//!
+//! The model is *fluid*: network transfers and computations are
+//! activities with a remaining amount of work that drains at a rate set
+//! by resource sharing —
+//!
+//! * **network**: all flows crossing a set of links share bandwidth
+//!   according to **max-min fairness** computed by progressive filling
+//!   ([`network::maxmin_rates`]), the same family of models SimGrid
+//!   uses for TCP;
+//! * **CPU**: tasks running on one host share its power equally.
+//!
+//! Applications are written as [`Actor`]s: event-driven state machines
+//! that react to messages, completions and timers via a command
+//! context ([`Ctx`]). The engine is fully deterministic: same platform,
+//! same actors, same event order, byte-identical traces.
+//!
+//! When tracing is enabled ([`Simulation::enable_tracing`]) the engine
+//! records a [`viva_trace::Trace`] with the platform hierarchy as the
+//! container tree and capacity/utilization signals per host and link —
+//! optionally broken down per *account* (one account per competing
+//! application; this feeds the paper's Fig. 8/9 analysis).
+//!
+//! ## Example
+//!
+//! ```
+//! use viva_platform::generators;
+//! use viva_simflow::{Actor, Ctx, Payload, Simulation, Tag};
+//!
+//! struct Pinger { peer: Option<viva_simflow::ActorId> }
+//! struct Ponger;
+//!
+//! impl Actor for Pinger {
+//!     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+//!         if let Some(p) = self.peer {
+//!             ctx.send(p, 8.0, Box::new("ping"), Tag(1));
+//!         }
+//!     }
+//! }
+//! impl Actor for Ponger {
+//!     fn on_message(&mut self, _from: viva_simflow::ActorId, msg: Payload, _ctx: &mut Ctx<'_>) {
+//!         assert_eq!(*msg.downcast::<&str>().unwrap(), "ping");
+//!     }
+//! }
+//!
+//! let p = generators::two_clusters(&Default::default())?;
+//! let a = p.host_by_name("adonis-1").unwrap().id();
+//! let b = p.host_by_name("griffon-1").unwrap().id();
+//! let mut sim = Simulation::new(p);
+//! let ponger = sim.spawn(b, Box::new(Ponger));
+//! sim.spawn(a, Box::new(Pinger { peer: Some(ponger) }));
+//! let end = sim.run();
+//! assert!(end > 0.0); // transfer took simulated time
+//! # Ok::<(), viva_platform::PlatformError>(())
+//! ```
+
+pub mod actor;
+pub mod cpu;
+pub mod engine;
+pub mod network;
+pub mod tracer;
+
+pub use actor::{AccountId, Actor, ActorId, Ctx, Payload, Tag};
+pub use engine::Simulation;
+pub use tracer::{metric_for_account, TracingConfig};

@@ -1,0 +1,408 @@
+//! Fluid network model: flows over multi-link routes with max-min fair
+//! bandwidth sharing.
+
+use std::collections::HashMap;
+
+use viva_platform::{LinkId, Platform};
+
+use crate::actor::{AccountId, ActorId, Payload, Tag};
+
+/// Computes max-min fair rates by progressive filling.
+///
+/// * `capacity[l]` — capacity of link `l` (must be positive);
+/// * `routes[f]` — indices into `capacity` crossed by flow `f` (flows
+///   with empty routes get an infinite rate and should be special-cased
+///   by the caller).
+///
+/// Returns one rate per flow. The classic invariants hold: no link's
+/// capacity is exceeded, and every flow is bottlenecked by at least one
+/// saturated link (it could not be increased without decreasing an
+/// equal-or-slower flow).
+pub fn maxmin_rates(capacity: &[f64], routes: &[Vec<usize>]) -> Vec<f64> {
+    let n_links = capacity.len();
+    let n_flows = routes.len();
+    let mut rate = vec![0.0f64; n_flows];
+    let mut frozen = vec![false; n_flows];
+    let mut remaining_flows = 0usize;
+    let mut cap = capacity.to_vec();
+    let mut count = vec![0usize; n_links];
+    for r in routes {
+        for &l in r {
+            count[l] += 1;
+        }
+    }
+    for (f, r) in routes.iter().enumerate() {
+        if r.is_empty() {
+            rate[f] = f64::INFINITY;
+            frozen[f] = true;
+        } else {
+            remaining_flows += 1;
+        }
+    }
+    while remaining_flows > 0 {
+        // The equal increment all unfrozen flows can still take.
+        let mut inc = f64::INFINITY;
+        for l in 0..n_links {
+            if count[l] > 0 {
+                inc = inc.min(cap[l] / count[l] as f64);
+            }
+        }
+        debug_assert!(inc.is_finite() && inc >= 0.0, "unfrozen flow without links");
+        // Apply the increment and drain capacities.
+        for f in 0..n_flows {
+            if !frozen[f] {
+                rate[f] += inc;
+            }
+        }
+        for l in 0..n_links {
+            if count[l] > 0 {
+                cap[l] -= inc * count[l] as f64;
+            }
+        }
+        // Freeze flows crossing a saturated link.
+        let eps = 1e-12;
+        let saturated: Vec<bool> = (0..n_links)
+            .map(|l| count[l] > 0 && cap[l] <= eps * capacity[l].max(1.0))
+            .collect();
+        let mut any_frozen = false;
+        for f in 0..n_flows {
+            if !frozen[f] && routes[f].iter().any(|&l| saturated[l]) {
+                frozen[f] = true;
+                remaining_flows -= 1;
+                any_frozen = true;
+                for &l in &routes[f] {
+                    count[l] -= 1;
+                }
+            }
+        }
+        debug_assert!(any_frozen, "progressive filling must make progress");
+        if !any_frozen {
+            break; // numerical safety net
+        }
+    }
+    rate
+}
+
+/// An in-flight network transfer.
+#[derive(Debug)]
+pub struct Flow {
+    /// Sending actor (gets `on_send_done`).
+    pub from: ActorId,
+    /// Receiving actor (gets `on_message`).
+    pub to: ActorId,
+    /// Sender-side tag.
+    pub tag: Tag,
+    /// Optional billing account.
+    pub account: Option<AccountId>,
+    /// Links crossed (non-empty; loopback flows bypass the network).
+    pub route: Vec<LinkId>,
+    /// Total route latency, seconds.
+    pub latency: f64,
+    /// Start time.
+    pub start: f64,
+    /// Payload size, Mbit (for the trace link record).
+    pub size: f64,
+    /// Remaining volume, Mbit.
+    pub remaining: f64,
+    /// Current fair rate, Mbit/s.
+    pub rate: f64,
+    /// The message carried (taken on delivery).
+    pub payload: Option<Payload>,
+}
+
+/// The set of active flows plus cached per-link usage.
+#[derive(Debug, Default)]
+pub struct NetworkState {
+    flows: HashMap<u64, Flow>,
+    next_id: u64,
+    /// Cached sum of flow rates per link (dense by link index).
+    usage: Vec<f64>,
+    /// Current effective capacity per link, Mbit/s (may change over
+    /// time: degraded links, reservations).
+    capacity: Vec<f64>,
+    /// Simulated time of the last [`NetworkState::advance`].
+    updated_at: f64,
+}
+
+impl NetworkState {
+    /// Creates an empty network for the links of `platform`, at their
+    /// nominal bandwidth.
+    pub fn new_for(platform: &Platform) -> NetworkState {
+        NetworkState {
+            flows: HashMap::new(),
+            next_id: 0,
+            usage: vec![0.0; platform.links().len()],
+            capacity: platform.links().iter().map(|l| l.bandwidth()).collect(),
+            updated_at: 0.0,
+        }
+    }
+
+    /// Current effective capacity of link index `l`, Mbit/s.
+    pub fn capacity(&self, l: usize) -> f64 {
+        self.capacity[l]
+    }
+
+    /// Changes the effective capacity of link index `l` (caller must
+    /// `advance` and then `reshare`).
+    pub fn set_capacity(&mut self, l: usize, bandwidth: f64) {
+        self.capacity[l] = bandwidth.max(1e-9);
+    }
+
+    /// Number of in-flight flows.
+    pub fn len(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Whether no flow is in flight.
+    pub fn is_empty(&self) -> bool {
+        self.flows.is_empty()
+    }
+
+    /// Current total rate through each link, Mbit/s.
+    pub fn usage(&self) -> &[f64] {
+        &self.usage
+    }
+
+    /// Read access to a flow.
+    pub fn flow(&self, id: u64) -> Option<&Flow> {
+        self.flows.get(&id)
+    }
+
+    /// Drains `remaining` of every flow for the elapsed time since the
+    /// last call. Must be called with the current time before any
+    /// topology change.
+    pub fn advance(&mut self, now: f64) {
+        let dt = now - self.updated_at;
+        if dt > 0.0 {
+            for f in self.flows.values_mut() {
+                f.remaining = (f.remaining - f.rate * dt).max(0.0);
+            }
+        }
+        self.updated_at = now;
+    }
+
+    /// Registers a flow (caller must then call
+    /// [`NetworkState::reshare`]). Returns the flow id.
+    pub fn add(&mut self, flow: Flow) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.flows.insert(id, flow);
+        id
+    }
+
+    /// Removes a flow (caller must then call
+    /// [`NetworkState::reshare`]).
+    pub fn remove(&mut self, id: u64) -> Option<Flow> {
+        self.flows.remove(&id)
+    }
+
+    /// Recomputes all max-min rates and the per-link usage cache.
+    /// Returns the indices of links whose usage changed (for trace
+    /// emission).
+    pub fn reshare(&mut self) -> Vec<usize> {
+        let mut ids: Vec<u64> = self.flows.keys().copied().collect();
+        ids.sort_unstable(); // deterministic order
+        let routes: Vec<Vec<usize>> = ids
+            .iter()
+            .map(|id| self.flows[id].route.iter().map(|l| l.index()).collect())
+            .collect();
+        let rates = maxmin_rates(&self.capacity, &routes);
+        for (id, rate) in ids.iter().zip(&rates) {
+            self.flows.get_mut(id).expect("listed id").rate = *rate;
+        }
+        let mut new_usage = vec![0.0; self.capacity.len()];
+        for f in self.flows.values() {
+            for &l in &f.route {
+                new_usage[l.index()] += f.rate;
+            }
+        }
+        let mut changed = Vec::new();
+        for (l, (&old, &new)) in self.usage.iter().zip(&new_usage).enumerate() {
+            if (old - new).abs() > 1e-9 {
+                changed.push(l);
+            }
+        }
+        self.usage = new_usage;
+        changed
+    }
+
+    /// The earliest completion time over all flows, with the event
+    /// payload `(flow id, completion time)`. `None` when idle.
+    ///
+    /// A flow completes when its volume has drained *and* its route
+    /// latency has elapsed.
+    pub fn next_completion(&self) -> Option<(u64, f64)> {
+        let mut best: Option<(u64, f64)> = None;
+        for (&id, f) in &self.flows {
+            let drain = if f.remaining <= 0.0 {
+                self.updated_at
+            } else if f.rate > 0.0 {
+                self.updated_at + f.remaining / f.rate
+            } else {
+                continue; // starved flow: wait for a reshare
+            };
+            let t = drain.max(f.start + f.latency);
+            match best {
+                // Tie-break on id for determinism.
+                Some((bid, bt)) if t > bt || (t == bt && id > bid) => {}
+                _ => best = Some((id, t)),
+            }
+        }
+        best
+    }
+
+    /// Ids of the flows completed at time `now` (drained and past
+    /// latency), in ascending id order.
+    pub fn completed_at(&self, now: f64) -> Vec<u64> {
+        let eps = 1e-9;
+        let mut done: Vec<u64> = self
+            .flows
+            .iter()
+            .filter(|(_, f)| {
+                let drained = f.remaining <= eps * f.size.max(1.0)
+                    || (f.rate > 0.0 && f.remaining / f.rate <= eps);
+                drained && now + eps >= f.start + f.latency
+            })
+            .map(|(&id, _)| id)
+            .collect();
+        done.sort_unstable();
+        done
+    }
+
+    /// Per-account rate through each link, as `(link index, account,
+    /// rate)` triples summed over flows. Used by the tracer.
+    pub fn usage_by_account(&self) -> HashMap<(usize, AccountId), f64> {
+        let mut out = HashMap::new();
+        for f in self.flows.values() {
+            if let Some(acc) = f.account {
+                for &l in &f.route {
+                    *out.entry((l.index(), acc)).or_insert(0.0) += f.rate;
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_flow_gets_bottleneck() {
+        // Two links 10 and 4: the flow rate is 4.
+        let r = maxmin_rates(&[10.0, 4.0], &[vec![0, 1]]);
+        assert_eq!(r, vec![4.0]);
+    }
+
+    #[test]
+    fn two_flows_share_one_link() {
+        let r = maxmin_rates(&[10.0], &[vec![0], vec![0]]);
+        assert_eq!(r, vec![5.0, 5.0]);
+    }
+
+    #[test]
+    fn classic_maxmin_example() {
+        // Link A cap 10 shared by f0, f1; link B cap 3 crossed by f1.
+        // f1 is limited to 3 by B; f0 then takes the remaining 7.
+        let r = maxmin_rates(&[10.0, 3.0], &[vec![0], vec![0, 1]]);
+        assert_eq!(r[1], 3.0);
+        assert!((r[0] - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_route_is_infinite() {
+        let r = maxmin_rates(&[10.0], &[vec![], vec![0]]);
+        assert_eq!(r[0], f64::INFINITY);
+        assert_eq!(r[1], 10.0);
+    }
+
+    #[test]
+    fn no_flows_no_rates() {
+        assert!(maxmin_rates(&[1.0, 2.0], &[]).is_empty());
+    }
+
+    #[test]
+    fn parking_lot_topology() {
+        // Chain of 3 links cap 1; one long flow crosses all, three
+        // short flows cross one each. Everybody gets 1/2.
+        let routes = vec![vec![0, 1, 2], vec![0], vec![1], vec![2]];
+        let r = maxmin_rates(&[1.0, 1.0, 1.0], &routes);
+        for x in r {
+            assert!((x - 0.5).abs() < 1e-9);
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn instance() -> impl Strategy<Value = (Vec<f64>, Vec<Vec<usize>>)> {
+        (2usize..6).prop_flat_map(|n_links| {
+            let caps = proptest::collection::vec(0.5f64..100.0, n_links);
+            let routes = proptest::collection::vec(
+                proptest::collection::btree_set(0..n_links, 1..=n_links)
+                    .prop_map(|s| s.into_iter().collect::<Vec<_>>()),
+                1..8,
+            );
+            (caps, routes)
+        })
+    }
+
+    proptest! {
+        /// Feasibility: no link capacity exceeded.
+        #[test]
+        fn rates_are_feasible((caps, routes) in instance()) {
+            let rates = maxmin_rates(&caps, &routes);
+            for (l, &cap) in caps.iter().enumerate() {
+                let load: f64 = routes
+                    .iter()
+                    .zip(&rates)
+                    .filter(|(r, _)| r.contains(&l))
+                    .map(|(_, &x)| x)
+                    .sum();
+                prop_assert!(load <= cap * (1.0 + 1e-6), "link {l}: {load} > {cap}");
+            }
+        }
+
+        /// Max-min property: every flow crosses at least one saturated
+        /// link on which it is among the fastest flows.
+        #[test]
+        fn every_flow_is_bottlenecked((caps, routes) in instance()) {
+            let rates = maxmin_rates(&caps, &routes);
+            for (f, route) in routes.iter().enumerate() {
+                let mut bottlenecked = false;
+                for &l in route {
+                    let load: f64 = routes
+                        .iter()
+                        .zip(&rates)
+                        .filter(|(r, _)| r.contains(&l))
+                        .map(|(_, &x)| x)
+                        .sum();
+                    let saturated = load >= caps[l] * (1.0 - 1e-6);
+                    let max_on_l = routes
+                        .iter()
+                        .zip(&rates)
+                        .filter(|(r, _)| r.contains(&l))
+                        .map(|(_, &x)| x)
+                        .fold(0.0f64, f64::max);
+                    if saturated && rates[f] >= max_on_l * (1.0 - 1e-6) {
+                        bottlenecked = true;
+                        break;
+                    }
+                }
+                prop_assert!(bottlenecked, "flow {f} (rate {}) has no bottleneck", rates[f]);
+            }
+        }
+
+        /// Rates are positive whenever capacities are.
+        #[test]
+        fn rates_are_positive((caps, routes) in instance()) {
+            for r in maxmin_rates(&caps, &routes) {
+                prop_assert!(r > 0.0);
+            }
+        }
+    }
+}

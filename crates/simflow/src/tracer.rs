@@ -1,0 +1,405 @@
+//! Trace recording: mirrors the simulated platform into a
+//! [`viva_trace::Trace`] while the simulation runs.
+//!
+//! The container tree follows the platform hierarchy (paper §3.2.2:
+//! spatial neighbourhoods are "inherited from the traces through the
+//! definition of groups"): `root → site → cluster → host`, with link
+//! containers attached to the scope that owns them (cluster links under
+//! their cluster, site links under their site, backbone links under the
+//! root).
+//!
+//! Recorded metrics (paper §3.1's running example):
+//!
+//! * `power` / `bandwidth` — capacities, set once at time 0 (node
+//!   *size* in the visualization);
+//! * `power_used` / `bandwidth_used` — instantaneous utilization (node
+//!   *fill*);
+//! * `power_used:{account}` / `bandwidth_used:{account}` — per-account
+//!   utilization breakdown when accounts are registered.
+
+use std::collections::HashMap;
+
+use viva_platform::{LinkScope, Platform, RouterId};
+use viva_trace::{metric::names, ContainerId, ContainerKind, MetricId, Trace, TraceBuilder};
+
+use crate::actor::AccountId;
+
+/// Picks the container a router should live under: the most specific
+/// scope (cluster > site > grid) among its incident links.
+fn router_scope(platform: &Platform, router: RouterId) -> LinkScope {
+    let mut best = LinkScope::Grid;
+    for &(link, _) in platform.neighbors(router.into()) {
+        match (platform.link(link).scope(), best) {
+            (s @ LinkScope::Cluster(_), _) => return s,
+            (s @ LinkScope::Site(_), LinkScope::Grid) => best = s,
+            _ => {}
+        }
+    }
+    best
+}
+
+/// Name of the per-account variant of a base metric.
+pub fn metric_for_account(base: &str, account: &str) -> String {
+    format!("{base}:{account}")
+}
+
+/// What the tracer records.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TracingConfig {
+    /// Record one [`viva_trace::LinkRecord`] per completed transfer
+    /// (host-to-host). Heavy for large workloads.
+    pub record_messages: bool,
+    /// Record per-account utilization metrics.
+    pub record_accounts: bool,
+}
+
+impl Default for TracingConfig {
+    fn default() -> Self {
+        TracingConfig { record_messages: true, record_accounts: true }
+    }
+}
+
+/// The live trace recorder owned by a tracing [`crate::Simulation`].
+#[derive(Debug)]
+pub struct SimTracer {
+    builder: TraceBuilder,
+    config: TracingConfig,
+    host_containers: Vec<ContainerId>,
+    link_containers: Vec<ContainerId>,
+    power: MetricId,
+    power_used: MetricId,
+    bandwidth: MetricId,
+    bandwidth_used: MetricId,
+    /// `(account, is_power)` → metric id, created lazily.
+    account_metrics: HashMap<(AccountId, bool), MetricId>,
+    account_names: Vec<String>,
+    /// Last emitted utilization per host / link, to suppress
+    /// no-op breakpoints.
+    last_host_used: Vec<f64>,
+    last_link_used: Vec<f64>,
+    last_host_acct: HashMap<(usize, AccountId), f64>,
+    last_link_acct: HashMap<(usize, AccountId), f64>,
+}
+
+impl SimTracer {
+    /// Builds the container tree and capacity signals for `platform`.
+    pub fn new(platform: &Platform, config: TracingConfig, accounts: &[String]) -> SimTracer {
+        let mut b = TraceBuilder::new();
+        let root = b.root();
+        let power = b.metric(names::POWER, "MFlop/s");
+        let power_used = b.metric(names::POWER_USED, "MFlop/s");
+        let bandwidth = b.metric(names::BANDWIDTH, "Mbit/s");
+        let bandwidth_used = b.metric(names::BANDWIDTH_USED, "Mbit/s");
+
+        let mut site_containers = Vec::with_capacity(platform.sites().len());
+        for s in platform.sites() {
+            let c = b
+                .new_container(root, s.name(), ContainerKind::Site)
+                .expect("root exists");
+            site_containers.push(c);
+        }
+        let mut cluster_containers = Vec::with_capacity(platform.clusters().len());
+        for cl in platform.clusters() {
+            let parent = site_containers[cl.site().index()];
+            let c = b
+                .new_container(parent, cl.name(), ContainerKind::Cluster)
+                .expect("site exists");
+            cluster_containers.push(c);
+        }
+        let mut host_containers = Vec::with_capacity(platform.hosts().len());
+        for h in platform.hosts() {
+            let parent = cluster_containers[h.cluster().index()];
+            let c = b
+                .new_container(parent, h.name(), ContainerKind::Host)
+                .expect("cluster exists");
+            b.set_variable(0.0, c, power, h.power()).expect("fresh signal");
+            host_containers.push(c);
+        }
+        // Routers carry no metrics but are part of the drawn topology
+        // (hosts connect to links, links to switches); attach each to
+        // the most specific scope among its incident links.
+        for r in platform.routers() {
+            let parent = match router_scope(platform, r.id()) {
+                LinkScope::Cluster(cl) => cluster_containers[cl.index()],
+                LinkScope::Site(s) => site_containers[s.index()],
+                LinkScope::Grid => root,
+            };
+            b.new_container(parent, r.name(), ContainerKind::Router)
+                .expect("scope container exists");
+        }
+        let mut link_containers = Vec::with_capacity(platform.links().len());
+        for l in platform.links() {
+            let parent = match l.scope() {
+                LinkScope::Cluster(cl) => cluster_containers[cl.index()],
+                LinkScope::Site(s) => site_containers[s.index()],
+                LinkScope::Grid => root,
+            };
+            let c = b
+                .new_container(parent, l.name(), ContainerKind::Link)
+                .expect("scope container exists");
+            b.set_variable(0.0, c, bandwidth, l.bandwidth()).expect("fresh signal");
+            link_containers.push(c);
+        }
+
+        SimTracer {
+            builder: b,
+            config,
+            last_host_used: vec![0.0; host_containers.len()],
+            last_link_used: vec![0.0; link_containers.len()],
+            host_containers,
+            link_containers,
+            power,
+            power_used,
+            bandwidth,
+            bandwidth_used,
+            account_metrics: HashMap::new(),
+            account_names: accounts.to_vec(),
+            last_host_acct: HashMap::new(),
+            last_link_acct: HashMap::new(),
+        }
+    }
+
+    fn account_metric(&mut self, account: AccountId, is_power: bool) -> MetricId {
+        let names_ref = &self.account_names;
+        let builder = &mut self.builder;
+        *self
+            .account_metrics
+            .entry((account, is_power))
+            .or_insert_with(|| {
+                let name = &names_ref[account.index()];
+                if is_power {
+                    builder.metric(metric_for_account(names::POWER_USED, name), "MFlop/s")
+                } else {
+                    builder.metric(metric_for_account(names::BANDWIDTH_USED, name), "Mbit/s")
+                }
+            })
+    }
+
+    /// Emits host utilization (total and per-account) at time `t`.
+    /// Values equal to the last emitted ones are suppressed.
+    pub fn host_usage(
+        &mut self,
+        t: f64,
+        host_index: usize,
+        total: f64,
+        by_account: &HashMap<AccountId, f64>,
+    ) {
+        let c = self.host_containers[host_index];
+        if (self.last_host_used[host_index] - total).abs() > 1e-9 {
+            self.last_host_used[host_index] = total;
+            self.builder
+                .set_variable(t, c, self.power_used, total)
+                .expect("monotonic simulation time");
+        }
+        if self.config.record_accounts {
+            // Touch every account seen before plus the current ones so
+            // that a vanished account drops to 0.
+            let mut accounts: Vec<AccountId> = by_account.keys().copied().collect();
+            for &(h, acc) in self.last_host_acct.keys() {
+                if h == host_index {
+                    accounts.push(acc);
+                }
+            }
+            accounts.sort_unstable();
+            accounts.dedup();
+            for acc in accounts {
+                let v = by_account.get(&acc).copied().unwrap_or(0.0);
+                let slot = self.last_host_acct.entry((host_index, acc)).or_insert(0.0);
+                if (*slot - v).abs() > 1e-9 {
+                    *slot = v;
+                    let m = self.account_metric(acc, true);
+                    self.builder
+                        .set_variable(t, c, m, v)
+                        .expect("monotonic simulation time");
+                }
+            }
+        }
+    }
+
+    /// Emits link utilization (total and per-account) at time `t`.
+    pub fn link_usage(
+        &mut self,
+        t: f64,
+        link_index: usize,
+        total: f64,
+        by_account: &HashMap<(usize, AccountId), f64>,
+    ) {
+        let c = self.link_containers[link_index];
+        if (self.last_link_used[link_index] - total).abs() > 1e-9 {
+            self.last_link_used[link_index] = total;
+            self.builder
+                .set_variable(t, c, self.bandwidth_used, total)
+                .expect("monotonic simulation time");
+        }
+        if self.config.record_accounts {
+            let mut accounts: Vec<AccountId> = by_account
+                .keys()
+                .filter(|(l, _)| *l == link_index)
+                .map(|&(_, a)| a)
+                .collect();
+            for &(l, acc) in self.last_link_acct.keys() {
+                if l == link_index {
+                    accounts.push(acc);
+                }
+            }
+            accounts.sort_unstable();
+            accounts.dedup();
+            for acc in accounts {
+                let v = by_account.get(&(link_index, acc)).copied().unwrap_or(0.0);
+                let slot = self.last_link_acct.entry((link_index, acc)).or_insert(0.0);
+                if (*slot - v).abs() > 1e-9 {
+                    *slot = v;
+                    let m = self.account_metric(acc, false);
+                    self.builder
+                        .set_variable(t, c, m, v)
+                        .expect("monotonic simulation time");
+                }
+            }
+        }
+    }
+
+    /// Records a change of a host's available computing power (the
+    /// time-varying capacity of paper Fig. 1).
+    pub fn host_power(&mut self, t: f64, host_index: usize, power: f64) {
+        self.builder
+            .set_variable(t, self.host_containers[host_index], self.power, power)
+            .expect("monotonic simulation time");
+    }
+
+    /// Records a change of a link's available bandwidth.
+    pub fn link_bandwidth(&mut self, t: f64, link_index: usize, bandwidth: f64) {
+        self.builder
+            .set_variable(t, self.link_containers[link_index], self.bandwidth, bandwidth)
+            .expect("monotonic simulation time");
+    }
+
+    /// Records a completed host-to-host message.
+    pub fn message(&mut self, start: f64, end: f64, from_host: usize, to_host: usize, size: f64) {
+        if self.config.record_messages {
+            self.builder
+                .link(
+                    start,
+                    end,
+                    self.host_containers[from_host],
+                    self.host_containers[to_host],
+                    size,
+                )
+                .expect("valid containers");
+        }
+    }
+
+    /// Enters a named state on a host container.
+    pub fn push_state(&mut self, t: f64, host_index: usize, state: String) {
+        self.builder
+            .push_state(t, self.host_containers[host_index], state)
+            .expect("valid container");
+    }
+
+    /// Leaves the current state on a host container.
+    pub fn pop_state(&mut self, t: f64, host_index: usize) {
+        // An unbalanced pop is an actor bug; surface it loudly.
+        self.builder
+            .pop_state(t, self.host_containers[host_index])
+            .expect("balanced state stack");
+    }
+
+    /// Finalizes the trace at time `end`.
+    pub fn finish(self, end: f64) -> Trace {
+        self.builder.finish(end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use viva_platform::generators;
+
+    #[test]
+    fn container_tree_mirrors_platform() {
+        let p = generators::two_clusters(&Default::default()).unwrap();
+        let tr = SimTracer::new(&p, TracingConfig::default(), &[]);
+        let trace = tr.finish(1.0);
+        let t = trace.containers();
+        // 1 root + 2 sites + 2 clusters + 22 hosts + 3 routers + 24 links.
+        assert_eq!(t.len(), 1 + 2 + 2 + 22 + 3 + 24);
+        // Cluster switches live under their cluster, the core router
+        // under the root.
+        let sw = t.by_name("adonis-sw").unwrap();
+        assert_eq!(t.node(sw.parent().unwrap()).name(), "adonis");
+        let core = t.by_name("backbone").unwrap();
+        assert_eq!(core.parent(), Some(t.root()));
+        let adonis1 = t.by_name("adonis-1").unwrap();
+        assert_eq!(t.path(adonis1.id()), "grenoble/adonis/adonis-1");
+        // Backbone links live under the root.
+        let bb = t.by_name("adonis-bb").unwrap();
+        assert_eq!(bb.parent(), Some(t.root()));
+        // Host uplinks live under their cluster.
+        let up = t.by_name("griffon-3-up").unwrap();
+        assert_eq!(t.node(up.parent().unwrap()).name(), "griffon");
+    }
+
+    #[test]
+    fn capacities_recorded_at_time_zero() {
+        let p = generators::two_clusters(&Default::default()).unwrap();
+        let tr = SimTracer::new(&p, TracingConfig::default(), &[]);
+        let trace = tr.finish(1.0);
+        let h = trace.containers().by_name("adonis-1").unwrap().id();
+        assert_eq!(
+            trace.signal_by_name(h, names::POWER).unwrap().value_at(0.5),
+            1000.0
+        );
+        let l = trace.containers().by_name("adonis-bb").unwrap().id();
+        assert_eq!(
+            trace.signal_by_name(l, names::BANDWIDTH).unwrap().value_at(0.5),
+            1500.0
+        );
+    }
+
+    #[test]
+    fn usage_suppresses_duplicate_values() {
+        let p = generators::star(2, 100.0, 1000.0).unwrap();
+        let mut tr = SimTracer::new(&p, TracingConfig::default(), &[]);
+        let none = HashMap::new();
+        tr.host_usage(1.0, 0, 100.0, &none);
+        tr.host_usage(2.0, 0, 100.0, &none); // suppressed
+        tr.host_usage(3.0, 0, 0.0, &none);
+        let trace = tr.finish(4.0);
+        let h = trace.containers().by_name("star-1").unwrap().id();
+        let sig = trace.signal_by_name(h, names::POWER_USED).unwrap();
+        assert_eq!(sig.len(), 2);
+        assert_eq!(sig.integrate(0.0, 4.0), 200.0);
+    }
+
+    #[test]
+    fn account_metrics_appear_on_demand() {
+        let p = generators::star(2, 100.0, 1000.0).unwrap();
+        let mut tr =
+            SimTracer::new(&p, TracingConfig::default(), &["app1".into(), "app2".into()]);
+        let mut by = HashMap::new();
+        by.insert(AccountId(0), 60.0);
+        tr.host_usage(1.0, 0, 60.0, &by);
+        by.clear();
+        tr.host_usage(2.0, 0, 0.0, &by); // account drops to 0
+        let trace = tr.finish(3.0);
+        let h = trace.containers().by_name("star-1").unwrap().id();
+        let sig = trace.signal_by_name(h, "power_used:app1").unwrap();
+        assert_eq!(sig.integrate(0.0, 3.0), 60.0);
+        assert!(trace.metric_id("power_used:app2").is_none());
+    }
+
+    #[test]
+    fn messages_respect_config() {
+        let p = generators::star(2, 100.0, 1000.0).unwrap();
+        let mut tr = SimTracer::new(
+            &p,
+            TracingConfig { record_messages: false, ..Default::default() },
+            &[],
+        );
+        tr.message(0.0, 1.0, 0, 1, 8.0);
+        assert!(tr.finish(2.0).links().is_empty());
+
+        let mut tr = SimTracer::new(&p, TracingConfig::default(), &[]);
+        tr.message(0.0, 1.0, 0, 1, 8.0);
+        assert_eq!(tr.finish(2.0).links().len(), 1);
+    }
+}

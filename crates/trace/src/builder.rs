@@ -1,0 +1,375 @@
+//! Incremental construction of [`Trace`]s.
+//!
+//! A [`TraceBuilder`] is what a tracer (or our simulator's tracing
+//! hook) holds while the observed system runs. It accepts events in
+//! non-decreasing time order per signal and folds them into signals,
+//! state records and link records.
+
+use std::collections::HashMap;
+
+use crate::container::{ContainerId, ContainerKind, ContainerTree};
+use crate::error::TraceError;
+use crate::event::Event;
+use crate::metric::{MetricId, MetricRegistry};
+use crate::signal::Signal;
+use crate::state::StateLog;
+use crate::trace::{LinkRecord, Trace};
+
+/// Builder for [`Trace`].
+///
+/// # Example
+///
+/// ```
+/// use viva_trace::{TraceBuilder, ContainerKind};
+///
+/// let mut b = TraceBuilder::new();
+/// let host = b.new_container(b.root(), "h", ContainerKind::Host)?;
+/// let used = b.metric("power_used", "MFlop/s");
+/// b.set_variable(0.0, host, used, 0.0)?;
+/// b.add_variable(1.0, host, used, 30.0)?;
+/// b.sub_variable(4.0, host, used, 30.0)?;
+/// let trace = b.finish(10.0);
+/// assert_eq!(trace.signal(host, used).unwrap().integrate(0.0, 10.0), 90.0);
+/// # Ok::<(), viva_trace::TraceError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct TraceBuilder {
+    containers: ContainerTree,
+    metrics: MetricRegistry,
+    signals: HashMap<(ContainerId, MetricId), Signal>,
+    states: StateLog,
+    links: Vec<LinkRecord>,
+    earliest: Option<f64>,
+    latest: f64,
+}
+
+impl TraceBuilder {
+    /// Creates a builder with an empty root container.
+    pub fn new() -> TraceBuilder {
+        TraceBuilder::default()
+    }
+
+    /// The root container id.
+    pub fn root(&self) -> ContainerId {
+        self.containers.root()
+    }
+
+    /// Read access to the container tree built so far.
+    pub fn containers(&self) -> &ContainerTree {
+        &self.containers
+    }
+
+    /// Registers (or looks up) a metric by name.
+    pub fn metric(&mut self, name: impl Into<String>, unit: impl Into<String>) -> MetricId {
+        self.metrics.register(name, unit)
+    }
+
+    /// Creates a container under `parent`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::UnknownContainer`] for a bogus parent.
+    pub fn new_container(
+        &mut self,
+        parent: ContainerId,
+        name: impl Into<String>,
+        kind: ContainerKind,
+    ) -> Result<ContainerId, TraceError> {
+        self.containers.add(parent, name, kind)
+    }
+
+    fn touch(&mut self, t: f64) {
+        self.earliest = Some(self.earliest.map_or(t, |e| e.min(t)));
+        self.latest = self.latest.max(t);
+    }
+
+    fn check_container(&self, c: ContainerId) -> Result<(), TraceError> {
+        if self.containers.get(c).is_none() {
+            return Err(TraceError::UnknownContainer(c));
+        }
+        Ok(())
+    }
+
+    /// Sets the absolute value of `metric` on `container` at time `t`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates signal errors ([`TraceError::NonMonotonicTime`],
+    /// [`TraceError::NotFinite`]) and rejects unknown containers.
+    pub fn set_variable(
+        &mut self,
+        t: f64,
+        container: ContainerId,
+        metric: MetricId,
+        value: f64,
+    ) -> Result<(), TraceError> {
+        self.check_container(container)?;
+        self.signals
+            .entry((container, metric))
+            .or_default()
+            .push(t, value)?;
+        self.touch(t);
+        Ok(())
+    }
+
+    /// Increments `metric` on `container` by `value` at time `t`.
+    ///
+    /// A variable that was never set starts at 0.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`TraceBuilder::set_variable`].
+    pub fn add_variable(
+        &mut self,
+        t: f64,
+        container: ContainerId,
+        metric: MetricId,
+        value: f64,
+    ) -> Result<(), TraceError> {
+        self.check_container(container)?;
+        let sig = self.signals.entry((container, metric)).or_default();
+        let cur = sig.last_time().map_or(0.0, |lt| sig.value_at(lt));
+        sig.push(t, cur + value)?;
+        self.touch(t);
+        Ok(())
+    }
+
+    /// Decrements `metric` on `container` by `value` at time `t`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`TraceBuilder::set_variable`], plus
+    /// [`TraceError::NegativeVariable`] when the decrement would drive
+    /// the variable below zero (beyond numerical noise).
+    pub fn sub_variable(
+        &mut self,
+        t: f64,
+        container: ContainerId,
+        metric: MetricId,
+        value: f64,
+    ) -> Result<(), TraceError> {
+        self.check_container(container)?;
+        let sig = self.signals.entry((container, metric)).or_default();
+        let cur = sig.last_time().map_or(0.0, |lt| sig.value_at(lt));
+        let next = cur - value;
+        if next < -1e-9 {
+            return Err(TraceError::NegativeVariable { value: next });
+        }
+        sig.push(t, next.max(0.0))?;
+        self.touch(t);
+        Ok(())
+    }
+
+    /// Enters state `state` on `container` at time `t`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown containers.
+    pub fn push_state(
+        &mut self,
+        t: f64,
+        container: ContainerId,
+        state: impl Into<String>,
+    ) -> Result<(), TraceError> {
+        self.check_container(container)?;
+        self.states.push(t, container, state);
+        self.touch(t);
+        Ok(())
+    }
+
+    /// Leaves the innermost state of `container` at time `t`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown containers and empty state stacks.
+    pub fn pop_state(&mut self, t: f64, container: ContainerId) -> Result<(), TraceError> {
+        self.check_container(container)?;
+        self.states.pop(t, container)?;
+        self.touch(t);
+        Ok(())
+    }
+
+    /// Records a completed communication of `size` Mbit.
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown containers and non-finite times/sizes.
+    pub fn link(
+        &mut self,
+        start: f64,
+        end: f64,
+        from: ContainerId,
+        to: ContainerId,
+        size: f64,
+    ) -> Result<(), TraceError> {
+        self.check_container(from)?;
+        self.check_container(to)?;
+        for q in [start, end, size] {
+            if !q.is_finite() {
+                return Err(TraceError::NotFinite { value: q });
+            }
+        }
+        self.links.push(LinkRecord { start, end, from, to, size });
+        self.touch(start);
+        self.touch(end);
+        Ok(())
+    }
+
+    /// Replays an already-serialized event.
+    ///
+    /// `NewContainer` events must carry the id the tree will assign
+    /// (i.e. events must be replayed in original order).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying recording error; a `NewContainer`
+    /// whose id does not match the next id the tree would assign is
+    /// reported as [`TraceError::UnknownContainer`].
+    pub fn apply(&mut self, event: &Event) -> Result<(), TraceError> {
+        match event {
+            Event::NewContainer { time, id, parent, name, kind } => {
+                let assigned = self.new_container(*parent, name.clone(), *kind)?;
+                self.touch(*time);
+                if assigned != *id {
+                    return Err(TraceError::UnknownContainer(*id));
+                }
+                Ok(())
+            }
+            Event::SetVariable { time, container, metric, value } => {
+                self.set_variable(*time, *container, *metric, *value)
+            }
+            Event::AddVariable { time, container, metric, value } => {
+                self.add_variable(*time, *container, *metric, *value)
+            }
+            Event::SubVariable { time, container, metric, value } => {
+                self.sub_variable(*time, *container, *metric, *value)
+            }
+            Event::PushState { time, container, state } => {
+                self.push_state(*time, *container, state.clone())
+            }
+            Event::PopState { time, container } => self.pop_state(*time, *container),
+            Event::Link { start, end, from, to, size } => {
+                self.link(*start, *end, *from, *to, *size)
+            }
+        }
+    }
+
+    /// Latest timestamp seen so far.
+    pub fn now(&self) -> f64 {
+        self.latest
+    }
+
+    /// Finalizes the trace. The observation period is
+    /// `[earliest event time, max(end, latest event time)]`; open
+    /// states are closed at the period end.
+    pub fn finish(self, end: f64) -> Trace {
+        let start = self.earliest.unwrap_or(0.0);
+        let end = end.max(self.latest);
+        Trace {
+            containers: self.containers,
+            metrics: self.metrics,
+            signals: self.signals,
+            states: self.states.finish(end),
+            links: self.links,
+            start,
+            end,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_sub_accumulate() {
+        let mut b = TraceBuilder::new();
+        let h = b.new_container(b.root(), "h", ContainerKind::Host).unwrap();
+        let m = b.metric("bw_used", "Mbit/s");
+        b.add_variable(0.0, h, m, 10.0).unwrap();
+        b.add_variable(2.0, h, m, 5.0).unwrap();
+        b.sub_variable(4.0, h, m, 15.0).unwrap();
+        let t = b.finish(10.0);
+        let s = t.signal(h, m).unwrap();
+        assert_eq!(s.value_at(1.0), 10.0);
+        assert_eq!(s.value_at(3.0), 15.0);
+        assert_eq!(s.value_at(5.0), 0.0);
+    }
+
+    #[test]
+    fn sub_below_zero_rejected() {
+        let mut b = TraceBuilder::new();
+        let h = b.new_container(b.root(), "h", ContainerKind::Host).unwrap();
+        let m = b.metric("x", "u");
+        b.add_variable(0.0, h, m, 1.0).unwrap();
+        assert!(matches!(
+            b.sub_variable(1.0, h, m, 2.0),
+            Err(TraceError::NegativeVariable { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_container_rejected() {
+        let mut b = TraceBuilder::new();
+        let m = b.metric("x", "u");
+        let bogus = ContainerId::from_index(99);
+        assert_eq!(
+            b.set_variable(0.0, bogus, m, 1.0),
+            Err(TraceError::UnknownContainer(bogus))
+        );
+    }
+
+    #[test]
+    fn span_tracks_events_and_finish_extends() {
+        let mut b = TraceBuilder::new();
+        let h = b.new_container(b.root(), "h", ContainerKind::Host).unwrap();
+        let m = b.metric("x", "u");
+        b.set_variable(2.0, h, m, 1.0).unwrap();
+        b.set_variable(7.0, h, m, 0.0).unwrap();
+        assert_eq!(b.now(), 7.0);
+        let t = b.finish(5.0); // earlier than latest event: clamped
+        assert_eq!(t.start(), 2.0);
+        assert_eq!(t.end(), 7.0);
+    }
+
+    #[test]
+    fn states_closed_at_finish() {
+        let mut b = TraceBuilder::new();
+        let p = b
+            .new_container(b.root(), "p0", ContainerKind::Process)
+            .unwrap();
+        b.push_state(1.0, p, "compute").unwrap();
+        let t = b.finish(6.0);
+        assert_eq!(t.states().len(), 1);
+        assert_eq!(t.states()[0].end, 6.0);
+    }
+
+    #[test]
+    fn apply_replays_events() {
+        // Build a reference trace directly.
+        let mut b1 = TraceBuilder::new();
+        let h = b1.new_container(b1.root(), "h", ContainerKind::Host).unwrap();
+        let m = b1.metric("power", "MFlop/s");
+        b1.set_variable(0.0, h, m, 42.0).unwrap();
+        let t1 = b1.finish(5.0);
+
+        // Rebuild it through Event::apply.
+        let mut b2 = TraceBuilder::new();
+        let m2 = b2.metric("power", "MFlop/s");
+        b2.apply(&Event::NewContainer {
+            time: 0.0,
+            id: h,
+            parent: b2.root(),
+            name: "h".into(),
+            kind: ContainerKind::Host,
+        })
+        .unwrap();
+        b2.apply(&Event::SetVariable { time: 0.0, container: h, metric: m2, value: 42.0 })
+            .unwrap();
+        let t2 = b2.finish(5.0);
+        assert_eq!(
+            t1.signal(h, m).unwrap().value_at(1.0),
+            t2.signal(h, m2).unwrap().value_at(1.0)
+        );
+    }
+}

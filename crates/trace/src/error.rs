@@ -1,0 +1,86 @@
+//! Error type shared by all fallible trace operations.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::container::ContainerId;
+
+/// Errors produced while building or querying traces.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceError {
+    /// A timestamp was lower than an earlier timestamp recorded for the
+    /// same signal, or not finite.
+    NonMonotonicTime {
+        /// The offending timestamp.
+        time: f64,
+        /// The latest timestamp already recorded.
+        last: f64,
+    },
+    /// A timestamp or value was NaN or infinite.
+    NotFinite {
+        /// The offending quantity.
+        value: f64,
+    },
+    /// The referenced container does not exist in the container tree.
+    UnknownContainer(ContainerId),
+    /// A `sub_variable` would have driven a variable below zero.
+    NegativeVariable {
+        /// The resulting (rejected) value.
+        value: f64,
+    },
+    /// A pop was attempted on a container with an empty state stack.
+    EmptyStateStack(ContainerId),
+    /// Malformed input while importing a trace.
+    Parse {
+        /// 1-based line number of the offending record.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::NonMonotonicTime { time, last } => {
+                write!(f, "timestamp {time} precedes already-recorded {last}")
+            }
+            TraceError::NotFinite { value } => {
+                write!(f, "non-finite quantity {value}")
+            }
+            TraceError::UnknownContainer(id) => {
+                write!(f, "unknown container {id:?}")
+            }
+            TraceError::NegativeVariable { value } => {
+                write!(f, "variable would become negative ({value})")
+            }
+            TraceError::EmptyStateStack(id) => {
+                write!(f, "pop on empty state stack of container {id:?}")
+            }
+            TraceError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl Error for TraceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let e = TraceError::NonMonotonicTime { time: 1.0, last: 2.0 };
+        let s = e.to_string();
+        assert!(!s.is_empty());
+        assert!(s.chars().next().unwrap().is_lowercase());
+    }
+
+    #[test]
+    fn errors_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TraceError>();
+    }
+}

@@ -1,0 +1,127 @@
+//! Raw timestamped trace events.
+//!
+//! Events are the wire-level representation: what a tracer emits and
+//! what exporters serialize. [`crate::TraceBuilder`] folds a stream of
+//! events into the queryable [`crate::Trace`] structure.
+
+use crate::container::{ContainerId, ContainerKind};
+use crate::metric::MetricId;
+
+/// One timestamped trace record.
+///
+/// The variants mirror the Paje event kinds the original VIVA tool
+/// consumes: container lifecycle, variable updates, process states and
+/// point-to-point communications.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A monitored entity appears.
+    NewContainer {
+        /// Creation time.
+        time: f64,
+        /// Id assigned to the new container.
+        id: ContainerId,
+        /// Parent container.
+        parent: ContainerId,
+        /// Sibling-unique name.
+        name: String,
+        /// Entity kind.
+        kind: ContainerKind,
+    },
+    /// A variable takes a new absolute value.
+    SetVariable {
+        /// Event time.
+        time: f64,
+        /// Target container.
+        container: ContainerId,
+        /// Target metric.
+        metric: MetricId,
+        /// New value.
+        value: f64,
+    },
+    /// A variable is incremented.
+    AddVariable {
+        /// Event time.
+        time: f64,
+        /// Target container.
+        container: ContainerId,
+        /// Target metric.
+        metric: MetricId,
+        /// Increment (non-negative).
+        value: f64,
+    },
+    /// A variable is decremented.
+    SubVariable {
+        /// Event time.
+        time: f64,
+        /// Target container.
+        container: ContainerId,
+        /// Target metric.
+        metric: MetricId,
+        /// Decrement (non-negative).
+        value: f64,
+    },
+    /// A container enters a named state (stacked).
+    PushState {
+        /// Event time.
+        time: f64,
+        /// Target container.
+        container: ContainerId,
+        /// State name (e.g. `"compute"`, `"wait"`).
+        state: String,
+    },
+    /// A container leaves its current state.
+    PopState {
+        /// Event time.
+        time: f64,
+        /// Target container.
+        container: ContainerId,
+    },
+    /// A point-to-point communication completed.
+    Link {
+        /// Send time.
+        start: f64,
+        /// Receive time.
+        end: f64,
+        /// Sending container.
+        from: ContainerId,
+        /// Receiving container.
+        to: ContainerId,
+        /// Payload size in Mbit.
+        size: f64,
+    },
+}
+
+impl Event {
+    /// The timestamp ordering key of this event (start time for links).
+    pub fn time(&self) -> f64 {
+        match self {
+            Event::NewContainer { time, .. }
+            | Event::SetVariable { time, .. }
+            | Event::AddVariable { time, .. }
+            | Event::SubVariable { time, .. }
+            | Event::PushState { time, .. }
+            | Event::PopState { time, .. } => *time,
+            Event::Link { start, .. } => *start,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_extracts_ordering_key() {
+        let c = ContainerId::from_index(1);
+        let m = MetricId::from_index(0);
+        assert_eq!(
+            Event::SetVariable { time: 2.5, container: c, metric: m, value: 1.0 }.time(),
+            2.5
+        );
+        assert_eq!(
+            Event::Link { start: 1.0, end: 4.0, from: c, to: c, size: 8.0 }.time(),
+            1.0
+        );
+        assert_eq!(Event::PopState { time: 9.0, container: c }.time(), 9.0);
+    }
+}

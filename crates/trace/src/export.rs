@@ -1,0 +1,289 @@
+//! Plain-text trace serialization (a Paje-flavoured CSV dialect).
+//!
+//! The format is line-oriented; each line is one record whose first
+//! field is the record kind. Free-form names always sit in the *last*
+//! field so they may contain commas. Round-tripping a trace through
+//! [`to_csv`] / [`from_csv`] preserves containers, metrics, signals,
+//! states and links exactly (floats are printed with full precision).
+//!
+//! ```text
+//! span,<start>,<end>
+//! container,<id>,<parent-id>,<kind>,<name>
+//! metric,<id>,<unit>,<name>
+//! var,<time>,<container-id>,<metric-id>,<value>
+//! state,<container-id>,<start>,<end>,<depth>,<name>
+//! link,<start>,<end>,<from-id>,<to-id>,<size>
+//! ```
+
+use std::fmt::Write as _;
+
+use crate::builder::TraceBuilder;
+use crate::container::{ContainerId, ContainerKind};
+use crate::error::TraceError;
+use crate::metric::MetricId;
+use crate::state::StateRecord;
+use crate::trace::Trace;
+
+/// Serializes `trace` to the CSV dialect described at module level.
+pub fn to_csv(trace: &Trace) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "span,{:?},{:?}", trace.start(), trace.end());
+    for c in trace.containers().iter() {
+        if let Some(parent) = c.parent() {
+            let _ = writeln!(
+                out,
+                "container,{},{},{},{}",
+                c.id().index(),
+                parent.index(),
+                c.kind().label(),
+                c.name()
+            );
+        }
+    }
+    for m in trace.metrics().iter() {
+        let _ = writeln!(out, "metric,{},{},{}", m.id().index(), m.unit(), m.name());
+    }
+    // Variable breakpoints, sorted by time then (container, metric) for
+    // a deterministic, replayable event order.
+    let mut vars: Vec<(f64, ContainerId, MetricId, f64)> = Vec::new();
+    for (c, m, sig) in trace.signals() {
+        for (start, _, value) in sig.segments() {
+            vars.push((start, c, m, value));
+        }
+    }
+    vars.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+    for (t, c, m, v) in vars {
+        let _ = writeln!(out, "var,{:?},{},{},{:?}", t, c.index(), m.index(), v);
+    }
+    for s in trace.states() {
+        let _ = writeln!(
+            out,
+            "state,{},{:?},{:?},{},{}",
+            s.container.index(),
+            s.start,
+            s.end,
+            s.depth,
+            s.state
+        );
+    }
+    for l in trace.links() {
+        let _ = writeln!(
+            out,
+            "link,{:?},{:?},{},{},{:?}",
+            l.start,
+            l.end,
+            l.from.index(),
+            l.to.index(),
+            l.size
+        );
+    }
+    out
+}
+
+fn parse_f64(s: &str, line: usize) -> Result<f64, TraceError> {
+    s.parse::<f64>().map_err(|e| TraceError::Parse {
+        line,
+        message: format!("bad float {s:?}: {e}"),
+    })
+}
+
+fn parse_usize(s: &str, line: usize) -> Result<usize, TraceError> {
+    s.parse::<usize>().map_err(|e| TraceError::Parse {
+        line,
+        message: format!("bad index {s:?}: {e}"),
+    })
+}
+
+fn fields<const N: usize>(rest: &str, line: usize) -> Result<[&str; N], TraceError> {
+    let mut it = rest.splitn(N, ',');
+    let mut out = [""; N];
+    for slot in out.iter_mut() {
+        *slot = it.next().ok_or_else(|| TraceError::Parse {
+            line,
+            message: format!("expected {N} fields in {rest:?}"),
+        })?;
+    }
+    Ok(out)
+}
+
+/// Parses a trace previously produced by [`to_csv`].
+///
+/// # Errors
+///
+/// Returns [`TraceError::Parse`] on malformed records, and propagates
+/// recording errors (e.g. non-monotonic variable times).
+pub fn from_csv(text: &str) -> Result<Trace, TraceError> {
+    let mut b = TraceBuilder::new();
+    let mut span_end = 0.0f64;
+    // States are recorded as completed intervals; feed pushes/pops in
+    // chronological order through a sorted buffer instead.
+    let mut state_records: Vec<StateRecord> = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let raw = raw.trim_end();
+        if raw.is_empty() || raw.starts_with('#') {
+            continue;
+        }
+        let (kind, rest) = raw.split_once(',').ok_or_else(|| TraceError::Parse {
+            line: lineno,
+            message: "missing record kind".to_owned(),
+        })?;
+        match kind {
+            "span" => {
+                let [_, e] = fields::<2>(rest, lineno)?;
+                span_end = parse_f64(e, lineno)?;
+            }
+            "container" => {
+                let [id, parent, ckind, name] = fields::<4>(rest, lineno)?;
+                let expect = ContainerId::from_index(parse_usize(id, lineno)?);
+                let parent = ContainerId::from_index(parse_usize(parent, lineno)?);
+                let ckind =
+                    ContainerKind::from_label(ckind).ok_or_else(|| TraceError::Parse {
+                        line: lineno,
+                        message: format!("unknown container kind {ckind:?}"),
+                    })?;
+                let got = b.new_container(parent, name, ckind)?;
+                if got != expect {
+                    return Err(TraceError::Parse {
+                        line: lineno,
+                        message: format!("container id mismatch: file {expect}, assigned {got}"),
+                    });
+                }
+            }
+            "metric" => {
+                let [id, unit, name] = fields::<3>(rest, lineno)?;
+                let expect = MetricId::from_index(parse_usize(id, lineno)?);
+                let got = b.metric(name, unit);
+                if got != expect {
+                    return Err(TraceError::Parse {
+                        line: lineno,
+                        message: format!("metric id mismatch: file {expect}, assigned {got}"),
+                    });
+                }
+            }
+            "var" => {
+                let [t, c, m, v] = fields::<4>(rest, lineno)?;
+                b.set_variable(
+                    parse_f64(t, lineno)?,
+                    ContainerId::from_index(parse_usize(c, lineno)?),
+                    MetricId::from_index(parse_usize(m, lineno)?),
+                    parse_f64(v, lineno)?,
+                )?;
+            }
+            "state" => {
+                let [c, s, e, d, name] = fields::<5>(rest, lineno)?;
+                state_records.push(StateRecord {
+                    container: ContainerId::from_index(parse_usize(c, lineno)?),
+                    start: parse_f64(s, lineno)?,
+                    end: parse_f64(e, lineno)?,
+                    depth: parse_usize(d, lineno)?,
+                    state: name.to_owned(),
+                });
+            }
+            "link" => {
+                let [s, e, from, to, size] = fields::<5>(rest, lineno)?;
+                b.link(
+                    parse_f64(s, lineno)?,
+                    parse_f64(e, lineno)?,
+                    ContainerId::from_index(parse_usize(from, lineno)?),
+                    ContainerId::from_index(parse_usize(to, lineno)?),
+                    parse_f64(size, lineno)?,
+                )?;
+            }
+            other => {
+                return Err(TraceError::Parse {
+                    line: lineno,
+                    message: format!("unknown record kind {other:?}"),
+                });
+            }
+        }
+    }
+    let mut trace = b.finish(span_end);
+    // Completed states bypass the builder's push/pop mechanism.
+    state_records
+        .sort_by(|a, b| a.container.cmp(&b.container).then(a.start.total_cmp(&b.start)));
+    trace.states = state_records;
+    Ok(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::container::ContainerKind;
+
+    fn sample() -> Trace {
+        let mut b = TraceBuilder::new();
+        let root = b.root();
+        let cluster = b.new_container(root, "adonis", ContainerKind::Cluster).unwrap();
+        let h1 = b.new_container(cluster, "adonis-1", ContainerKind::Host).unwrap();
+        let h2 = b.new_container(cluster, "adonis, two", ContainerKind::Host).unwrap();
+        let power = b.metric("power", "MFlop/s");
+        let used = b.metric("power_used", "MFlop/s");
+        b.set_variable(0.0, h1, power, 100.0).unwrap();
+        b.set_variable(0.0, h2, power, 25.0).unwrap();
+        b.set_variable(1.5, h1, used, 60.0).unwrap();
+        b.set_variable(3.25, h1, used, 0.0).unwrap();
+        b.push_state(1.0, h1, "compute").unwrap();
+        b.pop_state(4.0, h1).unwrap();
+        b.link(2.0, 3.0, h1, h2, 80.0).unwrap();
+        b.finish(10.0)
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let t1 = sample();
+        let csv = to_csv(&t1);
+        let t2 = from_csv(&csv).expect("roundtrip parse");
+        assert_eq!(t1.containers().len(), t2.containers().len());
+        assert_eq!(t1.metrics().len(), t2.metrics().len());
+        assert_eq!(t1.signal_count(), t2.signal_count());
+        assert_eq!(t1.start(), t2.start());
+        assert_eq!(t1.end(), t2.end());
+        assert_eq!(t1.states().len(), t2.states().len());
+        assert_eq!(t1.links().len(), t2.links().len());
+        for (c, m, sig) in t1.signals() {
+            let sig2 = t2.signal(c, m).expect("signal survives roundtrip");
+            assert_eq!(sig, sig2, "signal mismatch on ({c}, {m})");
+        }
+        // Names with commas survive.
+        assert!(t2.containers().by_name("adonis, two").is_some());
+    }
+
+    #[test]
+    fn reexport_is_identical() {
+        let t1 = sample();
+        let csv1 = to_csv(&t1);
+        let csv2 = to_csv(&from_csv(&csv1).unwrap());
+        assert_eq!(csv1, csv2);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let t = from_csv("# a comment\n\nspan,0,5\n").unwrap();
+        assert_eq!(t.end(), 5.0);
+    }
+
+    #[test]
+    fn malformed_lines_error_with_line_numbers() {
+        let err = from_csv("span,0,5\nbogus,1,2\n").unwrap_err();
+        match err {
+            TraceError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other}"),
+        }
+        let err = from_csv("var,notafloat,0,0,1\n").unwrap_err();
+        assert!(matches!(err, TraceError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn float_precision_survives() {
+        let mut b = TraceBuilder::new();
+        let h = b.new_container(b.root(), "h", ContainerKind::Host).unwrap();
+        let m = b.metric("x", "u");
+        let v = 1.0 / 3.0;
+        b.set_variable(0.1 + 0.2, h, m, v).unwrap();
+        let t = b.finish(1.0);
+        let t2 = from_csv(&to_csv(&t)).unwrap();
+        assert_eq!(t2.signal(h, m).unwrap().value_at(0.5), v);
+        assert_eq!(t2.signal(h, m).unwrap().times()[0], 0.1 + 0.2);
+    }
+}

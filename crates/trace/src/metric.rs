@@ -1,0 +1,172 @@
+//! Metric registry: the typed quantities recorded in a trace.
+//!
+//! Each metric has its own unit and therefore its own scale; the paper
+//! (§4.1) insists that "computing power is likely to be measured in
+//! Megaflops, network data traffic might be measured in Megabit/second"
+//! and derives an *independent* screen scaling per metric type. The
+//! registry is where that typing lives.
+
+use std::fmt;
+
+/// Opaque identifier of a [`Metric`] inside one [`MetricRegistry`].
+///
+/// Ids are dense indices assigned in registration order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MetricId(pub(crate) u32);
+
+impl MetricId {
+    /// Returns the dense index backing this id.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds an id from a dense index previously obtained via
+    /// [`MetricId::index`] on the same registry.
+    pub fn from_index(index: usize) -> MetricId {
+        MetricId(index as u32)
+    }
+}
+
+impl fmt::Display for MetricId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+/// A typed quantity: name + unit.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Metric {
+    id: MetricId,
+    name: String,
+    unit: String,
+}
+
+impl Metric {
+    /// This metric's id.
+    pub fn id(&self) -> MetricId {
+        self.id
+    }
+
+    /// Metric name (e.g. `"power"`, `"bandwidth_used"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Unit label (e.g. `"MFlop/s"`, `"Mbit/s"`).
+    pub fn unit(&self) -> &str {
+        &self.unit
+    }
+}
+
+/// Registry of all metrics of a trace, keyed by name.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricRegistry {
+    metrics: Vec<Metric>,
+}
+
+impl MetricRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> MetricRegistry {
+        MetricRegistry::default()
+    }
+
+    /// Registers a metric, or returns the existing id when a metric of
+    /// the same name was already registered (the unit of the first
+    /// registration wins).
+    pub fn register(&mut self, name: impl Into<String>, unit: impl Into<String>) -> MetricId {
+        let name = name.into();
+        if let Some(m) = self.by_name(&name) {
+            return m.id();
+        }
+        let id = MetricId(self.metrics.len() as u32);
+        self.metrics.push(Metric { id, name, unit: unit.into() });
+        id
+    }
+
+    /// Looks a metric up by id.
+    pub fn get(&self, id: MetricId) -> Option<&Metric> {
+        self.metrics.get(id.index())
+    }
+
+    /// Looks a metric up by name.
+    pub fn by_name(&self, name: &str) -> Option<&Metric> {
+        self.metrics.iter().find(|m| m.name == name)
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.metrics.len()
+    }
+
+    /// Whether no metric has been registered yet.
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+
+    /// Iterates over metrics in registration (= id) order.
+    pub fn iter(&self) -> impl Iterator<Item = &Metric> {
+        self.metrics.iter()
+    }
+}
+
+/// Conventional metric names used across the workspace.
+///
+/// Simulator and generators agree on these so that the visualization
+/// layer can apply sensible default mappings (capacity → size,
+/// utilization → fill; paper §3.1).
+pub mod names {
+    /// Host computing power capacity, MFlop/s.
+    pub const POWER: &str = "power";
+    /// Host computing power in use, MFlop/s.
+    pub const POWER_USED: &str = "power_used";
+    /// Link bandwidth capacity, Mbit/s.
+    pub const BANDWIDTH: &str = "bandwidth";
+    /// Link bandwidth in use, Mbit/s.
+    pub const BANDWIDTH_USED: &str = "bandwidth_used";
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_lookup() {
+        let mut r = MetricRegistry::new();
+        let p = r.register("power", "MFlop/s");
+        let b = r.register("bandwidth", "Mbit/s");
+        assert_ne!(p, b);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.get(p).unwrap().name(), "power");
+        assert_eq!(r.get(p).unwrap().unit(), "MFlop/s");
+        assert_eq!(r.by_name("bandwidth").unwrap().id(), b);
+        assert!(r.by_name("latency").is_none());
+    }
+
+    #[test]
+    fn register_is_idempotent_by_name() {
+        let mut r = MetricRegistry::new();
+        let a = r.register("power", "MFlop/s");
+        let b = r.register("power", "GFlop/s");
+        assert_eq!(a, b);
+        assert_eq!(r.len(), 1);
+        // First unit wins.
+        assert_eq!(r.get(a).unwrap().unit(), "MFlop/s");
+    }
+
+    #[test]
+    fn iter_in_id_order() {
+        let mut r = MetricRegistry::new();
+        r.register("a", "x");
+        r.register("b", "y");
+        let names: Vec<_> = r.iter().map(|m| m.name().to_owned()).collect();
+        assert_eq!(names, ["a", "b"]);
+    }
+
+    #[test]
+    fn empty_registry() {
+        let r = MetricRegistry::new();
+        assert!(r.is_empty());
+        assert_eq!(r.len(), 0);
+        assert!(r.get(MetricId(0)).is_none());
+    }
+}

@@ -1,0 +1,485 @@
+//! Piecewise-constant signals: the value of one metric on one container
+//! over time.
+//!
+//! A [`Signal`] is built from timestamped *set* events: after a
+//! `push(t, v)` the signal holds value `v` from `t` until the next
+//! breakpoint (the last value persists forever). Before the first
+//! breakpoint the signal is 0.
+//!
+//! The paper's temporal aggregation (§3.2.1) time-integrates such
+//! signals over an analyst-chosen time-slice. [`Signal::integrate`]
+//! does this in `O(log n)` thanks to a running prefix integral that is
+//! maintained incrementally on push.
+
+use crate::error::TraceError;
+
+/// A piecewise-constant function of time.
+///
+/// # Example
+///
+/// ```
+/// use viva_trace::Signal;
+///
+/// let mut s = Signal::new();
+/// s.push(0.0, 100.0)?;
+/// s.push(5.0, 50.0)?;
+/// assert_eq!(s.value_at(2.5), 100.0);
+/// assert_eq!(s.value_at(7.5), 50.0);
+/// assert_eq!(s.integrate(0.0, 10.0), 100.0 * 5.0 + 50.0 * 5.0);
+/// assert_eq!(s.mean(0.0, 10.0), 75.0);
+/// # Ok::<(), viva_trace::TraceError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Signal {
+    times: Vec<f64>,
+    values: Vec<f64>,
+    /// `cum[i]` = integral of the signal over `[times[0], times[i]]`.
+    cum: Vec<f64>,
+}
+
+impl Signal {
+    /// Creates an empty signal (identically 0).
+    pub fn new() -> Signal {
+        Signal::default()
+    }
+
+    /// Creates a signal holding `value` from time `t` on.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::NotFinite`] when `t` or `value` is not
+    /// finite.
+    pub fn constant_from(t: f64, value: f64) -> Result<Signal, TraceError> {
+        let mut s = Signal::new();
+        s.push(t, value)?;
+        Ok(s)
+    }
+
+    /// Number of breakpoints.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Whether the signal has no breakpoints (identically 0).
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// Time of the first breakpoint.
+    pub fn first_time(&self) -> Option<f64> {
+        self.times.first().copied()
+    }
+
+    /// Time of the last breakpoint.
+    pub fn last_time(&self) -> Option<f64> {
+        self.times.last().copied()
+    }
+
+    /// Appends a breakpoint: the signal takes value `value` from time
+    /// `t` on. Pushing at the exact time of the last breakpoint
+    /// overwrites its value.
+    ///
+    /// # Errors
+    ///
+    /// * [`TraceError::NotFinite`] when `t` or `value` is not finite.
+    /// * [`TraceError::NonMonotonicTime`] when `t` precedes the last
+    ///   breakpoint.
+    pub fn push(&mut self, t: f64, value: f64) -> Result<(), TraceError> {
+        if !t.is_finite() {
+            return Err(TraceError::NotFinite { value: t });
+        }
+        if !value.is_finite() {
+            return Err(TraceError::NotFinite { value });
+        }
+        match self.times.last().copied() {
+            None => {
+                self.times.push(t);
+                self.values.push(value);
+                self.cum.push(0.0);
+            }
+            Some(last) if t < last => {
+                return Err(TraceError::NonMonotonicTime { time: t, last });
+            }
+            Some(last) if t == last => {
+                *self.values.last_mut().expect("non-empty") = value;
+            }
+            Some(last) => {
+                let dt = t - last;
+                let prev_val = *self.values.last().expect("non-empty");
+                let prev_cum = *self.cum.last().expect("non-empty");
+                self.times.push(t);
+                self.values.push(value);
+                self.cum.push(prev_cum + prev_val * dt);
+            }
+        }
+        Ok(())
+    }
+
+    /// The value of the signal at time `t` (0 before the first
+    /// breakpoint; the last value persists after the last breakpoint).
+    pub fn value_at(&self, t: f64) -> f64 {
+        match self.segment_index(t) {
+            Some(i) => self.values[i],
+            None => 0.0,
+        }
+    }
+
+    /// Index of the breakpoint governing time `t`, i.e. the rightmost
+    /// breakpoint with `times[i] <= t`.
+    fn segment_index(&self, t: f64) -> Option<usize> {
+        if self.times.is_empty() || t < self.times[0] {
+            return None;
+        }
+        // partition_point returns the number of breakpoints <= t.
+        Some(self.times.partition_point(|&x| x <= t) - 1)
+    }
+
+    /// Antiderivative: integral of the signal over `(-inf, t]`.
+    fn antiderivative(&self, t: f64) -> f64 {
+        match self.segment_index(t) {
+            None => 0.0,
+            Some(i) => self.cum[i] + (t - self.times[i]) * self.values[i],
+        }
+    }
+
+    /// Integral of the signal over `[a, b]`.
+    ///
+    /// Returns 0 when `b <= a`. This is the temporal-aggregation
+    /// primitive of the paper's Equation 1.
+    pub fn integrate(&self, a: f64, b: f64) -> f64 {
+        if b <= a {
+            return 0.0;
+        }
+        self.antiderivative(b) - self.antiderivative(a)
+    }
+
+    /// Time-average of the signal over `[a, b]`.
+    ///
+    /// Returns 0 when `b <= a`.
+    pub fn mean(&self, a: f64, b: f64) -> f64 {
+        if b <= a {
+            return 0.0;
+        }
+        self.integrate(a, b) / (b - a)
+    }
+
+    /// Maximum value taken anywhere in `[a, b]` (0 if the window lies
+    /// entirely before the first breakpoint).
+    pub fn max_over(&self, a: f64, b: f64) -> f64 {
+        self.fold_over(a, b, f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Minimum value taken anywhere in `[a, b]`.
+    pub fn min_over(&self, a: f64, b: f64) -> f64 {
+        self.fold_over(a, b, f64::INFINITY, f64::min)
+    }
+
+    fn fold_over(&self, a: f64, b: f64, init: f64, f: fn(f64, f64) -> f64) -> f64 {
+        if b < a {
+            return 0.0;
+        }
+        let mut acc = init;
+        // Portion before the first breakpoint is 0.
+        if self.times.first().is_none_or(|&t0| a < t0) {
+            acc = f(acc, 0.0);
+        }
+        let start = self.segment_index(a).unwrap_or(0);
+        for i in start..self.times.len() {
+            if self.times[i] > b {
+                break;
+            }
+            acc = f(acc, self.values[i]);
+        }
+        if acc.is_infinite() {
+            0.0
+        } else {
+            acc
+        }
+    }
+
+    /// Iterates over `(start, end, value)` segments; the final segment
+    /// has `end = None` (the value persists).
+    pub fn segments(&self) -> Segments<'_> {
+        Segments { signal: self, i: 0 }
+    }
+
+    /// Breakpoint times, ascending.
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// Builds the pointwise sum of several signals.
+    ///
+    /// The result has a breakpoint wherever any input has one. Useful
+    /// for aggregating independent resource-usage signals into a group
+    /// signal (paper §3.2.2).
+    pub fn sum<'a>(signals: impl IntoIterator<Item = &'a Signal>) -> Signal {
+        let signals: Vec<&Signal> = signals.into_iter().collect();
+        let mut all_times: Vec<f64> = signals
+            .iter()
+            .flat_map(|s| s.times.iter().copied())
+            .collect();
+        all_times.sort_by(f64::total_cmp);
+        all_times.dedup();
+        let mut out = Signal::new();
+        for t in all_times {
+            let v: f64 = signals.iter().map(|s| s.value_at(t)).sum();
+            out.push(t, v).expect("sorted deduped times are monotonic");
+        }
+        out
+    }
+
+    /// Returns a copy scaled by `factor`.
+    pub fn scaled(&self, factor: f64) -> Signal {
+        Signal {
+            times: self.times.clone(),
+            values: self.values.iter().map(|v| v * factor).collect(),
+            cum: self.cum.iter().map(|c| c * factor).collect(),
+        }
+    }
+}
+
+/// Iterator over the constant segments of a [`Signal`].
+///
+/// Produced by [`Signal::segments`].
+#[derive(Debug, Clone)]
+pub struct Segments<'a> {
+    signal: &'a Signal,
+    i: usize,
+}
+
+impl Iterator for Segments<'_> {
+    /// `(start, end, value)`; `end` is `None` for the last segment.
+    type Item = (f64, Option<f64>, f64);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let s = self.signal;
+        if self.i >= s.times.len() {
+            return None;
+        }
+        let start = s.times[self.i];
+        let end = s.times.get(self.i + 1).copied();
+        let value = s.values[self.i];
+        self.i += 1;
+        Some((start, end, value))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step() -> Signal {
+        let mut s = Signal::new();
+        s.push(0.0, 100.0).unwrap();
+        s.push(5.0, 50.0).unwrap();
+        s.push(10.0, 0.0).unwrap();
+        s
+    }
+
+    #[test]
+    fn empty_signal_is_zero() {
+        let s = Signal::new();
+        assert!(s.is_empty());
+        assert_eq!(s.value_at(3.0), 0.0);
+        assert_eq!(s.integrate(0.0, 100.0), 0.0);
+        assert_eq!(s.mean(0.0, 100.0), 0.0);
+        assert!(s.first_time().is_none());
+    }
+
+    #[test]
+    fn value_at_boundaries() {
+        let s = step();
+        assert_eq!(s.value_at(-1.0), 0.0);
+        assert_eq!(s.value_at(0.0), 100.0);
+        assert_eq!(s.value_at(4.999), 100.0);
+        assert_eq!(s.value_at(5.0), 50.0);
+        assert_eq!(s.value_at(10.0), 0.0);
+        assert_eq!(s.value_at(1e9), 0.0);
+    }
+
+    #[test]
+    fn integrate_exact() {
+        let s = step();
+        assert_eq!(s.integrate(0.0, 5.0), 500.0);
+        assert_eq!(s.integrate(0.0, 10.0), 750.0);
+        assert_eq!(s.integrate(2.0, 7.0), 300.0 + 100.0);
+        assert_eq!(s.integrate(-5.0, 0.0), 0.0);
+        assert_eq!(s.integrate(20.0, 30.0), 0.0);
+        // Degenerate and inverted windows.
+        assert_eq!(s.integrate(3.0, 3.0), 0.0);
+        assert_eq!(s.integrate(7.0, 3.0), 0.0);
+    }
+
+    #[test]
+    fn last_value_persists() {
+        let mut s = Signal::new();
+        s.push(0.0, 2.0).unwrap();
+        assert_eq!(s.integrate(0.0, 1e6), 2e6);
+        assert_eq!(s.value_at(f64::MAX / 2.0), 2.0);
+    }
+
+    #[test]
+    fn mean_is_integral_over_width() {
+        let s = step();
+        assert_eq!(s.mean(0.0, 10.0), 75.0);
+        assert_eq!(s.mean(5.0, 10.0), 50.0);
+    }
+
+    #[test]
+    fn push_same_time_overwrites() {
+        let mut s = Signal::new();
+        s.push(1.0, 10.0).unwrap();
+        s.push(1.0, 20.0).unwrap();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.value_at(1.0), 20.0);
+    }
+
+    #[test]
+    fn push_rejects_bad_input() {
+        let mut s = Signal::new();
+        s.push(5.0, 1.0).unwrap();
+        assert!(matches!(
+            s.push(4.0, 1.0),
+            Err(TraceError::NonMonotonicTime { .. })
+        ));
+        assert!(matches!(
+            s.push(f64::NAN, 1.0),
+            Err(TraceError::NotFinite { .. })
+        ));
+        assert!(matches!(
+            s.push(6.0, f64::INFINITY),
+            Err(TraceError::NotFinite { .. })
+        ));
+    }
+
+    #[test]
+    fn max_min_over_windows() {
+        let s = step();
+        assert_eq!(s.max_over(0.0, 10.0), 100.0);
+        assert_eq!(s.max_over(6.0, 8.0), 50.0);
+        assert_eq!(s.min_over(0.0, 4.0), 100.0);
+        assert_eq!(s.min_over(0.0, 20.0), 0.0);
+        // Window before the signal starts sees the implicit 0.
+        assert_eq!(s.max_over(-10.0, -5.0), 0.0);
+    }
+
+    #[test]
+    fn segments_enumerate_pieces() {
+        let s = step();
+        let segs: Vec<_> = s.segments().collect();
+        assert_eq!(
+            segs,
+            vec![
+                (0.0, Some(5.0), 100.0),
+                (5.0, Some(10.0), 50.0),
+                (10.0, None, 0.0),
+            ]
+        );
+    }
+
+    #[test]
+    fn sum_merges_breakpoints() {
+        let mut a = Signal::new();
+        a.push(0.0, 1.0).unwrap();
+        a.push(10.0, 3.0).unwrap();
+        let mut b = Signal::new();
+        b.push(5.0, 2.0).unwrap();
+        let s = Signal::sum([&a, &b]);
+        assert_eq!(s.value_at(2.0), 1.0);
+        assert_eq!(s.value_at(7.0), 3.0);
+        assert_eq!(s.value_at(12.0), 5.0);
+        assert_eq!(
+            s.integrate(0.0, 15.0),
+            a.integrate(0.0, 15.0) + b.integrate(0.0, 15.0)
+        );
+    }
+
+    #[test]
+    fn scaled_scales_integral() {
+        let s = step().scaled(2.0);
+        assert_eq!(s.integrate(0.0, 10.0), 1500.0);
+        assert_eq!(s.value_at(1.0), 200.0);
+    }
+
+    #[test]
+    fn constant_from_builds_step() {
+        let s = Signal::constant_from(3.0, 7.0).unwrap();
+        assert_eq!(s.value_at(2.0), 0.0);
+        assert_eq!(s.value_at(3.0), 7.0);
+        assert_eq!(s.integrate(0.0, 5.0), 14.0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Strategy: a signal with up to 32 breakpoints in [0, 100] and
+    /// values in [0, 1000].
+    fn signal_strategy() -> impl Strategy<Value = Signal> {
+        proptest::collection::vec((0.0f64..100.0, 0.0f64..1000.0), 1..32).prop_map(|mut pts| {
+            pts.sort_by(|a, b| a.0.total_cmp(&b.0));
+            let mut s = Signal::new();
+            for (t, v) in pts {
+                s.push(t, v).unwrap();
+            }
+            s
+        })
+    }
+
+    proptest! {
+        /// Integration is additive over adjacent windows.
+        #[test]
+        fn integral_additivity(s in signal_strategy(),
+                               a in -10.0f64..110.0,
+                               b in -10.0f64..110.0,
+                               c in -10.0f64..110.0) {
+            let mut w = [a, b, c];
+            w.sort_by(f64::total_cmp);
+            let [a, b, c] = w;
+            let whole = s.integrate(a, c);
+            let parts = s.integrate(a, b) + s.integrate(b, c);
+            prop_assert!((whole - parts).abs() <= 1e-6 * whole.abs().max(1.0));
+        }
+
+        /// The mean over a window lies between the min and max values.
+        #[test]
+        fn mean_bounded_by_extremes(s in signal_strategy(),
+                                    a in 0.0f64..100.0,
+                                    w in 0.01f64..50.0) {
+            let b = a + w;
+            let mean = s.mean(a, b);
+            let lo = s.min_over(a, b);
+            let hi = s.max_over(a, b);
+            prop_assert!(mean >= lo - 1e-9, "mean {mean} < min {lo}");
+            prop_assert!(mean <= hi + 1e-9, "mean {mean} > max {hi}");
+        }
+
+        /// Summing signals commutes with integration (linearity).
+        #[test]
+        fn sum_linearity(x in signal_strategy(), y in signal_strategy(),
+                         a in 0.0f64..50.0, w in 0.01f64..50.0) {
+            let b = a + w;
+            let s = Signal::sum([&x, &y]);
+            let lhs = s.integrate(a, b);
+            let rhs = x.integrate(a, b) + y.integrate(a, b);
+            prop_assert!((lhs - rhs).abs() <= 1e-6 * rhs.abs().max(1.0));
+        }
+
+        /// value_at agrees with the segment enumeration.
+        #[test]
+        fn value_matches_segments(s in signal_strategy(), t in -5.0f64..105.0) {
+            let v = s.value_at(t);
+            let mut expect = 0.0;
+            for (start, end, val) in s.segments() {
+                let within = t >= start && end.is_none_or(|e| t < e);
+                if within {
+                    expect = val;
+                }
+            }
+            prop_assert_eq!(v, expect);
+        }
+    }
+}

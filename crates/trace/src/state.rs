@@ -1,0 +1,157 @@
+//! Per-container state intervals (Gantt-chart material).
+//!
+//! While the paper's topology view is built on *variables*, process
+//! states are part of the trace model (and of Paje); keeping them lets
+//! downstream tooling compute e.g. the fraction of time spent in
+//! `"compute"` per host, which is itself a variable-like quantity that
+//! can be mapped onto the topology.
+
+use crate::container::ContainerId;
+use crate::error::TraceError;
+
+/// A completed state interval on some container.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateRecord {
+    /// The container the state applies to.
+    pub container: ContainerId,
+    /// State name.
+    pub state: String,
+    /// Interval start.
+    pub start: f64,
+    /// Interval end.
+    pub end: f64,
+    /// Stack depth at which the state sat (0 = outermost).
+    pub depth: usize,
+}
+
+impl StateRecord {
+    /// Interval duration.
+    pub fn duration(&self) -> f64 {
+        self.end - self.start
+    }
+
+    /// Length of the overlap between this interval and `[a, b]`.
+    pub fn overlap(&self, a: f64, b: f64) -> f64 {
+        (self.end.min(b) - self.start.max(a)).max(0.0)
+    }
+}
+
+/// Collects push/pop state events into completed [`StateRecord`]s.
+#[derive(Debug, Clone, Default)]
+pub struct StateLog {
+    records: Vec<StateRecord>,
+    open: Vec<(ContainerId, String, f64)>,
+}
+
+impl StateLog {
+    /// Creates an empty log.
+    pub fn new() -> StateLog {
+        StateLog::default()
+    }
+
+    /// Enters a state on `container` at time `t`.
+    pub fn push(&mut self, t: f64, container: ContainerId, state: impl Into<String>) {
+        self.open.push((container, state.into(), t));
+    }
+
+    /// Leaves the innermost open state of `container` at time `t`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::EmptyStateStack`] when `container` has no
+    /// open state.
+    pub fn pop(&mut self, t: f64, container: ContainerId) -> Result<(), TraceError> {
+        let idx = self
+            .open
+            .iter()
+            .rposition(|(c, _, _)| *c == container)
+            .ok_or(TraceError::EmptyStateStack(container))?;
+        let depth = self.open[..idx]
+            .iter()
+            .filter(|(c, _, _)| *c == container)
+            .count();
+        let (c, state, start) = self.open.remove(idx);
+        self.records.push(StateRecord { container: c, state, start, end: t, depth });
+        Ok(())
+    }
+
+    /// Closes every still-open state at time `t` and returns the
+    /// completed records sorted by `(container, start)`.
+    pub fn finish(mut self, t: f64) -> Vec<StateRecord> {
+        while let Some((c, state, start)) = self.open.pop() {
+            let depth = self
+                .open
+                .iter()
+                .filter(|(oc, _, _)| *oc == c)
+                .count();
+            self.records.push(StateRecord { container: c, state, start, end: t, depth });
+        }
+        self.records
+            .sort_by(|a, b| a.container.cmp(&b.container).then(a.start.total_cmp(&b.start)));
+        self.records
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_pop_produces_record() {
+        let c = ContainerId::from_index(1);
+        let mut log = StateLog::new();
+        log.push(1.0, c, "compute");
+        log.pop(4.0, c).unwrap();
+        let recs = log.finish(10.0);
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].state, "compute");
+        assert_eq!(recs[0].duration(), 3.0);
+        assert_eq!(recs[0].depth, 0);
+    }
+
+    #[test]
+    fn nested_states_have_depths() {
+        let c = ContainerId::from_index(1);
+        let mut log = StateLog::new();
+        log.push(0.0, c, "outer");
+        log.push(1.0, c, "inner");
+        log.pop(2.0, c).unwrap();
+        log.pop(3.0, c).unwrap();
+        let recs = log.finish(3.0);
+        let inner = recs.iter().find(|r| r.state == "inner").unwrap();
+        let outer = recs.iter().find(|r| r.state == "outer").unwrap();
+        assert_eq!(inner.depth, 1);
+        assert_eq!(outer.depth, 0);
+    }
+
+    #[test]
+    fn pop_on_empty_stack_errors() {
+        let c = ContainerId::from_index(1);
+        let mut log = StateLog::new();
+        assert_eq!(log.pop(1.0, c), Err(TraceError::EmptyStateStack(c)));
+    }
+
+    #[test]
+    fn finish_closes_open_states() {
+        let c = ContainerId::from_index(1);
+        let mut log = StateLog::new();
+        log.push(2.0, c, "run");
+        let recs = log.finish(9.0);
+        assert_eq!(recs[0].end, 9.0);
+    }
+
+    #[test]
+    fn overlap_clamps() {
+        let r = StateRecord {
+            container: ContainerId::from_index(0),
+            state: "s".into(),
+            start: 2.0,
+            end: 6.0,
+            depth: 0,
+        };
+        assert_eq!(r.overlap(0.0, 10.0), 4.0);
+        assert_eq!(r.overlap(3.0, 4.0), 1.0);
+        assert_eq!(r.overlap(6.0, 9.0), 0.0);
+        assert_eq!(r.overlap(0.0, 2.0), 0.0);
+    }
+}

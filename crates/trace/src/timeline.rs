@@ -1,0 +1,205 @@
+//! Behavioral (timeline / Gantt) extraction — the classical view the
+//! paper's §2.2 contrasts the topology view against.
+//!
+//! While the topology view is the contribution, analysts still ask
+//! timeline questions ("when was host X busy?"). This module derives
+//! Gantt rows from state records and resamples signals into fixed-width
+//! bins for sparkline-style rendering.
+
+use crate::container::ContainerId;
+use crate::signal::Signal;
+use crate::state::StateRecord;
+use crate::trace::Trace;
+
+/// One row of a timeline view: the state intervals of one container,
+/// in time order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimelineRow {
+    /// The container of this row.
+    pub container: ContainerId,
+    /// `(state name, start, end)` intervals at stack depth 0.
+    pub intervals: Vec<(String, f64, f64)>,
+}
+
+/// Builds Gantt rows (outermost states only) for every container that
+/// has at least one state record, in container-id order.
+pub fn gantt_rows(trace: &Trace) -> Vec<TimelineRow> {
+    let mut rows: Vec<TimelineRow> = Vec::new();
+    for rec in trace.states() {
+        if rec.depth != 0 {
+            continue;
+        }
+        match rows.last_mut() {
+            Some(row) if row.container == rec.container => {
+                row.intervals.push((rec.state.clone(), rec.start, rec.end));
+            }
+            _ => rows.push(TimelineRow {
+                container: rec.container,
+                intervals: vec![(rec.state.clone(), rec.start, rec.end)],
+            }),
+        }
+    }
+    rows
+}
+
+/// Fraction of `[a, b]` that `container` spent in state `state`
+/// (outermost level), 0 for an empty window.
+pub fn state_fraction(
+    trace: &Trace,
+    container: ContainerId,
+    state: &str,
+    a: f64,
+    b: f64,
+) -> f64 {
+    if b <= a {
+        return 0.0;
+    }
+    let busy: f64 = trace
+        .states()
+        .iter()
+        .filter(|r| r.container == container && r.depth == 0 && r.state == state)
+        .map(|r| r.overlap(a, b))
+        .sum();
+    busy / (b - a)
+}
+
+/// Resamples a signal into `bins` equal-width bins over `[a, b]`; each
+/// bin holds the signal's *mean* over the bin (exact, via integration).
+/// Useful for sparkline/heatmap rendering of utilization profiles.
+///
+/// # Panics
+///
+/// Panics when `bins == 0` or `b < a`.
+pub fn resample(signal: &Signal, a: f64, b: f64, bins: usize) -> Vec<f64> {
+    assert!(bins > 0, "need at least one bin");
+    assert!(b >= a, "inverted window");
+    let w = (b - a) / bins as f64;
+    (0..bins)
+        .map(|i| {
+            let s = a + w * i as f64;
+            signal.mean(s, s + w)
+        })
+        .collect()
+}
+
+/// Longest-busy ranking: containers ordered by their integral of
+/// `metric` over `[a, b]`, descending. Ties broken by container id.
+/// The "top talkers" question every performance analyst asks first.
+pub fn top_consumers(
+    trace: &Trace,
+    metric: crate::metric::MetricId,
+    a: f64,
+    b: f64,
+    limit: usize,
+) -> Vec<(ContainerId, f64)> {
+    let mut v: Vec<(ContainerId, f64)> = trace
+        .containers_with_metric(metric)
+        .into_iter()
+        .map(|c| (c, trace.integrate(c, metric, a, b)))
+        .collect();
+    v.sort_by(|x, y| y.1.total_cmp(&x.1).then(x.0.cmp(&y.0)));
+    v.truncate(limit);
+    v
+}
+
+/// Returns the `StateRecord`s overlapping `[a, b]`, for windowed Gantt
+/// rendering.
+pub fn states_in_window(trace: &Trace, a: f64, b: f64) -> Vec<&StateRecord> {
+    trace
+        .states()
+        .iter()
+        .filter(|r| r.overlap(a, b) > 0.0)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TraceBuilder;
+    use crate::container::ContainerKind;
+
+    fn sample() -> (Trace, ContainerId, ContainerId) {
+        let mut b = TraceBuilder::new();
+        let p0 = b.new_container(b.root(), "p0", ContainerKind::Process).unwrap();
+        let p1 = b.new_container(b.root(), "p1", ContainerKind::Process).unwrap();
+        let m = b.metric("power_used", "MFlop/s");
+        b.push_state(0.0, p0, "compute").unwrap();
+        b.pop_state(4.0, p0).unwrap();
+        b.push_state(4.0, p0, "wait").unwrap();
+        b.pop_state(6.0, p0).unwrap();
+        b.push_state(2.0, p1, "compute").unwrap();
+        b.pop_state(8.0, p1).unwrap();
+        b.set_variable(0.0, p0, m, 100.0).unwrap();
+        b.set_variable(5.0, p0, m, 0.0).unwrap();
+        b.set_variable(0.0, p1, m, 40.0).unwrap();
+        (b.finish(10.0), p0, p1)
+    }
+
+    #[test]
+    fn gantt_rows_group_by_container() {
+        let (t, p0, p1) = sample();
+        let rows = gantt_rows(&t);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].container, p0);
+        assert_eq!(
+            rows[0].intervals,
+            vec![
+                ("compute".to_owned(), 0.0, 4.0),
+                ("wait".to_owned(), 4.0, 6.0)
+            ]
+        );
+        assert_eq!(rows[1].container, p1);
+    }
+
+    #[test]
+    fn state_fractions() {
+        let (t, p0, _) = sample();
+        assert_eq!(state_fraction(&t, p0, "compute", 0.0, 4.0), 1.0);
+        assert_eq!(state_fraction(&t, p0, "compute", 0.0, 8.0), 0.5);
+        assert_eq!(state_fraction(&t, p0, "wait", 0.0, 8.0), 0.25);
+        assert_eq!(state_fraction(&t, p0, "idle", 0.0, 8.0), 0.0);
+        assert_eq!(state_fraction(&t, p0, "compute", 5.0, 5.0), 0.0);
+    }
+
+    #[test]
+    fn resample_bins_hold_means() {
+        let (t, p0, _) = sample();
+        let sig = t.signal_by_name(p0, "power_used").unwrap();
+        let bins = resample(sig, 0.0, 10.0, 10);
+        assert_eq!(bins.len(), 10);
+        assert_eq!(bins[0], 100.0);
+        assert_eq!(bins[4], 100.0);
+        assert_eq!(bins[5], 0.0);
+        // Sum of bin means × width equals the integral.
+        let total: f64 = bins.iter().sum::<f64>() * 1.0;
+        assert!((total - sig.integrate(0.0, 10.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn top_consumers_rank_by_integral() {
+        let (t, p0, p1) = sample();
+        let m = t.metric_id("power_used").unwrap();
+        let top = top_consumers(&t, m, 0.0, 10.0, 10);
+        assert_eq!(top[0].0, p0); // 500 MFlop
+        assert_eq!(top[1].0, p1); // 400 MFlop
+        assert_eq!(top[0].1, 500.0);
+        let top1 = top_consumers(&t, m, 0.0, 10.0, 1);
+        assert_eq!(top1.len(), 1);
+    }
+
+    #[test]
+    fn states_in_window_filters() {
+        let (t, _, _) = sample();
+        assert_eq!(states_in_window(&t, 0.0, 10.0).len(), 3);
+        assert_eq!(states_in_window(&t, 6.5, 7.0).len(), 1);
+        assert_eq!(states_in_window(&t, 9.0, 10.0).len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn resample_rejects_zero_bins() {
+        let (t, p0, _) = sample();
+        let sig = t.signal_by_name(p0, "power_used").unwrap();
+        let _ = resample(sig, 0.0, 1.0, 0);
+    }
+}

@@ -1,0 +1,213 @@
+//! The queryable, immutable trace produced by [`crate::TraceBuilder`].
+
+use std::collections::HashMap;
+
+use crate::container::{ContainerId, ContainerKind, ContainerTree};
+use crate::metric::{Metric, MetricId, MetricRegistry};
+use crate::signal::Signal;
+use crate::state::StateRecord;
+
+/// A completed point-to-point communication, kept for topology
+/// inference (paper §3.1.1: "use traces with the messages exchanged
+/// among processes, using the communication pattern to interconnect
+/// processes").
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkRecord {
+    /// Send time.
+    pub start: f64,
+    /// Receive time.
+    pub end: f64,
+    /// Sending container.
+    pub from: ContainerId,
+    /// Receiving container.
+    pub to: ContainerId,
+    /// Payload size in Mbit.
+    pub size: f64,
+}
+
+/// An immutable, indexed trace: container tree + metric registry +
+/// per-(container, metric) signals + states + communications.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    pub(crate) containers: ContainerTree,
+    pub(crate) metrics: MetricRegistry,
+    pub(crate) signals: HashMap<(ContainerId, MetricId), Signal>,
+    pub(crate) states: Vec<StateRecord>,
+    pub(crate) links: Vec<LinkRecord>,
+    pub(crate) start: f64,
+    pub(crate) end: f64,
+}
+
+impl Trace {
+    /// The container hierarchy.
+    pub fn containers(&self) -> &ContainerTree {
+        &self.containers
+    }
+
+    /// The metric registry.
+    pub fn metrics(&self) -> &MetricRegistry {
+        &self.metrics
+    }
+
+    /// Observation-period start.
+    pub fn start(&self) -> f64 {
+        self.start
+    }
+
+    /// Observation-period end.
+    pub fn end(&self) -> f64 {
+        self.end
+    }
+
+    /// Observation-period duration.
+    pub fn duration(&self) -> f64 {
+        self.end - self.start
+    }
+
+    /// The signal of `metric` on `container`, if any value was ever
+    /// recorded for that pair.
+    pub fn signal(&self, container: ContainerId, metric: MetricId) -> Option<&Signal> {
+        self.signals.get(&(container, metric))
+    }
+
+    /// Convenience: signal looked up by metric *name*.
+    pub fn signal_by_name(&self, container: ContainerId, metric: &str) -> Option<&Signal> {
+        let m = self.metrics.by_name(metric)?;
+        self.signal(container, m.id())
+    }
+
+    /// Iterates over all `(container, metric, signal)` triples in
+    /// unspecified order.
+    pub fn signals(&self) -> impl Iterator<Item = (ContainerId, MetricId, &Signal)> {
+        self.signals.iter().map(|(&(c, m), s)| (c, m, s))
+    }
+
+    /// Number of stored signals.
+    pub fn signal_count(&self) -> usize {
+        self.signals.len()
+    }
+
+    /// Containers that carry a signal for `metric`.
+    pub fn containers_with_metric(&self, metric: MetricId) -> Vec<ContainerId> {
+        let mut v: Vec<ContainerId> = self
+            .signals
+            .keys()
+            .filter(|&&(_, m)| m == metric)
+            .map(|&(c, _)| c)
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Completed state intervals, sorted by `(container, start)`.
+    pub fn states(&self) -> &[StateRecord] {
+        &self.states
+    }
+
+    /// Completed communications, in completion order.
+    pub fn links(&self) -> &[LinkRecord] {
+        &self.links
+    }
+
+    /// Total number of breakpoints across all signals — a measure of
+    /// trace size for scalability experiments.
+    pub fn breakpoint_count(&self) -> usize {
+        self.signals.values().map(Signal::len).sum()
+    }
+
+    /// Distinct unordered communication pairs, usable as graph edges
+    /// when no platform topology is available (paper §3.1.1).
+    pub fn communication_pairs(&self) -> Vec<(ContainerId, ContainerId)> {
+        let mut pairs: Vec<(ContainerId, ContainerId)> = self
+            .links
+            .iter()
+            .map(|l| {
+                if l.from <= l.to {
+                    (l.from, l.to)
+                } else {
+                    (l.to, l.from)
+                }
+            })
+            .collect();
+        pairs.sort();
+        pairs.dedup();
+        pairs
+    }
+
+    /// Time-integrated value of `metric` on `container` over `[a, b]`,
+    /// 0 when the pair has no signal. This is `F_{Γ,Δ}` of the paper's
+    /// Equation 1 for a singleton spatial neighbourhood.
+    pub fn integrate(&self, container: ContainerId, metric: MetricId, a: f64, b: f64) -> f64 {
+        self.signal(container, metric)
+            .map_or(0.0, |s| s.integrate(a, b))
+    }
+
+    /// Leaf containers of a given kind — the monitored entities drawn
+    /// as graph nodes at the finest spatial scale.
+    pub fn entities(&self, kind: ContainerKind) -> Vec<ContainerId> {
+        self.containers.of_kind(kind)
+    }
+
+    /// Looks a metric id up by name.
+    pub fn metric_id(&self, name: &str) -> Option<MetricId> {
+        self.metrics.by_name(name).map(Metric::id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TraceBuilder;
+
+    fn small_trace() -> Trace {
+        let mut b = TraceBuilder::new();
+        let root = b.root();
+        let h1 = b.new_container(root, "h1", ContainerKind::Host).unwrap();
+        let h2 = b.new_container(root, "h2", ContainerKind::Host).unwrap();
+        let power = b.metric("power", "MFlop/s");
+        b.set_variable(0.0, h1, power, 100.0).unwrap();
+        b.set_variable(0.0, h2, power, 25.0).unwrap();
+        b.link(1.0, 2.0, h1, h2, 8.0).unwrap();
+        b.finish(10.0)
+    }
+
+    #[test]
+    fn query_signals() {
+        let t = small_trace();
+        let power = t.metric_id("power").unwrap();
+        let h1 = t.containers().by_name("h1").unwrap().id();
+        assert_eq!(t.integrate(h1, power, 0.0, 10.0), 1000.0);
+        assert_eq!(t.signal_count(), 2);
+        assert_eq!(t.containers_with_metric(power).len(), 2);
+        assert_eq!(t.breakpoint_count(), 2);
+    }
+
+    #[test]
+    fn integrate_missing_pair_is_zero() {
+        let t = small_trace();
+        let power = t.metric_id("power").unwrap();
+        assert_eq!(t.integrate(t.containers().root(), power, 0.0, 10.0), 0.0);
+    }
+
+    #[test]
+    fn communication_pairs_dedup() {
+        let mut b = TraceBuilder::new();
+        let root = b.root();
+        let a = b.new_container(root, "a", ContainerKind::Process).unwrap();
+        let c = b.new_container(root, "c", ContainerKind::Process).unwrap();
+        b.link(0.0, 1.0, a, c, 1.0).unwrap();
+        b.link(1.0, 2.0, c, a, 1.0).unwrap();
+        b.link(2.0, 3.0, a, c, 1.0).unwrap();
+        let t = b.finish(5.0);
+        assert_eq!(t.communication_pairs(), vec![(a, c)]);
+        assert_eq!(t.links().len(), 3);
+    }
+
+    #[test]
+    fn span_and_duration() {
+        let t = small_trace();
+        assert_eq!(t.start(), 0.0);
+        assert_eq!(t.end(), 10.0);
+        assert_eq!(t.duration(), 10.0);
+    }
+}

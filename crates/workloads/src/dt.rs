@@ -1,0 +1,552 @@
+//! The NAS DT (Data Traffic) benchmark as communicating actors.
+//!
+//! DT moves data through a feed-forward task graph. The paper uses the
+//! **White-Hole** (WH) graph of class A: one source fans out through a
+//! layer of forwarders to a layer of sinks (21 processes), stressing
+//! the network. We model the graph parametrically:
+//!
+//! * `WhiteHole`: stage widths `[1, f, f²]` — expanding;
+//! * `BlackHole`: stage widths `[f², f, 1]` — contracting;
+//! * `Shuffle`:   stage widths `[f, f, f]` — permuting.
+//!
+//! Every stage-`i` node forwards each received (or generated) chunk to
+//! all of its stage-`i+1` successors after a small per-chunk
+//! computation. Class A uses `f = 4` (21 processes for WH/BH), matching
+//! the paper's 22-host allocation with one idle host.
+//!
+//! The experiment of Figs. 6/7 is the *deployment* choice:
+//! [`Deployment::Sequential`] allocates processes to hosts in hostfile
+//! order (source + forwarders + first sinks on cluster 1, remaining
+//! sinks on cluster 2 — most forwarder→sink traffic crosses the
+//! inter-cluster links), while [`Deployment::Locality`] co-locates each
+//! forwarder with its sinks (only source→forwarder chunks cross).
+
+use std::collections::VecDeque;
+
+use viva_platform::{HostId, Platform};
+use viva_simflow::{Actor, ActorId, Ctx, Payload, Simulation, Tag, TracingConfig};
+use viva_trace::Trace;
+
+/// DT problem class: sets the fan factor and per-chunk volumes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DtClass {
+    /// Tiny smoke-test class (f = 2, 7 processes for WH).
+    S,
+    /// Small class (f = 3, 13 processes).
+    W,
+    /// The paper's class (f = 4, 21 processes).
+    A,
+    /// Double fan (f = 5, 31 processes).
+    B,
+}
+
+impl DtClass {
+    /// Fan factor `f`.
+    pub fn fan(self) -> usize {
+        match self {
+            DtClass::S => 2,
+            DtClass::W => 3,
+            DtClass::A => 4,
+            DtClass::B => 5,
+        }
+    }
+}
+
+/// The DT graph variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DtGraph {
+    /// One source, `f` forwarders, `f²` sinks.
+    WhiteHole,
+    /// `f²` sources, `f` forwarders, one sink.
+    BlackHole,
+    /// `f` sources, `f` forwarders, `f` sinks (ring shift).
+    Shuffle,
+}
+
+/// Process-to-host deployment policy (the §5.1 experiment).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Deployment {
+    /// Hostfile order: "processes are allocated sequentially, starting
+    /// on the hosts of Adonis cluster".
+    Sequential,
+    /// Locality-aware: each forwarder is placed in the cluster of its
+    /// sinks, "reducing the communication path and avoiding the
+    /// interconnection between the two clusters".
+    Locality,
+}
+
+/// Full DT workload configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DtConfig {
+    /// Problem class (fan factor).
+    pub class: DtClass,
+    /// Graph variant.
+    pub graph: DtGraph,
+    /// Chunks generated per source.
+    pub rounds: usize,
+    /// Chunk size, Mbit.
+    pub chunk_mbit: f64,
+    /// Per-chunk computation at forwarders, MFlop.
+    pub forward_flops: f64,
+    /// Per-chunk computation at sinks, MFlop.
+    pub sink_flops: f64,
+}
+
+impl Default for DtConfig {
+    fn default() -> Self {
+        DtConfig {
+            class: DtClass::A,
+            graph: DtGraph::WhiteHole,
+            rounds: 30,
+            chunk_mbit: 40.0,
+            forward_flops: 20.0,
+            sink_flops: 50.0,
+        }
+    }
+}
+
+impl DtConfig {
+    /// Stage widths of the task graph, source stage first.
+    pub fn stages(&self) -> [usize; 3] {
+        let f = self.class.fan();
+        match self.graph {
+            DtGraph::WhiteHole => [1, f, f * f],
+            DtGraph::BlackHole => [f * f, f, 1],
+            DtGraph::Shuffle => [f, f, f],
+        }
+    }
+
+    /// Total number of processes.
+    pub fn processes(&self) -> usize {
+        self.stages().iter().sum()
+    }
+
+    /// Successors of node `idx` (0-based within its stage) of `stage`
+    /// (0 or 1; sinks have none).
+    pub fn successors(&self, stage: usize, idx: usize) -> Vec<usize> {
+        let widths = self.stages();
+        if stage >= 2 {
+            return Vec::new();
+        }
+        let (from, to) = (widths[stage], widths[stage + 1]);
+        // Global process index of the first node of stage `stage + 1`.
+        let base: usize = widths[..=stage].iter().sum();
+        if to >= from {
+            // Expanding (or equal): node j feeds children j·r..(j+1)·r,
+            // where r = to/from; the Shuffle graph (r = 1) shifts by
+            // one to force cross traffic.
+            let r = to / from;
+            let shift = usize::from(self.graph == DtGraph::Shuffle);
+            (0..r.max(1))
+                .map(|k| base + ((idx + shift) * r.max(1) + k) % to)
+                .collect()
+        } else {
+            // Contracting: node j feeds parent j/(from/to).
+            let r = from / to;
+            vec![base + idx / r]
+        }
+    }
+
+    /// Chunks each sink-stage process will receive over the whole run.
+    pub fn chunks_at_sinks(&self) -> usize {
+        // Every chunk emitted by a stage-1 node reaches each of its
+        // successors once; by symmetry each sink receives the same
+        // count: rounds · (stage0 emissions reaching it).
+        let [w0, w1, _w2] = self.stages();
+        match self.graph {
+            DtGraph::WhiteHole => self.rounds, // 1 source → every sink sees each round once
+            DtGraph::BlackHole => self.rounds * w0, // all source chunks funnel into the sink
+            DtGraph::Shuffle => self.rounds * (w0 / w1),
+        }
+    }
+}
+
+/// Maps the `n` DT processes (stage-major order) onto the two-cluster
+/// platform's hosts.
+///
+/// # Panics
+///
+/// Panics when the platform has fewer hosts than processes, or (for
+/// [`Deployment::Locality`]) fewer than two clusters.
+pub fn deploy(platform: &Platform, cfg: &DtConfig, deployment: Deployment) -> Vec<HostId> {
+    let n = cfg.processes();
+    let hosts: Vec<HostId> = platform.hosts().iter().map(|h| h.id()).collect();
+    assert!(hosts.len() >= n, "need {n} hosts, platform has {}", hosts.len());
+    match deployment {
+        Deployment::Sequential => hosts[..n].to_vec(),
+        Deployment::Locality => {
+            assert!(platform.clusters().len() >= 2, "locality needs two clusters");
+            let c0: Vec<HostId> = platform.clusters()[0].hosts().to_vec();
+            let c1: Vec<HostId> = platform.clusters()[1].hosts().to_vec();
+            let [w0, w1, w2] = cfg.stages();
+            let mut assignment = vec![None; n];
+            let mut take0 = c0.into_iter();
+            let mut take1 = c1.into_iter();
+            // Halve the middle stage across the clusters; co-locate
+            // each stage-1 node with its successors, and stage-0 nodes
+            // with *their* successors' cluster.
+            let half = w1 / 2;
+            let cluster_of_mid = |j: usize| usize::from(j >= half);
+            #[allow(clippy::needless_range_loop)] // j names the stage-1 node, not a slot
+            for j in 0..w1 {
+                let take = if cluster_of_mid(j) == 0 { &mut take0 } else { &mut take1 };
+                assignment[w0 + j] = Some(take.next().expect("cluster capacity"));
+                for succ in cfg.successors(1, j) {
+                    if assignment[succ].is_none() {
+                        let take =
+                            if cluster_of_mid(j) == 0 { &mut take0 } else { &mut take1 };
+                        assignment[succ] = Some(take.next().expect("cluster capacity"));
+                    }
+                }
+            }
+            // Sources follow the cluster of their first successor.
+            #[allow(clippy::needless_range_loop)] // j names the stage-0 node
+            for j in 0..w0 {
+                if assignment[j].is_none() {
+                    let succ = cfg.successors(0, j)[0];
+                    let mid_idx = succ - w0;
+                    let take = if cluster_of_mid(mid_idx) == 0 {
+                        &mut take0
+                    } else {
+                        &mut take1
+                    };
+                    assignment[j] = Some(take.next().expect("cluster capacity"));
+                }
+            }
+            // Anything left (possible for exotic stage shapes).
+            for slot in assignment.iter_mut() {
+                if slot.is_none() {
+                    *slot = Some(
+                        take0
+                            .next()
+                            .or_else(|| take1.next())
+                            .expect("cluster capacity"),
+                    );
+                }
+            }
+            let _ = w2;
+            assignment.into_iter().map(|s| s.expect("filled")).collect()
+        }
+    }
+}
+
+/// A chunk in flight (the payload carries nothing the actors need).
+struct Chunk;
+
+/// Stage-0 process: emits `rounds` chunks to every successor, one
+/// in-flight send at a time (store-and-forward pacing).
+struct Source {
+    targets: Vec<ActorId>,
+    queue: VecDeque<ActorId>,
+    rounds_left: usize,
+    chunk_mbit: f64,
+    sending: bool,
+}
+
+impl Source {
+    fn refill(&mut self) {
+        if self.rounds_left > 0 {
+            self.rounds_left -= 1;
+            self.queue.extend(self.targets.iter().copied());
+        }
+    }
+
+    fn pump(&mut self, ctx: &mut Ctx<'_>) {
+        if self.sending {
+            return;
+        }
+        if self.queue.is_empty() {
+            self.refill();
+        }
+        if let Some(to) = self.queue.pop_front() {
+            self.sending = true;
+            ctx.send(to, self.chunk_mbit, Box::new(Chunk), Tag(0));
+        }
+    }
+}
+
+impl Actor for Source {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.pump(ctx);
+    }
+
+    fn on_send_done(&mut self, _tag: Tag, ctx: &mut Ctx<'_>) {
+        self.sending = false;
+        self.pump(ctx);
+    }
+}
+
+/// Stage-1 process: computes on each received chunk, then forwards a
+/// copy to every successor.
+struct Forwarder {
+    targets: Vec<ActorId>,
+    chunk_mbit: f64,
+    flops: f64,
+    outbox: VecDeque<ActorId>,
+    sending: bool,
+}
+
+impl Forwarder {
+    fn pump(&mut self, ctx: &mut Ctx<'_>) {
+        if self.sending {
+            return;
+        }
+        if let Some(to) = self.outbox.pop_front() {
+            self.sending = true;
+            ctx.send(to, self.chunk_mbit, Box::new(Chunk), Tag(0));
+        }
+    }
+}
+
+impl Actor for Forwarder {
+    fn on_message(&mut self, _from: ActorId, _payload: Payload, ctx: &mut Ctx<'_>) {
+        ctx.execute(self.flops, Tag(0));
+    }
+
+    fn on_compute_done(&mut self, _tag: Tag, ctx: &mut Ctx<'_>) {
+        self.outbox.extend(self.targets.iter().copied());
+        self.pump(ctx);
+    }
+
+    fn on_send_done(&mut self, _tag: Tag, ctx: &mut Ctx<'_>) {
+        self.sending = false;
+        self.pump(ctx);
+    }
+}
+
+/// Stage-2 process: verifies (computes on) each received chunk.
+struct Sink {
+    flops: f64,
+}
+
+impl Actor for Sink {
+    fn on_message(&mut self, _from: ActorId, _payload: Payload, ctx: &mut Ctx<'_>) {
+        ctx.execute(self.flops, Tag(0));
+    }
+}
+
+/// Outcome of a DT run.
+#[derive(Debug)]
+pub struct DtRun {
+    /// Benchmark makespan, seconds.
+    pub makespan: f64,
+    /// Recorded trace (when tracing was requested).
+    pub trace: Option<Trace>,
+    /// The process→host assignment used.
+    pub assignment: Vec<HostId>,
+}
+
+/// Runs DT on `platform` under the given deployment. Pass
+/// `Some(TracingConfig)` to record the trace the topology views
+/// consume.
+///
+/// # Panics
+///
+/// Panics when the platform is too small for the configured class (see
+/// [`deploy`]).
+pub fn run_dt(
+    platform: Platform,
+    cfg: &DtConfig,
+    deployment: Deployment,
+    tracing: Option<TracingConfig>,
+) -> DtRun {
+    let assignment = deploy(&platform, cfg, deployment);
+    let mut sim = Simulation::new(platform);
+    if let Some(t) = tracing {
+        sim.enable_tracing(t);
+    }
+    let [w0, w1, w2] = cfg.stages();
+    // Actor ids are spawn indices, so a process can reference its
+    // successors before they are spawned (stage-major numbering).
+    let actor_id = ActorId::from_index;
+    let mut spawned = 0usize;
+    for s in 0..w0 {
+        let targets: Vec<ActorId> = cfg.successors(0, s).into_iter().map(actor_id).collect();
+        sim.spawn(
+            assignment[spawned],
+            Box::new(Source {
+                targets,
+                queue: VecDeque::new(),
+                rounds_left: cfg.rounds,
+                chunk_mbit: cfg.chunk_mbit,
+                sending: false,
+            }),
+        );
+        spawned += 1;
+    }
+    for f in 0..w1 {
+        let targets: Vec<ActorId> = cfg.successors(1, f).into_iter().map(actor_id).collect();
+        sim.spawn(
+            assignment[spawned],
+            Box::new(Forwarder {
+                targets,
+                chunk_mbit: cfg.chunk_mbit,
+                flops: cfg.forward_flops,
+                outbox: VecDeque::new(),
+                sending: false,
+            }),
+        );
+        spawned += 1;
+    }
+    for _ in 0..w2 {
+        sim.spawn(assignment[spawned], Box::new(Sink { flops: cfg.sink_flops }));
+        spawned += 1;
+    }
+    let makespan = sim.run();
+    DtRun { makespan, trace: sim.into_trace(), assignment }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use viva_platform::generators::{self, TwoClustersConfig};
+    use viva_trace::metric::names;
+
+    #[test]
+    fn class_a_white_hole_has_21_processes() {
+        let cfg = DtConfig::default();
+        assert_eq!(cfg.stages(), [1, 4, 16]);
+        assert_eq!(cfg.processes(), 21);
+        let bh = DtConfig { graph: DtGraph::BlackHole, ..cfg.clone() };
+        assert_eq!(bh.stages(), [16, 4, 1]);
+        let sh = DtConfig { graph: DtGraph::Shuffle, ..cfg };
+        assert_eq!(sh.stages(), [4, 4, 4]);
+    }
+
+    #[test]
+    fn white_hole_successors_fan_out() {
+        let cfg = DtConfig::default();
+        assert_eq!(cfg.successors(0, 0), vec![1, 2, 3, 4]);
+        assert_eq!(cfg.successors(1, 0), vec![5, 6, 7, 8]);
+        assert_eq!(cfg.successors(1, 3), vec![17, 18, 19, 20]);
+        assert!(cfg.successors(2, 0).is_empty());
+    }
+
+    #[test]
+    fn black_hole_successors_funnel() {
+        let cfg = DtConfig { graph: DtGraph::BlackHole, ..Default::default() };
+        // 16 sources (0..16), 4 forwarders (16..20), 1 sink (20).
+        assert_eq!(cfg.successors(0, 0), vec![16]);
+        assert_eq!(cfg.successors(0, 5), vec![17]);
+        assert_eq!(cfg.successors(0, 15), vec![19]);
+        assert_eq!(cfg.successors(1, 2), vec![20]);
+    }
+
+    #[test]
+    fn shuffle_successors_shift() {
+        let cfg = DtConfig { graph: DtGraph::Shuffle, ..Default::default() };
+        // 4 sources, 4 forwarders (4..8), 4 sinks (8..12).
+        assert_eq!(cfg.successors(0, 0), vec![5]);
+        assert_eq!(cfg.successors(0, 3), vec![4]);
+        assert_eq!(cfg.successors(1, 0), vec![9]);
+    }
+
+    #[test]
+    fn sequential_deploy_uses_hostfile_order() {
+        let p = generators::two_clusters(&TwoClustersConfig::default()).unwrap();
+        let cfg = DtConfig::default();
+        let a = deploy(&p, &cfg, Deployment::Sequential);
+        assert_eq!(a.len(), 21);
+        for (i, h) in a.iter().enumerate() {
+            assert_eq!(h.index(), i);
+        }
+        // Source + 4 forwarders + 6 sinks on adonis; 10 sinks on
+        // griffon: most forwarder→sink chunks cross the backbone.
+        let adonis = p.clusters()[0].id();
+        let cross = (0..4)
+            .flat_map(|f| cfg.successors(1, f))
+            .filter(|&s| p.host(a[s]).cluster() != adonis)
+            .count();
+        assert_eq!(cross, 10);
+    }
+
+    #[test]
+    fn locality_deploy_colocates_forwarders_with_sinks() {
+        let p = generators::two_clusters(&TwoClustersConfig::default()).unwrap();
+        let cfg = DtConfig::default();
+        let a = deploy(&p, &cfg, Deployment::Locality);
+        assert_eq!(a.len(), 21);
+        // Every forwarder shares a cluster with all of its sinks.
+        for f in 0..4 {
+            let fc = p.host(a[1 + f]).cluster();
+            for s in cfg.successors(1, f) {
+                assert_eq!(p.host(a[s]).cluster(), fc, "forwarder {f} sink {s}");
+            }
+        }
+        // No host is used twice.
+        let mut seen = a.clone();
+        seen.sort();
+        seen.dedup();
+        assert_eq!(seen.len(), a.len());
+    }
+
+    #[test]
+    fn small_run_conserves_work() {
+        let p = generators::two_clusters(&TwoClustersConfig::default()).unwrap();
+        let cfg = DtConfig {
+            class: DtClass::S,
+            rounds: 3,
+            chunk_mbit: 8.0,
+            forward_flops: 10.0,
+            sink_flops: 20.0,
+            ..Default::default()
+        };
+        let run = run_dt(p, &cfg, Deployment::Sequential, Some(TracingConfig::default()));
+        assert!(run.makespan > 0.0);
+        let trace = run.trace.expect("tracing enabled");
+        // Total computed flops = forwarders (2·3 chunks · 10) + sinks
+        // (4·3 chunks · 20) = 60 + 240.
+        let used = trace.metric_id(names::POWER_USED).unwrap();
+        let total: f64 = trace
+            .containers()
+            .of_kind(viva_trace::ContainerKind::Host)
+            .into_iter()
+            .map(|h| trace.integrate(h, used, 0.0, trace.end()))
+            .sum();
+        assert!((total - 300.0).abs() < 1e-6, "total {total}");
+    }
+
+    #[test]
+    fn locality_beats_sequential_and_unloads_backbone() {
+        let p = generators::two_clusters(&TwoClustersConfig::default()).unwrap();
+        let cfg = DtConfig { rounds: 10, ..Default::default() };
+        let seq = run_dt(
+            p.clone(),
+            &cfg,
+            Deployment::Sequential,
+            Some(TracingConfig { record_messages: false, record_accounts: false }),
+        );
+        let loc = run_dt(
+            p,
+            &cfg,
+            Deployment::Locality,
+            Some(TracingConfig { record_messages: false, record_accounts: false }),
+        );
+        // Fig. 7: ~20 % improvement in the paper; we accept any clear win.
+        let improvement = 1.0 - loc.makespan / seq.makespan;
+        assert!(
+            improvement > 0.05,
+            "locality should win clearly: seq {} loc {} ({improvement:.3})",
+            seq.makespan,
+            loc.makespan
+        );
+        // Fig. 6 vs 7: backbone traffic drops by a large factor.
+        let bb_traffic = |run: &DtRun| {
+            let t = run.trace.as_ref().unwrap();
+            let m = t.metric_id(names::BANDWIDTH_USED).unwrap();
+            ["adonis-bb", "griffon-bb"]
+                .iter()
+                .map(|n| {
+                    let c = t.containers().by_name(n).unwrap().id();
+                    t.integrate(c, m, 0.0, t.end())
+                })
+                .sum::<f64>()
+        };
+        let seq_bb = bb_traffic(&seq);
+        let loc_bb = bb_traffic(&loc);
+        assert!(
+            loc_bb < seq_bb / 2.0,
+            "backbone Mbit: sequential {seq_bb}, locality {loc_bb}"
+        );
+    }
+}

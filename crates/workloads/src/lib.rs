@@ -1,0 +1,38 @@
+//! # viva-workloads — the paper's two case-study applications
+//!
+//! Runnable reproductions of the workloads whose traces the paper
+//! analyzes in §5:
+//!
+//! * [`dt`] — the NAS **DT (Data Traffic)** benchmark as a parametric
+//!   task graph (White-Hole / Black-Hole / Shuffle) of communicating
+//!   actors, with the two process deployments of §5.1 (sequential vs
+//!   locality-aware) on the two-cluster platform;
+//! * [`master_worker`] — two non-cooperative **master-worker**
+//!   applications competing on a Grid'5000-scale platform, using the
+//!   **bandwidth-centric** allocation strategy with per-worker prefetch
+//!   buffers (§5.2), plus a FIFO baseline for the ablation the paper
+//!   sketches ("a simple FIFO mechanism would not exhibit such
+//!   locality").
+//!
+//! Both entry points return the recorded [`viva_trace::Trace`] ready
+//! for a `viva` analysis session, plus the scalar outcomes (makespan,
+//! tasks shipped) the figure harnesses report.
+//!
+//! ## Example
+//!
+//! ```
+//! use viva_platform::generators;
+//! use viva_workloads::{run_dt, Deployment, DtConfig};
+//!
+//! let platform = generators::two_clusters(&Default::default())?;
+//! let cfg = DtConfig { rounds: 2, ..Default::default() };
+//! let run = run_dt(platform, &cfg, Deployment::Sequential, None);
+//! assert!(run.makespan > 0.0);
+//! # Ok::<(), viva_platform::PlatformError>(())
+//! ```
+
+pub mod dt;
+pub mod master_worker;
+
+pub use dt::{deploy, run_dt, Deployment, DtClass, DtConfig, DtGraph, DtRun};
+pub use master_worker::{run_master_worker, AppSpec, MwConfig, MwRun, Scheduler};

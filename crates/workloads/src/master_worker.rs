@@ -1,0 +1,501 @@
+//! Two non-cooperative master-worker applications on a grid (§5.2).
+//!
+//! Each application has one **master** that distributes independent
+//! tasks and one **worker per host** (both applications run a worker on
+//! *every* host, so they compete for CPU — the paper's third expected
+//! phenomenon). The master implements the **bandwidth-centric**
+//! strategy of Beaumont et al.: "every time a master communicates a
+//! task to a worker, it evaluates the worker's effective bandwidth and
+//! uses this value to prioritize workers' requests: when several
+//! workers request some work, the one with the largest bandwidth is
+//! served in priority". Workers keep a **prefetch buffer of three
+//! tasks** "to minimize [their] idleness".
+//!
+//! A FIFO scheduler is provided as the ablation the paper sketches:
+//! "a simple FIFO mechanism would not exhibit such locality and would
+//! exhibit an (inefficient) uniform resource usage".
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, VecDeque};
+
+use viva_platform::{HostId, Platform, RouteTable};
+use viva_simflow::{AccountId, Actor, ActorId, Ctx, Payload, Simulation, Tag, TracingConfig};
+use viva_trace::Trace;
+
+/// Master scheduling policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scheduler {
+    /// Serve the pending request with the largest effective bandwidth
+    /// (the paper's strategy).
+    BandwidthCentric,
+    /// Serve requests in arrival order (the ablation baseline).
+    Fifo,
+}
+
+/// Configuration of one master-worker application.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MwConfig {
+    /// Total number of tasks the master distributes.
+    pub tasks: usize,
+    /// Input data shipped per task, Mbit.
+    pub task_size_mbit: f64,
+    /// Computation per task, MFlop.
+    pub task_flops: f64,
+    /// Worker prefetch buffer size (the paper uses 3).
+    pub prefetch: usize,
+    /// Scheduling policy.
+    pub scheduler: Scheduler,
+}
+
+impl Default for MwConfig {
+    fn default() -> Self {
+        MwConfig {
+            tasks: 4000,
+            task_size_mbit: 10.0,
+            task_flops: 2000.0,
+            prefetch: 3,
+            scheduler: Scheduler::BandwidthCentric,
+        }
+    }
+}
+
+impl MwConfig {
+    /// The paper's first application: CPU bound.
+    pub fn cpu_bound() -> MwConfig {
+        MwConfig::default()
+    }
+
+    /// The paper's second application: "a slightly higher communication
+    /// to computation ratio".
+    pub fn network_bound() -> MwConfig {
+        MwConfig {
+            task_size_mbit: 40.0,
+            task_flops: 800.0,
+            ..MwConfig::default()
+        }
+    }
+}
+
+/// One application to run: a name (becomes the trace account), the
+/// host of its master, and its workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppSpec {
+    /// Application name (account label in the trace, e.g. `"app1"`).
+    pub name: String,
+    /// Host running the master.
+    pub master: HostId,
+    /// Workload parameters.
+    pub config: MwConfig,
+}
+
+/// Messages exchanged between master and workers.
+enum Msg {
+    /// Worker asks for one task.
+    Request,
+    /// Master ships one task's input data.
+    Task,
+    /// Master has no tasks left.
+    Stop,
+}
+
+/// A pending worker request with its priority.
+#[derive(Debug, PartialEq)]
+struct PendingRequest {
+    bandwidth: f64,
+    seq: u64,
+    worker: ActorId,
+}
+
+impl Eq for PendingRequest {}
+
+impl Ord for PendingRequest {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Max-heap by bandwidth; FIFO (low seq first) among equals.
+        self.bandwidth
+            .total_cmp(&other.bandwidth)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for PendingRequest {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+struct Master {
+    account: AccountId,
+    config: MwConfig,
+    /// Effective bandwidth per worker actor (indexed by actor id).
+    bandwidth_of: std::collections::HashMap<ActorId, f64>,
+    by_bandwidth: BinaryHeap<PendingRequest>,
+    fifo: VecDeque<ActorId>,
+    tasks_left: usize,
+    seq: u64,
+    sending: bool,
+}
+
+impl Master {
+    fn pop(&mut self) -> Option<ActorId> {
+        match self.config.scheduler {
+            Scheduler::BandwidthCentric => self.by_bandwidth.pop().map(|r| r.worker),
+            Scheduler::Fifo => self.fifo.pop_front(),
+        }
+    }
+
+    fn serve(&mut self, ctx: &mut Ctx<'_>) {
+        if self.sending || self.tasks_left == 0 {
+            return;
+        }
+        if let Some(worker) = self.pop() {
+            self.sending = true;
+            self.tasks_left -= 1;
+            ctx.send_as(
+                worker,
+                self.config.task_size_mbit,
+                Box::new(Msg::Task),
+                Tag(0),
+                Some(self.account),
+            );
+        }
+    }
+
+    fn drain_with_stop(&mut self, ctx: &mut Ctx<'_>) {
+        if self.tasks_left > 0 {
+            return;
+        }
+        while let Some(worker) = self.pop() {
+            ctx.send(worker, 0.0, Box::new(Msg::Stop), Tag(1));
+        }
+    }
+}
+
+impl Actor for Master {
+    fn on_message(&mut self, from: ActorId, payload: Payload, ctx: &mut Ctx<'_>) {
+        match *payload.downcast::<Msg>().expect("protocol message") {
+            Msg::Request => {
+                if self.tasks_left == 0 {
+                    ctx.send(from, 0.0, Box::new(Msg::Stop), Tag(1));
+                    return;
+                }
+                let bandwidth = self.bandwidth_of.get(&from).copied().unwrap_or(0.0);
+                self.seq += 1;
+                self.by_bandwidth.push(PendingRequest {
+                    bandwidth,
+                    seq: self.seq,
+                    worker: from,
+                });
+                self.fifo.push_back(from);
+                self.serve(ctx);
+            }
+            _ => unreachable!("master only receives requests"),
+        }
+    }
+
+    fn on_send_done(&mut self, tag: Tag, ctx: &mut Ctx<'_>) {
+        if tag == Tag(0) {
+            self.sending = false;
+            self.serve(ctx);
+            self.drain_with_stop(ctx);
+        }
+    }
+}
+
+struct Worker {
+    master: ActorId,
+    account: AccountId,
+    flops: f64,
+    prefetch: usize,
+    buffered: usize,
+    computing: bool,
+    done: usize,
+}
+
+impl Worker {
+    fn maybe_compute(&mut self, ctx: &mut Ctx<'_>) {
+        if !self.computing && self.buffered > 0 {
+            self.computing = true;
+            self.buffered -= 1;
+            ctx.execute_as(self.flops, Tag(0), Some(self.account));
+        }
+    }
+}
+
+impl Actor for Worker {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        // Fill the prefetch pipeline with one request per buffer slot.
+        for _ in 0..self.prefetch {
+            ctx.send(self.master, 0.0, Box::new(Msg::Request), Tag(2));
+        }
+    }
+
+    fn on_message(&mut self, _from: ActorId, payload: Payload, ctx: &mut Ctx<'_>) {
+        match *payload.downcast::<Msg>().expect("protocol message") {
+            Msg::Task => {
+                self.buffered += 1;
+                self.maybe_compute(ctx);
+            }
+            Msg::Stop => {}
+            Msg::Request => unreachable!("workers only receive tasks/stops"),
+        }
+    }
+
+    fn on_compute_done(&mut self, _tag: Tag, ctx: &mut Ctx<'_>) {
+        self.computing = false;
+        self.done += 1;
+        // Refill the slot just freed.
+        ctx.send(self.master, 0.0, Box::new(Msg::Request), Tag(2));
+        self.maybe_compute(ctx);
+    }
+}
+
+/// Outcome of a master-worker run.
+#[derive(Debug)]
+pub struct MwRun {
+    /// Time at which the last activity finished, seconds.
+    pub makespan: f64,
+    /// Recorded trace (when tracing was requested).
+    pub trace: Option<Trace>,
+    /// Per-application task counts actually shipped (equals the
+    /// configured totals on a complete run).
+    pub tasks_shipped: Vec<usize>,
+}
+
+/// Runs the competing applications on `platform`.
+///
+/// Each application gets one master (on its configured host) and one
+/// worker on every platform host. Account labels follow the app names,
+/// so traced utilization can be split per application (Fig. 8/9).
+pub fn run_master_worker(
+    platform: Platform,
+    apps: &[AppSpec],
+    tracing: Option<TracingConfig>,
+) -> MwRun {
+    let mut sim = Simulation::new(platform);
+    let accounts: Vec<AccountId> = apps.iter().map(|a| sim.account(&a.name)).collect();
+    if let Some(t) = tracing {
+        sim.enable_tracing(t);
+    }
+    // Effective bandwidth of each host as seen from each master: the
+    // bottleneck capacity of the route (the paper's "effective
+    // bandwidth" evaluated per worker).
+    let mut routes = RouteTable::new();
+    let host_ids: Vec<HostId> = sim.platform().hosts().iter().map(|h| h.id()).collect();
+    let n_hosts = host_ids.len();
+    let mut tasks_shipped = Vec::with_capacity(apps.len());
+
+    // Masters are spawned first (ids 0..apps), then workers app-major:
+    // worker of app a on host h has id apps.len() + a*n_hosts + h.
+    for (a, app) in apps.iter().enumerate() {
+        let mut bandwidth_of = std::collections::HashMap::new();
+        for (h, &host) in host_ids.iter().enumerate() {
+            let worker_id = ActorId::from_index(apps.len() + a * n_hosts + h);
+            let bw = routes
+                .route(sim.platform(), app.master, host)
+                .expect("connected platform")
+                .bottleneck;
+            let bw = if bw.is_finite() { bw } else { f64::MAX };
+            bandwidth_of.insert(worker_id, bw);
+        }
+        sim.spawn(
+            app.master,
+            Box::new(Master {
+                account: accounts[a],
+                config: app.config.clone(),
+                bandwidth_of,
+                by_bandwidth: BinaryHeap::new(),
+                fifo: VecDeque::new(),
+                tasks_left: app.config.tasks,
+                seq: 0,
+                sending: false,
+            }),
+        );
+        tasks_shipped.push(app.config.tasks);
+    }
+    for (a, app) in apps.iter().enumerate() {
+        let master_id = ActorId::from_index(a);
+        for &host in &host_ids {
+            sim.spawn(
+                host,
+                Box::new(Worker {
+                    master: master_id,
+                    account: accounts[a],
+                    flops: app.config.task_flops,
+                    prefetch: app.config.prefetch,
+                    buffered: 0,
+                    computing: false,
+                    done: 0,
+                }),
+            );
+        }
+    }
+    let makespan = sim.run();
+    MwRun { makespan, trace: sim.into_trace(), tasks_shipped }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use viva_platform::generators::{self, Grid5000Config};
+    use viva_trace::metric::names;
+
+    fn small_grid() -> Platform {
+        generators::grid5000(&Grid5000Config {
+            sites: 4,
+            clusters_per_site: (1, 2),
+            total_hosts: 24,
+            ..Default::default()
+        })
+        .unwrap()
+    }
+
+    fn one_app(platform: &Platform, cfg: MwConfig) -> Vec<AppSpec> {
+        vec![AppSpec {
+            name: "app1".into(),
+            master: platform.hosts()[0].id(),
+            config: cfg,
+        }]
+    }
+
+    #[test]
+    fn all_tasks_complete_and_work_is_conserved() {
+        let p = small_grid();
+        let cfg = MwConfig { tasks: 60, ..MwConfig::cpu_bound() };
+        let apps = one_app(&p, cfg.clone());
+        let run = run_master_worker(p, &apps, Some(TracingConfig::default()));
+        assert!(run.makespan > 0.0);
+        let trace = run.trace.unwrap();
+        let used = trace.metric_id(names::POWER_USED).unwrap();
+        let total: f64 = trace
+            .containers()
+            .of_kind(viva_trace::ContainerKind::Host)
+            .into_iter()
+            .map(|h| trace.integrate(h, used, 0.0, trace.end()))
+            .sum();
+        let expect = cfg.tasks as f64 * cfg.task_flops;
+        assert!(
+            (total - expect).abs() < 1e-6 * expect,
+            "computed {total}, expected {expect}"
+        );
+    }
+
+    #[test]
+    fn per_account_metrics_split_the_two_apps() {
+        let p = small_grid();
+        let apps = vec![
+            AppSpec {
+                name: "app1".into(),
+                master: p.hosts()[0].id(),
+                config: MwConfig { tasks: 40, ..MwConfig::cpu_bound() },
+            },
+            AppSpec {
+                name: "app2".into(),
+                master: p.hosts()[6].id(),
+                config: MwConfig { tasks: 40, ..MwConfig::network_bound() },
+            },
+        ];
+        let run = run_master_worker(p, &apps, Some(TracingConfig::default()));
+        let trace = run.trace.unwrap();
+        let m1 = trace.metric_id("power_used:app1").expect("app1 metric");
+        let m2 = trace.metric_id("power_used:app2").expect("app2 metric");
+        let sum = |m| {
+            trace
+                .containers()
+                .of_kind(viva_trace::ContainerKind::Host)
+                .into_iter()
+                .map(|h| trace.integrate(h, m, 0.0, trace.end()))
+                .sum::<f64>()
+        };
+        let w1 = sum(m1);
+        let w2 = sum(m2);
+        assert!((w1 - 40.0 * 2000.0).abs() < 1.0, "app1 work {w1}");
+        assert!((w2 - 40.0 * 800.0).abs() < 1.0, "app2 work {w2}");
+    }
+
+    #[test]
+    fn bandwidth_centric_prefers_fast_workers() {
+        // Few tasks: only the best-connected workers should ever see
+        // work under the bandwidth-centric policy.
+        let p = small_grid();
+        let master = p.hosts()[0].id();
+        let mut routes = RouteTable::new();
+        let bw: Vec<f64> = p
+            .hosts()
+            .iter()
+            .map(|h| routes.route(&p, master, h.id()).unwrap().bottleneck)
+            .map(|b| if b.is_finite() { b } else { f64::MAX })
+            .collect();
+        let apps = vec![AppSpec {
+            name: "app1".into(),
+            master,
+            config: MwConfig {
+                tasks: 12,
+                task_flops: 50_000.0, // long compute: no worker finishes early
+                ..MwConfig::cpu_bound()
+            },
+        }];
+        let run = run_master_worker(p.clone(), &apps, Some(TracingConfig::default()));
+        let trace = run.trace.unwrap();
+        let used = trace.metric_id("power_used:app1").unwrap();
+        // Workers that computed something.
+        let served: Vec<usize> = p
+            .hosts()
+            .iter()
+            .enumerate()
+            .filter(|(_, h)| {
+                let c = trace.containers().by_name(h.name()).unwrap().id();
+                trace.integrate(c, used, 0.0, trace.end()) > 0.0
+            })
+            .map(|(i, _)| i)
+            .collect();
+        assert!(!served.is_empty());
+        let min_served_bw = served.iter().map(|&i| bw[i]).fold(f64::MAX, f64::min);
+        let max_unserved_bw = (0..p.hosts().len())
+            .filter(|i| !served.contains(i))
+            .map(|i| bw[i])
+            .fold(0.0f64, f64::max);
+        assert!(
+            min_served_bw >= max_unserved_bw,
+            "served slower workers ({min_served_bw}) before faster ones ({max_unserved_bw})"
+        );
+    }
+
+    #[test]
+    fn fifo_spreads_more_uniformly_than_bandwidth_centric() {
+        let p = small_grid();
+        let run_with = |scheduler| {
+            let apps = vec![AppSpec {
+                name: "app1".into(),
+                master: p.hosts()[0].id(),
+                config: MwConfig { tasks: 48, task_flops: 20_000.0, scheduler, ..Default::default() },
+            }];
+            let run = run_master_worker(p.clone(), &apps, Some(TracingConfig::default()));
+            let trace = run.trace.unwrap();
+            let used = trace.metric_id("power_used:app1").unwrap();
+            p.hosts()
+                .iter()
+                .filter(|h| {
+                    let c = trace.containers().by_name(h.name()).unwrap().id();
+                    trace.integrate(c, used, 0.0, trace.end()) > 0.0
+                })
+                .count()
+        };
+        let bc = run_with(Scheduler::BandwidthCentric);
+        let fifo = run_with(Scheduler::Fifo);
+        assert!(
+            fifo >= bc,
+            "FIFO should touch at least as many workers: fifo {fifo}, bc {bc}"
+        );
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let run_once = || {
+            let p = small_grid();
+            let apps = one_app(&p, MwConfig { tasks: 30, ..Default::default() });
+            let run = run_master_worker(p, &apps, None);
+            run.makespan
+        };
+        assert_eq!(run_once(), run_once());
+    }
+}

@@ -1,0 +1,128 @@
+//! The §5.2 case study: two non-cooperative master-worker applications
+//! on a Grid'5000-scale platform, analyzed with multi-scale spatial
+//! aggregation (host → cluster → site → grid) and time animation.
+//!
+//! Uses a 300-host platform by default so it runs quickly; pass
+//! `--full` for the paper's 2170 hosts.
+//!
+//! ```sh
+//! cargo run --release -p viva-examples --bin gridmw_analysis
+//! ```
+
+use viva::{AnalysisSession, Animation, SessionConfig};
+use viva_agg::TimeSlice;
+use viva_platform::generators::{self, Grid5000Config};
+use viva_simflow::TracingConfig;
+use viva_trace::ContainerKind;
+use viva_workloads::{run_master_worker, AppSpec, MwConfig};
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let platform = generators::grid5000(&Grid5000Config {
+        total_hosts: if full { 2170 } else { 300 },
+        ..Default::default()
+    })
+    .expect("valid platform");
+    println!(
+        "platform: {} hosts, {} clusters, {} sites",
+        platform.hosts().len(),
+        platform.clusters().len(),
+        platform.sites().len()
+    );
+
+    let apps = vec![
+        AppSpec {
+            name: "app1".into(),
+            master: platform.sites()[0]
+                .clusters()
+                .first()
+                .map(|&c| platform.cluster(c).hosts()[0])
+                .expect("site has hosts"),
+            config: MwConfig {
+                tasks: if full { 4000 } else { 800 },
+                task_flops: 50_000.0,
+                ..MwConfig::cpu_bound()
+            },
+        },
+        AppSpec {
+            name: "app2".into(),
+            master: platform.sites()[1]
+                .clusters()
+                .first()
+                .map(|&c| platform.cluster(c).hosts()[0])
+                .expect("site has hosts"),
+            config: MwConfig {
+                tasks: if full { 3000 } else { 600 },
+                task_flops: 20_000.0,
+                ..MwConfig::network_bound()
+            },
+        },
+    ];
+    let run = run_master_worker(
+        platform.clone(),
+        &apps,
+        Some(TracingConfig { record_messages: false, record_accounts: true }),
+    );
+    println!("makespan: {:.1} s", run.makespan);
+    let trace = run.trace.expect("traced");
+
+    let mut session =
+        AnalysisSession::with_platform(trace, SessionConfig::default(), &platform);
+    session.set_time_slice(TimeSlice::new(run.makespan * 0.2, run.makespan * 0.6));
+
+    // Walk the aggregation levels the way Fig. 8 does.
+    for (label, depth) in [("site", 1u32), ("cluster", 2)] {
+        session.collapse_at_depth(depth);
+        session.relax(150);
+        let view = session.view();
+        println!(
+            "\n{label} level: {} visible nodes (from {} leaf containers)",
+            view.nodes.len(),
+            session.trace().containers().len()
+        );
+        // Rank aggregated groups by utilization; the §6 indicators say
+        // how uneven each group is inside.
+        let mut groups: Vec<_> = view
+            .nodes
+            .iter()
+            .filter(|n| n.members > 1)
+            .collect();
+        groups.sort_by(|a, b| b.fill_fraction.total_cmp(&a.fill_fraction));
+        for g in groups.iter().take(5) {
+            println!(
+                "  {:<14} {} members, fill {:>3.0}%, member stddev {:.0} MFlop/s",
+                g.label,
+                g.members,
+                g.fill_fraction * 100.0,
+                g.fill_summary.std_dev()
+            );
+        }
+    }
+
+    // Per-application split at the site level (the paper's phenomena).
+    let tree = session.trace().containers();
+    let sites = tree.of_kind(ContainerKind::Site);
+    println!("\nper-application compute share per site (fixed slice):");
+    for site in sites {
+        let name = tree.node(site).name().to_owned();
+        let a1 = session.aggregate("power_used:app1", site).map_or(0.0, |a| a.integral);
+        let a2 = session.aggregate("power_used:app2", site).map_or(0.0, |a| a.integral);
+        let (a1, a2) = (a1.max(0.0), a2.max(0.0));
+        if a1 + a2 > 0.0 {
+            println!("  {name:<10} app1 {a1:>12.0}  app2 {a2:>12.0}  MFlop");
+        }
+    }
+
+    // Fig. 9-style animation: four frames at the site level.
+    session.collapse_at_depth(1);
+    let frames = TimeSlice::new(0.0, run.makespan).split(4);
+    let anim = Animation::capture(&mut session, &frames, 20);
+    println!(
+        "\nanimation: {} frames, max node drift between frames {:.2} layout units",
+        anim.len(),
+        anim.max_frame_displacement()
+    );
+    let svg = session.render_svg(800.0, 600.0);
+    std::fs::write("gridmw_sites.svg", &svg).expect("write svg");
+    println!("wrote gridmw_sites.svg");
+}

@@ -1,0 +1,135 @@
+//! A scripted tour of the interactive features of §4: collapsing and
+//! expanding groups (with the smooth layout morphs of §3.3), dragging
+//! and pinning nodes, the charge/spring/damping sliders, per-type size
+//! sliders, and dynamic mapping changes.
+//!
+//! Every gesture a GUI would offer is an API call here; the printed
+//! output shows its observable effect.
+//!
+//! ```sh
+//! cargo run -p viva-examples --bin interactive_session
+//! ```
+
+use viva::mapping::{NodeMapping, Shape};
+use viva::{AnalysisSession, SessionConfig};
+use viva_layout::Vec2;
+use viva_platform::generators;
+use viva_simflow::TracingConfig;
+use viva_trace::ContainerKind;
+use viva_workloads::{run_dt, Deployment, DtConfig};
+
+fn main() {
+    // Material: a traced DT run on the two-cluster platform.
+    let platform = generators::two_clusters(&Default::default()).expect("valid platform");
+    let run = run_dt(
+        platform.clone(),
+        &DtConfig { rounds: 5, ..Default::default() },
+        Deployment::Sequential,
+        Some(TracingConfig { record_messages: false, record_accounts: false }),
+    );
+    let trace = run.trace.expect("traced");
+    let mut session =
+        AnalysisSession::with_platform(trace, SessionConfig::default(), &platform);
+
+    println!("1. initial layout ({} nodes)...", session.view().nodes.len());
+    let steps = session.relax(2000);
+    println!("   converged in {steps} steps");
+
+    // 2. Aggregate the adonis cluster; the aggregate appears at its
+    // members' barycenter (smooth morph).
+    let adonis = session
+        .trace()
+        .containers()
+        .by_name("adonis")
+        .expect("cluster container")
+        .id();
+    let members_before: Vec<Vec2> = session
+        .view()
+        .nodes
+        .iter()
+        .filter(|n| {
+            session.trace().containers().path(n.container).starts_with("grenoble/adonis")
+        })
+        .map(|n| n.position)
+        .collect();
+    session.collapse(adonis);
+    let agg_pos = session
+        .view()
+        .node(adonis)
+        .expect("aggregate node")
+        .position;
+    let centroid = members_before
+        .iter()
+        .fold(Vec2::default(), |acc, &p| acc + p)
+        / members_before.len() as f64;
+    println!(
+        "2. collapsed 'adonis' ({} members) -> aggregate spawned {:.1} units from their centroid",
+        members_before.len(),
+        agg_pos.distance(centroid)
+    );
+
+    // 3. Drag the aggregate to the west and pin it (the analyst's
+    // geographic convention, §4.2).
+    session.drag(adonis, Vec2::new(-120.0, 0.0));
+    session.relax(400);
+    println!(
+        "3. dragged + pinned 'adonis' at {}; neighbours followed",
+        session.view().node(adonis).unwrap().position
+    );
+
+    // 4. Play with the sliders.
+    session.layout_config_mut().repulsion *= 4.0;
+    session.relax(400);
+    let spread = session.layout().bounds().map(|(lo, hi)| (hi - lo).length()).unwrap();
+    session.layout_config_mut().repulsion /= 16.0;
+    session.relax(600);
+    let packed = session.layout().bounds().map(|(lo, hi)| (hi - lo).length()).unwrap();
+    println!("4. charge slider: extent {spread:.0} at high charge, {packed:.0} at low charge");
+    session.layout_config_mut().repulsion *= 4.0; // restore
+
+    // 5. Per-type size sliders (§4.1): make links twice as prominent.
+    session.scaling_mut().set_slider("bandwidth", 2.0);
+    let view = session.view();
+    let link_px = view
+        .nodes
+        .iter()
+        .find(|n| n.kind == ContainerKind::Link)
+        .map(|n| n.px_size)
+        .unwrap_or(0.0);
+    println!("5. bandwidth slider 2.0x -> biggest link drawn at {link_px:.0}px");
+
+    // 6. Dynamic mapping change (§3.1): draw hosts as circles sized by
+    // *utilization* instead of capacity.
+    session.mapping_mut().set_rule(
+        ContainerKind::Host,
+        NodeMapping {
+            shape: Shape::Circle,
+            size_metric: Some("power_used".into()),
+            fill_metric: None,
+        },
+    );
+    let view = session.view();
+    let host = view
+        .nodes
+        .iter()
+        .find(|n| n.kind == ContainerKind::Host)
+        .expect("a host is visible");
+    println!(
+        "6. remapped hosts: '{}' is now a {} sized by power_used ({:.1})",
+        host.label,
+        host.shape.label(),
+        host.size_value
+    );
+
+    // 7. Expand back; members reappear around the pinned aggregate.
+    session.expand(adonis);
+    session.relax(300);
+    println!(
+        "7. expanded 'adonis' back to {} visible nodes",
+        session.view().nodes.len()
+    );
+
+    let svg = session.render_svg(800.0, 600.0);
+    std::fs::write("interactive_session.svg", &svg).expect("write svg");
+    println!("wrote interactive_session.svg");
+}

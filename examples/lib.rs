@@ -1,0 +1,3 @@
+//! Runnable examples for the `viva` workspace; see the `[[bin]]`
+//! targets (`quickstart`, `nasdt_analysis`, `gridmw_analysis`,
+//! `interactive_session`).

@@ -1,0 +1,77 @@
+//! The §5.1 case study end to end: run NAS-DT class A (White Hole) under
+//! both deployments, find the saturated inter-cluster links with the
+//! topology view, and quantify the locality win.
+//!
+//! ```sh
+//! cargo run --release -p viva-examples --bin nasdt_analysis
+//! ```
+
+use viva::{AnalysisSession, SessionConfig};
+use viva_agg::TimeSlice;
+use viva_platform::generators;
+use viva_simflow::TracingConfig;
+use viva_trace::ContainerKind;
+use viva_workloads::{run_dt, Deployment, DtConfig};
+
+fn main() {
+    let platform = generators::two_clusters(&Default::default()).expect("valid platform");
+    let cfg = DtConfig::default();
+    let tracing = TracingConfig { record_messages: false, record_accounts: false };
+
+    println!("running NAS-DT class A White-Hole on 2x11 hosts...");
+    let seq = run_dt(platform.clone(), &cfg, Deployment::Sequential, Some(tracing.clone()));
+    println!("  sequential hostfile: {:.3} s", seq.makespan);
+
+    // Analyst workflow: open the trace, look at the whole run, rank
+    // links by utilization.
+    let trace = seq.trace.expect("traced");
+    let mut session =
+        AnalysisSession::with_platform(trace, SessionConfig::default(), &platform);
+    session.relax(400);
+    let view = session.view();
+    let mut links: Vec<_> = view
+        .nodes
+        .iter()
+        .filter(|n| n.kind == ContainerKind::Link)
+        .collect();
+    links.sort_by(|a, b| b.fill_fraction.total_cmp(&a.fill_fraction));
+    println!("  most utilized links over the whole run:");
+    for l in links.iter().take(4) {
+        println!("    {:<12} {:>3.0}%", l.label, l.fill_fraction * 100.0);
+    }
+    let saturated: Vec<&str> = links.iter().take(2).map(|l| l.label.as_str()).collect();
+    assert!(
+        saturated.iter().all(|n| n.ends_with("-bb")),
+        "expected the inter-cluster links on top, got {saturated:?}"
+    );
+    println!("  -> the two inter-cluster links are the bottleneck (paper Fig. 6)");
+
+    // Check the hypothesis on a narrower slice near the end.
+    let end_slice = TimeSlice::new(seq.makespan * 0.8, seq.makespan);
+    session.set_time_slice(end_slice);
+    let late = session.view();
+    let bb = late.node_by_label("adonis-bb").expect("backbone node");
+    println!(
+        "  backbone utilization in the last fifth of the run: {:.0}%",
+        bb.fill_fraction * 100.0
+    );
+
+    // Redeploy for locality, as the analyst would after seeing Fig. 6.
+    let loc = run_dt(platform.clone(), &cfg, Deployment::Locality, Some(tracing));
+    println!("  locality hostfile:   {:.3} s", loc.makespan);
+    println!(
+        "  improvement: {:.1}% (the paper reports ~20%)",
+        100.0 * (1.0 - loc.makespan / seq.makespan)
+    );
+
+    let trace = loc.trace.expect("traced");
+    let mut session =
+        AnalysisSession::with_platform(trace, SessionConfig::default(), &platform);
+    session.relax(400);
+    let view = session.view();
+    let bb = view.node_by_label("adonis-bb").expect("backbone node");
+    println!(
+        "  backbone utilization after redeployment: {:.0}% (was ~97%)",
+        bb.fill_fraction * 100.0
+    );
+}

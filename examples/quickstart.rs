@@ -1,0 +1,91 @@
+//! Quickstart: simulate a tiny platform, record a trace, and explore it
+//! through a topology-based analysis session.
+//!
+//! ```sh
+//! cargo run -p viva-examples --bin quickstart
+//! ```
+
+use viva::{AnalysisSession, SessionConfig};
+use viva_agg::TimeSlice;
+use viva_platform::generators;
+use viva_simflow::{Actor, ActorId, Ctx, Payload, Simulation, Tag, TracingConfig};
+
+/// Streams `count` messages to a peer, computing between sends.
+struct Streamer {
+    peer: ActorId,
+    count: usize,
+}
+
+impl Actor for Streamer {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.send(self.peer, 400.0, Box::new(()), Tag(0));
+    }
+
+    fn on_send_done(&mut self, _tag: Tag, ctx: &mut Ctx<'_>) {
+        self.count -= 1;
+        if self.count > 0 {
+            ctx.execute(50.0, Tag(1));
+        }
+    }
+
+    fn on_compute_done(&mut self, _tag: Tag, ctx: &mut Ctx<'_>) {
+        ctx.send(self.peer, 400.0, Box::new(()), Tag(0));
+    }
+}
+
+/// Computes on everything it receives.
+struct Cruncher;
+
+impl Actor for Cruncher {
+    fn on_message(&mut self, _from: ActorId, _payload: Payload, ctx: &mut Ctx<'_>) {
+        ctx.execute(200.0, Tag(0));
+    }
+}
+
+fn main() {
+    // 1. A platform: one 8-host cluster behind a switch.
+    let platform = generators::star(8, 1000.0, 1000.0).expect("valid platform");
+
+    // 2. A workload: three streamers feeding one cruncher.
+    let mut sim = Simulation::new(platform.clone());
+    sim.enable_tracing(TracingConfig::default());
+    let cruncher = sim.spawn(platform.hosts()[0].id(), Box::new(Cruncher));
+    for i in 1..=3 {
+        sim.spawn(
+            platform.hosts()[i].id(),
+            Box::new(Streamer { peer: cruncher, count: 5 }),
+        );
+    }
+    let makespan = sim.run();
+    let trace = sim.into_trace().expect("tracing was enabled");
+    println!("simulated {makespan:.3} s, {} signals recorded", trace.signal_count());
+
+    // 3. Analysis: topology view over the whole run.
+    let mut session = AnalysisSession::with_platform(trace, SessionConfig::default(), &platform);
+    session.relax(500);
+    let view = session.view();
+    println!("view: {} nodes, {} edges", view.nodes.len(), view.edges.len());
+    for node in &view.nodes {
+        println!(
+            "  {:<10} {:<7} size {:>7.1} fill {:>4.0}%",
+            node.label,
+            node.shape.label(),
+            node.size_value,
+            node.fill_fraction * 100.0
+        );
+    }
+
+    // 4. Zoom the time-slice onto the first half of the run.
+    session.set_time_slice(TimeSlice::new(0.0, makespan / 2.0));
+    let early = session.view();
+    let busy = early.node_by_label("star-1").expect("cruncher host");
+    println!(
+        "cruncher host utilization in the first half: {:.0}%",
+        busy.fill_fraction * 100.0
+    );
+
+    // 5. Render.
+    let svg = session.render_svg(640.0, 480.0);
+    std::fs::write("quickstart.svg", &svg).expect("write svg");
+    println!("wrote quickstart.svg ({} bytes)", svg.len());
+}

@@ -1,0 +1,2 @@
+//! Integration-test package for the `viva` workspace; all tests live
+//! under `tests/`.

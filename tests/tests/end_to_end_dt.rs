@@ -1,0 +1,163 @@
+//! End-to-end §5.1: simulate NAS-DT, analyze the trace through the full
+//! visualization stack, and verify the paper's Figs. 6/7 phenomena.
+
+use viva::{AnalysisSession, SessionConfig};
+use viva_agg::TimeSlice;
+use viva_platform::generators;
+use viva_simflow::TracingConfig;
+use viva_trace::ContainerKind;
+use viva_workloads::{run_dt, Deployment, DtConfig};
+
+fn tracing() -> TracingConfig {
+    TracingConfig { record_messages: false, record_accounts: false }
+}
+
+#[test]
+fn fig6_sequential_saturates_inter_cluster_links() {
+    let platform = generators::two_clusters(&Default::default()).unwrap();
+    let run = run_dt(
+        platform.clone(),
+        &DtConfig::default(),
+        Deployment::Sequential,
+        Some(tracing()),
+    );
+    let trace = run.trace.unwrap();
+    let mut session =
+        AnalysisSession::with_platform(trace, SessionConfig::default(), &platform);
+
+    // Whole run + begin/middle/end slices, as in Fig. 6: the two
+    // inter-cluster links are the most utilized everywhere.
+    let whole = TimeSlice::new(0.0, run.makespan);
+    let mut slices = vec![whole];
+    slices.extend(whole.split(3));
+    for slice in slices {
+        session.set_time_slice(slice);
+        let view = session.view();
+        let mut links: Vec<_> = view
+            .nodes
+            .iter()
+            .filter(|n| n.kind == ContainerKind::Link)
+            .collect();
+        links.sort_by(|a, b| b.fill_fraction.total_cmp(&a.fill_fraction));
+        let top2: Vec<&str> = links.iter().take(2).map(|n| n.label.as_str()).collect();
+        assert!(
+            top2.iter().all(|n| n.ends_with("-bb")),
+            "slice {slice}: top links {top2:?} should be the backbone"
+        );
+        assert!(
+            links[0].fill_fraction > 0.7,
+            "slice {slice}: backbone should be near saturation, got {}",
+            links[0].fill_fraction
+        );
+    }
+}
+
+#[test]
+fn fig7_locality_wins_by_roughly_twenty_percent() {
+    let platform = generators::two_clusters(&Default::default()).unwrap();
+    let cfg = DtConfig::default();
+    let seq = run_dt(platform.clone(), &cfg, Deployment::Sequential, Some(tracing()));
+    let loc = run_dt(platform.clone(), &cfg, Deployment::Locality, Some(tracing()));
+    let improvement = 1.0 - loc.makespan / seq.makespan;
+    assert!(
+        (0.08..=0.40).contains(&improvement),
+        "expected a ~20% improvement, got {:.1}% (seq {}, loc {})",
+        improvement * 100.0,
+        seq.makespan,
+        loc.makespan
+    );
+
+    // The backbone unloads: whole-run utilization drops by > 2x.
+    let bb_util = |trace: &viva_trace::Trace, makespan: f64| {
+        let m = trace.metric_id("bandwidth_used").unwrap();
+        let cap = trace.metric_id("bandwidth").unwrap();
+        ["adonis-bb", "griffon-bb"]
+            .iter()
+            .map(|n| {
+                let c = trace.containers().by_name(n).unwrap().id();
+                let used = trace.integrate(c, m, 0.0, makespan);
+                let capacity = trace.signal(c, cap).unwrap().value_at(0.0) * makespan;
+                used / capacity
+            })
+            .sum::<f64>()
+            / 2.0
+    };
+    let seq_util = bb_util(seq.trace.as_ref().unwrap(), seq.makespan);
+    let loc_util = bb_util(loc.trace.as_ref().unwrap(), loc.makespan);
+    assert!(seq_util > 0.85, "sequential backbone near saturation: {seq_util}");
+    assert!(
+        loc_util < seq_util / 2.0,
+        "locality should unload the backbone: {seq_util} -> {loc_util}"
+    );
+
+    // And the contention moves inside the clusters (Fig. 7: "network
+    // contention is now placed on the small network links on each of
+    // the clusters").
+    let trace = loc.trace.unwrap();
+    let mut session =
+        AnalysisSession::with_platform(trace, SessionConfig::default(), &platform);
+    session.set_time_slice(TimeSlice::new(0.0, loc.makespan));
+    let view = session.view();
+    let busiest = view
+        .nodes
+        .iter()
+        .filter(|n| n.kind == ContainerKind::Link)
+        .max_by(|a, b| a.fill_fraction.total_cmp(&b.fill_fraction))
+        .unwrap();
+    assert!(
+        busiest.label.ends_with("-up"),
+        "busiest link should be an intra-cluster uplink, got {}",
+        busiest.label
+    );
+}
+
+#[test]
+fn collapsing_clusters_preserves_total_usage() {
+    // Equation 1 conservation through the view: host-level fill values
+    // of a cluster sum to the collapsed cluster's fill value.
+    let platform = generators::two_clusters(&Default::default()).unwrap();
+    let run = run_dt(
+        platform.clone(),
+        &DtConfig { rounds: 5, ..Default::default() },
+        Deployment::Sequential,
+        Some(tracing()),
+    );
+    let trace = run.trace.unwrap();
+    let mut session =
+        AnalysisSession::with_platform(trace, SessionConfig::default(), &platform);
+    session.set_time_slice(TimeSlice::new(0.0, run.makespan));
+
+    let tree = session.trace().containers();
+    let adonis = tree.by_name("adonis").unwrap().id();
+    let host_sum: f64 = session
+        .view()
+        .nodes
+        .iter()
+        .filter(|n| {
+            n.kind == ContainerKind::Host
+                && tree.path(n.container).starts_with("grenoble/adonis")
+        })
+        .map(|n| n.fill_value)
+        .sum();
+    session.collapse(adonis);
+    let agg = session.view().node(adonis).unwrap().fill_value;
+    assert!(
+        (host_sum - agg).abs() <= 1e-9 * host_sum.abs().max(1.0),
+        "aggregate {agg} != member sum {host_sum}"
+    );
+}
+
+#[test]
+fn black_hole_and_shuffle_variants_run() {
+    let platform = generators::two_clusters(&Default::default()).unwrap();
+    for graph in [
+        viva_workloads::DtGraph::BlackHole,
+        viva_workloads::DtGraph::Shuffle,
+    ] {
+        let cfg = DtConfig { graph, rounds: 3, ..Default::default() };
+        let run = run_dt(platform.clone(), &cfg, Deployment::Sequential, Some(tracing()));
+        assert!(run.makespan > 0.0, "{graph:?} must make progress");
+        let trace = run.trace.unwrap();
+        assert!(trace.breakpoint_count() > 0);
+    }
+}

@@ -1,0 +1,191 @@
+//! End-to-end §5.2: competing master-workers on a (reduced) Grid'5000
+//! model, checked for the paper's three phenomena and for the Fig. 9
+//! diffusion behaviour.
+
+use viva::animation::evolution_matrix;
+use viva::{AnalysisSession, SessionConfig};
+use viva_agg::TimeSlice;
+use viva_platform::generators::{self, Grid5000Config};
+use viva_platform::RouteTable;
+use viva_simflow::TracingConfig;
+use viva_trace::ContainerKind;
+use viva_workloads::{run_master_worker, AppSpec, MwConfig, Scheduler};
+
+fn platform() -> viva_platform::Platform {
+    generators::grid5000(&Grid5000Config {
+        total_hosts: 160,
+        sites: 6,
+        ..Default::default()
+    })
+    .unwrap()
+}
+
+fn best_host(p: &viva_platform::Platform, site: usize) -> viva_platform::HostId {
+    let mut routes = RouteTable::new();
+    let remote = p.hosts().last().unwrap().id();
+    p.sites()[site]
+        .clusters()
+        .iter()
+        .map(|&c| p.cluster(c).hosts()[0])
+        .max_by(|&a, &b| {
+            let ba = routes.route(p, a, remote).unwrap().bottleneck;
+            let bb = routes.route(p, b, remote).unwrap().bottleneck;
+            ba.total_cmp(&bb)
+        })
+        .unwrap()
+}
+
+fn two_apps(p: &viva_platform::Platform) -> Vec<AppSpec> {
+    vec![
+        AppSpec {
+            name: "app1".into(),
+            master: best_host(p, 0),
+            config: MwConfig { tasks: 300, task_flops: 50_000.0, ..MwConfig::cpu_bound() },
+        },
+        AppSpec {
+            name: "app2".into(),
+            master: best_host(p, 1),
+            config: MwConfig {
+                tasks: 200,
+                task_flops: 20_000.0,
+                ..MwConfig::network_bound()
+            },
+        },
+    ]
+}
+
+#[test]
+fn fig8_phenomena_at_aggregated_levels() {
+    let p = platform();
+    let run = run_master_worker(
+        p.clone(),
+        &two_apps(&p),
+        Some(TracingConfig { record_messages: false, record_accounts: true }),
+    );
+    let trace = run.trace.unwrap();
+    let slice = TimeSlice::new(run.makespan * 0.2, run.makespan * 0.6);
+    let mut session = AnalysisSession::with_platform(trace, SessionConfig::default(), &p);
+    session.set_time_slice(slice);
+
+    // Phenomenon 1: the CPU-bound app uses more compute overall.
+    let root = session.trace().containers().root();
+    let a1 = session.aggregate("power_used:app1", root).unwrap().integral;
+    let a2 = session.aggregate("power_used:app2", root).unwrap().integral;
+    assert!(a1 > a2, "CPU-bound app should dominate: {a1} vs {a2}");
+
+    // Phenomenon 3: interference — some host served both apps at some
+    // point of the whole run.
+    let whole = TimeSlice::new(0.0, run.makespan);
+    session.set_time_slice(whole);
+    let tree = session.trace().containers();
+    let both = tree
+        .of_kind(ContainerKind::Host)
+        .into_iter()
+        .filter(|&h| {
+            let u1 = session.aggregate("power_used:app1", h).map_or(0.0, |a| a.integral);
+            let u2 = session.aggregate("power_used:app2", h).map_or(0.0, |a| a.integral);
+            u1 > 0.0 && u2 > 0.0
+        })
+        .count();
+    assert!(both > 0, "the applications should interfere on some host");
+
+    // Aggregated views have the advertised node counts (Fig. 8's
+    // scalability: 4 levels).
+    session.collapse_at_depth(1);
+    assert_eq!(
+        session.view().nodes.len(),
+        p.sites().len() + p.links().iter().filter(|l| matches!(l.scope(), viva_platform::LinkScope::Grid)).count()
+            + 1, // the core router is a root-level leaf
+        "site level shows sites + backbone links + core router"
+    );
+    session.collapse_at_depth(0);
+    assert_eq!(session.view().nodes.len(), 1, "grid level is one node");
+}
+
+#[test]
+fn fig8_app2_prefers_well_connected_clusters() {
+    let p = platform();
+    let run = run_master_worker(
+        p.clone(),
+        &two_apps(&p),
+        Some(TracingConfig { record_messages: false, record_accounts: true }),
+    );
+    let trace = run.trace.unwrap();
+    let whole = TimeSlice::new(0.0, run.makespan);
+    // Average uplink bandwidth of clusters that served app2 vs those
+    // that did not: served ones must be better connected.
+    let mut served = Vec::new();
+    let mut unserved = Vec::new();
+    let m2 = trace.metric_id("power_used:app2");
+    for cl in p.clusters() {
+        let c = trace.containers().by_name(cl.name()).unwrap().id();
+        let used = m2.map_or(0.0, |m| {
+            viva_agg::integrate_group(&trace, m, c, whole)
+        });
+        let uplink = p
+            .link_by_name(&format!("{}-up", p.host(cl.hosts()[0]).name()))
+            .unwrap()
+            .bandwidth();
+        if used > 0.0 {
+            served.push(uplink);
+        } else {
+            unserved.push(uplink);
+        }
+    }
+    if !served.is_empty() && !unserved.is_empty() {
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(
+            mean(&served) > mean(&unserved),
+            "served clusters should be better connected: {:?} vs {:?}",
+            mean(&served),
+            mean(&unserved)
+        );
+    }
+}
+
+#[test]
+fn fig9_bandwidth_centric_is_faster_than_fifo() {
+    let p = platform();
+    let run_with = |scheduler| {
+        let apps = vec![AppSpec {
+            name: "app1".into(),
+            master: best_host(&p, 0),
+            config: MwConfig {
+                tasks: 3 * p.hosts().len(),
+                task_flops: 100_000.0,
+                task_size_mbit: 40.0,
+                scheduler,
+                ..MwConfig::cpu_bound()
+            },
+        }];
+        run_master_worker(
+            p.clone(),
+            &apps,
+            Some(TracingConfig { record_messages: false, record_accounts: true }),
+        )
+    };
+    let bc = run_with(Scheduler::BandwidthCentric);
+    let fifo = run_with(Scheduler::Fifo);
+    assert!(
+        bc.makespan <= fifo.makespan,
+        "bandwidth-centric should not lose to FIFO: {} vs {}",
+        bc.makespan,
+        fifo.makespan
+    );
+
+    // Diffusion: under FIFO every site eventually serves; count how
+    // many quarters it takes each scheduler to activate all its sites.
+    let active_profile = |run: &viva_workloads::MwRun| {
+        let trace = run.trace.as_ref().unwrap();
+        let tree = trace.containers();
+        let sites: Vec<_> = tree.of_kind(ContainerKind::Site);
+        let slices = TimeSlice::new(0.0, run.makespan).split(4);
+        let m = evolution_matrix(trace, "power_used:app1", &sites, &slices);
+        m.iter()
+            .filter(|row| row.iter().sum::<f64>() > 0.0)
+            .count()
+    };
+    // The bandwidth-centric run concentrates, FIFO spreads: FIFO should
+    // touch at least as many sites.
+    assert!(active_profile(&fifo) >= active_profile(&bc));
+}

@@ -1,0 +1,121 @@
+//! Layout quality across the visualization pipeline: the §2.3 drawing
+//! measures on real session layouts, and the smoothness claims of §3.3.
+
+use viva::{AnalysisSession, SessionConfig};
+use viva_layout::metrics;
+use viva_platform::generators;
+use viva_simflow::TracingConfig;
+use viva_workloads::{run_dt, Deployment, DtConfig};
+
+fn dt_session() -> (viva_platform::Platform, AnalysisSession) {
+    let p = generators::two_clusters(&Default::default()).unwrap();
+    let run = run_dt(
+        p.clone(),
+        &DtConfig { rounds: 3, ..Default::default() },
+        Deployment::Sequential,
+        Some(TracingConfig { record_messages: false, record_accounts: false }),
+    );
+    let session =
+        AnalysisSession::with_platform(run.trace.unwrap(), SessionConfig::default(), &p);
+    (p, session)
+}
+
+#[test]
+fn relaxation_improves_drawing_quality() {
+    let (_, mut session) = dt_session();
+    let before_stress = metrics::stress(session.layout());
+    let before_crossings = metrics::crossing_count(session.layout());
+    session.relax(2500);
+    let after_stress = metrics::stress(session.layout());
+    let after_crossings = metrics::crossing_count(session.layout());
+    assert!(
+        after_stress < before_stress,
+        "stress should drop: {before_stress} -> {after_stress}"
+    );
+    assert!(
+        after_crossings <= before_crossings,
+        "crossings should not increase: {before_crossings} -> {after_crossings}"
+    );
+}
+
+#[test]
+fn cluster_view_is_a_clean_drawing() {
+    // The two-cluster platform collapsed to cluster level is a tiny
+    // graph (2 aggregates + 2 backbone links + core router); a relaxed
+    // force layout must draw it planar.
+    let (_, mut session) = dt_session();
+    session.collapse_at_depth(2);
+    session.relax(2000);
+    assert_eq!(metrics::crossing_count(session.layout()), 0);
+    assert!(metrics::bounding_area(session.layout()) > 0.0);
+}
+
+#[test]
+fn collapse_is_smoother_than_fresh_layout() {
+    // §3.3's motivation: morphing beats recomputation. Collapsing a
+    // cluster must move the surviving nodes much less than laying the
+    // aggregated graph out from scratch with a different seed.
+    let (p, mut session) = dt_session();
+    session.relax(1500);
+    let before: std::collections::HashMap<_, _> = session
+        .view()
+        .nodes
+        .iter()
+        .map(|n| (n.container, n.position))
+        .collect();
+    let adonis = session.trace().containers().by_name("adonis").unwrap().id();
+    session.collapse(adonis);
+    session.relax(30);
+    let mut max_drift = 0.0f64;
+    for n in &session.view().nodes {
+        if let Some(&p0) = before.get(&n.container) {
+            max_drift = max_drift.max(p0.distance(n.position));
+        }
+    }
+    // A fresh layout of the same trace with another seed puts nodes in
+    // totally different places.
+    let mut fresh = AnalysisSession::with_platform(
+        session.trace().clone(),
+        SessionConfig { seed: 999, ..Default::default() },
+        &p,
+    );
+    fresh.collapse(adonis);
+    fresh.relax(30);
+    let mut fresh_drift = 0.0f64;
+    for n in &fresh.view().nodes {
+        if let Some(&p0) = before.get(&n.container) {
+            fresh_drift = fresh_drift.max(p0.distance(n.position));
+        }
+    }
+    assert!(
+        max_drift < fresh_drift,
+        "morph drift {max_drift} should beat fresh-layout drift {fresh_drift}"
+    );
+}
+
+#[test]
+fn pinned_geography_survives_level_changes() {
+    // §4.2: the analyst arranges clusters geographically (adonis west,
+    // griffon east) and the convention survives collapsing/expanding.
+    let (_, mut session) = dt_session();
+    let tree_adonis = session.trace().containers().by_name("adonis").unwrap().id();
+    let tree_griffon = session.trace().containers().by_name("griffon").unwrap().id();
+    session.collapse_at_depth(2);
+    session.drag(tree_adonis, viva_layout::Vec2::new(-100.0, 0.0));
+    session.drag(tree_griffon, viva_layout::Vec2::new(100.0, 0.0));
+    session.relax(300);
+    let view = session.view();
+    assert!(view.node(tree_adonis).unwrap().position.x < view.node(tree_griffon).unwrap().position.x);
+    // Expand and re-collapse: aggregates reform near their members'
+    // barycenter, so the west/east arrangement persists.
+    session.expand_all();
+    session.relax(100);
+    session.collapse_at_depth(2);
+    let view = session.view();
+    let ax = view.node(tree_adonis).unwrap().position.x;
+    let gx = view.node(tree_griffon).unwrap().position.x;
+    assert!(
+        ax < gx,
+        "geographic arrangement lost: adonis {ax} vs griffon {gx}"
+    );
+}

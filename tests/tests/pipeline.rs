@@ -1,0 +1,133 @@
+//! Cross-crate pipeline properties: determinism, trace round-tripping,
+//! Equation 1 conservation across aggregation levels, and rendering
+//! stability.
+
+use viva::{AnalysisSession, SessionConfig};
+use viva_agg::{integrate_group, TimeSlice, ViewState};
+use viva_platform::generators;
+use viva_simflow::TracingConfig;
+use viva_trace::{export, ContainerKind};
+use viva_workloads::{run_dt, Deployment, DtConfig};
+
+fn traced_run() -> (viva_platform::Platform, viva_workloads::DtRun) {
+    let platform = generators::two_clusters(&Default::default()).unwrap();
+    let run = run_dt(
+        platform.clone(),
+        &DtConfig { rounds: 4, ..Default::default() },
+        Deployment::Sequential,
+        Some(TracingConfig::default()),
+    );
+    (platform, run)
+}
+
+#[test]
+fn whole_pipeline_is_deterministic() {
+    let render = || {
+        let (platform, run) = traced_run();
+        let trace = run.trace.unwrap();
+        let mut session =
+            AnalysisSession::with_platform(trace, SessionConfig::default(), &platform);
+        session.relax(200);
+        let adonis = session.trace().containers().by_name("adonis").unwrap().id();
+        session.collapse(adonis);
+        session.relax(50);
+        session.render_svg(800.0, 600.0)
+    };
+    assert_eq!(render(), render(), "same seed, same bytes");
+}
+
+#[test]
+fn trace_survives_csv_roundtrip() {
+    let (_, run) = traced_run();
+    let t1 = run.trace.unwrap();
+    let csv = export::to_csv(&t1);
+    let t2 = export::from_csv(&csv).expect("parse back");
+    assert_eq!(t1.containers().len(), t2.containers().len());
+    assert_eq!(t1.signal_count(), t2.signal_count());
+    assert_eq!(t1.links().len(), t2.links().len());
+    // Aggregates agree exactly on both traces.
+    let m = t1.metric_id("bandwidth_used").unwrap();
+    let slice = TimeSlice::new(0.0, t1.end());
+    for c in t1.containers().of_kind(ContainerKind::Link) {
+        assert_eq!(
+            integrate_group(&t1, m, c, slice),
+            integrate_group(&t2, m, c, slice),
+        );
+    }
+}
+
+#[test]
+fn equation1_is_conserved_across_levels() {
+    let (_, run) = traced_run();
+    let trace = run.trace.unwrap();
+    let tree = trace.containers();
+    let m = trace.metric_id("power_used").unwrap();
+    let slice = TimeSlice::new(run.makespan * 0.1, run.makespan * 0.9);
+    let root_total = integrate_group(&trace, m, tree.root(), slice);
+    // Sum over sites == sum over clusters == sum over hosts == root.
+    for (kind, label) in [
+        (ContainerKind::Site, "sites"),
+        (ContainerKind::Cluster, "clusters"),
+        (ContainerKind::Host, "hosts"),
+    ] {
+        let sum: f64 = tree
+            .of_kind(kind)
+            .into_iter()
+            .map(|c| integrate_group(&trace, m, c, slice))
+            .sum();
+        assert!(
+            (sum - root_total).abs() <= 1e-9 * root_total.abs().max(1.0),
+            "{label}: {sum} != {root_total}"
+        );
+    }
+}
+
+#[test]
+fn view_state_frontiers_partition_the_leaves() {
+    let (_, run) = traced_run();
+    let trace = run.trace.unwrap();
+    let tree = trace.containers();
+    let mut state = ViewState::new();
+    for depth in 0..=tree.max_depth() {
+        state.collapse_at_depth(tree, depth);
+        let visible = state.visible(tree);
+        // Every leaf has exactly one representative among the visible.
+        let mut covered = 0usize;
+        for &v in &visible {
+            covered += tree.leaves_under(v).len();
+        }
+        let leaves = tree.leaves_under(tree.root()).len();
+        assert_eq!(covered, leaves, "depth {depth}");
+    }
+}
+
+#[test]
+fn session_from_communication_pairs_without_platform() {
+    // §3.1.1 first option: no platform, edges from who-talks-to-whom.
+    let (_, run) = traced_run();
+    let trace = run.trace.unwrap();
+    assert!(!trace.links().is_empty(), "messages were recorded");
+    let session = AnalysisSession::new(trace, SessionConfig::default());
+    let view = session.view();
+    assert!(
+        !view.edges.is_empty(),
+        "communication pattern should induce edges"
+    );
+}
+
+#[test]
+fn svg_snapshot_has_expected_structure() {
+    let (platform, run) = traced_run();
+    let trace = run.trace.unwrap();
+    let mut session =
+        AnalysisSession::with_platform(trace, SessionConfig::default(), &platform);
+    session.relax(100);
+    let svg = session.render_svg(640.0, 480.0);
+    let squares = svg.matches("node-square").count();
+    let diamonds = svg.matches("node-diamond").count();
+    let circles = svg.matches("node-circle").count();
+    assert_eq!(squares, 22, "hosts are squares");
+    assert_eq!(diamonds, 24, "links are diamonds");
+    assert_eq!(circles, 3, "routers are circles");
+    assert!(svg.matches("<line").count() >= 24 * 2, "host-link-router edges");
+}

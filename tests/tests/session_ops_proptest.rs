@@ -1,0 +1,126 @@
+//! Stateful property test: arbitrary interactive sessions (collapse /
+//! expand / level jumps / drags / slice changes) never break the
+//! session's invariants.
+
+use proptest::prelude::*;
+use viva::{AnalysisSession, SessionConfig};
+use viva_agg::TimeSlice;
+use viva_layout::Vec2;
+use viva_platform::generators::{self, Grid5000Config};
+use viva_simflow::TracingConfig;
+use viva_trace::ContainerId;
+use viva_workloads::{run_master_worker, AppSpec, MwConfig};
+
+/// One interactive gesture.
+#[derive(Debug, Clone)]
+enum Op {
+    Collapse(usize),
+    Expand(usize),
+    Level(u32),
+    ExpandAll,
+    Drag(usize, f64, f64),
+    Slice(f64, f64),
+    Relax(usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0usize..64).prop_map(Op::Collapse),
+        (0usize..64).prop_map(Op::Expand),
+        (0u32..4).prop_map(Op::Level),
+        Just(Op::ExpandAll),
+        (0usize..64, -50.0f64..50.0, -50.0f64..50.0).prop_map(|(i, x, y)| Op::Drag(i, x, y)),
+        (0.0f64..0.8, 0.05f64..0.2).prop_map(|(a, w)| Op::Slice(a, w)),
+        (1usize..10).prop_map(Op::Relax),
+    ]
+}
+
+fn build_session() -> AnalysisSession {
+    let p = generators::grid5000(&Grid5000Config {
+        total_hosts: 24,
+        sites: 3,
+        ..Default::default()
+    })
+    .unwrap();
+    let apps = vec![AppSpec {
+        name: "app1".into(),
+        master: p.hosts()[0].id(),
+        config: MwConfig { tasks: 30, ..Default::default() },
+    }];
+    let run = run_master_worker(
+        p.clone(),
+        &apps,
+        Some(TracingConfig { record_messages: false, record_accounts: false }),
+    );
+    AnalysisSession::with_platform(run.trace.unwrap(), SessionConfig::default(), &p)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn random_sessions_keep_invariants(ops in proptest::collection::vec(op_strategy(), 1..25)) {
+        let mut session = build_session();
+        let n_containers = session.trace().containers().len();
+        let total_leaves = session
+            .trace()
+            .containers()
+            .leaves_under(session.trace().containers().root())
+            .len();
+        let makespan = session.trace().end();
+
+        for op in ops {
+            match op {
+                Op::Collapse(i) => {
+                    let c = ContainerId::from_index(i % n_containers);
+                    session.collapse(c);
+                }
+                Op::Expand(i) => {
+                    let c = ContainerId::from_index(i % n_containers);
+                    session.expand(c);
+                }
+                Op::Level(d) => session.collapse_at_depth(d),
+                Op::ExpandAll => session.expand_all(),
+                Op::Drag(i, x, y) => {
+                    let c = ContainerId::from_index(i % n_containers);
+                    session.drag(c, Vec2::new(x, y));
+                }
+                Op::Slice(a, w) => {
+                    let s = a * makespan;
+                    session.set_time_slice(TimeSlice::new(s, s + w * makespan));
+                }
+                Op::Relax(n) => {
+                    session.relax(n);
+                }
+            }
+
+            let view = session.view();
+            // Invariant 1: the layout holds exactly the visible nodes.
+            prop_assert_eq!(session.layout().len(), view.nodes.len());
+            // Invariant 2: visible nodes partition the leaves.
+            let tree = session.trace().containers();
+            let covered: usize = view
+                .nodes
+                .iter()
+                .map(|n| tree.leaves_under(n.container).len())
+                .sum();
+            prop_assert_eq!(covered, total_leaves);
+            // Invariant 3: every edge endpoint is a visible node and
+            // edges are unique, non-self.
+            let mut seen = std::collections::HashSet::new();
+            for e in &view.edges {
+                prop_assert!(view.node(e.a).is_some(), "dangling edge endpoint");
+                prop_assert!(view.node(e.b).is_some(), "dangling edge endpoint");
+                prop_assert!(e.a != e.b, "self edge");
+                prop_assert!(seen.insert((e.a, e.b)), "duplicate edge");
+            }
+            // Invariant 4: every node's visuals are sane.
+            for n in &view.nodes {
+                prop_assert!((0.0..=1.0).contains(&n.fill_fraction));
+                prop_assert!(n.px_size >= 2.0, "min pixel size");
+                prop_assert!(n.position.is_finite(), "finite positions");
+                prop_assert!(n.members >= 1);
+            }
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Cross-substrate integration: regular topologies (torus), DOT
+//! export, timeline extraction over simulated traces, and time-varying
+//! capacities under a real scheduler.
+
+use viva_agg::TimeSlice;
+use viva_platform::{export, generators};
+use viva_simflow::{Actor, ActorId, Ctx, Simulation, Tag, TracingConfig};
+use viva_trace::timeline;
+
+/// Neighbour exchange on a torus: every node sends one message to its
+/// east neighbour each round.
+struct Shifter {
+    east: ActorId,
+    rounds: usize,
+}
+
+impl Actor for Shifter {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.push_state("exchange");
+        ctx.send(self.east, 80.0, Box::new(()), Tag(0));
+    }
+    fn on_send_done(&mut self, _tag: Tag, ctx: &mut Ctx<'_>) {
+        self.rounds -= 1;
+        if self.rounds > 0 {
+            ctx.send(self.east, 80.0, Box::new(()), Tag(0));
+        } else {
+            ctx.pop_state();
+        }
+    }
+}
+
+#[test]
+fn torus_neighbor_exchange_is_perfectly_balanced() {
+    let rows = 4;
+    let cols = 4;
+    let p = generators::torus(rows, cols, 100.0, 1000.0).unwrap();
+    let mut sim = Simulation::new(p.clone());
+    sim.enable_tracing(TracingConfig::default());
+    // Spawn row-major; east neighbour of (r, c) is (r, c+1 mod cols).
+    for r in 0..rows {
+        for c in 0..cols {
+            let east = ActorId::from_index(r * cols + (c + 1) % cols);
+            let host = p
+                .host_by_name(&format!("node-{r}-{c}"))
+                .expect("torus host")
+                .id();
+            sim.spawn(host, Box::new(Shifter { east, rounds: 3 }));
+        }
+    }
+    let makespan = sim.run();
+    assert!(makespan > 0.0);
+    let trace = sim.into_trace().unwrap();
+    // Perfect symmetry: every east link carried the same volume.
+    let m = trace.metric_id("bandwidth_used").unwrap();
+    let volumes: Vec<f64> = trace
+        .containers()
+        .of_kind(viva_trace::ContainerKind::Link)
+        .into_iter()
+        .filter(|&l| trace.containers().node(l).name().ends_with("-e"))
+        .map(|l| trace.integrate(l, m, 0.0, makespan))
+        .collect();
+    assert_eq!(volumes.len(), rows * cols);
+    let first = volumes[0];
+    assert!(first > 0.0);
+    for v in &volumes {
+        assert!((v - first).abs() < 1e-6, "unbalanced torus: {v} vs {first}");
+    }
+    // All messages were recorded: 16 nodes × 3 rounds.
+    assert_eq!(trace.links().len(), rows * cols * 3);
+    // The exchange states bracket the activity.
+    let rows_g = timeline::gantt_rows(&trace);
+    assert_eq!(rows_g.len(), rows * cols);
+    for row in &rows_g {
+        assert_eq!(row.intervals.len(), 1);
+        assert_eq!(row.intervals[0].0, "exchange");
+    }
+}
+
+#[test]
+fn dot_export_of_case_study_platforms() {
+    for (p, hosts) in [
+        (generators::two_clusters(&Default::default()).unwrap(), 22),
+        (generators::torus(3, 3, 1.0, 1.0).unwrap(), 9),
+    ] {
+        let dot = export::to_dot(&p);
+        assert_eq!(dot.matches("shape=box").count(), hosts);
+        assert_eq!(dot.matches(" -- ").count(), p.links().len());
+    }
+}
+
+#[test]
+fn resample_matches_view_fill_values() {
+    // The timeline resampling and the view aggregation must agree: a
+    // bin mean equals the fill value over the same slice.
+    let p = generators::two_clusters(&Default::default()).unwrap();
+    let run = viva_workloads::run_dt(
+        p.clone(),
+        &viva_workloads::DtConfig { rounds: 4, ..Default::default() },
+        viva_workloads::Deployment::Sequential,
+        Some(TracingConfig { record_messages: false, record_accounts: false }),
+    );
+    let trace = run.trace.unwrap();
+    let h = trace.containers().by_name("adonis-2").unwrap().id();
+    let sig = trace.signal_by_name(h, "power_used").unwrap();
+    let bins = timeline::resample(sig, 0.0, run.makespan, 5);
+    let session = viva::AnalysisSession::with_platform(
+        trace,
+        viva::SessionConfig::default(),
+        &p,
+    );
+    for (i, slice) in TimeSlice::new(0.0, run.makespan).split(5).iter().enumerate() {
+        let mut s2 = viva::AnalysisSession::with_platform(
+            session.trace().clone(),
+            viva::SessionConfig::default(),
+            &p,
+        );
+        s2.set_time_slice(*slice);
+        let fill = s2.view().node(h).unwrap().fill_value;
+        assert!(
+            (fill - bins[i]).abs() < 1e-9,
+            "bin {i}: view {fill} vs resample {}",
+            bins[i]
+        );
+    }
+}
