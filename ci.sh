@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Local CI gate: build, lints, full test suite. Run before pushing.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo build --workspace --release"
+cargo build --workspace --release
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test --workspace"
+cargo test --workspace --quiet
+
+echo "==> smoke: figure harnesses (--small)"
+cargo run --quiet --release -p viva-bench --bin fig10_faulttolerance -- --small > /dev/null
+
+echo "ci: all green"

@@ -26,7 +26,7 @@ pub mod stats;
 pub mod timeslice;
 pub mod view;
 
-pub use multiscale::{integrate_group, mean_over_group, GroupAggregate};
+pub use multiscale::{integrate_group, mean_over_group, try_mean_over_group, GroupAggregate};
 pub use stats::Summary;
-pub use timeslice::TimeSlice;
+pub use timeslice::{TimeSlice, TimeSliceError};
 pub use view::ViewState;

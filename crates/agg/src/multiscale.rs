@@ -72,12 +72,26 @@ pub fn mean_over_group(
     group: ContainerId,
     slice: TimeSlice,
 ) -> f64 {
+    try_mean_over_group(trace, metric, group, slice).unwrap_or(0.0)
+}
+
+/// Like [`mean_over_group`], but distinguishes "no data survived the
+/// neighbourhood" from a genuine zero mean: `None` when the slice is
+/// empty or no container under `group` carries the metric (e.g. every
+/// member crashed before the slice, or the metric was never recorded).
+/// A view can then render "no data" instead of a misleading idle 0.
+pub fn try_mean_over_group(
+    trace: &Trace,
+    metric: MetricId,
+    group: ContainerId,
+    slice: TimeSlice,
+) -> Option<f64> {
     let vals = leaf_integrals(trace, metric, group, slice);
     if vals.is_empty() || slice.width() <= 0.0 {
-        return 0.0;
+        return None;
     }
     let sum: f64 = vals.iter().map(|(_, v)| v).sum();
-    sum / (vals.len() as f64 * slice.width())
+    Some(sum / (vals.len() as f64 * slice.width()))
 }
 
 /// Full per-group aggregate: the Equation 1 integral plus the
@@ -96,6 +110,13 @@ pub struct GroupAggregate {
 }
 
 impl GroupAggregate {
+    /// Whether the neighbourhood contributed no data at all (no member
+    /// carries the metric). Callers should render such groups as
+    /// "no data" rather than as an idle zero.
+    pub fn is_empty(&self) -> bool {
+        self.members == 0
+    }
+
     /// Computes the aggregate of `metric` over `subtree(group) × slice`.
     pub fn compute(
         trace: &Trace,
@@ -188,6 +209,19 @@ mod tests {
         let agg = GroupAggregate::compute(&t, bogus, c1, TimeSlice::new(0.0, 10.0));
         assert_eq!(agg.members, 0);
         assert_eq!(agg.summary.count, 0);
+        assert!(agg.is_empty());
+    }
+
+    #[test]
+    fn no_surviving_data_is_none_not_zero() {
+        let (t, c1, _, m) = trace();
+        let bogus = viva_trace::MetricId::from_index(7);
+        // Unrecorded metric: no data, not an idle zero.
+        assert_eq!(try_mean_over_group(&t, bogus, c1, TimeSlice::new(0.0, 10.0)), None);
+        // Empty slice: no time to observe.
+        assert_eq!(try_mean_over_group(&t, m, c1, TimeSlice::new(3.0, 3.0)), None);
+        // A genuine zero (activity stopped at t=5) stays Some(0).
+        assert_eq!(try_mean_over_group(&t, m, c1, TimeSlice::new(6.0, 9.0)), Some(0.0));
     }
 
     #[test]

@@ -2,6 +2,31 @@
 
 use std::fmt;
 
+/// Why a time slice could not be built (UI input is untrusted: slider
+/// positions and typed bounds arrive here unchecked).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TimeSliceError {
+    /// A bound was NaN or infinite.
+    NonFinite { start: f64, end: f64 },
+    /// `end < start`.
+    Inverted { start: f64, end: f64 },
+}
+
+impl fmt::Display for TimeSliceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            TimeSliceError::NonFinite { start, end } => {
+                write!(f, "time slice bound not finite: [{start}, {end})")
+            }
+            TimeSliceError::Inverted { start, end } => {
+                write!(f, "time slice ends before it starts: [{start}, {end})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TimeSliceError {}
+
 /// A half-open observation window `[start, end)` chosen by the analyst
 /// (paper §3.2.1; the cursors A1/A2 of Fig. 2).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -15,12 +40,41 @@ impl TimeSlice {
     ///
     /// # Panics
     ///
-    /// Panics when `end < start` or either bound is not finite.
+    /// Panics when `end < start` or either bound is not finite. Use
+    /// [`TimeSlice::try_new`] for untrusted (UI) input.
     pub fn new(start: f64, end: f64) -> TimeSlice {
-        assert!(
-            start.is_finite() && end.is_finite() && end >= start,
-            "invalid time slice [{start}, {end})"
-        );
+        match TimeSlice::try_new(start, end) {
+            Ok(s) => s,
+            Err(e) => panic!("invalid time slice: {e}"),
+        }
+    }
+
+    /// Fallible constructor: rejects non-finite or inverted bounds
+    /// instead of panicking.
+    pub fn try_new(start: f64, end: f64) -> Result<TimeSlice, TimeSliceError> {
+        if !start.is_finite() || !end.is_finite() {
+            return Err(TimeSliceError::NonFinite { start, end });
+        }
+        if end < start {
+            return Err(TimeSliceError::Inverted { start, end });
+        }
+        Ok(TimeSlice { start, end })
+    }
+
+    /// Clamps the slice into `[lo, hi)` — typically the recorded extent
+    /// of a trace, so a cursor dragged past the end yields a valid
+    /// (possibly empty) window instead of integrating over time that
+    /// was never recorded. A slice entirely outside the bounds
+    /// collapses to an empty slice pinned at the nearest bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `hi < lo` or either bound is not finite.
+    #[must_use]
+    pub fn clamped_to(self, lo: f64, hi: f64) -> TimeSlice {
+        let bounds = TimeSlice::new(lo, hi);
+        let start = self.start.clamp(bounds.start, bounds.end);
+        let end = self.end.clamp(start, bounds.end);
         TimeSlice { start, end }
     }
 
@@ -122,6 +176,40 @@ mod tests {
     #[should_panic(expected = "invalid time slice")]
     fn inverted_slice_panics() {
         let _ = TimeSlice::new(5.0, 4.0);
+    }
+
+    #[test]
+    fn try_new_reports_the_defect() {
+        assert_eq!(
+            TimeSlice::try_new(5.0, 4.0),
+            Err(TimeSliceError::Inverted { start: 5.0, end: 4.0 })
+        );
+        assert!(matches!(
+            TimeSlice::try_new(f64::NAN, 4.0),
+            Err(TimeSliceError::NonFinite { .. })
+        ));
+        assert!(matches!(
+            TimeSlice::try_new(0.0, f64::INFINITY),
+            Err(TimeSliceError::NonFinite { .. })
+        ));
+        assert_eq!(TimeSlice::try_new(1.0, 2.0), Ok(TimeSlice::new(1.0, 2.0)));
+    }
+
+    #[test]
+    fn clamped_to_trims_overhang() {
+        // Cursor dragged past the trace end.
+        let s = TimeSlice::new(8.0, 15.0).clamped_to(0.0, 10.0);
+        assert_eq!(s, TimeSlice::new(8.0, 10.0));
+        // Entirely past the end: empty, pinned at the end.
+        let s = TimeSlice::new(12.0, 15.0).clamped_to(0.0, 10.0);
+        assert_eq!(s, TimeSlice::new(10.0, 10.0));
+        assert_eq!(s.width(), 0.0);
+        // Entirely before the start: empty, pinned at the start.
+        let s = TimeSlice::new(-5.0, -1.0).clamped_to(0.0, 10.0);
+        assert_eq!(s, TimeSlice::new(0.0, 0.0));
+        // Already inside: unchanged.
+        let s = TimeSlice::new(2.0, 6.0).clamped_to(0.0, 10.0);
+        assert_eq!(s, TimeSlice::new(2.0, 6.0));
     }
 
     #[test]

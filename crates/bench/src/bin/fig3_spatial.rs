@@ -75,12 +75,12 @@ fn main() {
     describe(&session, "no aggregation");
     save_svg("fig3_level0.svg", &session.render_svg(400.0, 300.0));
 
-    session.collapse(ga);
+    session.collapse(ga).expect("known group");
     session.relax(100);
     describe(&session, "1st spatial aggregation (GroupA)");
     save_svg("fig3_level1.svg", &session.render_svg(400.0, 300.0));
 
-    session.collapse(root);
+    session.collapse(root).expect("known group");
     session.relax(100);
     describe(&session, "2nd spatial aggregation (GroupB = everything)");
     save_svg("fig3_level2.svg", &session.render_svg(400.0, 300.0));

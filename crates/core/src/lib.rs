@@ -64,5 +64,5 @@ pub mod view;
 pub use animation::Animation;
 pub use mapping::{MappingConfig, NodeMapping, Shape};
 pub use scaling::ScalingConfig;
-pub use session::{AnalysisSession, SessionConfig};
+pub use session::{AnalysisSession, SessionConfig, SessionError};
 pub use view::{GraphView, ViewEdge, ViewNode};

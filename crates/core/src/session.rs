@@ -16,8 +16,9 @@
 //! instead of being recomputed from scratch (§3.3).
 
 use std::collections::HashSet;
+use std::fmt;
 
-use viva_agg::{GroupAggregate, TimeSlice, ViewState};
+use viva_agg::{GroupAggregate, TimeSlice, TimeSliceError, ViewState};
 use viva_layout::{LayoutConfig, LayoutEngine, NodeKey, Vec2};
 use viva_platform::Platform;
 use viva_trace::{ContainerId, Trace};
@@ -26,6 +27,49 @@ use crate::mapping::MappingConfig;
 use crate::scaling::ScalingConfig;
 use crate::svg;
 use crate::view::{build_view, GraphView};
+
+/// Why a session operation could not be applied. Session inputs come
+/// from interactive UI events (clicks on stale node ids, slider
+/// positions, typed metric names), so every public operation reports
+/// bad input as a value instead of panicking mid-analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SessionError {
+    /// The container id does not exist in the trace under analysis.
+    UnknownContainer(ContainerId),
+    /// The container exists but is not currently visible (it is hidden
+    /// inside a collapsed ancestor), so it cannot be dragged.
+    HiddenContainer(ContainerId),
+    /// No metric with this name is recorded in the trace.
+    UnknownMetric(String),
+    /// The requested time slice is malformed (NaN/infinite bounds or
+    /// end before start).
+    InvalidTimeSlice(TimeSliceError),
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::UnknownContainer(c) => {
+                write!(f, "container {c:?} does not exist in this trace")
+            }
+            SessionError::HiddenContainer(c) => {
+                write!(f, "container {c:?} is hidden inside a collapsed group")
+            }
+            SessionError::UnknownMetric(name) => {
+                write!(f, "metric {name:?} is not recorded in this trace")
+            }
+            SessionError::InvalidTimeSlice(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+impl From<TimeSliceError> for SessionError {
+    fn from(e: TimeSliceError) -> SessionError {
+        SessionError::InvalidTimeSlice(e)
+    }
+}
 
 /// Initial configuration of a session.
 #[derive(Debug, Clone, PartialEq)]
@@ -157,10 +201,31 @@ impl AnalysisSession {
         self.slice
     }
 
-    /// Sets the time-slice (§3.2.1). Values shown by the next
-    /// [`view`](AnalysisSession::view) are aggregated over it.
-    pub fn set_time_slice(&mut self, slice: TimeSlice) {
-        self.slice = slice;
+    /// Sets the time-slice (§3.2.1), clamped to the recorded extent of
+    /// the trace (a cursor dragged past the end must not integrate over
+    /// time that was never recorded). Returns the effective slice.
+    /// Values shown by the next [`view`](AnalysisSession::view) are
+    /// aggregated over it.
+    pub fn set_time_slice(&mut self, slice: TimeSlice) -> TimeSlice {
+        self.slice = slice.clamped_to(self.trace.start(), self.trace.end());
+        self.slice
+    }
+
+    /// Sets the time-slice from raw, untrusted bounds (slider
+    /// positions, typed values): rejects NaN/infinite or inverted
+    /// bounds, clamps the rest to the trace extent, and returns the
+    /// effective slice.
+    pub fn try_set_time_slice(&mut self, start: f64, end: f64) -> Result<TimeSlice, SessionError> {
+        let slice = TimeSlice::try_new(start, end)?;
+        Ok(self.set_time_slice(slice))
+    }
+
+    /// Validates that a container id refers to a node of this trace.
+    fn check_container(&self, c: ContainerId) -> Result<(), SessionError> {
+        if self.trace.containers().get(c).is_none() {
+            return Err(SessionError::UnknownContainer(c));
+        }
+        Ok(())
     }
 
     /// Configures the pie-chart breakdown: each node shows the relative
@@ -205,22 +270,28 @@ impl AnalysisSession {
     }
 
     /// Collapses `group` into one aggregated node (§3.2.2, Fig. 3).
-    /// No-op if the group is already hidden or collapsed.
-    pub fn collapse(&mut self, group: ContainerId) {
+    /// No-op if the group is already hidden or collapsed; fails on a
+    /// container id the trace does not contain.
+    pub fn collapse(&mut self, group: ContainerId) -> Result<(), SessionError> {
+        self.check_container(group)?;
         if self.state.is_collapsed(group) {
-            return;
+            return Ok(());
         }
         self.state.collapse(group);
         self.apply_state();
+        Ok(())
     }
 
-    /// Expands a collapsed group back into its members.
-    pub fn expand(&mut self, group: ContainerId) {
+    /// Expands a collapsed group back into its members. No-op if the
+    /// group is not collapsed; fails on an unknown container id.
+    pub fn expand(&mut self, group: ContainerId) -> Result<(), SessionError> {
+        self.check_container(group)?;
         if !self.state.is_collapsed(group) {
-            return;
+            return Ok(());
         }
         self.state.expand(group);
         self.apply_state();
+        Ok(())
     }
 
     /// Jumps to one hierarchy level (Fig. 8: host / cluster / site /
@@ -336,15 +407,26 @@ impl AnalysisSession {
         self.layout.run(steps, 1e-4)
     }
 
-    /// Drags the node of `container` to `pos` and pins it there.
-    pub fn drag(&mut self, container: ContainerId, pos: Vec2) -> bool {
+    /// Drags the node of `container` to `pos` and pins it there. Fails
+    /// on an unknown container id, or on a container that is currently
+    /// hidden inside a collapsed group (it has no node to drag).
+    pub fn drag(&mut self, container: ContainerId, pos: Vec2) -> Result<(), SessionError> {
+        self.check_container(container)?;
         let k = key(container);
-        self.layout.move_node(k, pos) && self.layout.pin(k)
+        if !self.layout.move_node(k, pos) {
+            return Err(SessionError::HiddenContainer(container));
+        }
+        self.layout.pin(k);
+        Ok(())
     }
 
     /// Releases a pinned node back to the force simulation.
-    pub fn release(&mut self, container: ContainerId) -> bool {
-        self.layout.unpin(key(container))
+    pub fn release(&mut self, container: ContainerId) -> Result<(), SessionError> {
+        self.check_container(container)?;
+        if !self.layout.unpin(key(container)) {
+            return Err(SessionError::HiddenContainer(container));
+        }
+        Ok(())
     }
 
     /// Computes the scene for the current slice, collapse state,
@@ -369,10 +451,17 @@ impl AnalysisSession {
 
     /// Aggregates `metric` over the subtree of `group` and the current
     /// slice (Equation 1 plus §6 indicators) — the numeric companion of
-    /// the visual view, used by the figure harnesses.
-    pub fn aggregate(&self, metric: &str, group: ContainerId) -> Option<GroupAggregate> {
-        let m = self.trace.metric_id(metric)?;
-        Some(GroupAggregate::compute(&self.trace, m, group, self.slice))
+    /// the visual view, used by the figure harnesses. Fails on an
+    /// unknown metric name or container id; a *known* group with no
+    /// surviving data yields an aggregate with
+    /// [`GroupAggregate::is_empty`] set.
+    pub fn aggregate(&self, metric: &str, group: ContainerId) -> Result<GroupAggregate, SessionError> {
+        self.check_container(group)?;
+        let m = self
+            .trace
+            .metric_id(metric)
+            .ok_or_else(|| SessionError::UnknownMetric(metric.to_string()))?;
+        Ok(GroupAggregate::compute(&self.trace, m, group, self.slice))
     }
 }
 
@@ -428,7 +517,7 @@ mod tests {
     fn collapse_merges_layout_nodes_and_lifts_edges() {
         let mut s = session();
         let c1 = s.trace().containers().by_name("c1").unwrap().id();
-        s.collapse(c1);
+        s.collapse(c1).unwrap();
         let view = s.view();
         // c1 aggregate + 2 hosts of c2 + bb link.
         assert_eq!(view.nodes.len(), 4);
@@ -448,9 +537,9 @@ mod tests {
         let mut s = session();
         let c1 = s.trace().containers().by_name("c1").unwrap().id();
         s.relax(100);
-        s.collapse(c1);
+        s.collapse(c1).unwrap();
         let agg_pos = s.layout().position(key(c1)).unwrap();
-        s.expand(c1);
+        s.expand(c1).unwrap();
         let view = s.view();
         assert_eq!(view.nodes.len(), 5);
         let h0 = s.trace().containers().by_name("c1-h0").unwrap().id();
@@ -475,12 +564,12 @@ mod tests {
     fn double_collapse_is_idempotent() {
         let mut s = session();
         let c1 = s.trace().containers().by_name("c1").unwrap().id();
-        s.collapse(c1);
+        s.collapse(c1).unwrap();
         let n = s.layout().len();
-        s.collapse(c1);
+        s.collapse(c1).unwrap();
         assert_eq!(s.layout().len(), n);
-        s.expand(c1);
-        s.expand(c1);
+        s.expand(c1).unwrap();
+        s.expand(c1).unwrap();
         assert_eq!(s.layout().len(), 5);
     }
 
@@ -488,7 +577,7 @@ mod tests {
     fn drag_pins_and_release_unpins() {
         let mut s = session();
         let h = s.trace().containers().by_name("c1-h0").unwrap().id();
-        assert!(s.drag(h, Vec2::new(123.0, 45.0)));
+        s.drag(h, Vec2::new(123.0, 45.0)).unwrap();
         assert_eq!(s.layout().position(key(h)), Some(Vec2::new(123.0, 45.0)));
         s.relax(50);
         assert_eq!(
@@ -496,7 +585,7 @@ mod tests {
             Some(Vec2::new(123.0, 45.0)),
             "pinned node stays put"
         );
-        assert!(s.release(h));
+        s.release(h).unwrap();
         assert!(!s.layout().is_pinned(key(h)));
     }
 
@@ -518,5 +607,64 @@ mod tests {
         assert!(svg.starts_with("<svg"));
         assert!(svg.ends_with("</svg>\n"));
         assert_eq!(svg.matches("class=\"node").count(), 5);
+    }
+
+    #[test]
+    fn unknown_ids_are_reported_not_panicked() {
+        let mut s = session();
+        let bogus = ContainerId::from_index(999);
+        assert_eq!(s.collapse(bogus), Err(SessionError::UnknownContainer(bogus)));
+        assert_eq!(s.expand(bogus), Err(SessionError::UnknownContainer(bogus)));
+        assert_eq!(
+            s.drag(bogus, Vec2::new(0.0, 0.0)),
+            Err(SessionError::UnknownContainer(bogus))
+        );
+        assert_eq!(s.release(bogus), Err(SessionError::UnknownContainer(bogus)));
+        assert_eq!(
+            s.aggregate("power_used", bogus),
+            Err(SessionError::UnknownContainer(bogus))
+        );
+        // Valid session state is untouched by the failed operations.
+        assert_eq!(s.view().nodes.len(), 5);
+    }
+
+    #[test]
+    fn hidden_container_cannot_be_dragged() {
+        let mut s = session();
+        let c1 = s.trace().containers().by_name("c1").unwrap().id();
+        let h0 = s.trace().containers().by_name("c1-h0").unwrap().id();
+        s.collapse(c1).unwrap();
+        assert_eq!(
+            s.drag(h0, Vec2::new(1.0, 1.0)),
+            Err(SessionError::HiddenContainer(h0))
+        );
+    }
+
+    #[test]
+    fn unknown_metric_is_reported() {
+        let s = session();
+        let root = s.trace().containers().root();
+        assert_eq!(
+            s.aggregate("no_such_metric", root),
+            Err(SessionError::UnknownMetric("no_such_metric".into()))
+        );
+    }
+
+    #[test]
+    fn time_slice_is_clamped_to_trace_extent() {
+        let mut s = session();
+        // Trace spans [0, 10); a cursor dragged past the end clamps.
+        assert_eq!(s.set_time_slice(TimeSlice::new(8.0, 25.0)), TimeSlice::new(8.0, 10.0));
+        assert_eq!(s.time_slice(), TimeSlice::new(8.0, 10.0));
+        // Raw UI bounds: NaN rejected, valid bounds clamped.
+        assert!(matches!(
+            s.try_set_time_slice(f64::NAN, 5.0),
+            Err(SessionError::InvalidTimeSlice(_))
+        ));
+        assert!(matches!(
+            s.try_set_time_slice(7.0, 3.0),
+            Err(SessionError::InvalidTimeSlice(_))
+        ));
+        assert_eq!(s.try_set_time_slice(-3.0, 4.0), Ok(TimeSlice::new(0.0, 4.0)));
     }
 }

@@ -100,17 +100,38 @@ fn write_shape(out: &mut String, shape: Shape, center: Vec2, size: f64, style: &
     }
 }
 
+/// Stroke color marking resources that failed during the slice.
+const FAULT_STROKE: &str = "#cc2222";
+
 fn write_node(out: &mut String, node: &ViewNode, center: Vec2, opts: &SvgOptions) {
     let color = kind_color(node.kind).hex();
-    let _ = write!(
-        out,
-        r#"<g class="node node-{}" data-container="{}" data-members="{}">"#,
-        node.shape.label(),
-        node.container.index(),
-        node.members
-    );
-    // Outline.
-    let outline = format!(r#"fill="none" stroke="{color}" stroke-width="1.5""#);
+    if node.is_degraded() {
+        // Failed (or partially failed, for aggregates) resources are
+        // rendered distinctly: the exact availability travels as a data
+        // attribute, the outline below switches to a dashed red stroke.
+        let _ = write!(
+            out,
+            r#"<g class="node node-{} degraded" data-container="{}" data-members="{}" data-availability="{:.3}">"#,
+            node.shape.label(),
+            node.container.index(),
+            node.members,
+            node.availability
+        );
+    } else {
+        let _ = write!(
+            out,
+            r#"<g class="node node-{}" data-container="{}" data-members="{}">"#,
+            node.shape.label(),
+            node.container.index(),
+            node.members
+        );
+    }
+    // Outline: dashed red for anything that was down during the slice.
+    let outline = if node.is_degraded() {
+        format!(r#"fill="none" stroke="{FAULT_STROKE}" stroke-width="1.5" stroke-dasharray="4 2""#)
+    } else {
+        format!(r#"fill="none" stroke="{color}" stroke-width="1.5""#)
+    };
     write_shape(out, node.shape, center, node.px_size, &outline);
     // Proportional fill (§3.1): squares fill bottom-up; diamonds and
     // circles get an inner shape of proportional area.
@@ -237,7 +258,7 @@ mod tests {
     use viva_agg::{TimeSlice, ViewState};
     use viva_trace::{ContainerKind, TraceBuilder};
 
-    fn view() -> GraphView {
+    pub(super) fn view() -> GraphView {
         let mut b = TraceBuilder::new();
         let h = b.new_container(b.root(), "h", ContainerKind::Host).unwrap();
         let l = b.new_container(b.root(), "l<&>", ContainerKind::Link).unwrap();
@@ -306,6 +327,62 @@ mod tests {
         let svg = render(&v, &SvgOptions { width: 200.0, height: 100.0, ..Default::default() });
         // Degenerate bounds: scale 1, node at canvas center.
         assert!(svg.contains(r#"x="80.00""#), "{svg}");
+    }
+}
+
+#[cfg(test)]
+mod availability_tests {
+    use super::*;
+    use viva_agg::{TimeSlice, ViewState};
+    use viva_trace::{metric::names, ContainerKind, TraceBuilder};
+
+    #[test]
+    fn failed_resources_render_distinctly() {
+        let mut b = TraceBuilder::new();
+        let up = b.new_container(b.root(), "up", ContainerKind::Host).unwrap();
+        let down = b.new_container(b.root(), "down", ContainerKind::Host).unwrap();
+        let power = b.metric("power", "MFlop/s");
+        let avail = b.metric(names::AVAILABILITY, "fraction");
+        for h in [up, down] {
+            b.set_variable(0.0, h, power, 100.0).unwrap();
+            b.set_variable(0.0, h, avail, 1.0).unwrap();
+        }
+        // `down` crashes at t=4 and never recovers.
+        b.set_variable(4.0, down, avail, 0.0).unwrap();
+        let t = b.finish(10.0);
+        let view = crate::view::build_view(
+            &t,
+            &ViewState::new(),
+            TimeSlice::new(0.0, 10.0),
+            &crate::mapping::MappingConfig::default(),
+            &crate::scaling::ScalingConfig::default(),
+            &|c| viva_layout::Vec2::new(c.index() as f64 * 40.0, 0.0),
+            &[],
+            &[],
+        );
+        let healthy = view.node_by_label("up").unwrap();
+        let failed = view.node_by_label("down").unwrap();
+        assert_eq!(healthy.availability, 1.0);
+        assert!(!healthy.is_degraded());
+        assert!((failed.availability - 0.4).abs() < 1e-9, "up 4 s of 10");
+        assert!(failed.is_degraded());
+
+        let svg = render(&view, &SvgOptions::default());
+        assert!(svg.contains(r#"data-availability="0.400""#));
+        assert!(svg.contains("stroke-dasharray"));
+        assert!(svg.contains(FAULT_STROKE));
+        assert_eq!(
+            svg.matches("degraded").count(),
+            1,
+            "only the crashed host is marked"
+        );
+    }
+
+    #[test]
+    fn traces_without_availability_render_unmarked() {
+        let svg = render(&super::tests::view(), &SvgOptions::default());
+        assert!(!svg.contains("data-availability"));
+        assert!(!svg.contains("stroke-dasharray"));
     }
 }
 

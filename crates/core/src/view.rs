@@ -70,6 +70,21 @@ pub struct ViewNode {
     /// no breakdown is configured or nothing accumulated. This is the
     /// paper's §6 "pie-charts" extension.
     pub segments: Vec<(String, f64)>,
+    /// Mean availability of this node's members over the slice, in
+    /// `[0, 1]`: the time-mean of the fault-injection `available`
+    /// signal, averaged over the members carrying it. `1.0` when the
+    /// trace records no availability (non-fault traces render
+    /// unchanged); below `1.0` the node spent part of the slice down,
+    /// `0.0` means down for the whole slice.
+    pub availability: f64,
+}
+
+impl ViewNode {
+    /// Whether this node (or, for an aggregate, part of its members)
+    /// was unavailable at some point during the slice.
+    pub fn is_degraded(&self) -> bool {
+        self.availability < 1.0
+    }
 }
 
 /// One drawn edge (between two visible nodes).
@@ -171,8 +186,10 @@ pub fn build_view(
         fill_summary: Summary,
         badge: Option<(f64, f64)>, // (size_value, fill_value)
         segments: Vec<(String, f64)>,
+        availability: f64,
     }
     let width = slice.width();
+    let avail_metric = trace.metric_id(viva_trace::metric::names::AVAILABILITY);
     let mut partials: Vec<Partial> = Vec::with_capacity(visible.len());
     for &c in &visible {
         let node = tree.node(c);
@@ -220,6 +237,13 @@ pub fn build_view(
                 *v /= seg_total;
             }
         }
+        // Fault-injection first-class signal: how much of the slice the
+        // members were up. Absent signal (a trace without fault
+        // tracing) means "always up", not "down".
+        let availability = avail_metric
+            .and_then(|m| viva_agg::try_mean_over_group(trace, m, c, slice))
+            .unwrap_or(1.0)
+            .clamp(0.0, 1.0);
         partials.push(Partial {
             container: c,
             kind,
@@ -230,6 +254,7 @@ pub fn build_view(
             fill_summary,
             badge,
             segments,
+            availability,
         });
     }
 
@@ -282,6 +307,7 @@ pub fn build_view(
                 container: p.container,
                 size_value: p.size_value,
                 fill_value: p.fill_value,
+                availability: p.availability,
             }
         })
         .collect();

@@ -273,6 +273,12 @@ impl LayoutEngine {
                 disp = disp * (cfg.max_displacement / d);
             }
             n.pos += disp;
+            debug_assert!(
+                n.pos.x.is_finite() && n.pos.y.is_finite(),
+                "step produced a non-finite position for {:?}: {} (force {f})",
+                n.key,
+                n.pos,
+            );
             max_disp = max_disp.max(disp.length());
         }
         self.steps += 1;
@@ -590,6 +596,41 @@ mod tests {
         e.split_node(NodeKey(100), &[(NodeKey(2), 1.0), (NodeKey(3), 1.0)]);
         let after = e.position(NodeKey(2)).unwrap();
         assert!(after.distance(agg) < e.config().spring_length);
+    }
+
+    #[test]
+    fn coincident_nodes_separate_without_nans() {
+        // A pile of nodes dropped at the same position (a collapsed
+        // aggregate being expanded, or a degenerate trace) must fan out
+        // instead of dividing by zero or marching in lockstep.
+        let p = Vec2::new(3.0, -2.0);
+        for naive in [false, true] {
+            let mut e = engine();
+            for i in 0..8 {
+                e.add_node_at(NodeKey(i), 1.0, p);
+            }
+            for _ in 0..100 {
+                if naive {
+                    e.step_naive();
+                } else {
+                    e.step();
+                }
+            }
+            let pos: Vec<Vec2> = e.positions().map(|(_, p)| p).collect();
+            for p in &pos {
+                assert!(p.x.is_finite() && p.y.is_finite(), "non-finite {p}");
+            }
+            for i in 0..pos.len() {
+                for j in 0..i {
+                    assert!(
+                        pos[i].distance(pos[j]) > 1.0,
+                        "nodes {i}/{j} still coincident at {} / {}",
+                        pos[i],
+                        pos[j]
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -81,6 +81,23 @@ pub fn spring_force(at: Vec2, other: Vec2, k: f64, natural_length: f64) -> Vec2 
     (delta / d) * (-k * stretch)
 }
 
+/// A deterministic pseudo-random unit vector derived from `salt`.
+///
+/// Exactly coincident nodes have no geometric direction to repel
+/// along; pushing them all the same way (say `+x`) would keep them
+/// coincident *with each other* forever. Hashing each probe's index
+/// into its own escape direction separates the pile-up in one step
+/// while keeping layouts reproducible.
+pub fn jitter_direction(salt: u64) -> Vec2 {
+    // SplitMix64 finalizer: cheap, stateless, well mixed.
+    let mut z = salt.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    let angle = std::f64::consts::TAU * (z >> 11) as f64 / (1u64 << 53) as f64;
+    Vec2::new(angle.cos(), angle.sin())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -82,6 +82,16 @@ pub trait Actor {
     fn on_timer(&mut self, tag: Tag, ctx: &mut Ctx<'_>) {
         let _ = (tag, ctx);
     }
+
+    /// A send issued with this tag failed: the destination host or a
+    /// route link was (or went) down, or the send's timeout elapsed
+    /// (see [`crate::fault::SendFailure`]). The message is lost; the
+    /// receiver never sees it. Note that a *silently dropped* message
+    /// (fault-plan message loss) triggers no callback at all — pair
+    /// sends with [`Ctx::send_with_timeout`] to detect those.
+    fn on_send_failed(&mut self, tag: Tag, reason: crate::fault::SendFailure, ctx: &mut Ctx<'_>) {
+        let _ = (tag, reason, ctx);
+    }
 }
 
 /// A side effect requested by an actor callback.
@@ -94,6 +104,7 @@ pub(crate) enum Command {
         payload: Payload,
         tag: Tag,
         account: Option<AccountId>,
+        timeout: Option<f64>,
     },
     Execute {
         actor: ActorId,
@@ -172,6 +183,45 @@ impl Ctx<'_> {
             payload,
             tag,
             account,
+            timeout: None,
+        });
+    }
+
+    /// Like [`Ctx::send`], but if the message has not been delivered
+    /// within `timeout` seconds the flow is killed and this actor gets
+    /// [`Actor::on_send_failed`] with
+    /// [`crate::fault::SendFailure::TimedOut`]. The timeout also fires
+    /// when the message was silently dropped by a fault-plan loss
+    /// window — this is the only way for a sender to detect that.
+    pub fn send_with_timeout(
+        &mut self,
+        to: ActorId,
+        size: f64,
+        payload: Payload,
+        tag: Tag,
+        timeout: f64,
+    ) {
+        self.send_with_timeout_as(to, size, payload, tag, timeout, None);
+    }
+
+    /// Like [`Ctx::send_with_timeout`] but billed to `account`.
+    pub fn send_with_timeout_as(
+        &mut self,
+        to: ActorId,
+        size: f64,
+        payload: Payload,
+        tag: Tag,
+        timeout: f64,
+        account: Option<AccountId>,
+    ) {
+        self.commands.push(Command::Send {
+            from: self.me,
+            to,
+            size,
+            payload,
+            tag,
+            account,
+            timeout: Some(timeout),
         });
     }
 

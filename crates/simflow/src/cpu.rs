@@ -168,6 +168,17 @@ impl CpuState {
         done
     }
 
+    /// Removes *all* tasks on `host` (fault injection: the host
+    /// crashed), returning them in ascending id order. No rebalance is
+    /// needed — the host has no tasks left.
+    pub fn drain_host(&mut self, host: HostId) -> Vec<Task> {
+        let mut ids = std::mem::take(&mut self.per_host[host.index()]);
+        ids.sort_unstable();
+        ids.iter()
+            .map(|id| self.tasks.remove(id).expect("listed id"))
+            .collect()
+    }
+
     /// Power used on `host` by each account, `(account, MFlop/s)`.
     pub fn usage_by_account(&self, host: HostId) -> HashMap<AccountId, f64> {
         let mut out = HashMap::new();

@@ -3,13 +3,14 @@
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
 use viva_platform::{HostId, LinkId, Platform, RouteTable};
 use viva_trace::Trace;
 
 use crate::actor::{AccountId, Actor, ActorId, Command, Ctx, Payload, Tag};
 use crate::cpu::{CpuState, Task};
+use crate::fault::{unit_hash, FaultError, FaultEvent, FaultPlan, SendFailure};
 use crate::network::{Flow, NetworkState};
 use crate::tracer::{SimTracer, TracingConfig};
 
@@ -34,6 +35,7 @@ enum Ev {
         payload: Payload,
         size: f64,
         start: f64,
+        watch: Option<u64>,
     },
     /// Predicted next network completion; stale if `gen` mismatches.
     NetCheck { gen: u64 },
@@ -43,6 +45,31 @@ enum Ev {
     HostPower { host: HostId, power: f64 },
     /// A link's available bandwidth changes.
     LinkBandwidth { link: LinkId, bandwidth: f64 },
+    /// Fault injection: a host crashes (`up = false`) or recovers.
+    HostFault { host: HostId, up: bool },
+    /// Fault injection: a link fails or recovers.
+    LinkFault { link: LinkId, up: bool },
+    /// Fault injection: a link's capacity factor changes (1.0 restores
+    /// nominal).
+    LinkDegrade { link: LinkId, factor: f64 },
+    /// A send issued with a timeout has run out of time.
+    SendTimeout { watch: u64 },
+    /// Deferred sender notification that a send failed.
+    SendFailed {
+        actor: ActorId,
+        tag: Tag,
+        reason: SendFailure,
+        watch: Option<u64>,
+    },
+}
+
+/// Bookkeeping for a send issued with a timeout: who to notify, and
+/// the in-flight flow to kill when the timeout fires.
+#[derive(Debug)]
+struct SendWatch {
+    from: ActorId,
+    tag: Tag,
+    flow: Option<u64>,
 }
 
 impl PartialEq for CalEntry {
@@ -92,6 +119,22 @@ pub struct Simulation {
     tracing_config: Option<TracingConfig>,
     events_processed: u64,
     started: bool,
+    /// Fault state: liveness per host / link, the capacities to restore
+    /// on recovery, and the current degradation factor per link.
+    host_up: Vec<bool>,
+    link_up: Vec<bool>,
+    nominal_power: Vec<f64>,
+    nominal_bandwidth: Vec<f64>,
+    link_factor: Vec<f64>,
+    /// Message-loss windows `(at, until, probability)`.
+    loss_windows: Vec<(f64, f64, f64)>,
+    fault_seed: u64,
+    /// Sends issued so far: the per-send message-loss draw hashes
+    /// `(fault_seed, send index)`, so it is deterministic.
+    send_count: u64,
+    /// Active send timeouts by watch id.
+    watches: HashMap<u64, SendWatch>,
+    watch_seq: u64,
 }
 
 impl std::fmt::Debug for Simulation {
@@ -112,6 +155,11 @@ impl Simulation {
         Simulation {
             net: NetworkState::new_for(&platform),
             cpu: CpuState::new_for(&platform),
+            host_up: vec![true; platform.hosts().len()],
+            link_up: vec![true; platform.links().len()],
+            nominal_power: platform.hosts().iter().map(|h| h.power()).collect(),
+            nominal_bandwidth: platform.links().iter().map(|l| l.bandwidth()).collect(),
+            link_factor: vec![1.0; platform.links().len()],
             platform,
             routes: RouteTable::new(),
             actors: Vec::new(),
@@ -129,6 +177,11 @@ impl Simulation {
             tracing_config: None,
             events_processed: 0,
             started: false,
+            loss_windows: Vec::new(),
+            fault_seed: 0,
+            send_count: 0,
+            watches: HashMap::new(),
+            watch_seq: 0,
         }
     }
 
@@ -192,6 +245,57 @@ impl Simulation {
         self.push_event(t, Ev::LinkBandwidth { link, bandwidth });
     }
 
+    /// Schedules the faults of `plan` (validated against the platform).
+    /// Must be called before the simulation starts; the plan's seed
+    /// drives the message-loss sampling.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first invalid event found, or
+    /// [`FaultError::SimulationStarted`] when called after
+    /// [`run`](Simulation::run).
+    pub fn inject_faults(&mut self, plan: &FaultPlan) -> Result<(), FaultError> {
+        if self.started {
+            return Err(FaultError::SimulationStarted);
+        }
+        plan.validate(&self.platform)?;
+        self.fault_seed = plan.seed();
+        for ev in plan.events() {
+            match *ev {
+                FaultEvent::HostCrash { at, host } => {
+                    self.push_event(at, Ev::HostFault { host, up: false });
+                }
+                FaultEvent::HostRecover { at, host } => {
+                    self.push_event(at, Ev::HostFault { host, up: true });
+                }
+                FaultEvent::LinkFail { at, link } => {
+                    self.push_event(at, Ev::LinkFault { link, up: false });
+                }
+                FaultEvent::LinkRecover { at, link } => {
+                    self.push_event(at, Ev::LinkFault { link, up: true });
+                }
+                FaultEvent::LinkDegrade { at, until, link, factor } => {
+                    self.push_event(at, Ev::LinkDegrade { link, factor });
+                    self.push_event(until, Ev::LinkDegrade { link, factor: 1.0 });
+                }
+                FaultEvent::MessageLoss { at, until, probability } => {
+                    self.loss_windows.push((at, until, probability));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether `host` is currently up (fault injection).
+    pub fn host_is_up(&self, host: HostId) -> bool {
+        self.host_up[host.index()]
+    }
+
+    /// Whether `link` is currently up (fault injection).
+    pub fn link_is_up(&self, link: LinkId) -> bool {
+        self.link_up[link.index()]
+    }
+
     /// Current simulated time.
     pub fn now(&self) -> f64 {
         self.now
@@ -214,8 +318,13 @@ impl Simulation {
     }
 
     /// Invokes a callback on an actor, then applies the commands it
-    /// issued.
+    /// issued. Actors on a crashed host are silent: every callback
+    /// (messages, completions, timers) is uniformly dropped until the
+    /// host recovers.
     fn invoke(&mut self, actor: ActorId, f: impl FnOnce(&mut dyn Actor, &mut Ctx<'_>)) {
+        if !self.host_up[self.actor_hosts[actor.index()].index()] {
+            return;
+        }
         let Some(mut a) = self.actors[actor.index()].take() else {
             return; // actor slot empty (re-entrant call cannot happen)
         };
@@ -236,26 +345,73 @@ impl Simulation {
         }
     }
 
+    /// Whether the current send is dropped by an active message-loss
+    /// window. Every send consumes one draw from the `(seed, index)`
+    /// hash stream, so the outcome per send does not depend on what
+    /// other windows are active.
+    fn message_dropped(&mut self) -> bool {
+        let n = self.send_count;
+        self.send_count += 1;
+        let p = self
+            .loss_windows
+            .iter()
+            .filter(|&&(at, until, _)| self.now >= at && self.now < until)
+            .map(|&(_, _, p)| p)
+            .fold(0.0_f64, f64::max);
+        p > 0.0 && unit_hash(self.fault_seed, n) < p
+    }
+
     fn apply(&mut self, command: Command) {
         match command {
-            Command::Send { from, to, size, payload, tag, account } => {
+            Command::Send { from, to, size, payload, tag, account, timeout } => {
                 let src = self.actor_hosts[from.index()];
                 let dst = self.actor_hosts[to.index()];
                 let route = self
                     .routes
                     .route(&self.platform, src, dst)
                     .expect("validated platforms are connected");
+                // Register the timeout watch first: it must fire even
+                // when the message is lost without a failure signal.
+                let watch = timeout.map(|t| {
+                    let id = self.watch_seq;
+                    self.watch_seq += 1;
+                    self.watches.insert(id, SendWatch { from, tag, flow: None });
+                    self.push_event(self.now + t, Ev::SendTimeout { watch: id });
+                    id
+                });
+                // A send towards a dead host or across a dead link
+                // fails after the route latency (the time it takes the
+                // sender's stack to notice).
+                let reason = if !self.host_up[dst.index()] {
+                    Some(SendFailure::HostDown)
+                } else if route.links.iter().any(|l| !self.link_up[l.index()]) {
+                    Some(SendFailure::LinkDown)
+                } else {
+                    None
+                };
+                if let Some(reason) = reason {
+                    self.push_event(
+                        self.now + route.latency,
+                        Ev::SendFailed { actor: from, tag, reason, watch },
+                    );
+                    return;
+                }
+                if self.message_dropped() {
+                    // Silent loss: no flow, no callbacks. The watch (if
+                    // any) stays armed and will report `TimedOut`.
+                    return;
+                }
                 if route.links.is_empty() || size <= 0.0 {
                     // Loopback, and zero-size control messages: no
                     // bandwidth is consumed, only latency elapses.
                     let start = self.now;
                     self.push_event(
                         self.now + route.latency,
-                        Ev::Deliver { from, to, tag, payload, size, start },
+                        Ev::Deliver { from, to, tag, payload, size, start, watch },
                     );
                 } else {
                     self.net.advance(self.now);
-                    self.net.add(Flow {
+                    let flow_id = self.net.add(Flow {
                         from,
                         to,
                         tag,
@@ -267,7 +423,11 @@ impl Simulation {
                         remaining: size,
                         rate: 0.0,
                         payload: Some(payload),
+                        watch,
                     });
+                    if let Some(w) = watch {
+                        self.watches.get_mut(&w).expect("just inserted").flow = Some(flow_id);
+                    }
                     self.net_dirty = true;
                 }
             }
@@ -345,7 +505,32 @@ impl Simulation {
         }
     }
 
-    fn deliver(&mut self, from: ActorId, to: ActorId, tag: Tag, payload: Payload, size: f64, start: f64) {
+    #[allow(clippy::too_many_arguments)]
+    fn deliver(
+        &mut self,
+        from: ActorId,
+        to: ActorId,
+        tag: Tag,
+        payload: Payload,
+        size: f64,
+        start: f64,
+        watch: Option<u64>,
+    ) {
+        // A watch that is no longer registered timed out earlier: the
+        // sender was already told the send failed, so the message is
+        // considered lost — do not deliver it after all.
+        if let Some(w) = watch {
+            if self.watches.remove(&w).is_none() {
+                return;
+            }
+        }
+        // Receiver crashed while the message was in flight (loopback
+        // deliveries are not killed by the crash handler): the message
+        // is lost and the sender learns about it.
+        if !self.host_up[self.actor_hosts[to.index()].index()] {
+            self.invoke(from, |a, ctx| a.on_send_failed(tag, SendFailure::HostDown, ctx));
+            return;
+        }
         let now = self.now;
         if let Some(tr) = self.tracer.as_mut() {
             tr.message(
@@ -359,6 +544,43 @@ impl Simulation {
         // Sender learns first, receiver second (documented order).
         self.invoke(from, |a, ctx| a.on_send_done(tag, ctx));
         self.invoke(to, |a, ctx| a.on_message(from, payload, ctx));
+    }
+
+    /// Kills every running task and in-flight flow touching the crashed
+    /// `host`, notifying live senders whose transfers died.
+    fn kill_activities_on_host(&mut self, host: HostId) {
+        self.cpu.advance(self.now);
+        let killed_tasks = self.cpu.drain_host(host);
+        if !killed_tasks.is_empty() {
+            // The owners are on the dead host — no one to notify.
+            self.cpu_dirty = true;
+            self.touched_hosts.insert(host.index());
+        }
+        self.net.advance(self.now);
+        let hosts = &self.actor_hosts;
+        let killed_flows = self.net.drain_matching(|f| {
+            hosts[f.from.index()] == host || hosts[f.to.index()] == host
+        });
+        if !killed_flows.is_empty() {
+            self.net_dirty = true;
+        }
+        for f in killed_flows {
+            self.fail_killed_flow(f, SendFailure::HostDown);
+        }
+    }
+
+    /// Reports a flow killed by a fault back to its sender (deferred so
+    /// the callback runs at a clean point of the event loop), dropping
+    /// the notification when the sender itself is dead.
+    fn fail_killed_flow(&mut self, f: Flow, reason: SendFailure) {
+        if self.host_up[self.actor_hosts[f.from.index()].index()] {
+            self.push_event(
+                self.now,
+                Ev::SendFailed { actor: f.from, tag: f.tag, reason, watch: f.watch },
+            );
+        } else if let Some(w) = f.watch {
+            self.watches.remove(&w);
+        }
     }
 
     /// Runs until the calendar drains. Returns the final simulated
@@ -388,6 +610,15 @@ impl Simulation {
                 break;
             }
             let CalEntry { time, event, .. } = self.calendar.pop().expect("peeked");
+            // Drop stale completion probes before they advance the
+            // clock: a fault that killed the predicted activity leaves
+            // its probe dangling past the real end of the workload, and
+            // the final time must not be inflated by it.
+            match &event {
+                Ev::NetCheck { gen } if *gen != self.net_gen => continue,
+                Ev::CpuCheck { gen } if *gen != self.cpu_gen => continue,
+                _ => {}
+            }
             debug_assert!(time >= self.now - 1e-9, "time went backwards");
             self.now = self.now.max(time);
             self.events_processed += 1;
@@ -395,13 +626,11 @@ impl Simulation {
                 Ev::Timer { actor, tag } => {
                     self.invoke(actor, |a, ctx| a.on_timer(tag, ctx));
                 }
-                Ev::Deliver { from, to, tag, payload, size, start } => {
-                    self.deliver(from, to, tag, payload, size, start);
+                Ev::Deliver { from, to, tag, payload, size, start, watch } => {
+                    self.deliver(from, to, tag, payload, size, start, watch);
                 }
                 Ev::NetCheck { gen } => {
-                    if gen != self.net_gen {
-                        continue; // stale prediction
-                    }
+                    debug_assert_eq!(gen, self.net_gen, "stale probes dropped above");
                     self.net.advance(self.now);
                     let done = self.net.completed_at(self.now);
                     debug_assert!(!done.is_empty(), "live NetCheck with no completion");
@@ -409,32 +638,141 @@ impl Simulation {
                         let flow = self.net.remove(id).expect("listed id");
                         self.net_dirty = true;
                         let payload = flow.payload.expect("payload present until delivery");
-                        self.deliver(flow.from, flow.to, flow.tag, payload, flow.size, flow.start);
+                        self.deliver(
+                            flow.from, flow.to, flow.tag, payload, flow.size, flow.start,
+                            flow.watch,
+                        );
                     }
                 }
                 Ev::HostPower { host, power } => {
-                    self.cpu.advance(self.now);
-                    self.cpu.set_power(host, power);
-                    self.cpu_dirty = true;
-                    self.touched_hosts.insert(host.index());
-                    let now = self.now;
-                    if let Some(tr) = self.tracer.as_mut() {
-                        tr.host_power(now, host.index(), power);
+                    // The nominal power is what a recovery restores;
+                    // while the host is down the change is recorded but
+                    // not applied.
+                    self.nominal_power[host.index()] = power;
+                    if self.host_up[host.index()] {
+                        self.cpu.advance(self.now);
+                        self.cpu.set_power(host, power);
+                        self.cpu_dirty = true;
+                        self.touched_hosts.insert(host.index());
+                        let now = self.now;
+                        if let Some(tr) = self.tracer.as_mut() {
+                            tr.host_power(now, host.index(), power);
+                        }
                     }
                 }
                 Ev::LinkBandwidth { link, bandwidth } => {
-                    self.net.advance(self.now);
-                    self.net.set_capacity(link.index(), bandwidth);
-                    self.net_dirty = true;
+                    self.nominal_bandwidth[link.index()] = bandwidth;
+                    if self.link_up[link.index()] {
+                        let effective = bandwidth * self.link_factor[link.index()];
+                        self.net.advance(self.now);
+                        self.net.set_capacity(link.index(), effective);
+                        self.net_dirty = true;
+                        let now = self.now;
+                        if let Some(tr) = self.tracer.as_mut() {
+                            tr.link_bandwidth(now, link.index(), effective);
+                        }
+                    }
+                }
+                Ev::HostFault { host, up } => {
+                    if up == self.host_up[host.index()] {
+                        continue; // idempotent: already in that state
+                    }
+                    let h = host.index();
                     let now = self.now;
-                    if let Some(tr) = self.tracer.as_mut() {
-                        tr.link_bandwidth(now, link.index(), bandwidth);
+                    if up {
+                        self.host_up[h] = true;
+                        self.cpu.advance(now);
+                        self.cpu.set_power(host, self.nominal_power[h]);
+                        self.cpu_dirty = true;
+                        self.touched_hosts.insert(h);
+                        let power = self.nominal_power[h];
+                        if let Some(tr) = self.tracer.as_mut() {
+                            tr.host_power(now, h, power);
+                            tr.host_availability(now, h, true);
+                        }
+                    } else {
+                        self.host_up[h] = false;
+                        self.kill_activities_on_host(host);
+                        self.cpu.set_power(host, 0.0);
+                        self.cpu_dirty = true;
+                        self.touched_hosts.insert(h);
+                        if let Some(tr) = self.tracer.as_mut() {
+                            tr.host_power(now, h, 0.0);
+                            tr.host_availability(now, h, false);
+                        }
+                    }
+                }
+                Ev::LinkFault { link, up } => {
+                    if up == self.link_up[link.index()] {
+                        continue;
+                    }
+                    let l = link.index();
+                    let now = self.now;
+                    self.net.advance(now);
+                    if up {
+                        self.link_up[l] = true;
+                        let effective = self.nominal_bandwidth[l] * self.link_factor[l];
+                        self.net.set_capacity(l, effective);
+                        self.net_dirty = true;
+                        if let Some(tr) = self.tracer.as_mut() {
+                            tr.link_bandwidth(now, l, effective);
+                            tr.link_availability(now, l, true);
+                        }
+                    } else {
+                        self.link_up[l] = false;
+                        let killed = self.net.drain_matching(|f| f.route.contains(&link));
+                        self.net_dirty = true;
+                        for f in killed {
+                            self.fail_killed_flow(f, SendFailure::LinkDown);
+                        }
+                        self.net.set_capacity(l, 0.0); // clamped to epsilon
+                        if let Some(tr) = self.tracer.as_mut() {
+                            tr.link_bandwidth(now, l, 0.0);
+                            tr.link_availability(now, l, false);
+                        }
+                    }
+                }
+                Ev::LinkDegrade { link, factor } => {
+                    let l = link.index();
+                    self.link_factor[l] = factor;
+                    if self.link_up[l] {
+                        let effective = self.nominal_bandwidth[l] * factor;
+                        self.net.advance(self.now);
+                        self.net.set_capacity(l, effective);
+                        self.net_dirty = true;
+                        let now = self.now;
+                        if let Some(tr) = self.tracer.as_mut() {
+                            tr.link_bandwidth(now, l, effective);
+                        }
+                    }
+                }
+                Ev::SendTimeout { watch } => {
+                    if let Some(w) = self.watches.remove(&watch) {
+                        if let Some(flow_id) = w.flow {
+                            self.net.advance(self.now);
+                            if self.net.remove(flow_id).is_some() {
+                                self.net_dirty = true;
+                            }
+                        }
+                        self.invoke(w.from, |a, ctx| {
+                            a.on_send_failed(w.tag, SendFailure::TimedOut, ctx)
+                        });
+                    }
+                }
+                Ev::SendFailed { actor, tag, reason, watch } => {
+                    // When the send carried a watch that already fired,
+                    // the sender has been notified (`TimedOut`) — do
+                    // not notify twice.
+                    let notify = match watch {
+                        None => true,
+                        Some(w) => self.watches.remove(&w).is_some(),
+                    };
+                    if notify {
+                        self.invoke(actor, |a, ctx| a.on_send_failed(tag, reason, ctx));
                     }
                 }
                 Ev::CpuCheck { gen } => {
-                    if gen != self.cpu_gen {
-                        continue;
-                    }
+                    debug_assert_eq!(gen, self.cpu_gen, "stale probes dropped above");
                     self.cpu.advance(self.now);
                     let done = self.cpu.completed_at(self.now);
                     debug_assert!(!done.is_empty(), "live CpuCheck with no completion");
@@ -709,6 +1047,406 @@ mod tests {
         let h = p.hosts()[0].id();
         let mut sim = Simulation::new(p);
         sim.schedule_host_power(1.0, h, f64::NAN);
+    }
+
+    use crate::fault::{FaultPlan, SendFailure};
+
+    /// Records every send failure it sees. Sends at `delay` (0 = at
+    /// start).
+    struct FailureProbe {
+        to: ActorId,
+        size: f64,
+        delay: f64,
+        timeout: Option<f64>,
+        failures: std::rc::Rc<std::cell::RefCell<Vec<(u64, SendFailure, f64)>>>,
+        delivered: std::rc::Rc<std::cell::Cell<u32>>,
+    }
+    impl FailureProbe {
+        fn ship(&self, ctx: &mut Ctx<'_>) {
+            match self.timeout {
+                Some(t) => ctx.send_with_timeout(self.to, self.size, Box::new(0u8), Tag(1), t),
+                None => ctx.send(self.to, self.size, Box::new(0u8), Tag(1)),
+            }
+        }
+    }
+    impl Actor for FailureProbe {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            if self.delay > 0.0 {
+                ctx.set_timer(self.delay, Tag(99));
+            } else {
+                self.ship(ctx);
+            }
+        }
+        fn on_timer(&mut self, _tag: Tag, ctx: &mut Ctx<'_>) {
+            self.ship(ctx);
+        }
+        fn on_send_done(&mut self, _tag: Tag, _ctx: &mut Ctx<'_>) {
+            self.delivered.set(self.delivered.get() + 1);
+        }
+        fn on_send_failed(&mut self, tag: Tag, reason: SendFailure, ctx: &mut Ctx<'_>) {
+            self.failures.borrow_mut().push((tag.0, reason, ctx.now()));
+        }
+    }
+
+    #[derive(Default)]
+    struct Sink {
+        got: std::rc::Rc<std::cell::Cell<u32>>,
+    }
+    impl Actor for Sink {
+        fn on_message(&mut self, _from: ActorId, _payload: Payload, _ctx: &mut Ctx<'_>) {
+            self.got.set(self.got.get() + 1);
+        }
+    }
+
+    #[test]
+    fn host_crash_kills_running_task() {
+        // 100 MFlop/s host, 1000 MFlop task (10 s); crash at t = 2.
+        let p = generators::star(1, 100.0, 1000.0).unwrap();
+        let h = p.hosts()[0].id();
+        let done = std::rc::Rc::new(std::cell::Cell::new(-1.0));
+        let mut sim = Simulation::new(p);
+        sim.spawn(h, Box::new(OneShot { flops: 1000.0, done_at: done.clone() }));
+        sim.inject_faults(&FaultPlan::new().host_crash(2.0, h)).unwrap();
+        let end = sim.run();
+        assert_eq!(done.get(), -1.0, "the task must never complete");
+        assert!(!sim.host_is_up(h));
+        assert!((end - 2.0).abs() < 1e-9, "nothing left after the crash: {end}");
+    }
+
+    #[test]
+    fn receiver_crash_fails_inflight_send() {
+        let p = generators::star(2, 100.0, 1000.0).unwrap();
+        let h0 = p.hosts()[0].id();
+        let h1 = p.hosts()[1].id();
+        let failures = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let delivered = std::rc::Rc::new(std::cell::Cell::new(0));
+        let got = std::rc::Rc::new(std::cell::Cell::new(0));
+        let mut sim = Simulation::new(p);
+        let recv = sim.spawn(h1, Box::new(Sink { got: got.clone() }));
+        sim.spawn(
+            h0,
+            // 8000 Mbit needs 8 s; the receiver dies at t = 3.
+            Box::new(FailureProbe {
+                to: recv,
+                size: 8000.0,
+                delay: 0.0,
+                timeout: None,
+                failures: failures.clone(),
+                delivered: delivered.clone(),
+            }),
+        );
+        sim.inject_faults(&FaultPlan::new().host_crash(3.0, h1)).unwrap();
+        sim.run();
+        assert_eq!(got.get(), 0);
+        assert_eq!(delivered.get(), 0);
+        assert_eq!(*failures.borrow(), vec![(1, SendFailure::HostDown, 3.0)]);
+    }
+
+    #[test]
+    fn send_to_dead_host_fails_after_latency() {
+        let p = generators::star(2, 100.0, 1000.0).unwrap();
+        let h0 = p.hosts()[0].id();
+        let h1 = p.hosts()[1].id();
+        let failures = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let delivered = std::rc::Rc::new(std::cell::Cell::new(0));
+        let got = std::rc::Rc::new(std::cell::Cell::new(0));
+        let mut sim = Simulation::new(p);
+        let recv = sim.spawn(h1, Box::new(Sink { got: got.clone() }));
+        sim.spawn(
+            h0,
+            Box::new(FailureProbe {
+                to: recv,
+                size: 10.0,
+                delay: 1.0,
+                timeout: None,
+                failures: failures.clone(),
+                delivered,
+            }),
+        );
+        // Host 1 is already dead when the send is issued at t = 1.
+        sim.inject_faults(&FaultPlan::new().host_crash(0.5, h1)).unwrap();
+        sim.run();
+        let f = failures.borrow();
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].1, SendFailure::HostDown);
+        assert!(f[0].2 > 1.0, "failure surfaces after the route latency");
+        assert_eq!(got.get(), 0);
+    }
+
+    #[test]
+    fn link_failure_kills_crossing_flow() {
+        let p = generators::star(2, 100.0, 1000.0).unwrap();
+        let h0 = p.hosts()[0].id();
+        let h1 = p.hosts()[1].id();
+        let uplink = p.link_by_name("star-1-up").unwrap().id();
+        let failures = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let delivered = std::rc::Rc::new(std::cell::Cell::new(0));
+        let got = std::rc::Rc::new(std::cell::Cell::new(0));
+        let mut sim = Simulation::new(p);
+        let recv = sim.spawn(h1, Box::new(Sink { got: got.clone() }));
+        sim.spawn(
+            h0,
+            Box::new(FailureProbe {
+                to: recv,
+                size: 8000.0,
+                delay: 0.0,
+                timeout: None,
+                failures: failures.clone(),
+                delivered,
+            }),
+        );
+        sim.inject_faults(&FaultPlan::new().link_fail(2.0, uplink)).unwrap();
+        sim.run();
+        assert_eq!(*failures.borrow(), vec![(1, SendFailure::LinkDown, 2.0)]);
+        assert_eq!(got.get(), 0);
+        assert!(!sim.link_is_up(uplink));
+    }
+
+    #[test]
+    fn link_outage_and_degradation_shape_transfer_time() {
+        // 8000 Mbit at 1000 Mbit/s = 8 s nominal. Degrading the uplink
+        // to 50% during [2, 4) loses 1 s of throughput → done at 9 s.
+        let p = generators::star(2, 100.0, 1000.0).unwrap();
+        let h0 = p.hosts()[0].id();
+        let h1 = p.hosts()[1].id();
+        let uplink = p.link_by_name("star-1-up").unwrap().id();
+        let got = std::rc::Rc::new(std::cell::Cell::new(0.0));
+        let sent = std::rc::Rc::new(std::cell::Cell::new(0.0));
+        let mut sim = Simulation::new(p);
+        let recv = sim.spawn(h1, Box::new(Receiver { got: got.clone() }));
+        sim.spawn(h0, Box::new(Sender { to: recv, size: 8000.0, send_done: sent }));
+        sim.inject_faults(&FaultPlan::new().link_degrade(2.0, 4.0, uplink, 0.5))
+            .unwrap();
+        sim.run();
+        assert!((got.get() - 9.0).abs() < 1e-6, "got {}", got.get());
+    }
+
+    #[test]
+    fn host_recovers_and_computes_again() {
+        struct RetryOnce {
+            done_at: std::rc::Rc<std::cell::Cell<f64>>,
+        }
+        impl Actor for RetryOnce {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.set_timer(5.0, Tag(0)); // after recovery at t = 3
+            }
+            fn on_timer(&mut self, _tag: Tag, ctx: &mut Ctx<'_>) {
+                ctx.execute(100.0, Tag(1));
+            }
+            fn on_compute_done(&mut self, _tag: Tag, ctx: &mut Ctx<'_>) {
+                self.done_at.set(ctx.now());
+            }
+        }
+        let p = generators::star(2, 100.0, 1000.0).unwrap();
+        let h0 = p.hosts()[0].id();
+        let h1 = p.hosts()[1].id();
+        let done = std::rc::Rc::new(std::cell::Cell::new(-1.0));
+        let mut sim = Simulation::new(p);
+        sim.spawn(h1, Box::new(RetryOnce { done_at: done.clone() }));
+        // A crash on the *other* host must not disturb h1's work; a
+        // timer on h1 set before its own outage window still fires
+        // because the host is back up by then.
+        sim.inject_faults(
+            &FaultPlan::new().host_outage(1.0, 1.0, h0).host_outage(2.0, 1.0, h1),
+        )
+        .unwrap();
+        sim.run();
+        assert!(sim.host_is_up(h0) && sim.host_is_up(h1));
+        // Timer at t = 5 (host up again), 100 MFlop at 100 MFlop/s → 6.
+        assert!((done.get() - 6.0).abs() < 1e-9, "done at {}", done.get());
+    }
+
+    #[test]
+    fn timer_during_downtime_is_dropped() {
+        struct TimerProbe {
+            fired: std::rc::Rc<std::cell::Cell<u32>>,
+        }
+        impl Actor for TimerProbe {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.set_timer(2.0, Tag(0)); // inside the outage [1, 3)
+                ctx.set_timer(4.0, Tag(1)); // after recovery
+            }
+            fn on_timer(&mut self, _tag: Tag, ctx: &mut Ctx<'_>) {
+                let _ = ctx;
+                self.fired.set(self.fired.get() + 1);
+            }
+        }
+        let p = generators::star(1, 100.0, 1000.0).unwrap();
+        let h = p.hosts()[0].id();
+        let fired = std::rc::Rc::new(std::cell::Cell::new(0));
+        let mut sim = Simulation::new(p);
+        sim.spawn(h, Box::new(TimerProbe { fired: fired.clone() }));
+        sim.inject_faults(&FaultPlan::new().host_outage(1.0, 2.0, h)).unwrap();
+        sim.run();
+        assert_eq!(fired.get(), 1, "only the post-recovery timer fires");
+    }
+
+    #[test]
+    fn send_timeout_fires_on_silent_loss() {
+        let p = generators::star(2, 100.0, 1000.0).unwrap();
+        let h0 = p.hosts()[0].id();
+        let h1 = p.hosts()[1].id();
+        let failures = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let delivered = std::rc::Rc::new(std::cell::Cell::new(0));
+        let got = std::rc::Rc::new(std::cell::Cell::new(0));
+        let mut sim = Simulation::new(p);
+        let recv = sim.spawn(h1, Box::new(Sink { got: got.clone() }));
+        sim.spawn(
+            h0,
+            Box::new(FailureProbe {
+                to: recv,
+                size: 10.0,
+                delay: 0.0,
+                timeout: Some(5.0),
+                failures: failures.clone(),
+                delivered,
+            }),
+        );
+        // Certain loss: the send vanishes without any failure signal;
+        // only the timeout reveals it.
+        sim.inject_faults(&FaultPlan::new().message_loss(0.0, 1.0, 1.0)).unwrap();
+        sim.run();
+        assert_eq!(*failures.borrow(), vec![(1, SendFailure::TimedOut, 5.0)]);
+        assert_eq!(got.get(), 0);
+    }
+
+    #[test]
+    fn send_timeout_does_not_fire_on_success() {
+        let p = generators::star(2, 100.0, 1000.0).unwrap();
+        let h0 = p.hosts()[0].id();
+        let h1 = p.hosts()[1].id();
+        let failures = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let delivered = std::rc::Rc::new(std::cell::Cell::new(0));
+        let got = std::rc::Rc::new(std::cell::Cell::new(0));
+        let mut sim = Simulation::new(p);
+        let recv = sim.spawn(h1, Box::new(Sink { got: got.clone() }));
+        sim.spawn(
+            h0,
+            // 1000 Mbit at 1000 Mbit/s = 1 s, well within the timeout.
+            Box::new(FailureProbe {
+                to: recv,
+                size: 1000.0,
+                delay: 0.0,
+                timeout: Some(5.0),
+                failures: failures.clone(),
+                delivered: delivered.clone(),
+            }),
+        );
+        sim.run();
+        assert!(failures.borrow().is_empty());
+        assert_eq!(delivered.get(), 1);
+        assert_eq!(got.get(), 1);
+    }
+
+    #[test]
+    fn send_timeout_kills_slow_flow() {
+        let p = generators::star(2, 100.0, 1000.0).unwrap();
+        let h0 = p.hosts()[0].id();
+        let h1 = p.hosts()[1].id();
+        let failures = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let delivered = std::rc::Rc::new(std::cell::Cell::new(0));
+        let got = std::rc::Rc::new(std::cell::Cell::new(0));
+        let mut sim = Simulation::new(p);
+        let recv = sim.spawn(h1, Box::new(Sink { got: got.clone() }));
+        sim.spawn(
+            h0,
+            // 8000 Mbit needs 8 s but the sender only waits 2.
+            Box::new(FailureProbe {
+                to: recv,
+                size: 8000.0,
+                delay: 0.0,
+                timeout: Some(2.0),
+                failures: failures.clone(),
+                delivered,
+            }),
+        );
+        let end = sim.run();
+        assert_eq!(*failures.borrow(), vec![(1, SendFailure::TimedOut, 2.0)]);
+        assert_eq!(got.get(), 0, "the killed flow must not deliver");
+        assert!((end - 2.0).abs() < 1e-9, "nothing outlives the timeout: {end}");
+    }
+
+    #[test]
+    fn availability_is_recorded_in_trace() {
+        let p = generators::star(2, 100.0, 1000.0).unwrap();
+        let h0 = p.hosts()[0].id();
+        let uplink = p.link_by_name("star-1-up").unwrap().id();
+        let done = std::rc::Rc::new(std::cell::Cell::new(0.0));
+        let mut sim = Simulation::new(p);
+        sim.enable_tracing(TracingConfig::default());
+        sim.spawn(h0, Box::new(OneShot { flops: 100.0, done_at: done }));
+        sim.inject_faults(
+            &FaultPlan::new().host_outage(2.0, 2.0, h0).link_outage(1.0, 3.0, uplink),
+        )
+        .unwrap();
+        sim.run();
+        let trace = sim.into_trace().unwrap();
+        let hc = trace.containers().by_name("star-1").unwrap().id();
+        let avail = trace.signal_by_name(hc, names::AVAILABILITY).unwrap();
+        assert_eq!(avail.value_at(1.0), 1.0);
+        assert_eq!(avail.value_at(3.0), 0.0);
+        assert_eq!(avail.value_at(4.5), 1.0);
+        // Availability fraction over [0, 4]: down for 2 of 4 seconds.
+        assert!((avail.integrate(0.0, 4.0) / 4.0 - 0.5).abs() < 1e-9);
+        let lc = trace.containers().by_name("star-1-up").unwrap().id();
+        let lavail = trace.signal_by_name(lc, names::AVAILABILITY).unwrap();
+        assert_eq!(lavail.value_at(0.5), 1.0);
+        assert_eq!(lavail.value_at(2.0), 0.0);
+        assert_eq!(lavail.value_at(4.5), 1.0, "link back up at 1 + 3 = 4");
+        // The dead host's power capacity also drops to 0 (fill renders
+        // dark) and comes back.
+        let power = trace.signal_by_name(hc, names::POWER).unwrap();
+        assert_eq!(power.value_at(3.0), 0.0);
+        assert_eq!(power.value_at(4.5), 100.0);
+    }
+
+    #[test]
+    fn faulty_runs_are_deterministic() {
+        fn run_once() -> (f64, u64, Vec<(u64, SendFailure, f64)>) {
+            let p = generators::star(3, 100.0, 1000.0).unwrap();
+            let hosts: Vec<HostId> = p.hosts().iter().map(|h| h.id()).collect();
+            let failures = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+            let delivered = std::rc::Rc::new(std::cell::Cell::new(0));
+            let got = std::rc::Rc::new(std::cell::Cell::new(0));
+            let mut sim = Simulation::new(p);
+            let recv = sim.spawn(hosts[2], Box::new(Sink { got }));
+            for h in &hosts[..2] {
+                sim.spawn(
+                    *h,
+                    Box::new(FailureProbe {
+                        to: recv,
+                        size: 4000.0,
+                        delay: 0.0,
+                        timeout: Some(10.0),
+                        failures: failures.clone(),
+                        delivered: delivered.clone(),
+                    }),
+                );
+            }
+            sim.inject_faults(
+                &FaultPlan::new()
+                    .with_seed(7)
+                    .host_outage(3.0, 2.0, hosts[2])
+                    .message_loss(0.0, 1.0, 0.5),
+            )
+            .unwrap();
+            let end = sim.run();
+            let f = failures.borrow().clone();
+            (end, sim.events_processed(), f)
+        }
+        assert_eq!(run_once(), run_once());
+    }
+
+    #[test]
+    fn inject_after_start_is_rejected() {
+        let p = generators::star(1, 100.0, 1000.0).unwrap();
+        let h = p.hosts()[0].id();
+        let mut sim = Simulation::new(p);
+        sim.run();
+        assert_eq!(
+            sim.inject_faults(&FaultPlan::new().host_crash(1.0, h)),
+            Err(crate::fault::FaultError::SimulationStarted)
+        );
     }
 
     #[test]

@@ -1,0 +1,504 @@
+//! Deterministic fault injection: host crashes, link failures,
+//! transient degradation windows and message loss.
+//!
+//! A [`FaultPlan`] is a schedule of [`FaultEvent`]s validated against a
+//! platform and handed to [`crate::Simulation::inject_faults`] before
+//! the run. Everything is deterministic: the same plan (including its
+//! `seed`, which drives message-loss sampling) against the same
+//! simulation yields a byte-identical trace.
+//!
+//! Fault semantics implemented by the engine:
+//!
+//! * **Host crash** — running tasks on the host are killed, in-flight
+//!   flows from/to actors on the host are killed (live peers get
+//!   [`crate::Actor::on_send_failed`]), and every event addressed to an
+//!   actor on the host (timers, deliveries, completions) is dropped
+//!   until the host recovers. Actors do *not* lose their memory on
+//!   recovery — the model is a machine going silent, not a process
+//!   restart.
+//! * **Link failure** — flows crossing the link are killed (senders get
+//!   `on_send_failed`), and new sends routed across it fail after the
+//!   route latency.
+//! * **Degradation window** — the link's capacity is multiplied by a
+//!   factor in `(0, 1]` between two instants; flows slow down but
+//!   survive.
+//! * **Message loss window** — during the window each send is dropped
+//!   independently with the given probability (sampled from the plan's
+//!   seed and the send's sequence number, so unrelated sends do not
+//!   perturb each other). A dropped send triggers *no* callback: the
+//!   sender must protect itself with
+//!   [`crate::Ctx::send_with_timeout`].
+//!
+//! The module also hosts the actor-level resilience primitives:
+//! [`RetryPolicy`] (exponential backoff with deterministic jitter) and
+//! [`Heartbeat`] (peer liveness bookkeeping by timeout).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use viva_platform::{HostId, LinkId, Platform};
+
+use crate::actor::ActorId;
+
+/// Why a send did not complete. Delivered to the sender via
+/// [`crate::Actor::on_send_failed`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SendFailure {
+    /// The destination host was down when the send was issued, or
+    /// crashed while the message was in flight.
+    HostDown,
+    /// A link on the route was down when the send was issued, or failed
+    /// while the message was in flight.
+    LinkDown,
+    /// A send issued with [`crate::Ctx::send_with_timeout`] did not
+    /// complete within its timeout.
+    TimedOut,
+}
+
+impl fmt::Display for SendFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SendFailure::HostDown => f.write_str("destination host down"),
+            SendFailure::LinkDown => f.write_str("route link down"),
+            SendFailure::TimedOut => f.write_str("send timed out"),
+        }
+    }
+}
+
+/// One scheduled fault.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultEvent {
+    /// The host goes silent at `at`: tasks and flows killed, events
+    /// dropped.
+    HostCrash { at: f64, host: HostId },
+    /// The host comes back at `at` with its nominal power.
+    HostRecover { at: f64, host: HostId },
+    /// The link goes down at `at`: crossing flows killed.
+    LinkFail { at: f64, link: LinkId },
+    /// The link comes back at `at` with its nominal bandwidth.
+    LinkRecover { at: f64, link: LinkId },
+    /// The link's capacity is multiplied by `factor` during
+    /// `[at, until)`.
+    LinkDegrade {
+        at: f64,
+        until: f64,
+        link: LinkId,
+        factor: f64,
+    },
+    /// During `[at, until)` every send is dropped independently with
+    /// `probability`.
+    MessageLoss {
+        at: f64,
+        until: f64,
+        probability: f64,
+    },
+}
+
+impl FaultEvent {
+    /// The instant the fault takes effect.
+    pub fn at(&self) -> f64 {
+        match *self {
+            FaultEvent::HostCrash { at, .. }
+            | FaultEvent::HostRecover { at, .. }
+            | FaultEvent::LinkFail { at, .. }
+            | FaultEvent::LinkRecover { at, .. }
+            | FaultEvent::LinkDegrade { at, .. }
+            | FaultEvent::MessageLoss { at, .. } => at,
+        }
+    }
+}
+
+/// An invalid [`FaultPlan`] (caught by validation, never by a panic
+/// mid-simulation).
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultError {
+    /// A host id outside the platform.
+    UnknownHost(HostId),
+    /// A link id outside the platform.
+    UnknownLink(LinkId),
+    /// An event time that is negative or not finite.
+    InvalidTime(f64),
+    /// A window whose end precedes its start.
+    InvalidWindow { at: f64, until: f64 },
+    /// A degradation factor outside `(0, 1]`.
+    InvalidFactor(f64),
+    /// A loss probability outside `[0, 1]`.
+    InvalidProbability(f64),
+    /// Faults injected after the simulation started.
+    SimulationStarted,
+}
+
+impl fmt::Display for FaultError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultError::UnknownHost(h) => write!(f, "unknown host index {}", h.index()),
+            FaultError::UnknownLink(l) => write!(f, "unknown link index {}", l.index()),
+            FaultError::InvalidTime(t) => write!(f, "invalid fault time {t}"),
+            FaultError::InvalidWindow { at, until } => {
+                write!(f, "invalid fault window [{at}, {until})")
+            }
+            FaultError::InvalidFactor(x) => {
+                write!(f, "degradation factor {x} outside (0, 1]")
+            }
+            FaultError::InvalidProbability(p) => {
+                write!(f, "loss probability {p} outside [0, 1]")
+            }
+            FaultError::SimulationStarted => {
+                f.write_str("faults must be injected before the simulation starts")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultError {}
+
+/// A seeded, deterministic schedule of faults.
+///
+/// Build with the fluent methods, validate implicitly via
+/// [`crate::Simulation::inject_faults`] (or explicitly via
+/// [`FaultPlan::validate`]).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+    seed: u64,
+}
+
+impl FaultPlan {
+    /// An empty plan with seed 0.
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Sets the seed driving message-loss sampling.
+    pub fn with_seed(mut self, seed: u64) -> FaultPlan {
+        self.seed = seed;
+        self
+    }
+
+    /// The message-loss sampling seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The scheduled events, in insertion order.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Whether the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Schedules a host crash at `at`.
+    pub fn host_crash(mut self, at: f64, host: HostId) -> FaultPlan {
+        self.events.push(FaultEvent::HostCrash { at, host });
+        self
+    }
+
+    /// Schedules a host recovery at `at`.
+    pub fn host_recover(mut self, at: f64, host: HostId) -> FaultPlan {
+        self.events.push(FaultEvent::HostRecover { at, host });
+        self
+    }
+
+    /// Schedules a crash at `at` and recovery at `at + downtime`.
+    pub fn host_outage(self, at: f64, downtime: f64, host: HostId) -> FaultPlan {
+        self.host_crash(at, host).host_recover(at + downtime, host)
+    }
+
+    /// Schedules a link failure at `at`.
+    pub fn link_fail(mut self, at: f64, link: LinkId) -> FaultPlan {
+        self.events.push(FaultEvent::LinkFail { at, link });
+        self
+    }
+
+    /// Schedules a link recovery at `at`.
+    pub fn link_recover(mut self, at: f64, link: LinkId) -> FaultPlan {
+        self.events.push(FaultEvent::LinkRecover { at, link });
+        self
+    }
+
+    /// Schedules a failure at `at` and recovery at `at + downtime`.
+    pub fn link_outage(self, at: f64, downtime: f64, link: LinkId) -> FaultPlan {
+        self.link_fail(at, link).link_recover(at + downtime, link)
+    }
+
+    /// Multiplies the link's capacity by `factor` during `[at, until)`.
+    pub fn link_degrade(mut self, at: f64, until: f64, link: LinkId, factor: f64) -> FaultPlan {
+        self.events.push(FaultEvent::LinkDegrade { at, until, link, factor });
+        self
+    }
+
+    /// Drops each send with `probability` during `[at, until)`.
+    pub fn message_loss(mut self, at: f64, until: f64, probability: f64) -> FaultPlan {
+        self.events.push(FaultEvent::MessageLoss { at, until, probability });
+        self
+    }
+
+    /// Checks every event against `platform`: ids in range, times
+    /// finite and non-negative, windows ordered, factors and
+    /// probabilities in range.
+    pub fn validate(&self, platform: &Platform) -> Result<(), FaultError> {
+        let n_hosts = platform.hosts().len();
+        let n_links = platform.links().len();
+        let check_time = |t: f64| {
+            if t.is_finite() && t >= 0.0 {
+                Ok(())
+            } else {
+                Err(FaultError::InvalidTime(t))
+            }
+        };
+        for ev in &self.events {
+            match *ev {
+                FaultEvent::HostCrash { at, host } | FaultEvent::HostRecover { at, host } => {
+                    check_time(at)?;
+                    if host.index() >= n_hosts {
+                        return Err(FaultError::UnknownHost(host));
+                    }
+                }
+                FaultEvent::LinkFail { at, link } | FaultEvent::LinkRecover { at, link } => {
+                    check_time(at)?;
+                    if link.index() >= n_links {
+                        return Err(FaultError::UnknownLink(link));
+                    }
+                }
+                FaultEvent::LinkDegrade { at, until, link, factor } => {
+                    check_time(at)?;
+                    check_time(until)?;
+                    if until < at {
+                        return Err(FaultError::InvalidWindow { at, until });
+                    }
+                    if link.index() >= n_links {
+                        return Err(FaultError::UnknownLink(link));
+                    }
+                    if !(factor > 0.0 && factor <= 1.0) {
+                        return Err(FaultError::InvalidFactor(factor));
+                    }
+                }
+                FaultEvent::MessageLoss { at, until, probability } => {
+                    check_time(at)?;
+                    check_time(until)?;
+                    if until < at {
+                        return Err(FaultError::InvalidWindow { at, until });
+                    }
+                    if !(0.0..=1.0).contains(&probability) {
+                        return Err(FaultError::InvalidProbability(probability));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// SplitMix64 finalizer: a well-mixed 64-bit hash.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Uniform `f64` in `[0, 1)` from `(seed, counter)` — stateless, so a
+/// draw for one send never perturbs the draw for another.
+pub(crate) fn unit_hash(seed: u64, counter: u64) -> f64 {
+    (mix64(seed ^ mix64(counter)) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Retry schedule: exponential backoff with deterministic jitter.
+///
+/// Attempt `n` (0-based) waits `base_delay · factor^n`, capped at
+/// `max_delay`, stretched by up to `jitter` (relative) using a hash of
+/// `(seed, n)` — deterministic per attempt, yet desynchronized between
+/// actors using different seeds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Give up after this many attempts.
+    pub max_attempts: u32,
+    /// Delay before the first retry, seconds.
+    pub base_delay: f64,
+    /// Multiplier applied per attempt (≥ 1).
+    pub factor: f64,
+    /// Upper bound on the un-jittered delay, seconds.
+    pub max_delay: f64,
+    /// Relative jitter amplitude in `[0, 1]`: the delay is stretched by
+    /// `1 + jitter · u` with `u` uniform in `[0, 1)`.
+    pub jitter: f64,
+    /// Seed for the jitter hash (use the actor id to desynchronize).
+    pub seed: u64,
+}
+
+impl RetryPolicy {
+    /// Doubling backoff from `base_delay`, 10% jitter, capped at
+    /// `64 · base_delay`.
+    pub fn exponential(base_delay: f64, max_attempts: u32) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts,
+            base_delay,
+            factor: 2.0,
+            max_delay: base_delay * 64.0,
+            jitter: 0.1,
+            seed: 0,
+        }
+    }
+
+    /// Same policy with a different jitter seed.
+    pub fn with_seed(mut self, seed: u64) -> RetryPolicy {
+        self.seed = seed;
+        self
+    }
+
+    /// The delay before retry number `attempt` (0-based), or `None`
+    /// when the attempt budget is exhausted.
+    pub fn delay(&self, attempt: u32) -> Option<f64> {
+        if attempt >= self.max_attempts {
+            return None;
+        }
+        let backoff = (self.base_delay * self.factor.powi(attempt as i32)).min(self.max_delay);
+        let stretch = 1.0 + self.jitter * unit_hash(self.seed, attempt as u64);
+        Some(backoff * stretch)
+    }
+}
+
+/// Peer liveness bookkeeping: record when each peer was last heard
+/// from, report the ones silent past the timeout.
+#[derive(Debug, Clone)]
+pub struct Heartbeat {
+    timeout: f64,
+    last_seen: HashMap<ActorId, f64>,
+}
+
+impl Heartbeat {
+    /// Peers silent for longer than `timeout` seconds are presumed
+    /// dead.
+    pub fn new(timeout: f64) -> Heartbeat {
+        assert!(timeout > 0.0, "heartbeat timeout must be positive");
+        Heartbeat { timeout, last_seen: HashMap::new() }
+    }
+
+    /// The configured timeout, seconds.
+    pub fn timeout(&self) -> f64 {
+        self.timeout
+    }
+
+    /// Records a sign of life from `peer` at time `now`.
+    pub fn observe(&mut self, peer: ActorId, now: f64) {
+        self.last_seen.insert(peer, now);
+    }
+
+    /// Stops tracking `peer` (e.g. once presumed dead).
+    pub fn forget(&mut self, peer: ActorId) {
+        self.last_seen.remove(&peer);
+    }
+
+    /// Number of tracked peers.
+    pub fn tracked(&self) -> usize {
+        self.last_seen.len()
+    }
+
+    /// Peers silent past the timeout at time `now`, in ascending id
+    /// order (deterministic).
+    pub fn expired(&self, now: f64) -> Vec<ActorId> {
+        let mut out: Vec<ActorId> = self
+            .last_seen
+            .iter()
+            .filter(|&(_, &seen)| now - seen > self.timeout)
+            .map(|(&a, _)| a)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use viva_platform::generators;
+
+    #[test]
+    fn plan_validates_against_platform() {
+        let p = generators::star(2, 100.0, 1000.0).unwrap();
+        let h = p.hosts()[0].id();
+        let l = p.links()[0].id();
+        let good = FaultPlan::new()
+            .host_outage(1.0, 2.0, h)
+            .link_outage(0.5, 1.0, l)
+            .link_degrade(2.0, 3.0, l, 0.25)
+            .message_loss(0.0, 10.0, 0.1);
+        assert!(good.validate(&p).is_ok());
+        assert_eq!(good.events().len(), 6);
+
+        let bad_host = FaultPlan::new().host_crash(1.0, HostId::from_index(99));
+        assert_eq!(
+            bad_host.validate(&p),
+            Err(FaultError::UnknownHost(HostId::from_index(99)))
+        );
+        let bad_link = FaultPlan::new().link_fail(1.0, LinkId::from_index(99));
+        assert_eq!(
+            bad_link.validate(&p),
+            Err(FaultError::UnknownLink(LinkId::from_index(99)))
+        );
+        let bad_time = FaultPlan::new().host_crash(f64::NAN, h);
+        assert!(matches!(bad_time.validate(&p), Err(FaultError::InvalidTime(_))));
+        let bad_window = FaultPlan::new().link_degrade(5.0, 1.0, l, 0.5);
+        assert_eq!(
+            bad_window.validate(&p),
+            Err(FaultError::InvalidWindow { at: 5.0, until: 1.0 })
+        );
+        let bad_factor = FaultPlan::new().link_degrade(1.0, 2.0, l, 0.0);
+        assert_eq!(bad_factor.validate(&p), Err(FaultError::InvalidFactor(0.0)));
+        let bad_p = FaultPlan::new().message_loss(0.0, 1.0, 1.5);
+        assert_eq!(bad_p.validate(&p), Err(FaultError::InvalidProbability(1.5)));
+    }
+
+    #[test]
+    fn retry_policy_backs_off_exponentially() {
+        let r = RetryPolicy { jitter: 0.0, ..RetryPolicy::exponential(1.0, 4) };
+        assert_eq!(r.delay(0), Some(1.0));
+        assert_eq!(r.delay(1), Some(2.0));
+        assert_eq!(r.delay(2), Some(4.0));
+        assert_eq!(r.delay(3), Some(8.0));
+        assert_eq!(r.delay(4), None);
+    }
+
+    #[test]
+    fn retry_jitter_is_deterministic_and_bounded() {
+        let r = RetryPolicy::exponential(1.0, 8).with_seed(42);
+        for attempt in 0..8 {
+            let a = r.delay(attempt).unwrap();
+            let b = r.delay(attempt).unwrap();
+            assert_eq!(a, b, "jitter must be deterministic");
+            let base = 2.0f64.powi(attempt as i32).min(64.0);
+            assert!(a >= base && a <= base * 1.1 + 1e-12, "delay {a} for base {base}");
+        }
+        // Different seeds desynchronize.
+        let other = RetryPolicy::exponential(1.0, 8).with_seed(43);
+        assert!((0..8).any(|i| r.delay(i) != other.delay(i)));
+    }
+
+    #[test]
+    fn heartbeat_expires_silent_peers() {
+        let mut hb = Heartbeat::new(5.0);
+        hb.observe(ActorId(1), 0.0);
+        hb.observe(ActorId(2), 3.0);
+        assert!(hb.expired(4.0).is_empty());
+        assert_eq!(hb.expired(6.0), vec![ActorId(1)]);
+        assert_eq!(hb.expired(100.0), vec![ActorId(1), ActorId(2)]);
+        hb.observe(ActorId(1), 7.0);
+        assert_eq!(hb.expired(9.0), vec![ActorId(2)]);
+        hb.forget(ActorId(2));
+        assert!(hb.expired(9.0).is_empty());
+        assert_eq!(hb.tracked(), 1);
+    }
+
+    #[test]
+    fn unit_hash_is_uniform_enough() {
+        let n = 10_000;
+        let mean: f64 = (0..n).map(|i| unit_hash(7, i)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+        // Stateless: same inputs, same output.
+        assert_eq!(unit_hash(7, 3), unit_hash(7, 3));
+        assert_ne!(unit_hash(7, 3), unit_hash(8, 3));
+    }
+}

@@ -61,9 +61,11 @@
 pub mod actor;
 pub mod cpu;
 pub mod engine;
+pub mod fault;
 pub mod network;
 pub mod tracer;
 
 pub use actor::{AccountId, Actor, ActorId, Ctx, Payload, Tag};
 pub use engine::Simulation;
+pub use fault::{FaultError, FaultEvent, FaultPlan, Heartbeat, RetryPolicy, SendFailure};
 pub use tracer::{metric_for_account, TracingConfig};

@@ -108,6 +108,9 @@ pub struct Flow {
     pub rate: f64,
     /// The message carried (taken on delivery).
     pub payload: Option<Payload>,
+    /// Send-timeout watch id, when issued via
+    /// [`crate::Ctx::send_with_timeout`].
+    pub watch: Option<u64>,
 }
 
 /// The set of active flows plus cached per-link usage.
@@ -194,6 +197,23 @@ impl NetworkState {
     /// [`NetworkState::reshare`]).
     pub fn remove(&mut self, id: u64) -> Option<Flow> {
         self.flows.remove(&id)
+    }
+
+    /// Removes every flow matching `pred` (fault injection: a host
+    /// crashed or a link failed mid-transfer), returning them in
+    /// ascending id order. The caller must then
+    /// [`NetworkState::reshare`].
+    pub fn drain_matching(&mut self, pred: impl Fn(&Flow) -> bool) -> Vec<Flow> {
+        let mut ids: Vec<u64> = self
+            .flows
+            .iter()
+            .filter(|(_, f)| pred(f))
+            .map(|(&id, _)| id)
+            .collect();
+        ids.sort_unstable();
+        ids.iter()
+            .map(|id| self.flows.remove(id).expect("listed id"))
+            .collect()
     }
 
     /// Recomputes all max-min rates and the per-link usage cache.

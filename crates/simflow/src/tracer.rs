@@ -70,6 +70,7 @@ pub struct SimTracer {
     power_used: MetricId,
     bandwidth: MetricId,
     bandwidth_used: MetricId,
+    availability: MetricId,
     /// `(account, is_power)` → metric id, created lazily.
     account_metrics: HashMap<(AccountId, bool), MetricId>,
     account_names: Vec<String>,
@@ -90,6 +91,7 @@ impl SimTracer {
         let power_used = b.metric(names::POWER_USED, "MFlop/s");
         let bandwidth = b.metric(names::BANDWIDTH, "Mbit/s");
         let bandwidth_used = b.metric(names::BANDWIDTH_USED, "Mbit/s");
+        let availability = b.metric(names::AVAILABILITY, "fraction");
 
         let mut site_containers = Vec::with_capacity(platform.sites().len());
         for s in platform.sites() {
@@ -113,6 +115,7 @@ impl SimTracer {
                 .new_container(parent, h.name(), ContainerKind::Host)
                 .expect("cluster exists");
             b.set_variable(0.0, c, power, h.power()).expect("fresh signal");
+            b.set_variable(0.0, c, availability, 1.0).expect("fresh signal");
             host_containers.push(c);
         }
         // Routers carry no metrics but are part of the drawn topology
@@ -138,6 +141,7 @@ impl SimTracer {
                 .new_container(parent, l.name(), ContainerKind::Link)
                 .expect("scope container exists");
             b.set_variable(0.0, c, bandwidth, l.bandwidth()).expect("fresh signal");
+            b.set_variable(0.0, c, availability, 1.0).expect("fresh signal");
             link_containers.push(c);
         }
 
@@ -152,6 +156,7 @@ impl SimTracer {
             power_used,
             bandwidth,
             bandwidth_used,
+            availability,
             account_metrics: HashMap::new(),
             account_names: accounts.to_vec(),
             last_host_acct: HashMap::new(),
@@ -270,6 +275,33 @@ impl SimTracer {
     pub fn link_bandwidth(&mut self, t: f64, link_index: usize, bandwidth: f64) {
         self.builder
             .set_variable(t, self.link_containers[link_index], self.bandwidth, bandwidth)
+            .expect("monotonic simulation time");
+    }
+
+    /// Records a host going down (`up = false`) or coming back
+    /// (`up = true`) at time `t` — fault injection. The availability
+    /// signal is first-class state: the time-mean over a slice is the
+    /// availability fraction the visualization renders.
+    pub fn host_availability(&mut self, t: f64, host_index: usize, up: bool) {
+        self.builder
+            .set_variable(
+                t,
+                self.host_containers[host_index],
+                self.availability,
+                if up { 1.0 } else { 0.0 },
+            )
+            .expect("monotonic simulation time");
+    }
+
+    /// Records a link going down or coming back at time `t`.
+    pub fn link_availability(&mut self, t: f64, link_index: usize, up: bool) {
+        self.builder
+            .set_variable(
+                t,
+                self.link_containers[link_index],
+                self.availability,
+                if up { 1.0 } else { 0.0 },
+            )
             .expect("monotonic simulation time");
     }
 

@@ -123,6 +123,10 @@ pub mod names {
     pub const BANDWIDTH: &str = "bandwidth";
     /// Link bandwidth in use, Mbit/s.
     pub const BANDWIDTH_USED: &str = "bandwidth_used";
+    /// Resource availability: 1 while a host/link is up, 0 while it is
+    /// down (fault injection). The time-mean over a slice is the
+    /// availability *fraction* of that slice.
+    pub const AVAILABILITY: &str = "available";
 }
 
 #[cfg(test)]

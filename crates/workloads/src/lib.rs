@@ -35,4 +35,7 @@ pub mod dt;
 pub mod master_worker;
 
 pub use dt::{deploy, run_dt, Deployment, DtClass, DtConfig, DtGraph, DtRun};
-pub use master_worker::{run_master_worker, AppSpec, MwConfig, MwRun, Scheduler};
+pub use master_worker::{
+    run_master_worker, run_master_worker_with_faults, AppSpec, FtConfig, MwConfig, MwRun,
+    Scheduler,
+};

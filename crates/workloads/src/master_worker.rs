@@ -15,11 +15,16 @@
 //! "a simple FIFO mechanism would not exhibit such locality and would
 //! exhibit an (inefficient) uniform resource usage".
 
+use std::cell::Cell;
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
+use std::rc::Rc;
 
 use viva_platform::{HostId, Platform, RouteTable};
-use viva_simflow::{AccountId, Actor, ActorId, Ctx, Payload, Simulation, Tag, TracingConfig};
+use viva_simflow::{
+    AccountId, Actor, ActorId, Ctx, FaultError, FaultPlan, Heartbeat, Payload, SendFailure,
+    Simulation, Tag, TracingConfig,
+};
 use viva_trace::Trace;
 
 /// Master scheduling policy.
@@ -30,6 +35,42 @@ pub enum Scheduler {
     BandwidthCentric,
     /// Serve requests in arrival order (the ablation baseline).
     Fifo,
+}
+
+/// Fault-tolerance knobs of a master-worker application.
+///
+/// When set on [`MwConfig::fault_tolerance`], workers heartbeat the
+/// master and acknowledge each completed task; the master detects
+/// silent workers by timeout, writes them off and **requeues** their
+/// in-flight tasks so the run completes despite crashes. Task delivery
+/// is *at least once*: a task whose worker is presumed dead may be
+/// recomputed elsewhere even when the original worker actually finished
+/// it.
+///
+/// The master's own host must stay up: the protocol recovers from
+/// worker failures, not master failures.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FtConfig {
+    /// A worker silent for longer than this is presumed dead and its
+    /// unacknowledged tasks are requeued. Must exceed
+    /// `heartbeat_interval` comfortably.
+    pub worker_timeout: f64,
+    /// How often each worker heartbeats the master, seconds.
+    pub heartbeat_interval: f64,
+    /// Timeout on task shipments: a transfer not delivered within this
+    /// many seconds is abandoned and the task requeued. Must exceed the
+    /// expected transfer time, or every shipment is written off.
+    pub send_timeout: f64,
+}
+
+impl Default for FtConfig {
+    fn default() -> Self {
+        FtConfig {
+            worker_timeout: 30.0,
+            heartbeat_interval: 5.0,
+            send_timeout: 60.0,
+        }
+    }
 }
 
 /// Configuration of one master-worker application.
@@ -45,6 +86,9 @@ pub struct MwConfig {
     pub prefetch: usize,
     /// Scheduling policy.
     pub scheduler: Scheduler,
+    /// Worker-failure handling; `None` (the default) runs the original
+    /// protocol with no heartbeats, acknowledgments or requeues.
+    pub fault_tolerance: Option<FtConfig>,
 }
 
 impl Default for MwConfig {
@@ -55,6 +99,7 @@ impl Default for MwConfig {
             task_flops: 2000.0,
             prefetch: 3,
             scheduler: Scheduler::BandwidthCentric,
+            fault_tolerance: None,
         }
     }
 }
@@ -96,6 +141,10 @@ enum Msg {
     Task,
     /// Master has no tasks left.
     Stop,
+    /// Worker acknowledges one completed task (fault-tolerant mode).
+    Done,
+    /// Worker liveness beacon (fault-tolerant mode).
+    Heartbeat,
 }
 
 /// A pending worker request with its priority.
@@ -123,6 +172,15 @@ impl PartialOrd for PendingRequest {
     }
 }
 
+/// Tag used by the master's periodic dead-worker sweep timer.
+const SWEEP: Tag = Tag(9);
+/// Tag used by the workers' heartbeat timer.
+const BEAT: Tag = Tag(3);
+/// Tag of a worker timer that retransmits a lost `Done` acknowledgment.
+const RETRY_DONE: Tag = Tag(6);
+/// Tag of a worker timer that retransmits a lost `Request`.
+const RETRY_REQ: Tag = Tag(7);
+
 struct Master {
     account: AccountId,
     config: MwConfig,
@@ -133,13 +191,35 @@ struct Master {
     tasks_left: usize,
     seq: u64,
     sending: bool,
+    // --- fault tolerance (all inert when `config.fault_tolerance` is
+    // `None`: `dead` stays empty, `hb` is `None`, no timers fire) ---
+    /// Shipments to each worker not yet acknowledged with `Done`.
+    outstanding: HashMap<ActorId, usize>,
+    /// Workers presumed dead; skipped by `pop`, revived by any message.
+    dead: HashSet<ActorId>,
+    /// Last-seen bookkeeping behind the timeout detector.
+    hb: Option<Heartbeat>,
+    /// Worker targeted by the in-flight shipment (one send at a time).
+    in_flight_to: Option<ActorId>,
+    /// Tasks acknowledged so far (fault-tolerant mode only).
+    completed: usize,
+    /// Whether the final Stop broadcast went out.
+    stops_sent: bool,
+    /// Shared counter of shipments, read by the harness after the run.
+    shipped: Rc<Cell<usize>>,
 }
 
 impl Master {
     fn pop(&mut self) -> Option<ActorId> {
-        match self.config.scheduler {
-            Scheduler::BandwidthCentric => self.by_bandwidth.pop().map(|r| r.worker),
-            Scheduler::Fifo => self.fifo.pop_front(),
+        loop {
+            let worker = match self.config.scheduler {
+                Scheduler::BandwidthCentric => self.by_bandwidth.pop().map(|r| r.worker),
+                Scheduler::Fifo => self.fifo.pop_front(),
+            }?;
+            // Requests queued by a since-deceased worker are void.
+            if !self.dead.contains(&worker) {
+                return Some(worker);
+            }
         }
     }
 
@@ -150,54 +230,196 @@ impl Master {
         if let Some(worker) = self.pop() {
             self.sending = true;
             self.tasks_left -= 1;
-            ctx.send_as(
-                worker,
-                self.config.task_size_mbit,
-                Box::new(Msg::Task),
-                Tag(0),
-                Some(self.account),
-            );
+            self.shipped.set(self.shipped.get() + 1);
+            match self.config.fault_tolerance {
+                Some(ft) => {
+                    self.in_flight_to = Some(worker);
+                    *self.outstanding.entry(worker).or_insert(0) += 1;
+                    ctx.send_with_timeout_as(
+                        worker,
+                        self.config.task_size_mbit,
+                        Box::new(Msg::Task),
+                        Tag(0),
+                        ft.send_timeout,
+                        Some(self.account),
+                    );
+                }
+                None => ctx.send_as(
+                    worker,
+                    self.config.task_size_mbit,
+                    Box::new(Msg::Task),
+                    Tag(0),
+                    Some(self.account),
+                ),
+            }
         }
     }
 
-    fn drain_with_stop(&mut self, ctx: &mut Ctx<'_>) {
-        if self.tasks_left > 0 {
+    /// Whether every task is finished: acknowledged in fault-tolerant
+    /// mode, merely shipped otherwise (without acknowledgments the
+    /// master cannot tell more).
+    fn all_done(&self) -> bool {
+        match self.config.fault_tolerance {
+            Some(_) => self.completed >= self.config.tasks,
+            None => self.tasks_left == 0,
+        }
+    }
+
+    fn finish_if_done(&mut self, ctx: &mut Ctx<'_>) {
+        if !self.all_done() {
             return;
         }
-        while let Some(worker) = self.pop() {
-            ctx.send(worker, 0.0, Box::new(Msg::Stop), Tag(1));
+        if self.config.fault_tolerance.is_some() {
+            if !self.stops_sent {
+                self.stops_sent = true;
+                // Stop *every* worker, not just queued requesters: a
+                // worker whose heartbeats were merely lost in transit
+                // would otherwise beat forever. Dead hosts drop the
+                // message harmlessly.
+                let mut workers: Vec<ActorId> = self.bandwidth_of.keys().copied().collect();
+                workers.sort_unstable();
+                for worker in workers {
+                    ctx.send(worker, 0.0, Box::new(Msg::Stop), Tag(1));
+                }
+            }
+        } else {
+            while let Some(worker) = self.pop() {
+                ctx.send(worker, 0.0, Box::new(Msg::Stop), Tag(1));
+            }
+        }
+    }
+
+    /// Enters `worker` into both scheduling queues.
+    fn enqueue_request(&mut self, worker: ActorId) {
+        let bandwidth = self.bandwidth_of.get(&worker).copied().unwrap_or(0.0);
+        self.seq += 1;
+        self.by_bandwidth.push(PendingRequest { bandwidth, seq: self.seq, worker });
+        self.fifo.push_back(worker);
+    }
+
+    /// Writes a worker off: its unacknowledged tasks go back in the
+    /// queue and it receives no further work until it speaks again.
+    fn mark_dead(&mut self, worker: ActorId) {
+        if self.dead.insert(worker) {
+            if let Some(hb) = self.hb.as_mut() {
+                hb.forget(worker);
+            }
+            let lost = self.outstanding.insert(worker, 0).unwrap_or(0);
+            self.tasks_left += lost;
         }
     }
 }
 
 impl Actor for Master {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        if let Some(ft) = self.config.fault_tolerance {
+            let hb = self.hb.as_mut().expect("fault-tolerant master has a heartbeat");
+            for &worker in self.bandwidth_of.keys() {
+                hb.observe(worker, 0.0);
+            }
+            ctx.set_timer(ft.worker_timeout * 0.5, SWEEP);
+        }
+    }
+
     fn on_message(&mut self, from: ActorId, payload: Payload, ctx: &mut Ctx<'_>) {
+        let mut revived = false;
+        if let Some(hb) = self.hb.as_mut() {
+            // Any message proves the worker alive (and revives one the
+            // sweep wrote off on lost heartbeats).
+            hb.observe(from, ctx.now());
+            revived = self.dead.remove(&from);
+        }
         match *payload.downcast::<Msg>().expect("protocol message") {
             Msg::Request => {
-                if self.tasks_left == 0 {
+                if self.all_done() {
                     ctx.send(from, 0.0, Box::new(Msg::Stop), Tag(1));
                     return;
                 }
-                let bandwidth = self.bandwidth_of.get(&from).copied().unwrap_or(0.0);
-                self.seq += 1;
-                self.by_bandwidth.push(PendingRequest {
-                    bandwidth,
-                    seq: self.seq,
-                    worker: from,
-                });
-                self.fifo.push_back(from);
+                self.enqueue_request(from);
                 self.serve(ctx);
             }
-            _ => unreachable!("master only receives requests"),
+            Msg::Done => {
+                // Count the acknowledgment only if the shipment was not
+                // already written off and requeued — at-least-once
+                // delivery must not double-count a task.
+                let n = self.outstanding.entry(from).or_insert(0);
+                if *n > 0 {
+                    *n -= 1;
+                    self.completed += 1;
+                    self.finish_if_done(ctx);
+                }
+            }
+            Msg::Heartbeat => {
+                if self.all_done() {
+                    // The Stop broadcast can itself be lost to message
+                    // faults; answer stray heartbeats with another Stop
+                    // so every surviving worker eventually winds down.
+                    ctx.send(from, 0.0, Box::new(Msg::Stop), Tag(1));
+                } else if revived {
+                    // Being written off consumed the worker's queued
+                    // request (the failed shipment popped it), so a
+                    // live worker whose task was silently lost would
+                    // otherwise idle forever once revived: re-enter it
+                    // into the service queue. An unsolicited task is
+                    // harmless — the worker buffers and computes it
+                    // like any other.
+                    self.enqueue_request(from);
+                    self.serve(ctx);
+                }
+            }
+            _ => unreachable!("master only receives requests/acks/heartbeats"),
         }
     }
 
     fn on_send_done(&mut self, tag: Tag, ctx: &mut Ctx<'_>) {
         if tag == Tag(0) {
             self.sending = false;
+            self.in_flight_to = None;
             self.serve(ctx);
-            self.drain_with_stop(ctx);
+            self.finish_if_done(ctx);
         }
+    }
+
+    fn on_send_failed(&mut self, tag: Tag, _reason: SendFailure, ctx: &mut Ctx<'_>) {
+        if tag != Tag(0) {
+            return; // a lost Stop is harmless
+        }
+        self.sending = false;
+        let failed_to = self.in_flight_to.take();
+        if self.config.fault_tolerance.is_some() {
+            if let Some(worker) = failed_to {
+                // Take the task back and write the worker off; a later
+                // message from it revives it.
+                if let Some(n) = self.outstanding.get_mut(&worker) {
+                    *n = n.saturating_sub(1);
+                }
+                self.tasks_left += 1;
+                self.mark_dead(worker);
+            }
+            self.serve(ctx);
+        } else {
+            // Without fault tolerance the task is simply lost; keep
+            // serving the rest rather than stalling forever.
+            self.serve(ctx);
+            self.finish_if_done(ctx);
+        }
+    }
+
+    fn on_timer(&mut self, tag: Tag, ctx: &mut Ctx<'_>) {
+        if tag != SWEEP {
+            return;
+        }
+        let Some(ft) = self.config.fault_tolerance else { return };
+        if self.all_done() {
+            return; // run over: let the calendar drain
+        }
+        let expired = self.hb.as_ref().expect("fault-tolerant master").expired(ctx.now());
+        for worker in expired {
+            self.mark_dead(worker);
+        }
+        // Requeued tasks may now be servable from queued requests.
+        self.serve(ctx);
+        ctx.set_timer(ft.worker_timeout * 0.5, SWEEP);
     }
 }
 
@@ -209,6 +431,12 @@ struct Worker {
     buffered: usize,
     computing: bool,
     done: usize,
+    /// Mirrors the app's fault-tolerance setting (heartbeats + acks).
+    ft: Option<FtConfig>,
+    /// Set by `Stop`; ends the heartbeat loop so the run terminates.
+    stopped: bool,
+    /// Shared counter of completed tasks, read by the harness.
+    completed_counter: Rc<Cell<usize>>,
 }
 
 impl Worker {
@@ -219,13 +447,50 @@ impl Worker {
             ctx.execute_as(self.flops, Tag(0), Some(self.account));
         }
     }
+
+    /// Sends one `Done` acknowledgment. In fault-tolerant mode the send
+    /// is watched: a silently-lost ack would strand the task in the
+    /// master's outstanding set forever, so `on_send_failed` schedules
+    /// a retransmission. The transport drops any delivery attempted
+    /// after its watch fired, so a retried ack is never double-counted.
+    fn send_done(&mut self, ctx: &mut Ctx<'_>) {
+        match self.ft {
+            Some(ft) => ctx.send_with_timeout(
+                self.master,
+                0.0,
+                Box::new(Msg::Done),
+                Tag(5),
+                ft.send_timeout,
+            ),
+            None => ctx.send(self.master, 0.0, Box::new(Msg::Done), Tag(5)),
+        }
+    }
+
+    /// Sends one task request, watched in fault-tolerant mode for the
+    /// same reason as [`Worker::send_done`]: every silently-lost
+    /// request permanently shrinks the worker's prefetch pipeline.
+    fn send_request(&mut self, ctx: &mut Ctx<'_>) {
+        match self.ft {
+            Some(ft) => ctx.send_with_timeout(
+                self.master,
+                0.0,
+                Box::new(Msg::Request),
+                Tag(2),
+                ft.send_timeout,
+            ),
+            None => ctx.send(self.master, 0.0, Box::new(Msg::Request), Tag(2)),
+        }
+    }
 }
 
 impl Actor for Worker {
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
         // Fill the prefetch pipeline with one request per buffer slot.
         for _ in 0..self.prefetch {
-            ctx.send(self.master, 0.0, Box::new(Msg::Request), Tag(2));
+            self.send_request(ctx);
+        }
+        if let Some(ft) = self.ft {
+            ctx.set_timer(ft.heartbeat_interval, BEAT);
         }
     }
 
@@ -235,17 +500,53 @@ impl Actor for Worker {
                 self.buffered += 1;
                 self.maybe_compute(ctx);
             }
-            Msg::Stop => {}
-            Msg::Request => unreachable!("workers only receive tasks/stops"),
+            Msg::Stop => self.stopped = true,
+            _ => unreachable!("workers only receive tasks/stops"),
         }
     }
 
     fn on_compute_done(&mut self, _tag: Tag, ctx: &mut Ctx<'_>) {
         self.computing = false;
         self.done += 1;
+        self.completed_counter.set(self.completed_counter.get() + 1);
+        if self.ft.is_some() {
+            // Acknowledge before re-requesting so the master counts the
+            // task before deciding whether to answer with Stop.
+            self.send_done(ctx);
+        }
         // Refill the slot just freed.
-        ctx.send(self.master, 0.0, Box::new(Msg::Request), Tag(2));
+        self.send_request(ctx);
         self.maybe_compute(ctx);
+    }
+
+    fn on_send_failed(&mut self, tag: Tag, _reason: SendFailure, ctx: &mut Ctx<'_>) {
+        if self.ft.is_none() {
+            return;
+        }
+        let ft = self.ft.expect("checked above");
+        // Retransmit lost acks and requests after a beat rather than
+        // immediately: an immediate resend over a still-down link would
+        // spin at route-latency granularity until it recovers.
+        match tag {
+            Tag(5) => ctx.set_timer(ft.heartbeat_interval, RETRY_DONE),
+            Tag(2) if !self.stopped => ctx.set_timer(ft.heartbeat_interval, RETRY_REQ),
+            _ => {} // lost heartbeats are replaced by the next beat
+        }
+    }
+
+    fn on_timer(&mut self, tag: Tag, ctx: &mut Ctx<'_>) {
+        match tag {
+            BEAT if !self.stopped => {
+                let ft = self.ft.expect("heartbeat timer only set in fault-tolerant mode");
+                ctx.send(self.master, 0.0, Box::new(Msg::Heartbeat), Tag(4));
+                ctx.set_timer(ft.heartbeat_interval, BEAT);
+            }
+            // The master cannot have declared completion while an ack
+            // is missing, so a pending `Done` is always worth retrying.
+            RETRY_DONE => self.send_done(ctx),
+            RETRY_REQ if !self.stopped => self.send_request(ctx),
+            _ => {}
+        }
     }
 }
 
@@ -256,12 +557,19 @@ pub struct MwRun {
     pub makespan: f64,
     /// Recorded trace (when tracing was requested).
     pub trace: Option<Trace>,
-    /// Per-application task counts actually shipped (equals the
-    /// configured totals on a complete run).
+    /// Per-application shipment counts, *including* requeued duplicates
+    /// in fault-tolerant mode (equals the configured totals on a
+    /// fault-free run).
     pub tasks_shipped: Vec<usize>,
+    /// Per-application tasks actually computed to completion. On a
+    /// fault-free run this equals the configured totals; under faults
+    /// without fault tolerance it exposes the lost work, and with fault
+    /// tolerance it can slightly *exceed* the totals — at-least-once
+    /// delivery recomputes a task whose worker was falsely written off.
+    pub tasks_completed: Vec<usize>,
 }
 
-/// Runs the competing applications on `platform`.
+/// Runs the competing applications on `platform` (no faults).
 ///
 /// Each application gets one master (on its configured host) and one
 /// worker on every platform host. Account labels follow the app names,
@@ -271,10 +579,30 @@ pub fn run_master_worker(
     apps: &[AppSpec],
     tracing: Option<TracingConfig>,
 ) -> MwRun {
+    run_master_worker_with_faults(platform, apps, tracing, None)
+        .expect("no fault plan, nothing to validate")
+}
+
+/// Runs the competing applications on `platform`, optionally under an
+/// injected [`FaultPlan`].
+///
+/// Fails (without running) if the plan references unknown resources or
+/// is otherwise malformed. Apps whose [`MwConfig::fault_tolerance`] is
+/// set detect dead workers and requeue their tasks; apps without it
+/// lose the corresponding work but still terminate.
+pub fn run_master_worker_with_faults(
+    platform: Platform,
+    apps: &[AppSpec],
+    tracing: Option<TracingConfig>,
+    faults: Option<&FaultPlan>,
+) -> Result<MwRun, FaultError> {
     let mut sim = Simulation::new(platform);
     let accounts: Vec<AccountId> = apps.iter().map(|a| sim.account(&a.name)).collect();
     if let Some(t) = tracing {
         sim.enable_tracing(t);
+    }
+    if let Some(plan) = faults {
+        sim.inject_faults(plan)?;
     }
     // Effective bandwidth of each host as seen from each master: the
     // bottleneck capacity of the route (the paper's "effective
@@ -282,7 +610,8 @@ pub fn run_master_worker(
     let mut routes = RouteTable::new();
     let host_ids: Vec<HostId> = sim.platform().hosts().iter().map(|h| h.id()).collect();
     let n_hosts = host_ids.len();
-    let mut tasks_shipped = Vec::with_capacity(apps.len());
+    let shipped: Vec<Rc<Cell<usize>>> = apps.iter().map(|_| Rc::new(Cell::new(0))).collect();
+    let completed: Vec<Rc<Cell<usize>>> = apps.iter().map(|_| Rc::new(Cell::new(0))).collect();
 
     // Masters are spawned first (ids 0..apps), then workers app-major:
     // worker of app a on host h has id apps.len() + a*n_hosts + h.
@@ -308,9 +637,18 @@ pub fn run_master_worker(
                 tasks_left: app.config.tasks,
                 seq: 0,
                 sending: false,
+                outstanding: HashMap::new(),
+                dead: HashSet::new(),
+                hb: app
+                    .config
+                    .fault_tolerance
+                    .map(|ft| Heartbeat::new(ft.worker_timeout)),
+                in_flight_to: None,
+                completed: 0,
+                stops_sent: false,
+                shipped: shipped[a].clone(),
             }),
         );
-        tasks_shipped.push(app.config.tasks);
     }
     for (a, app) in apps.iter().enumerate() {
         let master_id = ActorId::from_index(a);
@@ -325,12 +663,20 @@ pub fn run_master_worker(
                     buffered: 0,
                     computing: false,
                     done: 0,
+                    ft: app.config.fault_tolerance,
+                    stopped: false,
+                    completed_counter: completed[a].clone(),
                 }),
             );
         }
     }
     let makespan = sim.run();
-    MwRun { makespan, trace: sim.into_trace(), tasks_shipped }
+    Ok(MwRun {
+        makespan,
+        trace: sim.into_trace(),
+        tasks_shipped: shipped.iter().map(|c| c.get()).collect(),
+        tasks_completed: completed.iter().map(|c| c.get()).collect(),
+    })
 }
 
 #[cfg(test)]
@@ -497,5 +843,122 @@ mod tests {
             run.makespan
         };
         assert_eq!(run_once(), run_once());
+    }
+
+    /// FIFO + long tasks: every worker holds work when crashes land, so
+    /// the failure paths are genuinely exercised.
+    fn ft_cfg(tasks: usize) -> MwConfig {
+        MwConfig {
+            tasks,
+            task_flops: 20_000.0,
+            scheduler: Scheduler::Fifo,
+            fault_tolerance: Some(FtConfig {
+                worker_timeout: 60.0,
+                heartbeat_interval: 10.0,
+                send_timeout: 120.0,
+            }),
+            ..MwConfig::cpu_bound()
+        }
+    }
+
+    /// Crashes `n` worker hosts (never host 0, where the master lives)
+    /// early in the run, while first tasks are still computing.
+    fn crash_workers(p: &Platform, n: usize) -> FaultPlan {
+        let mut plan = FaultPlan::new();
+        for i in 0..n {
+            let host = p.hosts()[1 + i].id();
+            plan = plan.host_crash(3.0 + 1.0 * i as f64, host);
+        }
+        plan
+    }
+
+    #[test]
+    fn fault_tolerant_run_completes_all_tasks_despite_crashes() {
+        let p = small_grid();
+        let apps = one_app(&p, ft_cfg(60));
+        let plan = crash_workers(&p, 3);
+        let run = run_master_worker_with_faults(p, &apps, None, Some(&plan)).unwrap();
+        assert_eq!(run.tasks_completed, vec![60], "requeue must recover lost tasks");
+        // The crashed workers' tasks were shipped a second time.
+        assert!(run.tasks_shipped[0] > 60, "shipped {:?}", run.tasks_shipped);
+        assert!(run.makespan.is_finite() && run.makespan > 0.0);
+    }
+
+    #[test]
+    fn without_fault_tolerance_crashes_lose_work_but_run_terminates() {
+        let p = small_grid();
+        let cfg = MwConfig { fault_tolerance: None, ..ft_cfg(60) };
+        let apps = one_app(&p, cfg);
+        let plan = crash_workers(&p, 3);
+        let run = run_master_worker_with_faults(p, &apps, None, Some(&plan)).unwrap();
+        assert!(
+            run.tasks_completed[0] < 60,
+            "crashed workers should take buffered tasks with them, completed {:?}",
+            run.tasks_completed
+        );
+        assert!(run.makespan.is_finite());
+    }
+
+    #[test]
+    fn makespan_grows_with_failure_count() {
+        let p = small_grid();
+        let mut spans = Vec::new();
+        for n in [0usize, 2, 4] {
+            let apps = one_app(&p, ft_cfg(80));
+            let plan = crash_workers(&p, n);
+            let faults = if n == 0 { None } else { Some(&plan) };
+            let run = run_master_worker_with_faults(p.clone(), &apps, None, faults).unwrap();
+            assert_eq!(run.tasks_completed, vec![80], "{n} crashes");
+            spans.push(run.makespan);
+        }
+        assert!(
+            spans[0] <= spans[1] && spans[1] <= spans[2],
+            "makespan should not shrink as workers die: {spans:?}"
+        );
+    }
+
+    #[test]
+    fn faulty_master_worker_runs_are_deterministic() {
+        let run_once = || {
+            let p = small_grid();
+            let apps = one_app(&p, ft_cfg(40));
+            let plan = crash_workers(&p, 2).message_loss(0.0, 200.0, 0.05).with_seed(7);
+            let run =
+                run_master_worker_with_faults(p, &apps, Some(TracingConfig::default()), Some(&plan))
+                    .unwrap();
+            (run.makespan, run.tasks_shipped, format!("{:?}", run.trace.map(|t| t.end())))
+        };
+        assert_eq!(run_once(), run_once());
+    }
+
+    #[test]
+    fn invalid_fault_plan_is_rejected_up_front() {
+        let p = small_grid();
+        let apps = one_app(&p, ft_cfg(10));
+        let plan = FaultPlan::new().host_crash(-1.0, p.hosts()[1].id());
+        let err = run_master_worker_with_faults(p, &apps, None, Some(&plan));
+        assert!(err.is_err());
+    }
+
+    /// Regression: a silently-lost `Done` used to strand its task in
+    /// the master's outstanding set forever (the worker stays alive, so
+    /// it is never written off and nothing requeues). Permanent heavy
+    /// message loss exercises the ack/request retransmission and the
+    /// Stop-on-stray-heartbeat paths; the run must still complete.
+    #[test]
+    fn heavy_message_loss_cannot_strand_acknowledgments() {
+        let p = small_grid();
+        let apps = one_app(&p, ft_cfg(30));
+        let plan = FaultPlan::new()
+            .with_seed(11)
+            .message_loss(0.0, 1.0e9, 0.25);
+        let run =
+            run_master_worker_with_faults(p, &apps, Some(TracingConfig::default()), Some(&plan))
+                .unwrap();
+        // At-least-once: every task completes; a worker falsely written
+        // off (six heartbeats lost in a row) may compute a requeued
+        // duplicate, so the worker-side count can exceed the total.
+        assert!(run.tasks_completed[0] >= 30, "stranded ack: {run:?}");
+        assert!(run.makespan.is_finite());
     }
 }

@@ -1,0 +1,132 @@
+//! End-to-end fault analysis: inject failures into a simulated
+//! master-worker run, then *see* them in the visualization.
+//!
+//! The pipeline exercised here is the robustness story of the fault
+//! subsystem:
+//!
+//! 1. build a platform and a seeded [`FaultPlan`] (crashes, a recovery,
+//!    a lossy window);
+//! 2. run the fault-tolerant master-worker on it — all tasks complete
+//!    despite the failures, lost work is requeued;
+//! 3. open the trace in an [`AnalysisSession`]: the tracer recorded
+//!    availability as a first-class `available` signal, so crashed
+//!    hosts surface as `availability < 1` on their view nodes and as a
+//!    dashed red outline in the SVG;
+//! 4. aggregate a cluster containing crashed hosts — the group's
+//!    availability is the members' mean, so partial degradation is
+//!    visible even fully collapsed;
+//! 5. feed the session untrusted input — unknown ids, inverted slices —
+//!    and get typed [`SessionError`]s back instead of panics.
+//!
+//! ```sh
+//! cargo run -p viva-examples --bin fault_analysis
+//! ```
+
+use viva::{AnalysisSession, SessionConfig, SessionError};
+use viva_platform::generators::{self, TwoClustersConfig};
+use viva_simflow::{FaultPlan, TracingConfig};
+use viva_trace::ContainerId;
+use viva_workloads::{run_master_worker_with_faults, AppSpec, FtConfig, MwConfig, Scheduler};
+
+fn main() {
+    // 1. Platform + fault plan. The master lives on host 0 of adonis;
+    // we crash three griffon workers mid-run (one recovers) and lose 2%
+    // of messages for the first minute.
+    let platform = generators::two_clusters(&TwoClustersConfig::default())
+        .expect("valid platform");
+    let griffon: Vec<_> = platform
+        .hosts()
+        .iter()
+        .filter(|h| h.name().starts_with("griffon"))
+        .map(|h| h.id())
+        .collect();
+    let plan = FaultPlan::new()
+        .with_seed(7)
+        .host_crash(10.0, griffon[0])
+        .host_crash(12.0, griffon[1])
+        .host_outage(14.0, 60.0, griffon[2])
+        .message_loss(0.0, 60.0, 0.02);
+    println!(
+        "1. fault plan: {} events, seed {}",
+        plan.events().len(),
+        plan.seed()
+    );
+
+    // 2. Fault-tolerant run: heartbeats detect the dead workers, their
+    // in-flight tasks are requeued to the survivors.
+    let app = AppSpec {
+        name: "app1".into(),
+        master: platform.hosts()[0].id(),
+        config: MwConfig {
+            tasks: 60,
+            task_flops: 20_000.0,
+            scheduler: Scheduler::Fifo,
+            fault_tolerance: Some(FtConfig::default()),
+            ..MwConfig::cpu_bound()
+        },
+    };
+    let run = run_master_worker_with_faults(
+        platform.clone(),
+        std::slice::from_ref(&app),
+        Some(TracingConfig { record_messages: false, record_accounts: true }),
+        Some(&plan),
+    )
+    .expect("plan validates");
+    println!(
+        "2. fault-tolerant run: {}/{} tasks completed, {} shipped (requeues included), makespan {:.1} s",
+        run.tasks_completed[0], 60, run.tasks_shipped[0], run.makespan
+    );
+
+    // 3. Open the trace; crashed hosts carry availability < 1.
+    let trace = run.trace.expect("traced run");
+    let mut session =
+        AnalysisSession::with_platform(trace, SessionConfig::default(), &platform);
+    session.try_set_time_slice(0.0, run.makespan).expect("finite bounds");
+    session.relax(500);
+    let view = session.view();
+    let degraded: Vec<_> = view
+        .nodes
+        .iter()
+        .filter(|n| n.is_degraded())
+        .map(|n| format!("{} ({:.0}% up)", n.label, n.availability * 100.0))
+        .collect();
+    println!("3. degraded resources over the whole run: {}", degraded.join(", "));
+
+    // 4. Collapse griffon: the aggregate inherits the members' mean
+    // availability, so the failure stays visible at cluster scale.
+    let tree = session.trace().containers();
+    let cluster = tree.by_name("griffon").expect("cluster container").id();
+    session.collapse(cluster).expect("known group");
+    let agg = session.view().node(cluster).expect("aggregate node").clone();
+    println!(
+        "4. collapsed griffon: {} members, aggregate availability {:.2}",
+        agg.members, agg.availability
+    );
+    assert!(agg.is_degraded(), "partial failure survives aggregation");
+
+    let svg = session.render_svg(800.0, 600.0);
+    assert!(svg.contains("data-availability"), "degradation reaches the SVG");
+    std::fs::write("fault_analysis.svg", &svg).expect("write svg");
+    println!("   wrote fault_analysis.svg (dashed red = was down in the slice)");
+
+    // 5. Untrusted input degrades gracefully instead of panicking.
+    let bogus = ContainerId::from_index(9999);
+    match session.collapse(bogus) {
+        Err(SessionError::UnknownContainer(c)) => {
+            println!("5. collapse({c:?}) -> UnknownContainer, session intact");
+        }
+        other => panic!("expected UnknownContainer, got {other:?}"),
+    }
+    match session.try_set_time_slice(50.0, 10.0) {
+        Err(SessionError::InvalidTimeSlice(e)) => {
+            println!("   try_set_time_slice(50, 10) -> {e}");
+        }
+        other => panic!("expected InvalidTimeSlice, got {other:?}"),
+    }
+    // Overshooting bounds is clamped, not rejected: a cursor dragged
+    // past the end of the trace is routine UI input.
+    let clamped = session
+        .try_set_time_slice(0.0, run.makespan * 10.0)
+        .expect("clamped");
+    println!("   slice dragged past the end clamps to {clamped}");
+}

@@ -52,7 +52,7 @@ fn main() {
         })
         .map(|n| n.position)
         .collect();
-    session.collapse(adonis);
+    session.collapse(adonis).unwrap();
     let agg_pos = session
         .view()
         .node(adonis)
@@ -70,7 +70,7 @@ fn main() {
 
     // 3. Drag the aggregate to the west and pin it (the analyst's
     // geographic convention, §4.2).
-    session.drag(adonis, Vec2::new(-120.0, 0.0));
+    session.drag(adonis, Vec2::new(-120.0, 0.0)).unwrap();
     session.relax(400);
     println!(
         "3. dragged + pinned 'adonis' at {}; neighbours followed",
@@ -122,7 +122,7 @@ fn main() {
     );
 
     // 7. Expand back; members reappear around the pinned aggregate.
-    session.expand(adonis);
+    session.expand(adonis).unwrap();
     session.relax(300);
     println!(
         "7. expanded 'adonis' back to {} visible nodes",

@@ -139,7 +139,7 @@ fn collapsing_clusters_preserves_total_usage() {
         })
         .map(|n| n.fill_value)
         .sum();
-    session.collapse(adonis);
+    session.collapse(adonis).unwrap();
     let agg = session.view().node(adonis).unwrap().fill_value;
     assert!(
         (host_sum - agg).abs() <= 1e-9 * host_sum.abs().max(1.0),

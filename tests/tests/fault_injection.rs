@@ -1,0 +1,178 @@
+//! Fault-injection robustness across the whole pipeline.
+//!
+//! * Property: random (valid) fault plans never panic — the simulation
+//!   terminates, all tasks complete under the fault-tolerant protocol,
+//!   and the produced trace is well-formed.
+//! * Determinism: a seeded simulation with a non-empty fault plan is
+//!   reproducible down to the byte, trace and SVG alike.
+
+use proptest::prelude::*;
+use viva::{AnalysisSession, SessionConfig};
+use viva_platform::generators::{self, Grid5000Config};
+use viva_platform::Platform;
+use viva_simflow::{FaultPlan, TracingConfig};
+use viva_trace::{metric::names, Trace};
+use viva_workloads::{
+    run_master_worker_with_faults, AppSpec, FtConfig, MwConfig, MwRun, Scheduler,
+};
+
+fn platform() -> Platform {
+    generators::grid5000(&Grid5000Config {
+        total_hosts: 24,
+        sites: 3,
+        ..Default::default()
+    })
+    .unwrap()
+}
+
+fn ft_app(p: &Platform, tasks: usize) -> Vec<AppSpec> {
+    vec![AppSpec {
+        name: "app1".into(),
+        master: p.hosts()[0].id(),
+        config: MwConfig {
+            tasks,
+            task_flops: 20_000.0,
+            scheduler: Scheduler::Fifo,
+            fault_tolerance: Some(FtConfig {
+                worker_timeout: 60.0,
+                heartbeat_interval: 10.0,
+                send_timeout: 120.0,
+            }),
+            ..MwConfig::cpu_bound()
+        },
+    }]
+}
+
+fn run(p: &Platform, plan: &FaultPlan, tasks: usize) -> MwRun {
+    run_master_worker_with_faults(
+        p.clone(),
+        &ft_app(p, tasks),
+        Some(TracingConfig { record_messages: false, record_accounts: false }),
+        Some(plan),
+    )
+    .expect("generated plans are valid for this platform")
+}
+
+/// Every signal of the trace is finite, time-ordered and inside the
+/// recorded extent; availability in particular stays within `[0, 1]`.
+fn assert_well_formed(trace: &Trace) {
+    assert!(trace.end().is_finite() && trace.end() >= trace.start());
+    let avail = trace.metric_id(names::AVAILABILITY);
+    for (_, metric, signal) in trace.signals() {
+        let times = signal.times();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]), "unsorted signal");
+        for &t in times {
+            assert!(t.is_finite() && t >= trace.start(), "breakpoint out of range");
+            let v = signal.value_at(t);
+            assert!(v.is_finite(), "non-finite sample");
+            if Some(metric) == avail {
+                assert!((0.0..=1.0).contains(&v), "availability out of [0,1]: {v}");
+            }
+        }
+    }
+}
+
+/// One randomly-placed fault. Times and host picks are indices into
+/// the platform, so every generated plan validates.
+#[derive(Debug, Clone)]
+enum F {
+    // Victims come from the first half of the workers so part of the
+    // pool always survives; the master (host 0) is never a victim —
+    // the protocol documents that its host must stay up.
+    Crash { victim: usize, at: f64 },
+    Outage { victim: usize, at: f64, down: f64 },
+    LinkOutage { link: usize, at: f64, down: f64 },
+    Degrade { link: usize, at: f64, len: f64, factor: f64 },
+    Loss { at: f64, len: f64, p: f64 },
+}
+
+fn fault() -> impl Strategy<Value = F> {
+    prop_oneof![
+        (0usize..11, 1.0f64..150.0).prop_map(|(victim, at)| F::Crash { victim, at }),
+        (0usize..11, 1.0f64..150.0, 5.0f64..60.0)
+            .prop_map(|(victim, at, down)| F::Outage { victim, at, down }),
+        (0usize..64, 1.0f64..100.0, 5.0f64..40.0)
+            .prop_map(|(link, at, down)| F::LinkOutage { link, at, down }),
+        (0usize..64, 1.0f64..100.0, 5.0f64..80.0, 0.1f64..0.9)
+            .prop_map(|(link, at, len, factor)| F::Degrade { link, at, len, factor }),
+        (0.0f64..100.0, 5.0f64..60.0, 0.0f64..0.25)
+            .prop_map(|(at, len, p)| F::Loss { at, len, p }),
+    ]
+}
+
+fn build_plan(p: &Platform, faults: &[F], seed: u64) -> FaultPlan {
+    let mut plan = FaultPlan::new().with_seed(seed);
+    for f in faults {
+        plan = match *f {
+            F::Crash { victim, at } => plan.host_crash(at, p.hosts()[1 + victim].id()),
+            F::Outage { victim, at, down } => {
+                plan.host_outage(at, down, p.hosts()[1 + victim].id())
+            }
+            F::LinkOutage { link, at, down } => {
+                plan.link_outage(at, down, p.links()[link % p.links().len()].id())
+            }
+            F::Degrade { link, at, len, factor } => plan.link_degrade(
+                at,
+                at + len,
+                p.links()[link % p.links().len()].id(),
+                factor,
+            ),
+            F::Loss { at, len, p } => plan.message_loss(at, at + len, p),
+        };
+    }
+    plan
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    #[test]
+    fn random_fault_plans_never_panic(
+        faults in proptest::collection::vec(fault(), 0..10),
+        seed in 0u64..1000,
+    ) {
+        let p = platform();
+        let plan = build_plan(&p, &faults, seed);
+        let tasks = 20;
+        let run = run(&p, &plan, tasks);
+        prop_assert!(run.makespan.is_finite() && run.makespan >= 0.0);
+        // At-least-once delivery: nothing may be lost, and a falsely
+        // written-off worker may compute a requeued duplicate.
+        prop_assert!(
+            run.tasks_completed[0] >= tasks,
+            "lost work despite fault tolerance: {} < {}", run.tasks_completed[0], tasks
+        );
+        prop_assert!(run.tasks_shipped[0] >= tasks, "at-least-once delivery");
+        assert_well_formed(run.trace.as_ref().expect("traced run"));
+    }
+}
+
+#[test]
+fn seeded_faulty_runs_are_byte_identical() {
+    let p = platform();
+    let plan = FaultPlan::new()
+        .with_seed(7)
+        .host_crash(5.0, p.hosts()[3].id())
+        .host_outage(8.0, 40.0, p.hosts()[5].id())
+        .link_outage(10.0, 20.0, p.links()[0].id())
+        .message_loss(0.0, 60.0, 0.05);
+    assert!(!plan.is_empty());
+
+    let render = || {
+        let result = run(&p, &plan, 30);
+        let trace = result.trace.expect("traced run");
+        let csv = viva_trace::export::to_csv(&trace);
+        let mut session =
+            AnalysisSession::with_platform(trace, SessionConfig::default(), &p);
+        session.try_set_time_slice(0.0, result.makespan).unwrap();
+        session.relax(200);
+        (result.makespan, csv, session.render_svg(800.0, 600.0))
+    };
+    let (makespan_a, trace_a, svg_a) = render();
+    let (makespan_b, trace_b, svg_b) = render();
+    assert_eq!(makespan_a, makespan_b);
+    assert_eq!(trace_a, trace_b, "same seed, same trace bytes");
+    assert_eq!(svg_a, svg_b, "same seed, same SVG bytes");
+    // The faults actually left their mark in the picture.
+    assert!(svg_a.contains("data-availability"), "crashed hosts render degraded");
+}

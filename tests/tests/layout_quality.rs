@@ -64,7 +64,7 @@ fn collapse_is_smoother_than_fresh_layout() {
         .map(|n| (n.container, n.position))
         .collect();
     let adonis = session.trace().containers().by_name("adonis").unwrap().id();
-    session.collapse(adonis);
+    session.collapse(adonis).unwrap();
     session.relax(30);
     let mut max_drift = 0.0f64;
     for n in &session.view().nodes {
@@ -79,7 +79,7 @@ fn collapse_is_smoother_than_fresh_layout() {
         SessionConfig { seed: 999, ..Default::default() },
         &p,
     );
-    fresh.collapse(adonis);
+    fresh.collapse(adonis).unwrap();
     fresh.relax(30);
     let mut fresh_drift = 0.0f64;
     for n in &fresh.view().nodes {
@@ -101,8 +101,8 @@ fn pinned_geography_survives_level_changes() {
     let tree_adonis = session.trace().containers().by_name("adonis").unwrap().id();
     let tree_griffon = session.trace().containers().by_name("griffon").unwrap().id();
     session.collapse_at_depth(2);
-    session.drag(tree_adonis, viva_layout::Vec2::new(-100.0, 0.0));
-    session.drag(tree_griffon, viva_layout::Vec2::new(100.0, 0.0));
+    session.drag(tree_adonis, viva_layout::Vec2::new(-100.0, 0.0)).unwrap();
+    session.drag(tree_griffon, viva_layout::Vec2::new(100.0, 0.0)).unwrap();
     session.relax(300);
     let view = session.view();
     assert!(view.node(tree_adonis).unwrap().position.x < view.node(tree_griffon).unwrap().position.x);

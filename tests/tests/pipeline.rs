@@ -29,7 +29,7 @@ fn whole_pipeline_is_deterministic() {
             AnalysisSession::with_platform(trace, SessionConfig::default(), &platform);
         session.relax(200);
         let adonis = session.trace().containers().by_name("adonis").unwrap().id();
-        session.collapse(adonis);
+        session.collapse(adonis).unwrap();
         session.relax(50);
         session.render_svg(800.0, 600.0)
     };

@@ -73,17 +73,17 @@ proptest! {
             match op {
                 Op::Collapse(i) => {
                     let c = ContainerId::from_index(i % n_containers);
-                    session.collapse(c);
+                    let _ = session.collapse(c);
                 }
                 Op::Expand(i) => {
                     let c = ContainerId::from_index(i % n_containers);
-                    session.expand(c);
+                    let _ = session.expand(c);
                 }
                 Op::Level(d) => session.collapse_at_depth(d),
                 Op::ExpandAll => session.expand_all(),
                 Op::Drag(i, x, y) => {
                     let c = ContainerId::from_index(i % n_containers);
-                    session.drag(c, Vec2::new(x, y));
+                    let _ = session.drag(c, Vec2::new(x, y));
                 }
                 Op::Slice(a, w) => {
                     let s = a * makespan;
