@@ -12,7 +12,14 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test --workspace"
 cargo test --workspace --quiet
 
+echo "==> cargo doc --no-deps (warnings denied)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
 echo "==> smoke: figure harnesses (--small)"
 cargo run --quiet --release -p viva-bench --bin fig10_faulttolerance -- --small > /dev/null
+# Interactivity smoke: runs the indexed-vs-naive and serial-vs-parallel
+# equivalence assertions (panics on any divergence); timings themselves
+# are only asserted by the full run.
+cargo run --quiet --release -p viva-bench --bin fig_interactivity -- --small > /dev/null
 
 echo "ci: all green"

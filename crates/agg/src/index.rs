@@ -1,0 +1,577 @@
+//! Incremental aggregation index: `O(log n)` Equation-1 queries.
+//!
+//! The naive evaluation of `F_{Γ,Δ}` ([`crate::integrate_group`])
+//! rescans the container subtree on every call: it allocates the
+//! subtree, probes the trace's signal table for every member and
+//! integrates each surviving signal. That cost is paid again for every
+//! visible node, for every metric, on every time-slice change — the
+//! exact hot path the paper wants at frame rate (§3.2).
+//!
+//! [`AggIndex`] precomputes, once per session, a **merged prefix
+//! integral** per `(metric, container)` pair: the breakpoint-sorted
+//! piecewise-constant *group signal* of the whole subtree, with its
+//! running antiderivative. After that, any slice integral over any
+//! group is two binary searches ([`GroupSeries::integrate`]), and the
+//! member count is a subtraction over an Euler-tour interval — no
+//! rescan, whatever the slice.
+//!
+//! Construction is a bottom-up merge over the container tree in
+//! deterministic (pre-order, child-id) order, so the floating-point
+//! summation order — and therefore every query result — is
+//! reproducible run to run.
+
+use viva_trace::{ContainerId, MetricId, Signal, Trace};
+
+use crate::multiscale::GroupAggregate;
+use crate::stats::Summary;
+use crate::timeslice::TimeSlice;
+
+/// The merged subtree signal of one `(metric, container)` pair.
+///
+/// Holds the pointwise sum of every member signal as a single
+/// piecewise-constant [`Signal`] (breakpoints merged, running
+/// antiderivative maintained), plus the number of member containers
+/// that carry the metric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupSeries {
+    signal: Signal,
+    carriers: usize,
+}
+
+impl GroupSeries {
+    /// Integral of the group signal over `[a, b]` — `F_{Γ,Δ}` in
+    /// `O(log breakpoints)`.
+    pub fn integrate(&self, a: f64, b: f64) -> f64 {
+        self.signal.integrate(a, b)
+    }
+
+    /// Number of containers in the subtree carrying the metric.
+    pub fn carriers(&self) -> usize {
+        self.carriers
+    }
+
+    /// Number of merged breakpoints (diagnostics).
+    pub fn len(&self) -> usize {
+        self.signal.len()
+    }
+
+    /// Whether the merged signal has no breakpoints.
+    pub fn is_empty(&self) -> bool {
+        self.signal.is_empty()
+    }
+}
+
+/// Per-metric slice of the index.
+#[derive(Debug, Clone, Default)]
+struct MetricIndex {
+    /// Euler-tour entry times of the carrier containers, ascending.
+    /// Carriers under a group = one binary-searched range.
+    carrier_tins: Vec<u32>,
+    /// Merged series per container (dense by container index); `None`
+    /// when no container in the subtree carries the metric.
+    series: Vec<Option<GroupSeries>>,
+}
+
+/// A precomputed multilevel aggregation index over one [`Trace`].
+///
+/// Built once at session creation ([`AggIndex::build`]); immutable
+/// afterwards, exactly like the trace it indexes. Every query mirrors
+/// the semantics of the naive path in [`crate::multiscale`] — the
+/// proptests in this module pin that equivalence down.
+#[derive(Debug, Clone)]
+pub struct AggIndex {
+    /// Euler-tour entry per container index; the subtree of `c` is the
+    /// half-open tin interval `[tin[c], tout[c])`.
+    tin: Vec<u32>,
+    tout: Vec<u32>,
+    /// Pre-order container sequence (`order[tin[c] as usize] == c`).
+    order: Vec<ContainerId>,
+    metrics: Vec<MetricIndex>,
+}
+
+impl AggIndex {
+    /// Builds the index over every metric of `trace`.
+    pub fn build(trace: &Trace) -> AggIndex {
+        let tree = trace.containers();
+        let order = tree.subtree(tree.root());
+        let n = tree.len();
+        let mut tin = vec![0u32; n];
+        let mut tout = vec![0u32; n];
+        for (i, &c) in order.iter().enumerate() {
+            tin[c.index()] = i as u32;
+        }
+        // Pre-order: a subtree is contiguous, so tout is the max tin in
+        // the subtree + 1, computed children-first by reverse walk.
+        for &c in order.iter().rev() {
+            let mut hi = tin[c.index()] + 1;
+            for &ch in tree.node(c).children() {
+                hi = hi.max(tout[ch.index()]);
+            }
+            tout[c.index()] = hi;
+        }
+
+        let metrics = (0..trace.metrics().len())
+            .map(|mi| Self::build_metric(trace, MetricId::from_index(mi), &order, &tin))
+            .collect();
+        AggIndex { tin, tout, order, metrics }
+    }
+
+    fn build_metric(
+        trace: &Trace,
+        metric: MetricId,
+        order: &[ContainerId],
+        tin: &[u32],
+    ) -> MetricIndex {
+        let signals = trace.signals_for_metric(metric);
+        if signals.is_empty() {
+            return MetricIndex::default();
+        }
+        let mut carrier_tins: Vec<u32> = signals.iter().map(|&(c, _)| tin[c.index()]).collect();
+        carrier_tins.sort_unstable();
+
+        let tree = trace.containers();
+        let mut series: Vec<Option<GroupSeries>> = vec![None; tree.len()];
+        // Children precede parents in reverse pre-order.
+        for &c in order.iter().rev() {
+            let own = trace.signal(c, metric);
+            let node = tree.node(c);
+            let child_count = node
+                .children()
+                .iter()
+                .filter(|ch| series[ch.index()].is_some())
+                .count();
+            let entry = match (own, child_count) {
+                (None, 0) => None,
+                // A carrier leaf (or a carrier whose descendants carry
+                // nothing): the group signal *is* the signal, so slice
+                // queries match `Signal::integrate` bit for bit.
+                (Some(sig), 0) => Some(GroupSeries { signal: sig.clone(), carriers: 1 }),
+                (None, 1) => {
+                    let ch = node
+                        .children()
+                        .iter()
+                        .find(|ch| series[ch.index()].is_some())
+                        .expect("counted one");
+                    series[ch.index()].clone()
+                }
+                _ => {
+                    // Deterministic merge order: own signal first, then
+                    // children in declaration order.
+                    let mut parts: Vec<&Signal> = Vec::with_capacity(child_count + 1);
+                    let mut carriers = 0;
+                    if let Some(sig) = own {
+                        parts.push(sig);
+                        carriers += 1;
+                    }
+                    for &ch in node.children() {
+                        if let Some(s) = &series[ch.index()] {
+                            parts.push(&s.signal);
+                            carriers += s.carriers;
+                        }
+                    }
+                    Some(GroupSeries { signal: merge_signals(&parts), carriers })
+                }
+            };
+            series[c.index()] = entry;
+        }
+        MetricIndex { carrier_tins, series }
+    }
+
+    fn metric_index(&self, metric: MetricId) -> Option<&MetricIndex> {
+        self.metrics.get(metric.index())
+    }
+
+    /// The merged series of `(metric, group)`, `None` when no container
+    /// under `group` carries the metric.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `group` is not part of the indexed trace.
+    pub fn series(&self, metric: MetricId, group: ContainerId) -> Option<&GroupSeries> {
+        self.metric_index(metric)?.series.get(group.index())?.as_ref()
+    }
+
+    /// `F_{Γ,Δ}` over `subtree(group) × slice` in `O(log n)` —
+    /// the indexed twin of [`crate::integrate_group`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `group` is not part of the indexed trace.
+    pub fn integrate(&self, metric: MetricId, group: ContainerId, slice: TimeSlice) -> f64 {
+        self.series(metric, group)
+            .map_or(0.0, |s| s.integrate(slice.start(), slice.end()))
+    }
+
+    /// Number of containers under `group` (inclusive) carrying
+    /// `metric`, in `O(log n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `group` is not part of the indexed trace.
+    pub fn carrier_count(&self, metric: MetricId, group: ContainerId) -> usize {
+        let Some(mi) = self.metric_index(metric) else { return 0 };
+        let (lo, hi) = (self.tin[group.index()], self.tout[group.index()]);
+        mi.carrier_tins.partition_point(|&t| t < hi)
+            - mi.carrier_tins.partition_point(|&t| t < lo)
+    }
+
+    /// The carrier containers under `group`, in pre-order — the same
+    /// enumeration order as the naive subtree scan, without walking
+    /// non-carriers.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `group` is not part of the indexed trace.
+    pub fn carriers_under(
+        &self,
+        metric: MetricId,
+        group: ContainerId,
+    ) -> impl Iterator<Item = ContainerId> + '_ {
+        let range = match self.metric_index(metric) {
+            Some(mi) => {
+                let (lo, hi) = (self.tin[group.index()], self.tout[group.index()]);
+                let a = mi.carrier_tins.partition_point(|&t| t < lo);
+                let b = mi.carrier_tins.partition_point(|&t| t < hi);
+                &mi.carrier_tins[a..b]
+            }
+            None => &[][..],
+        };
+        range.iter().map(|&t| self.order[t as usize])
+    }
+
+    /// The indexed twin of [`crate::try_mean_over_group`]: space-time
+    /// mean in `O(log n)`, `None` when the slice is empty or nothing
+    /// under `group` carries the metric.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `group` is not part of the indexed trace.
+    pub fn try_mean(&self, metric: MetricId, group: ContainerId, slice: TimeSlice) -> Option<f64> {
+        let series = self.series(metric, group)?;
+        if slice.width() <= 0.0 {
+            return None;
+        }
+        Some(series.integrate(slice.start(), slice.end()) / (series.carriers as f64 * slice.width()))
+    }
+
+    /// The indexed twin of [`GroupAggregate::compute`]: full per-group
+    /// aggregate with the §6 statistical indicators.
+    ///
+    /// The summary needs one value per member, so this is `O(k log n)`
+    /// for `k` carriers — but it skips the subtree walk, and the
+    /// per-member integrals are read from the members' own prefix sums,
+    /// bit-identical to the naive path.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `group` is not part of the indexed trace.
+    pub fn aggregate(
+        &self,
+        trace: &Trace,
+        metric: MetricId,
+        group: ContainerId,
+        slice: TimeSlice,
+    ) -> GroupAggregate {
+        let width = slice.width();
+        let mut integral = 0.0;
+        let mut members = 0usize;
+        let means = self
+            .carriers_under(metric, group)
+            .filter_map(|c| trace.signal(c, metric))
+            .map(|s| {
+                let v = s.integrate(slice.start(), slice.end());
+                integral += v;
+                members += 1;
+                if width > 0.0 {
+                    v / width
+                } else {
+                    0.0
+                }
+            })
+            .collect::<Vec<f64>>();
+        GroupAggregate {
+            group,
+            members,
+            integral,
+            summary: Summary::of(means),
+        }
+    }
+}
+
+/// Merges piecewise-constant signals into their pointwise sum in
+/// `O(total breakpoints × log)`, keeping the running prefix integral.
+///
+/// Equal-time breakpoints across parts collapse into one. The merge is
+/// a stable sweep over `(time, value-delta)` events, so summation order
+/// is fixed by the caller's part order — deterministic results.
+fn merge_signals(parts: &[&Signal]) -> Signal {
+    let total: usize = parts.iter().map(|s| s.len()).sum();
+    let mut events: Vec<(f64, f64)> = Vec::with_capacity(total);
+    for part in parts {
+        let (times, values) = (part.times(), part.values());
+        let mut prev = 0.0;
+        for (&t, &v) in times.iter().zip(values) {
+            events.push((t, v - prev));
+            prev = v;
+        }
+    }
+    // Stable: equal times keep part order, fixing float summation.
+    events.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let mut out = Signal::new();
+    let mut running = 0.0;
+    for (t, delta) in events {
+        running += delta;
+        // Push at an existing last time overwrites — exactly the
+        // collapse of simultaneous breakpoints we want.
+        out.push(t, running).expect("sorted finite times are monotonic");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::multiscale::{integrate_group, try_mean_over_group};
+    use viva_trace::{ContainerKind, TraceBuilder};
+
+    /// root → {c1: h0 h1, c2: h2 h3}, power on all hosts, bandwidth on
+    /// a root-level link, plus a metric with no signals at all.
+    fn trace() -> Trace {
+        let mut b = TraceBuilder::new();
+        let m = b.metric("power_used", "MFlop/s");
+        let bw = b.metric("bandwidth", "Mbit/s");
+        let _unused = b.metric("ghost", "u");
+        let mut hosts = Vec::new();
+        for cn in ["c1", "c2"] {
+            let cl = b.new_container(b.root(), cn, ContainerKind::Cluster).unwrap();
+            for i in 0..2 {
+                let h = b
+                    .new_container(cl, format!("{cn}-h{i}"), ContainerKind::Host)
+                    .unwrap();
+                hosts.push(h);
+            }
+        }
+        for (i, &h) in hosts.iter().enumerate() {
+            b.set_variable(0.0, h, m, 10.0 * (i + 1) as f64).unwrap();
+            b.set_variable(2.0 + i as f64, h, m, 5.0).unwrap();
+        }
+        let l = b.new_container(b.root(), "bb", ContainerKind::Link).unwrap();
+        b.set_variable(0.0, l, bw, 1000.0).unwrap();
+        b.finish(10.0)
+    }
+
+    #[test]
+    fn indexed_integral_matches_naive() {
+        let t = trace();
+        let idx = AggIndex::build(&t);
+        let m = t.metric_id("power_used").unwrap();
+        let root = t.containers().root();
+        for slice in [
+            TimeSlice::new(0.0, 10.0),
+            TimeSlice::new(1.5, 3.5),
+            TimeSlice::new(4.0, 4.0),
+            TimeSlice::new(9.0, 10.0),
+        ] {
+            for c in t.containers().iter() {
+                let naive = integrate_group(&t, m, c.id(), slice);
+                let fast = idx.integrate(m, c.id(), slice);
+                assert!(
+                    (naive - fast).abs() <= 1e-9 * naive.abs().max(1.0),
+                    "{:?} over {slice}: naive {naive} vs indexed {fast}",
+                    c.id()
+                );
+            }
+        }
+        assert_eq!(idx.carrier_count(m, root), 4);
+        let c1 = t.containers().by_name("c1").unwrap().id();
+        assert_eq!(idx.carrier_count(m, c1), 2);
+    }
+
+    #[test]
+    fn leaf_series_is_bit_identical_to_signal() {
+        let t = trace();
+        let idx = AggIndex::build(&t);
+        let m = t.metric_id("power_used").unwrap();
+        let h = t.containers().by_name("c1-h0").unwrap().id();
+        let sig = t.signal(h, m).unwrap();
+        for (a, b) in [(0.0, 10.0), (1.3, 7.7), (2.0, 2.0)] {
+            assert_eq!(idx.integrate(m, h, TimeSlice::new(a, b)), sig.integrate(a, b));
+        }
+    }
+
+    #[test]
+    fn metric_without_signals_is_empty_everywhere() {
+        let t = trace();
+        let idx = AggIndex::build(&t);
+        let ghost = t.metric_id("ghost").unwrap();
+        let root = t.containers().root();
+        assert_eq!(idx.integrate(ghost, root, TimeSlice::new(0.0, 10.0)), 0.0);
+        assert_eq!(idx.carrier_count(ghost, root), 0);
+        assert_eq!(idx.try_mean(ghost, root, TimeSlice::new(0.0, 10.0)), None);
+        assert!(idx.series(ghost, root).is_none());
+        let agg = idx.aggregate(&t, ghost, root, TimeSlice::new(0.0, 10.0));
+        assert!(agg.is_empty());
+        assert_eq!(agg, GroupAggregate::compute(&t, ghost, root, TimeSlice::new(0.0, 10.0)));
+    }
+
+    #[test]
+    fn unregistered_metric_id_is_harmless() {
+        let t = trace();
+        let idx = AggIndex::build(&t);
+        let bogus = MetricId::from_index(99);
+        let root = t.containers().root();
+        assert_eq!(idx.integrate(bogus, root, TimeSlice::new(0.0, 10.0)), 0.0);
+        assert_eq!(idx.carrier_count(bogus, root), 0);
+        assert_eq!(idx.carriers_under(bogus, root).count(), 0);
+    }
+
+    #[test]
+    fn try_mean_matches_naive_semantics() {
+        let t = trace();
+        let idx = AggIndex::build(&t);
+        let m = t.metric_id("power_used").unwrap();
+        let c1 = t.containers().by_name("c1").unwrap().id();
+        for slice in [TimeSlice::new(0.0, 10.0), TimeSlice::new(3.0, 3.0), TimeSlice::new(8.0, 9.5)] {
+            let naive = try_mean_over_group(&t, m, c1, slice);
+            let fast = idx.try_mean(m, c1, slice);
+            match (naive, fast) {
+                (None, None) => {}
+                (Some(a), Some(b)) => {
+                    assert!((a - b).abs() <= 1e-9 * a.abs().max(1.0), "{a} vs {b}")
+                }
+                other => panic!("presence mismatch over {slice}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn aggregate_matches_naive_bit_for_bit() {
+        let t = trace();
+        let idx = AggIndex::build(&t);
+        let m = t.metric_id("power_used").unwrap();
+        for c in t.containers().iter() {
+            for slice in [TimeSlice::new(0.0, 10.0), TimeSlice::new(1.0, 6.0)] {
+                let naive = GroupAggregate::compute(&t, m, c.id(), slice);
+                let fast = idx.aggregate(&t, m, c.id(), slice);
+                // Same enumeration order, same per-member arithmetic:
+                // full equality, not tolerance.
+                assert_eq!(naive, fast, "at {:?} over {slice}", c.id());
+            }
+        }
+    }
+
+    #[test]
+    fn carriers_under_enumerates_preorder() {
+        let t = trace();
+        let idx = AggIndex::build(&t);
+        let m = t.metric_id("power_used").unwrap();
+        let root = t.containers().root();
+        let naive: Vec<ContainerId> = t
+            .containers()
+            .subtree(root)
+            .into_iter()
+            .filter(|&c| t.signal(c, m).is_some())
+            .collect();
+        let fast: Vec<ContainerId> = idx.carriers_under(m, root).collect();
+        assert_eq!(naive, fast);
+    }
+
+    #[test]
+    fn merge_collapses_simultaneous_breakpoints() {
+        let mut a = Signal::new();
+        a.push(0.0, 1.0).unwrap();
+        a.push(5.0, 3.0).unwrap();
+        let mut b = Signal::new();
+        b.push(5.0, 2.0).unwrap();
+        let s = merge_signals(&[&a, &b]);
+        assert_eq!(s.len(), 2, "t=5 appears once");
+        assert_eq!(s.value_at(1.0), 1.0);
+        assert_eq!(s.value_at(6.0), 5.0);
+        assert_eq!(s.integrate(0.0, 10.0), a.integrate(0.0, 10.0) + b.integrate(0.0, 10.0));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::multiscale::{integrate_group, try_mean_over_group, GroupAggregate};
+    use proptest::prelude::*;
+    use proptest::test_runner::TestCaseError;
+    use viva_trace::{ContainerKind, TraceBuilder};
+
+    /// A random 3-level trace: 1–3 clusters × 1–3 hosts, each host with
+    /// a random piecewise-constant `power_used` signal; roughly one
+    /// host in five is silent (no signal) to exercise carrier
+    /// filtering.
+    fn random_trace() -> impl Strategy<Value = Trace> {
+        proptest::collection::vec(
+            proptest::collection::vec(
+                (0usize..5, proptest::collection::vec((0.0f64..100.0, 0.0f64..500.0), 1..10)),
+                1..4,
+            ),
+            1..4,
+        )
+        .prop_map(|clusters| {
+            let mut b = TraceBuilder::new();
+            let m = b.metric("power_used", "MFlop/s");
+            for (ci, hosts) in clusters.into_iter().enumerate() {
+                let cl = b
+                    .new_container(b.root(), format!("c{ci}"), ContainerKind::Cluster)
+                    .unwrap();
+                for (hi, (silent_die, mut points)) in hosts.into_iter().enumerate() {
+                    let h = b
+                        .new_container(cl, format!("c{ci}-h{hi}"), ContainerKind::Host)
+                        .unwrap();
+                    if silent_die == 0 {
+                        continue; // silent host: no signal at all
+                    }
+                    points.sort_by(|a, b| a.0.total_cmp(&b.0));
+                    for (t, v) in points {
+                        b.set_variable(t, h, m, v).unwrap();
+                    }
+                }
+            }
+            b.finish(100.0)
+        })
+    }
+
+    proptest! {
+        /// The tentpole invariant: the incremental index agrees with
+        /// the naive full-rescan aggregation on random traces and
+        /// random slices, for every container of the tree.
+        #[test]
+        fn index_agrees_with_naive_rescan(trace in random_trace(),
+                                          a in 0.0f64..100.0, w in 0.0f64..100.0) {
+            let idx = AggIndex::build(&trace);
+            let m = trace.metric_id("power_used").unwrap();
+            let slice = TimeSlice::new(a, (a + w).min(100.0));
+            for c in trace.containers().iter() {
+                let naive = integrate_group(&trace, m, c.id(), slice);
+                let fast = idx.integrate(m, c.id(), slice);
+                prop_assert!((naive - fast).abs() <= 1e-6 * naive.abs().max(1.0),
+                             "{:?}: naive {naive} vs indexed {fast}", c.id());
+                let naive_agg = GroupAggregate::compute(&trace, m, c.id(), slice);
+                let fast_agg = idx.aggregate(&trace, m, c.id(), slice);
+                prop_assert_eq!(&naive_agg, &fast_agg, "aggregate mismatch at {:?}", c.id());
+                match (try_mean_over_group(&trace, m, c.id(), slice), idx.try_mean(m, c.id(), slice)) {
+                    (None, None) => {}
+                    (Some(x), Some(y)) =>
+                        prop_assert!((x - y).abs() <= 1e-6 * x.abs().max(1.0), "{x} vs {y}"),
+                    other => return Err(TestCaseError::fail(format!("presence mismatch {other:?}"))),
+                }
+            }
+        }
+
+        /// Carrier counts equal the naive subtree scan everywhere.
+        #[test]
+        fn carrier_count_matches_subtree_scan(trace in random_trace()) {
+            let idx = AggIndex::build(&trace);
+            let m = trace.metric_id("power_used").unwrap();
+            for c in trace.containers().iter() {
+                let naive = trace.containers().subtree(c.id()).into_iter()
+                    .filter(|&x| trace.signal(x, m).is_some()).count();
+                prop_assert_eq!(naive, idx.carrier_count(m, c.id()));
+            }
+        }
+    }
+}

@@ -21,11 +21,13 @@
 //! indicators (variance, median, ...) the paper's §6 calls for to
 //! qualify aggregated values.
 
+pub mod index;
 pub mod multiscale;
 pub mod stats;
 pub mod timeslice;
 pub mod view;
 
+pub use index::{AggIndex, GroupSeries};
 pub use multiscale::{integrate_group, mean_over_group, try_mean_over_group, GroupAggregate};
 pub use stats::Summary;
 pub use timeslice::{TimeSlice, TimeSliceError};

@@ -1,6 +1,6 @@
 //! Interactive aggregation state: which groups are collapsed.
 //!
-//! The paper's analyst "interactively aggregate[s] parts of the graph"
+//! The paper's analyst "interactively aggregate\[s\] parts of the graph"
 //! (§3.2.2, Fig. 3) and navigates whole levels at once (Fig. 8:
 //! hosts → clusters → sites → grid). [`ViewState`] is that piece of
 //! session state: a set of collapsed containers plus the derived

@@ -5,7 +5,7 @@
 //! DT trace and on a mid-size Grid'5000 master-worker trace.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use viva::{AnalysisSession, SessionConfig};
+use viva::AnalysisSession;
 use viva_agg::{integrate_group, TimeSlice};
 use viva_platform::generators;
 use viva_simflow::TracingConfig;
@@ -67,12 +67,12 @@ fn bench_session_interactivity(c: &mut Criterion) {
     group.sample_size(20);
     group.bench_function("build_view_hosts_400", |b| {
         let session =
-            AnalysisSession::with_platform(trace.clone(), SessionConfig::default(), &platform);
+            AnalysisSession::builder(trace.clone()).platform(&platform).build();
         b.iter(|| session.view());
     });
     group.bench_function("level_change_roundtrip_400", |b| {
         let mut session =
-            AnalysisSession::with_platform(trace.clone(), SessionConfig::default(), &platform);
+            AnalysisSession::builder(trace.clone()).platform(&platform).build();
         b.iter(|| {
             session.collapse_at_depth(1);
             session.collapse_at_depth(3);
@@ -81,7 +81,7 @@ fn bench_session_interactivity(c: &mut Criterion) {
     });
     group.bench_function("time_slice_sweep_view_400", |b| {
         let mut session =
-            AnalysisSession::with_platform(trace.clone(), SessionConfig::default(), &platform);
+            AnalysisSession::builder(trace.clone()).platform(&platform).build();
         session.collapse_at_depth(2);
         let slices = TimeSlice::new(trace.start(), trace.end()).split(8);
         b.iter(|| {

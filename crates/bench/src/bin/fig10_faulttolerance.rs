@@ -16,7 +16,7 @@
 //!
 //! Pass `--small` to run a reduced platform (CI-friendly).
 
-use viva::{AnalysisSession, SessionConfig};
+use viva::{AnalysisSession, Viewport};
 use viva_bench::{best_connected_host, print_table, save_svg};
 use viva_platform::generators::{self, Grid5000Config};
 use viva_simflow::{FaultPlan, TracingConfig};
@@ -116,10 +116,10 @@ fn main() {
     let run = faulty_ft_run.expect("faulty FT scenario ran");
     let trace = run.trace.expect("traced run");
     let mut session =
-        AnalysisSession::with_platform(trace, SessionConfig::default(), &platform);
+        AnalysisSession::builder(trace).platform(&platform).build();
     session.try_set_time_slice(0.0, run.makespan).expect("finite slice");
     session.relax(150);
-    let svg = session.render_svg(900.0, 700.0);
+    let svg = session.render(&Viewport::new(900.0, 700.0));
     let degraded = svg.matches("data-availability").count();
     println!("degraded nodes in the host-level SVG: {degraded}");
     save_svg("fig10_faulty_hosts.svg", &svg);

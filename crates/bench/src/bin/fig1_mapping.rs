@@ -6,7 +6,7 @@
 //! the node size/fill each cursor produces and writes one SVG per
 //! cursor.
 
-use viva::{AnalysisSession, SessionConfig};
+use viva::{AnalysisSession, Viewport};
 use viva_agg::TimeSlice;
 use viva_bench::{print_table, save_svg};
 use viva_trace::{ContainerKind, Trace, TraceBuilder};
@@ -44,7 +44,7 @@ fn main() {
         (tree.by_name("HostA").unwrap().id(), tree.by_name("LinkA").unwrap().id()),
         (tree.by_name("LinkA").unwrap().id(), tree.by_name("HostB").unwrap().id()),
     ];
-    let mut session = AnalysisSession::with_edges(trace, SessionConfig::default(), edges);
+    let mut session = AnalysisSession::builder(trace).edges(edges).build();
     session.relax(300);
     // Cursors: instantaneous views are narrow slices around each time.
     for (cursor, t) in [("A", 2.0), ("B", 5.5), ("C", 8.0)] {
@@ -64,7 +64,7 @@ fn main() {
         print_table(&["node", "shape", "size (capacity)", "fill", "screen"], &rows);
         save_svg(
             &format!("fig1_cursor_{cursor}.svg"),
-            &session.render_svg(400.0, 300.0),
+            &session.render(&Viewport::new(400.0, 300.0)),
         );
     }
 }

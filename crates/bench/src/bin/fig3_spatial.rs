@@ -4,7 +4,7 @@
 //! diamond pair; GroupB (everything) collapses into a single pair.
 //! Prints the aggregate values and member statistics at each level.
 
-use viva::{AnalysisSession, SessionConfig};
+use viva::{AnalysisSession, Viewport};
 use viva_bench::{print_table, save_svg};
 use viva_trace::{ContainerKind, Trace, TraceBuilder};
 
@@ -42,13 +42,21 @@ fn describe(session: &AnalysisSession, title: &str) {
             .as_ref()
             .map(|b| format!("diamond {:.0} @ {:.0}%", b.size_value, b.fill_fraction * 100.0))
             .unwrap_or_else(|| "-".into());
+        // §6 member statistics come on demand from the session now
+        // that views no longer carry an eager summary.
+        let fill_metric =
+            if n.kind == ContainerKind::Link { "bandwidth_used" } else { "power_used" };
+        let stddev = session
+            .aggregate(fill_metric, n.container)
+            .map(|a| a.summary.variance.sqrt())
+            .unwrap_or(0.0);
         rows.push(vec![
             n.label.clone(),
             n.shape.label().into(),
             format!("{:.0}", n.size_value),
             format!("{:.0}%", n.fill_fraction * 100.0),
             format!("{}", n.members),
-            format!("{:.1}", n.fill_summary.variance.sqrt()),
+            format!("{stddev:.1}"),
             badge,
         ]);
     }
@@ -70,18 +78,18 @@ fn main() {
         (tree.by_name("a1").unwrap().id(), tree.by_name("linkA").unwrap().id()),
         (tree.by_name("linkA").unwrap().id(), tree.by_name("b0").unwrap().id()),
     ];
-    let mut session = AnalysisSession::with_edges(trace, SessionConfig::default(), edges);
+    let mut session = AnalysisSession::builder(trace).edges(edges).build();
     session.relax(300);
     describe(&session, "no aggregation");
-    save_svg("fig3_level0.svg", &session.render_svg(400.0, 300.0));
+    save_svg("fig3_level0.svg", &session.render(&Viewport::new(400.0, 300.0)));
 
     session.collapse(ga).expect("known group");
     session.relax(100);
     describe(&session, "1st spatial aggregation (GroupA)");
-    save_svg("fig3_level1.svg", &session.render_svg(400.0, 300.0));
+    save_svg("fig3_level1.svg", &session.render(&Viewport::new(400.0, 300.0)));
 
     session.collapse(root).expect("known group");
     session.relax(100);
     describe(&session, "2nd spatial aggregation (GroupB = everything)");
-    save_svg("fig3_level2.svg", &session.render_svg(400.0, 300.0));
+    save_svg("fig3_level2.svg", &session.render(&Viewport::new(400.0, 300.0)));
 }

@@ -7,7 +7,7 @@
 //! that the two inter-cluster links are "almost saturated ... most of
 //! the time".
 
-use viva::{AnalysisSession, SessionConfig};
+use viva::{AnalysisSession, Viewport};
 use viva_agg::TimeSlice;
 use viva_bench::{link_utilization, print_table, save_svg, trace_links};
 use viva_platform::generators::{self, TwoClustersConfig};
@@ -58,7 +58,7 @@ fn main() {
 
     // The four SVG snapshots of the figure.
     let mut session =
-        AnalysisSession::with_platform(trace, SessionConfig::default(), &platform);
+        AnalysisSession::builder(trace).platform(&platform).build();
     session.relax(600);
     for (name, s) in [
         ("fig6_whole.svg", whole),
@@ -68,6 +68,6 @@ fn main() {
     ] {
         session.set_time_slice(s);
         session.relax(30);
-        save_svg(name, &session.render_svg(700.0, 500.0));
+        save_svg(name, &session.render(&Viewport::new(700.0, 500.0)));
     }
 }

@@ -6,7 +6,7 @@
 //! utilization under the locality deployment (the contention moves from
 //! the inter-cluster links to the intra-cluster uplinks).
 
-use viva::{AnalysisSession, SessionConfig};
+use viva::{AnalysisSession, Viewport};
 use viva_agg::TimeSlice;
 use viva_bench::{link_utilization, print_table, save_svg, trace_links};
 use viva_platform::generators::{self, TwoClustersConfig};
@@ -74,7 +74,7 @@ fn main() {
     }
 
     let mut session =
-        AnalysisSession::with_platform(trace, SessionConfig::default(), &platform);
+        AnalysisSession::builder(trace).platform(&platform).build();
     session.relax(600);
     for (name, s) in [
         ("fig7_whole.svg", whole_loc),
@@ -84,6 +84,6 @@ fn main() {
     ] {
         session.set_time_slice(s);
         session.relax(30);
-        save_svg(name, &session.render_svg(700.0, 500.0));
+        save_svg(name, &session.render(&Viewport::new(700.0, 500.0)));
     }
 }

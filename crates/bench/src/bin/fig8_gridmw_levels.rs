@@ -12,7 +12,7 @@
 //!
 //! Pass `--small` to run a reduced platform (CI-friendly).
 
-use viva::{AnalysisSession, SessionConfig};
+use viva::{AnalysisSession, Viewport};
 use viva_agg::{GroupAggregate, TimeSlice};
 use viva_bench::{best_connected_host, print_table, save_svg};
 use viva_platform::generators::{self, Grid5000Config};
@@ -139,12 +139,11 @@ fn main() {
     // The four aggregation-level snapshots, with per-application pie
     // glyphs (the §6 extension) splitting each node's usage.
     let mut session =
-        AnalysisSession::with_platform(trace, SessionConfig::default(), &platform);
+        AnalysisSession::builder(trace).platform(&platform).build();
     session.set_time_slice(slice);
-    session.set_breakdown_metrics(vec![
-        "power_used:app1".into(),
-        "power_used:app2".into(),
-    ]);
+    session
+        .set_breakdown_metrics(vec!["power_used:app1".into(), "power_used:app2".into()])
+        .expect("breakdown metrics exist in the trace");
     for (name, depth, steps) in [
         ("fig8_hosts.svg", u32::MAX, 120),
         ("fig8_clusters.svg", 2, 200),
@@ -157,7 +156,7 @@ fn main() {
             session.collapse_at_depth(depth);
         }
         session.relax(steps);
-        save_svg(name, &session.render_svg(900.0, 700.0));
+        save_svg(name, &session.render(&Viewport::new(900.0, 700.0)));
     }
     println!(
         "\nnode counts per level: hosts {}, clusters {}, sites {}, grid 1",

@@ -1,0 +1,194 @@
+//! Interactivity benchmark — incremental aggregation index and
+//! parallel Barnes-Hut against their naive baselines.
+//!
+//! The paper's central interaction loop is: drag the time-slice cursor,
+//! watch every visible node resize/refill instantly (§3.2.1). This
+//! harness measures that loop on a deep synthetic trace (sites →
+//! clusters → hosts, ≥ 50k timeline events in full mode):
+//!
+//! 1. **slice-change latency** — `set_time_slice` + `view()` with the
+//!    aggregation index versus the naive full-rescan path
+//!    (`SessionBuilder::without_index`), over a sweep of sliding
+//!    windows;
+//! 2. **relax latency** — layout iterations with the repulsion pass
+//!    forced serial versus forced to 4 threads;
+//! 3. **equivalence** — views must compare equal and SVG output must be
+//!    byte-identical across indexed/naive and serial/parallel, every
+//!    run.
+//!
+//! Full mode asserts the ≥ 5× index speedup and writes
+//! `BENCH_interactivity.json`; `--small` is a CI smoke mode that keeps
+//! every equivalence assertion but skips the timing claim (timings on a
+//! loaded CI box are noise) and leaves the committed JSON alone.
+
+use std::time::Instant;
+
+use viva::{AnalysisSession, SessionBuilder, Viewport};
+use viva_agg::TimeSlice;
+use viva_trace::{ContainerKind, Trace, TraceBuilder};
+
+struct Scale {
+    sites: usize,
+    clusters: usize,
+    hosts: usize,
+    steps: usize,
+    windows: usize,
+    relax_steps: usize,
+}
+
+const FULL: Scale =
+    Scale { sites: 4, clusters: 5, hosts: 25, steps: 120, windows: 30, relax_steps: 60 };
+const SMALL: Scale = Scale { sites: 2, clusters: 2, hosts: 4, steps: 10, windows: 6, relax_steps: 10 };
+
+/// A deep grid trace with exactly representable values: `power` is a
+/// constant 100 MFlop/s per host and `power_used` steps through
+/// multiples of 10 at integer times, so every space × time integral is
+/// an integer and the indexed and naive paths cannot drift by even an
+/// ulp.
+fn build_trace(s: &Scale) -> (Trace, usize) {
+    let mut b = TraceBuilder::new();
+    let power = b.metric("power", "MFlop/s");
+    let used = b.metric("power_used", "MFlop/s");
+    let mut events = 0usize;
+    let mut host_no = 0usize;
+    for si in 0..s.sites {
+        let site = b
+            .new_container(b.root(), format!("site{si}"), ContainerKind::Site)
+            .expect("site");
+        for ci in 0..s.clusters {
+            let cluster = b
+                .new_container(site, format!("site{si}-cl{ci}"), ContainerKind::Cluster)
+                .expect("cluster");
+            for hi in 0..s.hosts {
+                let host = b
+                    .new_container(cluster, format!("site{si}-cl{ci}-h{hi}"), ContainerKind::Host)
+                    .expect("host");
+                b.set_variable(0.0, host, power, 100.0).expect("power");
+                events += 1;
+                for t in 0..=s.steps {
+                    // Deterministic pseudo-load: phase-shifted per host.
+                    let v = (((t + host_no * 7) % 11) * 10) as f64;
+                    b.set_variable(t as f64, host, used, v).expect("used");
+                    events += 1;
+                }
+                host_no += 1;
+            }
+        }
+    }
+    (b.finish(s.steps as f64), events)
+}
+
+/// The sliding slice windows the "cursor drag" sweeps through. Bounds
+/// are computed in integers so every slice is exactly representable —
+/// the view-equality assertion compares `f64`s bit for bit, and only
+/// integer bounds keep merged-series and per-member integrals from
+/// drifting by an ulp.
+fn windows(s: &Scale) -> Vec<TimeSlice> {
+    (0..s.windows)
+        .map(|i| {
+            let width = 1 + (i % 5) * (s.steps / 8).max(1);
+            let start = (i * s.steps / s.windows).min(s.steps - 1);
+            TimeSlice::new(start as f64, (start + width).min(s.steps) as f64)
+        })
+        .collect()
+}
+
+/// Total latency of sweeping every window: each iteration changes the
+/// slice and rebuilds the view, exactly what a cursor drag costs.
+fn sweep(session: &mut AnalysisSession, windows: &[TimeSlice]) -> f64 {
+    let t0 = Instant::now();
+    for &w in windows {
+        session.set_time_slice(w);
+        std::hint::black_box(session.view());
+    }
+    t0.elapsed().as_secs_f64() * 1e3
+}
+
+fn main() {
+    let small = std::env::args().any(|a| a == "--small");
+    let scale = if small { SMALL } else { FULL };
+    let (trace, events) = build_trace(&scale);
+    let hosts = scale.sites * scale.clusters * scale.hosts;
+    println!(
+        "Interactivity: {} hosts, {} timeline events ({} mode)",
+        hosts,
+        events,
+        if small { "smoke" } else { "full" }
+    );
+    if !small {
+        assert!(events >= 50_000, "full mode must exercise >= 50k events, got {events}");
+    }
+
+    // --- slice-change latency: indexed vs naive rescan ---------------
+    let mut indexed = SessionBuilder::new(trace.clone()).build();
+    let mut naive = SessionBuilder::new(trace.clone()).without_index().build();
+    for s in [&mut indexed, &mut naive] {
+        s.collapse_at_depth(1); // site-level view: every node aggregates a deep subtree
+        s.relax(scale.relax_steps);
+    }
+
+    let ws = windows(&scale);
+    // Warm-up pass, then the timed sweep.
+    sweep(&mut indexed, &ws);
+    sweep(&mut naive, &ws);
+    let indexed_ms = sweep(&mut indexed, &ws);
+    let naive_ms = sweep(&mut naive, &ws);
+    let speedup = naive_ms / indexed_ms.max(1e-9);
+
+    assert_eq!(indexed.view(), naive.view(), "indexed and naive views diverged");
+    let vp = Viewport::new(800.0, 600.0);
+    let svg_indexed = indexed.render(&vp);
+    let svg_naive = naive.render(&vp);
+    let agg_identical = svg_indexed == svg_naive;
+    assert!(agg_identical, "indexed and naive SVG output differ");
+
+    println!(
+        "  slice sweep ({} windows): naive {:.2} ms, indexed {:.2} ms, speedup {:.1}x",
+        ws.len(),
+        naive_ms,
+        indexed_ms,
+        speedup
+    );
+
+    // --- relax latency: serial vs parallel repulsion ------------------
+    let mut serial = SessionBuilder::new(trace.clone()).build();
+    let mut parallel = SessionBuilder::new(trace).build();
+    serial.set_layout_parallelism(Some(1));
+    parallel.set_layout_parallelism(Some(4));
+    let t0 = Instant::now();
+    serial.relax(scale.relax_steps);
+    let serial_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let t0 = Instant::now();
+    parallel.relax(scale.relax_steps);
+    let parallel_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    assert_eq!(serial.view(), parallel.view(), "serial and parallel layouts diverged");
+    let par_identical = serial.render(&vp) == parallel.render(&vp);
+    assert!(par_identical, "serial and parallel SVG output differ");
+
+    println!(
+        "  relax ({} steps, {} nodes): serial {:.2} ms, 4 threads {:.2} ms",
+        scale.relax_steps,
+        hosts + scale.sites * scale.clusters + scale.sites + 1,
+        serial_ms,
+        parallel_ms
+    );
+
+    if small {
+        println!("  smoke mode: equivalence checks passed, timings not asserted");
+        return;
+    }
+
+    assert!(
+        speedup >= 5.0,
+        "aggregation index speedup {speedup:.1}x below the 5x floor (naive {naive_ms:.2} ms, indexed {indexed_ms:.2} ms)"
+    );
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"interactivity\",\n  \"trace\": {{ \"hosts\": {hosts}, \"events\": {events} }},\n  \"slice_change\": {{\n    \"windows\": {},\n    \"naive_ms\": {naive_ms:.3},\n    \"indexed_ms\": {indexed_ms:.3},\n    \"speedup\": {speedup:.2},\n    \"svg_byte_identical\": {agg_identical}\n  }},\n  \"relax\": {{\n    \"steps\": {},\n    \"serial_ms\": {serial_ms:.3},\n    \"parallel_ms\": {parallel_ms:.3},\n    \"svg_byte_identical\": {par_identical}\n  }}\n}}\n",
+        ws.len(),
+        scale.relax_steps
+    );
+    std::fs::write("BENCH_interactivity.json", &json).expect("write BENCH_interactivity.json");
+    println!("  [json] BENCH_interactivity.json");
+}

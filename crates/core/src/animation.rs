@@ -93,7 +93,6 @@ pub fn evolution_matrix(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::session::SessionConfig;
     use viva_trace::{ContainerKind, TraceBuilder};
 
     fn session() -> AnalysisSession {
@@ -109,7 +108,7 @@ mod tests {
             // Host i becomes busy at time i*10 (staggered diffusion).
             b.set_variable(10.0 * i as f64, h, used, 100.0).unwrap();
         }
-        AnalysisSession::new(b.finish(30.0), SessionConfig::default())
+        AnalysisSession::builder(b.finish(30.0)).build()
     }
 
     #[test]

@@ -19,15 +19,18 @@
 //!    accelerated springs/charges keep the picture stable while groups
 //!    collapse or expand, nodes are dragged, and parameters change.
 //!
-//! The central type is [`AnalysisSession`]: it owns a trace (and
-//! optionally the platform it was recorded on), the interactive state
-//! (time-slice, collapsed groups, sliders, pinned nodes) and produces
-//! [`GraphView`]s — pure scene descriptions — that render to SVG.
+//! The central type is [`AnalysisSession`]: built once over a trace
+//! (and optionally the platform it was recorded on) through
+//! [`SessionBuilder`], it owns the interactive state (time-slice,
+//! collapsed groups, sliders, pinned nodes), a precomputed aggregation
+//! index that keeps slice changes at `O(log n)` per signal, and
+//! produces [`GraphView`]s — pure scene descriptions — that render to
+//! SVG through a [`Viewport`].
 //!
 //! ## Quickstart
 //!
 //! ```
-//! use viva::{AnalysisSession, SessionConfig};
+//! use viva::{AnalysisSession, Viewport};
 //! use viva_agg::TimeSlice;
 //! use viva_trace::{ContainerKind, TraceBuilder};
 //!
@@ -43,12 +46,12 @@
 //! b.set_variable(0.0, h1, used, 50.0)?;
 //! let trace = b.finish(10.0);
 //!
-//! let mut session = AnalysisSession::new(trace, SessionConfig::default());
+//! let mut session = AnalysisSession::builder(trace).build();
 //! session.set_time_slice(TimeSlice::new(0.0, 10.0));
 //! session.relax(200);
 //! let view = session.view();
 //! assert_eq!(view.nodes.len(), 2);
-//! let svg = session.render_svg(640.0, 480.0);
+//! let svg = session.render(&Viewport::new(640.0, 480.0));
 //! assert!(svg.starts_with("<svg"));
 //! # Ok::<(), viva_trace::TraceError>(())
 //! ```
@@ -60,9 +63,11 @@ pub mod scaling;
 pub mod session;
 pub mod svg;
 pub mod view;
+pub mod viewport;
 
 pub use animation::Animation;
 pub use mapping::{MappingConfig, NodeMapping, Shape};
 pub use scaling::ScalingConfig;
-pub use session::{AnalysisSession, SessionConfig, SessionError};
+pub use session::{AnalysisSession, SessionBuilder, SessionConfig, SessionError};
 pub use view::{GraphView, ViewEdge, ViewNode};
+pub use viewport::{Theme, Viewport};

@@ -3,7 +3,7 @@
 //! Metrics of different nature (MFlop/s vs Mbit/s) are not comparable;
 //! each *size group* (one per size metric) therefore gets its own
 //! scale, computed so that "the bigger size of a type of object within
-//! a time-slice [maps] to the maximum pixel size of objects in the
+//! a time-slice \[maps\] to the maximum pixel size of objects in the
 //! representation". Interactive sliders multiply each group's automatic
 //! scale (Fig. 4, scheme C).
 

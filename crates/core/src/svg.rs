@@ -14,6 +14,7 @@ use viva_layout::Vec2;
 use crate::color::kind_color;
 use crate::mapping::Shape;
 use crate::view::{GraphView, ViewNode};
+use crate::viewport::{Theme, Viewport};
 
 /// Rendering options.
 #[derive(Debug, Clone, PartialEq)]
@@ -26,11 +27,31 @@ pub struct SvgOptions {
     pub labels: bool,
     /// Padding around the drawing, pixels.
     pub padding: f64,
+    /// Color theme.
+    pub theme: Theme,
 }
 
 impl Default for SvgOptions {
     fn default() -> Self {
-        SvgOptions { width: 800.0, height: 600.0, labels: false, padding: 30.0 }
+        SvgOptions {
+            width: 800.0,
+            height: 600.0,
+            labels: false,
+            padding: 30.0,
+            theme: Theme::Light,
+        }
+    }
+}
+
+impl From<&Viewport> for SvgOptions {
+    fn from(vp: &Viewport) -> SvgOptions {
+        SvgOptions {
+            width: vp.width,
+            height: vp.height,
+            labels: vp.labels,
+            padding: vp.padding,
+            theme: vp.theme,
+        }
     }
 }
 
@@ -206,9 +227,10 @@ fn write_node(out: &mut String, node: &ViewNode, center: Vec2, opts: &SvgOptions
     if opts.labels {
         let _ = write!(
             out,
-            r##"<text x="{:.2}" y="{:.2}" font-size="9" text-anchor="middle" fill="#333">{}</text>"##,
+            r#"<text x="{:.2}" y="{:.2}" font-size="9" text-anchor="middle" fill="{}">{}</text>"#,
             center.x,
             center.y + node.px_size / 2.0 + 10.0,
+            opts.theme.label_fill(),
             xml_escape(&node.label)
         );
     }
@@ -230,7 +252,8 @@ pub fn render(view: &GraphView, opts: &SvgOptions) -> String {
     );
     let _ = writeln!(
         out,
-        r##"<rect width="100%" height="100%" fill="#ffffff"/>"##
+        r#"<rect width="100%" height="100%" fill="{}"/>"#,
+        opts.theme.background()
     );
     // Edges below nodes.
     for e in &view.edges {
@@ -241,8 +264,12 @@ pub fn render(view: &GraphView, opts: &SvgOptions) -> String {
         let pb = proj.project(b.position);
         let _ = writeln!(
             out,
-            r##"<line x1="{:.2}" y1="{:.2}" x2="{:.2}" y2="{:.2}" stroke="#bbbbbb" stroke-width="1"/>"##,
-            pa.x, pa.y, pb.x, pb.y
+            r#"<line x1="{:.2}" y1="{:.2}" x2="{:.2}" y2="{:.2}" stroke="{}" stroke-width="1"/>"#,
+            pa.x,
+            pa.y,
+            pb.x,
+            pb.y,
+            opts.theme.edge_stroke()
         );
     }
     for node in &view.nodes {
@@ -300,6 +327,35 @@ mod tests {
             render(&v, &SvgOptions::default()),
             render(&v, &SvgOptions::default())
         );
+    }
+
+    #[test]
+    fn dark_theme_swaps_palette_only() {
+        let v = view();
+        let light = render(&v, &SvgOptions::default());
+        let dark = render(&v, &SvgOptions { theme: Theme::Dark, ..Default::default() });
+        assert_ne!(light, dark);
+        assert!(dark.contains(Theme::Dark.background()));
+        assert!(!dark.contains("#ffffff"));
+        // Geometry is theme-independent: strip colors and compare.
+        let strip = |s: &str| {
+            s.replace(Theme::Light.background(), "BG")
+                .replace(Theme::Dark.background(), "BG")
+                .replace(Theme::Light.edge_stroke(), "EDGE")
+                .replace(Theme::Dark.edge_stroke(), "EDGE")
+        };
+        assert_eq!(strip(&light), strip(&dark));
+    }
+
+    #[test]
+    fn viewport_converts_to_options() {
+        let vp = Viewport::new(320.0, 240.0).with_labels(true).with_theme(Theme::Dark);
+        let opts = SvgOptions::from(&vp);
+        assert_eq!(opts.width, 320.0);
+        assert_eq!(opts.height, 240.0);
+        assert!(opts.labels);
+        assert_eq!(opts.theme, Theme::Dark);
+        assert_eq!(opts.padding, 30.0);
     }
 
     #[test]

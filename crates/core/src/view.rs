@@ -9,9 +9,9 @@
 
 use std::collections::HashMap;
 
-use viva_agg::{GroupAggregate, Summary, TimeSlice, ViewState};
+use viva_agg::{AggIndex, TimeSlice, ViewState};
 use viva_layout::Vec2;
-use viva_trace::{ContainerId, ContainerKind, Trace};
+use viva_trace::{ContainerId, ContainerKind, MetricId, Trace};
 
 use crate::mapping::{MappingConfig, Shape};
 use crate::scaling::ScalingConfig;
@@ -59,9 +59,6 @@ pub struct ViewNode {
     /// Number of leaf containers aggregated into this node (1 for a
     /// plain leaf).
     pub members: usize,
-    /// Statistical indicators over the members' fill-metric means
-    /// (paper §6: variance/median to qualify aggregates).
-    pub fill_summary: Summary,
     /// Link aggregate of a collapsed group, when it contains links.
     pub link_badge: Option<LinkBadge>,
     /// Pie-chart segments: `(metric name, share)` with shares summing
@@ -131,14 +128,44 @@ impl GraphView {
     }
 }
 
-fn aggregate(
-    trace: &Trace,
-    metric: Option<&str>,
-    group: ContainerId,
-    slice: TimeSlice,
-) -> Option<GroupAggregate> {
-    let m = trace.metric_id(metric?)?;
-    Some(GroupAggregate::compute(trace, m, group, slice))
+/// How Equation 1 is evaluated per visible node.
+#[derive(Clone, Copy)]
+pub(crate) enum AggSource<'a> {
+    /// Full subtree rescan per query — the reference path.
+    Naive,
+    /// `O(log n)` lookups against a session's prebuilt [`AggIndex`].
+    Indexed(&'a AggIndex),
+}
+
+impl AggSource<'_> {
+    /// Just the integral `F_{Γ,Δ}` — `O(log n)` when indexed.
+    fn integral(self, trace: &Trace, metric: MetricId, c: ContainerId, slice: TimeSlice) -> f64 {
+        match self {
+            AggSource::Naive => viva_agg::integrate_group(trace, metric, c, slice),
+            AggSource::Indexed(idx) => idx.integrate(metric, c, slice),
+        }
+    }
+
+    /// Number of containers under `c` carrying `metric`.
+    fn carriers(self, trace: &Trace, metric: MetricId, c: ContainerId) -> usize {
+        match self {
+            AggSource::Naive => trace
+                .containers()
+                .subtree(c)
+                .into_iter()
+                .filter(|&x| trace.signal(x, metric).is_some())
+                .count(),
+            AggSource::Indexed(idx) => idx.carrier_count(metric, c),
+        }
+    }
+
+    /// Space-time mean, `None` when no data survived the neighbourhood.
+    fn try_mean(self, trace: &Trace, metric: MetricId, c: ContainerId, slice: TimeSlice) -> Option<f64> {
+        match self {
+            AggSource::Naive => viva_agg::try_mean_over_group(trace, metric, c, slice),
+            AggSource::Indexed(idx) => idx.try_mean(metric, c, slice),
+        }
+    }
 }
 
 #[allow(clippy::manual_clamp)] // max-first normalizes -0.0, clamp keeps it
@@ -149,6 +176,111 @@ fn fraction(fill: f64, size: f64) -> f64 {
         (fill / size).max(0.0).min(1.0)
     } else {
         0.0
+    }
+}
+
+/// The cacheable, slice-dependent aggregation result of one visible
+/// container — everything `build_view`'s first pass computes before the
+/// whole-frontier pixel scaling. A session caches these per container
+/// and invalidates them on slice/collapse/mapping changes, so a
+/// collapse only recomputes the affected subtree's entries.
+#[derive(Debug, Clone)]
+pub(crate) struct NodePartial {
+    kind: ContainerKind,
+    shape: Shape,
+    size_value: f64,
+    fill_value: f64,
+    members: usize,
+    badge: Option<(f64, f64)>, // (size_value, fill_value)
+    segments: Vec<(String, f64)>,
+    availability: f64,
+}
+
+/// First-pass aggregation of one visible container (Equation 1 per
+/// mapped metric, badge, pie segments, availability). With an
+/// [`AggSource::Indexed`] source every query but the §6 summary is
+/// `O(log n)`; the naive source reproduces the reference rescan path
+/// value for value.
+pub(crate) fn compute_partial(
+    trace: &Trace,
+    state: &ViewState,
+    slice: TimeSlice,
+    mapping: &MappingConfig,
+    breakdown: &[String],
+    source: AggSource<'_>,
+    c: ContainerId,
+) -> NodePartial {
+    let tree = trace.containers();
+    let width = slice.width();
+    let node = tree.node(c);
+    let kind = node.kind();
+    let rule = mapping.rule(kind);
+    let norm = |v: f64| if width > 0.0 { v / width } else { 0.0 };
+    let (size_value, members) = match rule.size_metric.as_deref().and_then(|n| trace.metric_id(n)) {
+        Some(m) => (
+            norm(source.integral(trace, m, c, slice)),
+            source.carriers(trace, m, c).max(1),
+        ),
+        None => (0.0, 1),
+    };
+    let fill_value = rule
+        .fill_metric
+        .as_deref()
+        .and_then(|n| trace.metric_id(n))
+        .map_or(0.0, |m| norm(source.integral(trace, m, c, slice)));
+    // A collapsed group that contains links gets the Fig. 3 diamond
+    // badge, aggregated with the Link mapping.
+    let badge = if kind.is_grouping() && state.is_collapsed(c) && width > 0.0 {
+        let link_rule = mapping.rule(ContainerKind::Link);
+        link_rule
+            .size_metric
+            .as_deref()
+            .and_then(|n| trace.metric_id(n))
+            .filter(|&m| source.carriers(trace, m, c) > 0)
+            .map(|m| {
+                let bs = norm(source.integral(trace, m, c, slice));
+                let bf = link_rule
+                    .fill_metric
+                    .as_deref()
+                    .and_then(|n| trace.metric_id(n))
+                    .map_or(0.0, |fm| norm(source.integral(trace, fm, c, slice)));
+                (bs, bf)
+            })
+    } else {
+        None
+    };
+    // §6 pie charts: share of each breakdown metric on this node.
+    let mut segments: Vec<(String, f64)> = breakdown
+        .iter()
+        .filter_map(|name| {
+            let m = trace.metric_id(name)?;
+            let integral = source.integral(trace, m, c, slice);
+            (integral > 0.0).then(|| (name.clone(), integral))
+        })
+        .collect();
+    let seg_total: f64 = segments.iter().map(|(_, v)| v).sum();
+    if seg_total > 0.0 {
+        for (_, v) in segments.iter_mut() {
+            *v /= seg_total;
+        }
+    }
+    // Fault-injection first-class signal: how much of the slice the
+    // members were up. Absent signal (a trace without fault
+    // tracing) means "always up", not "down".
+    let availability = trace
+        .metric_id(viva_trace::metric::names::AVAILABILITY)
+        .and_then(|m| source.try_mean(trace, m, c, slice))
+        .unwrap_or(1.0)
+        .clamp(0.0, 1.0);
+    NodePartial {
+        kind,
+        shape: rule.shape,
+        size_value,
+        fill_value,
+        members,
+        badge,
+        segments,
+        availability,
     }
 }
 
@@ -172,103 +304,63 @@ pub fn build_view(
     leaf_edges: &[(ContainerId, ContainerId)],
     breakdown: &[String],
 ) -> GraphView {
+    build_view_cached(
+        trace,
+        state,
+        slice,
+        mapping,
+        scaling,
+        positions,
+        leaf_edges,
+        breakdown,
+        AggSource::Naive,
+        &mut HashMap::new(),
+    )
+}
+
+/// [`build_view`] with an explicit aggregation source and a reusable
+/// per-container cache of first-pass partials. Only containers missing
+/// from `cache` are aggregated; the whole-frontier pixel scaling
+/// (second pass) is recomputed every time, since it depends on the
+/// frontier-wide maxima.
+#[allow(clippy::too_many_arguments)] // one parameter per §3–§4 input
+pub(crate) fn build_view_cached(
+    trace: &Trace,
+    state: &ViewState,
+    slice: TimeSlice,
+    mapping: &MappingConfig,
+    scaling: &ScalingConfig,
+    positions: &dyn Fn(ContainerId) -> Vec2,
+    leaf_edges: &[(ContainerId, ContainerId)],
+    breakdown: &[String],
+    source: AggSource<'_>,
+    cache: &mut HashMap<ContainerId, NodePartial>,
+) -> GraphView {
     let tree = trace.containers();
     let visible = state.visible(tree);
 
-    // First pass: aggregate metric values per node.
-    struct Partial {
-        container: ContainerId,
-        kind: ContainerKind,
-        shape: Shape,
-        size_value: f64,
-        fill_value: f64,
-        members: usize,
-        fill_summary: Summary,
-        badge: Option<(f64, f64)>, // (size_value, fill_value)
-        segments: Vec<(String, f64)>,
-        availability: f64,
-    }
-    let width = slice.width();
-    let avail_metric = trace.metric_id(viva_trace::metric::names::AVAILABILITY);
-    let mut partials: Vec<Partial> = Vec::with_capacity(visible.len());
-    for &c in &visible {
-        let node = tree.node(c);
-        let kind = node.kind();
-        let rule = mapping.rule(kind);
-        let size_agg = aggregate(trace, rule.size_metric.as_deref(), c, slice);
-        let fill_agg = aggregate(trace, rule.fill_metric.as_deref(), c, slice);
-        let size_value = size_agg
-            .as_ref()
-            .map_or(0.0, |a| if width > 0.0 { a.integral / width } else { 0.0 });
-        let fill_value = fill_agg
-            .as_ref()
-            .map_or(0.0, |a| if width > 0.0 { a.integral / width } else { 0.0 });
-        let members = size_agg.as_ref().map_or(1, |a| a.members.max(1));
-        let fill_summary = fill_agg.as_ref().map(|a| a.summary).unwrap_or_default();
-        // A collapsed group that contains links gets the Fig. 3 diamond
-        // badge, aggregated with the Link mapping.
-        let badge = if kind.is_grouping() && state.is_collapsed(c) {
-            let link_rule = mapping.rule(ContainerKind::Link);
-            let bs = aggregate(trace, link_rule.size_metric.as_deref(), c, slice);
-            match bs {
-                Some(a) if a.members > 0 && width > 0.0 => {
-                    let bf = aggregate(trace, link_rule.fill_metric.as_deref(), c, slice);
-                    Some((
-                        a.integral / width,
-                        bf.map_or(0.0, |x| x.integral / width),
-                    ))
-                }
-                _ => None,
-            }
-        } else {
-            None
-        };
-        // §6 pie charts: share of each breakdown metric on this node.
-        let mut segments: Vec<(String, f64)> = breakdown
-            .iter()
-            .filter_map(|name| {
-                let agg = aggregate(trace, Some(name), c, slice)?;
-                (agg.integral > 0.0).then(|| (name.clone(), agg.integral))
-            })
-            .collect();
-        let seg_total: f64 = segments.iter().map(|(_, v)| v).sum();
-        if seg_total > 0.0 {
-            for (_, v) in segments.iter_mut() {
-                *v /= seg_total;
-            }
-        }
-        // Fault-injection first-class signal: how much of the slice the
-        // members were up. Absent signal (a trace without fault
-        // tracing) means "always up", not "down".
-        let availability = avail_metric
-            .and_then(|m| viva_agg::try_mean_over_group(trace, m, c, slice))
-            .unwrap_or(1.0)
-            .clamp(0.0, 1.0);
-        partials.push(Partial {
-            container: c,
-            kind,
-            shape: rule.shape,
-            size_value,
-            fill_value,
-            members,
-            fill_summary,
-            badge,
-            segments,
-            availability,
-        });
-    }
+    // First pass: aggregate metric values per node (cached).
+    let partials: Vec<(ContainerId, NodePartial)> = visible
+        .iter()
+        .map(|&c| {
+            let p = cache
+                .entry(c)
+                .or_insert_with(|| compute_partial(trace, state, slice, mapping, breakdown, source, c));
+            (c, p.clone())
+        })
+        .collect();
 
     // Second pass: per-size-group screen scaling (paper §4.1). Badge
     // sizes participate in the link group's scale.
     let mut groups: HashMap<String, Vec<f64>> = HashMap::new();
-    for p in &partials {
+    for (_, p) in &partials {
         groups
             .entry(mapping.size_group(p.kind))
             .or_default()
             .push(p.size_value);
     }
     let link_group = mapping.size_group(ContainerKind::Link);
-    for p in &partials {
+    for (_, p) in &partials {
         if let Some((bs, _)) = p.badge {
             groups.entry(link_group.clone()).or_default().push(bs);
         }
@@ -285,7 +377,7 @@ pub fn build_view(
 
     let mut nodes: Vec<ViewNode> = partials
         .into_iter()
-        .map(|p| {
+        .map(|(container, p)| {
             let group = mapping.size_group(p.kind);
             let link_badge = p.badge.map(|(bs, bf)| LinkBadge {
                 size_value: bs,
@@ -294,17 +386,16 @@ pub fn build_view(
                 px_size: px_of(&link_group, bs),
             });
             ViewNode {
-                label: tree.node(p.container).name().to_owned(),
+                label: tree.node(container).name().to_owned(),
                 kind: p.kind,
                 shape: p.shape,
                 fill_fraction: fraction(p.fill_value, p.size_value),
                 px_size: px_of(&group, p.size_value),
-                position: positions(p.container),
+                position: positions(container),
                 members: p.members,
-                fill_summary: p.fill_summary,
                 link_badge,
                 segments: p.segments,
-                container: p.container,
+                container,
                 size_value: p.size_value,
                 fill_value: p.fill_value,
                 availability: p.availability,
@@ -337,6 +428,7 @@ pub fn build_view(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use viva_agg::GroupAggregate;
     use viva_trace::TraceBuilder;
 
     /// cluster(c1: h1 100/50 used, h2 25/25 used, l1 bw 1000/500 used)
@@ -411,8 +503,11 @@ mod tests {
         assert_eq!(agg.fill_value, 75.0);
         assert_eq!(agg.fill_fraction, 0.6);
         assert_eq!(agg.members, 2);
-        // §6 indicators over member means {50, 25}.
-        assert_eq!(agg.fill_summary.mean, 37.5);
+        // §6 indicators over member means {50, 25} stay available on
+        // demand (the view itself no longer carries them).
+        let m = t.metric_id("power_used").unwrap();
+        let slice = TimeSlice::new(t.start(), t.end());
+        assert_eq!(GroupAggregate::compute(&t, m, c1, slice).summary.mean, 37.5);
         // Fig. 3 diamond badge for the aggregated link.
         let badge = agg.link_badge.as_ref().expect("cluster contains a link");
         assert_eq!(badge.size_value, 1000.0);

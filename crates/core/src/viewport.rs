@@ -1,0 +1,142 @@
+//! The viewport: where and how a view is rendered.
+//!
+//! [`Viewport`] bundles every *presentation* parameter — canvas size,
+//! theme, labels, padding — into one value, so growing the renderer
+//! (themes today, export DPI or font choices tomorrow) never churns the
+//! `render(width, height, ...)` call sites again.
+
+/// Rendering color theme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Theme {
+    /// White background, the paper's figures. The default; output is
+    /// byte-identical to what the renderer produced before themes
+    /// existed.
+    #[default]
+    Light,
+    /// Dark background for screen use.
+    Dark,
+}
+
+impl Theme {
+    /// Canvas background fill.
+    pub(crate) fn background(self) -> &'static str {
+        match self {
+            Theme::Light => "#ffffff",
+            Theme::Dark => "#1b1e23",
+        }
+    }
+
+    /// Edge stroke color.
+    pub(crate) fn edge_stroke(self) -> &'static str {
+        match self {
+            Theme::Light => "#bbbbbb",
+            Theme::Dark => "#555c66",
+        }
+    }
+
+    /// Label text fill.
+    pub(crate) fn label_fill(self) -> &'static str {
+        match self {
+            Theme::Light => "#333",
+            Theme::Dark => "#c9ccd1",
+        }
+    }
+}
+
+/// A render target: canvas geometry plus presentation options.
+///
+/// ```
+/// use viva::{Theme, Viewport};
+///
+/// let vp = Viewport::new(1280.0, 720.0).with_theme(Theme::Dark).with_labels(true);
+/// assert_eq!(vp.width, 1280.0);
+/// assert_eq!(vp.theme, Theme::Dark);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Viewport {
+    /// Canvas width, pixels.
+    pub width: f64,
+    /// Canvas height, pixels.
+    pub height: f64,
+    /// Color theme.
+    pub theme: Theme,
+    /// Draw node labels.
+    pub labels: bool,
+    /// Padding around the drawing, pixels.
+    pub padding: f64,
+}
+
+impl Default for Viewport {
+    fn default() -> Self {
+        Viewport {
+            width: 800.0,
+            height: 600.0,
+            theme: Theme::Light,
+            labels: false,
+            padding: 30.0,
+        }
+    }
+}
+
+impl Viewport {
+    /// A viewport of the given canvas size with default presentation
+    /// (light theme, no labels).
+    pub fn new(width: f64, height: f64) -> Viewport {
+        Viewport { width, height, ..Viewport::default() }
+    }
+
+    /// Sets the color theme.
+    #[must_use]
+    pub fn with_theme(mut self, theme: Theme) -> Viewport {
+        self.theme = theme;
+        self
+    }
+
+    /// Enables or disables node labels.
+    #[must_use]
+    pub fn with_labels(mut self, labels: bool) -> Viewport {
+        self.labels = labels;
+        self
+    }
+
+    /// Sets the padding around the drawing.
+    #[must_use]
+    pub fn with_padding(mut self, padding: f64) -> Viewport {
+        self.padding = padding;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_historical_renderer() {
+        let vp = Viewport::default();
+        assert_eq!((vp.width, vp.height), (800.0, 600.0));
+        assert_eq!(vp.theme, Theme::Light);
+        assert!(!vp.labels);
+        assert_eq!(vp.padding, 30.0);
+    }
+
+    #[test]
+    fn builder_style_setters_compose() {
+        let vp = Viewport::new(100.0, 50.0)
+            .with_theme(Theme::Dark)
+            .with_labels(true)
+            .with_padding(5.0);
+        assert_eq!(vp.theme, Theme::Dark);
+        assert!(vp.labels);
+        assert_eq!(vp.padding, 5.0);
+        assert_eq!((vp.width, vp.height), (100.0, 50.0));
+    }
+
+    #[test]
+    fn light_theme_keeps_the_golden_palette() {
+        assert_eq!(Theme::Light.background(), "#ffffff");
+        assert_eq!(Theme::Light.edge_stroke(), "#bbbbbb");
+        assert_eq!(Theme::Light.label_fill(), "#333");
+        assert_ne!(Theme::Dark.background(), Theme::Light.background());
+    }
+}

@@ -40,7 +40,15 @@ pub struct LayoutEngine {
     edges: BTreeSet<(NodeKey, NodeKey)>,
     rng: SmallRng,
     steps: u64,
+    /// Worker threads for the repulsion pass: `None` = auto (hardware
+    /// parallelism above a size threshold), `Some(1)` = serial,
+    /// `Some(n)` = exactly `n` threads.
+    threads: Option<usize>,
 }
+
+/// Below this node count the auto parallelism mode stays serial:
+/// spawning scoped threads costs more than the whole repulsion pass.
+const PARALLEL_THRESHOLD: usize = 256;
 
 impl LayoutEngine {
     /// Creates an empty layout. `seed` drives initial node placement
@@ -59,12 +67,32 @@ impl LayoutEngine {
             edges: BTreeSet::new(),
             rng: SmallRng::seed_from_u64(seed),
             steps: 0,
+            threads: None,
         }
     }
 
     /// Current parameters.
     pub fn config(&self) -> &LayoutConfig {
         &self.config
+    }
+
+    /// Sets the worker-thread policy of the repulsion pass: `None` for
+    /// auto (hardware parallelism once the layout outgrows a small
+    /// threshold), `Some(1)` to force the serial path, `Some(n)` to
+    /// force `n` threads.
+    ///
+    /// Parallelism never changes results: every node's force is
+    /// computed independently against the same read-only quadtree and
+    /// written to its own slot, so the layout is byte-identical
+    /// whatever the thread count (a property the tests pin down).
+    pub fn set_parallelism(&mut self, threads: Option<usize>) {
+        self.threads = threads.map(|t| t.max(1));
+    }
+
+    /// The current worker-thread policy (see
+    /// [`set_parallelism`](LayoutEngine::set_parallelism)).
+    pub fn parallelism(&self) -> Option<usize> {
+        self.threads
     }
 
     /// Mutable parameters — the §4.2 sliders. Values are validated on
@@ -300,18 +328,55 @@ impl LayoutEngine {
         }
     }
 
-    /// One Barnes-Hut iteration (`O(n log n)`). Returns the largest
-    /// node displacement, usable as a convergence measure.
+    /// Fills `forces` with Barnes-Hut repulsion, fanning the node range
+    /// out over scoped threads when the policy calls for it. Each
+    /// worker owns a disjoint chunk of the output slice and reads the
+    /// shared quadtree, so the result does not depend on the thread
+    /// count — no reduction across threads ever happens.
+    fn repulsion_pass(&self, tree: &QuadTree, cfg: &LayoutConfig, forces: &mut [Vec2]) {
+        let n = self.nodes.len();
+        let threads = match self.threads {
+            Some(t) => t,
+            None if n < PARALLEL_THRESHOLD => 1,
+            None => std::thread::available_parallelism().map_or(1, |p| p.get()),
+        }
+        .min(n.max(1));
+        if threads <= 1 {
+            for (i, node) in self.nodes.iter().enumerate() {
+                forces[i] = tree
+                    .repulsion(node.pos, node.charge, i, cfg.theta, cfg.min_distance)
+                    * cfg.repulsion;
+            }
+            return;
+        }
+        let chunk = n.div_ceil(threads);
+        std::thread::scope(|s| {
+            for (ci, (fs, ns)) in forces
+                .chunks_mut(chunk)
+                .zip(self.nodes.chunks(chunk))
+                .enumerate()
+            {
+                let base = ci * chunk;
+                s.spawn(move || {
+                    for (j, (f, node)) in fs.iter_mut().zip(ns).enumerate() {
+                        *f = tree
+                            .repulsion(node.pos, node.charge, base + j, cfg.theta, cfg.min_distance)
+                            * cfg.repulsion;
+                    }
+                });
+            }
+        });
+    }
+
+    /// One Barnes-Hut iteration (`O(n log n)`, repulsion parallelised
+    /// per [`set_parallelism`](LayoutEngine::set_parallelism)). Returns
+    /// the largest node displacement, usable as a convergence measure.
     pub fn step(&mut self) -> f64 {
         let cfg = self.config.validated();
         let points: Vec<(Vec2, f64)> = self.nodes.iter().map(|n| (n.pos, n.charge)).collect();
         let tree = QuadTree::build(&points);
         let mut forces = vec![Vec2::default(); self.nodes.len()];
-        for (i, n) in self.nodes.iter().enumerate() {
-            forces[i] = tree
-                .repulsion(n.pos, n.charge, i, cfg.theta, cfg.min_distance)
-                * cfg.repulsion;
-        }
+        self.repulsion_pass(&tree, &cfg, &mut forces);
         self.spring_forces(&mut forces);
         self.apply_forces(&forces)
     }
@@ -631,6 +696,52 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// The satellite invariant: the parallel force pass produces
+    /// byte-identical layouts to the serial pass, whatever the thread
+    /// count or chunking.
+    #[test]
+    fn parallel_repulsion_is_byte_identical_to_serial() {
+        let build = |threads: Option<usize>| {
+            let mut e = engine();
+            e.set_parallelism(threads);
+            for i in 0..300 {
+                e.add_node(NodeKey(i), 1.0 + (i % 7) as f64 * 0.3);
+            }
+            for i in 0..299 {
+                if i % 3 != 0 {
+                    e.add_edge(NodeKey(i), NodeKey(i + 1));
+                }
+            }
+            for _ in 0..40 {
+                e.step();
+            }
+            e.positions().collect::<Vec<_>>()
+        };
+        let serial = build(Some(1));
+        // Auto mode, even splits, ragged splits, more threads than
+        // cores: all must match the serial pass exactly (f64 equality,
+        // i.e. bit-for-bit for finite values).
+        for threads in [None, Some(2), Some(3), Some(7), Some(16)] {
+            assert_eq!(serial, build(threads), "thread policy {threads:?} diverged");
+        }
+    }
+
+    #[test]
+    fn parallelism_policy_is_clamped_and_readable() {
+        let mut e = engine();
+        assert_eq!(e.parallelism(), None);
+        e.set_parallelism(Some(0));
+        assert_eq!(e.parallelism(), Some(1), "0 clamps to serial");
+        e.set_parallelism(Some(4));
+        assert_eq!(e.parallelism(), Some(4));
+        // More threads than nodes must not panic.
+        e.add_node(NodeKey(1), 1.0);
+        e.add_node(NodeKey(2), 1.0);
+        e.step();
+        e.set_parallelism(None);
+        assert_eq!(e.parallelism(), None);
     }
 
     #[test]

@@ -208,6 +208,21 @@ impl Signal {
         &self.times
     }
 
+    /// Values taken after each breakpoint (parallel to
+    /// [`Signal::times`]).
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Running antiderivative at each breakpoint: `cumulative()[i]` is
+    /// the integral of the signal over `[times()[0], times()[i]]`.
+    /// Parallel to [`Signal::times`]. This is the raw material
+    /// aggregation indices are built from — they splice these arrays
+    /// instead of re-integrating event by event.
+    pub fn cumulative(&self) -> &[f64] {
+        &self.cum
+    }
+
     /// Builds the pointwise sum of several signals.
     ///
     /// The result has a breakpoint wherever any input has one. Useful

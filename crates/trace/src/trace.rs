@@ -99,6 +99,22 @@ impl Trace {
         v
     }
 
+    /// All `(container, signal)` pairs recorded for `metric`, in
+    /// container-id order. The deterministic enumeration aggregation
+    /// indices are built from (the unordered [`Trace::signals`]
+    /// iterator would make merged-timeline float summation
+    /// irreproducible).
+    pub fn signals_for_metric(&self, metric: MetricId) -> Vec<(ContainerId, &Signal)> {
+        let mut v: Vec<(ContainerId, &Signal)> = self
+            .signals
+            .iter()
+            .filter(|&(&(_, m), _)| m == metric)
+            .map(|(&(c, _), s)| (c, s))
+            .collect();
+        v.sort_by_key(|&(c, _)| c);
+        v
+    }
+
     /// Completed state intervals, sorted by `(container, start)`.
     pub fn states(&self) -> &[StateRecord] {
         &self.states

@@ -9,7 +9,7 @@
 //! uses this value to prioritize workers' requests: when several
 //! workers request some work, the one with the largest bandwidth is
 //! served in priority". Workers keep a **prefetch buffer of three
-//! tasks** "to minimize [their] idleness".
+//! tasks** "to minimize \[their\] idleness".
 //!
 //! A FIFO scheduler is provided as the ablation the paper sketches:
 //! "a simple FIFO mechanism would not exhibit such locality and would

@@ -1,5 +1,5 @@
 //! Detecting resource-usage anomalies with multi-scale aggregation —
-//! the workflow of the authors' companion paper (reference [33]:
+//! the workflow of the authors' companion paper (reference \[33\]:
 //! "Detection and Analysis of Resource Usage Anomalies in Large
 //! Distributed Systems through Multi-scale Visualization").
 //!
@@ -12,7 +12,7 @@
 //! cargo run --release -p viva-examples --bin anomaly_detection
 //! ```
 
-use viva::{AnalysisSession, SessionConfig};
+use viva::{AnalysisSession, Viewport};
 use viva_agg::{Summary, TimeSlice};
 use viva_platform::generators;
 use viva_simflow::{Actor, ActorId, Ctx, Payload, Simulation, Tag, TracingConfig};
@@ -140,7 +140,7 @@ fn main() {
     // window shows star-5 with full fill (saturated at reduced
     // capacity) and smaller size (capacity is the node size!).
     let mut session =
-        AnalysisSession::with_platform(trace, SessionConfig::default(), &platform);
+        AnalysisSession::builder(trace).platform(&platform).build();
     session.set_time_slice(TimeSlice::new(9.0, 11.0));
     session.relax(300);
     let view = session.view();
@@ -151,6 +151,6 @@ fn main() {
         sick.size_value, healthy.size_value
     );
     assert!(sick.size_value < healthy.size_value * 0.6);
-    std::fs::write("anomaly.svg", session.render_svg(640.0, 480.0)).expect("write svg");
+    std::fs::write("anomaly.svg", session.render(&Viewport::new(640.0, 480.0))).expect("write svg");
     println!("wrote anomaly.svg");
 }

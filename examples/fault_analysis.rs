@@ -22,7 +22,7 @@
 //! cargo run -p viva-examples --bin fault_analysis
 //! ```
 
-use viva::{AnalysisSession, SessionConfig, SessionError};
+use viva::{AnalysisSession, SessionError, Viewport};
 use viva_platform::generators::{self, TwoClustersConfig};
 use viva_simflow::{FaultPlan, TracingConfig};
 use viva_trace::ContainerId;
@@ -80,7 +80,7 @@ fn main() {
     // 3. Open the trace; crashed hosts carry availability < 1.
     let trace = run.trace.expect("traced run");
     let mut session =
-        AnalysisSession::with_platform(trace, SessionConfig::default(), &platform);
+        AnalysisSession::builder(trace).platform(&platform).build();
     session.try_set_time_slice(0.0, run.makespan).expect("finite bounds");
     session.relax(500);
     let view = session.view();
@@ -104,7 +104,7 @@ fn main() {
     );
     assert!(agg.is_degraded(), "partial failure survives aggregation");
 
-    let svg = session.render_svg(800.0, 600.0);
+    let svg = session.render(&Viewport::new(800.0, 600.0));
     assert!(svg.contains("data-availability"), "degradation reaches the SVG");
     std::fs::write("fault_analysis.svg", &svg).expect("write svg");
     println!("   wrote fault_analysis.svg (dashed red = was down in the slice)");

@@ -9,7 +9,7 @@
 //! cargo run --release -p viva-examples --bin gridmw_analysis
 //! ```
 
-use viva::{AnalysisSession, Animation, SessionConfig};
+use viva::{AnalysisSession, Animation, Viewport};
 use viva_agg::TimeSlice;
 use viva_platform::generators::{self, Grid5000Config};
 use viva_simflow::TracingConfig;
@@ -67,7 +67,7 @@ fn main() {
     let trace = run.trace.expect("traced");
 
     let mut session =
-        AnalysisSession::with_platform(trace, SessionConfig::default(), &platform);
+        AnalysisSession::builder(trace).platform(&platform).build();
     session.set_time_slice(TimeSlice::new(run.makespan * 0.2, run.makespan * 0.6));
 
     // Walk the aggregation levels the way Fig. 8 does.
@@ -89,12 +89,16 @@ fn main() {
             .collect();
         groups.sort_by(|a, b| b.fill_fraction.total_cmp(&a.fill_fraction));
         for g in groups.iter().take(5) {
+            let stddev = session
+                .aggregate("power_used", g.container)
+                .map(|a| a.summary.std_dev())
+                .unwrap_or(0.0);
             println!(
                 "  {:<14} {} members, fill {:>3.0}%, member stddev {:.0} MFlop/s",
                 g.label,
                 g.members,
                 g.fill_fraction * 100.0,
-                g.fill_summary.std_dev()
+                stddev
             );
         }
     }
@@ -122,7 +126,7 @@ fn main() {
         anim.len(),
         anim.max_frame_displacement()
     );
-    let svg = session.render_svg(800.0, 600.0);
+    let svg = session.render(&Viewport::new(800.0, 600.0));
     std::fs::write("gridmw_sites.svg", &svg).expect("write svg");
     println!("wrote gridmw_sites.svg");
 }

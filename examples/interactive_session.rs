@@ -11,7 +11,7 @@
 //! ```
 
 use viva::mapping::{NodeMapping, Shape};
-use viva::{AnalysisSession, SessionConfig};
+use viva::{AnalysisSession, Viewport};
 use viva_layout::Vec2;
 use viva_platform::generators;
 use viva_simflow::TracingConfig;
@@ -29,7 +29,7 @@ fn main() {
     );
     let trace = run.trace.expect("traced");
     let mut session =
-        AnalysisSession::with_platform(trace, SessionConfig::default(), &platform);
+        AnalysisSession::builder(trace).platform(&platform).build();
 
     println!("1. initial layout ({} nodes)...", session.view().nodes.len());
     let steps = session.relax(2000);
@@ -129,7 +129,7 @@ fn main() {
         session.view().nodes.len()
     );
 
-    let svg = session.render_svg(800.0, 600.0);
+    let svg = session.render(&Viewport::new(800.0, 600.0));
     std::fs::write("interactive_session.svg", &svg).expect("write svg");
     println!("wrote interactive_session.svg");
 }

@@ -6,7 +6,7 @@
 //! cargo run --release -p viva-examples --bin nasdt_analysis
 //! ```
 
-use viva::{AnalysisSession, SessionConfig};
+use viva::AnalysisSession;
 use viva_agg::TimeSlice;
 use viva_platform::generators;
 use viva_simflow::TracingConfig;
@@ -26,7 +26,7 @@ fn main() {
     // links by utilization.
     let trace = seq.trace.expect("traced");
     let mut session =
-        AnalysisSession::with_platform(trace, SessionConfig::default(), &platform);
+        AnalysisSession::builder(trace).platform(&platform).build();
     session.relax(400);
     let view = session.view();
     let mut links: Vec<_> = view
@@ -66,7 +66,7 @@ fn main() {
 
     let trace = loc.trace.expect("traced");
     let mut session =
-        AnalysisSession::with_platform(trace, SessionConfig::default(), &platform);
+        AnalysisSession::builder(trace).platform(&platform).build();
     session.relax(400);
     let view = session.view();
     let bb = view.node_by_label("adonis-bb").expect("backbone node");

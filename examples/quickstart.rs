@@ -5,7 +5,7 @@
 //! cargo run -p viva-examples --bin quickstart
 //! ```
 
-use viva::{AnalysisSession, SessionConfig};
+use viva::{AnalysisSession, Viewport};
 use viva_agg::TimeSlice;
 use viva_platform::generators;
 use viva_simflow::{Actor, ActorId, Ctx, Payload, Simulation, Tag, TracingConfig};
@@ -61,7 +61,7 @@ fn main() {
     println!("simulated {makespan:.3} s, {} signals recorded", trace.signal_count());
 
     // 3. Analysis: topology view over the whole run.
-    let mut session = AnalysisSession::with_platform(trace, SessionConfig::default(), &platform);
+    let mut session = AnalysisSession::builder(trace).platform(&platform).build();
     session.relax(500);
     let view = session.view();
     println!("view: {} nodes, {} edges", view.nodes.len(), view.edges.len());
@@ -85,7 +85,7 @@ fn main() {
     );
 
     // 5. Render.
-    let svg = session.render_svg(640.0, 480.0);
+    let svg = session.render(&Viewport::new(640.0, 480.0));
     std::fs::write("quickstart.svg", &svg).expect("write svg");
     println!("wrote quickstart.svg ({} bytes)", svg.len());
 }

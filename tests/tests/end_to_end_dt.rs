@@ -1,7 +1,7 @@
 //! End-to-end §5.1: simulate NAS-DT, analyze the trace through the full
 //! visualization stack, and verify the paper's Figs. 6/7 phenomena.
 
-use viva::{AnalysisSession, SessionConfig};
+use viva::AnalysisSession;
 use viva_agg::TimeSlice;
 use viva_platform::generators;
 use viva_simflow::TracingConfig;
@@ -23,7 +23,7 @@ fn fig6_sequential_saturates_inter_cluster_links() {
     );
     let trace = run.trace.unwrap();
     let mut session =
-        AnalysisSession::with_platform(trace, SessionConfig::default(), &platform);
+        AnalysisSession::builder(trace).platform(&platform).build();
 
     // Whole run + begin/middle/end slices, as in Fig. 6: the two
     // inter-cluster links are the most utilized everywhere.
@@ -95,7 +95,7 @@ fn fig7_locality_wins_by_roughly_twenty_percent() {
     // the clusters").
     let trace = loc.trace.unwrap();
     let mut session =
-        AnalysisSession::with_platform(trace, SessionConfig::default(), &platform);
+        AnalysisSession::builder(trace).platform(&platform).build();
     session.set_time_slice(TimeSlice::new(0.0, loc.makespan));
     let view = session.view();
     let busiest = view
@@ -124,7 +124,7 @@ fn collapsing_clusters_preserves_total_usage() {
     );
     let trace = run.trace.unwrap();
     let mut session =
-        AnalysisSession::with_platform(trace, SessionConfig::default(), &platform);
+        AnalysisSession::builder(trace).platform(&platform).build();
     session.set_time_slice(TimeSlice::new(0.0, run.makespan));
 
     let tree = session.trace().containers();

@@ -3,7 +3,7 @@
 //! diffusion behaviour.
 
 use viva::animation::evolution_matrix;
-use viva::{AnalysisSession, SessionConfig};
+use viva::AnalysisSession;
 use viva_agg::TimeSlice;
 use viva_platform::generators::{self, Grid5000Config};
 use viva_platform::RouteTable;
@@ -64,7 +64,7 @@ fn fig8_phenomena_at_aggregated_levels() {
     );
     let trace = run.trace.unwrap();
     let slice = TimeSlice::new(run.makespan * 0.2, run.makespan * 0.6);
-    let mut session = AnalysisSession::with_platform(trace, SessionConfig::default(), &p);
+    let mut session = AnalysisSession::builder(trace).platform(&p).build();
     session.set_time_slice(slice);
 
     // Phenomenon 1: the CPU-bound app uses more compute overall.

@@ -7,7 +7,7 @@
 //!   reproducible down to the byte, trace and SVG alike.
 
 use proptest::prelude::*;
-use viva::{AnalysisSession, SessionConfig};
+use viva::{AnalysisSession, Viewport};
 use viva_platform::generators::{self, Grid5000Config};
 use viva_platform::Platform;
 use viva_simflow::{FaultPlan, TracingConfig};
@@ -163,10 +163,10 @@ fn seeded_faulty_runs_are_byte_identical() {
         let trace = result.trace.expect("traced run");
         let csv = viva_trace::export::to_csv(&trace);
         let mut session =
-            AnalysisSession::with_platform(trace, SessionConfig::default(), &p);
+            AnalysisSession::builder(trace).platform(&p).build();
         session.try_set_time_slice(0.0, result.makespan).unwrap();
         session.relax(200);
-        (result.makespan, csv, session.render_svg(800.0, 600.0))
+        (result.makespan, csv, session.render(&Viewport::new(800.0, 600.0)))
     };
     let (makespan_a, trace_a, svg_a) = render();
     let (makespan_b, trace_b, svg_b) = render();

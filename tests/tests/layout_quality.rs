@@ -16,7 +16,7 @@ fn dt_session() -> (viva_platform::Platform, AnalysisSession) {
         Some(TracingConfig { record_messages: false, record_accounts: false }),
     );
     let session =
-        AnalysisSession::with_platform(run.trace.unwrap(), SessionConfig::default(), &p);
+        AnalysisSession::builder(run.trace.unwrap()).platform(&p).build();
     (p, session)
 }
 
@@ -74,11 +74,10 @@ fn collapse_is_smoother_than_fresh_layout() {
     }
     // A fresh layout of the same trace with another seed puts nodes in
     // totally different places.
-    let mut fresh = AnalysisSession::with_platform(
-        session.trace().clone(),
-        SessionConfig { seed: 999, ..Default::default() },
-        &p,
-    );
+    let mut fresh = AnalysisSession::builder(session.trace().clone())
+        .config(SessionConfig { seed: 999, ..Default::default() })
+        .platform(&p)
+        .build();
     fresh.collapse(adonis).unwrap();
     fresh.relax(30);
     let mut fresh_drift = 0.0f64;

@@ -2,7 +2,7 @@
 //! Equation 1 conservation across aggregation levels, and rendering
 //! stability.
 
-use viva::{AnalysisSession, SessionConfig};
+use viva::{AnalysisSession, Viewport};
 use viva_agg::{integrate_group, TimeSlice, ViewState};
 use viva_platform::generators;
 use viva_simflow::TracingConfig;
@@ -26,12 +26,12 @@ fn whole_pipeline_is_deterministic() {
         let (platform, run) = traced_run();
         let trace = run.trace.unwrap();
         let mut session =
-            AnalysisSession::with_platform(trace, SessionConfig::default(), &platform);
+            AnalysisSession::builder(trace).platform(&platform).build();
         session.relax(200);
         let adonis = session.trace().containers().by_name("adonis").unwrap().id();
         session.collapse(adonis).unwrap();
         session.relax(50);
-        session.render_svg(800.0, 600.0)
+        session.render(&Viewport::new(800.0, 600.0))
     };
     assert_eq!(render(), render(), "same seed, same bytes");
 }
@@ -107,7 +107,7 @@ fn session_from_communication_pairs_without_platform() {
     let (_, run) = traced_run();
     let trace = run.trace.unwrap();
     assert!(!trace.links().is_empty(), "messages were recorded");
-    let session = AnalysisSession::new(trace, SessionConfig::default());
+    let session = AnalysisSession::builder(trace).build();
     let view = session.view();
     assert!(
         !view.edges.is_empty(),
@@ -120,9 +120,9 @@ fn svg_snapshot_has_expected_structure() {
     let (platform, run) = traced_run();
     let trace = run.trace.unwrap();
     let mut session =
-        AnalysisSession::with_platform(trace, SessionConfig::default(), &platform);
+        AnalysisSession::builder(trace).platform(&platform).build();
     session.relax(100);
-    let svg = session.render_svg(640.0, 480.0);
+    let svg = session.render(&Viewport::new(640.0, 480.0));
     let squares = svg.matches("node-square").count();
     let diamonds = svg.matches("node-diamond").count();
     let circles = svg.matches("node-circle").count();

@@ -3,7 +3,7 @@
 //! session's invariants.
 
 use proptest::prelude::*;
-use viva::{AnalysisSession, SessionConfig};
+use viva::AnalysisSession;
 use viva_agg::TimeSlice;
 use viva_layout::Vec2;
 use viva_platform::generators::{self, Grid5000Config};
@@ -52,7 +52,7 @@ fn build_session() -> AnalysisSession {
         &apps,
         Some(TracingConfig { record_messages: false, record_accounts: false }),
     );
-    AnalysisSession::with_platform(run.trace.unwrap(), SessionConfig::default(), &p)
+    AnalysisSession::builder(run.trace.unwrap()).platform(&p).build()
 }
 
 proptest! {

@@ -103,17 +103,10 @@ fn resample_matches_view_fill_values() {
     let h = trace.containers().by_name("adonis-2").unwrap().id();
     let sig = trace.signal_by_name(h, "power_used").unwrap();
     let bins = timeline::resample(sig, 0.0, run.makespan, 5);
-    let session = viva::AnalysisSession::with_platform(
-        trace,
-        viva::SessionConfig::default(),
-        &p,
-    );
+    let session = viva::AnalysisSession::builder(trace).platform(&p).build();
     for (i, slice) in TimeSlice::new(0.0, run.makespan).split(5).iter().enumerate() {
-        let mut s2 = viva::AnalysisSession::with_platform(
-            session.trace().clone(),
-            viva::SessionConfig::default(),
-            &p,
-        );
+        let mut s2 =
+            viva::AnalysisSession::builder(session.trace().clone()).platform(&p).build();
         s2.set_time_slice(*slice);
         let fill = s2.view().node(h).unwrap().fill_value;
         assert!(
