@@ -22,4 +22,11 @@ cargo run --quiet --release -p viva-bench --bin fig10_faulttolerance -- --small 
 # are only asserted by the full run.
 cargo run --quiet --release -p viva-bench --bin fig_interactivity -- --small > /dev/null
 
+echo "==> fuzz-smoke: adversarial ingest corpus, both recovery modes"
+# Deterministic and offline: every corpus file plus synthesized
+# pathologies (10 MB lines, NaN floods, id collisions) must load
+# without panics, with stable error summaries, and render a valid SVG
+# carrying the degraded-data badge wherever events survived.
+cargo run --quiet --release -p viva-bench --bin fuzz_ingest > /dev/null
+
 echo "ci: all green"

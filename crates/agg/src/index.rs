@@ -36,6 +36,7 @@ use crate::timeslice::TimeSlice;
 pub struct GroupSeries {
     signal: Signal,
     carriers: usize,
+    saturated: u64,
 }
 
 impl GroupSeries {
@@ -59,6 +60,14 @@ impl GroupSeries {
     pub fn is_empty(&self) -> bool {
         self.signal.is_empty()
     }
+
+    /// Breakpoints at which the running sum left the finite range and
+    /// was clamped during the merge (see `merge_signals`). 0 for any
+    /// realistically-scaled trace; non-zero means the group signal is a
+    /// saturated approximation near `±f64::MAX` instead of a panic.
+    pub fn saturated(&self) -> u64 {
+        self.saturated
+    }
 }
 
 /// Per-metric slice of the index.
@@ -70,6 +79,11 @@ struct MetricIndex {
     /// Merged series per container (dense by container index); `None`
     /// when no container in the subtree carries the metric.
     series: Vec<Option<GroupSeries>>,
+    /// Prefix sums of the per-container quarantine counters in
+    /// pre-order (`len n + 1`), so the quarantined samples under any
+    /// group are one Euler-tour subtraction. Empty when the metric has
+    /// no quarantined samples anywhere (the common case).
+    quarantine_prefix: Vec<u64>,
 }
 
 /// A precomputed multilevel aggregation index over one [`Trace`].
@@ -122,9 +136,22 @@ impl AggIndex {
         order: &[ContainerId],
         tin: &[u32],
     ) -> MetricIndex {
+        // Quarantine counters are independent of the signals: an
+        // all-NaN series quarantines every sample and leaves no signal
+        // at all, yet its counts must still aggregate spatially.
+        let mut quarantine_prefix = Vec::new();
+        if order.iter().any(|&c| trace.quarantined(c, metric) > 0) {
+            quarantine_prefix.reserve(order.len() + 1);
+            quarantine_prefix.push(0u64);
+            for &c in order {
+                let last = *quarantine_prefix.last().expect("seeded with 0");
+                quarantine_prefix.push(last + trace.quarantined(c, metric));
+            }
+        }
+
         let signals = trace.signals_for_metric(metric);
         if signals.is_empty() {
-            return MetricIndex::default();
+            return MetricIndex { quarantine_prefix, ..MetricIndex::default() };
         }
         let mut carrier_tins: Vec<u32> = signals.iter().map(|&(c, _)| tin[c.index()]).collect();
         carrier_tins.sort_unstable();
@@ -145,7 +172,9 @@ impl AggIndex {
                 // A carrier leaf (or a carrier whose descendants carry
                 // nothing): the group signal *is* the signal, so slice
                 // queries match `Signal::integrate` bit for bit.
-                (Some(sig), 0) => Some(GroupSeries { signal: sig.clone(), carriers: 1 }),
+                (Some(sig), 0) => {
+                    Some(GroupSeries { signal: sig.clone(), carriers: 1, saturated: 0 })
+                }
                 (None, 1) => {
                     let ch = node
                         .children()
@@ -159,6 +188,7 @@ impl AggIndex {
                     // children in declaration order.
                     let mut parts: Vec<&Signal> = Vec::with_capacity(child_count + 1);
                     let mut carriers = 0;
+                    let mut saturated = 0;
                     if let Some(sig) = own {
                         parts.push(sig);
                         carriers += 1;
@@ -167,14 +197,17 @@ impl AggIndex {
                         if let Some(s) = &series[ch.index()] {
                             parts.push(&s.signal);
                             carriers += s.carriers;
+                            saturated += s.saturated;
                         }
                     }
-                    Some(GroupSeries { signal: merge_signals(&parts), carriers })
+                    let (signal, clamped) = merge_signals(&parts);
+                    saturated += clamped;
+                    Some(GroupSeries { signal, carriers, saturated })
                 }
             };
             series[c.index()] = entry;
         }
-        MetricIndex { carrier_tins, series }
+        MetricIndex { carrier_tins, series, quarantine_prefix }
     }
 
     fn metric_index(&self, metric: MetricId) -> Option<&MetricIndex> {
@@ -239,6 +272,46 @@ impl AggIndex {
         range.iter().map(|&t| self.order[t as usize])
     }
 
+    /// Non-finite samples of `metric` quarantined at ingestion across
+    /// the subtree of `group`, in `O(1)` — the indexed twin of
+    /// [`viva_trace::Trace::quarantined_under`]. 0 for cleanly-loaded
+    /// traces.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `group` is not part of the indexed trace.
+    pub fn quarantined_under(&self, metric: MetricId, group: ContainerId) -> u64 {
+        let Some(mi) = self.metric_index(metric) else { return 0 };
+        if mi.quarantine_prefix.is_empty() {
+            return 0;
+        }
+        let (lo, hi) = (self.tin[group.index()], self.tout[group.index()]);
+        mi.quarantine_prefix[hi as usize] - mi.quarantine_prefix[lo as usize]
+    }
+
+    /// Quarantined samples summed over *all* metrics under `group` —
+    /// what a view badge wants.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `group` is not part of the indexed trace.
+    pub fn quarantined_under_all(&self, group: ContainerId) -> u64 {
+        (0..self.metrics.len())
+            .map(|mi| self.quarantined_under(MetricId::from_index(mi), group))
+            .sum()
+    }
+
+    /// Total clamped breakpoints across every merged series of `metric`
+    /// (see [`GroupSeries::saturated`]); 0 outside adversarial inputs.
+    pub fn saturated_total(&self, metric: MetricId) -> u64 {
+        let Some(mi) = self.metric_index(metric) else { return 0 };
+        // The root series accumulates every child's counter.
+        mi.series
+            .first()
+            .and_then(|s| s.as_ref())
+            .map_or(0, GroupSeries::saturated)
+    }
+
     /// The indexed twin of [`crate::try_mean_over_group`]: space-time
     /// mean in `O(log n)`, `None` when the slice is empty or nothing
     /// under `group` carries the metric.
@@ -294,6 +367,7 @@ impl AggIndex {
             members,
             integral,
             summary: Summary::of(means),
+            quarantined: self.quarantined_under(metric, group),
         }
     }
 }
@@ -304,7 +378,15 @@ impl AggIndex {
 /// Equal-time breakpoints across parts collapse into one. The merge is
 /// a stable sweep over `(time, value-delta)` events, so summation order
 /// is fixed by the caller's part order — deterministic results.
-fn merge_signals(parts: &[&Signal]) -> Signal {
+///
+/// Individual signals are finite by construction ([`Signal::push`]
+/// rejects NaN/∞), but the *sum* of many finite signals can still
+/// overflow `f64`. `Signal::push` would reject the infinite sample and
+/// this merge would panic deep inside session construction — on
+/// adversarial input, not a programming error. Instead the running sum
+/// saturates at `±f64::MAX`; the second return value counts the clamped
+/// breakpoints so callers can surface the degradation.
+fn merge_signals(parts: &[&Signal]) -> (Signal, u64) {
     let total: usize = parts.iter().map(|s| s.len()).sum();
     let mut events: Vec<(f64, f64)> = Vec::with_capacity(total);
     for part in parts {
@@ -319,13 +401,18 @@ fn merge_signals(parts: &[&Signal]) -> Signal {
     events.sort_by(|a, b| a.0.total_cmp(&b.0));
     let mut out = Signal::new();
     let mut running = 0.0;
+    let mut clamped = 0u64;
     for (t, delta) in events {
         running += delta;
+        if !running.is_finite() {
+            running = if running > 0.0 { f64::MAX } else { -f64::MAX };
+            clamped += 1;
+        }
         // Push at an existing last time overwrites — exactly the
         // collapse of simultaneous breakpoints we want.
         out.push(t, running).expect("sorted finite times are monotonic");
     }
-    out
+    (out, clamped)
 }
 
 #[cfg(test)]
@@ -483,11 +570,83 @@ mod tests {
         a.push(5.0, 3.0).unwrap();
         let mut b = Signal::new();
         b.push(5.0, 2.0).unwrap();
-        let s = merge_signals(&[&a, &b]);
+        let (s, clamped) = merge_signals(&[&a, &b]);
+        assert_eq!(clamped, 0);
         assert_eq!(s.len(), 2, "t=5 appears once");
         assert_eq!(s.value_at(1.0), 1.0);
         assert_eq!(s.value_at(6.0), 5.0);
         assert_eq!(s.integrate(0.0, 10.0), a.integrate(0.0, 10.0) + b.integrate(0.0, 10.0));
+    }
+
+    #[test]
+    fn merge_saturates_instead_of_panicking() {
+        let mut a = Signal::new();
+        a.push(0.0, f64::MAX).unwrap();
+        let mut b = Signal::new();
+        b.push(0.0, f64::MAX).unwrap();
+        let (s, clamped) = merge_signals(&[&a, &b]);
+        assert_eq!(clamped, 1);
+        assert_eq!(s.value_at(1.0), f64::MAX, "sum clamped, not infinite");
+    }
+
+    #[test]
+    fn index_build_survives_overflowing_sums() {
+        let mut b = TraceBuilder::new();
+        let cl = b.new_container(b.root(), "c", ContainerKind::Cluster).unwrap();
+        let m = b.metric("x", "u");
+        for i in 0..3 {
+            let h = b.new_container(cl, format!("h{i}"), ContainerKind::Host).unwrap();
+            // Each signal is finite and legal on its own; only the
+            // subtree sum overflows.
+            b.set_variable(0.0, h, m, f64::MAX).unwrap();
+        }
+        let t = b.finish(1.0);
+        let idx = AggIndex::build(&t);
+        let root = t.containers().root();
+        assert!(idx.saturated_total(m) > 0, "clamp was recorded");
+        let s = idx.series(m, root).expect("series exists");
+        assert_eq!(s.carriers(), 3);
+        assert!(s.saturated() > 0);
+    }
+
+    #[test]
+    fn quarantine_counters_aggregate_spatially() {
+        // Lenient-load a trace whose NaN samples quarantine on two
+        // hosts of the same cluster; counts roll up the tree.
+        use viva_trace::TraceLoader;
+        let text = "span,0.0,10.0\n\
+                    container,1,0,cluster,c1\n\
+                    container,2,1,host,h0\n\
+                    container,3,1,host,h1\n\
+                    container,4,0,host,lone\n\
+                    metric,0,MFlop/s,power_used\n\
+                    var,0.0,2,0,1.0\n\
+                    var,1.0,2,0,NaN\n\
+                    var,0.0,3,0,NaN\n\
+                    var,2.0,3,0,NaN\n\
+                    var,0.0,4,0,5.0\n";
+        let r = TraceLoader::new().lenient().load_str(text).unwrap();
+        assert_eq!(r.quarantined, 3);
+        let t = &r.trace;
+        let idx = AggIndex::build(t);
+        let m = t.metric_id("power_used").unwrap();
+        let root = t.containers().root();
+        let c1 = t.containers().by_name("c1").unwrap().id();
+        let h1 = t.containers().by_name("h1").unwrap().id();
+        for g in [root, c1, h1] {
+            assert_eq!(idx.quarantined_under(m, g), t.quarantined_under(g, m), "at {g}");
+        }
+        assert_eq!(idx.quarantined_under(m, root), 3);
+        assert_eq!(idx.quarantined_under(m, c1), 3);
+        assert_eq!(idx.quarantined_under(m, h1), 2, "all-NaN series still counts");
+        assert_eq!(idx.quarantined_under_all(root), 3);
+        // h1 is all-NaN: no signal, no carrier — but the aggregate
+        // still reports the quarantine so views can badge it.
+        assert!(t.signal(h1, m).is_none());
+        let agg = idx.aggregate(t, m, h1, TimeSlice::new(0.0, 10.0));
+        assert!(agg.is_empty());
+        assert_eq!(agg.quarantined, 2);
+        assert_eq!(agg, GroupAggregate::compute(t, m, h1, TimeSlice::new(0.0, 10.0)));
     }
 }
 
@@ -558,6 +717,73 @@ mod proptests {
                     (Some(x), Some(y)) =>
                         prop_assert!((x - y).abs() <= 1e-6 * x.abs().max(1.0), "{x} vs {y}"),
                     other => return Err(TestCaseError::fail(format!("presence mismatch {other:?}"))),
+                }
+            }
+        }
+
+        /// Degenerate ingestion inputs — out-of-order events, duplicate
+        /// timestamps, NaN samples up to whole all-NaN series — go
+        /// through a lenient load without panicking, and the index
+        /// agrees with the naive rescan on the surviving trace,
+        /// including over zero-width slices and for the quarantine
+        /// counters.
+        #[test]
+        fn index_handles_degenerate_ingest(
+            events in proptest::collection::vec(
+                // (host 0..3, discrete time → duplicates, NaN die)
+                (0usize..3, 0u32..6, 0usize..4, 0.0f64..100.0),
+                0..40,
+            ),
+            a in 0.0f64..10.0,
+        ) {
+            use std::fmt::Write as _;
+            use viva_trace::TraceLoader;
+            let mut csv = String::from(
+                "span,0.0,10.0\n\
+                 container,1,0,cluster,c\n\
+                 container,2,1,host,h0\n\
+                 container,3,1,host,h1\n\
+                 container,4,1,host,h2\n\
+                 metric,0,MFlop/s,power_used\n",
+            );
+            for (h, t, nan_die, v) in events {
+                // Events arrive in arbitrary order: the lenient loader
+                // must drop the non-monotonic ones, never panic.
+                if nan_die == 0 {
+                    let _ = writeln!(csv, "var,{}.0,{},0,NaN", t, h + 2);
+                } else {
+                    let _ = writeln!(csv, "var,{}.0,{},0,{v:?}", t, h + 2);
+                }
+            }
+            let r = TraceLoader::new().lenient().load_str(&csv).unwrap();
+            prop_assert!(r.breach.is_none());
+            prop_assert_eq!(r.quarantined as u64, r.trace.quarantined_total());
+            let trace = &r.trace;
+            let idx = AggIndex::build(trace);
+            let m = trace.metric_id("power_used").unwrap();
+            // Zero-width slice first, then a normal one.
+            for slice in [TimeSlice::new(a, a), TimeSlice::new(a, 10.0)] {
+                for c in trace.containers().iter() {
+                    let naive = integrate_group(trace, m, c.id(), slice);
+                    let fast = idx.integrate(m, c.id(), slice);
+                    prop_assert!((naive - fast).abs() <= 1e-6 * naive.abs().max(1.0),
+                                 "{:?}: naive {naive} vs indexed {fast}", c.id());
+                    // Per-member arithmetic is identical on both paths:
+                    // full equality, quarantine counter included.
+                    prop_assert_eq!(
+                        GroupAggregate::compute(trace, m, c.id(), slice),
+                        idx.aggregate(trace, m, c.id(), slice)
+                    );
+                    prop_assert_eq!(
+                        idx.quarantined_under(m, c.id()),
+                        trace.quarantined_under(c.id(), m)
+                    );
+                    match (try_mean_over_group(trace, m, c.id(), slice), idx.try_mean(m, c.id(), slice)) {
+                        (None, None) => {}
+                        (Some(x), Some(y)) =>
+                            prop_assert!((x - y).abs() <= 1e-6 * x.abs().max(1.0), "{x} vs {y}"),
+                        other => return Err(TestCaseError::fail(format!("presence mismatch {other:?}"))),
+                    }
                 }
             }
         }

@@ -107,6 +107,11 @@ pub struct GroupAggregate {
     /// Statistics over the members' time-averaged values (metric
     /// units) — mean, variance, median, ...
     pub summary: Summary,
+    /// Non-finite samples of this metric quarantined at ingestion
+    /// across the group's subtree (slice-independent: quarantined
+    /// samples carry no trustworthy timestamp-value pair to bin). 0
+    /// means the aggregate rests on the complete recorded data.
+    pub quarantined: u64,
 }
 
 impl GroupAggregate {
@@ -135,6 +140,7 @@ impl GroupAggregate {
             members: vals.len(),
             integral,
             summary: Summary::of(means),
+            quarantined: trace.quarantined_under(group, metric),
         }
     }
 }

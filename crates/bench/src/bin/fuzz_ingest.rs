@@ -1,0 +1,210 @@
+//! Deterministic fuzz-smoke harness for the ingest→index→render
+//! pipeline.
+//!
+//! Feeds every checked-in corpus file (`corpus/ingest/*.csv`) plus a
+//! set of synthesized adversarial inputs (multi-megabyte single lines,
+//! NaN floods, id collisions, budget exhaustion) through
+//! [`TraceLoader`] in **both** recovery modes, each run wrapped in
+//! `catch_unwind`. The contract this harness enforces:
+//!
+//! * zero panics, in either mode, on any input;
+//! * lenient loading is total: it always yields a report, and loading
+//!   the same bytes twice yields byte-identical summaries and
+//!   diagnostics (stable error surfaces);
+//! * every lenient-loaded trace survives the full downstream pipeline
+//!   — aggregation index, session, layout steps, SVG render — and any
+//!   corpus entry that yielded at least one event renders a valid SVG
+//!   carrying the degraded-data badge.
+//!
+//! Runs offline with no randomness; `ci.sh` executes it as the
+//! `fuzz-smoke` step.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+
+use viva::{AnalysisSession, Viewport};
+use viva_trace::{LoadReport, RecoveryMode, ResourceBudget, TraceLoader};
+
+/// One adversarial input: a name for the report plus raw bytes.
+struct Case {
+    name: String,
+    bytes: Vec<u8>,
+}
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("corpus/ingest")
+}
+
+/// Checked-in corpus, in sorted (deterministic) order.
+fn corpus_cases() -> Vec<Case> {
+    let dir = corpus_dir();
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("corpus dir {}: {e}", dir.display()))
+        .map(|entry| entry.expect("read corpus entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "csv"))
+        .collect();
+    paths.sort();
+    assert!(
+        paths.len() >= 20,
+        "corpus must hold at least 20 adversarial files, found {}",
+        paths.len()
+    );
+    paths
+        .into_iter()
+        .map(|p| Case {
+            name: p.file_name().unwrap().to_string_lossy().into_owned(),
+            bytes: std::fs::read(&p).expect("read corpus file"),
+        })
+        .collect()
+}
+
+/// Synthesized pathological inputs that are cheaper to generate than
+/// to check in (a 10 MB line has no business in git).
+fn synthesized_cases() -> Vec<Case> {
+    let mut cases = Vec::new();
+    // A single 10 MB line: must breach the per-line byte budget, not
+    // allocate-and-die.
+    let mut giant = b"var,0.0,1,0,".to_vec();
+    giant.resize(10 * 1024 * 1024, b'9');
+    cases.push(Case { name: "<10MB single line>".into(), bytes: giant });
+    // NaN flood: ten thousand quarantine hits on one signal.
+    let mut nan_flood = String::from(
+        "span,0,20000\ncontainer,1,0,host,h\nmetric,0,u,x\n",
+    );
+    for i in 0..10_000 {
+        nan_flood.push_str(&format!("var,{i}.0,1,0,NaN\n"));
+    }
+    cases.push(Case { name: "<NaN flood>".into(), bytes: nan_flood.into_bytes() });
+    // Id collision flood: the same container id redeclared 1000 times.
+    let mut dup = String::from("span,0,10\ncontainer,1,0,host,h\nmetric,0,u,x\nvar,1.0,1,0,5.0\n");
+    for _ in 0..1000 {
+        dup.push_str("container,1,0,host,again\n");
+    }
+    cases.push(Case { name: "<duplicate id flood>".into(), bytes: dup.into_bytes() });
+    // Deep container chain: each child hangs off the previous one.
+    let mut chain = String::from("span,0,10\n");
+    for i in 1..=2000u32 {
+        chain.push_str(&format!("container,{i},{},host,n{i}\n", i - 1));
+    }
+    cases.push(Case { name: "<2000-deep chain>".into(), bytes: chain.into_bytes() });
+    cases
+}
+
+/// Loads `bytes` in `mode` under `budget`, asserting the call neither
+/// panics nor (in lenient mode) errors. Returns the report for lenient
+/// mode, `None` when strict loading (legitimately) erred.
+fn load_guarded(
+    case: &Case,
+    mode: RecoveryMode,
+    budget: ResourceBudget,
+) -> Option<LoadReport> {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        TraceLoader::new().mode(mode).budget(budget).load(case.bytes.as_slice())
+    }));
+    let result = match result {
+        Ok(r) => r,
+        Err(_) => panic!("PANIC while loading {} in {mode:?} mode", case.name),
+    };
+    match (mode, result) {
+        (_, Ok(report)) => Some(report),
+        (RecoveryMode::Lenient, Err(e)) => {
+            panic!("lenient load of {} must not error, got: {e}", case.name)
+        }
+        // Strict mode may (and usually does) reject adversarial input;
+        // the error Display itself must not panic either.
+        (RecoveryMode::Strict, Err(e)) => {
+            let _ = e.to_string();
+            None
+        }
+    }
+}
+
+/// Drives a lenient-loaded trace through the whole downstream
+/// pipeline: index, session, a few layout steps, SVG render.
+fn render_guarded(case: &Case, report: &LoadReport) -> String {
+    let trace = report.trace.clone();
+    let dropped = report.dropped;
+    let events = report.events;
+    let svg = catch_unwind(AssertUnwindSafe(|| {
+        let mut session = AnalysisSession::builder(trace).build();
+        session.relax(5);
+        session.render(&Viewport::new(640.0, 480.0))
+    }))
+    .unwrap_or_else(|_| panic!("PANIC while indexing/rendering {}", case.name));
+    assert!(
+        svg.starts_with("<svg") && svg.ends_with("</svg>\n"),
+        "{}: malformed SVG document",
+        case.name
+    );
+    // The honesty contract: anything that survived a lossy ingest
+    // renders with the degraded-data badge.
+    if dropped > 0 {
+        assert!(
+            svg.contains("degraded-data-badge"),
+            "{}: lossy ingest (dropped={dropped}) rendered without badge",
+            case.name
+        );
+    }
+    if events >= 1 {
+        assert!(
+            svg.contains("degraded-data-badge"),
+            "{}: corpus entry with {events} event(s) must render the badge",
+            case.name
+        );
+    }
+    svg
+}
+
+fn main() {
+    let mut cases = corpus_cases();
+    cases.extend(synthesized_cases());
+    let tight = ResourceBudget {
+        max_events: 8,
+        max_containers: 4,
+        max_line_bytes: 64,
+        max_memory_bytes: 1 << 16,
+        ..ResourceBudget::default()
+    };
+
+    println!("fuzz_ingest: {} cases, 2 modes, 2 budgets", cases.len());
+    let mut rendered = 0usize;
+    for case in &cases {
+        // Strict mode, default and tight budgets: may error, must not
+        // panic, and must error identically on identical input.
+        for budget in [ResourceBudget::default(), tight] {
+            let a = load_guarded(case, RecoveryMode::Strict, budget)
+                .map(|r| r.summary());
+            let b = load_guarded(case, RecoveryMode::Strict, budget)
+                .map(|r| r.summary());
+            assert_eq!(a, b, "{}: strict summary not stable", case.name);
+        }
+        // Lenient under the tight budget: totality even while budgets
+        // trip mid-file.
+        let _ = load_guarded(case, RecoveryMode::Lenient, tight)
+            .expect("lenient is total");
+        // Lenient under the default budget: the full pipeline.
+        let report = load_guarded(case, RecoveryMode::Lenient, ResourceBudget::default())
+            .expect("lenient is total");
+        let replay = load_guarded(case, RecoveryMode::Lenient, ResourceBudget::default())
+            .expect("lenient is total");
+        assert_eq!(
+            report.summary(),
+            replay.summary(),
+            "{}: lenient summary not stable across runs",
+            case.name
+        );
+        let svg = render_guarded(case, &report);
+        if report.events >= 1 {
+            rendered += 1;
+        }
+        println!(
+            "  {:<28} {} svg={}B badge={}",
+            case.name,
+            report.summary(),
+            svg.len(),
+            svg.contains("degraded-data-badge"),
+        );
+    }
+    assert!(rendered > 0, "corpus produced no renderable traces at all");
+    println!("fuzz_ingest: all {} cases clean (zero panics)", cases.len());
+}

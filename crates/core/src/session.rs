@@ -20,7 +20,7 @@ use std::collections::{HashMap, HashSet};
 use std::fmt;
 
 use viva_agg::{AggIndex, GroupAggregate, TimeSlice, TimeSliceError, ViewState};
-use viva_layout::{LayoutConfig, LayoutEngine, NodeKey, Vec2};
+use viva_layout::{FreezeReason, LayoutConfig, LayoutEngine, NodeKey, Vec2};
 use viva_platform::Platform;
 use viva_trace::{ContainerId, Trace};
 
@@ -560,6 +560,27 @@ impl AnalysisSession {
     /// The current repulsion-pass thread policy.
     pub fn layout_parallelism(&self) -> Option<usize> {
         self.layout.parallelism()
+    }
+
+    /// Whether the layout watchdog froze the simulation, and why
+    /// (`None` while running). Frozen layouts keep serving their last
+    /// healthy positions — views and renders continue to work.
+    pub fn layout_freeze_reason(&self) -> Option<FreezeReason> {
+        self.layout.freeze_reason()
+    }
+
+    /// Lifts a layout watchdog freeze and resumes stepping (see
+    /// [`LayoutEngine::thaw`]).
+    pub fn thaw_layout(&mut self) {
+        self.layout.thaw();
+    }
+
+    /// Sets the opt-in wall-clock budget for a single layout step.
+    /// `None` (the default) disables the wall-clock watchdog and keeps
+    /// layouts byte-deterministic across machines; interactive
+    /// front-ends with a frame deadline opt in.
+    pub fn set_layout_step_budget(&mut self, budget: Option<std::time::Duration>) {
+        self.layout.set_step_budget(budget);
     }
 
     /// Drags the node of `container` to `pos` and pins it there. Fails

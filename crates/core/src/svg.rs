@@ -126,25 +126,34 @@ const FAULT_STROKE: &str = "#cc2222";
 
 fn write_node(out: &mut String, node: &ViewNode, center: Vec2, opts: &SvgOptions) {
     let color = kind_color(node.kind).hex();
+    // Ingest trust annotation: values under a quarantine-marked node
+    // were computed after dropping non-finite samples.
+    let quarantine_attr = if node.quarantined > 0 {
+        format!(r#" data-quarantined="{}""#, node.quarantined)
+    } else {
+        String::new()
+    };
     if node.is_degraded() {
         // Failed (or partially failed, for aggregates) resources are
         // rendered distinctly: the exact availability travels as a data
         // attribute, the outline below switches to a dashed red stroke.
         let _ = write!(
             out,
-            r#"<g class="node node-{} degraded" data-container="{}" data-members="{}" data-availability="{:.3}">"#,
+            r#"<g class="node node-{} degraded" data-container="{}" data-members="{}" data-availability="{:.3}"{}>"#,
             node.shape.label(),
             node.container.index(),
             node.members,
-            node.availability
+            node.availability,
+            quarantine_attr
         );
     } else {
         let _ = write!(
             out,
-            r#"<g class="node node-{}" data-container="{}" data-members="{}">"#,
+            r#"<g class="node node-{}" data-container="{}" data-members="{}"{}>"#,
             node.shape.label(),
             node.container.index(),
-            node.members
+            node.members,
+            quarantine_attr
         );
     }
     // Outline: dashed red for anything that was down during the slice.
@@ -275,6 +284,20 @@ pub fn render(view: &GraphView, opts: &SvgOptions) -> String {
     for node in &view.nodes {
         write_node(&mut out, node, proj.project(node.position), opts);
     }
+    // Degraded-data badge: drawn whenever the trace behind this view
+    // went through a lossy ingest. It is the whole-document honesty
+    // marker — every value on screen was computed without the dropped
+    // events and quarantined samples it counts.
+    if view.has_degraded_data() {
+        let _ = writeln!(
+            out,
+            r#"<g class="degraded-data-badge" data-dropped="{}" data-quarantined="{}"><rect x="6" y="6" width="14" height="14" fill="none" stroke="{FAULT_STROKE}" stroke-width="1.5" stroke-dasharray="3 2"/><text x="25" y="17" font-size="11" fill="{FAULT_STROKE}">degraded data: {} event(s) dropped, {} sample(s) quarantined</text></g>"#,
+            view.ingest_dropped,
+            view.quarantined_total(),
+            view.ingest_dropped,
+            view.quarantined_total(),
+        );
+    }
     out.push_str("</svg>\n");
     out
 }
@@ -370,6 +393,7 @@ mod tests {
             nodes: Vec::new(),
             edges: Vec::new(),
             slice: TimeSlice::new(0.0, 1.0),
+            ingest_dropped: 0,
         };
         let svg = render(&v, &SvgOptions::default());
         assert!(svg.starts_with("<svg"));
@@ -383,6 +407,67 @@ mod tests {
         let svg = render(&v, &SvgOptions { width: 200.0, height: 100.0, ..Default::default() });
         // Degenerate bounds: scale 1, node at canvas center.
         assert!(svg.contains(r#"x="80.00""#), "{svg}");
+    }
+}
+
+#[cfg(test)]
+mod degraded_data_tests {
+    use super::*;
+    use viva_agg::{TimeSlice, ViewState};
+    use viva_trace::{RecoveryMode, TraceLoader};
+
+    fn corrupted_view() -> GraphView {
+        // Two NaN samples quarantined on h1, one garbage line dropped.
+        let text = "span,0,10\n\
+                    container,1,0,cluster,c\n\
+                    container,2,1,host,h1\n\
+                    container,3,1,host,h2\n\
+                    metric,0,MFlop/s,power\n\
+                    var,0.0,2,0,NaN\n\
+                    var,1.0,2,0,nan\n\
+                    var,0.0,3,0,25.0\n\
+                    this line is garbage\n";
+        let report = TraceLoader::new()
+            .mode(RecoveryMode::Lenient)
+            .load_str(text)
+            .expect("lenient load never errors on record faults");
+        assert_eq!(report.quarantined, 2);
+        assert_eq!(report.dropped, 3, "garbage line + 2 quarantined");
+        crate::view::build_view(
+            &report.trace,
+            &ViewState::new(),
+            TimeSlice::new(0.0, 10.0),
+            &crate::mapping::MappingConfig::default(),
+            &crate::scaling::ScalingConfig::default(),
+            &|c| viva_layout::Vec2::new(c.index() as f64 * 40.0, 0.0),
+            &[],
+            &[],
+        )
+    }
+
+    #[test]
+    fn lossy_ingest_renders_degraded_data_badge() {
+        let view = corrupted_view();
+        assert!(view.has_degraded_data());
+        assert_eq!(view.ingest_dropped, 3);
+        assert_eq!(view.quarantined_total(), 2);
+        let svg = render(&view, &SvgOptions::default());
+        assert!(svg.contains("degraded-data-badge"), "{svg}");
+        assert!(svg.contains(r#"data-dropped="3""#));
+        assert!(svg.contains("3 event(s) dropped, 2 sample(s) quarantined"));
+        // The host carrying the NaNs is individually marked.
+        let h1 = view.node_by_label("h1").unwrap();
+        assert_eq!(h1.quarantined, 2);
+        assert!(svg.contains(r#"data-quarantined="2""#));
+        // Rendering a degraded view stays deterministic.
+        assert_eq!(svg, render(&corrupted_view(), &SvgOptions::default()));
+    }
+
+    #[test]
+    fn clean_traces_render_no_badge() {
+        let svg = render(&super::tests::view(), &SvgOptions::default());
+        assert!(!svg.contains("degraded-data-badge"));
+        assert!(!svg.contains("data-quarantined"));
     }
 }
 

@@ -74,6 +74,12 @@ pub struct ViewNode {
     /// unchanged); below `1.0` the node spent part of the slice down,
     /// `0.0` means down for the whole slice.
     pub availability: f64,
+    /// Number of non-finite metric samples quarantined at ingest under
+    /// this node's subtree, summed over all metrics. Slice-independent:
+    /// quarantined samples never enter any signal, so this is a trust
+    /// annotation ("values here were computed from incomplete data"),
+    /// not a time-dependent aggregate.
+    pub quarantined: u64,
 }
 
 impl ViewNode {
@@ -102,12 +108,29 @@ pub struct GraphView {
     pub edges: Vec<ViewEdge>,
     /// The time-slice the values were aggregated over.
     pub slice: TimeSlice,
+    /// Events the lenient ingest path dropped while loading the trace
+    /// this view draws from (`0` for cleanly-loaded or built traces).
+    pub ingest_dropped: u64,
 }
 
 impl GraphView {
     /// Finds a node by container id.
     pub fn node(&self, container: ContainerId) -> Option<&ViewNode> {
         self.nodes.iter().find(|n| n.container == container)
+    }
+
+    /// Total quarantined samples across the visible frontier. Because
+    /// the frontier partitions the container tree, this equals the
+    /// trace-wide quarantine count.
+    pub fn quarantined_total(&self) -> u64 {
+        self.nodes.iter().map(|n| n.quarantined).sum()
+    }
+
+    /// Whether this view draws data that survived a lossy ingest
+    /// (dropped events or quarantined samples) — the renderer's cue to
+    /// show the degraded-data badge.
+    pub fn has_degraded_data(&self) -> bool {
+        self.ingest_dropped > 0 || self.quarantined_total() > 0
     }
 
     /// Finds a node by label.
@@ -166,6 +189,22 @@ impl AggSource<'_> {
             AggSource::Indexed(idx) => idx.try_mean(metric, c, slice),
         }
     }
+
+    /// Quarantined-at-ingest samples under `c`, all metrics summed —
+    /// `O(metrics · log n)` when indexed (Euler-tour prefix sums), a
+    /// subtree rescan on the naive path. Both read the same counters
+    /// recorded on the trace by the lenient loader, so they agree
+    /// exactly.
+    fn quarantined(self, trace: &Trace, c: ContainerId) -> u64 {
+        match self {
+            AggSource::Naive => trace
+                .metrics()
+                .iter()
+                .map(|m| trace.quarantined_under(c, m.id()))
+                .sum(),
+            AggSource::Indexed(idx) => idx.quarantined_under_all(c),
+        }
+    }
 }
 
 #[allow(clippy::manual_clamp)] // max-first normalizes -0.0, clamp keeps it
@@ -194,6 +233,7 @@ pub(crate) struct NodePartial {
     badge: Option<(f64, f64)>, // (size_value, fill_value)
     segments: Vec<(String, f64)>,
     availability: f64,
+    quarantined: u64,
 }
 
 /// First-pass aggregation of one visible container (Equation 1 per
@@ -281,6 +321,7 @@ pub(crate) fn compute_partial(
         badge,
         segments,
         availability,
+        quarantined: source.quarantined(trace, c),
     }
 }
 
@@ -399,6 +440,7 @@ pub(crate) fn build_view_cached(
                 size_value: p.size_value,
                 fill_value: p.fill_value,
                 availability: p.availability,
+                quarantined: p.quarantined,
             }
         })
         .collect();
@@ -422,7 +464,7 @@ pub(crate) fn build_view_cached(
     edges.sort_by_key(|e| (e.a, e.b));
     edges.dedup();
 
-    GraphView { nodes, edges, slice }
+    GraphView { nodes, edges, slice, ingest_dropped: trace.ingest_dropped() }
 }
 
 #[cfg(test)]
@@ -587,6 +629,56 @@ mod tests {
         );
         assert_eq!(view.node(h1).unwrap().size_value, 0.0);
         assert_eq!(view.node(h1).unwrap().px_size, 2.0, "min_px floor");
+    }
+
+    #[test]
+    fn quarantine_counts_agree_between_naive_and_indexed_sources() {
+        use viva_trace::{RecoveryMode, TraceLoader};
+        // NaNs on two hosts of the same cluster; they must roll up to
+        // the collapsed-group node identically through both paths.
+        let text = "span,0,10\n\
+                    container,1,0,cluster,c1\n\
+                    container,2,1,host,h1\n\
+                    container,3,1,host,h2\n\
+                    container,4,0,host,h3\n\
+                    metric,0,MFlop/s,power\n\
+                    var,0.0,2,0,NaN\n\
+                    var,0.0,3,0,inf\n\
+                    var,1.0,3,0,NaN\n\
+                    var,0.0,4,0,200.0\n";
+        let t = TraceLoader::new()
+            .mode(RecoveryMode::Lenient)
+            .load_str(text)
+            .unwrap()
+            .trace;
+        let idx = AggIndex::build(&t);
+        let c1 = t.containers().by_name("c1").unwrap().id();
+        let mut state = ViewState::new();
+        state.collapse(c1);
+        let build = |source: AggSource<'_>| {
+            build_view_cached(
+                &t,
+                &state,
+                TimeSlice::new(0.0, 10.0),
+                &MappingConfig::default(),
+                &ScalingConfig::default(),
+                &|_| Vec2::default(),
+                &[],
+                &[],
+                source,
+                &mut HashMap::new(),
+            )
+        };
+        let naive = build(AggSource::Naive);
+        let indexed = build(AggSource::Indexed(&idx));
+        assert_eq!(naive, indexed, "sources must agree node for node");
+        assert_eq!(naive.node(c1).unwrap().quarantined, 3);
+        assert_eq!(naive.node_by_label("h3").unwrap().quarantined, 0);
+        assert_eq!(naive.quarantined_total(), 3);
+        assert!(naive.has_degraded_data());
+        // Quarantined samples count as dropped events too (quarantine
+        // is a subset of the drop ledger).
+        assert_eq!(naive.ingest_dropped, 3);
     }
 
     #[test]

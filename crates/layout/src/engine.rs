@@ -2,6 +2,7 @@
 //! integration, pinning, and smooth aggregation morphs.
 
 use std::collections::{BTreeSet, HashMap, HashSet};
+use std::time::{Duration, Instant};
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -9,6 +10,38 @@ use rand::{Rng, SeedableRng};
 use crate::forces::{spring_force, LayoutConfig};
 use crate::quadtree::{naive_repulsion, QuadTree};
 use crate::vec2::Vec2;
+
+/// Why the watchdog froze a layout (see
+/// [`LayoutEngine::freeze_reason`]).
+///
+/// A frozen layout keeps serving positions — the last healthy frame —
+/// but [`step`](LayoutEngine::step) becomes a no-op until
+/// [`thaw`](LayoutEngine::thaw)ed. Freezing is the degradation path for
+/// pathological inputs: the view stays up instead of filling with NaNs
+/// or marching off to infinity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FreezeReason {
+    /// A force evaluated to NaN/∞ (e.g. a non-finite node charge fed
+    /// in by a degenerate aggregate). Positions were left untouched.
+    NonFiniteForce,
+    /// The iteration watchdog: every node displacement has ridden the
+    /// `max_displacement` cap for many consecutive steps — the
+    /// simulation is diverging, not converging.
+    RunawayDisplacement,
+    /// The opt-in wall-clock watchdog: a single step overran the
+    /// budget set via [`LayoutEngine::set_step_budget`].
+    StepBudgetExceeded,
+}
+
+impl std::fmt::Display for FreezeReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            FreezeReason::NonFiniteForce => "non-finite force",
+            FreezeReason::RunawayDisplacement => "runaway displacement",
+            FreezeReason::StepBudgetExceeded => "step wall-clock budget exceeded",
+        })
+    }
+}
 
 /// Caller-chosen stable identifier of a layout node (the visualization
 /// layer uses trace container ids).
@@ -44,30 +77,46 @@ pub struct LayoutEngine {
     /// parallelism above a size threshold), `Some(1)` = serial,
     /// `Some(n)` = exactly `n` threads.
     threads: Option<usize>,
+    /// Watchdog state: `Some` while frozen.
+    frozen: Option<FreezeReason>,
+    /// Opt-in wall-clock budget per step (`None` = unlimited, the
+    /// default — wall-clock decisions are machine-dependent and would
+    /// break byte-determinism across hosts if always on).
+    step_budget: Option<Duration>,
+    /// Consecutive steps whose max displacement rode the cap.
+    at_cap_streak: u32,
 }
 
 /// Below this node count the auto parallelism mode stays serial:
 /// spawning scoped threads costs more than the whole repulsion pass.
 const PARALLEL_THRESHOLD: usize = 256;
 
+/// Consecutive at-cap steps before the iteration watchdog declares
+/// divergence. Healthy layouts ride the displacement cap briefly (a
+/// dragged node snapping back, a freshly split aggregate fanning out);
+/// a diverging one never leaves it.
+const RUNAWAY_STREAK: u32 = 128;
+
 impl LayoutEngine {
     /// Creates an empty layout. `seed` drives initial node placement
     /// (two engines with equal seeds and operation sequences produce
     /// identical layouts).
     ///
-    /// # Panics
-    ///
-    /// Panics when `config` is invalid (see
-    /// [`LayoutConfig::validated`]).
+    /// Invalid `config` values are repaired via
+    /// [`LayoutConfig::sanitized`] rather than panicking: the layout is
+    /// part of the panic-free render path.
     pub fn new(config: LayoutConfig, seed: u64) -> LayoutEngine {
         LayoutEngine {
-            config: config.validated(),
+            config: config.sanitized(),
             nodes: Vec::new(),
             index: HashMap::new(),
             edges: BTreeSet::new(),
             rng: SmallRng::seed_from_u64(seed),
             steps: 0,
             threads: None,
+            frozen: None,
+            step_budget: None,
+            at_cap_streak: 0,
         }
     }
 
@@ -95,10 +144,59 @@ impl LayoutEngine {
         self.threads
     }
 
-    /// Mutable parameters — the §4.2 sliders. Values are validated on
-    /// the next [`step`](LayoutEngine::step).
+    /// Mutable parameters — the §4.2 sliders. Values are sanitized
+    /// (repaired, never panicked on) on the next
+    /// [`step`](LayoutEngine::step).
     pub fn config_mut(&mut self) -> &mut LayoutConfig {
         &mut self.config
+    }
+
+    /// Whether the watchdog froze the simulation. Frozen layouts keep
+    /// serving their last healthy positions; stepping is a no-op.
+    pub fn is_frozen(&self) -> bool {
+        self.frozen.is_some()
+    }
+
+    /// Why the layout froze, `None` while running.
+    pub fn freeze_reason(&self) -> Option<FreezeReason> {
+        self.frozen
+    }
+
+    /// Lifts a watchdog freeze and resumes stepping. Velocities are
+    /// zeroed so the resumed simulation restarts from rest instead of
+    /// replaying the momentum that tripped the watchdog.
+    pub fn thaw(&mut self) {
+        self.frozen = None;
+        self.at_cap_streak = 0;
+        for n in &mut self.nodes {
+            n.vel = Vec2::default();
+        }
+    }
+
+    /// Sets the opt-in wall-clock budget for a single step. When a
+    /// step overruns it, the engine freezes with
+    /// [`FreezeReason::StepBudgetExceeded`] (the completed step's
+    /// positions are kept — the freeze stops *further* work).
+    ///
+    /// Default `None`: no wall-clock watchdog. Leaving it off keeps
+    /// layouts byte-deterministic across machines and thread counts;
+    /// interactive front-ends with a frame deadline opt in.
+    pub fn set_step_budget(&mut self, budget: Option<Duration>) {
+        self.step_budget = budget;
+    }
+
+    /// The current per-step wall-clock budget.
+    pub fn step_budget(&self) -> Option<Duration> {
+        self.step_budget
+    }
+
+    fn freeze(&mut self, reason: FreezeReason) {
+        if self.frozen.is_none() {
+            self.frozen = Some(reason);
+        }
+        for n in &mut self.nodes {
+            n.vel = Vec2::default();
+        }
     }
 
     /// Number of nodes.
@@ -249,8 +347,12 @@ impl LayoutEngine {
 
     /// Moves a node to `pos` (mouse drag). The neighbours will follow
     /// through their springs on subsequent steps. Returns `false` for
-    /// an unknown key.
+    /// an unknown key or a non-finite target position (a NaN drag
+    /// would poison every force involving this node).
     pub fn move_node(&mut self, key: NodeKey, pos: Vec2) -> bool {
+        if !(pos.x.is_finite() && pos.y.is_finite()) {
+            return false;
+        }
         match self.index.get(&key) {
             Some(&i) => {
                 self.nodes[i].pos = pos;
@@ -287,18 +389,30 @@ impl LayoutEngine {
     }
 
     fn apply_forces(&mut self, forces: &[Vec2]) -> f64 {
+        // Watchdog gate: one non-finite force poisons every position it
+        // touches, so the whole frame is discarded and the layout
+        // freezes on the last healthy state.
+        if forces.iter().any(|f| !(f.x.is_finite() && f.y.is_finite())) {
+            self.freeze(FreezeReason::NonFiniteForce);
+            self.steps += 1;
+            return 0.0;
+        }
         let cfg = self.config;
         let mut max_disp: f64 = 0.0;
+        let mut capped = 0usize;
+        let mut movable = 0usize;
         for (n, &f) in self.nodes.iter_mut().zip(forces) {
             if n.pinned {
                 n.vel = Vec2::default();
                 continue;
             }
+            movable += 1;
             n.vel = (n.vel + f * cfg.dt) * cfg.damping;
             let mut disp = n.vel * cfg.dt;
             let d = disp.length();
             if d > cfg.max_displacement {
                 disp = disp * (cfg.max_displacement / d);
+                capped += 1;
             }
             n.pos += disp;
             debug_assert!(
@@ -310,6 +424,19 @@ impl LayoutEngine {
             max_disp = max_disp.max(disp.length());
         }
         self.steps += 1;
+        // Iteration watchdog: a simulation whose every movable node
+        // rides the displacement cap, step after step, is accelerating
+        // without bound — freeze before coordinates overflow. The
+        // signal is deterministic (pure f64 arithmetic, no clocks), so
+        // frozen-or-not is reproducible across machines.
+        if movable > 0 && capped == movable {
+            self.at_cap_streak += 1;
+            if self.at_cap_streak >= RUNAWAY_STREAK {
+                self.freeze(FreezeReason::RunawayDisplacement);
+            }
+        } else {
+            self.at_cap_streak = 0;
+        }
         max_disp
     }
 
@@ -371,19 +498,38 @@ impl LayoutEngine {
     /// One Barnes-Hut iteration (`O(n log n)`, repulsion parallelised
     /// per [`set_parallelism`](LayoutEngine::set_parallelism)). Returns
     /// the largest node displacement, usable as a convergence measure.
+    ///
+    /// Never panics: slider values are repaired via
+    /// [`LayoutConfig::sanitized`], and pathological dynamics freeze
+    /// the layout (see [`FreezeReason`]) instead of diverging. A frozen
+    /// layout returns `0.0` without touching any position.
     pub fn step(&mut self) -> f64 {
-        let cfg = self.config.validated();
+        if self.frozen.is_some() {
+            return 0.0;
+        }
+        let started = self.step_budget.map(|_| Instant::now());
+        self.config = self.config.sanitized();
+        let cfg = self.config;
         let points: Vec<(Vec2, f64)> = self.nodes.iter().map(|n| (n.pos, n.charge)).collect();
         let tree = QuadTree::build(&points);
         let mut forces = vec![Vec2::default(); self.nodes.len()];
         self.repulsion_pass(&tree, &cfg, &mut forces);
         self.spring_forces(&mut forces);
-        self.apply_forces(&forces)
+        let max_disp = self.apply_forces(&forces);
+        self.check_step_budget(started);
+        max_disp
     }
 
-    /// One exact iteration (`O(n²)`); the scalability baseline.
+    /// One exact iteration (`O(n²)`); the scalability baseline. Same
+    /// panic-free and watchdog semantics as
+    /// [`step`](LayoutEngine::step).
     pub fn step_naive(&mut self) -> f64 {
-        let cfg = self.config.validated();
+        if self.frozen.is_some() {
+            return 0.0;
+        }
+        let started = self.step_budget.map(|_| Instant::now());
+        self.config = self.config.sanitized();
+        let cfg = self.config;
         let points: Vec<(Vec2, f64)> = self.nodes.iter().map(|n| (n.pos, n.charge)).collect();
         let mut forces = vec![Vec2::default(); self.nodes.len()];
         for (i, n) in self.nodes.iter().enumerate() {
@@ -391,7 +537,21 @@ impl LayoutEngine {
                 naive_repulsion(&points, n.pos, n.charge, i, cfg.min_distance) * cfg.repulsion;
         }
         self.spring_forces(&mut forces);
-        self.apply_forces(&forces)
+        let max_disp = self.apply_forces(&forces);
+        self.check_step_budget(started);
+        max_disp
+    }
+
+    /// Wall-clock watchdog tail: freezes when the step that just
+    /// finished overran the opt-in budget. The completed step's
+    /// positions are kept — the freeze stops *further* work rather
+    /// than discarding a valid (if slow) frame.
+    fn check_step_budget(&mut self, started: Option<Instant>) {
+        if let (Some(t0), Some(budget)) = (started, self.step_budget) {
+            if t0.elapsed() >= budget {
+                self.freeze(FreezeReason::StepBudgetExceeded);
+            }
+        }
     }
 
     /// Iterates until the largest displacement falls below `tol` or
@@ -762,6 +922,136 @@ mod tests {
         }
         let late = e.kinetic_energy();
         assert!(late < early, "energy should decay: {early} → {late}");
+    }
+
+    #[test]
+    fn non_finite_charge_freezes_instead_of_panicking() {
+        for naive in [false, true] {
+            let mut e = engine();
+            e.add_node_at(NodeKey(1), f64::NAN, Vec2::new(0.0, 0.0));
+            e.add_node_at(NodeKey(2), 1.0, Vec2::new(1.0, 0.0));
+            let d = if naive { e.step_naive() } else { e.step() };
+            assert_eq!(d, 0.0);
+            assert!(e.is_frozen());
+            assert_eq!(e.freeze_reason(), Some(FreezeReason::NonFiniteForce));
+            // The poisoned frame was discarded: positions are the last
+            // healthy ones, still finite.
+            assert_eq!(e.position(NodeKey(2)), Some(Vec2::new(1.0, 0.0)));
+        }
+    }
+
+    #[test]
+    fn frozen_layout_stops_moving_until_thawed() {
+        let mut e = engine();
+        e.add_node_at(NodeKey(1), f64::INFINITY, Vec2::new(0.0, 0.0));
+        e.add_node_at(NodeKey(2), 1.0, Vec2::new(1.0, 0.0));
+        e.step();
+        assert!(e.is_frozen());
+        let before: Vec<_> = e.positions().collect();
+        for _ in 0..10 {
+            assert_eq!(e.step(), 0.0, "frozen step is a no-op");
+        }
+        assert_eq!(before, e.positions().collect::<Vec<_>>());
+        // Repair the bad charge and thaw: the simulation resumes.
+        e.set_charge(NodeKey(1), 1.0);
+        e.thaw();
+        assert!(!e.is_frozen());
+        assert!(e.step() > 0.0, "thawed layout moves again");
+        for (_, p) in e.positions() {
+            assert!(p.x.is_finite() && p.y.is_finite());
+        }
+    }
+
+    #[test]
+    fn runaway_displacement_freezes_deterministically() {
+        // damping = 1 keeps all injected energy; an absurd spring
+        // constant on a massively stretched edge then pumps the pair
+        // into a permanent max-displacement oscillation — the classic
+        // diverging-layout failure mode.
+        let cfg = LayoutConfig {
+            damping: 1.0,
+            spring: 1e12,
+            repulsion: 0.0,
+            ..Default::default()
+        };
+        let mut e = LayoutEngine::new(cfg, 1);
+        e.add_node_at(NodeKey(1), 1.0, Vec2::new(0.0, 0.0));
+        e.add_node_at(NodeKey(2), 1.0, Vec2::new(1e6, 0.0));
+        e.add_edge(NodeKey(1), NodeKey(2));
+        let mut frozen_at = None;
+        for i in 0..2000 {
+            e.step();
+            if e.is_frozen() {
+                frozen_at = Some(i);
+                break;
+            }
+        }
+        assert!(frozen_at.is_some(), "watchdog never fired");
+        assert_eq!(e.freeze_reason(), Some(FreezeReason::RunawayDisplacement));
+        for (_, p) in e.positions() {
+            assert!(p.x.is_finite() && p.y.is_finite(), "froze too late: {p}");
+        }
+        // The signal is pure arithmetic: a second run freezes at the
+        // same step.
+        let mut e2 = LayoutEngine::new(cfg, 1);
+        e2.add_node_at(NodeKey(1), 1.0, Vec2::new(0.0, 0.0));
+        e2.add_node_at(NodeKey(2), 1.0, Vec2::new(1e6, 0.0));
+        e2.add_edge(NodeKey(1), NodeKey(2));
+        let mut frozen_at2 = None;
+        for i in 0..2000 {
+            e2.step();
+            if e2.is_frozen() {
+                frozen_at2 = Some(i);
+                break;
+            }
+        }
+        assert_eq!(frozen_at, frozen_at2);
+    }
+
+    #[test]
+    fn zero_step_budget_freezes_after_one_step() {
+        let mut e = engine();
+        e.add_node(NodeKey(1), 1.0);
+        e.add_node(NodeKey(2), 1.0);
+        assert_eq!(e.step_budget(), None);
+        e.set_step_budget(Some(std::time::Duration::ZERO));
+        e.step();
+        assert_eq!(e.freeze_reason(), Some(FreezeReason::StepBudgetExceeded));
+        // The frame that overran was kept, not discarded.
+        for (_, p) in e.positions() {
+            assert!(p.x.is_finite() && p.y.is_finite());
+        }
+        e.thaw();
+        e.set_step_budget(None);
+        e.step();
+        assert!(!e.is_frozen());
+    }
+
+    #[test]
+    fn hostile_config_is_sanitized_not_fatal() {
+        // NaN sliders at construction and mid-flight: never a panic.
+        let cfg = LayoutConfig { damping: f64::NAN, dt: -1.0, ..Default::default() };
+        let mut e = LayoutEngine::new(cfg, 7);
+        assert_eq!(e.config().damping, LayoutConfig::default().damping);
+        e.add_node(NodeKey(1), 1.0);
+        e.add_node(NodeKey(2), 1.0);
+        e.config_mut().spring_length = f64::NAN;
+        e.step();
+        assert!(!e.is_frozen());
+        assert_eq!(e.config().spring_length, LayoutConfig::default().spring_length);
+        for (_, p) in e.positions() {
+            assert!(p.x.is_finite() && p.y.is_finite());
+        }
+    }
+
+    #[test]
+    fn move_node_rejects_non_finite_positions() {
+        let mut e = engine();
+        e.add_node_at(NodeKey(1), 1.0, Vec2::new(2.0, 3.0));
+        assert!(!e.move_node(NodeKey(1), Vec2::new(f64::NAN, 0.0)));
+        assert!(!e.move_node(NodeKey(1), Vec2::new(0.0, f64::INFINITY)));
+        assert_eq!(e.position(NodeKey(1)), Some(Vec2::new(2.0, 3.0)));
+        assert!(e.move_node(NodeKey(1), Vec2::new(5.0, 5.0)));
     }
 
     #[test]

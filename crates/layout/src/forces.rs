@@ -66,6 +66,42 @@ impl LayoutConfig {
         assert!(self.max_displacement.is_finite() && self.max_displacement > 0.0);
         self
     }
+
+    /// Repairs the parameter set instead of panicking: non-finite
+    /// fields fall back to their defaults and finite values are clamped
+    /// into their legal range. A configuration that already passes
+    /// [`validated`](LayoutConfig::validated) comes back bit-identical,
+    /// so sanitizing on every step never perturbs a healthy layout.
+    ///
+    /// This is the slider trust boundary: the engine consumes whatever
+    /// the UI hands it without ever aborting the session.
+    pub fn sanitized(self) -> LayoutConfig {
+        let d = LayoutConfig::default();
+        fn nonneg(v: f64, fallback: f64) -> f64 {
+            if v.is_finite() {
+                v.max(0.0)
+            } else {
+                fallback
+            }
+        }
+        fn positive(v: f64, fallback: f64) -> f64 {
+            if v.is_finite() && v > 0.0 {
+                v
+            } else {
+                fallback
+            }
+        }
+        LayoutConfig {
+            repulsion: nonneg(self.repulsion, d.repulsion),
+            spring: nonneg(self.spring, d.spring),
+            spring_length: positive(self.spring_length, d.spring_length),
+            damping: positive(self.damping, d.damping).min(1.0),
+            theta: nonneg(self.theta, d.theta),
+            dt: positive(self.dt, d.dt),
+            min_distance: positive(self.min_distance, d.min_distance),
+            max_displacement: positive(self.max_displacement, d.max_displacement),
+        }
+    }
 }
 
 /// Hooke spring force on the node at `at`, attached to `other`:
@@ -111,6 +147,42 @@ mod tests {
     #[should_panic]
     fn zero_damping_rejected() {
         let _ = LayoutConfig { damping: 0.0, ..Default::default() }.validated();
+    }
+
+    #[test]
+    fn sanitized_is_identity_on_valid_configs() {
+        let cfg = LayoutConfig { repulsion: 37.5, damping: 1.0, ..Default::default() };
+        assert_eq!(cfg.sanitized(), cfg);
+        assert_eq!(LayoutConfig::default().sanitized(), LayoutConfig::default());
+    }
+
+    #[test]
+    fn sanitized_repairs_hostile_sliders() {
+        let cfg = LayoutConfig {
+            repulsion: f64::NAN,
+            spring: -3.0,
+            spring_length: 0.0,
+            damping: f64::INFINITY,
+            theta: -1.0,
+            dt: f64::NEG_INFINITY,
+            min_distance: -0.5,
+            max_displacement: f64::NAN,
+        }
+        .sanitized();
+        // Sanitized output always passes full validation.
+        let _ = cfg.validated();
+        let d = LayoutConfig::default();
+        assert_eq!(cfg.repulsion, d.repulsion);
+        assert_eq!(cfg.spring, 0.0, "negative clamps to zero");
+        assert_eq!(cfg.spring_length, d.spring_length);
+        assert_eq!(cfg.damping, d.damping, "non-finite damping falls back");
+        assert_eq!(cfg.theta, 0.0);
+        assert_eq!(cfg.dt, d.dt);
+        assert_eq!(cfg.min_distance, d.min_distance);
+        assert_eq!(cfg.max_displacement, d.max_displacement);
+        // Finite but over-unity damping clamps to the legal ceiling.
+        let over = LayoutConfig { damping: 2.0, ..Default::default() }.sanitized();
+        assert_eq!(over.damping, 1.0);
     }
 
     #[test]

@@ -44,7 +44,7 @@ pub mod metrics;
 pub mod quadtree;
 pub mod vec2;
 
-pub use engine::{LayoutEngine, NodeKey};
+pub use engine::{FreezeReason, LayoutEngine, NodeKey};
 pub use forces::LayoutConfig;
 pub use quadtree::QuadTree;
 pub use vec2::Vec2;

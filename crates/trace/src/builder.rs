@@ -41,6 +41,8 @@ pub struct TraceBuilder {
     links: Vec<LinkRecord>,
     earliest: Option<f64>,
     latest: f64,
+    quarantined: HashMap<(ContainerId, MetricId), u64>,
+    dropped: u64,
 }
 
 impl TraceBuilder {
@@ -62,6 +64,32 @@ impl TraceBuilder {
     /// Registers (or looks up) a metric by name.
     pub fn metric(&mut self, name: impl Into<String>, unit: impl Into<String>) -> MetricId {
         self.metrics.register(name, unit)
+    }
+
+    /// Read access to the metric registry built so far.
+    pub fn metrics(&self) -> &MetricRegistry {
+        &self.metrics
+    }
+
+    /// Number of metrics registered so far. Loaders use this to
+    /// validate metric ids referenced by serialized records before
+    /// they can silently materialize a signal for a metric that was
+    /// never declared.
+    pub fn metric_count(&self) -> usize {
+        self.metrics.len()
+    }
+
+    /// Records that one non-finite sample for `(container, metric)` was
+    /// quarantined at the ingestion boundary instead of entering the
+    /// signal. The counters surface on [`Trace::quarantined`].
+    pub fn note_quarantined(&mut self, container: ContainerId, metric: MetricId) {
+        *self.quarantined.entry((container, metric)).or_insert(0) += 1;
+    }
+
+    /// Records `n` input records dropped before they reached the
+    /// builder (malformed lines skipped by a lenient loader).
+    pub fn note_dropped(&mut self, n: u64) {
+        self.dropped += n;
     }
 
     /// Creates a container under `parent`.
@@ -273,6 +301,8 @@ impl TraceBuilder {
             links: self.links,
             start,
             end,
+            quarantined: self.quarantined,
+            ingest_dropped: self.dropped,
         }
     }
 }

@@ -4,6 +4,7 @@ use std::error::Error;
 use std::fmt;
 
 use crate::container::ContainerId;
+use crate::loader::BudgetBreach;
 
 /// Errors produced while building or querying traces.
 #[derive(Debug, Clone, PartialEq)]
@@ -37,6 +38,18 @@ pub enum TraceError {
         /// Human-readable description of the problem.
         message: String,
     },
+    /// The underlying stream failed while loading a trace.
+    ///
+    /// Carries the I/O error's message rather than the error itself so
+    /// that `TraceError` stays `Clone + PartialEq`.
+    Io {
+        /// Rendered [`std::io::Error`].
+        message: String,
+    },
+    /// A [`crate::ResourceBudget`] axis was exhausted during a
+    /// `Strict`-mode load (`Lenient` loads report the breach on the
+    /// [`crate::LoadReport`] instead).
+    BudgetExceeded(BudgetBreach),
 }
 
 impl fmt::Display for TraceError {
@@ -59,6 +72,12 @@ impl fmt::Display for TraceError {
             }
             TraceError::Parse { line, message } => {
                 write!(f, "parse error at line {line}: {message}")
+            }
+            TraceError::Io { message } => {
+                write!(f, "i/o error while loading trace: {message}")
+            }
+            TraceError::BudgetExceeded(breach) => {
+                write!(f, "resource budget exceeded: {breach}")
             }
         }
     }

@@ -17,11 +17,10 @@
 
 use std::fmt::Write as _;
 
-use crate::builder::TraceBuilder;
-use crate::container::{ContainerId, ContainerKind};
+use crate::container::ContainerId;
 use crate::error::TraceError;
+use crate::loader::{RecoveryMode, ResourceBudget, TraceLoader};
 use crate::metric::MetricId;
-use crate::state::StateRecord;
 use crate::trace::Trace;
 
 /// Serializes `trace` to the CSV dialect described at module level.
@@ -55,7 +54,11 @@ pub fn to_csv(trace: &Trace) -> String {
     for (t, c, m, v) in vars {
         let _ = writeln!(out, "var,{:?},{},{},{:?}", t, c.index(), m.index(), v);
     }
-    for s in trace.states() {
+    // Same (container, start) order the loader normalizes to, so that
+    // `to_csv ∘ from_csv` is a byte-level fixed point.
+    let mut states: Vec<_> = trace.states().to_vec();
+    states.sort_by(|a, b| a.container.cmp(&b.container).then(a.start.total_cmp(&b.start)));
+    for s in states {
         let _ = writeln!(
             out,
             "state,{},{:?},{:?},{},{}",
@@ -80,135 +83,33 @@ pub fn to_csv(trace: &Trace) -> String {
     out
 }
 
-fn parse_f64(s: &str, line: usize) -> Result<f64, TraceError> {
-    s.parse::<f64>().map_err(|e| TraceError::Parse {
-        line,
-        message: format!("bad float {s:?}: {e}"),
-    })
-}
-
-fn parse_usize(s: &str, line: usize) -> Result<usize, TraceError> {
-    s.parse::<usize>().map_err(|e| TraceError::Parse {
-        line,
-        message: format!("bad index {s:?}: {e}"),
-    })
-}
-
-fn fields<const N: usize>(rest: &str, line: usize) -> Result<[&str; N], TraceError> {
-    let mut it = rest.splitn(N, ',');
-    let mut out = [""; N];
-    for slot in out.iter_mut() {
-        *slot = it.next().ok_or_else(|| TraceError::Parse {
-            line,
-            message: format!("expected {N} fields in {rest:?}"),
-        })?;
-    }
-    Ok(out)
-}
-
 /// Parses a trace previously produced by [`to_csv`].
+///
+/// This is a thin wrapper over [`TraceLoader`] in
+/// [`RecoveryMode::Strict`] with an unlimited [`ResourceBudget`]: pure
+/// format-parser semantics for in-memory text you trust. For foreign
+/// files, pipes, or anything size-unbounded, use [`TraceLoader`]
+/// directly and pick a recovery mode and budget.
 ///
 /// # Errors
 ///
-/// Returns [`TraceError::Parse`] on malformed records, and propagates
-/// recording errors (e.g. non-monotonic variable times).
+/// Returns [`TraceError::Parse`] (with a 1-based line number) on
+/// malformed records — including duplicate container ids, unknown
+/// container/metric references, non-finite timestamps, and timestamps
+/// outside the declared `span` — and propagates recording errors (e.g.
+/// non-monotonic variable times).
 pub fn from_csv(text: &str) -> Result<Trace, TraceError> {
-    let mut b = TraceBuilder::new();
-    let mut span_end = 0.0f64;
-    // States are recorded as completed intervals; feed pushes/pops in
-    // chronological order through a sorted buffer instead.
-    let mut state_records: Vec<StateRecord> = Vec::new();
-    for (i, raw) in text.lines().enumerate() {
-        let lineno = i + 1;
-        let raw = raw.trim_end();
-        if raw.is_empty() || raw.starts_with('#') {
-            continue;
-        }
-        let (kind, rest) = raw.split_once(',').ok_or_else(|| TraceError::Parse {
-            line: lineno,
-            message: "missing record kind".to_owned(),
-        })?;
-        match kind {
-            "span" => {
-                let [_, e] = fields::<2>(rest, lineno)?;
-                span_end = parse_f64(e, lineno)?;
-            }
-            "container" => {
-                let [id, parent, ckind, name] = fields::<4>(rest, lineno)?;
-                let expect = ContainerId::from_index(parse_usize(id, lineno)?);
-                let parent = ContainerId::from_index(parse_usize(parent, lineno)?);
-                let ckind =
-                    ContainerKind::from_label(ckind).ok_or_else(|| TraceError::Parse {
-                        line: lineno,
-                        message: format!("unknown container kind {ckind:?}"),
-                    })?;
-                let got = b.new_container(parent, name, ckind)?;
-                if got != expect {
-                    return Err(TraceError::Parse {
-                        line: lineno,
-                        message: format!("container id mismatch: file {expect}, assigned {got}"),
-                    });
-                }
-            }
-            "metric" => {
-                let [id, unit, name] = fields::<3>(rest, lineno)?;
-                let expect = MetricId::from_index(parse_usize(id, lineno)?);
-                let got = b.metric(name, unit);
-                if got != expect {
-                    return Err(TraceError::Parse {
-                        line: lineno,
-                        message: format!("metric id mismatch: file {expect}, assigned {got}"),
-                    });
-                }
-            }
-            "var" => {
-                let [t, c, m, v] = fields::<4>(rest, lineno)?;
-                b.set_variable(
-                    parse_f64(t, lineno)?,
-                    ContainerId::from_index(parse_usize(c, lineno)?),
-                    MetricId::from_index(parse_usize(m, lineno)?),
-                    parse_f64(v, lineno)?,
-                )?;
-            }
-            "state" => {
-                let [c, s, e, d, name] = fields::<5>(rest, lineno)?;
-                state_records.push(StateRecord {
-                    container: ContainerId::from_index(parse_usize(c, lineno)?),
-                    start: parse_f64(s, lineno)?,
-                    end: parse_f64(e, lineno)?,
-                    depth: parse_usize(d, lineno)?,
-                    state: name.to_owned(),
-                });
-            }
-            "link" => {
-                let [s, e, from, to, size] = fields::<5>(rest, lineno)?;
-                b.link(
-                    parse_f64(s, lineno)?,
-                    parse_f64(e, lineno)?,
-                    ContainerId::from_index(parse_usize(from, lineno)?),
-                    ContainerId::from_index(parse_usize(to, lineno)?),
-                    parse_f64(size, lineno)?,
-                )?;
-            }
-            other => {
-                return Err(TraceError::Parse {
-                    line: lineno,
-                    message: format!("unknown record kind {other:?}"),
-                });
-            }
-        }
-    }
-    let mut trace = b.finish(span_end);
-    // Completed states bypass the builder's push/pop mechanism.
-    state_records
-        .sort_by(|a, b| a.container.cmp(&b.container).then(a.start.total_cmp(&b.start)));
-    trace.states = state_records;
-    Ok(trace)
+    let report = TraceLoader::new()
+        .mode(RecoveryMode::Strict)
+        .budget(ResourceBudget::unlimited())
+        .load_str(text)?;
+    Ok(report.trace)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::builder::TraceBuilder;
     use crate::container::ContainerKind;
 
     fn sample() -> Trace {
@@ -272,6 +173,47 @@ mod tests {
         }
         let err = from_csv("var,notafloat,0,0,1\n").unwrap_err();
         assert!(matches!(err, TraceError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn duplicate_container_ids_rejected_with_line_number() {
+        let text = "container,1,0,host,h0\ncontainer,1,0,host,h1\n";
+        match from_csv(text).unwrap_err() {
+            TraceError::Parse { line, message } => {
+                assert_eq!(line, 2);
+                assert!(message.contains("duplicate container id 1"), "{message}");
+            }
+            other => panic!("expected parse error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn out_of_range_timestamps_rejected_with_line_number() {
+        let text = "span,0.0,5.0\n\
+                    container,1,0,host,h\n\
+                    metric,0,u,x\n\
+                    var,9.0,1,0,1.0\n";
+        match from_csv(text).unwrap_err() {
+            TraceError::Parse { line, message } => {
+                assert_eq!(line, 4);
+                assert!(message.contains("outside the declared span"), "{message}");
+            }
+            other => panic!("expected parse error, got {other}"),
+        }
+        // Non-finite timestamps are out of every range.
+        let text = "container,1,0,host,h\nmetric,0,u,x\nvar,inf,1,0,1.0\n";
+        assert!(matches!(
+            from_csv(text).unwrap_err(),
+            TraceError::Parse { line: 3, .. }
+        ));
+    }
+
+    #[test]
+    fn unknown_references_rejected_with_line_number() {
+        let err = from_csv("metric,0,u,x\nvar,0.0,7,0,1.0\n").unwrap_err();
+        assert!(matches!(err, TraceError::Parse { line: 2, .. }), "{err:?}");
+        let err = from_csv("container,1,0,host,h\nvar,0.0,1,3,1.0\n").unwrap_err();
+        assert!(matches!(err, TraceError::Parse { line: 2, .. }), "{err:?}");
     }
 
     #[test]

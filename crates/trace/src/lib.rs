@@ -38,6 +38,7 @@ pub mod container;
 pub mod error;
 pub mod event;
 pub mod export;
+pub mod loader;
 pub mod metric;
 pub mod signal;
 pub mod state;
@@ -48,6 +49,10 @@ pub use builder::TraceBuilder;
 pub use container::{Container, ContainerId, ContainerKind, ContainerTree};
 pub use error::TraceError;
 pub use event::Event;
+pub use loader::{
+    BudgetBreach, BudgetKind, LoadDiagnostic, LoadReport, RecoveryMode, ResourceBudget,
+    TraceLoader,
+};
 pub use metric::{Metric, MetricId, MetricRegistry};
 pub use signal::Signal;
 pub use state::{StateLog, StateRecord};

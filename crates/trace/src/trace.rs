@@ -36,6 +36,14 @@ pub struct Trace {
     pub(crate) links: Vec<LinkRecord>,
     pub(crate) start: f64,
     pub(crate) end: f64,
+    /// Non-finite samples quarantined per `(container, metric)` at the
+    /// ingestion boundary (see `crate::loader`). Empty for traces built
+    /// directly through the builder, whose signals reject non-finite
+    /// values outright.
+    pub(crate) quarantined: HashMap<(ContainerId, MetricId), u64>,
+    /// Input records dropped before reaching the builder (lenient
+    /// loads); 0 for clean or directly-built traces.
+    pub(crate) ingest_dropped: u64,
 }
 
 impl Trace {
@@ -167,6 +175,50 @@ impl Trace {
     /// Looks a metric id up by name.
     pub fn metric_id(&self, name: &str) -> Option<MetricId> {
         self.metrics.by_name(name).map(Metric::id)
+    }
+
+    /// Non-finite samples quarantined at ingestion for this
+    /// `(container, metric)` pair. 0 means the pair's signal is a
+    /// faithful record of the input.
+    pub fn quarantined(&self, container: ContainerId, metric: MetricId) -> u64 {
+        self.quarantined
+            .get(&(container, metric))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Total quarantined samples across all pairs.
+    pub fn quarantined_total(&self) -> u64 {
+        self.quarantined.values().sum()
+    }
+
+    /// All non-zero quarantine counters, in unspecified order.
+    pub fn quarantined_entries(
+        &self,
+    ) -> impl Iterator<Item = (ContainerId, MetricId, u64)> + '_ {
+        self.quarantined.iter().map(|(&(c, m), &n)| (c, m, n))
+    }
+
+    /// Quarantined samples of `metric` summed over the subtree rooted
+    /// at `group` — the naive counterpart of the indexed lookup in
+    /// `viva-agg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group` is not part of this trace's container tree.
+    pub fn quarantined_under(&self, group: ContainerId, metric: MetricId) -> u64 {
+        self.containers
+            .subtree(group)
+            .into_iter()
+            .map(|c| self.quarantined(c, metric))
+            .sum()
+    }
+
+    /// Input records dropped at the ingestion boundary (malformed lines
+    /// a lenient load skipped); 0 for clean or directly-built traces.
+    /// Views propagate this so renders can badge partial data.
+    pub fn ingest_dropped(&self) -> u64 {
+        self.ingest_dropped
     }
 }
 

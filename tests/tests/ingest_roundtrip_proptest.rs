@@ -1,0 +1,218 @@
+//! Property tests for the ingestion trust boundary.
+//!
+//! Two invariants pin the loader down:
+//!
+//! 1. **Byte-stable round-trips** — for any trace the builder can
+//!    produce, `to_csv(from_csv(to_csv(t)))` equals `to_csv(t)` byte
+//!    for byte. Serialization is a fixed point after one hop.
+//! 2. **Lenient loading yields a sub-trace** — corrupting a serialized
+//!    trace (whole-line deletion, garbage injection, line reordering)
+//!    and loading it in `Lenient` mode produces a trace whose every
+//!    container and signal breakpoint already existed in the original:
+//!    recovery salvages, it never invents data.
+
+use proptest::prelude::*;
+use viva_trace::export::{from_csv, to_csv};
+use viva_trace::{ContainerKind, RecoveryMode, Trace, TraceBuilder, TraceLoader};
+
+/// A compact generator-friendly description of a trace.
+#[derive(Debug, Clone)]
+struct TraceSpec {
+    hosts: usize,
+    // (host, metric, time-grid index, value)
+    vars: Vec<(usize, usize, u32, f64)>,
+    // (host, start-grid, duration-grid)
+    states: Vec<(usize, u32, u32)>,
+    // (from-host, to-host, start-grid, duration-grid, size)
+    links: Vec<(usize, usize, u32, u32, f64)>,
+}
+
+const SPAN: f64 = 128.0;
+const METRICS: [(&str, &str); 3] =
+    [("power", "MFlop/s"), ("power_used", "MFlop/s"), ("bandwidth", "Mbit/s")];
+
+fn grid(g: u32) -> f64 {
+    f64::from(g % 256) * 0.5 // 0.0 .. 127.5, always inside the span
+}
+
+fn build(spec: &TraceSpec) -> Trace {
+    let mut b = TraceBuilder::new();
+    let cluster = b.new_container(b.root(), "cluster", ContainerKind::Cluster).unwrap();
+    let hosts: Vec<_> = (0..spec.hosts)
+        .map(|i| b.new_container(cluster, format!("h{i}"), ContainerKind::Host).unwrap())
+        .collect();
+    let metrics: Vec<_> = METRICS.iter().map(|&(n, u)| b.metric(n, u)).collect();
+    // The builder rejects non-monotonic pushes per (container, metric):
+    // sort by time first; duplicate times legitimately overwrite.
+    let mut vars = spec.vars.clone();
+    vars.sort_by_key(|v| v.2);
+    for &(h, m, g, v) in &vars {
+        b.set_variable(grid(g), hosts[h % spec.hosts], metrics[m % metrics.len()], v)
+            .unwrap();
+    }
+    for &(h, g, d) in &spec.states {
+        let start = grid(g).min(SPAN - 1.0);
+        let host = hosts[h % spec.hosts];
+        b.push_state(start, host, "compute").unwrap();
+        b.pop_state((start + grid(d).max(0.5)).min(SPAN), host).unwrap();
+    }
+    for &(f, t, g, d, size) in &spec.links {
+        let start = grid(g).min(SPAN - 1.0);
+        b.link(
+            start,
+            (start + grid(d).max(0.5)).min(SPAN),
+            hosts[f % spec.hosts],
+            hosts[t % spec.hosts],
+            size,
+        )
+        .unwrap();
+    }
+    b.finish(SPAN)
+}
+
+fn spec_strategy() -> impl Strategy<Value = TraceSpec> {
+    (
+        1usize..5,
+        proptest::collection::vec(
+            (0usize..5, 0usize..3, 0u32..256, -1.0e6f64..1.0e6),
+            0..40,
+        ),
+        proptest::collection::vec((0usize..5, 0u32..200, 1u32..40), 0..6),
+        proptest::collection::vec(
+            (0usize..5, 0usize..5, 0u32..200, 1u32..40, 0.0f64..1.0e4),
+            0..6,
+        ),
+    )
+        .prop_map(|(hosts, vars, states, links)| TraceSpec { hosts, vars, states, links })
+}
+
+/// Line-level corruption plan: which lines to delete, where to inject
+/// garbage, and which adjacent pairs to swap. All operations act on
+/// whole lines — the trust boundary is line-oriented, so is the fuzz.
+#[derive(Debug, Clone)]
+struct CorruptionPlan {
+    deletions: Vec<usize>,
+    injections: Vec<(usize, usize)>, // (position, garbage-pool index)
+    swaps: Vec<usize>,
+}
+
+// Every entry must be *unacceptable* to the loader (otherwise an
+// injected line could legitimately win a container id and the
+// "nothing invented" property would not hold).
+const GARBAGE: [&str; 6] = [
+    "frobnicate,1,2,3",
+    "var,not-a-float,0,0,1",
+    "container,one,0,host,dup-id",
+    "var,1.0,9999,0,5.0",
+    ",,,,",
+    // Non-finite timestamps are rejected in every mode — unlike an
+    // out-of-span time, which would become *valid* if the corruption
+    // plan happened to delete the span line.
+    "var,inf,0,0,1.0",
+];
+
+fn corrupt(csv: &str, plan: &CorruptionPlan) -> String {
+    let mut lines: Vec<String> = csv.lines().map(str::to_owned).collect();
+    for &i in &plan.swaps {
+        if lines.len() >= 2 {
+            let i = i % (lines.len() - 1);
+            lines.swap(i, i + 1);
+        }
+    }
+    for &i in &plan.deletions {
+        if !lines.is_empty() {
+            lines.remove(i % lines.len());
+        }
+    }
+    for &(pos, g) in &plan.injections {
+        let pos = pos % (lines.len() + 1);
+        lines.insert(pos, GARBAGE[g % GARBAGE.len()].to_owned());
+    }
+    let mut out = lines.join("\n");
+    out.push('\n');
+    out
+}
+
+fn plan_strategy() -> impl Strategy<Value = CorruptionPlan> {
+    (
+        proptest::collection::vec(0usize..10_000, 0..8),
+        proptest::collection::vec((0usize..10_000, 0usize..GARBAGE.len()), 0..8),
+        proptest::collection::vec(0usize..10_000, 0..4),
+    )
+        .prop_map(|(deletions, injections, swaps)| CorruptionPlan {
+            deletions,
+            injections,
+            swaps,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Invariant 1: serialization is a fixed point after one hop.
+    #[test]
+    fn to_csv_roundtrip_is_byte_stable(spec in spec_strategy()) {
+        let trace = build(&spec);
+        let csv1 = to_csv(&trace);
+        let reloaded = from_csv(&csv1).expect("own output must parse strictly");
+        let csv2 = to_csv(&reloaded);
+        prop_assert_eq!(&csv1, &csv2, "first hop not a fixed point");
+        // And the hop preserves the numbers, not just the bytes.
+        prop_assert_eq!(trace.signal_count(), reloaded.signal_count());
+        prop_assert_eq!(trace.states().len(), reloaded.states().len());
+        prop_assert_eq!(trace.links().len(), reloaded.links().len());
+    }
+
+    /// Invariant 2: lenient recovery yields a sub-trace of the
+    /// original — nothing is invented, every survivor is authentic.
+    #[test]
+    fn lenient_recovery_yields_subtrace(
+        spec in spec_strategy(),
+        plan in plan_strategy(),
+    ) {
+        let original = build(&spec);
+        let corrupted = corrupt(&to_csv(&original), &plan);
+        let report = TraceLoader::new()
+            .mode(RecoveryMode::Lenient)
+            .load_str(&corrupted)
+            .expect("lenient loading is total");
+        let loaded = report.trace;
+
+        // Containers: every survivor matches the original id → (name,
+        // kind) binding. (Injected duplicate-id garbage must lose.)
+        for c in loaded.containers().iter() {
+            let Some(parent) = c.parent() else { continue };
+            let orig = original.containers().get(c.id());
+            prop_assert!(orig.is_some(), "container {} invented", c.id());
+            let orig = orig.unwrap();
+            prop_assert_eq!(orig.name(), c.name());
+            prop_assert_eq!(orig.kind(), c.kind());
+            prop_assert_eq!(orig.parent(), Some(parent));
+        }
+        // Signals: every surviving breakpoint was a breakpoint of the
+        // original signal, with the same value.
+        for (c, m, sig) in loaded.signals() {
+            let orig_sig = original.signal(c, m);
+            prop_assert!(orig_sig.is_some(), "signal ({c}, {m}) invented");
+            let orig_sig = orig_sig.unwrap();
+            for (&t, &v) in sig.times().iter().zip(sig.values()) {
+                let pos = orig_sig.times().iter().position(|&ot| ot == t);
+                prop_assert!(pos.is_some(), "breakpoint t={t} invented on ({c}, {m})");
+                prop_assert_eq!(
+                    orig_sig.values()[pos.unwrap()].to_bits(),
+                    v.to_bits(),
+                    "value rewritten at t={}", t
+                );
+            }
+        }
+        // States and links never outnumber the original's.
+        prop_assert!(loaded.states().len() <= original.states().len());
+        prop_assert!(loaded.links().len() <= original.links().len());
+        // The report's ledger is coherent: quarantine ⊆ dropped, and
+        // clean reports really are clean.
+        prop_assert!(report.quarantined <= report.dropped);
+        if report.dropped == 0 {
+            prop_assert!(report.breach.is_none());
+        }
+    }
+}
