@@ -22,6 +22,21 @@ cargo run --quiet --release -p viva-bench --bin fig10_faulttolerance -- --small 
 # are only asserted by the full run.
 cargo run --quiet --release -p viva-bench --bin fig_interactivity -- --small > /dev/null
 
+echo "==> server-smoke: stdio replay against the golden transcript"
+# The wire protocol is deterministic by construction: piping the
+# checked-in session script through a fresh stdio server must reproduce
+# the checked-in golden transcript byte for byte — twice, so "it only
+# worked because of leftover state" is also ruled out. The server bench
+# smoke then exercises the concurrent-session path (throughput timings
+# are only asserted by the full run).
+cargo run --quiet --release -p viva-server --bin viva-server -- --stdio \
+  < tests/data/server_session.script > /tmp/viva_server_smoke_1.ndjson
+cargo run --quiet --release -p viva-server --bin viva-server -- --stdio \
+  < tests/data/server_session.script > /tmp/viva_server_smoke_2.ndjson
+diff -u tests/data/server_session.golden /tmp/viva_server_smoke_1.ndjson
+diff -u /tmp/viva_server_smoke_1.ndjson /tmp/viva_server_smoke_2.ndjson
+cargo run --quiet --release -p viva-bench --bin fig_server -- --small > /dev/null
+
 echo "==> fuzz-smoke: adversarial ingest corpus, both recovery modes"
 # Deterministic and offline: every corpus file plus synthesized
 # pathologies (10 MB lines, NaN floods, id collisions) must load

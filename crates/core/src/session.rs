@@ -46,6 +46,15 @@ pub enum SessionError {
     /// The requested time slice is malformed (NaN/infinite bounds or
     /// end before start).
     InvalidTimeSlice(TimeSliceError),
+    /// A drag target position with a NaN/infinite coordinate. Drag
+    /// positions come straight from pointer events or wire protocols;
+    /// a non-finite coordinate would poison the force simulation.
+    NonFinitePosition {
+        /// The rejected x coordinate.
+        x: f64,
+        /// The rejected y coordinate.
+        y: f64,
+    },
 }
 
 impl fmt::Display for SessionError {
@@ -61,6 +70,9 @@ impl fmt::Display for SessionError {
                 write!(f, "metric {name:?} is not recorded in this trace")
             }
             SessionError::InvalidTimeSlice(e) => write!(f, "{e}"),
+            SessionError::NonFinitePosition { x, y } => {
+                write!(f, "drag position ({x}, {y}) is not finite")
+            }
         }
     }
 }
@@ -121,6 +133,9 @@ pub struct AnalysisSession {
     /// mutators invalidate exactly what their change dirtied (see
     /// DESIGN.md "Invalidation rules").
     cache: RefCell<HashMap<ContainerId, NodePartial>>,
+    /// Monotonically increasing view revision; see
+    /// [`revision`](AnalysisSession::revision).
+    revision: u64,
 }
 
 fn key(c: ContainerId) -> NodeKey {
@@ -236,6 +251,7 @@ impl SessionBuilder {
             frontier: Vec::new(),
             index,
             cache: RefCell::new(HashMap::new()),
+            revision: 0,
             trace,
         };
         session.frontier = session.state.visible(session.trace.containers());
@@ -298,6 +314,27 @@ impl AnalysisSession {
         &self.trace
     }
 
+    /// The session's **view revision**: a monotonically increasing
+    /// counter bumped by every operation that may change what
+    /// [`view`](AnalysisSession::view) or
+    /// [`render`](AnalysisSession::render) produce next (slice changes,
+    /// collapse/expand, slider access, drags, layout steps). Two calls
+    /// at the same revision render byte-identically, so `(revision,
+    /// viewport, theme)` is a sound cache key for rendered frames — the
+    /// serving layer's frame cache is built on it.
+    ///
+    /// The bump is pessimistic: handing out a `&mut` slider config
+    /// counts as a change even if the caller writes nothing. A stale
+    /// key then only costs a cache miss, never a stale frame.
+    pub fn revision(&self) -> u64 {
+        self.revision
+    }
+
+    /// Records a state change that may affect subsequent views.
+    fn touch(&mut self) {
+        self.revision += 1;
+    }
+
     /// Current time-slice.
     pub fn time_slice(&self) -> TimeSlice {
         self.slice
@@ -313,6 +350,7 @@ impl AnalysisSession {
         if clamped != self.slice {
             // Every cached aggregate was integrated over the old slice.
             self.cache.borrow_mut().clear();
+            self.touch();
         }
         self.slice = clamped;
         self.slice
@@ -352,6 +390,7 @@ impl AnalysisSession {
         self.breakdown = metrics;
         // Cached partials carry the old breakdown's pie segments.
         self.cache.borrow_mut().clear();
+        self.touch();
         Ok(())
     }
 
@@ -368,6 +407,7 @@ impl AnalysisSession {
     /// aggregates.
     pub fn mapping_mut(&mut self) -> &mut MappingConfig {
         self.cache.borrow_mut().clear();
+        self.touch();
         &mut self.mapping
     }
 
@@ -376,18 +416,21 @@ impl AnalysisSession {
     /// every [`view`](AnalysisSession::view) — no cached aggregate
     /// depends on it, so no invalidation happens here.
     pub fn scaling_mut(&mut self) -> &mut ScalingConfig {
+        self.touch();
         &mut self.scaling
     }
 
     /// The layout parameters — the charge/spring/damping sliders of
     /// §4.2.
     pub fn layout_config_mut(&mut self) -> &mut LayoutConfig {
+        self.touch();
         self.layout.config_mut()
     }
 
     /// Direct access to the layout engine (pinning, dragging,
     /// stepping).
     pub fn layout_mut(&mut self) -> &mut LayoutEngine {
+        self.touch();
         &mut self.layout
     }
 
@@ -407,6 +450,7 @@ impl AnalysisSession {
         self.state.collapse(group);
         self.invalidate_subtree(group);
         self.apply_state();
+        self.touch();
         Ok(())
     }
 
@@ -420,6 +464,7 @@ impl AnalysisSession {
         self.state.expand(group);
         self.invalidate_subtree(group);
         self.apply_state();
+        self.touch();
         Ok(())
     }
 
@@ -443,6 +488,7 @@ impl AnalysisSession {
         // A level jump can dirty the whole frontier.
         self.cache.borrow_mut().clear();
         self.apply_state();
+        self.touch();
     }
 
     /// Expands everything (finest view).
@@ -450,6 +496,7 @@ impl AnalysisSession {
         self.state.expand_all();
         self.cache.borrow_mut().clear();
         self.apply_state();
+        self.touch();
     }
 
     /// Reconciles the layout with the current collapse state: new
@@ -546,7 +593,11 @@ impl AnalysisSession {
     /// Runs up to `steps` layout iterations (stops early on
     /// convergence). Returns the number of steps executed.
     pub fn relax(&mut self, steps: usize) -> usize {
-        self.layout.run(steps, 1e-4)
+        let executed = self.layout.run(steps, 1e-4);
+        if executed > 0 {
+            self.touch();
+        }
+        executed
     }
 
     /// Sets the repulsion-pass thread policy of the layout engine:
@@ -573,6 +624,7 @@ impl AnalysisSession {
     /// [`LayoutEngine::thaw`]).
     pub fn thaw_layout(&mut self) {
         self.layout.thaw();
+        self.touch();
     }
 
     /// Sets the opt-in wall-clock budget for a single layout step.
@@ -583,25 +635,52 @@ impl AnalysisSession {
         self.layout.set_step_budget(budget);
     }
 
+    /// Validates that `c` is drawn in the current view: known to the
+    /// trace, and neither hidden inside a collapsed ancestor nor an
+    /// expanded internal grouping (which has no node of its own). The
+    /// check is made against the collapse *state*, not against layout
+    /// membership, so a hidden container is reported as hidden even if
+    /// a stale layout node were ever to linger for it — the layout must
+    /// never be silently mutated through an invisible handle.
+    fn check_visible(&self, c: ContainerId) -> Result<(), SessionError> {
+        self.check_container(c)?;
+        if self.state.representative(self.trace.containers(), c) != Some(c) {
+            return Err(SessionError::HiddenContainer(c));
+        }
+        Ok(())
+    }
+
     /// Drags the node of `container` to `pos` and pins it there. Fails
-    /// on an unknown container id, or on a container that is currently
-    /// hidden inside a collapsed group (it has no node to drag).
+    /// on an unknown container id, on a container that is not currently
+    /// visible (hidden inside a collapsed group, or an expanded
+    /// grouping with no node of its own), and on a non-finite target
+    /// position.
     pub fn drag(&mut self, container: ContainerId, pos: Vec2) -> Result<(), SessionError> {
-        self.check_container(container)?;
+        self.check_visible(container)?;
+        if !(pos.x.is_finite() && pos.y.is_finite()) {
+            return Err(SessionError::NonFinitePosition { x: pos.x, y: pos.y });
+        }
         let k = key(container);
+        // A visible container always has a layout node (`apply_state`
+        // keeps the two in lockstep), so this cannot fail — but if the
+        // invariant ever broke, report rather than pin thin air.
         if !self.layout.move_node(k, pos) {
             return Err(SessionError::HiddenContainer(container));
         }
         self.layout.pin(k);
+        self.touch();
         Ok(())
     }
 
-    /// Releases a pinned node back to the force simulation.
+    /// Releases a pinned node back to the force simulation. Fails on
+    /// unknown or currently invisible containers, like
+    /// [`drag`](AnalysisSession::drag).
     pub fn release(&mut self, container: ContainerId) -> Result<(), SessionError> {
-        self.check_container(container)?;
+        self.check_visible(container)?;
         if !self.layout.unpin(key(container)) {
             return Err(SessionError::HiddenContainer(container));
         }
+        self.touch();
         Ok(())
     }
 
@@ -839,6 +918,91 @@ mod tests {
             s.drag(h0, Vec2::new(1.0, 1.0)),
             Err(SessionError::HiddenContainer(h0))
         );
+    }
+
+    /// Regression: a container hidden *deep* inside nested collapses
+    /// (not merely one level down) must be rejected with a typed error
+    /// by both `drag` and `release` — never silently pinned. The check
+    /// runs against the collapse state, so it holds regardless of what
+    /// the layout engine happens to contain.
+    #[test]
+    fn deeply_hidden_container_cannot_be_dragged_or_released() {
+        let mut s = session();
+        let c1 = s.trace().containers().by_name("c1").unwrap().id();
+        let root = s.trace().containers().root();
+        let h0 = s.trace().containers().by_name("c1-h0").unwrap().id();
+        s.collapse(c1).unwrap();
+        s.collapse(root).unwrap();
+        // h0 is hidden two collapse levels deep; c1 one level deep.
+        for hidden in [h0, c1] {
+            assert_eq!(
+                s.drag(hidden, Vec2::new(5.0, 5.0)),
+                Err(SessionError::HiddenContainer(hidden))
+            );
+            assert_eq!(s.release(hidden), Err(SessionError::HiddenContainer(hidden)));
+            assert!(!s.layout().is_pinned(key(hidden)), "no invisible pin left behind");
+        }
+        // The visible aggregate (root) still drags fine.
+        s.drag(root, Vec2::new(9.0, 9.0)).unwrap();
+    }
+
+    /// Regression: a non-finite drag position on a *visible* node used
+    /// to be misreported as `HiddenContainer`; it is its own error now.
+    #[test]
+    fn non_finite_drag_position_is_typed() {
+        let mut s = session();
+        let h = s.trace().containers().by_name("c1-h0").unwrap().id();
+        let before = s.layout().position(key(h)).unwrap();
+        assert!(matches!(
+            s.drag(h, Vec2::new(f64::NAN, 0.0)),
+            Err(SessionError::NonFinitePosition { .. })
+        ));
+        assert!(matches!(
+            s.drag(h, Vec2::new(0.0, f64::INFINITY)),
+            Err(SessionError::NonFinitePosition { .. })
+        ));
+        assert_eq!(s.layout().position(key(h)), Some(before), "node untouched");
+        assert!(!s.layout().is_pinned(key(h)));
+    }
+
+    /// The view revision is a sound frame-cache key: it advances on
+    /// every state change that could alter a render, and holds still
+    /// across pure reads.
+    #[test]
+    fn revision_tracks_visible_mutations() {
+        let mut s = session();
+        let r0 = s.revision();
+        // Pure reads leave it alone.
+        let _ = s.view();
+        let _ = s.render(&Viewport::default());
+        let _ = s.aggregate("power_used", s.trace().containers().root()).unwrap();
+        assert_eq!(s.revision(), r0);
+        // Slice change bumps; a no-op slice change does not.
+        s.set_time_slice(TimeSlice::new(0.0, 5.0));
+        let r1 = s.revision();
+        assert!(r1 > r0);
+        s.set_time_slice(TimeSlice::new(0.0, 5.0));
+        assert_eq!(s.revision(), r1);
+        // Collapse/expand bump; idempotent repeats do not.
+        let c1 = s.trace().containers().by_name("c1").unwrap().id();
+        s.collapse(c1).unwrap();
+        let r2 = s.revision();
+        assert!(r2 > r1);
+        s.collapse(c1).unwrap();
+        assert_eq!(s.revision(), r2);
+        // Failed operations leave the revision alone.
+        assert!(s.drag(ContainerId::from_index(999), Vec2::new(0.0, 0.0)).is_err());
+        assert_eq!(s.revision(), r2);
+        // Sliders (pessimistically), drags and layout steps bump.
+        s.layout_config_mut().repulsion *= 2.0;
+        let r3 = s.revision();
+        assert!(r3 > r2);
+        let h = s.trace().containers().by_name("c2-h0").unwrap().id();
+        s.drag(h, Vec2::new(1.0, 2.0)).unwrap();
+        assert!(s.revision() > r3);
+        let r4 = s.revision();
+        s.relax(10);
+        assert!(s.revision() > r4);
     }
 
     #[test]

@@ -5,8 +5,11 @@
 //! (themes today, export DPI or font choices tomorrow) never churns the
 //! `render(width, height, ...)` call sites again.
 
+use std::fmt;
+use std::str::FromStr;
+
 /// Rendering color theme.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Theme {
     /// White background, the paper's figures. The default; output is
     /// byte-identical to what the renderer produced before themes
@@ -15,6 +18,48 @@ pub enum Theme {
     Light,
     /// Dark background for screen use.
     Dark,
+}
+
+/// A string that names no [`Theme`] (see [`Theme::from_str`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseThemeError {
+    /// The rejected input.
+    pub input: String,
+}
+
+impl fmt::Display for ParseThemeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown theme {:?} (expected \"light\" or \"dark\")", self.input)
+    }
+}
+
+impl std::error::Error for ParseThemeError {}
+
+impl FromStr for Theme {
+    type Err = ParseThemeError;
+
+    /// Parses `"light"` / `"dark"` (ASCII case-insensitive). Themes
+    /// arrive as plain strings from wire protocols and CLI flags; this
+    /// is the one place that validation lives.
+    fn from_str(s: &str) -> Result<Theme, ParseThemeError> {
+        if s.eq_ignore_ascii_case("light") {
+            Ok(Theme::Light)
+        } else if s.eq_ignore_ascii_case("dark") {
+            Ok(Theme::Dark)
+        } else {
+            Err(ParseThemeError { input: s.to_owned() })
+        }
+    }
+}
+
+impl fmt::Display for Theme {
+    /// The canonical lowercase name, the inverse of [`Theme::from_str`].
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Theme::Light => "light",
+            Theme::Dark => "dark",
+        })
+    }
 }
 
 impl Theme {
@@ -78,11 +123,46 @@ impl Default for Viewport {
     }
 }
 
+/// A canvas size a [`Viewport`] refuses to take (see
+/// [`Viewport::try_new`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ViewportError {
+    /// The rejected width.
+    pub width: f64,
+    /// The rejected height.
+    pub height: f64,
+}
+
+impl fmt::Display for ViewportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid viewport size {}x{} (both dimensions must be finite and positive)",
+            self.width, self.height
+        )
+    }
+}
+
+impl std::error::Error for ViewportError {}
+
 impl Viewport {
     /// A viewport of the given canvas size with default presentation
     /// (light theme, no labels).
     pub fn new(width: f64, height: f64) -> Viewport {
         Viewport { width, height, ..Viewport::default() }
+    }
+
+    /// Checked constructor for sizes that cross a trust boundary (wire
+    /// protocols, CLI flags): rejects non-finite or non-positive
+    /// dimensions instead of producing a canvas the renderer would
+    /// divide by. Infallible callers with literal sizes keep using
+    /// [`Viewport::new`].
+    pub fn try_new(width: f64, height: f64) -> Result<Viewport, ViewportError> {
+        if width.is_finite() && height.is_finite() && width > 0.0 && height > 0.0 {
+            Ok(Viewport::new(width, height))
+        } else {
+            Err(ViewportError { width, height })
+        }
     }
 
     /// Sets the color theme.
@@ -130,6 +210,35 @@ mod tests {
         assert!(vp.labels);
         assert_eq!(vp.padding, 5.0);
         assert_eq!((vp.width, vp.height), (100.0, 50.0));
+    }
+
+    #[test]
+    fn theme_parses_case_insensitively_and_round_trips() {
+        assert_eq!("light".parse::<Theme>(), Ok(Theme::Light));
+        assert_eq!("DARK".parse::<Theme>(), Ok(Theme::Dark));
+        assert_eq!("Dark".parse::<Theme>(), Ok(Theme::Dark));
+        for t in [Theme::Light, Theme::Dark] {
+            assert_eq!(t.to_string().parse::<Theme>(), Ok(t));
+        }
+        let err = "sepia".parse::<Theme>().unwrap_err();
+        assert_eq!(err.input, "sepia");
+        assert!(err.to_string().contains("sepia"));
+    }
+
+    #[test]
+    fn try_new_rejects_degenerate_canvases() {
+        assert_eq!(Viewport::try_new(800.0, 600.0), Ok(Viewport::new(800.0, 600.0)));
+        for (w, h) in [
+            (0.0, 600.0),
+            (800.0, 0.0),
+            (-1.0, 600.0),
+            (f64::NAN, 600.0),
+            (800.0, f64::INFINITY),
+            (f64::NEG_INFINITY, f64::NAN),
+        ] {
+            let err = Viewport::try_new(w, h).expect_err("degenerate size accepted");
+            assert!(err.to_string().contains("invalid viewport size"), "{err}");
+        }
     }
 
     #[test]

@@ -1,0 +1,118 @@
+//! The deterministic scripted client: replays a command script
+//! byte-for-byte and prints one response line per command line.
+//!
+//! ```sh
+//! # In-process replay (no server needed; the golden-transcript mode):
+//! viva-server-client session.script > transcript.ndjson
+//!
+//! # Against a running TCP server:
+//! viva-server-client --tcp 127.0.0.1:7878 session.script
+//! ```
+//!
+//! Blank lines in the script are skipped (they produce no response in
+//! either mode), so a script replayed in-process and a script piped to
+//! `viva-server --stdio` yield identical transcripts.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::process::ExitCode;
+
+use viva_server::{Server, ServerLimits};
+
+const USAGE: &str = "usage: viva-server-client [--tcp ADDR] [SCRIPT (default stdin)]";
+
+fn main() -> ExitCode {
+    let mut tcp: Option<String> = None;
+    let mut script_path: Option<String> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--tcp" => match it.next() {
+                Some(addr) => tcp = Some(addr),
+                None => {
+                    eprintln!("viva-server-client: --tcp needs an address\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other if script_path.is_none() && !other.starts_with('-') => {
+                script_path = Some(other.to_owned());
+            }
+            other => {
+                eprintln!("viva-server-client: unknown argument {other:?}\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let script = match &script_path {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("viva-server-client: read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => {
+            let mut s = String::new();
+            if let Err(e) = std::io::stdin().read_to_string(&mut s) {
+                eprintln!("viva-server-client: read stdin: {e}");
+                return ExitCode::FAILURE;
+            }
+            s
+        }
+    };
+
+    let result = match tcp {
+        None => replay_in_process(&script),
+        Some(addr) => replay_tcp(&addr, &script),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("viva-server-client: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Replays against an embedded server: the deterministic mode golden
+/// transcripts are recorded in.
+fn replay_in_process(script: &str) -> Result<(), String> {
+    let server = Server::new(ServerLimits::default());
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for line in script.lines() {
+        if let Some(response) = server.handle_line(line) {
+            writeln!(out, "{response}").map_err(|e| e.to_string())?;
+        }
+    }
+    Ok(())
+}
+
+/// Replays against a live TCP server, printing its responses.
+fn replay_tcp(addr: &str, script: &str) -> Result<(), String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let mut reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+    let mut writer = stream;
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for line in script.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        writer
+            .write_all(format!("{line}\n").as_bytes())
+            .map_err(|e| format!("send: {e}"))?;
+        let mut response = String::new();
+        let n = reader.read_line(&mut response).map_err(|e| format!("recv: {e}"))?;
+        if n == 0 {
+            return Err("server closed the connection mid-script".to_owned());
+        }
+        out.write_all(response.as_bytes()).map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}

@@ -1,0 +1,109 @@
+//! The `viva-server` binary: serve the analysis protocol over stdio
+//! (default, single analyst) or TCP (shared, worker pool).
+//!
+//! ```sh
+//! # Single-session pipe mode — replays a script deterministically:
+//! viva-server --stdio < session.script > transcript.ndjson
+//!
+//! # Shared server:
+//! viva-server --tcp 127.0.0.1:7878 --workers 8 --max-sessions 64
+//! ```
+
+use std::net::TcpListener;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use viva_server::{serve_tcp, Server, ServerLimits};
+
+struct Args {
+    tcp: Option<String>,
+    workers: usize,
+    max_sessions: Option<usize>,
+    max_relax_steps: Option<u64>,
+}
+
+const USAGE: &str = "usage: viva-server [--stdio | --tcp ADDR] [--workers N] \
+                     [--max-sessions N] [--max-relax-steps N]";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args =
+        Args { tcp: None, workers: 4, max_sessions: None, max_relax_steps: None };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match arg.as_str() {
+            "--stdio" => args.tcp = None,
+            "--tcp" => args.tcp = Some(value("--tcp")?),
+            "--workers" => {
+                args.workers = value("--workers")?
+                    .parse()
+                    .map_err(|_| "--workers needs an integer".to_owned())?;
+            }
+            "--max-sessions" => {
+                args.max_sessions = Some(
+                    value("--max-sessions")?
+                        .parse()
+                        .map_err(|_| "--max-sessions needs an integer".to_owned())?,
+                );
+            }
+            "--max-relax-steps" => {
+                args.max_relax_steps = Some(
+                    value("--max-relax-steps")?
+                        .parse()
+                        .map_err(|_| "--max-relax-steps needs an integer".to_owned())?,
+                );
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other:?}\n{USAGE}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("viva-server: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut limits = ServerLimits::default();
+    if let Some(n) = args.max_sessions {
+        limits.max_sessions = n;
+    }
+    if let Some(n) = args.max_relax_steps {
+        limits.max_relax_steps = n;
+    }
+    let server = Arc::new(Server::new(limits));
+    match args.tcp {
+        None => {
+            if let Err(e) = server.serve_stdio() {
+                eprintln!("viva-server: stdio: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        Some(addr) => {
+            let listener = match TcpListener::bind(&addr) {
+                Ok(l) => l,
+                Err(e) => {
+                    eprintln!("viva-server: bind {addr}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            eprintln!(
+                "viva-server: listening on {} with {} workers",
+                listener.local_addr().map(|a| a.to_string()).unwrap_or(addr),
+                args.workers
+            );
+            for worker in serve_tcp(listener, args.workers, server) {
+                // The pool runs for the life of the process.
+                let _ = worker.join();
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,927 @@
+//! The wire protocol: newline-delimited JSON commands and responses.
+//!
+//! One request line carries one [`Command`]; the server answers with
+//! exactly one [`Response`] line. Encoding is **deterministic** — the
+//! same value always serializes to the same bytes (see
+//! [`crate::json`]) — which is what makes golden-transcript testing
+//! and byte-for-byte replay possible. Decoding accepts member order
+//! freely and ignores unknown members, so clients can grow fields
+//! without breaking old servers.
+//!
+//! The command set mirrors the paper's interactive loop one-to-one
+//! (§4.2: time-slice selection, collapse/expand, force sliders, node
+//! drag/pin) plus the serving concerns around it (trace upload,
+//! session management, rendering). Containers and metrics are
+//! addressed **by name** — names are stable across loads, ids are not.
+
+use std::fmt;
+use std::str::FromStr;
+
+use viva::Theme;
+use viva_trace::RecoveryMode;
+
+use crate::json::Json;
+
+/// A request from the analyst's client to the server.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Liveness probe; answered with [`Response::Pong`].
+    Ping,
+    /// Lists the names of live sessions, sorted.
+    Sessions,
+    /// Closes (drops) a session.
+    CloseSession {
+        /// Session name.
+        session: String,
+    },
+    /// Uploads a trace (the CSV interchange format of `viva-trace`)
+    /// and (re)creates `session` over it. Routed through
+    /// `TraceLoader` with the server's resource budget, so hostile
+    /// uploads degrade or error — they never crash the server.
+    LoadTrace {
+        /// Session to create or replace.
+        session: String,
+        /// Ingestion recovery mode.
+        mode: RecoveryMode,
+        /// The trace text (CSV lines).
+        text: String,
+    },
+    /// Sets the analysis time-slice (§3.2.1); answered with the
+    /// effective (clamped) slice.
+    SetTimeSlice {
+        /// Session name.
+        session: String,
+        /// Slice start, seconds.
+        start: f64,
+        /// Slice end, seconds.
+        end: f64,
+    },
+    /// Collapses a group into one aggregated node (§3.2.2).
+    Collapse {
+        /// Session name.
+        session: String,
+        /// Container name.
+        container: String,
+    },
+    /// Expands a collapsed group.
+    Expand {
+        /// Session name.
+        session: String,
+        /// Container name.
+        container: String,
+    },
+    /// Jumps to one hierarchy level (Fig. 8).
+    CollapseAtDepth {
+        /// Session name.
+        session: String,
+        /// Tree depth to collapse at (0 = whole system as one node).
+        depth: u32,
+    },
+    /// Expands everything (finest view).
+    ExpandAll {
+        /// Session name.
+        session: String,
+    },
+    /// Updates the force sliders (§4.2). Absent fields keep their
+    /// value; the result is sanitized through `LayoutConfig::sanitized`
+    /// and echoed back.
+    SetForces {
+        /// Session name.
+        session: String,
+        /// New Coulomb repulsion constant.
+        repulsion: Option<f64>,
+        /// New spring constant.
+        spring: Option<f64>,
+        /// New velocity damping in `(0, 1]`.
+        damping: Option<f64>,
+    },
+    /// Moves a per-size-group scaling slider (§4.1).
+    SetScaling {
+        /// Session name.
+        session: String,
+        /// Size-group name (typically a metric name).
+        group: String,
+        /// Slider multiplier (finite, ≥ 0; 1.0 = automatic).
+        factor: f64,
+    },
+    /// Drags a visible node to a position and pins it there.
+    Drag {
+        /// Session name.
+        session: String,
+        /// Container name.
+        container: String,
+        /// Target x.
+        x: f64,
+        /// Target y.
+        y: f64,
+    },
+    /// Releases a pinned node back to the simulation.
+    Release {
+        /// Session name.
+        session: String,
+        /// Container name.
+        container: String,
+    },
+    /// Runs up to `steps` layout iterations (clamped to the server's
+    /// per-command step budget).
+    Relax {
+        /// Session name.
+        session: String,
+        /// Requested iteration count.
+        steps: u64,
+    },
+    /// Aggregates a metric over a group × the current slice (Eq. 1).
+    Aggregate {
+        /// Session name.
+        session: String,
+        /// Metric name.
+        metric: String,
+        /// Container name of the group.
+        group: String,
+    },
+    /// Renders the current view to SVG. Viewport and theme come from
+    /// the request; frames are served from the per-session cache when
+    /// the session revision and presentation match.
+    Render {
+        /// Session name.
+        session: String,
+        /// Canvas width, pixels (finite, positive).
+        width: f64,
+        /// Canvas height, pixels (finite, positive).
+        height: f64,
+        /// Color theme.
+        theme: Theme,
+        /// Draw node labels.
+        labels: bool,
+    },
+}
+
+/// Why a command was rejected. The variant is the wire-visible `err`
+/// kind; the accompanying message is human-readable detail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The request line was not a valid protocol message (bad JSON,
+    /// missing/ill-typed field, oversized line).
+    Protocol,
+    /// Valid JSON, but an unknown `cmd`.
+    UnknownCommand,
+    /// The named session does not exist (never created, closed, or
+    /// evicted).
+    NoSession,
+    /// The named container is not part of the session's trace.
+    UnknownContainer,
+    /// The container exists but is hidden inside a collapsed group.
+    HiddenContainer,
+    /// The named metric is not recorded in the trace.
+    UnknownMetric,
+    /// NaN/infinite or inverted time-slice bounds.
+    InvalidTimeSlice,
+    /// A drag position with a NaN/infinite coordinate.
+    NonFinitePosition,
+    /// A render viewport with non-finite or non-positive dimensions.
+    BadViewport,
+    /// An unknown theme name.
+    BadTheme,
+    /// An argument outside its legal range (e.g. a negative or
+    /// non-finite scaling factor).
+    BadArgument,
+    /// A strict-mode trace upload failed to parse.
+    ParseTrace,
+    /// A strict-mode trace upload exhausted the server's resource
+    /// budget.
+    BudgetExceeded,
+}
+
+impl ErrorKind {
+    /// The stable wire token.
+    pub fn token(self) -> &'static str {
+        match self {
+            ErrorKind::Protocol => "protocol",
+            ErrorKind::UnknownCommand => "unknown_command",
+            ErrorKind::NoSession => "no_session",
+            ErrorKind::UnknownContainer => "unknown_container",
+            ErrorKind::HiddenContainer => "hidden_container",
+            ErrorKind::UnknownMetric => "unknown_metric",
+            ErrorKind::InvalidTimeSlice => "invalid_time_slice",
+            ErrorKind::NonFinitePosition => "non_finite_position",
+            ErrorKind::BadViewport => "bad_viewport",
+            ErrorKind::BadTheme => "bad_theme",
+            ErrorKind::BadArgument => "bad_argument",
+            ErrorKind::ParseTrace => "parse_trace",
+            ErrorKind::BudgetExceeded => "budget_exceeded",
+        }
+    }
+
+    fn from_token(s: &str) -> Option<ErrorKind> {
+        use ErrorKind::*;
+        Some(match s {
+            "protocol" => Protocol,
+            "unknown_command" => UnknownCommand,
+            "no_session" => NoSession,
+            "unknown_container" => UnknownContainer,
+            "hidden_container" => HiddenContainer,
+            "unknown_metric" => UnknownMetric,
+            "invalid_time_slice" => InvalidTimeSlice,
+            "non_finite_position" => NonFinitePosition,
+            "bad_viewport" => BadViewport,
+            "bad_theme" => BadTheme,
+            "bad_argument" => BadArgument,
+            "parse_trace" => ParseTrace,
+            "budget_exceeded" => BudgetExceeded,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.token())
+    }
+}
+
+/// The server's answer to one [`Command`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Answer to [`Command::Ping`].
+    Pong,
+    /// Answer to [`Command::Sessions`]: live session names, sorted.
+    SessionList {
+        /// Sorted session names.
+        names: Vec<String>,
+    },
+    /// A session was closed.
+    Closed {
+        /// The closed session's name.
+        session: String,
+    },
+    /// A trace was loaded and a session created over it. Quarantine
+    /// and drop counts surface ingestion degradation; `breach` names
+    /// the budget axis that stopped a lenient load early.
+    Loaded {
+        /// The session name.
+        session: String,
+        /// Containers in the trace.
+        containers: u64,
+        /// Event records ingested.
+        events: u64,
+        /// Records dropped by lenient recovery.
+        dropped: u64,
+        /// Non-finite samples quarantined.
+        quarantined: u64,
+        /// Trace span start, seconds.
+        start: f64,
+        /// Trace span end, seconds.
+        end: f64,
+        /// Budget breach summary, if a budget axis stopped the load.
+        breach: Option<String>,
+    },
+    /// The effective (clamped) time-slice after
+    /// [`Command::SetTimeSlice`].
+    Slice {
+        /// Effective start.
+        start: f64,
+        /// Effective end.
+        end: f64,
+    },
+    /// Generic acknowledgement carrying the session's new view
+    /// revision (collapse/expand/drag/release/scaling).
+    Done {
+        /// View revision after the command.
+        revision: u64,
+    },
+    /// The sanitized force parameters after [`Command::SetForces`].
+    Forces {
+        /// Effective repulsion.
+        repulsion: f64,
+        /// Effective spring constant.
+        spring: f64,
+        /// Effective damping.
+        damping: f64,
+    },
+    /// Layout iterations ran. `frozen` carries the watchdog's
+    /// `FreezeReason` when the layout froze instead of diverging.
+    Relaxed {
+        /// Iterations actually executed.
+        steps: u64,
+        /// Watchdog freeze reason, if frozen.
+        frozen: Option<String>,
+    },
+    /// Numeric aggregate of a metric over a group (Eq. 1 + §6).
+    Aggregated {
+        /// Members carrying the metric.
+        members: u64,
+        /// Space × time integral.
+        integral: f64,
+        /// Mean of member time-averages.
+        mean: f64,
+        /// Minimum member time-average.
+        min: f64,
+        /// Maximum member time-average.
+        max: f64,
+        /// Median member time-average.
+        median: f64,
+        /// Quarantined samples under the group.
+        quarantined: u64,
+        /// Whether no member carries the metric.
+        empty: bool,
+    },
+    /// A rendered frame.
+    Frame {
+        /// Session view revision the frame was rendered at.
+        revision: u64,
+        /// Whether the frame came from the cache.
+        cached: bool,
+        /// The SVG document.
+        svg: String,
+    },
+    /// The command failed; the session (if any) is unchanged.
+    Error {
+        /// Machine-readable failure kind.
+        kind: ErrorKind,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+/// A line that failed to decode into a [`Command`] or [`Response`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecodeError {
+    /// What was wrong.
+    pub message: String,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn bad(message: impl Into<String>) -> DecodeError {
+    DecodeError { message: message.into() }
+}
+
+/// Fetches a required string member.
+fn str_field(obj: &Json, key: &str) -> Result<String, DecodeError> {
+    obj.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_owned)
+        .ok_or_else(|| bad(format!("missing or non-string field {key:?}")))
+}
+
+/// Fetches a required (finite) number member.
+fn num_field(obj: &Json, key: &str) -> Result<f64, DecodeError> {
+    obj.get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| bad(format!("missing or non-numeric field {key:?}")))
+}
+
+/// Fetches a required non-negative integer member.
+fn uint_field(obj: &Json, key: &str) -> Result<u64, DecodeError> {
+    obj.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| bad(format!("missing or non-integer field {key:?}")))
+}
+
+/// Fetches an optional number member (absent or `null` → `None`).
+fn opt_num_field(obj: &Json, key: &str) -> Result<Option<f64>, DecodeError> {
+    match obj.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => v
+            .as_f64()
+            .map(Some)
+            .ok_or_else(|| bad(format!("non-numeric field {key:?}"))),
+    }
+}
+
+/// Fetches an optional string member (absent or `null` → `None`).
+fn opt_str_field(obj: &Json, key: &str) -> Result<Option<String>, DecodeError> {
+    match obj.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => v
+            .as_str()
+            .map(|s| Some(s.to_owned()))
+            .ok_or_else(|| bad(format!("non-string field {key:?}"))),
+    }
+}
+
+fn obj(members: Vec<(&str, Json)>) -> Json {
+    Json::Obj(members.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+}
+
+fn mode_token(mode: RecoveryMode) -> &'static str {
+    match mode {
+        RecoveryMode::Strict => "strict",
+        RecoveryMode::Lenient => "lenient",
+    }
+}
+
+impl Command {
+    /// The wire token naming this command.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Command::Ping => "ping",
+            Command::Sessions => "sessions",
+            Command::CloseSession { .. } => "close_session",
+            Command::LoadTrace { .. } => "load_trace",
+            Command::SetTimeSlice { .. } => "set_time_slice",
+            Command::Collapse { .. } => "collapse",
+            Command::Expand { .. } => "expand",
+            Command::CollapseAtDepth { .. } => "collapse_at_depth",
+            Command::ExpandAll { .. } => "expand_all",
+            Command::SetForces { .. } => "set_forces",
+            Command::SetScaling { .. } => "set_scaling",
+            Command::Drag { .. } => "drag",
+            Command::Release { .. } => "release",
+            Command::Relax { .. } => "relax",
+            Command::Aggregate { .. } => "aggregate",
+            Command::Render { .. } => "render",
+        }
+    }
+
+    /// Serializes to the canonical one-line JSON form.
+    pub fn encode(&self) -> String {
+        self.to_json().encode()
+    }
+
+    fn to_json(&self) -> Json {
+        let name = Json::Str(self.name().to_owned());
+        match self {
+            Command::Ping | Command::Sessions => obj(vec![("cmd", name)]),
+            Command::CloseSession { session } => {
+                obj(vec![("cmd", name), ("session", Json::Str(session.clone()))])
+            }
+            Command::LoadTrace { session, mode, text } => obj(vec![
+                ("cmd", name),
+                ("session", Json::Str(session.clone())),
+                ("mode", Json::Str(mode_token(*mode).to_owned())),
+                ("text", Json::Str(text.clone())),
+            ]),
+            Command::SetTimeSlice { session, start, end } => obj(vec![
+                ("cmd", name),
+                ("session", Json::Str(session.clone())),
+                ("start", Json::Num(*start)),
+                ("end", Json::Num(*end)),
+            ]),
+            Command::Collapse { session, container } | Command::Expand { session, container } => {
+                obj(vec![
+                    ("cmd", name),
+                    ("session", Json::Str(session.clone())),
+                    ("container", Json::Str(container.clone())),
+                ])
+            }
+            Command::CollapseAtDepth { session, depth } => obj(vec![
+                ("cmd", name),
+                ("session", Json::Str(session.clone())),
+                ("depth", Json::Num(*depth as f64)),
+            ]),
+            Command::ExpandAll { session } => {
+                obj(vec![("cmd", name), ("session", Json::Str(session.clone()))])
+            }
+            Command::SetForces { session, repulsion, spring, damping } => {
+                let mut members = vec![("cmd", name), ("session", Json::Str(session.clone()))];
+                if let Some(r) = repulsion {
+                    members.push(("repulsion", Json::Num(*r)));
+                }
+                if let Some(s) = spring {
+                    members.push(("spring", Json::Num(*s)));
+                }
+                if let Some(d) = damping {
+                    members.push(("damping", Json::Num(*d)));
+                }
+                obj(members)
+            }
+            Command::SetScaling { session, group, factor } => obj(vec![
+                ("cmd", name),
+                ("session", Json::Str(session.clone())),
+                ("group", Json::Str(group.clone())),
+                ("factor", Json::Num(*factor)),
+            ]),
+            Command::Drag { session, container, x, y } => obj(vec![
+                ("cmd", name),
+                ("session", Json::Str(session.clone())),
+                ("container", Json::Str(container.clone())),
+                ("x", Json::Num(*x)),
+                ("y", Json::Num(*y)),
+            ]),
+            Command::Release { session, container } => obj(vec![
+                ("cmd", name),
+                ("session", Json::Str(session.clone())),
+                ("container", Json::Str(container.clone())),
+            ]),
+            Command::Relax { session, steps } => obj(vec![
+                ("cmd", name),
+                ("session", Json::Str(session.clone())),
+                ("steps", Json::Num(*steps as f64)),
+            ]),
+            Command::Aggregate { session, metric, group } => obj(vec![
+                ("cmd", name),
+                ("session", Json::Str(session.clone())),
+                ("metric", Json::Str(metric.clone())),
+                ("group", Json::Str(group.clone())),
+            ]),
+            Command::Render { session, width, height, theme, labels } => obj(vec![
+                ("cmd", name),
+                ("session", Json::Str(session.clone())),
+                ("width", Json::Num(*width)),
+                ("height", Json::Num(*height)),
+                ("theme", Json::Str(theme.to_string())),
+                ("labels", Json::Bool(*labels)),
+            ]),
+        }
+    }
+
+    /// Decodes one request line. Unknown members are ignored; missing
+    /// or ill-typed required members are a [`DecodeError`].
+    pub fn decode(line: &str) -> Result<Command, DecodeError> {
+        let v = Json::parse(line).map_err(|e| bad(format!("invalid JSON: {e}")))?;
+        if !matches!(v, Json::Obj(_)) {
+            return Err(bad("request must be a JSON object"));
+        }
+        let cmd = str_field(&v, "cmd")?;
+        let session = || str_field(&v, "session");
+        Ok(match cmd.as_str() {
+            "ping" => Command::Ping,
+            "sessions" => Command::Sessions,
+            "close_session" => Command::CloseSession { session: session()? },
+            "load_trace" => {
+                let mode = match str_field(&v, "mode")?.as_str() {
+                    "strict" => RecoveryMode::Strict,
+                    "lenient" => RecoveryMode::Lenient,
+                    other => {
+                        return Err(bad(format!(
+                            "unknown mode {other:?} (expected \"strict\" or \"lenient\")"
+                        )))
+                    }
+                };
+                Command::LoadTrace { session: session()?, mode, text: str_field(&v, "text")? }
+            }
+            "set_time_slice" => Command::SetTimeSlice {
+                session: session()?,
+                start: num_field(&v, "start")?,
+                end: num_field(&v, "end")?,
+            },
+            "collapse" => {
+                Command::Collapse { session: session()?, container: str_field(&v, "container")? }
+            }
+            "expand" => {
+                Command::Expand { session: session()?, container: str_field(&v, "container")? }
+            }
+            "collapse_at_depth" => {
+                let depth = uint_field(&v, "depth")?;
+                let depth = u32::try_from(depth).map_err(|_| bad("depth out of range"))?;
+                Command::CollapseAtDepth { session: session()?, depth }
+            }
+            "expand_all" => Command::ExpandAll { session: session()? },
+            "set_forces" => Command::SetForces {
+                session: session()?,
+                repulsion: opt_num_field(&v, "repulsion")?,
+                spring: opt_num_field(&v, "spring")?,
+                damping: opt_num_field(&v, "damping")?,
+            },
+            "set_scaling" => Command::SetScaling {
+                session: session()?,
+                group: str_field(&v, "group")?,
+                factor: num_field(&v, "factor")?,
+            },
+            "drag" => Command::Drag {
+                session: session()?,
+                container: str_field(&v, "container")?,
+                x: num_field(&v, "x")?,
+                y: num_field(&v, "y")?,
+            },
+            "release" => {
+                Command::Release { session: session()?, container: str_field(&v, "container")? }
+            }
+            "relax" => Command::Relax { session: session()?, steps: uint_field(&v, "steps")? },
+            "aggregate" => Command::Aggregate {
+                session: session()?,
+                metric: str_field(&v, "metric")?,
+                group: str_field(&v, "group")?,
+            },
+            "render" => {
+                let theme_name = str_field(&v, "theme")?;
+                let theme = Theme::from_str(&theme_name)
+                    .map_err(|e| bad(format!("bad theme: {e}")))?;
+                Command::Render {
+                    session: session()?,
+                    width: num_field(&v, "width")?,
+                    height: num_field(&v, "height")?,
+                    theme,
+                    labels: v
+                        .get("labels")
+                        .map(|l| l.as_bool().ok_or_else(|| bad("non-boolean field \"labels\"")))
+                        .transpose()?
+                        .unwrap_or(false),
+                }
+            }
+            other => return Err(bad(format!("unknown command {other:?}"))),
+        })
+    }
+}
+
+impl Response {
+    /// Serializes to the canonical one-line JSON form.
+    pub fn encode(&self) -> String {
+        self.to_json().encode()
+    }
+
+    fn to_json(&self) -> Json {
+        match self {
+            Response::Pong => obj(vec![("ok", Json::Str("pong".into()))]),
+            Response::SessionList { names } => obj(vec![
+                ("ok", Json::Str("sessions".into())),
+                ("names", Json::Arr(names.iter().map(|n| Json::Str(n.clone())).collect())),
+            ]),
+            Response::Closed { session } => obj(vec![
+                ("ok", Json::Str("closed".into())),
+                ("session", Json::Str(session.clone())),
+            ]),
+            Response::Loaded {
+                session,
+                containers,
+                events,
+                dropped,
+                quarantined,
+                start,
+                end,
+                breach,
+            } => obj(vec![
+                ("ok", Json::Str("loaded".into())),
+                ("session", Json::Str(session.clone())),
+                ("containers", Json::Num(*containers as f64)),
+                ("events", Json::Num(*events as f64)),
+                ("dropped", Json::Num(*dropped as f64)),
+                ("quarantined", Json::Num(*quarantined as f64)),
+                ("start", Json::Num(*start)),
+                ("end", Json::Num(*end)),
+                (
+                    "breach",
+                    match breach {
+                        Some(b) => Json::Str(b.clone()),
+                        None => Json::Null,
+                    },
+                ),
+            ]),
+            Response::Slice { start, end } => obj(vec![
+                ("ok", Json::Str("slice".into())),
+                ("start", Json::Num(*start)),
+                ("end", Json::Num(*end)),
+            ]),
+            Response::Done { revision } => obj(vec![
+                ("ok", Json::Str("done".into())),
+                ("revision", Json::Num(*revision as f64)),
+            ]),
+            Response::Forces { repulsion, spring, damping } => obj(vec![
+                ("ok", Json::Str("forces".into())),
+                ("repulsion", Json::Num(*repulsion)),
+                ("spring", Json::Num(*spring)),
+                ("damping", Json::Num(*damping)),
+            ]),
+            Response::Relaxed { steps, frozen } => obj(vec![
+                ("ok", Json::Str("relaxed".into())),
+                ("steps", Json::Num(*steps as f64)),
+                (
+                    "frozen",
+                    match frozen {
+                        Some(f) => Json::Str(f.clone()),
+                        None => Json::Null,
+                    },
+                ),
+            ]),
+            Response::Aggregated {
+                members,
+                integral,
+                mean,
+                min,
+                max,
+                median,
+                quarantined,
+                empty,
+            } => obj(vec![
+                ("ok", Json::Str("aggregate".into())),
+                ("members", Json::Num(*members as f64)),
+                ("integral", Json::Num(*integral)),
+                ("mean", Json::Num(*mean)),
+                ("min", Json::Num(*min)),
+                ("max", Json::Num(*max)),
+                ("median", Json::Num(*median)),
+                ("quarantined", Json::Num(*quarantined as f64)),
+                ("empty", Json::Bool(*empty)),
+            ]),
+            Response::Frame { revision, cached, svg } => obj(vec![
+                ("ok", Json::Str("frame".into())),
+                ("revision", Json::Num(*revision as f64)),
+                ("cached", Json::Bool(*cached)),
+                ("svg", Json::Str(svg.clone())),
+            ]),
+            Response::Error { kind, message } => obj(vec![
+                ("err", Json::Str(kind.token().to_owned())),
+                ("message", Json::Str(message.clone())),
+            ]),
+        }
+    }
+
+    /// Decodes one response line (used by clients and the transcript
+    /// tooling; the server only encodes).
+    pub fn decode(line: &str) -> Result<Response, DecodeError> {
+        let v = Json::parse(line).map_err(|e| bad(format!("invalid JSON: {e}")))?;
+        if let Some(err) = v.get("err") {
+            let token = err.as_str().ok_or_else(|| bad("non-string \"err\""))?;
+            let kind = ErrorKind::from_token(token)
+                .ok_or_else(|| bad(format!("unknown error kind {token:?}")))?;
+            return Ok(Response::Error { kind, message: str_field(&v, "message")? });
+        }
+        let ok = str_field(&v, "ok")?;
+        Ok(match ok.as_str() {
+            "pong" => Response::Pong,
+            "sessions" => {
+                let names = match v.get("names") {
+                    Some(Json::Arr(items)) => items
+                        .iter()
+                        .map(|i| {
+                            i.as_str().map(str::to_owned).ok_or_else(|| bad("non-string name"))
+                        })
+                        .collect::<Result<Vec<_>, _>>()?,
+                    _ => return Err(bad("missing or non-array field \"names\"")),
+                };
+                Response::SessionList { names }
+            }
+            "closed" => Response::Closed { session: str_field(&v, "session")? },
+            "loaded" => Response::Loaded {
+                session: str_field(&v, "session")?,
+                containers: uint_field(&v, "containers")?,
+                events: uint_field(&v, "events")?,
+                dropped: uint_field(&v, "dropped")?,
+                quarantined: uint_field(&v, "quarantined")?,
+                start: num_field(&v, "start")?,
+                end: num_field(&v, "end")?,
+                breach: opt_str_field(&v, "breach")?,
+            },
+            "slice" => {
+                Response::Slice { start: num_field(&v, "start")?, end: num_field(&v, "end")? }
+            }
+            "done" => Response::Done { revision: uint_field(&v, "revision")? },
+            "forces" => Response::Forces {
+                repulsion: num_field(&v, "repulsion")?,
+                spring: num_field(&v, "spring")?,
+                damping: num_field(&v, "damping")?,
+            },
+            "relaxed" => Response::Relaxed {
+                steps: uint_field(&v, "steps")?,
+                frozen: opt_str_field(&v, "frozen")?,
+            },
+            "aggregate" => Response::Aggregated {
+                members: uint_field(&v, "members")?,
+                integral: num_field(&v, "integral")?,
+                mean: num_field(&v, "mean")?,
+                min: num_field(&v, "min")?,
+                max: num_field(&v, "max")?,
+                median: num_field(&v, "median")?,
+                quarantined: uint_field(&v, "quarantined")?,
+                empty: v
+                    .get("empty")
+                    .and_then(Json::as_bool)
+                    .ok_or_else(|| bad("missing or non-boolean field \"empty\""))?,
+            },
+            "frame" => Response::Frame {
+                revision: uint_field(&v, "revision")?,
+                cached: v
+                    .get("cached")
+                    .and_then(Json::as_bool)
+                    .ok_or_else(|| bad("missing or non-boolean field \"cached\""))?,
+                svg: str_field(&v, "svg")?,
+            },
+            other => return Err(bad(format!("unknown response kind {other:?}"))),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn command_encoding_is_stable() {
+        let cmd = Command::Render {
+            session: "a".into(),
+            width: 800.0,
+            height: 600.0,
+            theme: Theme::Dark,
+            labels: false,
+        };
+        assert_eq!(
+            cmd.encode(),
+            r#"{"cmd":"render","session":"a","width":800,"height":600,"theme":"dark","labels":false}"#
+        );
+        assert_eq!(Command::decode(&cmd.encode()).unwrap(), cmd);
+    }
+
+    #[test]
+    fn commands_round_trip() {
+        let cmds = vec![
+            Command::Ping,
+            Command::Sessions,
+            Command::CloseSession { session: "s".into() },
+            Command::LoadTrace {
+                session: "s".into(),
+                mode: RecoveryMode::Lenient,
+                text: "span,0.0,10.0\n".into(),
+            },
+            Command::SetTimeSlice { session: "s".into(), start: 0.25, end: 7.5 },
+            Command::Collapse { session: "s".into(), container: "c1".into() },
+            Command::Expand { session: "s".into(), container: "c1".into() },
+            Command::CollapseAtDepth { session: "s".into(), depth: 2 },
+            Command::ExpandAll { session: "s".into() },
+            Command::SetForces {
+                session: "s".into(),
+                repulsion: Some(250.0),
+                spring: None,
+                damping: Some(0.5),
+            },
+            Command::SetScaling { session: "s".into(), group: "bandwidth".into(), factor: 2.0 },
+            Command::Drag { session: "s".into(), container: "h1".into(), x: -3.5, y: 10.0 },
+            Command::Release { session: "s".into(), container: "h1".into() },
+            Command::Relax { session: "s".into(), steps: 500 },
+            Command::Aggregate {
+                session: "s".into(),
+                metric: "power_used".into(),
+                group: "c1".into(),
+            },
+        ];
+        for cmd in cmds {
+            let line = cmd.encode();
+            assert_eq!(Command::decode(&line).unwrap(), cmd, "{line}");
+            assert_eq!(Command::decode(&line).unwrap().encode(), line, "stable re-encode");
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let responses = vec![
+            Response::Pong,
+            Response::SessionList { names: vec!["a".into(), "b".into()] },
+            Response::Closed { session: "a".into() },
+            Response::Loaded {
+                session: "a".into(),
+                containers: 12,
+                events: 300,
+                dropped: 2,
+                quarantined: 1,
+                start: 0.0,
+                end: 10.0,
+                breach: Some("event count budget (10) exhausted at line 7 (byte 130)".into()),
+            },
+            Response::Slice { start: 0.0, end: 2.5 },
+            Response::Done { revision: 42 },
+            Response::Forces { repulsion: 100.0, spring: 2.0, damping: 0.6 },
+            Response::Relaxed { steps: 137, frozen: None },
+            Response::Relaxed { steps: 0, frozen: Some("non-finite force".into()) },
+            Response::Aggregated {
+                members: 4,
+                integral: 2400.0,
+                mean: 60.0,
+                min: 60.0,
+                max: 60.0,
+                median: 60.0,
+                quarantined: 0,
+                empty: false,
+            },
+            Response::Frame { revision: 7, cached: true, svg: "<svg>…</svg>\n".into() },
+            Response::Error { kind: ErrorKind::NoSession, message: "session \"x\"".into() },
+        ];
+        for r in responses {
+            let line = r.encode();
+            assert_eq!(Response::decode(&line).unwrap(), r, "{line}");
+            assert_eq!(Response::decode(&line).unwrap().encode(), line, "stable re-encode");
+        }
+    }
+
+    #[test]
+    fn decode_rejects_malformed_requests() {
+        for bad in [
+            "",
+            "not json",
+            "[]",
+            "42",
+            r#"{"cmd":"no_such_command"}"#,
+            r#"{"cmd":"collapse"}"#,
+            r#"{"cmd":"collapse","session":"s"}"#,
+            r#"{"cmd":"render","session":"s","width":800,"height":600,"theme":"sepia"}"#,
+            r#"{"cmd":"relax","session":"s","steps":-1}"#,
+            r#"{"cmd":"relax","session":"s","steps":2.5}"#,
+            r#"{"cmd":"load_trace","session":"s","mode":"yolo","text":""}"#,
+            r#"{"cmd":"set_time_slice","session":"s","start":"a","end":1}"#,
+        ] {
+            assert!(Command::decode(bad).is_err(), "{bad:?} should fail to decode");
+        }
+    }
+
+    #[test]
+    fn unknown_members_are_ignored() {
+        let cmd =
+            Command::decode(r#"{"cmd":"ping","future_field":123,"another":{"x":[1,2]}}"#).unwrap();
+        assert_eq!(cmd, Command::Ping);
+    }
+}

@@ -1,0 +1,246 @@
+//! Many named analysis sessions behind one server.
+//!
+//! The [`SessionRegistry`] is the shared-machine piece of the serving
+//! layer: each analyst (or tab, or benchmark client) works in a named
+//! session holding its own [`viva::AnalysisSession`] and frame cache.
+//! Sessions are protected by **per-session locks**, so two connections
+//! driving different sessions never contend, while two connections
+//! driving the *same* session serialize their commands (the analysis
+//! session is single-writer by design).
+//!
+//! Capacity is bounded: creating a session beyond
+//! [`ServerLimits::max_sessions`] evicts the least-recently-*used*
+//! session, tracked with a logical clock so eviction order is a pure
+//! function of the command history — wall time never leaks into
+//! protocol-visible behaviour.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use viva::AnalysisSession;
+use viva_trace::ResourceBudget;
+
+use crate::cache::FrameCache;
+
+/// Hard ceilings a server instance enforces; the serving analogue of
+/// [`ResourceBudget`]. Defaults are sized for an interactive
+/// multi-analyst workstation.
+#[derive(Debug, Clone)]
+pub struct ServerLimits {
+    /// Live sessions kept before LRU eviction.
+    pub max_sessions: usize,
+    /// Per-`relax`-command cap on layout iterations (a hostile
+    /// `{"steps": 1e15}` must not pin a worker thread).
+    pub max_relax_steps: u64,
+    /// Per-request-line byte cap (the trace upload arrives inline, so
+    /// this is generous — but bounded).
+    pub max_line_bytes: usize,
+    /// Frames each session's cache retains.
+    pub frame_cache_frames: usize,
+    /// Ingestion budget applied to every `load_trace`.
+    pub load_budget: ResourceBudget,
+}
+
+impl Default for ServerLimits {
+    fn default() -> Self {
+        ServerLimits {
+            max_sessions: 32,
+            max_relax_steps: 20_000,
+            max_line_bytes: 64 << 20, // 64 MiB: inline trace uploads
+            frame_cache_frames: 32,
+            load_budget: ResourceBudget {
+                // Tighter than the workstation default: server traces
+                // arrive from the network.
+                max_events: 5_000_000,
+                max_containers: 100_000,
+                max_line_bytes: 1 << 20,
+                max_memory_bytes: 512 << 20,
+                max_diagnostics: 64,
+            },
+        }
+    }
+}
+
+/// One named session: the analysis state plus its frame cache.
+#[derive(Debug)]
+pub struct ServerSession {
+    /// The interactive analysis this session wraps.
+    pub analysis: AnalysisSession,
+    /// Rendered-frame cache keyed on (revision, viewport, theme).
+    pub frames: FrameCache,
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    sessions: HashMap<String, Arc<Mutex<ServerSession>>>,
+    /// name → last-touched logical tick (LRU order).
+    last_used: HashMap<String, u64>,
+    clock: u64,
+}
+
+/// A bounded, concurrency-safe map of named [`ServerSession`]s.
+#[derive(Debug)]
+pub struct SessionRegistry {
+    limits: ServerLimits,
+    inner: Mutex<RegistryInner>,
+}
+
+/// Recovers from a poisoned mutex: a panic in one request handler must
+/// not wedge every future request (graceful degradation — the state
+/// itself is still consistent, the analysis types have no
+/// panic-unsafe invariants).
+fn relock<T>(lock: &Mutex<T>) -> MutexGuard<'_, T> {
+    lock.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+impl SessionRegistry {
+    /// An empty registry enforcing `limits`.
+    pub fn new(limits: ServerLimits) -> SessionRegistry {
+        SessionRegistry { limits, inner: Mutex::new(RegistryInner::default()) }
+    }
+
+    /// The limits this registry enforces.
+    pub fn limits(&self) -> &ServerLimits {
+        &self.limits
+    }
+
+    /// Creates (or replaces) the session `name`, evicting the least
+    /// recently used session if the registry is full. Returns the
+    /// names of evicted sessions (deterministic for a given command
+    /// history).
+    pub fn create(&self, name: &str, session: AnalysisSession) -> Vec<String> {
+        let mut inner = relock(&self.inner);
+        inner.clock += 1;
+        let tick = inner.clock;
+        let entry = Arc::new(Mutex::new(ServerSession {
+            analysis: session,
+            frames: FrameCache::new(self.limits.frame_cache_frames),
+        }));
+        inner.sessions.insert(name.to_owned(), entry);
+        inner.last_used.insert(name.to_owned(), tick);
+        let mut evicted = Vec::new();
+        while inner.sessions.len() > self.limits.max_sessions.max(1) {
+            // Victim: stalest tick; ticks are unique so this is
+            // unambiguous. The session just created has the freshest
+            // tick and can never evict itself.
+            let victim = inner
+                .last_used
+                .iter()
+                .min_by_key(|(_, &t)| t)
+                .map(|(n, _)| n.clone())
+                .expect("non-empty registry");
+            inner.sessions.remove(&victim);
+            inner.last_used.remove(&victim);
+            evicted.push(victim);
+        }
+        evicted.sort();
+        evicted
+    }
+
+    /// Fetches a session by name, refreshing its LRU recency. The
+    /// returned handle is locked per command by the caller.
+    pub fn get(&self, name: &str) -> Option<Arc<Mutex<ServerSession>>> {
+        let mut inner = relock(&self.inner);
+        inner.clock += 1;
+        let tick = inner.clock;
+        let found = inner.sessions.get(name).cloned();
+        if found.is_some() {
+            inner.last_used.insert(name.to_owned(), tick);
+        }
+        found
+    }
+
+    /// Drops a session. Returns whether it existed.
+    pub fn close(&self, name: &str) -> bool {
+        let mut inner = relock(&self.inner);
+        inner.last_used.remove(name);
+        inner.sessions.remove(name).is_some()
+    }
+
+    /// Live session names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let inner = relock(&self.inner);
+        let mut names: Vec<String> = inner.sessions.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Number of live sessions.
+    pub fn len(&self) -> usize {
+        relock(&self.inner).sessions.len()
+    }
+
+    /// Whether no session is live.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Locks `name`'s session for one command, recovering from
+    /// poisoning (a panicking handler must not wedge the session).
+    pub fn lock_session<'a>(
+        session: &'a Arc<Mutex<ServerSession>>,
+    ) -> MutexGuard<'a, ServerSession> {
+        relock(session)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use viva_trace::{ContainerKind, TraceBuilder};
+
+    fn tiny_session() -> AnalysisSession {
+        let mut b = TraceBuilder::new();
+        let power = b.metric("power", "MFlop/s");
+        let h = b.new_container(b.root(), "h", ContainerKind::Host).unwrap();
+        b.set_variable(0.0, h, power, 10.0).unwrap();
+        AnalysisSession::builder(b.finish(1.0)).build()
+    }
+
+    fn registry(max_sessions: usize) -> SessionRegistry {
+        SessionRegistry::new(ServerLimits { max_sessions, ..ServerLimits::default() })
+    }
+
+    #[test]
+    fn create_get_close_roundtrip() {
+        let r = registry(4);
+        assert!(r.is_empty());
+        assert!(r.create("a", tiny_session()).is_empty());
+        assert!(r.get("a").is_some());
+        assert!(r.get("b").is_none());
+        assert_eq!(r.names(), vec!["a".to_owned()]);
+        assert!(r.close("a"));
+        assert!(!r.close("a"));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn lru_eviction_is_by_use_not_by_creation() {
+        let r = registry(2);
+        r.create("a", tiny_session());
+        r.create("b", tiny_session());
+        // Touch "a" so "b" becomes the LRU victim.
+        assert!(r.get("a").is_some());
+        let evicted = r.create("c", tiny_session());
+        assert_eq!(evicted, vec!["b".to_owned()]);
+        assert_eq!(r.names(), vec!["a".to_owned(), "c".to_owned()]);
+        assert!(r.get("b").is_none(), "evicted session is gone");
+    }
+
+    #[test]
+    fn replacing_a_session_does_not_grow_the_registry() {
+        let r = registry(2);
+        r.create("a", tiny_session());
+        r.create("b", tiny_session());
+        assert!(r.create("a", tiny_session()).is_empty(), "replace, not evict");
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn capacity_one_always_keeps_the_newest() {
+        let r = registry(1);
+        assert!(r.create("a", tiny_session()).is_empty());
+        assert_eq!(r.create("b", tiny_session()), vec!["a".to_owned()]);
+        assert_eq!(r.names(), vec!["b".to_owned()]);
+    }
+}

@@ -1,0 +1,701 @@
+//! The serving loop: NDJSON over stdio or TCP.
+//!
+//! A [`Server`] owns a [`SessionRegistry`] and turns request lines
+//! into response lines — one in, one out, in order. The same
+//! [`Server::handle_line`] drives every transport:
+//!
+//! * [`Server::serve`] pumps any `BufRead`/`Write` pair — the stdio
+//!   single-analyst mode, and the per-connection loop of TCP;
+//! * [`serve_tcp`] accepts on a `std::net::TcpListener` from a fixed
+//!   pool of worker threads (thread-per-connection, no external
+//!   dependencies): each worker blocks in `accept`, serves its
+//!   connection to EOF, then returns to accepting.
+//!
+//! Responses are deterministic: a fresh server given the same command
+//! script produces byte-identical output, including the `cached`
+//! flags of frame responses (the caches run on logical clocks).
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+
+use viva::{AnalysisSession, SessionError, Viewport};
+use viva_layout::Vec2;
+use viva_trace::{ContainerId, TraceError, TraceLoader};
+
+use crate::protocol::{Command, ErrorKind, Response};
+use crate::registry::{ServerLimits, ServerSession, SessionRegistry};
+
+/// A protocol server over a session registry. Cheap to share:
+/// transports hold it behind an [`Arc`].
+#[derive(Debug)]
+pub struct Server {
+    registry: SessionRegistry,
+}
+
+fn err(kind: ErrorKind, message: impl Into<String>) -> Response {
+    Response::Error { kind, message: message.into() }
+}
+
+/// Maps a session-layer failure onto the wire.
+fn session_error(e: SessionError) -> Response {
+    let kind = match &e {
+        SessionError::UnknownContainer(_) => ErrorKind::UnknownContainer,
+        SessionError::HiddenContainer(_) => ErrorKind::HiddenContainer,
+        SessionError::UnknownMetric(_) => ErrorKind::UnknownMetric,
+        SessionError::InvalidTimeSlice(_) => ErrorKind::InvalidTimeSlice,
+        SessionError::NonFinitePosition { .. } => ErrorKind::NonFinitePosition,
+    };
+    err(kind, e.to_string())
+}
+
+/// Resolves a container *name* against the session's trace. Names are
+/// the protocol's container handle; ids are an in-process detail.
+fn container_id(s: &ServerSession, name: &str) -> Result<ContainerId, Response> {
+    s.analysis
+        .trace()
+        .containers()
+        .by_name(name)
+        .map(|c| c.id())
+        .ok_or_else(|| {
+            err(ErrorKind::UnknownContainer, format!("container {name:?} does not exist"))
+        })
+}
+
+impl Server {
+    /// A server with the given limits and no sessions.
+    pub fn new(limits: ServerLimits) -> Server {
+        Server { registry: SessionRegistry::new(limits) }
+    }
+
+    /// The underlying registry (tests and embedding).
+    pub fn registry(&self) -> &SessionRegistry {
+        &self.registry
+    }
+
+    /// Handles one raw request line. Returns `None` for blank lines
+    /// (they produce no response), otherwise exactly one encoded
+    /// response line (without trailing newline).
+    pub fn handle_line(&self, line: &str) -> Option<String> {
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            return None;
+        }
+        if trimmed.len() > self.registry.limits().max_line_bytes {
+            return Some(
+                err(
+                    ErrorKind::Protocol,
+                    format!(
+                        "request line of {} bytes exceeds the {}-byte limit",
+                        trimmed.len(),
+                        self.registry.limits().max_line_bytes
+                    ),
+                )
+                .encode(),
+            );
+        }
+        let response = match Command::decode(trimmed) {
+            Ok(cmd) => self.execute(cmd),
+            Err(e) => {
+                let kind = if e.message.starts_with("unknown command") {
+                    ErrorKind::UnknownCommand
+                } else if e.message.starts_with("bad theme") {
+                    ErrorKind::BadTheme
+                } else {
+                    ErrorKind::Protocol
+                };
+                err(kind, e.message)
+            }
+        };
+        Some(response.encode())
+    }
+
+    /// Executes one decoded command.
+    pub fn execute(&self, cmd: Command) -> Response {
+        match cmd {
+            Command::Ping => Response::Pong,
+            Command::Sessions => Response::SessionList { names: self.registry.names() },
+            Command::CloseSession { session } => {
+                if self.registry.close(&session) {
+                    Response::Closed { session }
+                } else {
+                    err(ErrorKind::NoSession, format!("session {session:?} does not exist"))
+                }
+            }
+            Command::LoadTrace { session, mode, text } => self.load_trace(session, mode, &text),
+            cmd => self.with_session(cmd),
+        }
+    }
+
+    fn load_trace(
+        &self,
+        session: String,
+        mode: viva_trace::RecoveryMode,
+        text: &str,
+    ) -> Response {
+        let loader = TraceLoader::new().mode(mode).budget(self.registry.limits().load_budget);
+        let report = match loader.load_str(text) {
+            Ok(report) => report,
+            Err(TraceError::BudgetExceeded(breach)) => {
+                return err(ErrorKind::BudgetExceeded, breach.to_string())
+            }
+            Err(e) => return err(ErrorKind::ParseTrace, e.to_string()),
+        };
+        let trace = report.trace.clone();
+        let analysis = AnalysisSession::builder(trace).build();
+        let containers = analysis.trace().containers().len() as u64;
+        let (start, end) = (analysis.trace().start(), analysis.trace().end());
+        // Evicted names are dropped silently: eviction is deterministic
+        // for a given script, and the victims' owners find out through
+        // a typed `no_session` error on their next command.
+        let _evicted = self.registry.create(&session, analysis);
+        Response::Loaded {
+            session,
+            containers,
+            events: report.events as u64,
+            dropped: report.dropped as u64,
+            quarantined: report.quarantined as u64,
+            start,
+            end,
+            breach: report.breach.map(|b| b.to_string()),
+        }
+    }
+
+    /// Dispatches the commands that operate on an existing session.
+    fn with_session(&self, cmd: Command) -> Response {
+        let name = match session_name(&cmd) {
+            Some(n) => n.to_owned(),
+            None => return err(ErrorKind::Protocol, "command carries no session"),
+        };
+        let Some(handle) = self.registry.get(&name) else {
+            return err(ErrorKind::NoSession, format!("session {name:?} does not exist"));
+        };
+        let mut s = SessionRegistry::lock_session(&handle);
+        match cmd {
+            Command::SetTimeSlice { start, end, .. } => {
+                match s.analysis.try_set_time_slice(start, end) {
+                    Ok(slice) => Response::Slice { start: slice.start(), end: slice.end() },
+                    Err(e) => session_error(e),
+                }
+            }
+            Command::Collapse { container, .. } => match container_id(&s, &container) {
+                Ok(id) => match s.analysis.collapse(id) {
+                    Ok(()) => Response::Done { revision: s.analysis.revision() },
+                    Err(e) => session_error(e),
+                },
+                Err(resp) => resp,
+            },
+            Command::Expand { container, .. } => match container_id(&s, &container) {
+                Ok(id) => match s.analysis.expand(id) {
+                    Ok(()) => Response::Done { revision: s.analysis.revision() },
+                    Err(e) => session_error(e),
+                },
+                Err(resp) => resp,
+            },
+            Command::CollapseAtDepth { depth, .. } => {
+                s.analysis.collapse_at_depth(depth);
+                Response::Done { revision: s.analysis.revision() }
+            }
+            Command::ExpandAll { .. } => {
+                s.analysis.expand_all();
+                Response::Done { revision: s.analysis.revision() }
+            }
+            Command::SetForces { repulsion, spring, damping, .. } => {
+                let cfg = s.analysis.layout_config_mut();
+                if let Some(r) = repulsion {
+                    cfg.repulsion = r;
+                }
+                if let Some(k) = spring {
+                    cfg.spring = k;
+                }
+                if let Some(d) = damping {
+                    cfg.damping = d;
+                }
+                // The slider trust boundary: hostile values are
+                // repaired, not rejected, and the effective
+                // configuration is echoed back.
+                *cfg = cfg.sanitized();
+                Response::Forces {
+                    repulsion: cfg.repulsion,
+                    spring: cfg.spring,
+                    damping: cfg.damping,
+                }
+            }
+            Command::SetScaling { group, factor, .. } => {
+                if !(factor.is_finite() && factor >= 0.0) {
+                    return err(
+                        ErrorKind::BadArgument,
+                        format!("scaling factor {factor} must be finite and non-negative"),
+                    );
+                }
+                s.analysis.scaling_mut().set_slider(group, factor);
+                Response::Done { revision: s.analysis.revision() }
+            }
+            Command::Drag { container, x, y, .. } => match container_id(&s, &container) {
+                Ok(id) => match s.analysis.drag(id, Vec2::new(x, y)) {
+                    Ok(()) => Response::Done { revision: s.analysis.revision() },
+                    Err(e) => session_error(e),
+                },
+                Err(resp) => resp,
+            },
+            Command::Release { container, .. } => match container_id(&s, &container) {
+                Ok(id) => match s.analysis.release(id) {
+                    Ok(()) => Response::Done { revision: s.analysis.revision() },
+                    Err(e) => session_error(e),
+                },
+                Err(resp) => resp,
+            },
+            Command::Relax { steps, .. } => {
+                let budget = self.registry.limits().max_relax_steps;
+                let executed = s.analysis.relax(steps.min(budget) as usize) as u64;
+                Response::Relaxed {
+                    steps: executed,
+                    frozen: s.analysis.layout_freeze_reason().map(|r| r.to_string()),
+                }
+            }
+            Command::Aggregate { metric, group, .. } => match container_id(&s, &group) {
+                Ok(id) => match s.analysis.aggregate(&metric, id) {
+                    Ok(agg) => Response::Aggregated {
+                        members: agg.members as u64,
+                        integral: agg.integral,
+                        mean: agg.summary.mean,
+                        min: agg.summary.min,
+                        max: agg.summary.max,
+                        median: agg.summary.median,
+                        quarantined: agg.quarantined,
+                        empty: agg.is_empty(),
+                    },
+                    Err(e) => session_error(e),
+                },
+                Err(resp) => resp,
+            },
+            Command::Render { width, height, theme, labels, .. } => {
+                let viewport = match Viewport::try_new(width, height) {
+                    Ok(vp) => vp.with_theme(theme).with_labels(labels),
+                    Err(e) => return err(ErrorKind::BadViewport, e.to_string()),
+                };
+                let revision = s.analysis.revision();
+                let key = crate::cache::FrameKey::new(revision, &viewport);
+                if let Some(svg) = s.frames.get(&key) {
+                    return Response::Frame { revision, cached: true, svg };
+                }
+                let svg = s.analysis.render(&viewport);
+                s.frames.insert(key, svg.clone());
+                Response::Frame { revision, cached: false, svg }
+            }
+            // Session-free commands are handled by `execute`.
+            Command::Ping
+            | Command::Sessions
+            | Command::CloseSession { .. }
+            | Command::LoadTrace { .. } => unreachable!("handled by execute"),
+        }
+    }
+
+    /// Pumps `reader` to `writer`: one response line per request line,
+    /// until EOF. I/O errors end the loop (the connection is gone);
+    /// content never does.
+    pub fn serve<R: BufRead, W: Write>(&self, reader: R, mut writer: W) -> io::Result<()> {
+        for line in reader.lines() {
+            let line = line?;
+            if let Some(response) = self.handle_line(&line) {
+                writer.write_all(response.as_bytes())?;
+                writer.write_all(b"\n")?;
+                writer.flush()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Serves a single analyst over stdin/stdout until EOF.
+    pub fn serve_stdio(&self) -> io::Result<()> {
+        let stdin = io::stdin();
+        let stdout = io::stdout();
+        self.serve(stdin.lock(), stdout.lock())
+    }
+}
+
+/// The session name a command addresses, if any.
+fn session_name(cmd: &Command) -> Option<&str> {
+    match cmd {
+        Command::Ping | Command::Sessions => None,
+        Command::CloseSession { session }
+        | Command::LoadTrace { session, .. }
+        | Command::SetTimeSlice { session, .. }
+        | Command::Collapse { session, .. }
+        | Command::Expand { session, .. }
+        | Command::CollapseAtDepth { session, .. }
+        | Command::ExpandAll { session }
+        | Command::SetForces { session, .. }
+        | Command::SetScaling { session, .. }
+        | Command::Drag { session, .. }
+        | Command::Release { session, .. }
+        | Command::Relax { session, .. }
+        | Command::Aggregate { session, .. }
+        | Command::Render { session, .. } => Some(session),
+    }
+}
+
+/// Accepts connections on `listener` from a pool of `workers` threads,
+/// each serving one connection at a time with [`Server::serve`]. All
+/// workers share the server (and thus its sessions): two analysts can
+/// connect separately and collaborate in one named session.
+///
+/// Returns the worker handles; the pool runs until the listener is
+/// shut down externally (the handles are typically detached —
+/// `serve_tcp` is the lifetime of the process).
+pub fn serve_tcp(
+    listener: TcpListener,
+    workers: usize,
+    server: Arc<Server>,
+) -> Vec<JoinHandle<()>> {
+    let listener = Arc::new(listener);
+    (0..workers.max(1))
+        .map(|i| {
+            let listener = Arc::clone(&listener);
+            let server = Arc::clone(&server);
+            thread::Builder::new()
+                .name(format!("viva-server-worker-{i}"))
+                .spawn(move || {
+                    // Accept errors (e.g. the listener was closed) end
+                    // this worker.
+                    while let Ok((stream, _addr)) = listener.accept() {
+                        serve_stream(&server, stream);
+                    }
+                })
+                .expect("spawn worker thread")
+        })
+        .collect()
+}
+
+fn serve_stream(server: &Server, stream: TcpStream) {
+    let reader = match stream.try_clone() {
+        Ok(s) => BufReader::new(s),
+        Err(_) => return,
+    };
+    // A dying connection is that connection's problem only.
+    let _ = server.serve(reader, stream);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use viva_trace::{ContainerKind, TraceBuilder};
+
+    /// The canonical two-cluster test trace, as CSV for `load_trace`.
+    fn trace_csv() -> String {
+        let mut b = TraceBuilder::new();
+        let power = b.metric("power", "MFlop/s");
+        let used = b.metric("power_used", "MFlop/s");
+        let bw = b.metric("bandwidth", "Mbit/s");
+        for cn in ["c1", "c2"] {
+            let cl = b.new_container(b.root(), cn, ContainerKind::Cluster).unwrap();
+            for i in 0..2 {
+                let h = b
+                    .new_container(cl, format!("{cn}-h{i}"), ContainerKind::Host)
+                    .unwrap();
+                b.set_variable(0.0, h, power, 100.0).unwrap();
+                b.set_variable(0.0, h, used, 60.0).unwrap();
+            }
+        }
+        let bb = b.new_container(b.root(), "bb", ContainerKind::Link).unwrap();
+        b.set_variable(0.0, bb, bw, 1000.0).unwrap();
+        viva_trace::export::to_csv(&b.finish(10.0))
+    }
+
+    fn server() -> Server {
+        Server::new(ServerLimits::default())
+    }
+
+    fn load(s: &Server, session: &str) {
+        let r = s.execute(Command::LoadTrace {
+            session: session.into(),
+            mode: viva_trace::RecoveryMode::Strict,
+            text: trace_csv(),
+        });
+        assert!(matches!(r, Response::Loaded { .. }), "{r:?}");
+    }
+
+    #[test]
+    fn full_interactive_loop_over_the_protocol() {
+        let s = server();
+        load(&s, "a");
+        // Slice (clamped to the trace extent).
+        let r = s.execute(Command::SetTimeSlice { session: "a".into(), start: 2.0, end: 99.0 });
+        assert_eq!(r, Response::Slice { start: 2.0, end: 10.0 });
+        // Collapse + aggregate.
+        let r = s.execute(Command::Collapse { session: "a".into(), container: "c1".into() });
+        assert!(matches!(r, Response::Done { .. }));
+        let r = s.execute(Command::Aggregate {
+            session: "a".into(),
+            metric: "power_used".into(),
+            group: "c1".into(),
+        });
+        match r {
+            Response::Aggregated { members, integral, empty, .. } => {
+                assert_eq!(members, 2);
+                assert_eq!(integral, 2.0 * 60.0 * 8.0);
+                assert!(!empty);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Sliders sanitize.
+        let r = s.execute(Command::SetForces {
+            session: "a".into(),
+            repulsion: Some(f64::NAN),
+            spring: Some(-5.0),
+            damping: Some(7.0),
+        });
+        assert_eq!(r, Response::Forces { repulsion: 100.0, spring: 0.0, damping: 1.0 });
+        // Drag visible, drag hidden.
+        let r = s.execute(Command::Drag {
+            session: "a".into(),
+            container: "c1".into(),
+            x: 5.0,
+            y: 5.0,
+        });
+        assert!(matches!(r, Response::Done { .. }));
+        let r = s.execute(Command::Drag {
+            session: "a".into(),
+            container: "c1-h0".into(),
+            x: 1.0,
+            y: 1.0,
+        });
+        assert!(
+            matches!(r, Response::Error { kind: ErrorKind::HiddenContainer, .. }),
+            "{r:?}"
+        );
+        // Relax, then render.
+        let r = s.execute(Command::Relax { session: "a".into(), steps: 50 });
+        match r {
+            Response::Relaxed { steps, frozen } => {
+                assert!(steps > 0);
+                assert_eq!(frozen, None);
+            }
+            other => panic!("{other:?}"),
+        }
+        let r = s.execute(Command::Render {
+            session: "a".into(),
+            width: 640.0,
+            height: 480.0,
+            theme: viva::Theme::Dark,
+            labels: true,
+        });
+        match r {
+            Response::Frame { cached, svg, .. } => {
+                assert!(!cached);
+                assert!(svg.starts_with("<svg"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn frame_cache_serves_repeat_renders_and_invalidates_on_change() {
+        let s = server();
+        load(&s, "a");
+        let render = |w: f64| {
+            s.execute(Command::Render {
+                session: "a".into(),
+                width: w,
+                height: 480.0,
+                theme: viva::Theme::Light,
+                labels: false,
+            })
+        };
+        let (first, second) = (render(640.0), render(640.0));
+        match (&first, &second) {
+            (
+                Response::Frame { cached: c1, svg: s1, revision: r1 },
+                Response::Frame { cached: c2, svg: s2, revision: r2 },
+            ) => {
+                assert!(!c1 && *c2, "second render is a cache hit");
+                assert_eq!(s1, s2);
+                assert_eq!(r1, r2);
+            }
+            other => panic!("{other:?}"),
+        }
+        // A different viewport misses; the original still hits.
+        assert!(matches!(render(800.0), Response::Frame { cached: false, .. }));
+        assert!(matches!(render(640.0), Response::Frame { cached: true, .. }));
+        // A state change invalidates (new revision, fresh render); the
+        // session's aggregation cache makes this cheap, not free.
+        s.execute(Command::SetForces {
+            session: "a".into(),
+            repulsion: Some(150.0),
+            spring: None,
+            damping: None,
+        });
+        assert!(matches!(render(640.0), Response::Frame { cached: false, .. }));
+    }
+
+    #[test]
+    fn typed_errors_for_every_failure_shape() {
+        let s = server();
+        // No session yet.
+        let r = s.execute(Command::Relax { session: "nope".into(), steps: 1 });
+        assert!(matches!(r, Response::Error { kind: ErrorKind::NoSession, .. }));
+        load(&s, "a");
+        let cases: Vec<(Command, ErrorKind)> = vec![
+            (
+                Command::Collapse { session: "a".into(), container: "ghost".into() },
+                ErrorKind::UnknownContainer,
+            ),
+            (
+                Command::Aggregate {
+                    session: "a".into(),
+                    metric: "no_such".into(),
+                    group: "c1".into(),
+                },
+                ErrorKind::UnknownMetric,
+            ),
+            (
+                Command::SetTimeSlice { session: "a".into(), start: f64::NAN, end: 1.0 },
+                ErrorKind::InvalidTimeSlice,
+            ),
+            (
+                Command::Drag {
+                    session: "a".into(),
+                    container: "c1-h0".into(),
+                    x: f64::INFINITY,
+                    y: 0.0,
+                },
+                ErrorKind::NonFinitePosition,
+            ),
+            (
+                Command::Render {
+                    session: "a".into(),
+                    width: -1.0,
+                    height: 480.0,
+                    theme: viva::Theme::Light,
+                    labels: false,
+                },
+                ErrorKind::BadViewport,
+            ),
+            (
+                Command::SetScaling {
+                    session: "a".into(),
+                    group: "power".into(),
+                    factor: f64::NAN,
+                },
+                ErrorKind::BadArgument,
+            ),
+            (
+                Command::CloseSession { session: "ghost".into() },
+                ErrorKind::NoSession,
+            ),
+        ];
+        for (cmd, want) in cases {
+            match s.execute(cmd.clone()) {
+                Response::Error { kind, .. } => assert_eq!(kind, want, "{cmd:?}"),
+                other => panic!("{cmd:?} -> {other:?}"),
+            }
+        }
+        // Wire-level failures that never reach `execute` are typed too.
+        let bad_theme = s
+            .handle_line(r#"{"cmd":"render","session":"a","width":8,"height":6,"theme":"mauve","labels":false}"#)
+            .expect("a response");
+        assert!(bad_theme.starts_with(r#"{"err":"bad_theme""#), "{bad_theme}");
+        // The session survived all of it.
+        assert!(matches!(
+            s.execute(Command::Relax { session: "a".into(), steps: 1 }),
+            Response::Relaxed { .. }
+        ));
+    }
+
+    #[test]
+    fn lenient_upload_of_damaged_trace_degrades() {
+        let s = server();
+        let text = format!("{}garbage line\nvar,3.0,1,0,NaN\n", trace_csv());
+        let r = s.execute(Command::LoadTrace {
+            session: "dmg".into(),
+            mode: viva_trace::RecoveryMode::Lenient,
+            text,
+        });
+        match r {
+            Response::Loaded { dropped, quarantined, .. } => {
+                assert!(dropped >= 2, "garbage + NaN dropped, got {dropped}");
+                assert_eq!(quarantined, 1);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Strict mode refuses the same upload with a typed error.
+        let text = format!("{}garbage line\n", trace_csv());
+        let r = s.execute(Command::LoadTrace {
+            session: "dmg2".into(),
+            mode: viva_trace::RecoveryMode::Strict,
+            text,
+        });
+        assert!(
+            matches!(r, Response::Error { kind: ErrorKind::ParseTrace, .. }),
+            "{r:?}"
+        );
+        assert!(s.registry().get("dmg2").is_none(), "failed load creates no session");
+    }
+
+    #[test]
+    fn handle_line_one_response_per_request() {
+        let s = server();
+        assert_eq!(s.handle_line(""), None);
+        assert_eq!(s.handle_line("   "), None);
+        assert_eq!(s.handle_line(r#"{"cmd":"ping"}"#), Some(r#"{"ok":"pong"}"#.to_owned()));
+        let bad = s.handle_line("not json").unwrap();
+        assert!(bad.starts_with(r#"{"err":"protocol""#), "{bad}");
+        let unknown = s.handle_line(r#"{"cmd":"frobnicate"}"#).unwrap();
+        assert!(unknown.starts_with(r#"{"err":"unknown_command""#), "{unknown}");
+    }
+
+    #[test]
+    fn oversized_request_line_is_rejected_not_processed() {
+        let s = Server::new(ServerLimits { max_line_bytes: 64, ..ServerLimits::default() });
+        let huge = format!(r#"{{"cmd":"ping","pad":"{}"}}"#, "x".repeat(1000));
+        let r = s.handle_line(&huge).unwrap();
+        assert!(r.starts_with(r#"{"err":"protocol""#), "{r}");
+    }
+
+    #[test]
+    fn tcp_round_trip_with_worker_pool() {
+        use std::io::{BufRead, BufReader, Write};
+        let server = Arc::new(server());
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let _workers = serve_tcp(listener, 2, Arc::clone(&server));
+        // Two concurrent connections, each its own session.
+        let clients: Vec<_> = (0..2)
+            .map(|i| {
+                let csv = trace_csv();
+                thread::spawn(move || {
+                    let mut stream = TcpStream::connect(addr).unwrap();
+                    let mut reader = BufReader::new(stream.try_clone().unwrap());
+                    let mut send = |cmd: &Command| {
+                        stream
+                            .write_all(format!("{}\n", cmd.encode()).as_bytes())
+                            .unwrap();
+                        let mut line = String::new();
+                        reader.read_line(&mut line).unwrap();
+                        Response::decode(line.trim_end()).unwrap()
+                    };
+                    let session = format!("tcp-{i}");
+                    let r = send(&Command::LoadTrace {
+                        session: session.clone(),
+                        mode: viva_trace::RecoveryMode::Strict,
+                        text: csv,
+                    });
+                    assert!(matches!(r, Response::Loaded { .. }));
+                    let r = send(&Command::Render {
+                        session,
+                        width: 320.0,
+                        height: 240.0,
+                        theme: viva::Theme::Light,
+                        labels: false,
+                    });
+                    assert!(matches!(r, Response::Frame { .. }));
+                })
+            })
+            .collect();
+        for c in clients {
+            c.join().unwrap();
+        }
+        assert_eq!(server.registry().len(), 2);
+    }
+}

@@ -4,19 +4,31 @@
 //! sliders, and dynamic mapping changes.
 //!
 //! Every gesture a GUI would offer is an API call here; the printed
-//! output shows its observable effect.
+//! output shows its observable effect. The same tour is also emitted
+//! as a `viva-server` wire-protocol script
+//! (`interactive_session.script`), so the identical session can be
+//! replayed headlessly:
+//!
+//! ```sh
+//! cargo run -p viva-examples --bin interactive_session
+//! cargo run -p viva-server --bin viva-server-client -- interactive_session.script
+//! ```
 //!
 //! ```sh
 //! cargo run -p viva-examples --bin interactive_session
 //! ```
 
 use viva::mapping::{NodeMapping, Shape};
-use viva::{AnalysisSession, Viewport};
+use viva::{AnalysisSession, Theme, Viewport};
 use viva_layout::Vec2;
 use viva_platform::generators;
+use viva_server::protocol::Command;
 use viva_simflow::TracingConfig;
-use viva_trace::ContainerKind;
+use viva_trace::{ContainerKind, RecoveryMode};
 use viva_workloads::{run_dt, Deployment, DtConfig};
+
+/// Session name used in the emitted protocol script.
+const TOUR: &str = "tour";
 
 fn main() {
     // Material: a traced DT run on the two-cluster platform.
@@ -28,11 +40,20 @@ fn main() {
         Some(TracingConfig { record_messages: false, record_accounts: false }),
     );
     let trace = run.trace.expect("traced");
+    // The protocol twin of this tour: every gesture below that has a
+    // wire equivalent is also appended here and written out as an
+    // NDJSON script at the end.
+    let mut script: Vec<Command> = vec![Command::LoadTrace {
+        session: TOUR.into(),
+        mode: RecoveryMode::Strict,
+        text: viva_trace::export::to_csv(&trace),
+    }];
     let mut session =
         AnalysisSession::builder(trace).platform(&platform).build();
 
     println!("1. initial layout ({} nodes)...", session.view().nodes.len());
     let steps = session.relax(2000);
+    script.push(Command::Relax { session: TOUR.into(), steps: 2000 });
     println!("   converged in {steps} steps");
 
     // 2. Aggregate the adonis cluster; the aggregate appears at its
@@ -53,6 +74,7 @@ fn main() {
         .map(|n| n.position)
         .collect();
     session.collapse(adonis).unwrap();
+    script.push(Command::Collapse { session: TOUR.into(), container: "adonis".into() });
     let agg_pos = session
         .view()
         .node(adonis)
@@ -72,23 +94,50 @@ fn main() {
     // geographic convention, §4.2).
     session.drag(adonis, Vec2::new(-120.0, 0.0)).unwrap();
     session.relax(400);
+    script.push(Command::Drag {
+        session: TOUR.into(),
+        container: "adonis".into(),
+        x: -120.0,
+        y: 0.0,
+    });
+    script.push(Command::Relax { session: TOUR.into(), steps: 400 });
     println!(
         "3. dragged + pinned 'adonis' at {}; neighbours followed",
         session.view().node(adonis).unwrap().position
     );
 
-    // 4. Play with the sliders.
-    session.layout_config_mut().repulsion *= 4.0;
+    // 4. Play with the sliders. The protocol's `set_forces` takes
+    // absolute values, so each relative nudge is recorded as the value
+    // it lands on.
+    let set_repulsion = |session: &mut AnalysisSession,
+                             script: &mut Vec<Command>,
+                             scale: f64| {
+        session.layout_config_mut().repulsion *= scale;
+        script.push(Command::SetForces {
+            session: TOUR.into(),
+            repulsion: Some(session.layout().config().repulsion),
+            spring: None,
+            damping: None,
+        });
+    };
+    set_repulsion(&mut session, &mut script, 4.0);
     session.relax(400);
+    script.push(Command::Relax { session: TOUR.into(), steps: 400 });
     let spread = session.layout().bounds().map(|(lo, hi)| (hi - lo).length()).unwrap();
-    session.layout_config_mut().repulsion /= 16.0;
+    set_repulsion(&mut session, &mut script, 1.0 / 16.0);
     session.relax(600);
+    script.push(Command::Relax { session: TOUR.into(), steps: 600 });
     let packed = session.layout().bounds().map(|(lo, hi)| (hi - lo).length()).unwrap();
     println!("4. charge slider: extent {spread:.0} at high charge, {packed:.0} at low charge");
-    session.layout_config_mut().repulsion *= 4.0; // restore
+    set_repulsion(&mut session, &mut script, 4.0); // restore
 
     // 5. Per-type size sliders (§4.1): make links twice as prominent.
     session.scaling_mut().set_slider("bandwidth", 2.0);
+    script.push(Command::SetScaling {
+        session: TOUR.into(),
+        group: "bandwidth".into(),
+        factor: 2.0,
+    });
     let view = session.view();
     let link_px = view
         .nodes
@@ -124,6 +173,8 @@ fn main() {
     // 7. Expand back; members reappear around the pinned aggregate.
     session.expand(adonis).unwrap();
     session.relax(300);
+    script.push(Command::Expand { session: TOUR.into(), container: "adonis".into() });
+    script.push(Command::Relax { session: TOUR.into(), steps: 300 });
     println!(
         "7. expanded 'adonis' back to {} visible nodes",
         session.view().nodes.len()
@@ -132,4 +183,26 @@ fn main() {
     let svg = session.render(&Viewport::new(800.0, 600.0));
     std::fs::write("interactive_session.svg", &svg).expect("write svg");
     println!("wrote interactive_session.svg");
+
+    // The wire twin ends with the same render. Step 6's mapping change
+    // has no protocol command yet, so the replayed frame shows hosts
+    // with the default mapping — everything else matches.
+    script.push(Command::Render {
+        session: TOUR.into(),
+        width: 800.0,
+        height: 600.0,
+        theme: Theme::Light,
+        labels: false,
+    });
+    let mut ndjson = String::new();
+    for cmd in &script {
+        ndjson.push_str(&cmd.encode());
+        ndjson.push('\n');
+    }
+    std::fs::write("interactive_session.script", &ndjson).expect("write script");
+    println!(
+        "wrote interactive_session.script ({} protocol commands; replay with \
+         `cargo run -p viva-server --bin viva-server-client -- interactive_session.script`)",
+        script.len()
+    );
 }

@@ -1,0 +1,234 @@
+//! Wire-protocol guarantees of `viva-server`:
+//!
+//! 1. **Codec identity** — for arbitrary protocol values,
+//!    `decode(encode(v)) == v`, for both commands and responses. The
+//!    encoding is also *stable*: encoding the decoded value reproduces
+//!    the original bytes (the encoder is canonical).
+//! 2. **Golden-transcript determinism** — replaying the checked-in
+//!    session script through a fresh server twice yields byte-identical
+//!    transcripts, and those bytes match the checked-in golden file.
+//!    This is the property `ci.sh server-smoke` holds end to end over
+//!    the real binaries.
+
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+use viva::Theme;
+use viva_server::protocol::{Command, ErrorKind, Response};
+use viva_server::{Server, ServerLimits};
+use viva_trace::RecoveryMode;
+
+// ---------------------------------------------------------------------
+// Strategies
+// ---------------------------------------------------------------------
+
+/// Names exercising JSON escaping: quotes, backslashes, control
+/// characters, non-ASCII, and astral-plane text.
+const NAMES: &[&str] = &[
+    "a",
+    "grenoble/adonis-1",
+    "with \"quotes\"",
+    "back\\slash",
+    "tabs\tand\nnewlines",
+    "nul\u{0}byte",
+    "héhé-ü",
+    "城市",
+    "🜁 air",
+    "",
+];
+
+fn name() -> impl Strategy<Value = String> {
+    (0usize..NAMES.len()).prop_map(|i| NAMES[i].to_owned())
+}
+
+/// Finite `f64`s including the awkward ones (negative zero, subnormal,
+/// huge, tiny, non-representable-in-decimal fractions).
+fn num() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        -1.0e9f64..1.0e9,
+        (0usize..8).prop_map(|i| {
+            [0.0, -0.0, 0.1, -1.5e-300, 4.9e-324, 1.7976931348623157e308, -3.0, 1e17][i]
+        }),
+    ]
+}
+
+fn uint() -> impl Strategy<Value = u64> {
+    // Kept under 2^53 so the JSON number round-trips exactly.
+    prop_oneof![0u64..1 << 53, (0usize..3).prop_map(|i| [0, 1, (1 << 53) - 1][i])]
+}
+
+fn theme() -> impl Strategy<Value = Theme> {
+    prop_oneof![Just(Theme::Light), Just(Theme::Dark)]
+}
+
+fn mode() -> impl Strategy<Value = RecoveryMode> {
+    prop_oneof![Just(RecoveryMode::Strict), Just(RecoveryMode::Lenient)]
+}
+
+fn opt_num() -> impl Strategy<Value = Option<f64>> {
+    prop_oneof![Just(None), num().prop_map(Some)]
+}
+
+fn command() -> impl Strategy<Value = Command> {
+    prop_oneof![
+        Just(Command::Ping),
+        Just(Command::Sessions),
+        name().prop_map(|session| Command::CloseSession { session }),
+        (name(), mode(), name())
+            .prop_map(|(session, mode, text)| Command::LoadTrace { session, mode, text }),
+        (name(), num(), num())
+            .prop_map(|(session, start, end)| Command::SetTimeSlice { session, start, end }),
+        (name(), name()).prop_map(|(session, container)| Command::Collapse { session, container }),
+        (name(), name()).prop_map(|(session, container)| Command::Expand { session, container }),
+        (name(), 0u32..12).prop_map(|(session, depth)| Command::CollapseAtDepth { session, depth }),
+        name().prop_map(|session| Command::ExpandAll { session }),
+        (name(), opt_num(), opt_num(), opt_num()).prop_map(|(session, repulsion, spring, damping)| {
+            Command::SetForces { session, repulsion, spring, damping }
+        }),
+        (name(), name(), num())
+            .prop_map(|(session, group, factor)| Command::SetScaling { session, group, factor }),
+        (name(), name(), num(), num())
+            .prop_map(|(session, container, x, y)| Command::Drag { session, container, x, y }),
+        (name(), name()).prop_map(|(session, container)| Command::Release { session, container }),
+        (name(), uint()).prop_map(|(session, steps)| Command::Relax { session, steps }),
+        (name(), name(), name())
+            .prop_map(|(session, metric, group)| Command::Aggregate { session, metric, group }),
+        (name(), num(), num(), theme(), prop_oneof![Just(false), Just(true)]).prop_map(
+            |(session, width, height, theme, labels)| Command::Render {
+                session,
+                width,
+                height,
+                theme,
+                labels
+            }
+        ),
+    ]
+}
+
+fn error_kind() -> impl Strategy<Value = ErrorKind> {
+    let kinds = [
+        ErrorKind::Protocol,
+        ErrorKind::UnknownCommand,
+        ErrorKind::NoSession,
+        ErrorKind::UnknownContainer,
+        ErrorKind::HiddenContainer,
+        ErrorKind::UnknownMetric,
+        ErrorKind::InvalidTimeSlice,
+        ErrorKind::NonFinitePosition,
+        ErrorKind::BadViewport,
+        ErrorKind::BadTheme,
+        ErrorKind::BadArgument,
+        ErrorKind::ParseTrace,
+        ErrorKind::BudgetExceeded,
+    ];
+    (0usize..kinds.len()).prop_map(move |i| kinds[i])
+}
+
+fn opt_name() -> impl Strategy<Value = Option<String>> {
+    prop_oneof![Just(None), name().prop_map(Some)]
+}
+
+fn response() -> impl Strategy<Value = Response> {
+    prop_oneof![
+        Just(Response::Pong),
+        proptest::collection::vec(name(), 0..4)
+            .prop_map(|names| Response::SessionList { names }),
+        name().prop_map(|session| Response::Closed { session }),
+        (name(), (uint(), uint(), uint(), uint()), num(), num(), opt_name()).prop_map(
+            |(session, (containers, events, dropped, quarantined), start, end, breach)| {
+                Response::Loaded {
+                    session,
+                    containers,
+                    events,
+                    dropped,
+                    quarantined,
+                    start,
+                    end,
+                    breach,
+                }
+            }
+        ),
+        (num(), num()).prop_map(|(start, end)| Response::Slice { start, end }),
+        uint().prop_map(|revision| Response::Done { revision }),
+        (num(), num(), num())
+            .prop_map(|(repulsion, spring, damping)| Response::Forces { repulsion, spring, damping }),
+        (uint(), opt_name()).prop_map(|(steps, frozen)| Response::Relaxed { steps, frozen }),
+        ((uint(), uint()), (num(), num()), (num(), num(), num()), prop_oneof![Just(false), Just(true)])
+            .prop_map(|((members, quarantined), (integral, mean), (min, max, median), empty)| {
+                Response::Aggregated { members, integral, mean, min, max, median, quarantined, empty }
+            }),
+        (uint(), prop_oneof![Just(false), Just(true)], name())
+            .prop_map(|(revision, cached, svg)| Response::Frame { revision, cached, svg }),
+        (error_kind(), name()).prop_map(|(kind, message)| Response::Error { kind, message }),
+    ]
+}
+
+// ---------------------------------------------------------------------
+// Codec identity
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 512, ..ProptestConfig::default() })]
+
+    /// decode ∘ encode is the identity on commands, and the encoder is
+    /// canonical: re-encoding the decoded value reproduces the bytes.
+    #[test]
+    fn command_codec_is_identity(cmd in command()) {
+        let line = cmd.encode();
+        let back = Command::decode(&line)
+            .map_err(|e| TestCaseError::fail(format!("decode {line}: {e}")))?;
+        prop_assert_eq!(&back, &cmd);
+        prop_assert_eq!(back.encode(), line);
+    }
+
+    /// decode ∘ encode is the identity on responses, and canonical.
+    #[test]
+    fn response_codec_is_identity(resp in response()) {
+        let line = resp.encode();
+        let back = Response::decode(&line)
+            .map_err(|e| TestCaseError::fail(format!("decode {line}: {e}")))?;
+        prop_assert_eq!(&back, &resp);
+        prop_assert_eq!(back.encode(), line);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Golden transcript
+// ---------------------------------------------------------------------
+
+fn replay(script: &str) -> String {
+    let server = Server::new(ServerLimits::default());
+    let mut out = String::new();
+    for line in script.lines() {
+        if let Some(resp) = server.handle_line(line) {
+            out.push_str(&resp);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// The checked-in demo session replays deterministically: two fresh
+/// servers produce byte-identical transcripts, and the bytes are
+/// exactly the checked-in golden file (regenerate the golden with
+/// `viva-server-client tests/data/server_session.script` if the
+/// protocol legitimately changes).
+#[test]
+fn golden_transcript_replays_byte_identically() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/data");
+    let script = std::fs::read_to_string(format!("{dir}/server_session.script"))
+        .expect("checked-in script");
+    let golden = std::fs::read_to_string(format!("{dir}/server_session.golden"))
+        .expect("checked-in golden transcript");
+
+    let first = replay(&script);
+    let second = replay(&script);
+    assert_eq!(first, second, "two fresh replays must be byte-identical");
+    assert_eq!(first, golden, "replay must match the checked-in golden transcript");
+
+    // Every response line must itself round-trip through the typed
+    // codec — the transcript is not just stable, it is well-formed.
+    for line in first.lines() {
+        let resp = Response::decode(line).expect("transcript line decodes");
+        assert_eq!(resp.encode(), line, "transcript lines are canonical");
+    }
+}
