@@ -37,6 +37,21 @@ diff -u tests/data/server_session.golden /tmp/viva_server_smoke_1.ndjson
 diff -u /tmp/viva_server_smoke_1.ndjson /tmp/viva_server_smoke_2.ndjson
 cargo run --quiet --release -p viva-bench --bin fig_server -- --small > /dev/null
 
+echo "==> obs-smoke: metrics-on replay is byte-identical, exposition lands"
+# Observability must never perturb the protocol: the same script with
+# self-profiling enabled must still reproduce the golden transcript
+# byte for byte, while the Prometheus-style exposition file materializes
+# alongside. The obs bench smoke then verifies the per-command counters
+# against the commands actually served (overhead is only asserted by
+# the full run).
+cargo run --quiet --release -p viva-server --bin viva-server -- --stdio \
+  --metrics-out /tmp/viva_server_smoke_metrics.txt \
+  < tests/data/server_session.script > /tmp/viva_server_smoke_obs.ndjson
+diff -u tests/data/server_session.golden /tmp/viva_server_smoke_obs.ndjson
+test -s /tmp/viva_server_smoke_metrics.txt
+grep -q 'viva_counter{scope="server",name="server.cmd.render"}' /tmp/viva_server_smoke_metrics.txt
+cargo run --quiet --release -p viva-bench --bin fig_obs -- --small > /dev/null
+
 echo "==> fuzz-smoke: adversarial ingest corpus, both recovery modes"
 # Deterministic and offline: every corpus file plus synthesized
 # pathologies (10 MB lines, NaN floods, id collisions) must load

@@ -20,6 +20,7 @@
 //! summation order — and therefore every query result — is
 //! reproducible run to run.
 
+use viva_obs::{Counter, Histogram, Recorder};
 use viva_trace::{ContainerId, MetricId, Signal, Trace};
 
 use crate::multiscale::GroupAggregate;
@@ -101,6 +102,20 @@ pub struct AggIndex {
     /// Pre-order container sequence (`order[tin[c] as usize] == c`).
     order: Vec<ContainerId>,
     metrics: Vec<MetricIndex>,
+    /// Cached query-metric handles; `None` until a live recorder is
+    /// wired via [`set_recorder`](AggIndex::set_recorder).
+    obs: Option<Box<AggObs>>,
+}
+
+/// Pre-resolved handles for the query paths (`agg.index.*`).
+#[derive(Debug, Clone)]
+struct AggObs {
+    /// `agg.index.queries` — slice queries answered (integrate /
+    /// try_mean / aggregate).
+    queries: Counter,
+    /// `agg.index.aggregate.seconds` — wall clock of the full §6
+    /// per-group aggregate (the `O(k log n)` query).
+    aggregate_seconds: Histogram,
 }
 
 impl AggIndex {
@@ -127,7 +142,33 @@ impl AggIndex {
         let metrics = (0..trace.metrics().len())
             .map(|mi| Self::build_metric(trace, MetricId::from_index(mi), &order, &tin))
             .collect();
-        AggIndex { tin, tout, order, metrics }
+        AggIndex { tin, tout, order, metrics, obs: None }
+    }
+
+    /// [`build`](AggIndex::build) with observability: the build is
+    /// timed into `agg.index.build.seconds`, counted in
+    /// `agg.index.builds`, and the returned index reports its queries
+    /// into `recorder` (see [`set_recorder`](AggIndex::set_recorder)).
+    pub fn build_observed(trace: &Trace, recorder: &Recorder) -> AggIndex {
+        let mut idx = {
+            let _span = recorder.span("agg.index.build.seconds");
+            AggIndex::build(trace)
+        };
+        recorder.counter("agg.index.builds").inc();
+        idx.set_recorder(recorder.clone());
+        idx
+    }
+
+    /// Wires an observability recorder into the query paths. A disabled
+    /// recorder is discarded entirely, restoring the uninstrumented
+    /// fast path.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.obs = recorder.is_enabled().then(|| {
+            Box::new(AggObs {
+                queries: recorder.counter("agg.index.queries"),
+                aggregate_seconds: recorder.histogram("agg.index.aggregate.seconds"),
+            })
+        });
     }
 
     fn build_metric(
@@ -231,6 +272,9 @@ impl AggIndex {
     ///
     /// Panics when `group` is not part of the indexed trace.
     pub fn integrate(&self, metric: MetricId, group: ContainerId, slice: TimeSlice) -> f64 {
+        if let Some(obs) = &self.obs {
+            obs.queries.inc();
+        }
         self.series(metric, group)
             .map_or(0.0, |s| s.integrate(slice.start(), slice.end()))
     }
@@ -320,6 +364,9 @@ impl AggIndex {
     ///
     /// Panics when `group` is not part of the indexed trace.
     pub fn try_mean(&self, metric: MetricId, group: ContainerId, slice: TimeSlice) -> Option<f64> {
+        if let Some(obs) = &self.obs {
+            obs.queries.inc();
+        }
         let series = self.series(metric, group)?;
         if slice.width() <= 0.0 {
             return None;
@@ -345,6 +392,10 @@ impl AggIndex {
         group: ContainerId,
         slice: TimeSlice,
     ) -> GroupAggregate {
+        let _timer = self.obs.as_ref().map(|obs| {
+            obs.queries.inc();
+            obs.aggregate_seconds.start_timer()
+        });
         let width = slice.width();
         let mut integral = 0.0;
         let mut members = 0usize;
@@ -484,6 +535,34 @@ mod tests {
         for (a, b) in [(0.0, 10.0), (1.3, 7.7), (2.0, 2.0)] {
             assert_eq!(idx.integrate(m, h, TimeSlice::new(a, b)), sig.integrate(a, b));
         }
+    }
+
+    #[test]
+    fn observed_build_and_queries_are_tallied_without_changing_results() {
+        let t = trace();
+        let r = Recorder::enabled();
+        let plain = AggIndex::build(&t);
+        let observed = AggIndex::build_observed(&t, &r);
+        assert_eq!(r.counter("agg.index.builds").get(), 1);
+        assert_eq!(r.histogram("agg.index.build.seconds").count(), 1);
+
+        let m = t.metric_id("power_used").unwrap();
+        let root = t.containers().root();
+        let slice = TimeSlice::new(1.0, 9.0);
+        assert_eq!(observed.integrate(m, root, slice), plain.integrate(m, root, slice));
+        assert_eq!(observed.try_mean(m, root, slice), plain.try_mean(m, root, slice));
+        assert_eq!(
+            observed.aggregate(&t, m, root, slice),
+            plain.aggregate(&t, m, root, slice)
+        );
+        assert_eq!(r.counter("agg.index.queries").get(), 3);
+        assert_eq!(r.histogram("agg.index.aggregate.seconds").count(), 1);
+
+        // A disabled recorder restores the uninstrumented path.
+        let mut quiet = plain.clone();
+        quiet.set_recorder(Recorder::disabled());
+        quiet.integrate(m, root, slice);
+        assert_eq!(r.counter("agg.index.queries").get(), 3);
     }
 
     #[test]

@@ -1,0 +1,197 @@
+//! Observability-overhead benchmark — the cost of watching.
+//!
+//! `viva-obs` promises to be *zero-cost when disabled* and cheap when
+//! enabled: the no-op `Recorder` leaves every layer on its original
+//! uninstrumented path, and the enabled recorder adds only relaxed
+//! atomic tallies and span timestamps. This harness puts a number on
+//! "cheap": the same closed-loop protocol workload as `fig_server`
+//! (slice → fresh render → repeat render → aggregate → relax) is
+//! driven through [`viva_server::Server::handle_line`] twice — once on
+//! a metrics-off server, once on a metrics-on server — and the
+//! command throughputs are compared.
+//!
+//! The loop has **no think time**: think gaps would hide the
+//! instrumentation cost we are here to measure. Each configuration
+//! runs three times and keeps its best throughput (the conventional
+//! guard against scheduler noise in a gate that compares two runs).
+//!
+//! Full mode asserts the instrumented server keeps at least **95%** of
+//! the no-op throughput (the < 5% regression gate from the design) and
+//! writes `BENCH_obs.json`; `--small` keeps the correctness checks —
+//! including that the instrumented run really did count its commands —
+//! but skips timing claims.
+
+use std::time::Instant;
+
+use viva::Theme;
+use viva_server::protocol::{Command, Response};
+use viva_server::{Server, ServerLimits};
+use viva_trace::{ContainerKind, RecoveryMode, TraceBuilder};
+
+#[derive(Clone, Copy)]
+struct Scale {
+    clusters: usize,
+    hosts: usize,
+    steps: usize,
+    rounds: usize,
+    repeats: usize,
+}
+
+const FULL: Scale = Scale { clusters: 4, hosts: 12, steps: 80, rounds: 60, repeats: 3 };
+const SMALL: Scale = Scale { clusters: 2, hosts: 3, steps: 10, rounds: 4, repeats: 1 };
+
+/// Same exactly-representable trace family as `fig_server`.
+fn trace_csv(s: &Scale) -> String {
+    let mut b = TraceBuilder::new();
+    let power = b.metric("power", "MFlop/s");
+    let used = b.metric("power_used", "MFlop/s");
+    for ci in 0..s.clusters {
+        let cluster = b
+            .new_container(b.root(), format!("cl{ci}"), ContainerKind::Cluster)
+            .expect("cluster");
+        for hi in 0..s.hosts {
+            let host = b
+                .new_container(cluster, format!("cl{ci}-h{hi}"), ContainerKind::Host)
+                .expect("host");
+            b.set_variable(0.0, host, power, 100.0).expect("power");
+            for t in 0..=s.steps {
+                let v = (((t + (ci * s.hosts + hi) * 3) % 7) * 10) as f64;
+                b.set_variable(t as f64, host, used, v).expect("used");
+            }
+        }
+    }
+    viva_trace::export::to_csv(&b.finish(s.steps as f64))
+}
+
+/// Drives the closed loop against one server. Returns commands issued.
+fn drive(server: &Server, csv: &str, scale: &Scale) -> u64 {
+    let mut commands = 0u64;
+    let mut send = |cmd: &Command| -> String {
+        let line = cmd.encode();
+        let resp = server.handle_line(&line).expect("non-blank command line");
+        assert!(resp.starts_with("{\"ok\""), "command failed: {line} -> {resp}");
+        commands += 1;
+        resp
+    };
+    let session = "bench".to_owned();
+    send(&Command::LoadTrace {
+        session: session.clone(),
+        mode: RecoveryMode::Strict,
+        text: csv.to_owned(),
+    });
+    send(&Command::Relax { session: session.clone(), steps: 50 });
+    let render = Command::Render {
+        session: session.clone(),
+        width: 800.0,
+        height: 600.0,
+        theme: Theme::Light,
+        labels: false,
+    };
+    for round in 0..scale.rounds {
+        let start = (round % scale.steps) as f64;
+        send(&Command::SetTimeSlice {
+            session: session.clone(),
+            start,
+            end: start + (scale.steps / 4).max(1) as f64,
+        });
+        let first = send(&render);
+        assert!(first.contains("\"cached\":false"), "expected a fresh render");
+        let repeat = send(&render);
+        assert!(repeat.contains("\"cached\":true"), "expected a cache hit");
+        send(&Command::Aggregate {
+            session: session.clone(),
+            metric: "power_used".into(),
+            group: "cl0".into(),
+        });
+        send(&Command::Relax { session: session.clone(), steps: 5 });
+    }
+    commands
+}
+
+/// Best-of-`repeats` commands/sec for one server configuration.
+fn measure(metrics: bool, csv: &str, scale: &Scale) -> f64 {
+    let mut best = 0.0f64;
+    for _ in 0..scale.repeats {
+        let server = if metrics {
+            Server::with_metrics(ServerLimits::default())
+        } else {
+            Server::new(ServerLimits::default())
+        };
+        let t0 = Instant::now();
+        let commands = drive(&server, csv, scale);
+        let wall = t0.elapsed().as_secs_f64();
+        if metrics {
+            check_counts(&server, commands);
+        }
+        best = best.max(commands as f64 / wall.max(1e-9));
+    }
+    best
+}
+
+/// The instrumented run must have actually counted what it served —
+/// otherwise the "overhead" being measured is of nothing.
+fn check_counts(server: &Server, commands: u64) {
+    match server.execute(Command::Stats { session: Some("bench".into()) }) {
+        Response::Stats { server: block, session: Some(sess), .. } => {
+            let total: u64 = block
+                .counters
+                .iter()
+                .filter(|(n, _)| n.starts_with("server.cmd."))
+                .map(|(_, v)| *v)
+                .sum();
+            // +1: the stats command counts itself.
+            assert_eq!(total, commands + 1, "per-command counters disagree");
+            let hits = sess
+                .stats
+                .counters
+                .iter()
+                .find(|(n, _)| n == "cache.hits")
+                .map(|(_, v)| *v);
+            assert!(hits.is_some_and(|h| h > 0), "cache hits were not tallied");
+        }
+        other => panic!("stats failed: {other:?}"),
+    }
+}
+
+fn main() {
+    let small = std::env::args().any(|a| a == "--small");
+    let scale = if small { SMALL } else { FULL };
+    let csv = trace_csv(&scale);
+    println!(
+        "Obs overhead: {} hosts, {} rounds, best of {} ({} mode)",
+        scale.clusters * scale.hosts,
+        scale.rounds,
+        scale.repeats,
+        if small { "smoke" } else { "full" }
+    );
+
+    let noop = measure(false, &csv, &scale);
+    let instrumented = measure(true, &csv, &scale);
+    let ratio = instrumented / noop.max(1e-9);
+    println!("  metrics off: {noop:>8.0} cmd/s");
+    println!("  metrics on:  {instrumented:>8.0} cmd/s  ({:.1}% of no-op)", ratio * 100.0);
+
+    if small {
+        println!("  smoke mode: counters verified, overhead not asserted");
+        return;
+    }
+
+    assert!(
+        ratio >= 0.95,
+        "instrumentation costs more than 5% of throughput ({:.1}%)",
+        (1.0 - ratio) * 100.0
+    );
+
+    let mut json = String::from("{\n  \"benchmark\": \"obs\",\n");
+    json.push_str(&format!(
+        "  \"trace\": {{ \"hosts\": {}, \"rounds\": {}, \"repeats\": {} }},\n",
+        scale.clusters * scale.hosts,
+        scale.rounds,
+        scale.repeats
+    ));
+    json.push_str(&format!(
+        "  \"noop_commands_per_sec\": {noop:.0},\n  \"instrumented_commands_per_sec\": {instrumented:.0},\n  \"throughput_ratio\": {ratio:.4},\n  \"gate\": \"ratio >= 0.95\"\n}}\n"
+    ));
+    std::fs::write("BENCH_obs.json", &json).expect("write BENCH_obs.json");
+    println!("  [json] BENCH_obs.json");
+}

@@ -21,6 +21,7 @@ use std::fmt;
 
 use viva_agg::{AggIndex, GroupAggregate, TimeSlice, TimeSliceError, ViewState};
 use viva_layout::{FreezeReason, LayoutConfig, LayoutEngine, NodeKey, Vec2};
+use viva_obs::{Counter, Histogram, Recorder};
 use viva_platform::Platform;
 use viva_trace::{ContainerId, Trace};
 
@@ -136,6 +137,49 @@ pub struct AnalysisSession {
     /// Monotonically increasing view revision; see
     /// [`revision`](AnalysisSession::revision).
     revision: u64,
+    /// The observability recorder this session (and its index + layout)
+    /// reports into; disabled by default.
+    recorder: Recorder,
+    /// Cached session-level metric handles, `None` when the recorder is
+    /// disabled.
+    obs: Option<Box<SessionObs>>,
+}
+
+/// Pre-resolved handles for the session's own metrics (`session.*`).
+#[derive(Debug)]
+struct SessionObs {
+    /// `session.slice_changes` — effective time-slice updates.
+    slice_changes: Counter,
+    /// `session.collapses` / `session.expands` — §3.2.2 operations
+    /// (including level jumps and expand-all).
+    collapses: Counter,
+    expands: Counter,
+    /// `session.cache.invalidated` — aggregate-cache entries dropped by
+    /// mutations (the cost side of the per-node view cache).
+    invalidated: Counter,
+    /// `session.views` + `session.view.seconds` — scene recomputations.
+    views: Counter,
+    view_seconds: Histogram,
+    /// `session.render.seconds` — SVG generation on top of the view.
+    render_seconds: Histogram,
+    /// `session.relax.steps` — layout steps driven through
+    /// [`AnalysisSession::relax`].
+    relax_steps: Counter,
+}
+
+impl SessionObs {
+    fn new(recorder: &Recorder) -> SessionObs {
+        SessionObs {
+            slice_changes: recorder.counter("session.slice_changes"),
+            collapses: recorder.counter("session.collapses"),
+            expands: recorder.counter("session.expands"),
+            invalidated: recorder.counter("session.cache.invalidated"),
+            views: recorder.counter("session.views"),
+            view_seconds: recorder.histogram("session.view.seconds"),
+            render_seconds: recorder.histogram("session.render.seconds"),
+            relax_steps: recorder.counter("session.relax.steps"),
+        }
+    }
 }
 
 fn key(c: ContainerId) -> NodeKey {
@@ -188,13 +232,31 @@ pub struct SessionBuilder {
     config: SessionConfig,
     edges: Option<Vec<(ContainerId, ContainerId)>>,
     use_index: bool,
+    recorder: Recorder,
 }
 
 impl SessionBuilder {
     /// Starts a builder over `trace` with the default configuration,
     /// communication-pair topology, and the aggregation index enabled.
     pub fn new(trace: Trace) -> SessionBuilder {
-        SessionBuilder { trace, config: SessionConfig::default(), edges: None, use_index: true }
+        SessionBuilder {
+            trace,
+            config: SessionConfig::default(),
+            edges: None,
+            use_index: true,
+            recorder: Recorder::disabled(),
+        }
+    }
+
+    /// Wires an observability recorder through the whole session: the
+    /// aggregation-index build and queries, the layout engine's per-step
+    /// telemetry, and the session's own slice/collapse/cache/view
+    /// metrics all report into it. The default disabled recorder keeps
+    /// every instrumented path at its uninstrumented cost.
+    #[must_use]
+    pub fn recorder(mut self, recorder: Recorder) -> SessionBuilder {
+        self.recorder = recorder;
+        self
     }
 
     /// Sets the session configuration (mapping, scaling, layout, seed).
@@ -236,12 +298,15 @@ impl SessionBuilder {
     /// pairs unless overridden), constructs the aggregation index, and
     /// seeds the layout with the initial visible frontier.
     pub fn build(self) -> AnalysisSession {
-        let SessionBuilder { trace, config, edges, use_index } = self;
+        let SessionBuilder { trace, config, edges, use_index, recorder } = self;
         let leaf_edges = edges.unwrap_or_else(|| trace.communication_pairs());
         let slice = TimeSlice::new(trace.start(), trace.end());
-        let index = use_index.then(|| AggIndex::build(&trace));
+        let index = use_index.then(|| AggIndex::build_observed(&trace, &recorder));
+        let mut layout = LayoutEngine::new(config.layout, config.seed);
+        layout.set_recorder(recorder.clone());
+        let obs = recorder.is_enabled().then(|| Box::new(SessionObs::new(&recorder)));
         let mut session = AnalysisSession {
-            layout: LayoutEngine::new(config.layout, config.seed),
+            layout,
             mapping: config.mapping,
             scaling: config.scaling,
             state: ViewState::new(),
@@ -252,6 +317,8 @@ impl SessionBuilder {
             index,
             cache: RefCell::new(HashMap::new()),
             revision: 0,
+            recorder,
+            obs,
             trace,
         };
         session.frontier = session.state.visible(session.trace.containers());
@@ -314,6 +381,22 @@ impl AnalysisSession {
         &self.trace
     }
 
+    /// The observability recorder the session reports into (disabled
+    /// unless one was wired via [`SessionBuilder::recorder`]). Snapshot
+    /// it to read the session's counters, gauges, and span histograms.
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
+    /// Clears the aggregate cache, tallying the dropped entries.
+    fn clear_cache(&self) {
+        let mut cache = self.cache.borrow_mut();
+        if let Some(obs) = &self.obs {
+            obs.invalidated.add(cache.len() as u64);
+        }
+        cache.clear();
+    }
+
     /// The session's **view revision**: a monotonically increasing
     /// counter bumped by every operation that may change what
     /// [`view`](AnalysisSession::view) or
@@ -349,7 +432,10 @@ impl AnalysisSession {
         let clamped = slice.clamped_to(self.trace.start(), self.trace.end());
         if clamped != self.slice {
             // Every cached aggregate was integrated over the old slice.
-            self.cache.borrow_mut().clear();
+            self.clear_cache();
+            if let Some(obs) = &self.obs {
+                obs.slice_changes.inc();
+            }
             self.touch();
         }
         self.slice = clamped;
@@ -389,7 +475,7 @@ impl AnalysisSession {
         }
         self.breakdown = metrics;
         // Cached partials carry the old breakdown's pie segments.
-        self.cache.borrow_mut().clear();
+        self.clear_cache();
         self.touch();
         Ok(())
     }
@@ -406,7 +492,7 @@ impl AnalysisSession {
     /// view aggregate — the mapping decides which metrics each node
     /// aggregates.
     pub fn mapping_mut(&mut self) -> &mut MappingConfig {
-        self.cache.borrow_mut().clear();
+        self.clear_cache();
         self.touch();
         &mut self.mapping
     }
@@ -450,6 +536,9 @@ impl AnalysisSession {
         self.state.collapse(group);
         self.invalidate_subtree(group);
         self.apply_state();
+        if let Some(obs) = &self.obs {
+            obs.collapses.inc();
+        }
         self.touch();
         Ok(())
     }
@@ -464,6 +553,9 @@ impl AnalysisSession {
         self.state.expand(group);
         self.invalidate_subtree(group);
         self.apply_state();
+        if let Some(obs) = &self.obs {
+            obs.expands.inc();
+        }
         self.touch();
         Ok(())
     }
@@ -473,8 +565,14 @@ impl AnalysisSession {
     /// frontier nodes keep their neighbourhood, hence their values).
     fn invalidate_subtree(&mut self, group: ContainerId) {
         let mut cache = self.cache.borrow_mut();
+        let mut removed = 0u64;
         for c in self.trace.containers().subtree(group) {
-            cache.remove(&c);
+            if cache.remove(&c).is_some() {
+                removed += 1;
+            }
+        }
+        if let Some(obs) = &self.obs {
+            obs.invalidated.add(removed);
         }
     }
 
@@ -486,16 +584,22 @@ impl AnalysisSession {
         next.collapse_at_depth(tree, depth);
         self.state = next;
         // A level jump can dirty the whole frontier.
-        self.cache.borrow_mut().clear();
+        self.clear_cache();
         self.apply_state();
+        if let Some(obs) = &self.obs {
+            obs.collapses.inc();
+        }
         self.touch();
     }
 
     /// Expands everything (finest view).
     pub fn expand_all(&mut self) {
         self.state.expand_all();
-        self.cache.borrow_mut().clear();
+        self.clear_cache();
         self.apply_state();
+        if let Some(obs) = &self.obs {
+            obs.expands.inc();
+        }
         self.touch();
     }
 
@@ -595,6 +699,9 @@ impl AnalysisSession {
     pub fn relax(&mut self, steps: usize) -> usize {
         let executed = self.layout.run(steps, 1e-4);
         if executed > 0 {
+            if let Some(obs) = &self.obs {
+                obs.relax_steps.add(executed as u64);
+            }
             self.touch();
         }
         executed
@@ -699,6 +806,10 @@ impl AnalysisSession {
     /// aggregation index (`O(log n)` per query) unless the session was
     /// built [`without_index`](SessionBuilder::without_index).
     pub fn view(&self) -> GraphView {
+        let _timer = self.obs.as_ref().map(|obs| {
+            obs.views.inc();
+            obs.view_seconds.start_timer()
+        });
         let mut cache = self.cache.borrow_mut();
         build_view_cached(
             &self.trace,
@@ -716,7 +827,9 @@ impl AnalysisSession {
 
     /// Renders the current view into `viewport` as an SVG document.
     pub fn render(&self, viewport: &Viewport) -> String {
-        svg::render(&self.view(), &svg::SvgOptions::from(viewport))
+        let view = self.view();
+        let _timer = self.obs.as_ref().map(|obs| obs.render_seconds.start_timer());
+        svg::render(&view, &svg::SvgOptions::from(viewport))
     }
 
     /// Renders the current view to an SVG document.
@@ -781,6 +894,48 @@ mod tests {
             (bb, hosts[2]),
         ];
         AnalysisSession::builder(trace).edges(edges).build()
+    }
+
+    /// Same topology as [`session`], but reporting into `recorder`.
+    fn observed_session(recorder: Recorder) -> AnalysisSession {
+        let plain = session();
+        let trace = plain.trace().clone();
+        let edges = plain.leaf_edges.clone();
+        AnalysisSession::builder(trace).edges(edges).recorder(recorder).build()
+    }
+
+    #[test]
+    fn recorder_observes_session_lifecycle_without_changing_views() {
+        let r = Recorder::enabled();
+        let mut s = observed_session(r.clone());
+        let mut plain = session();
+        assert!(s.recorder().is_enabled());
+        assert_eq!(r.counter("agg.index.builds").get(), 1);
+
+        // Drive both sessions identically; outputs must agree exactly.
+        let c1 = s.trace().containers().by_name("c1").unwrap().id();
+        for sess in [&mut s, &mut plain] {
+            sess.set_time_slice(TimeSlice::new(2.0, 8.0));
+            sess.view();
+            sess.collapse(c1).unwrap();
+            sess.view();
+            sess.expand(c1).unwrap();
+            sess.view();
+            sess.set_time_slice(TimeSlice::new(0.0, 5.0));
+            sess.relax(10);
+        }
+        let vp = Viewport::new(640.0, 480.0);
+        assert_eq!(s.render(&vp), plain.render(&vp), "metrics must not change a frame");
+
+        assert_eq!(r.counter("session.slice_changes").get(), 2);
+        assert_eq!(r.counter("session.collapses").get(), 1);
+        assert_eq!(r.counter("session.expands").get(), 1);
+        assert_eq!(r.counter("session.views").get(), 4, "3 views + 1 inside render");
+        assert!(r.counter("session.cache.invalidated").get() > 0);
+        assert_eq!(r.counter("session.relax.steps").get(), 10);
+        assert_eq!(r.counter("layout.steps").get(), 10);
+        assert_eq!(r.histogram("session.render.seconds").count(), 1);
+        assert!(r.counter("agg.index.queries").get() > 0, "views query the index");
     }
 
     #[test]

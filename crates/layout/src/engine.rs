@@ -2,10 +2,12 @@
 //! integration, pinning, and smooth aggregation morphs.
 
 use std::collections::{BTreeSet, HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use viva_obs::{Counter, Gauge, Histogram, Recorder};
 
 use crate::forces::{spring_force, LayoutConfig};
 use crate::quadtree::{naive_repulsion, QuadTree};
@@ -31,6 +33,19 @@ pub enum FreezeReason {
     /// The opt-in wall-clock watchdog: a single step overran the
     /// budget set via [`LayoutEngine::set_step_budget`].
     StepBudgetExceeded,
+}
+
+impl FreezeReason {
+    /// Stable machine-readable token, used by obs events and the wire
+    /// protocol's `stats` response (the [`Display`](std::fmt::Display)
+    /// form is for humans).
+    pub fn token(&self) -> &'static str {
+        match self {
+            FreezeReason::NonFiniteForce => "non_finite_force",
+            FreezeReason::RunawayDisplacement => "runaway_displacement",
+            FreezeReason::StepBudgetExceeded => "step_budget_exceeded",
+        }
+    }
 }
 
 impl std::fmt::Display for FreezeReason {
@@ -85,6 +100,51 @@ pub struct LayoutEngine {
     step_budget: Option<Duration>,
     /// Consecutive steps whose max displacement rode the cap.
     at_cap_streak: u32,
+    /// Cached metric handles; `None` until a live recorder is wired via
+    /// [`set_recorder`](LayoutEngine::set_recorder), keeping the
+    /// metrics-off hot path free of even the no-op handle calls.
+    obs: Option<Box<LayoutObs>>,
+}
+
+/// Pre-resolved metric handles for the per-step hot path (a registry
+/// lookup per step would dwarf the cost of the metrics themselves).
+#[derive(Debug, Clone)]
+struct LayoutObs {
+    recorder: Recorder,
+    /// `layout.steps` — simulation steps actually executed.
+    steps: Counter,
+    /// `layout.kinetic_energy` — mean kinetic energy after the last
+    /// step: the convergence signal behind the paper's Fig. 5 sliders.
+    kinetic: Gauge,
+    /// `layout.max_displacement` — largest node move in the last step.
+    max_disp: Gauge,
+    /// `layout.bh.cell_visits` — Coulomb evaluations the quadtree
+    /// actually performed.
+    cell_visits: Counter,
+    /// `layout.bh.naive_pairs` — what the exact `O(n²)` pass would have
+    /// evaluated; the ratio to `cell_visits` is the live Barnes-Hut
+    /// speedup.
+    naive_pairs: Counter,
+    /// `layout.freezes` — watchdog trips.
+    freezes: Counter,
+    /// `layout.step.seconds` — wall-clock per step (exposition only;
+    /// never crosses the wire protocol).
+    step_seconds: Histogram,
+}
+
+impl LayoutObs {
+    fn new(recorder: Recorder) -> LayoutObs {
+        LayoutObs {
+            steps: recorder.counter("layout.steps"),
+            kinetic: recorder.gauge("layout.kinetic_energy"),
+            max_disp: recorder.gauge("layout.max_displacement"),
+            cell_visits: recorder.counter("layout.bh.cell_visits"),
+            naive_pairs: recorder.counter("layout.bh.naive_pairs"),
+            freezes: recorder.counter("layout.freezes"),
+            step_seconds: recorder.histogram("layout.step.seconds"),
+            recorder,
+        }
+    }
 }
 
 /// Below this node count the auto parallelism mode stays serial:
@@ -117,7 +177,17 @@ impl LayoutEngine {
             frozen: None,
             step_budget: None,
             at_cap_streak: 0,
+            obs: None,
         }
+    }
+
+    /// Wires an observability recorder into the engine. Disabled
+    /// recorders are discarded entirely — the hot path stays exactly
+    /// the uninstrumented one. Enabled recorders get per-step gauges
+    /// (kinetic energy, max displacement), Barnes-Hut work counters,
+    /// a step wall-clock histogram, and freeze/thaw events.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.obs = recorder.is_enabled().then(|| Box::new(LayoutObs::new(recorder)));
     }
 
     /// Current parameters.
@@ -166,6 +236,9 @@ impl LayoutEngine {
     /// zeroed so the resumed simulation restarts from rest instead of
     /// replaying the momentum that tripped the watchdog.
     pub fn thaw(&mut self) {
+        if let (Some(obs), Some(reason)) = (&self.obs, self.frozen) {
+            obs.recorder.event("layout.thaw", reason.token());
+        }
         self.frozen = None;
         self.at_cap_streak = 0;
         for n in &mut self.nodes {
@@ -193,6 +266,10 @@ impl LayoutEngine {
     fn freeze(&mut self, reason: FreezeReason) {
         if self.frozen.is_none() {
             self.frozen = Some(reason);
+            if let Some(obs) = &self.obs {
+                obs.freezes.inc();
+                obs.recorder.event("layout.freeze", reason.token());
+            }
         }
         for n in &mut self.nodes {
             n.vel = Vec2::default();
@@ -460,7 +537,14 @@ impl LayoutEngine {
     /// worker owns a disjoint chunk of the output slice and reads the
     /// shared quadtree, so the result does not depend on the thread
     /// count — no reduction across threads ever happens.
-    fn repulsion_pass(&self, tree: &QuadTree, cfg: &LayoutConfig, forces: &mut [Vec2]) {
+    /// Returns the number of Coulomb evaluations performed, tallied
+    /// only while a recorder is wired (0 otherwise — the metrics-off
+    /// path runs the original uncounted query). The cross-thread tally
+    /// is a relaxed integer add, which is order-independent: forces are
+    /// still written to private slots, so parallelism stays
+    /// byte-deterministic with metrics on.
+    fn repulsion_pass(&self, tree: &QuadTree, cfg: &LayoutConfig, forces: &mut [Vec2]) -> u64 {
+        let counting = self.obs.is_some();
         let n = self.nodes.len();
         let threads = match self.threads {
             Some(t) => t,
@@ -469,14 +553,25 @@ impl LayoutEngine {
         }
         .min(n.max(1));
         if threads <= 1 {
+            if counting {
+                let mut visits = 0u64;
+                for (i, node) in self.nodes.iter().enumerate() {
+                    let (f, v) = tree
+                        .repulsion_counted(node.pos, node.charge, i, cfg.theta, cfg.min_distance);
+                    forces[i] = f * cfg.repulsion;
+                    visits += v;
+                }
+                return visits;
+            }
             for (i, node) in self.nodes.iter().enumerate() {
                 forces[i] = tree
                     .repulsion(node.pos, node.charge, i, cfg.theta, cfg.min_distance)
                     * cfg.repulsion;
             }
-            return;
+            return 0;
         }
         let chunk = n.div_ceil(threads);
+        let visits = AtomicU64::new(0);
         std::thread::scope(|s| {
             for (ci, (fs, ns)) in forces
                 .chunks_mut(chunk)
@@ -484,15 +579,39 @@ impl LayoutEngine {
                 .enumerate()
             {
                 let base = ci * chunk;
+                let visits = &visits;
                 s.spawn(move || {
-                    for (j, (f, node)) in fs.iter_mut().zip(ns).enumerate() {
-                        *f = tree
-                            .repulsion(node.pos, node.charge, base + j, cfg.theta, cfg.min_distance)
-                            * cfg.repulsion;
+                    if counting {
+                        let mut local = 0u64;
+                        for (j, (f, node)) in fs.iter_mut().zip(ns).enumerate() {
+                            let (force, v) = tree.repulsion_counted(
+                                node.pos,
+                                node.charge,
+                                base + j,
+                                cfg.theta,
+                                cfg.min_distance,
+                            );
+                            *f = force * cfg.repulsion;
+                            local += v;
+                        }
+                        visits.fetch_add(local, Ordering::Relaxed);
+                    } else {
+                        for (j, (f, node)) in fs.iter_mut().zip(ns).enumerate() {
+                            *f = tree
+                                .repulsion(
+                                    node.pos,
+                                    node.charge,
+                                    base + j,
+                                    cfg.theta,
+                                    cfg.min_distance,
+                                )
+                                * cfg.repulsion;
+                        }
                     }
                 });
             }
         });
+        visits.into_inner()
     }
 
     /// One Barnes-Hut iteration (`O(n log n)`, repulsion parallelised
@@ -507,16 +626,18 @@ impl LayoutEngine {
         if self.frozen.is_some() {
             return 0.0;
         }
+        let _timer = self.obs.as_ref().map(|o| o.step_seconds.start_timer());
         let started = self.step_budget.map(|_| Instant::now());
         self.config = self.config.sanitized();
         let cfg = self.config;
         let points: Vec<(Vec2, f64)> = self.nodes.iter().map(|n| (n.pos, n.charge)).collect();
         let tree = QuadTree::build(&points);
         let mut forces = vec![Vec2::default(); self.nodes.len()];
-        self.repulsion_pass(&tree, &cfg, &mut forces);
+        let visits = self.repulsion_pass(&tree, &cfg, &mut forces);
         self.spring_forces(&mut forces);
         let max_disp = self.apply_forces(&forces);
         self.check_step_budget(started);
+        self.record_step(max_disp, visits);
         max_disp
     }
 
@@ -527,6 +648,7 @@ impl LayoutEngine {
         if self.frozen.is_some() {
             return 0.0;
         }
+        let _timer = self.obs.as_ref().map(|o| o.step_seconds.start_timer());
         let started = self.step_budget.map(|_| Instant::now());
         self.config = self.config.sanitized();
         let cfg = self.config;
@@ -539,7 +661,24 @@ impl LayoutEngine {
         self.spring_forces(&mut forces);
         let max_disp = self.apply_forces(&forces);
         self.check_step_budget(started);
+        // The naive pass visits every pair by construction.
+        let n = self.nodes.len() as u64;
+        self.record_step(max_disp, n.saturating_mul(n.saturating_sub(1)));
         max_disp
+    }
+
+    /// Post-step metric tail (no-op unless a recorder is wired): work
+    /// counters plus the two convergence gauges. All values are pure
+    /// model quantities — deterministic across machines.
+    fn record_step(&self, max_disp: f64, visits: u64) {
+        if let Some(obs) = &self.obs {
+            let n = self.nodes.len() as u64;
+            obs.steps.inc();
+            obs.cell_visits.add(visits);
+            obs.naive_pairs.add(n.saturating_mul(n.saturating_sub(1)));
+            obs.kinetic.set(self.kinetic_energy());
+            obs.max_disp.set(max_disp);
+        }
     }
 
     /// Wall-clock watchdog tail: freezes when the step that just
@@ -1052,6 +1191,58 @@ mod tests {
         assert!(!e.move_node(NodeKey(1), Vec2::new(0.0, f64::INFINITY)));
         assert_eq!(e.position(NodeKey(1)), Some(Vec2::new(2.0, 3.0)));
         assert!(e.move_node(NodeKey(1), Vec2::new(5.0, 5.0)));
+    }
+
+    #[test]
+    fn recorder_observes_steps_and_freezes_without_changing_the_layout() {
+        let drive = |recorder: Option<Recorder>| {
+            let mut e = engine();
+            if let Some(r) = recorder {
+                e.set_recorder(r);
+            }
+            for i in 0..30 {
+                e.add_node(NodeKey(i), 1.0);
+            }
+            for i in 0..29 {
+                e.add_edge(NodeKey(i), NodeKey(i + 1));
+            }
+            for _ in 0..25 {
+                e.step();
+            }
+            e.positions().collect::<Vec<_>>()
+        };
+        let r = Recorder::enabled();
+        let observed = drive(Some(r.clone()));
+        let plain = drive(None);
+        assert_eq!(observed, plain, "metrics must not perturb the simulation");
+
+        assert_eq!(r.counter("layout.steps").get(), 25);
+        assert!(r.counter("layout.bh.cell_visits").get() > 0);
+        assert_eq!(r.counter("layout.bh.naive_pairs").get(), 25 * 30 * 29);
+        assert!(r.gauge("layout.kinetic_energy").get() > 0.0);
+        assert_eq!(r.histogram("layout.step.seconds").count(), 25);
+
+        // Freeze + thaw leave an event trail and bump the counter.
+        let r2 = Recorder::enabled();
+        let mut e = engine();
+        e.set_recorder(r2.clone());
+        e.add_node_at(NodeKey(1), f64::NAN, Vec2::new(0.0, 0.0));
+        e.add_node_at(NodeKey(2), 1.0, Vec2::new(1.0, 0.0));
+        e.step();
+        assert_eq!(r2.counter("layout.freezes").get(), 1);
+        e.step(); // frozen no-op: no double count
+        assert_eq!(r2.counter("layout.freezes").get(), 1);
+        e.thaw();
+        let events = r2.snapshot().events;
+        let names: Vec<_> = events.iter().map(|ev| ev.name.as_str()).collect();
+        assert_eq!(names, ["layout.freeze", "layout.thaw"]);
+        assert_eq!(events[0].detail, "non_finite_force");
+
+        // Disabled recorders are discarded outright.
+        let mut e = engine();
+        e.set_recorder(Recorder::disabled());
+        e.add_node(NodeKey(1), 1.0);
+        e.step();
     }
 
     #[test]

@@ -209,6 +209,54 @@ impl QuadTree {
         }
         force
     }
+
+    /// [`repulsion`](QuadTree::repulsion) plus a work tally: the number
+    /// of Coulomb evaluations performed (leaf points + macro-cells the
+    /// opening-angle test accepted). The observability layer compares
+    /// this against the naive `n·(n-1)` pair count to show the paper's
+    /// Barnes-Hut trade-off (§3.3) as a live metric instead of a claim.
+    ///
+    /// Kept separate from the uncounted query so the metrics-off hot
+    /// path carries no tally arithmetic at all.
+    pub fn repulsion_counted(
+        &self,
+        at: Vec2,
+        charge: f64,
+        exclude: usize,
+        theta: f64,
+        min_dist: f64,
+    ) -> (Vec2, u64) {
+        if self.cells.is_empty() {
+            return (Vec2::default(), 0);
+        }
+        let mut force = Vec2::default();
+        let mut visits = 0u64;
+        let mut stack = vec![0usize];
+        while let Some(ci) = stack.pop() {
+            let cell = &self.cells[ci];
+            if cell.charge == 0.0 {
+                continue;
+            }
+            if cell.is_leaf() {
+                if cell.point != usize::MAX && cell.point != exclude {
+                    force +=
+                        coulomb(at, cell.centroid, charge * cell.charge, min_dist, exclude as u64);
+                    visits += 1;
+                }
+                continue;
+            }
+            let d = at.distance(cell.centroid);
+            if cell.half * 2.0 < theta * d {
+                force += coulomb(at, cell.centroid, charge * cell.charge, min_dist, exclude as u64);
+                visits += 1;
+            } else {
+                for q in 0..4 {
+                    stack.push(cell.child + q);
+                }
+            }
+        }
+        (force, visits)
+    }
 }
 
 /// Coulomb repulsion exerted on a probe at `at` by a charge at `from`,
@@ -363,6 +411,28 @@ mod tests {
         assert!((f.length() - 400.0).abs() < 1e-9, "{f}");
         // Different salts escape in different directions.
         assert!((f - coulomb(p, p, 4.0, 0.1, 4)).length() > 1.0);
+    }
+
+    #[test]
+    fn counted_repulsion_matches_uncounted_and_beats_naive() {
+        let pts = random_points(400, 5);
+        let t = QuadTree::build(&pts);
+        let mut total_visits = 0u64;
+        for (i, &(p, q)) in pts.iter().enumerate() {
+            let plain = t.repulsion(p, q, i, 0.7, 0.01);
+            let (counted, visits) = t.repulsion_counted(p, q, i, 0.7, 0.01);
+            assert_eq!(plain, counted, "tally must not change the force at {i}");
+            assert!(visits > 0 && visits < pts.len() as u64);
+            total_visits += visits;
+        }
+        let naive_pairs = (pts.len() * (pts.len() - 1)) as u64;
+        assert!(
+            total_visits < naive_pairs / 2,
+            "θ=0.7 should prune well below naive: {total_visits} vs {naive_pairs}"
+        );
+        // θ=0 degrades to exactly the naive pair count.
+        let (_, exact_visits) = t.repulsion_counted(pts[0].0, pts[0].1, 0, 0.0, 0.01);
+        assert_eq!(exact_visits, pts.len() as u64 - 1);
     }
 
     #[test]

@@ -1,0 +1,532 @@
+//! # viva-obs — self-observation for the viva pipeline
+//!
+//! The paper's pitch is *interactive* analysis: slice changes, collapse /
+//! expand, and force-slider drags must feel instant. You cannot hold a
+//! pipeline to that bar without measuring it, so this crate gives every
+//! layer of viva — ingest, aggregation, layout, serving — a shared,
+//! dependency-free observability substrate:
+//!
+//! * a **registry of metrics**: monotonic [`Counter`]s, last-value
+//!   [`Gauge`]s, and fixed log-scale [`Histogram`]s (power-of-two
+//!   buckets, see [`bucket_index`]);
+//! * **span timers** ([`Recorder::span`]) that record wall-clock
+//!   durations into histograms on drop;
+//! * a **bounded ring-buffer event log** with logical-clock sequence
+//!   numbers ([`Recorder::event`]) for rare, discrete transitions
+//!   (layout freezes, budget breaches);
+//! * a deterministic [`Snapshot`] of everything above, and a
+//!   Prometheus-style text exposition ([`snapshot_to_text`]).
+//!
+//! ## Zero cost when disabled
+//!
+//! The unit of wiring is the [`Recorder`]. Its default state is
+//! **disabled**: a `None` inner, so every handle created from it is a
+//! no-op — no allocation, no atomics, and span timers never even read
+//! the clock. Instrumented code holds handles unconditionally and never
+//! branches on "is observability on?"; the handles do.
+//!
+//! ## Determinism contract
+//!
+//! viva's serving layer promises byte-identical transcripts for
+//! identical command scripts, and turning metrics on must not bend that
+//! promise. The contract, relied on by the `stats` protocol command:
+//!
+//! * **Deterministic**: counter values, gauge values (they hold model
+//!   quantities like kinetic energy, never wall time), histogram
+//!   *sample counts*, and event sequence numbers / names.
+//! * **Wall-clock (non-deterministic)**: histogram bucket occupancy and
+//!   sums for `*.seconds` span histograms. These are only exported via
+//!   the text exposition, never over the wire protocol.
+//!
+//! Cross-thread updates use relaxed atomic integer addition, which is
+//! order-independent — parallel layout passes stay byte-deterministic
+//! with metrics enabled.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+mod snapshot;
+pub use snapshot::{snapshot_to_text, EventRecord, HistogramSnapshot, Snapshot};
+
+/// Number of histogram buckets. Bucket `i` holds samples in
+/// `[2^(BUCKET_EXP_MIN + i - 1), 2^(BUCKET_EXP_MIN + i))` seconds (or
+/// whatever unit the caller records); the first and last buckets absorb
+/// underflow and overflow respectively.
+pub const BUCKET_COUNT: usize = 48;
+
+/// Exponent of the first bucket's upper bound: `2^-30 ≈ 0.93 ns` —
+/// comfortably below anything a span timer can resolve, so the
+/// interesting range `[1 µs, 100 s]` sits in the middle of the scale
+/// with headroom for model quantities (energies, byte counts) too:
+/// the last bucket's lower bound is `2^16 = 65536`.
+pub const BUCKET_EXP_MIN: i32 = -30;
+
+/// Capacity of the bounded event ring buffer; older events are dropped
+/// (and counted) once it fills.
+pub const EVENT_CAPACITY: usize = 1024;
+
+/// Map a sample to its log-scale bucket, using only the IEEE-754
+/// exponent bits — no libm, fully deterministic on every platform.
+///
+/// Non-positive and NaN samples land in bucket 0; `+inf` in the last.
+pub fn bucket_index(v: f64) -> usize {
+    if v.is_nan() || v <= 0.0 {
+        // NaN, zero, negative: clamp to the underflow bucket.
+        return 0;
+    }
+    if v.is_infinite() {
+        return BUCKET_COUNT - 1;
+    }
+    let exp = ((v.to_bits() >> 52) & 0x7ff) as i32 - 1023;
+    (exp + 1 - BUCKET_EXP_MIN).clamp(0, BUCKET_COUNT as i32 - 1) as usize
+}
+
+/// Upper bound of bucket `i`: `2^(BUCKET_EXP_MIN + i)`.
+pub fn bucket_upper_bound(i: usize) -> f64 {
+    // Exact: exponent range stays well inside f64.
+    (2.0f64).powi(BUCKET_EXP_MIN + i as i32)
+}
+
+// ---------------------------------------------------------------------
+// Metric cores (shared, atomic)
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Default)]
+struct CounterCore(AtomicU64);
+
+#[derive(Debug, Default)]
+struct GaugeCore(AtomicU64); // f64 bit pattern
+
+#[derive(Debug)]
+struct HistogramCore {
+    count: AtomicU64,
+    sum_bits: AtomicU64, // f64 bit pattern, CAS-updated
+    buckets: [AtomicU64; BUCKET_COUNT],
+}
+
+impl HistogramCore {
+    fn new() -> Self {
+        HistogramCore {
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0.0f64.to_bits()),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    fn record(&self, v: f64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self
+                .sum_bits
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Event log
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Default)]
+struct EventLog {
+    buf: VecDeque<EventRecord>,
+    dropped: u64,
+}
+
+impl EventLog {
+    fn push(&mut self, rec: EventRecord) {
+        if self.buf.len() == EVENT_CAPACITY {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(rec);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Recorder
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Default)]
+struct Inner {
+    /// Logical clock: stamps event records and feeds [`Recorder::tick`].
+    clock: AtomicU64,
+    counters: Mutex<BTreeMap<String, Arc<CounterCore>>>,
+    gauges: Mutex<BTreeMap<String, Arc<GaugeCore>>>,
+    histograms: Mutex<BTreeMap<String, Arc<HistogramCore>>>,
+    events: Mutex<EventLog>,
+}
+
+/// The wiring unit: cheap to clone (an `Arc` or nothing), threaded
+/// through builders into every layer that wants to be observed.
+///
+/// `Recorder::default()` is **disabled** — every handle it mints is a
+/// no-op. [`Recorder::enabled`] turns on a shared registry; clones
+/// share it, so a session's loader, index, layout engine, and frame
+/// cache all report into one place.
+#[derive(Clone, Debug, Default)]
+pub struct Recorder {
+    inner: Option<Arc<Inner>>,
+}
+
+impl Recorder {
+    /// A recorder with a live registry.
+    pub fn enabled() -> Self {
+        Recorder { inner: Some(Arc::new(Inner::default())) }
+    }
+
+    /// The no-op recorder (same as `Default`).
+    pub fn disabled() -> Self {
+        Recorder { inner: None }
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Look up or create the named counter. Disabled recorders return a
+    /// no-op handle without touching any registry.
+    pub fn counter(&self, name: &str) -> Counter {
+        Counter(self.inner.as_ref().map(|inner| {
+            let mut reg = inner.counters.lock().unwrap();
+            Arc::clone(reg.entry(name.to_string()).or_default())
+        }))
+    }
+
+    /// Look up or create the named gauge.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        Gauge(self.inner.as_ref().map(|inner| {
+            let mut reg = inner.gauges.lock().unwrap();
+            Arc::clone(reg.entry(name.to_string()).or_default())
+        }))
+    }
+
+    /// Look up or create the named histogram.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        Histogram(self.inner.as_ref().map(|inner| {
+            let mut reg = inner.histograms.lock().unwrap();
+            Arc::clone(
+                reg.entry(name.to_string())
+                    .or_insert_with(|| Arc::new(HistogramCore::new())),
+            )
+        }))
+    }
+
+    /// Start a wall-clock span; on drop its duration in **seconds** is
+    /// recorded into the named histogram. Disabled recorders never read
+    /// the clock.
+    pub fn span(&self, name: &str) -> Span {
+        if self.inner.is_some() {
+            Span(Some((self.histogram(name), Instant::now())))
+        } else {
+            Span(None)
+        }
+    }
+
+    /// Append a discrete event to the bounded ring buffer, stamped with
+    /// the next logical-clock value.
+    pub fn event(&self, name: &str, detail: &str) {
+        if let Some(inner) = &self.inner {
+            let seq = inner.clock.fetch_add(1, Ordering::Relaxed);
+            inner.events.lock().unwrap().push(EventRecord {
+                seq,
+                name: name.to_string(),
+                detail: detail.to_string(),
+            });
+        }
+    }
+
+    /// Advance and return the logical clock (0 when disabled). Lets a
+    /// caller interleave its own ordering marks with event timestamps.
+    pub fn tick(&self) -> u64 {
+        match &self.inner {
+            Some(inner) => inner.clock.fetch_add(1, Ordering::Relaxed),
+            None => 0,
+        }
+    }
+
+    /// A deterministic, name-sorted copy of every registered metric and
+    /// the current event-log contents.
+    pub fn snapshot(&self) -> Snapshot {
+        let Some(inner) = &self.inner else {
+            return Snapshot::default();
+        };
+        let counters = inner
+            .counters
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(name, core)| (name.clone(), core.0.load(Ordering::Relaxed)))
+            .collect();
+        let gauges = inner
+            .gauges
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(name, core)| (name.clone(), f64::from_bits(core.0.load(Ordering::Relaxed))))
+            .collect();
+        let histograms = inner
+            .histograms
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(name, core)| HistogramSnapshot {
+                name: name.clone(),
+                count: core.count.load(Ordering::Relaxed),
+                sum: f64::from_bits(core.sum_bits.load(Ordering::Relaxed)),
+                buckets: core.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+            })
+            .collect();
+        let log = inner.events.lock().unwrap();
+        Snapshot {
+            clock: inner.clock.load(Ordering::Relaxed),
+            counters,
+            gauges,
+            histograms,
+            events: log.buf.iter().cloned().collect(),
+            events_dropped: log.dropped,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Handles
+// ---------------------------------------------------------------------
+
+/// Monotonic counter handle. All operations are no-ops on handles from
+/// a disabled [`Recorder`].
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Option<Arc<CounterCore>>);
+
+impl Counter {
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn add(&self, n: u64) {
+        if let Some(core) = &self.0 {
+            core.0.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.as_ref().map_or(0, |core| core.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Last-value gauge handle storing an `f64`.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Option<Arc<GaugeCore>>);
+
+impl Gauge {
+    pub fn set(&self, v: f64) {
+        if let Some(core) = &self.0 {
+            core.0.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    pub fn get(&self) -> f64 {
+        self.0
+            .as_ref()
+            .map_or(0.0, |core| f64::from_bits(core.0.load(Ordering::Relaxed)))
+    }
+}
+
+/// Log-scale histogram handle (see [`bucket_index`] for the scheme).
+#[derive(Clone, Debug, Default)]
+pub struct Histogram(Option<Arc<HistogramCore>>);
+
+impl Histogram {
+    pub fn record(&self, v: f64) {
+        if let Some(core) = &self.0 {
+            core.record(v);
+        }
+    }
+
+    pub fn count(&self) -> u64 {
+        self.0.as_ref().map_or(0, |core| core.count.load(Ordering::Relaxed))
+    }
+
+    pub fn sum(&self) -> f64 {
+        self.0
+            .as_ref()
+            .map_or(0.0, |core| f64::from_bits(core.sum_bits.load(Ordering::Relaxed)))
+    }
+
+    /// Start a wall-clock span recording into this histogram on drop —
+    /// the cached-handle twin of [`Recorder::span`], for hot paths that
+    /// must not pay a registry lookup per call. No-op handles never
+    /// read the clock.
+    pub fn start_timer(&self) -> Span {
+        if self.0.is_some() {
+            Span(Some((self.clone(), Instant::now())))
+        } else {
+            Span(None)
+        }
+    }
+
+    /// Upper bound of the bucket holding the `q`-quantile sample
+    /// (`0 < q <= 1`); 0 when empty. Factor-of-two resolution — enough
+    /// to tell a 2 ms render from a 200 ms one, which is the question
+    /// the latency summaries answer.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let Some(core) = &self.0 else { return 0.0 };
+        let count = core.count.load(Ordering::Relaxed);
+        if count == 0 {
+            return 0.0;
+        }
+        let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut cum = 0u64;
+        for (i, b) in core.buckets.iter().enumerate() {
+            cum += b.load(Ordering::Relaxed);
+            if cum >= rank {
+                return bucket_upper_bound(i);
+            }
+        }
+        bucket_upper_bound(BUCKET_COUNT - 1)
+    }
+}
+
+/// RAII wall-clock span; records elapsed seconds into its histogram on
+/// drop. Obtain via [`Recorder::span`].
+#[derive(Debug)]
+pub struct Span(Option<(Histogram, Instant)>);
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some((hist, start)) = self.0.take() {
+            hist.record(start.elapsed().as_secs_f64());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_is_inert() {
+        let r = Recorder::default();
+        assert!(!r.is_enabled());
+        let c = r.counter("x");
+        c.add(5);
+        assert_eq!(c.get(), 0);
+        let g = r.gauge("y");
+        g.set(3.5);
+        assert_eq!(g.get(), 0.0);
+        let h = r.histogram("z");
+        h.record(1.0);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), 0.0);
+        r.event("e", "detail");
+        drop(r.span("s"));
+        assert_eq!(r.tick(), 0);
+        let snap = r.snapshot();
+        assert!(snap.counters.is_empty());
+        assert!(snap.events.is_empty());
+    }
+
+    #[test]
+    fn handles_share_the_registry() {
+        let r = Recorder::enabled();
+        let a = r.counter("hits");
+        let b = r.counter("hits");
+        a.add(2);
+        b.inc();
+        assert_eq!(a.get(), 3);
+        assert_eq!(r.clone().counter("hits").get(), 3, "clones share state");
+        r.gauge("load").set(0.25);
+        assert_eq!(r.gauge("load").get(), 0.25);
+    }
+
+    #[test]
+    fn bucket_index_is_a_log_scale() {
+        assert_eq!(bucket_index(0.0), 0);
+        assert_eq!(bucket_index(-1.0), 0);
+        assert_eq!(bucket_index(f64::NAN), 0);
+        assert_eq!(bucket_index(f64::INFINITY), BUCKET_COUNT - 1);
+        assert_eq!(bucket_index(1e-300), 0, "underflow clamps");
+        assert_eq!(bucket_index(1e300), BUCKET_COUNT - 1, "overflow clamps");
+        // 1.5 has exponent 0 -> bucket with upper bound 2^1.
+        let i = bucket_index(1.5);
+        assert!(bucket_upper_bound(i) >= 1.5);
+        assert!(bucket_upper_bound(i) / 1.5 <= 2.0);
+        // Monotone in the sample value.
+        let mut prev = 0usize;
+        let mut v = 1e-10;
+        while v < 1e6 {
+            let i = bucket_index(v);
+            assert!(i >= prev, "bucket index must be monotone");
+            prev = i;
+            v *= 3.0;
+        }
+    }
+
+    #[test]
+    fn histogram_counts_and_quantiles() {
+        let r = Recorder::enabled();
+        let h = r.histogram("lat");
+        for _ in 0..90 {
+            h.record(0.001); // ~1 ms
+        }
+        for _ in 0..10 {
+            h.record(1.0); // 1 s
+        }
+        assert_eq!(h.count(), 100);
+        assert!((h.sum() - 10.09).abs() < 1e-9 * 100.0);
+        let p50 = h.quantile(0.50);
+        assert!(p50 < 0.01, "median is in the ~1 ms bucket, got {p50}");
+        let p99 = h.quantile(0.99);
+        assert!(p99 >= 1.0, "p99 is in the ~1 s bucket, got {p99}");
+    }
+
+    #[test]
+    fn span_records_into_histogram() {
+        let r = Recorder::enabled();
+        {
+            let _s = r.span("work.seconds");
+        }
+        let h = r.histogram("work.seconds");
+        assert_eq!(h.count(), 1);
+        assert!(h.sum() >= 0.0);
+    }
+
+    #[test]
+    fn event_log_is_bounded_and_ordered() {
+        let r = Recorder::enabled();
+        for i in 0..(EVENT_CAPACITY + 10) {
+            r.event("e", &format!("{i}"));
+        }
+        let snap = r.snapshot();
+        assert_eq!(snap.events.len(), EVENT_CAPACITY);
+        assert_eq!(snap.events_dropped, 10);
+        // Oldest surviving record is #10, and seqs ascend.
+        assert_eq!(snap.events[0].detail, "10");
+        for w in snap.events.windows(2) {
+            assert!(w[0].seq < w[1].seq);
+        }
+    }
+
+    #[test]
+    fn snapshot_is_name_sorted() {
+        let r = Recorder::enabled();
+        r.counter("zeta").inc();
+        r.counter("alpha").inc();
+        r.histogram("mid").record(1.0);
+        r.histogram("aaa").record(2.0);
+        let snap = r.snapshot();
+        let names: Vec<_> = snap.counters.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["alpha", "zeta"]);
+        let hnames: Vec<_> = snap.histograms.iter().map(|h| h.name.as_str()).collect();
+        assert_eq!(hnames, ["aaa", "mid"]);
+    }
+}

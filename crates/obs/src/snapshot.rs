@@ -1,0 +1,198 @@
+//! Deterministic snapshots and the Prometheus-style text exposition.
+//!
+//! A [`Snapshot`] is a plain-data, name-sorted copy of a recorder's
+//! registries, cheap to diff and trivially serializable. The crate
+//! stays dependency-free, so the canonical JSON encoding lives with
+//! the codec (`viva-server` converts `Snapshot -> Json`); this module
+//! only owns the human-facing text form.
+
+use crate::{bucket_upper_bound, BUCKET_COUNT};
+
+/// One entry from the bounded event ring buffer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EventRecord {
+    /// Logical-clock stamp — deterministic, unlike wall time.
+    pub seq: u64,
+    pub name: String,
+    pub detail: String,
+}
+
+/// Plain-data copy of one histogram.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HistogramSnapshot {
+    pub name: String,
+    pub count: u64,
+    pub sum: f64,
+    /// Per-bucket (not cumulative) sample counts, `BUCKET_COUNT` long.
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Same factor-of-two quantile estimate as
+    /// [`Histogram::quantile`](crate::Histogram::quantile).
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            cum += b;
+            if cum >= rank {
+                return bucket_upper_bound(i);
+            }
+        }
+        bucket_upper_bound(BUCKET_COUNT - 1)
+    }
+}
+
+/// Name-sorted, plain-data copy of everything a recorder knows.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Snapshot {
+    /// Logical-clock reading at snapshot time.
+    pub clock: u64,
+    pub counters: Vec<(String, u64)>,
+    pub gauges: Vec<(String, f64)>,
+    pub histograms: Vec<HistogramSnapshot>,
+    /// Ring-buffer contents, oldest first.
+    pub events: Vec<EventRecord>,
+    /// Events evicted from the ring buffer since the recorder started.
+    pub events_dropped: u64,
+}
+
+fn escape_label(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render a snapshot as Prometheus-style text, every series labelled
+/// with `scope` (e.g. the server vs. a named session). Histograms emit
+/// cumulative `_bucket{le=...}` lines up to the last occupied bucket
+/// plus the `+Inf` total; events become trailing comment lines so the
+/// exposition stays parseable by metric scrapers.
+pub fn snapshot_to_text(scope: &str, snap: &Snapshot) -> String {
+    use std::fmt::Write as _;
+    let scope = escape_label(scope);
+    let mut out = String::new();
+    let _ = writeln!(out, "# viva-obs snapshot scope=\"{scope}\" clock={}", snap.clock);
+    for (name, v) in &snap.counters {
+        let _ = writeln!(
+            out,
+            "viva_counter{{scope=\"{scope}\",name=\"{}\"}} {v}",
+            escape_label(name)
+        );
+    }
+    for (name, v) in &snap.gauges {
+        let _ = writeln!(
+            out,
+            "viva_gauge{{scope=\"{scope}\",name=\"{}\"}} {v}",
+            escape_label(name)
+        );
+    }
+    for h in &snap.histograms {
+        let name = escape_label(&h.name);
+        let last_occupied = h.buckets.iter().rposition(|&b| b > 0);
+        let mut cum = 0u64;
+        if let Some(last) = last_occupied {
+            for (i, b) in h.buckets.iter().enumerate().take(last + 1) {
+                cum += b;
+                let _ = writeln!(
+                    out,
+                    "viva_hist_bucket{{scope=\"{scope}\",name=\"{name}\",le=\"{}\"}} {cum}",
+                    bucket_upper_bound(i)
+                );
+            }
+        }
+        let _ = writeln!(
+            out,
+            "viva_hist_bucket{{scope=\"{scope}\",name=\"{name}\",le=\"+Inf\"}} {}",
+            h.count
+        );
+        let _ = writeln!(out, "viva_hist_count{{scope=\"{scope}\",name=\"{name}\"}} {}", h.count);
+        let _ = writeln!(out, "viva_hist_sum{{scope=\"{scope}\",name=\"{name}\"}} {}", h.sum);
+    }
+    if snap.events_dropped > 0 {
+        let _ = writeln!(
+            out,
+            "viva_counter{{scope=\"{scope}\",name=\"obs.events.dropped\"}} {}",
+            snap.events_dropped
+        );
+    }
+    for ev in &snap.events {
+        let _ = writeln!(
+            out,
+            "# event seq={} name=\"{}\" detail=\"{}\"",
+            ev.seq,
+            escape_label(&ev.name),
+            escape_label(&ev.detail)
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Recorder;
+
+    #[test]
+    fn exposition_contains_every_series() {
+        let r = Recorder::enabled();
+        r.counter("trace.lines").add(42);
+        r.gauge("layout.energy").set(1.5);
+        r.histogram("cmd.seconds").record(0.002);
+        r.event("layout.freeze", "non_finite_force");
+        let text = snapshot_to_text("server", &r.snapshot());
+        assert!(text.contains("viva_counter{scope=\"server\",name=\"trace.lines\"} 42"));
+        assert!(text.contains("viva_gauge{scope=\"server\",name=\"layout.energy\"} 1.5"));
+        assert!(text.contains("viva_hist_count{scope=\"server\",name=\"cmd.seconds\"} 1"));
+        assert!(text.contains("le=\"+Inf\"} 1"));
+        assert!(text.contains("# event seq=0 name=\"layout.freeze\" detail=\"non_finite_force\""));
+    }
+
+    #[test]
+    fn exposition_escapes_labels() {
+        let r = Recorder::enabled();
+        r.counter("weird\"name").inc();
+        let text = snapshot_to_text("sco\\pe", &r.snapshot());
+        assert!(text.contains("scope=\"sco\\\\pe\""));
+        assert!(text.contains("name=\"weird\\\"name\""));
+    }
+
+    #[test]
+    fn histogram_snapshot_quantile_matches_live_handle() {
+        let r = Recorder::enabled();
+        let h = r.histogram("lat");
+        for _ in 0..99 {
+            h.record(0.001);
+        }
+        h.record(2.0);
+        let snap = r.snapshot();
+        let hs = &snap.histograms[0];
+        assert_eq!(hs.quantile(0.5), h.quantile(0.5));
+        assert_eq!(hs.quantile(0.99), h.quantile(0.99));
+        assert_eq!(hs.quantile(1.0), h.quantile(1.0));
+        assert!(hs.quantile(1.0) >= 2.0);
+    }
+
+    #[test]
+    fn identical_recorders_snapshot_identically() {
+        let drive = || {
+            let r = Recorder::enabled();
+            r.counter("a").add(7);
+            r.gauge("g").set(0.125);
+            r.histogram("h").record(3.0);
+            r.event("e", "x");
+            r.snapshot()
+        };
+        assert_eq!(drive(), drive());
+    }
+}

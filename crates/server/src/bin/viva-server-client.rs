@@ -7,6 +7,10 @@
 //!
 //! # Against a running TCP server:
 //! viva-server-client --tcp 127.0.0.1:7878 session.script
+//!
+//! # Either mode, with a per-command latency summary on stderr
+//! # (p50/p99 from the observability histograms; stdout unchanged):
+//! viva-server-client --timing session.script > transcript.ndjson
 //! ```
 //!
 //! Blank lines in the script are skipped (they produce no response in
@@ -17,13 +21,16 @@ use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 use std::process::ExitCode;
 
-use viva_server::{Server, ServerLimits};
+use viva_obs::Recorder;
+use viva_server::{Command, Server, ServerLimits};
 
-const USAGE: &str = "usage: viva-server-client [--tcp ADDR] [SCRIPT (default stdin)]";
+const USAGE: &str =
+    "usage: viva-server-client [--tcp ADDR] [--timing] [SCRIPT (default stdin)]";
 
 fn main() -> ExitCode {
     let mut tcp: Option<String> = None;
     let mut script_path: Option<String> = None;
+    let mut timing = false;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -34,6 +41,7 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--timing" => timing = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -66,10 +74,17 @@ fn main() -> ExitCode {
         }
     };
 
+    // With `--timing`, each command's round-trip is recorded into a
+    // client-side observability histogram keyed by command name; the
+    // summary goes to stderr so stdout stays the byte-exact transcript.
+    let recorder = if timing { Recorder::enabled() } else { Recorder::disabled() };
     let result = match tcp {
-        None => replay_in_process(&script),
-        Some(addr) => replay_tcp(&addr, &script),
+        None => replay_in_process(&script, &recorder),
+        Some(addr) => replay_tcp(&addr, &script, &recorder),
     };
+    if timing {
+        print_timing(&recorder);
+    }
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
@@ -79,14 +94,54 @@ fn main() -> ExitCode {
     }
 }
 
+/// The histogram name a script line's latency is recorded under.
+fn timing_name(line: &str) -> String {
+    let cmd = Command::decode(line.trim()).map(|c| c.name()).unwrap_or("invalid");
+    format!("client.cmd.{cmd}.seconds")
+}
+
+/// Prints the per-command latency summary (count, p50, p99) from the
+/// client recorder's histograms, sorted by command name.
+fn print_timing(recorder: &Recorder) {
+    let snap = recorder.snapshot();
+    eprintln!("command                    count      p50      p99");
+    for h in &snap.histograms {
+        let name = h.name.strip_prefix("client.cmd.").unwrap_or(&h.name);
+        let name = name.strip_suffix(".seconds").unwrap_or(name);
+        eprintln!(
+            "{name:<24} {count:>8} {p50:>8} {p99:>8}",
+            count = h.count,
+            p50 = format_seconds(h.quantile(0.5)),
+            p99 = format_seconds(h.quantile(0.99)),
+        );
+    }
+}
+
+/// Renders a factor-of-two latency bound compactly (`<1ms`, `<16ms`…).
+fn format_seconds(s: f64) -> String {
+    if s < 1e-3 {
+        "<1ms".to_owned()
+    } else if s < 1.0 {
+        format!("<{:.0}ms", (s * 1e3).ceil())
+    } else {
+        format!("<{s:.0}s")
+    }
+}
+
 /// Replays against an embedded server: the deterministic mode golden
 /// transcripts are recorded in.
-fn replay_in_process(script: &str) -> Result<(), String> {
+fn replay_in_process(script: &str, recorder: &Recorder) -> Result<(), String> {
     let server = Server::new(ServerLimits::default());
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
     for line in script.lines() {
-        if let Some(response) = server.handle_line(line) {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let span = recorder.is_enabled().then(|| recorder.span(&timing_name(line)));
+        let response = server.handle_line(line);
+        drop(span);
+        if let Some(response) = response {
             writeln!(out, "{response}").map_err(|e| e.to_string())?;
         }
     }
@@ -94,7 +149,7 @@ fn replay_in_process(script: &str) -> Result<(), String> {
 }
 
 /// Replays against a live TCP server, printing its responses.
-fn replay_tcp(addr: &str, script: &str) -> Result<(), String> {
+fn replay_tcp(addr: &str, script: &str, recorder: &Recorder) -> Result<(), String> {
     let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
     let mut reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
     let mut writer = stream;
@@ -104,11 +159,13 @@ fn replay_tcp(addr: &str, script: &str) -> Result<(), String> {
         if line.trim().is_empty() {
             continue;
         }
+        let span = recorder.is_enabled().then(|| recorder.span(&timing_name(line)));
         writer
             .write_all(format!("{line}\n").as_bytes())
             .map_err(|e| format!("send: {e}"))?;
         let mut response = String::new();
         let n = reader.read_line(&mut response).map_err(|e| format!("recv: {e}"))?;
+        drop(span);
         if n == 0 {
             return Err("server closed the connection mid-script".to_owned());
         }

@@ -5,6 +5,10 @@
 //! # Single-session pipe mode — replays a script deterministically:
 //! viva-server --stdio < session.script > transcript.ndjson
 //!
+//! # Same replay with self-profiling on; the transcript is unchanged
+//! # and the Prometheus-style exposition lands in metrics.txt at EOF:
+//! viva-server --stdio --metrics-out metrics.txt < session.script > transcript.ndjson
+//!
 //! # Shared server:
 //! viva-server --tcp 127.0.0.1:7878 --workers 8 --max-sessions 64
 //! ```
@@ -13,21 +17,27 @@ use std::net::TcpListener;
 use std::process::ExitCode;
 use std::sync::Arc;
 
-use viva_server::{serve_tcp, Server, ServerLimits};
+use viva_server::{serve_tcp, Server, ServerLimits, SessionRegistry};
 
 struct Args {
     tcp: Option<String>,
     workers: usize,
     max_sessions: Option<usize>,
     max_relax_steps: Option<u64>,
+    metrics_out: Option<String>,
 }
 
 const USAGE: &str = "usage: viva-server [--stdio | --tcp ADDR] [--workers N] \
-                     [--max-sessions N] [--max-relax-steps N]";
+                     [--max-sessions N] [--max-relax-steps N] [--metrics-out PATH]";
 
 fn parse_args() -> Result<Args, String> {
-    let mut args =
-        Args { tcp: None, workers: 4, max_sessions: None, max_relax_steps: None };
+    let mut args = Args {
+        tcp: None,
+        workers: 4,
+        max_sessions: None,
+        max_relax_steps: None,
+        metrics_out: None,
+    };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
@@ -53,6 +63,7 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|_| "--max-relax-steps needs an integer".to_owned())?,
                 );
             }
+            "--metrics-out" => args.metrics_out = Some(value("--metrics-out")?),
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -61,6 +72,18 @@ fn parse_args() -> Result<Args, String> {
         }
     }
     Ok(args)
+}
+
+/// Dumps the full (wall-clock-inclusive) exposition: the server scope
+/// first, then every live session, sorted by name.
+fn write_metrics(server: &Server, path: &str) -> std::io::Result<()> {
+    let mut text = viva_obs::snapshot_to_text("server", &server.recorder().snapshot());
+    for name in server.registry().names() {
+        let Some(handle) = server.registry().peek(&name) else { continue };
+        let snap = SessionRegistry::lock_session(&handle).analysis.recorder().snapshot();
+        text.push_str(&viva_obs::snapshot_to_text(&name, &snap));
+    }
+    std::fs::write(path, text)
 }
 
 fn main() -> ExitCode {
@@ -78,12 +101,24 @@ fn main() -> ExitCode {
     if let Some(n) = args.max_relax_steps {
         limits.max_relax_steps = n;
     }
-    let server = Arc::new(Server::new(limits));
+    // `--metrics-out` turns observability on; metrics never change a
+    // response byte, so a metrics-on replay still matches the golden
+    // transcript. The exposition is dumped when serving ends.
+    let server = Arc::new(match args.metrics_out {
+        Some(_) => Server::with_metrics(limits),
+        None => Server::new(limits),
+    });
     match args.tcp {
         None => {
             if let Err(e) = server.serve_stdio() {
                 eprintln!("viva-server: stdio: {e}");
                 return ExitCode::FAILURE;
+            }
+            if let Some(path) = &args.metrics_out {
+                if let Err(e) = write_metrics(&server, path) {
+                    eprintln!("viva-server: metrics-out {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
             }
         }
         Some(addr) => {
@@ -99,9 +134,15 @@ fn main() -> ExitCode {
                 listener.local_addr().map(|a| a.to_string()).unwrap_or(addr),
                 args.workers
             );
-            for worker in serve_tcp(listener, args.workers, server) {
+            for worker in serve_tcp(listener, args.workers, Arc::clone(&server)) {
                 // The pool runs for the life of the process.
                 let _ = worker.join();
+            }
+            if let Some(path) = &args.metrics_out {
+                if let Err(e) = write_metrics(&server, path) {
+                    eprintln!("viva-server: metrics-out {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
             }
         }
     }

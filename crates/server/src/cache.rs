@@ -54,13 +54,14 @@ pub struct FrameCache {
     frames: HashMap<FrameKey, (u64, String)>,
     hits: u64,
     misses: u64,
+    evictions: u64,
 }
 
 impl FrameCache {
     /// An empty cache holding at most `capacity` frames (`0` disables
     /// caching entirely).
     pub fn new(capacity: usize) -> FrameCache {
-        FrameCache { capacity, clock: 0, frames: HashMap::new(), hits: 0, misses: 0 }
+        FrameCache { capacity, clock: 0, frames: HashMap::new(), hits: 0, misses: 0, evictions: 0 }
     }
 
     /// Number of cached frames.
@@ -81,6 +82,11 @@ impl FrameCache {
     /// Cache misses recorded so far.
     pub fn misses(&self) -> u64 {
         self.misses
+    }
+
+    /// Frames evicted so far — LRU victims plus stale-revision drops.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
     }
 
     /// Looks up a frame, refreshing its recency on a hit.
@@ -108,7 +114,9 @@ impl FrameCache {
         if self.capacity == 0 {
             return;
         }
+        let before = self.frames.len();
         self.frames.retain(|k, _| k.revision >= key.revision);
+        self.evictions += (before - self.frames.len()) as u64;
         if self.frames.len() >= self.capacity {
             // Deterministic LRU victim: smallest tick (ticks are
             // unique, so no tie-break is needed).
@@ -116,6 +124,7 @@ impl FrameCache {
                 self.frames.iter().min_by_key(|(_, (used, _))| *used).map(|(k, _)| *k)
             {
                 self.frames.remove(&victim);
+                self.evictions += 1;
             }
         }
         self.clock += 1;
@@ -167,11 +176,13 @@ mod tests {
         c.insert(key(1, 200.0), "b".into());
         assert_eq!(c.get(&key(1, 100.0)), Some("a".into())); // refresh a
         c.insert(key(1, 300.0), "c".into()); // evicts b (LRU)
+        assert_eq!(c.evictions(), 1);
         assert_eq!(c.get(&key(1, 200.0)), None);
         assert_eq!(c.get(&key(1, 100.0)), Some("a".into()));
         // A newer revision flushes everything older.
         c.insert(key(5, 100.0), "new".into());
         assert_eq!(c.len(), 1);
+        assert_eq!(c.evictions(), 3, "both rev-1 frames count as evicted");
         assert_eq!(c.get(&key(5, 100.0)), Some("new".into()));
     }
 

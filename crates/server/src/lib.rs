@@ -56,6 +56,8 @@ pub mod server;
 
 pub use cache::{FrameCache, FrameKey};
 pub use json::{Json, JsonError};
-pub use protocol::{Command, DecodeError, ErrorKind, Response};
+pub use protocol::{
+    Command, DecodeError, ErrorKind, Response, SessionStats, StatsBlock, StatsEvent,
+};
 pub use registry::{ServerLimits, ServerSession, SessionRegistry};
 pub use server::{serve_tcp, Server};

@@ -139,6 +139,15 @@ pub enum Command {
         /// Container name of the group.
         group: String,
     },
+    /// Reads the server's observability snapshot — and, when `session`
+    /// names a live session, that session's too. Only the
+    /// **deterministic** portion of the metrics crosses the wire
+    /// (counter values, gauge values, histogram sample counts, event
+    /// log); wall-clock timings stay behind `--metrics-out`.
+    Stats {
+        /// Session whose metrics to include, if any.
+        session: Option<String>,
+    },
     /// Renders the current view to SVG. Viewport and theme come from
     /// the request; frames are served from the per-session cache when
     /// the session revision and presentation match.
@@ -239,6 +248,202 @@ impl fmt::Display for ErrorKind {
     }
 }
 
+/// One discrete event from an observability ring buffer, on the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatsEvent {
+    /// Logical-clock stamp (deterministic).
+    pub seq: u64,
+    /// Event name, e.g. `layout.freeze`.
+    pub name: String,
+    /// Machine-readable detail, e.g. the freeze reason token.
+    pub detail: String,
+}
+
+/// The deterministic portion of one recorder scope's metrics: counter
+/// values, gauge values, histogram **sample counts**, and the event
+/// log. Histogram sums and bucket occupancy are wall-clock-dependent,
+/// so they never cross the wire — that is what keeps the `stats`
+/// command inside the golden-transcript byte-determinism contract.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StatsBlock {
+    /// Logical clock at snapshot time (advances per event).
+    pub clock: u64,
+    /// Name-sorted counter values.
+    pub counters: Vec<(String, u64)>,
+    /// Name-sorted gauge values. Non-finite readings are reported as
+    /// `0` (JSON carries no NaN/∞); the watchdog freezes layouts
+    /// before non-finite state normally reaches a gauge.
+    pub gauges: Vec<(String, f64)>,
+    /// Name-sorted histogram sample counts.
+    pub histograms: Vec<(String, u64)>,
+    /// Ring-buffer contents, oldest first.
+    pub events: Vec<StatsEvent>,
+    /// Events evicted from the ring buffer.
+    pub events_dropped: u64,
+}
+
+impl StatsBlock {
+    /// Projects a recorder snapshot onto its wire-safe subset.
+    pub fn from_snapshot(snap: &viva_obs::Snapshot) -> StatsBlock {
+        StatsBlock {
+            clock: snap.clock,
+            counters: snap.counters.clone(),
+            gauges: snap
+                .gauges
+                .iter()
+                .map(|(n, v)| (n.clone(), if v.is_finite() { *v } else { 0.0 }))
+                .collect(),
+            histograms: snap.histograms.iter().map(|h| (h.name.clone(), h.count)).collect(),
+            events: snap
+                .events
+                .iter()
+                .map(|e| StatsEvent {
+                    seq: e.seq,
+                    name: e.name.clone(),
+                    detail: e.detail.clone(),
+                })
+                .collect(),
+            events_dropped: snap.events_dropped,
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("clock", Json::Num(self.clock as f64)),
+            (
+                "counters",
+                Json::Obj(
+                    self.counters
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::Num(*v as f64)))
+                        .collect(),
+                ),
+            ),
+            (
+                "gauges",
+                Json::Obj(
+                    self.gauges.iter().map(|(k, v)| (k.clone(), Json::Num(*v))).collect(),
+                ),
+            ),
+            (
+                "histograms",
+                Json::Obj(
+                    self.histograms
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::Num(*v as f64)))
+                        .collect(),
+                ),
+            ),
+            (
+                "events",
+                Json::Arr(
+                    self.events
+                        .iter()
+                        .map(|e| {
+                            obj(vec![
+                                ("seq", Json::Num(e.seq as f64)),
+                                ("name", Json::Str(e.name.clone())),
+                                ("detail", Json::Str(e.detail.clone())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("events_dropped", Json::Num(self.events_dropped as f64)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<StatsBlock, DecodeError> {
+        let u64_map = |key: &str| -> Result<Vec<(String, u64)>, DecodeError> {
+            match v.get(key) {
+                Some(Json::Obj(members)) => members
+                    .iter()
+                    .map(|(k, m)| {
+                        m.as_u64()
+                            .map(|n| (k.clone(), n))
+                            .ok_or_else(|| bad(format!("non-integer entry in {key:?}")))
+                    })
+                    .collect(),
+                _ => Err(bad(format!("missing or non-object field {key:?}"))),
+            }
+        };
+        let gauges = match v.get("gauges") {
+            Some(Json::Obj(members)) => members
+                .iter()
+                .map(|(k, m)| {
+                    m.as_f64()
+                        .map(|n| (k.clone(), n))
+                        .ok_or_else(|| bad("non-numeric entry in \"gauges\""))
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => return Err(bad("missing or non-object field \"gauges\"")),
+        };
+        let events = match v.get("events") {
+            Some(Json::Arr(items)) => items
+                .iter()
+                .map(|e| {
+                    Ok(StatsEvent {
+                        seq: uint_field(e, "seq")?,
+                        name: str_field(e, "name")?,
+                        detail: str_field(e, "detail")?,
+                    })
+                })
+                .collect::<Result<Vec<_>, DecodeError>>()?,
+            _ => return Err(bad("missing or non-array field \"events\"")),
+        };
+        Ok(StatsBlock {
+            clock: uint_field(v, "clock")?,
+            counters: u64_map("counters")?,
+            gauges,
+            histograms: u64_map("histograms")?,
+            events,
+            events_dropped: uint_field(v, "events_dropped")?,
+        })
+    }
+}
+
+/// One session's metrics plus the session-level state the analyst
+/// cares about while reading them (revision, watchdog freeze).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionStats {
+    /// The session's name.
+    pub name: String,
+    /// Current view revision.
+    pub revision: u64,
+    /// Watchdog freeze reason token, if the layout is frozen.
+    pub frozen: Option<String>,
+    /// The session recorder's deterministic metrics.
+    pub stats: StatsBlock,
+}
+
+impl SessionStats {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("name", Json::Str(self.name.clone())),
+            ("revision", Json::Num(self.revision as f64)),
+            (
+                "frozen",
+                match &self.frozen {
+                    Some(f) => Json::Str(f.clone()),
+                    None => Json::Null,
+                },
+            ),
+            ("stats", self.stats.to_json()),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<SessionStats, DecodeError> {
+        Ok(SessionStats {
+            name: str_field(v, "name")?,
+            revision: uint_field(v, "revision")?,
+            frozen: opt_str_field(v, "frozen")?,
+            stats: StatsBlock::from_json(
+                v.get("stats").ok_or_else(|| bad("missing field \"stats\""))?,
+            )?,
+        })
+    }
+}
+
 /// The server's answer to one [`Command`].
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
@@ -324,6 +529,17 @@ pub enum Response {
         quarantined: u64,
         /// Whether no member carries the metric.
         empty: bool,
+    },
+    /// The observability snapshot after [`Command::Stats`]. Boxed:
+    /// the blocks are by far the largest payload in the enum.
+    Stats {
+        /// Live sessions in the registry.
+        sessions: u64,
+        /// Server-scope metrics (per-command counters and registry
+        /// occupancy).
+        server: Box<StatsBlock>,
+        /// The requested session's metrics, when one was named.
+        session: Option<Box<SessionStats>>,
     },
     /// A rendered frame.
     Frame {
@@ -436,6 +652,7 @@ impl Command {
             Command::Release { .. } => "release",
             Command::Relax { .. } => "relax",
             Command::Aggregate { .. } => "aggregate",
+            Command::Stats { .. } => "stats",
             Command::Render { .. } => "render",
         }
     }
@@ -521,6 +738,13 @@ impl Command {
                 ("metric", Json::Str(metric.clone())),
                 ("group", Json::Str(group.clone())),
             ]),
+            Command::Stats { session } => {
+                let mut members = vec![("cmd", name)];
+                if let Some(s) = session {
+                    members.push(("session", Json::Str(s.clone())));
+                }
+                obj(members)
+            }
             Command::Render { session, width, height, theme, labels } => obj(vec![
                 ("cmd", name),
                 ("session", Json::Str(session.clone())),
@@ -600,6 +824,7 @@ impl Command {
                 metric: str_field(&v, "metric")?,
                 group: str_field(&v, "group")?,
             },
+            "stats" => Command::Stats { session: opt_str_field(&v, "session")? },
             "render" => {
                 let theme_name = str_field(&v, "theme")?;
                 let theme = Theme::from_str(&theme_name)
@@ -710,6 +935,18 @@ impl Response {
                 ("quarantined", Json::Num(*quarantined as f64)),
                 ("empty", Json::Bool(*empty)),
             ]),
+            Response::Stats { sessions, server, session } => obj(vec![
+                ("ok", Json::Str("stats".into())),
+                ("sessions", Json::Num(*sessions as f64)),
+                ("server", server.to_json()),
+                (
+                    "session",
+                    match session {
+                        Some(s) => s.to_json(),
+                        None => Json::Null,
+                    },
+                ),
+            ]),
             Response::Frame { revision, cached, svg } => obj(vec![
                 ("ok", Json::Str("frame".into())),
                 ("revision", Json::Num(*revision as f64)),
@@ -785,6 +1022,16 @@ impl Response {
                     .and_then(Json::as_bool)
                     .ok_or_else(|| bad("missing or non-boolean field \"empty\""))?,
             },
+            "stats" => Response::Stats {
+                sessions: uint_field(&v, "sessions")?,
+                server: Box::new(StatsBlock::from_json(
+                    v.get("server").ok_or_else(|| bad("missing field \"server\""))?,
+                )?),
+                session: match v.get("session") {
+                    None | Some(Json::Null) => None,
+                    Some(s) => Some(Box::new(SessionStats::from_json(s)?)),
+                },
+            },
             "frame" => Response::Frame {
                 revision: uint_field(&v, "revision")?,
                 cached: v
@@ -849,6 +1096,8 @@ mod tests {
                 metric: "power_used".into(),
                 group: "c1".into(),
             },
+            Command::Stats { session: None },
+            Command::Stats { session: Some("s".into()) },
         ];
         for cmd in cmds {
             let line = cmd.encode();
@@ -889,6 +1138,46 @@ mod tests {
                 empty: false,
             },
             Response::Frame { revision: 7, cached: true, svg: "<svg>…</svg>\n".into() },
+            Response::Stats {
+                sessions: 2,
+                server: Box::new(StatsBlock {
+                    clock: 0,
+                    counters: vec![("server.cmd.ping".into(), 3)],
+                    gauges: vec![("server.sessions".into(), 2.0)],
+                    histograms: vec![("server.cmd.ping.seconds".into(), 3)],
+                    events: vec![],
+                    events_dropped: 0,
+                }),
+                session: None,
+            },
+            Response::Stats {
+                sessions: 1,
+                server: Box::new(StatsBlock::default()),
+                session: Some(Box::new(SessionStats {
+                    name: "a".into(),
+                    revision: 9,
+                    frozen: Some("non_finite_force".into()),
+                    stats: StatsBlock {
+                        clock: 2,
+                        counters: vec![("layout.steps".into(), 40)],
+                        gauges: vec![("layout.kinetic_energy".into(), 0.125)],
+                        histograms: vec![("layout.step.seconds".into(), 40)],
+                        events: vec![
+                            StatsEvent {
+                                seq: 0,
+                                name: "layout.freeze".into(),
+                                detail: "non_finite_force".into(),
+                            },
+                            StatsEvent {
+                                seq: 1,
+                                name: "layout.thaw".into(),
+                                detail: "non_finite_force".into(),
+                            },
+                        ],
+                        events_dropped: 0,
+                    },
+                })),
+            },
             Response::Error { kind: ErrorKind::NoSession, message: "session \"x\"".into() },
         ];
         for r in responses {
@@ -896,6 +1185,36 @@ mod tests {
             assert_eq!(Response::decode(&line).unwrap(), r, "{line}");
             assert_eq!(Response::decode(&line).unwrap().encode(), line, "stable re-encode");
         }
+    }
+
+    #[test]
+    fn stats_command_encoding_is_stable() {
+        assert_eq!(Command::Stats { session: None }.encode(), r#"{"cmd":"stats"}"#);
+        assert_eq!(
+            Command::Stats { session: Some("a".into()) }.encode(),
+            r#"{"cmd":"stats","session":"a"}"#
+        );
+    }
+
+    #[test]
+    fn stats_block_projection_keeps_only_deterministic_data() {
+        let rec = viva_obs::Recorder::enabled();
+        rec.counter("c").add(7);
+        rec.gauge("bad").set(f64::NAN);
+        rec.histogram("h.seconds").record(0.25);
+        rec.event("e", "d");
+        let block = StatsBlock::from_snapshot(&rec.snapshot());
+        assert_eq!(block.counters, vec![("c".to_owned(), 7)]);
+        assert_eq!(block.gauges, vec![("bad".to_owned(), 0.0)], "NaN gauge sanitized");
+        assert_eq!(
+            block.histograms,
+            vec![("h.seconds".to_owned(), 1)],
+            "count only — no sum, no buckets"
+        );
+        assert_eq!(
+            block.events,
+            vec![StatsEvent { seq: 0, name: "e".into(), detail: "d".into() }]
+        );
     }
 
     #[test]

@@ -150,6 +150,15 @@ impl SessionRegistry {
         found
     }
 
+    /// Fetches a session **without** refreshing its LRU recency or
+    /// advancing the logical clock. The observability path uses this
+    /// so reading a session's stats never changes which session a
+    /// later `create` evicts — the observer must not disturb the
+    /// observed.
+    pub fn peek(&self, name: &str) -> Option<Arc<Mutex<ServerSession>>> {
+        relock(&self.inner).sessions.get(name).cloned()
+    }
+
     /// Drops a session. Returns whether it existed.
     pub fn close(&self, name: &str) -> bool {
         let mut inner = relock(&self.inner);
@@ -225,6 +234,17 @@ mod tests {
         assert_eq!(evicted, vec!["b".to_owned()]);
         assert_eq!(r.names(), vec!["a".to_owned(), "c".to_owned()]);
         assert!(r.get("b").is_none(), "evicted session is gone");
+    }
+
+    #[test]
+    fn peek_does_not_refresh_lru_recency() {
+        let r = registry(2);
+        r.create("a", tiny_session());
+        r.create("b", tiny_session());
+        assert!(r.peek("a").is_some());
+        assert!(r.peek("nope").is_none());
+        // Despite the peek, "a" is still the LRU victim.
+        assert_eq!(r.create("c", tiny_session()), vec!["a".to_owned()]);
     }
 
     #[test]

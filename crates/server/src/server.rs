@@ -22,16 +22,26 @@ use std::thread::{self, JoinHandle};
 
 use viva::{AnalysisSession, SessionError, Viewport};
 use viva_layout::Vec2;
+use viva_obs::Recorder;
 use viva_trace::{ContainerId, TraceError, TraceLoader};
 
-use crate::protocol::{Command, ErrorKind, Response};
+use crate::protocol::{Command, ErrorKind, Response, SessionStats, StatsBlock};
 use crate::registry::{ServerLimits, ServerSession, SessionRegistry};
 
 /// A protocol server over a session registry. Cheap to share:
 /// transports hold it behind an [`Arc`].
+///
+/// With [`Server::with_metrics`] the server carries an enabled
+/// [`Recorder`] of its own (per-command counters and latency
+/// histograms, registry occupancy) and hands every new session an
+/// enabled recorder of *its* own, threaded through the trace loader,
+/// aggregation index, layout engine, and frame cache. [`Server::new`]
+/// leaves both disabled — the metrics-off hot path is the original
+/// uninstrumented code.
 #[derive(Debug)]
 pub struct Server {
     registry: SessionRegistry,
+    recorder: Recorder,
 }
 
 fn err(kind: ErrorKind, message: impl Into<String>) -> Response {
@@ -64,14 +74,29 @@ fn container_id(s: &ServerSession, name: &str) -> Result<ContainerId, Response> 
 }
 
 impl Server {
-    /// A server with the given limits and no sessions.
+    /// A server with the given limits, no sessions, and metrics off.
     pub fn new(limits: ServerLimits) -> Server {
-        Server { registry: SessionRegistry::new(limits) }
+        Server { registry: SessionRegistry::new(limits), recorder: Recorder::disabled() }
+    }
+
+    /// A server with observability on: server-scope command metrics,
+    /// plus a per-session recorder wired through every layer of each
+    /// session created from here on. Metrics never reach a response
+    /// except through the `stats` command's deterministic subset, so
+    /// transcripts stay byte-identical to a metrics-off server's.
+    pub fn with_metrics(limits: ServerLimits) -> Server {
+        Server { registry: SessionRegistry::new(limits), recorder: Recorder::enabled() }
     }
 
     /// The underlying registry (tests and embedding).
     pub fn registry(&self) -> &SessionRegistry {
         &self.registry
+    }
+
+    /// The server-scope recorder (disabled unless built by
+    /// [`Server::with_metrics`]).
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
     }
 
     /// Handles one raw request line. Returns `None` for blank lines
@@ -111,21 +136,64 @@ impl Server {
         Some(response.encode())
     }
 
-    /// Executes one decoded command.
+    /// Executes one decoded command, tallying per-command counters and
+    /// latency histograms when metrics are on (the span's wall-clock
+    /// duration stays in the recorder — it never reaches a response).
     pub fn execute(&self, cmd: Command) -> Response {
+        let _span = self.recorder.is_enabled().then(|| {
+            let name = cmd.name();
+            self.recorder.counter(&format!("server.cmd.{name}")).inc();
+            self.recorder.span(&format!("server.cmd.{name}.seconds"))
+        });
+        self.dispatch(cmd)
+    }
+
+    fn dispatch(&self, cmd: Command) -> Response {
         match cmd {
             Command::Ping => Response::Pong,
             Command::Sessions => Response::SessionList { names: self.registry.names() },
             Command::CloseSession { session } => {
                 if self.registry.close(&session) {
+                    self.update_occupancy();
                     Response::Closed { session }
                 } else {
                     err(ErrorKind::NoSession, format!("session {session:?} does not exist"))
                 }
             }
             Command::LoadTrace { session, mode, text } => self.load_trace(session, mode, &text),
+            Command::Stats { session } => self.stats(session),
             cmd => self.with_session(cmd),
         }
+    }
+
+    /// Mirrors registry occupancy into the `server.sessions` gauge.
+    fn update_occupancy(&self) {
+        if self.recorder.is_enabled() {
+            self.recorder.gauge("server.sessions").set(self.registry.len() as f64);
+        }
+    }
+
+    /// Answers `stats`: the server's deterministic metric subset, plus
+    /// one session's when named. Session lookup goes through
+    /// [`SessionRegistry::peek`] so observing never perturbs LRU state.
+    fn stats(&self, session: Option<String>) -> Response {
+        let server = Box::new(StatsBlock::from_snapshot(&self.recorder.snapshot()));
+        let session = match session {
+            None => None,
+            Some(name) => {
+                let Some(handle) = self.registry.peek(&name) else {
+                    return err(ErrorKind::NoSession, format!("session {name:?} does not exist"));
+                };
+                let s = SessionRegistry::lock_session(&handle);
+                Some(Box::new(SessionStats {
+                    name,
+                    revision: s.analysis.revision(),
+                    frozen: s.analysis.layout_freeze_reason().map(|r| r.token().to_owned()),
+                    stats: StatsBlock::from_snapshot(&s.analysis.recorder().snapshot()),
+                }))
+            }
+        };
+        Response::Stats { sessions: self.registry.len() as u64, server, session }
     }
 
     fn load_trace(
@@ -134,7 +202,18 @@ impl Server {
         mode: viva_trace::RecoveryMode,
         text: &str,
     ) -> Response {
-        let loader = TraceLoader::new().mode(mode).budget(self.registry.limits().load_budget);
+        // A metrics-on server gives each session its own recorder,
+        // shared by the loader, index, layout, and frame-cache
+        // counters — `stats` reads it back per session.
+        let session_recorder = if self.recorder.is_enabled() {
+            Recorder::enabled()
+        } else {
+            Recorder::disabled()
+        };
+        let loader = TraceLoader::new()
+            .mode(mode)
+            .budget(self.registry.limits().load_budget)
+            .recorder(session_recorder.clone());
         let report = match loader.load_str(text) {
             Ok(report) => report,
             Err(TraceError::BudgetExceeded(breach)) => {
@@ -143,13 +222,14 @@ impl Server {
             Err(e) => return err(ErrorKind::ParseTrace, e.to_string()),
         };
         let trace = report.trace.clone();
-        let analysis = AnalysisSession::builder(trace).build();
+        let analysis = AnalysisSession::builder(trace).recorder(session_recorder).build();
         let containers = analysis.trace().containers().len() as u64;
         let (start, end) = (analysis.trace().start(), analysis.trace().end());
         // Evicted names are dropped silently: eviction is deterministic
         // for a given script, and the victims' owners find out through
         // a typed `no_session` error on their next command.
         let _evicted = self.registry.create(&session, analysis);
+        self.update_occupancy();
         Response::Loaded {
             session,
             containers,
@@ -277,18 +357,28 @@ impl Server {
                 };
                 let revision = s.analysis.revision();
                 let key = crate::cache::FrameKey::new(revision, &viewport);
+                let obs = s.analysis.recorder().is_enabled().then(|| s.analysis.recorder().clone());
                 if let Some(svg) = s.frames.get(&key) {
+                    if let Some(rec) = &obs {
+                        rec.counter("cache.hits").inc();
+                    }
                     return Response::Frame { revision, cached: true, svg };
                 }
                 let svg = s.analysis.render(&viewport);
+                let before = s.frames.evictions();
                 s.frames.insert(key, svg.clone());
+                if let Some(rec) = &obs {
+                    rec.counter("cache.misses").inc();
+                    rec.counter("cache.evictions").add(s.frames.evictions() - before);
+                }
                 Response::Frame { revision, cached: false, svg }
             }
-            // Session-free commands are handled by `execute`.
+            // Session-free commands are handled by `dispatch`.
             Command::Ping
             | Command::Sessions
             | Command::CloseSession { .. }
-            | Command::LoadTrace { .. } => unreachable!("handled by execute"),
+            | Command::LoadTrace { .. }
+            | Command::Stats { .. } => unreachable!("handled by dispatch"),
         }
     }
 
@@ -318,7 +408,7 @@ impl Server {
 /// The session name a command addresses, if any.
 fn session_name(cmd: &Command) -> Option<&str> {
     match cmd {
-        Command::Ping | Command::Sessions => None,
+        Command::Ping | Command::Sessions | Command::Stats { .. } => None,
         Command::CloseSession { session }
         | Command::LoadTrace { session, .. }
         | Command::SetTimeSlice { session, .. }
@@ -527,6 +617,130 @@ mod tests {
             damping: None,
         });
         assert!(matches!(render(640.0), Response::Frame { cached: false, .. }));
+    }
+
+    fn counter(block: &StatsBlock, name: &str) -> Option<u64> {
+        block.counters.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    #[test]
+    fn stats_surfaces_command_counts_and_cache_behaviour() {
+        let s = Server::with_metrics(ServerLimits::default());
+        load(&s, "a");
+        let render = |w: f64| {
+            s.execute(Command::Render {
+                session: "a".into(),
+                width: w,
+                height: 480.0,
+                theme: viva::Theme::Light,
+                labels: false,
+            })
+        };
+        assert!(matches!(render(640.0), Response::Frame { cached: false, .. }));
+        assert!(matches!(render(640.0), Response::Frame { cached: true, .. }));
+        // A viewport-only change misses; the original still hits.
+        assert!(matches!(render(800.0), Response::Frame { cached: false, .. }));
+        assert!(matches!(render(640.0), Response::Frame { cached: true, .. }));
+        match s.execute(Command::Stats { session: Some("a".into()) }) {
+            Response::Stats { sessions, server, session } => {
+                assert_eq!(sessions, 1);
+                assert_eq!(counter(&server, "server.cmd.render"), Some(4));
+                assert_eq!(counter(&server, "server.cmd.load_trace"), Some(1));
+                assert_eq!(counter(&server, "server.cmd.stats"), Some(1), "counts itself");
+                assert_eq!(
+                    server.gauges.iter().find(|(n, _)| n == "server.sessions").map(|(_, v)| *v),
+                    Some(1.0)
+                );
+                // Per-command latency histograms carry one sample per
+                // completed command (the in-flight stats span is open).
+                assert_eq!(
+                    server.histograms.iter().find(|(n, _)| n == "server.cmd.render.seconds"),
+                    Some(&("server.cmd.render.seconds".to_owned(), 4))
+                );
+                let sess = session.expect("session stats");
+                assert_eq!((sess.name.as_str(), sess.frozen), ("a", None));
+                assert_eq!(counter(&sess.stats, "cache.hits"), Some(2));
+                assert_eq!(counter(&sess.stats, "cache.misses"), Some(2));
+                // The loader reported into the same session recorder.
+                assert_eq!(counter(&sess.stats, "trace.loads"), Some(1));
+            }
+            other => panic!("{other:?}"),
+        }
+        // Unknown session name is the usual typed error.
+        assert!(matches!(
+            s.execute(Command::Stats { session: Some("ghost".into()) }),
+            Response::Error { kind: ErrorKind::NoSession, .. }
+        ));
+        // A metrics-off server answers stats too — with empty blocks.
+        let off = server();
+        match off.execute(Command::Stats { session: None }) {
+            Response::Stats { sessions: 0, server, session: None } => {
+                assert!(server.counters.is_empty());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn frame_cache_evictions_surface_in_session_stats() {
+        let s = Server::with_metrics(ServerLimits {
+            frame_cache_frames: 2,
+            ..ServerLimits::default()
+        });
+        load(&s, "a");
+        for w in [100.0, 200.0, 300.0] {
+            let r = s.execute(Command::Render {
+                session: "a".into(),
+                width: w,
+                height: 480.0,
+                theme: viva::Theme::Light,
+                labels: false,
+            });
+            assert!(matches!(r, Response::Frame { cached: false, .. }));
+        }
+        match s.execute(Command::Stats { session: Some("a".into()) }) {
+            Response::Stats { session: Some(sess), .. } => {
+                assert_eq!(counter(&sess.stats, "cache.misses"), Some(3));
+                assert_eq!(counter(&sess.stats, "cache.evictions"), Some(1));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn metrics_do_not_change_any_response_byte() {
+        let script: Vec<Command> = vec![
+            Command::LoadTrace {
+                session: "a".into(),
+                mode: viva_trace::RecoveryMode::Strict,
+                text: trace_csv(),
+            },
+            Command::SetTimeSlice { session: "a".into(), start: 1.0, end: 9.0 },
+            Command::Collapse { session: "a".into(), container: "c1".into() },
+            Command::Relax { session: "a".into(), steps: 30 },
+            Command::Render {
+                session: "a".into(),
+                width: 640.0,
+                height: 480.0,
+                theme: viva::Theme::Dark,
+                labels: true,
+            },
+            Command::Render {
+                session: "a".into(),
+                width: 640.0,
+                height: 480.0,
+                theme: viva::Theme::Dark,
+                labels: true,
+            },
+            Command::Sessions,
+        ];
+        let plain = server();
+        let observed = Server::with_metrics(ServerLimits::default());
+        for cmd in script {
+            let a = plain.execute(cmd.clone()).encode();
+            let b = observed.execute(cmd).encode();
+            assert_eq!(a, b, "metrics perturbed a response");
+        }
     }
 
     #[test]

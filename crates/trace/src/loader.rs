@@ -45,6 +45,8 @@
 use std::fmt;
 use std::io::{self, BufRead};
 
+use viva_obs::Recorder;
+
 use crate::builder::TraceBuilder;
 use crate::container::{ContainerId, ContainerKind};
 use crate::error::TraceError;
@@ -239,12 +241,17 @@ impl LoadReport {
 pub struct TraceLoader {
     mode: RecoveryMode,
     budget: ResourceBudget,
+    recorder: Recorder,
 }
 
 impl TraceLoader {
     /// A `Strict` loader with the default budget.
     pub fn new() -> TraceLoader {
-        TraceLoader { mode: RecoveryMode::Strict, budget: ResourceBudget::default() }
+        TraceLoader {
+            mode: RecoveryMode::Strict,
+            budget: ResourceBudget::default(),
+            recorder: Recorder::disabled(),
+        }
     }
 
     /// Sets the recovery mode.
@@ -267,6 +274,16 @@ impl TraceLoader {
         self
     }
 
+    /// Wires an observability recorder: every load then reports line /
+    /// byte / event / drop / quarantine tallies, budget-breach events,
+    /// and phase timings (`trace.load.seconds`, `trace.finish.seconds`)
+    /// into it. The default disabled recorder costs nothing.
+    #[must_use]
+    pub fn recorder(mut self, recorder: Recorder) -> TraceLoader {
+        self.recorder = recorder;
+        self
+    }
+
     /// Loads a trace from `reader`.
     ///
     /// # Errors
@@ -277,7 +294,31 @@ impl TraceLoader {
     /// * In both modes: [`TraceError::Io`] when the stream itself
     ///   fails. A `Lenient` load never fails on *content*.
     pub fn load<R: BufRead>(&self, reader: R) -> Result<LoadReport, TraceError> {
-        Ingest::new(self.mode, self.budget).run(reader)
+        let _load_span = self.recorder.span("trace.load.seconds");
+        let result = Ingest::new(self.mode, self.budget, self.recorder.clone()).run(reader);
+        if self.recorder.is_enabled() {
+            match &result {
+                Ok(report) => {
+                    self.recorder.counter("trace.loads").inc();
+                    self.recorder.counter("trace.lines").add(report.lines as u64);
+                    self.recorder.counter("trace.bytes").add(report.bytes);
+                    self.recorder.counter("trace.events").add(report.events as u64);
+                    self.recorder.counter("trace.dropped").add(report.dropped as u64);
+                    self.recorder
+                        .counter("trace.quarantined")
+                        .add(report.quarantined as u64);
+                    if let Some(b) = &report.breach {
+                        self.recorder.counter("trace.budget_breaches").inc();
+                        self.recorder.event("trace.budget_breach", &b.to_string());
+                    }
+                }
+                Err(e) => {
+                    self.recorder.counter("trace.load_errors").inc();
+                    self.recorder.event("trace.load_error", &e.to_string());
+                }
+            }
+        }
+        result
     }
 
     /// Convenience: loads from an in-memory string.
@@ -350,6 +391,7 @@ fn read_line_bounded<R: BufRead>(
 struct Ingest {
     mode: RecoveryMode,
     budget: ResourceBudget,
+    recorder: Recorder,
     builder: TraceBuilder,
     /// `span` record, if one was seen: `(start, end)`.
     span: Option<(f64, f64)>,
@@ -376,10 +418,11 @@ enum RecordFault {
 }
 
 impl Ingest {
-    fn new(mode: RecoveryMode, budget: ResourceBudget) -> Ingest {
+    fn new(mode: RecoveryMode, budget: ResourceBudget, recorder: Recorder) -> Ingest {
         Ingest {
             mode,
             budget,
+            recorder,
             builder: TraceBuilder::new(),
             span: None,
             states: Vec::new(),
@@ -470,6 +513,10 @@ impl Ingest {
                 }
             }
         }
+        // The finish phase (signal assembly, state sorting) is the
+        // non-streaming tail of a load; timed separately so a slow load
+        // can be blamed on parsing vs. assembly.
+        let _finish_span = self.recorder.span("trace.finish.seconds");
         let span_end = self.span.map_or(0.0, |(_, e)| e);
         self.builder.note_dropped(self.dropped as u64);
         let mut trace = self.builder.finish(span_end);
@@ -776,6 +823,36 @@ mod tests {
         assert_eq!(r.diagnostics[0].byte_offset, 0);
         assert!(r.diagnostics[1].message.contains("unknown container id 99"));
         assert_eq!(r.trace.ingest_dropped(), 2);
+    }
+
+    #[test]
+    fn recorder_tallies_load_outcomes() {
+        let r = Recorder::enabled();
+        let loader = TraceLoader::new().lenient().recorder(r.clone());
+        let input = format!("junk line\n{GOOD}var,6.0,2,0,nan\n");
+        let report = loader.load_str(&input).unwrap();
+        assert_eq!(r.counter("trace.loads").get(), 1);
+        assert_eq!(r.counter("trace.lines").get(), report.lines as u64);
+        assert_eq!(r.counter("trace.bytes").get(), report.bytes);
+        assert_eq!(r.counter("trace.events").get(), report.events as u64);
+        assert_eq!(r.counter("trace.dropped").get(), 2);
+        assert_eq!(r.counter("trace.quarantined").get(), 1);
+        assert_eq!(r.histogram("trace.load.seconds").count(), 1);
+        assert_eq!(r.histogram("trace.finish.seconds").count(), 1);
+
+        // A strict failure counts as a load error with an event trail.
+        let strict = TraceLoader::new().recorder(r.clone());
+        assert!(strict.load_str("nonsense\n").is_err());
+        assert_eq!(r.counter("trace.load_errors").get(), 1);
+        let events = r.snapshot().events;
+        assert_eq!(events.last().unwrap().name, "trace.load_error");
+
+        // A lenient budget breach is counted and logged.
+        let tight = ResourceBudget { max_events: 2, ..ResourceBudget::default() };
+        let breached = TraceLoader::new().lenient().budget(tight).recorder(r.clone());
+        let rep = breached.load_str(GOOD).unwrap();
+        assert!(rep.breach.is_some());
+        assert_eq!(r.counter("trace.budget_breaches").get(), 1);
     }
 
     #[test]

@@ -13,7 +13,7 @@
 use proptest::prelude::*;
 use proptest::test_runner::TestCaseError;
 use viva::Theme;
-use viva_server::protocol::{Command, ErrorKind, Response};
+use viva_server::protocol::{Command, ErrorKind, Response, SessionStats, StatsBlock, StatsEvent};
 use viva_server::{Server, ServerLimits};
 use viva_trace::RecoveryMode;
 
@@ -101,7 +101,30 @@ fn command() -> impl Strategy<Value = Command> {
                 labels
             }
         ),
+        opt_name().prop_map(|session| Command::Stats { session }),
     ]
+}
+
+fn stats_block() -> impl Strategy<Value = StatsBlock> {
+    (
+        uint(),
+        (
+            proptest::collection::vec((name(), uint()), 0..3),
+            proptest::collection::vec((name(), num()), 0..3),
+            proptest::collection::vec((name(), uint()), 0..3),
+        ),
+        (
+            proptest::collection::vec(
+                (uint(), name(), name())
+                    .prop_map(|(seq, name, detail)| StatsEvent { seq, name, detail }),
+                0..3,
+            ),
+            uint(),
+        ),
+    )
+        .prop_map(|(clock, (counters, gauges, histograms), (events, events_dropped))| {
+            StatsBlock { clock, counters, gauges, histograms, events, events_dropped }
+        })
 }
 
 fn error_kind() -> impl Strategy<Value = ErrorKind> {
@@ -159,6 +182,26 @@ fn response() -> impl Strategy<Value = Response> {
         (uint(), prop_oneof![Just(false), Just(true)], name())
             .prop_map(|(revision, cached, svg)| Response::Frame { revision, cached, svg }),
         (error_kind(), name()).prop_map(|(kind, message)| Response::Error { kind, message }),
+        (
+            uint(),
+            stats_block(),
+            prop_oneof![
+                Just(None),
+                (name(), uint(), opt_name(), stats_block()).prop_map(
+                    |(name, revision, frozen, stats)| Some(Box::new(SessionStats {
+                        name,
+                        revision,
+                        frozen,
+                        stats
+                    }))
+                ),
+            ],
+        )
+            .prop_map(|(sessions, server, session)| Response::Stats {
+                sessions,
+                server: Box::new(server),
+                session
+            }),
     ]
 }
 
