@@ -59,4 +59,15 @@ echo "==> fuzz-smoke: adversarial ingest corpus, both recovery modes"
 # carrying the degraded-data badge wherever events survived.
 cargo run --quiet --release -p viva-bench --bin fuzz_ingest > /dev/null
 
+echo "==> chaos-smoke: adversarial serving, recovery, and overload shedding"
+# The chaos harness drives seeded hostile traffic (garbage frames, NaN
+# sliders, torn frames, slow-loris peers, kill->restore->replay cycles,
+# mutated checkpoints, a mid-storm golden replay) and asserts zero
+# panics, zero wedges, byte-identical recovery renders, and a clean
+# graceful drain. The resilience bench smoke then checks the gate sheds
+# under pressure and restore works (latency claims are only asserted by
+# the full run).
+cargo run --quiet --release -p viva-bench --bin fuzz_server > /dev/null
+cargo run --quiet --release -p viva-bench --bin fig_resilience -- --small > /dev/null
+
 echo "ci: all green"

@@ -48,6 +48,16 @@ impl ViewState {
         self.collapsed.clear();
     }
 
+    /// The collapsed containers, sorted by id — the serializable form
+    /// of this state. Replaying `collapse` over these ids on a fresh
+    /// `ViewState` reproduces `self` exactly, which is what session
+    /// checkpoint/restore relies on.
+    pub fn collapsed_ids(&self) -> Vec<ContainerId> {
+        let mut ids: Vec<ContainerId> = self.collapsed.iter().copied().collect();
+        ids.sort_by_key(|c| c.index());
+        ids
+    }
+
     /// Sets the view to one hierarchy level: collapses every container
     /// with children at depth `depth` and clears all other collapse
     /// marks. Depth 0 collapses the whole tree into one node; the tree

@@ -1,0 +1,697 @@
+//! Chaos harness for the serving layer: seeded adversarial traffic
+//! against a live [`viva_server::Server`], in-process and over TCP.
+//!
+//! The resilience contract this harness enforces (DESIGN.md §14):
+//!
+//! * **zero panics, zero wedges** — every adversarial command line,
+//!   garbage frame, torn frame, and slow-loris connection is absorbed;
+//!   the run finishes under a watchdog, and every response still
+//!   decodes as a well-formed protocol response;
+//! * **kill–restore–replay** — mid-chaos, sessions are checkpointed,
+//!   killed, and restored; the restored session renders byte-identical
+//!   to the pre-kill frame at the checkpointed revision;
+//! * **deterministic degradation** — zero-budget deadlines breach
+//!   every time with `deadline_exceeded`, eviction churn checkpoints
+//!   every victim, mutated checkpoints are rejected with
+//!   `bad_checkpoint` (never a crash);
+//! * **the clean path stays golden** — a fresh default-limits server
+//!   still reproduces the checked-in golden transcript byte for byte,
+//!   and a clean scripted TCP client gets byte-identical responses
+//!   while the chaos clients hammer the same server.
+//!
+//! `fuzz_server [--events N] [--seed S]` — defaults: 10 000 events,
+//! seed 42. Fully offline; `ci.sh` runs it as the `chaos-smoke` step.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use viva::Theme;
+use viva_server::{
+    Command, ErrorKind, Response, Server, ServerLimits, SessionCheckpoint, StatsBlock,
+};
+use viva_trace::RecoveryMode;
+
+/// Session names the chaos generator targets. More names than the
+/// chaos server's `max_sessions`, so loads continuously evict.
+const POOL: [&str; 6] = ["chaos-0", "chaos-1", "chaos-2", "chaos-3", "chaos-4", "chaos-5"];
+
+/// Container/metric names that exist in [`valid_csv`] traces, mixed
+/// with names that never will.
+const CONTAINERS: [&str; 6] = ["grenoble", "adonis", "adonis-1", "adonis-2", "", "no-such-node"];
+const METRICS: [&str; 3] = ["power_used", "power", "no_such_metric"];
+
+/// A small valid trace; `variant` perturbs the values so reloads
+/// genuinely change session state.
+fn valid_csv(variant: u64) -> String {
+    let v = (variant % 7) as f64;
+    format!(
+        "span,0.0,10.0\n\
+         container,1,0,site,grenoble\n\
+         container,2,1,cluster,adonis\n\
+         container,3,2,host,adonis-1\n\
+         container,4,2,host,adonis-2\n\
+         metric,0,MFlop/s,power\n\
+         metric,1,MFlop/s,power_used\n\
+         var,0.0,3,0,100.0\nvar,0.0,4,0,100.0\n\
+         var,0.0,3,1,{a}\nvar,0.0,4,1,{b}\n\
+         var,5.0,3,1,{c}\n",
+        a = 10.0 + v,
+        b = 20.0 + v,
+        c = 30.0 + v,
+    )
+}
+
+/// Adversarial trace payloads: quarantine fodder, truncation, garbage.
+fn hostile_csv(rng: &mut SmallRng) -> String {
+    match rng.gen_range(0..5u32) {
+        0 => String::new(),
+        1 => "complete garbage, not a trace\n".repeat(rng.gen_range(1..20usize)),
+        2 => {
+            // NaN flood: every sample quarantines.
+            let mut s = String::from(
+                "span,0,10\ncontainer,1,0,host,h\nmetric,0,u,x\nvar,0.0,1,0,1.0\n",
+            );
+            for i in 0..rng.gen_range(1..50u32) {
+                s.push_str(&format!("var,{i}.0,1,0,NaN\n"));
+            }
+            s
+        }
+        3 => valid_csv(rng.gen_range(0..7u64)).split_at(rng.gen_range(0..40usize)).0.to_owned(),
+        _ => "span,10,0\n".to_owned(), // inverted span
+    }
+}
+
+/// An adversarial float: mostly wild, occasionally reasonable.
+fn wild_f64(rng: &mut SmallRng) -> f64 {
+    match rng.gen_range(0..8u32) {
+        0 => f64::NAN,
+        1 => f64::INFINITY,
+        2 => f64::NEG_INFINITY,
+        3 => -1e300,
+        4 => 1e300,
+        5 => -0.0,
+        _ => rng.gen_range(-1000.0..1000.0),
+    }
+}
+
+fn pick<'a>(rng: &mut SmallRng, xs: &[&'a str]) -> &'a str {
+    xs[rng.gen_range(0..xs.len())]
+}
+
+/// Raw wire lines that are not protocol at all.
+fn garbage_line(rng: &mut SmallRng) -> String {
+    match rng.gen_range(0..7u32) {
+        0 => "not json at all".to_owned(),
+        1 => "{}".to_owned(),
+        2 => "{\"cmd\":\"no_such_command\"}".to_owned(),
+        3 => "{\"cmd\":42}".to_owned(),
+        4 => "[1,2,3]".to_owned(),
+        5 => "{\"cmd\":\"render\"".to_owned(), // truncated JSON
+        _ => "x".repeat(rng.gen_range(1..100_000usize)),
+    }
+}
+
+/// One seeded adversarial command line (never `shutdown`: drain is
+/// exercised once, deliberately, at the end of each phase).
+fn chaos_line(rng: &mut SmallRng) -> String {
+    let session = pick(rng, &POOL).to_owned();
+    let cmd = match rng.gen_range(0..16u32) {
+        0 => Command::Ping,
+        1 => Command::Sessions,
+        2 => Command::CloseSession { session },
+        3 => Command::LoadTrace {
+            session,
+            mode: if rng.gen_bool(0.5) { RecoveryMode::Strict } else { RecoveryMode::Lenient },
+            text: if rng.gen_bool(0.6) {
+                valid_csv(rng.gen_range(0..7u64))
+            } else {
+                hostile_csv(rng)
+            },
+        },
+        4 => Command::SetTimeSlice { session, start: wild_f64(rng), end: wild_f64(rng) },
+        5 => {
+            let container = pick(rng, &CONTAINERS).to_owned();
+            if rng.gen_bool(0.5) {
+                Command::Collapse { session, container }
+            } else {
+                Command::Expand { session, container }
+            }
+        }
+        6 => Command::CollapseAtDepth { session, depth: rng.gen_range(0..50u32) },
+        7 => Command::ExpandAll { session },
+        8 => Command::SetForces {
+            session,
+            repulsion: rng.gen_bool(0.7).then(|| wild_f64(rng)),
+            spring: rng.gen_bool(0.7).then(|| wild_f64(rng)),
+            damping: rng.gen_bool(0.7).then(|| wild_f64(rng)),
+        },
+        9 => Command::SetScaling {
+            session,
+            group: pick(rng, &METRICS).to_owned(),
+            factor: wild_f64(rng),
+        },
+        10 => Command::Drag {
+            session,
+            container: pick(rng, &CONTAINERS).to_owned(),
+            x: wild_f64(rng),
+            y: wild_f64(rng),
+        },
+        11 => Command::Release { session, container: pick(rng, &CONTAINERS).to_owned() },
+        12 => Command::Relax { session, steps: rng.gen_range(0..10_000u64) },
+        13 => Command::Aggregate {
+            session,
+            metric: pick(rng, &METRICS).to_owned(),
+            group: pick(rng, &CONTAINERS).to_owned(),
+        },
+        14 => Command::Render {
+            session,
+            width: wild_f64(rng),
+            height: wild_f64(rng),
+            theme: if rng.gen_bool(0.5) { Theme::Light } else { Theme::Dark },
+            labels: rng.gen_bool(0.5),
+        },
+        _ => return garbage_line(rng),
+    };
+    cmd.encode()
+}
+
+/// Outcome tally for one chaos phase.
+#[derive(Default)]
+struct Tally {
+    events: u64,
+    ok: u64,
+    errors: u64,
+    restore_cycles: u64,
+    mutated_restores: u64,
+}
+
+/// Sends one line through `handle_line`, asserting no panic and that
+/// whatever comes back decodes as a protocol response.
+fn fire(server: &Server, line: &str, tally: &mut Tally) -> Option<Response> {
+    let resp = catch_unwind(AssertUnwindSafe(|| server.handle_line(line)))
+        .unwrap_or_else(|_| panic!("PANIC on line: {}", &line[..line.len().min(200)]));
+    tally.events += 1;
+    let resp = resp?;
+    let decoded = Response::decode(&resp)
+        .unwrap_or_else(|e| panic!("undecodable response {e}: {}", &resp[..resp.len().min(200)]));
+    match decoded {
+        Response::Error { .. } => tally.errors += 1,
+        _ => tally.ok += 1,
+    }
+    Some(decoded)
+}
+
+/// The fixed render used for kill–restore–replay equality checks.
+fn probe_render(session: &str) -> Command {
+    Command::Render {
+        session: session.to_owned(),
+        width: 640.0,
+        height: 480.0,
+        theme: Theme::Light,
+        labels: false,
+    }
+}
+
+/// Checkpoints a session, kills it, restores from the inline
+/// checkpoint, and asserts the restored render is byte-identical to
+/// the pre-kill frame at the same revision.
+fn kill_restore_replay(
+    server: &Server,
+    rng: &mut SmallRng,
+    tally: &mut Tally,
+) -> Option<SessionCheckpoint> {
+    let name = pick(rng, &POOL).to_owned();
+    // Make sure the session exists with a known trace.
+    fire(
+        server,
+        &Command::LoadTrace {
+            session: name.clone(),
+            mode: RecoveryMode::Strict,
+            text: valid_csv(rng.gen_range(0..7u64)),
+        }
+        .encode(),
+        tally,
+    );
+    fire(server, &Command::Relax { session: name.clone(), steps: 40 }.encode(), tally);
+    let before = match fire(server, &probe_render(&name).encode(), tally) {
+        Some(Response::Frame { revision, svg, .. }) => (revision, svg),
+        other => panic!("pre-kill render failed: {other:?}"),
+    };
+    let state = match fire(server, &Command::Checkpoint { session: name.clone() }.encode(), tally)
+    {
+        Some(Response::Checkpointed { state, .. }) => *state,
+        other => panic!("checkpoint failed: {other:?}"),
+    };
+    fire(server, &Command::CloseSession { session: name.clone() }.encode(), tally);
+    match fire(
+        server,
+        &Command::Restore { session: name.clone(), state: Some(Box::new(state.clone())) }
+            .encode(),
+        tally,
+    ) {
+        Some(Response::Restored { revision, .. }) => {
+            assert_eq!(revision, state.revision, "restore must land on the checkpoint revision")
+        }
+        other => panic!("restore failed: {other:?}"),
+    }
+    match fire(server, &probe_render(&name).encode(), tally) {
+        Some(Response::Frame { revision, svg, .. }) => {
+            assert_eq!(revision, before.0, "restored render revision drifted");
+            assert_eq!(svg, before.1, "restored render is not byte-identical");
+        }
+        other => panic!("post-restore render failed: {other:?}"),
+    }
+    tally.restore_cycles += 1;
+    Some(state)
+}
+
+/// Restores from a mutated checkpoint: must be absorbed as `restored`
+/// or rejected with a typed error — never a panic. Version mutations
+/// specifically must come back `bad_checkpoint`.
+fn mutated_restore(
+    server: &Server,
+    rng: &mut SmallRng,
+    base: &SessionCheckpoint,
+    tally: &mut Tally,
+) {
+    let mut ckpt = base.clone();
+    let kind = rng.gen_range(0..5u32);
+    match kind {
+        0 => ckpt.version = ckpt.version.wrapping_add(rng.gen_range(1..9u64)),
+        1 => {
+            let cut = rng.gen_range(0..ckpt.trace_csv.len().max(1));
+            while !ckpt.trace_csv.is_char_boundary(cut) {
+                ckpt.trace_csv.pop();
+            }
+            ckpt.trace_csv.truncate(cut);
+        }
+        2 => {
+            for p in &mut ckpt.placements {
+                p.x = wild_f64(rng);
+            }
+        }
+        3 => ckpt.quarantined.push((u64::MAX, u64::MAX, rng.gen_range(1..100u64))),
+        _ => {
+            ckpt.forces = (wild_f64(rng), wild_f64(rng), wild_f64(rng));
+            ckpt.scaling.push(("power_used".to_owned(), wild_f64(rng)));
+        }
+    }
+    let resp = fire(
+        server,
+        &Command::Restore { session: "mutant".to_owned(), state: Some(Box::new(ckpt)) }.encode(),
+        tally,
+    );
+    if kind == 0 {
+        assert!(
+            matches!(resp, Some(Response::Error { kind: ErrorKind::BadCheckpoint, .. })),
+            "version-mutated checkpoint must be rejected as bad_checkpoint, got {resp:?}"
+        );
+    }
+    tally.mutated_restores += 1;
+}
+
+fn counter(block: &StatsBlock, name: &str) -> u64 {
+    block.counters.iter().find(|(n, _)| n == name).map(|&(_, v)| v).unwrap_or(0)
+}
+
+/// Phase 1: seeded in-process chaos with eviction churn and
+/// kill–restore–replay, ending in a drain.
+fn run_in_process(events: u64, seed: u64, ckpt_dir: &Path) -> Tally {
+    let limits = ServerLimits {
+        max_sessions: 3, // pool of 6 names → constant eviction churn
+        max_relax_steps: 200,
+        checkpoint_dir: Some(ckpt_dir.to_path_buf()),
+        ..ServerLimits::default()
+    };
+    let server = Server::with_metrics(limits);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut tally = Tally::default();
+    let mut captured: Option<SessionCheckpoint> = None;
+    while tally.events < events {
+        if tally.events % 397 == 0 {
+            captured = kill_restore_replay(&server, &mut rng, &mut tally).or(captured);
+        } else if tally.events % 397 == 198 {
+            if let Some(base) = &captured {
+                let base = base.clone();
+                mutated_restore(&server, &mut rng, &base, &mut tally);
+            }
+        } else {
+            let line = chaos_line(&mut rng);
+            fire(&server, &line, &mut tally);
+        }
+    }
+
+    // The churn must actually have happened, observably.
+    let stats = match fire(&server, &Command::Stats { session: None }.encode(), &mut tally) {
+        Some(Response::Stats { server: block, .. }) => *block,
+        other => panic!("stats failed: {other:?}"),
+    };
+    assert!(counter(&stats, "server.evictions") > 0, "chaos never evicted a session");
+    assert!(counter(&stats, "server.checkpoints") > 0, "chaos never checkpointed");
+    assert!(counter(&stats, "server.restores") > 0, "chaos never restored");
+    let files = std::fs::read_dir(ckpt_dir).map(|d| d.count()).unwrap_or(0);
+    assert!(files > 0, "eviction churn wrote no checkpoint files");
+
+    // Drain: refuses new work, keeps answering observability.
+    match fire(&server, &Command::Shutdown.encode(), &mut tally) {
+        Some(Response::ShutdownStarted { .. }) => {}
+        other => panic!("shutdown failed: {other:?}"),
+    }
+    let refused = fire(
+        &server,
+        &Command::Relax { session: POOL[0].to_owned(), steps: 1 }.encode(),
+        &mut tally,
+    );
+    assert!(
+        matches!(refused, Some(Response::Error { kind: ErrorKind::Overloaded { .. }, .. })),
+        "draining server must shed state changes, got {refused:?}"
+    );
+    assert!(
+        matches!(fire(&server, &Command::Ping.encode(), &mut tally), Some(Response::Pong)),
+        "draining server must still answer ping"
+    );
+    tally
+}
+
+/// Phase 2: zero-budget deadlines breach deterministically — every
+/// relax and render, every time — while the session stays usable.
+fn run_zero_budget(seed: u64) {
+    let mut limits = ServerLimits::default();
+    limits.deadlines.relax_ms = Some(0);
+    limits.deadlines.render_ms = Some(0);
+    let server = Server::new(limits);
+    let mut tally = Tally::default();
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xDEAD);
+    fire(
+        &server,
+        &Command::LoadTrace {
+            session: "z".to_owned(),
+            mode: RecoveryMode::Strict,
+            text: valid_csv(0),
+        }
+        .encode(),
+        &mut tally,
+    );
+    for _ in 0..200 {
+        let cmd = if rng.gen_bool(0.5) {
+            Command::Relax { session: "z".to_owned(), steps: rng.gen_range(1..100u64) }
+        } else {
+            probe_render("z")
+        };
+        let resp = fire(&server, &cmd.encode(), &mut tally);
+        assert!(
+            matches!(resp, Some(Response::Error { kind: ErrorKind::DeadlineExceeded, .. })),
+            "zero budget must breach every time, got {resp:?}"
+        );
+        // The session is left at its last consistent revision: an
+        // unbudgeted interaction still works.
+        let slice = fire(
+            &server,
+            &Command::SetTimeSlice {
+                session: "z".to_owned(),
+                start: 0.0,
+                end: rng.gen_range(1.0..10.0),
+            }
+            .encode(),
+            &mut tally,
+        );
+        assert!(matches!(slice, Some(Response::Slice { .. })), "interaction failed: {slice:?}");
+    }
+}
+
+/// Phase 3: the checked-in golden transcript still reproduces byte for
+/// byte on a fresh default-limits server.
+fn run_golden() {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/data");
+    let script =
+        std::fs::read_to_string(dir.join("server_session.script")).expect("read script");
+    let golden =
+        std::fs::read_to_string(dir.join("server_session.golden")).expect("read golden");
+    let server = Server::new(ServerLimits::default());
+    let mut out = String::new();
+    for line in script.lines() {
+        if let Some(resp) = server.handle_line(line) {
+            out.push_str(&resp);
+            out.push('\n');
+        }
+    }
+    assert_eq!(out, golden, "clean-path replay no longer matches the golden transcript");
+}
+
+/// The clean TCP client's script: no `sessions`/`stats` (which would
+/// observe the chaos sessions), one private session, cache-hitting
+/// renders. Returns encoded command lines.
+fn clean_script() -> Vec<String> {
+    let s = "clean".to_owned();
+    let render = probe_render(&s);
+    [
+        Command::LoadTrace { session: s.clone(), mode: RecoveryMode::Strict, text: valid_csv(3) },
+        Command::SetTimeSlice { session: s.clone(), start: 1.0, end: 8.0 },
+        Command::Relax { session: s.clone(), steps: 120 },
+        Command::Collapse { session: s.clone(), container: "adonis".to_owned() },
+        Command::Aggregate {
+            session: s.clone(),
+            metric: "power_used".to_owned(),
+            group: "adonis".to_owned(),
+        },
+        render.clone(),
+        render.clone(), // cache hit
+        Command::Expand { session: s.clone(), container: "adonis".to_owned() },
+        Command::Drag { session: s.clone(), container: "adonis-1".to_owned(), x: 5.0, y: -5.0 },
+        Command::Render {
+            session: s.clone(),
+            width: 640.0,
+            height: 480.0,
+            theme: Theme::Dark,
+            labels: true,
+        },
+        Command::Checkpoint { session: s.clone() },
+        Command::CloseSession { session: s },
+    ]
+    .iter()
+    .map(Command::encode)
+    .collect()
+}
+
+/// One chaotic TCP connection: garbage frames, torn frames, abrupt
+/// hangups, or bursts of valid-but-adversarial commands.
+fn chaos_connection(addr: std::net::SocketAddr, seed: u64) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let Ok(mut stream) = TcpStream::connect(addr) else { return };
+    match rng.gen_range(0..4u32) {
+        0 => {
+            // Garbage frames; the server answers each with an error.
+            let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+            for _ in 0..rng.gen_range(1..8u32) {
+                let line = garbage_line(&mut rng);
+                if stream.write_all(format!("{line}\n").as_bytes()).is_err() {
+                    return;
+                }
+                let mut resp = String::new();
+                if reader.read_line(&mut resp).is_err() || resp.is_empty() {
+                    return;
+                }
+                Response::decode(resp.trim()).expect("garbage must get a decodable error");
+            }
+        }
+        1 => {
+            // Torn frame: bytes with no newline, then hang up.
+            let line = chaos_line(&mut rng);
+            let cut = line.len().max(2) / 2;
+            let _ = stream.write_all(&line.as_bytes()[..cut]);
+            let _ = stream.shutdown(Shutdown::Write);
+            let mut sink = String::new();
+            let _ = BufReader::new(stream).read_line(&mut sink);
+        }
+        2 => {
+            // Connect and slam the door.
+            drop(stream);
+        }
+        _ => {
+            // A burst of adversarial protocol traffic on the chaos pool.
+            let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+            for _ in 0..rng.gen_range(2..20u32) {
+                let line = chaos_line(&mut rng);
+                if stream.write_all(format!("{line}\n").as_bytes()).is_err() {
+                    return;
+                }
+                let mut resp = String::new();
+                match reader.read_line(&mut resp) {
+                    Ok(0) | Err(_) => return,
+                    Ok(_) => {
+                        Response::decode(resp.trim()).expect("chaos must get decodable responses");
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A slow-loris connection: half a frame, a stall past the server's
+/// read timeout, then the rest. The server must cut it loose.
+fn loris_connection(addr: std::net::SocketAddr, timeout_ms: u64) {
+    let Ok(mut stream) = TcpStream::connect(addr) else { return };
+    let _ = stream.write_all(b"{\"cmd\":\"pi");
+    std::thread::sleep(Duration::from_millis(timeout_ms + timeout_ms / 2));
+    let _ = stream.write_all(b"ng\"}\n");
+    let mut sink = String::new();
+    let _ = BufReader::new(stream).read_line(&mut sink);
+}
+
+/// Phase 4: TCP chaos around a clean scripted client, then a graceful
+/// drain that the worker pool actually exits on.
+fn run_tcp(seed: u64, connections: u64, ckpt_dir: &Path) {
+    const IO_TIMEOUT_MS: u64 = 1_000;
+    let limits = ServerLimits {
+        io_timeout_ms: Some(IO_TIMEOUT_MS),
+        checkpoint_dir: Some(ckpt_dir.to_path_buf()),
+        ..ServerLimits::default()
+    };
+    let server = Arc::new(Server::with_metrics(limits));
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("local addr");
+    let workers = viva_server::serve_tcp(listener, 4, Arc::clone(&server));
+
+    // The reference transcript: the same clean script on a fresh
+    // default-limits in-process server.
+    let script = clean_script();
+    let reference: Vec<String> = {
+        let reference_server = Server::new(ServerLimits::default());
+        script
+            .iter()
+            .filter_map(|line| reference_server.handle_line(line))
+            .collect()
+    };
+
+    let clean = {
+        let script = script.clone();
+        std::thread::spawn(move || -> Vec<String> {
+            let mut stream = TcpStream::connect(addr).expect("clean connect");
+            let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+            let mut out = Vec::new();
+            for line in &script {
+                stream.write_all(format!("{line}\n").as_bytes()).expect("clean send");
+                let mut resp = String::new();
+                let n = reader.read_line(&mut resp).expect("clean recv");
+                assert!(n > 0, "server hung up on the clean client");
+                out.push(resp.trim_end().to_owned());
+            }
+            out
+        })
+    };
+
+    let mut chaos = Vec::new();
+    for i in 0..connections {
+        chaos.push(std::thread::spawn(move || chaos_connection(addr, seed ^ (i << 8))));
+    }
+
+    let transcript = clean.join().expect("clean client");
+    assert_eq!(
+        transcript, reference,
+        "clean client transcript diverged under concurrent chaos"
+    );
+    for h in chaos {
+        h.join().expect("chaos connection thread");
+    }
+
+    // Slow-loris after the burst, when workers are idle: the stalled
+    // frame must be cut off by the read timeout, not by luck of the
+    // accept queue (a queued loris would have its full frame buffered
+    // before a worker ever reads it).
+    let loris: Vec<_> = (0..2)
+        .map(|_| std::thread::spawn(move || loris_connection(addr, IO_TIMEOUT_MS)))
+        .collect();
+    for h in loris {
+        h.join().expect("loris connection thread");
+    }
+
+    // Transport hardening was actually exercised, observably; then
+    // drain and prove the worker pool exits.
+    let mut stream = TcpStream::connect(addr).expect("control connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut send = |line: &str, reader: &mut BufReader<TcpStream>| -> Response {
+        stream.write_all(format!("{line}\n").as_bytes()).expect("control send");
+        let mut resp = String::new();
+        reader.read_line(&mut resp).expect("control recv");
+        Response::decode(resp.trim()).expect("control decode")
+    };
+    let stats = match send(&Command::Stats { session: None }.encode(), &mut reader) {
+        Response::Stats { server: block, .. } => *block,
+        other => panic!("tcp stats failed: {other:?}"),
+    };
+    assert!(counter(&stats, "server.torn_frames") > 0, "no torn frame was ever observed");
+    assert!(counter(&stats, "server.io_timeouts") > 0, "no slow-loris timeout was observed");
+    match send(&Command::Shutdown.encode(), &mut reader) {
+        Response::ShutdownStarted { .. } => {}
+        other => panic!("tcp shutdown failed: {other:?}"),
+    }
+    drop(reader);
+    for w in workers {
+        w.join().expect("worker pool must exit after drain");
+    }
+}
+
+fn main() {
+    let mut events = 10_000u64;
+    let mut seed = 42u64;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--events" => {
+                events = it.next().and_then(|v| v.parse().ok()).expect("--events N")
+            }
+            "--seed" => seed = it.next().and_then(|v| v.parse().ok()).expect("--seed S"),
+            other => panic!("unknown argument {other:?} (usage: fuzz_server [--events N] [--seed S])"),
+        }
+    }
+
+    // Wedge watchdog: the whole run must finish; a hang is a failure,
+    // not a timeout for someone else to notice.
+    let done = Arc::new(AtomicBool::new(false));
+    {
+        let done = Arc::clone(&done);
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_secs(300));
+            if !done.load(Ordering::SeqCst) {
+                eprintln!("fuzz_server: WEDGED (watchdog fired after 300s)");
+                std::process::exit(3);
+            }
+        });
+    }
+
+    let ckpt_dir = std::env::temp_dir().join(format!("viva_fuzz_server_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&ckpt_dir);
+    std::fs::create_dir_all(&ckpt_dir).expect("create checkpoint dir");
+
+    println!("fuzz_server: seed {seed}, {events} in-process events");
+    let tally = run_in_process(events, seed, &ckpt_dir);
+    println!(
+        "  in-process: {} events ({} ok, {} errors), {} kill-restore cycles (byte-identical), {} mutated restores",
+        tally.events, tally.ok, tally.errors, tally.restore_cycles, tally.mutated_restores
+    );
+    assert!(tally.ok > 0 && tally.errors > 0, "chaos must exercise both outcomes");
+    assert!(tally.restore_cycles > 0, "no kill-restore cycle ran");
+
+    run_zero_budget(seed);
+    println!("  zero-budget deadlines: 200/200 deterministic breaches");
+
+    run_golden();
+    println!("  clean path: golden transcript reproduced byte-for-byte");
+
+    let connections = (events / 200).clamp(8, 64);
+    run_tcp(seed, connections, &ckpt_dir);
+    println!(
+        "  tcp: clean transcript byte-identical under {connections} chaos connections + 2 slow-loris; drain joined"
+    );
+
+    let _ = std::fs::remove_dir_all(&ckpt_dir);
+    done.store(true, Ordering::SeqCst);
+    println!("fuzz_server: all phases clean (zero panics, zero wedges)");
+}

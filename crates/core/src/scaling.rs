@@ -48,6 +48,16 @@ impl ScalingConfig {
         self.sliders.clear();
     }
 
+    /// All touched sliders as `(group, factor)` pairs, sorted by group
+    /// name — the serializable form of the slider state (untouched
+    /// groups are implicitly `1.0` and are not listed).
+    pub fn sliders(&self) -> Vec<(String, f64)> {
+        let mut out: Vec<(String, f64)> =
+            self.sliders.iter().map(|(k, v)| (k.clone(), *v)).collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
     /// Computes pixel sizes for one size group: the automatic scale
     /// maps the group maximum to `max_px`, then the group slider
     /// multiplies, then `min_px` floors. `values` of 0 (or groups whose

@@ -418,6 +418,21 @@ impl AnalysisSession {
         self.revision += 1;
     }
 
+    /// Forces the view revision to `revision`, dropping every cached
+    /// aggregate. This exists for **session restore only**: a session
+    /// rebuilt from a checkpoint replays its state through the normal
+    /// mutators (each of which bumps the revision), then snaps the
+    /// counter back to the checkpointed value so frame-identity holds
+    /// across the restore — two renders at the same revision are
+    /// byte-identical, and the restored session's first render carries
+    /// the same revision the live session's did. Never call this on a
+    /// session whose frames are already cached under higher revisions;
+    /// a restored session starts with an empty frame cache.
+    pub fn restore_revision(&mut self, revision: u64) {
+        self.clear_cache();
+        self.revision = revision;
+    }
+
     /// Current time-slice.
     pub fn time_slice(&self) -> TimeSlice {
         self.slice
@@ -495,6 +510,11 @@ impl AnalysisSession {
         self.clear_cache();
         self.touch();
         &mut self.mapping
+    }
+
+    /// Read access to the per-type size scaling (§4.1).
+    pub fn scaling(&self) -> &ScalingConfig {
+        &self.scaling
     }
 
     /// The per-type size scaling and its sliders (§4.1). Scaling only

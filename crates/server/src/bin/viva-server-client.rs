@@ -16,21 +16,73 @@
 //! Blank lines in the script are skipped (they produce no response in
 //! either mode), so a script replayed in-process and a script piped to
 //! `viva-server --stdio` yield identical transcripts.
+//!
+//! With `--retry N`, a shed command (`"overloaded"` error) or a refused
+//! connection is retried up to N times with exponential backoff plus
+//! jitter; the server's `retry_after_ms` hint is honoured as the floor
+//! for the next wait. The default (`--retry 0`) never retries, so the
+//! golden-transcript replays are unchanged.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 use std::process::ExitCode;
+use std::time::Duration;
 
 use viva_obs::Recorder;
-use viva_server::{Command, Server, ServerLimits};
+use viva_server::{Command, ErrorKind, Response, Server, ServerLimits};
 
 const USAGE: &str =
-    "usage: viva-server-client [--tcp ADDR] [--timing] [SCRIPT (default stdin)]";
+    "usage: viva-server-client [--tcp ADDR] [--timing] [--retry N] [SCRIPT (default stdin)]";
+
+/// Exponential backoff with deterministic jitter. Each command (and the
+/// initial connect) gets a fresh budget of `budget` retries; the wait
+/// doubles from 10ms up to a 2s cap, a server-provided `retry_after_ms`
+/// hint raises the floor, and an xorshift-derived jitter of up to half
+/// the base spreads concurrent clients apart.
+struct Retry {
+    budget: u32,
+    attempt: u32,
+    rng: u64,
+}
+
+impl Retry {
+    fn new(budget: u32) -> Self {
+        // Seed the jitter stream per-process so a fleet of clients
+        // started together does not retry in lockstep.
+        let seed = u64::from(std::process::id()) | 0x9e37_79b9_7f4a_7c15;
+        Retry { budget, attempt: 0, rng: seed }
+    }
+
+    /// The next wait, or `None` when the retry budget is spent.
+    fn next_delay(&mut self, floor_ms: u64) -> Option<Duration> {
+        if self.attempt >= self.budget {
+            return None;
+        }
+        self.attempt += 1;
+        let base = 10u64 << (self.attempt - 1).min(8);
+        self.rng ^= self.rng << 13;
+        self.rng ^= self.rng >> 7;
+        self.rng ^= self.rng << 17;
+        let jitter = self.rng % (base / 2 + 1);
+        Some(Duration::from_millis(base.min(2_000).max(floor_ms) + jitter))
+    }
+}
+
+/// If a response line is an overload shed, the `retry_after_ms` hint.
+fn overload_hint(line: &str) -> Option<u64> {
+    match Response::decode(line.trim()) {
+        Ok(Response::Error { kind: ErrorKind::Overloaded { retry_after_ms }, .. }) => {
+            Some(retry_after_ms)
+        }
+        _ => None,
+    }
+}
 
 fn main() -> ExitCode {
     let mut tcp: Option<String> = None;
     let mut script_path: Option<String> = None;
     let mut timing = false;
+    let mut retry = 0u32;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -42,6 +94,13 @@ fn main() -> ExitCode {
                 }
             },
             "--timing" => timing = true,
+            "--retry" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => retry = n,
+                None => {
+                    eprintln!("viva-server-client: --retry needs an integer\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -79,8 +138,8 @@ fn main() -> ExitCode {
     // summary goes to stderr so stdout stays the byte-exact transcript.
     let recorder = if timing { Recorder::enabled() } else { Recorder::disabled() };
     let result = match tcp {
-        None => replay_in_process(&script, &recorder),
-        Some(addr) => replay_tcp(&addr, &script, &recorder),
+        None => replay_in_process(&script, &recorder, retry),
+        Some(addr) => replay_tcp(&addr, &script, &recorder, retry),
     };
     if timing {
         print_timing(&recorder);
@@ -130,7 +189,7 @@ fn format_seconds(s: f64) -> String {
 
 /// Replays against an embedded server: the deterministic mode golden
 /// transcripts are recorded in.
-fn replay_in_process(script: &str, recorder: &Recorder) -> Result<(), String> {
+fn replay_in_process(script: &str, recorder: &Recorder, retries: u32) -> Result<(), String> {
     let server = Server::new(ServerLimits::default());
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
@@ -139,7 +198,13 @@ fn replay_in_process(script: &str, recorder: &Recorder) -> Result<(), String> {
             continue;
         }
         let span = recorder.is_enabled().then(|| recorder.span(&timing_name(line)));
-        let response = server.handle_line(line);
+        let mut retry = Retry::new(retries);
+        let mut response = server.handle_line(line);
+        while let Some(hint) = response.as_deref().and_then(overload_hint) {
+            let Some(delay) = retry.next_delay(hint) else { break };
+            std::thread::sleep(delay);
+            response = server.handle_line(line);
+        }
         drop(span);
         if let Some(response) = response {
             writeln!(out, "{response}").map_err(|e| e.to_string())?;
@@ -148,11 +213,27 @@ fn replay_in_process(script: &str, recorder: &Recorder) -> Result<(), String> {
     Ok(())
 }
 
-/// Replays against a live TCP server, printing its responses.
-fn replay_tcp(addr: &str, script: &str, recorder: &Recorder) -> Result<(), String> {
-    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
-    let mut reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
-    let mut writer = stream;
+/// Connects, retrying refused/unreachable servers on the given policy.
+fn connect(addr: &str, retries: u32) -> Result<(BufReader<TcpStream>, TcpStream), String> {
+    let mut retry = Retry::new(retries);
+    let stream = loop {
+        match TcpStream::connect(addr) {
+            Ok(s) => break s,
+            Err(e) => match retry.next_delay(0) {
+                Some(delay) => std::thread::sleep(delay),
+                None => return Err(format!("connect {addr}: {e}")),
+            },
+        }
+    };
+    let reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+    Ok((reader, stream))
+}
+
+/// Replays against a live TCP server, printing its responses. A shed
+/// command is re-sent on the retry policy; a connection the server
+/// closed (drain, idle timeout) is re-established if retries remain.
+fn replay_tcp(addr: &str, script: &str, recorder: &Recorder, retries: u32) -> Result<(), String> {
+    let (mut reader, mut writer) = connect(addr, retries)?;
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
     for line in script.lines() {
@@ -160,15 +241,32 @@ fn replay_tcp(addr: &str, script: &str, recorder: &Recorder) -> Result<(), Strin
             continue;
         }
         let span = recorder.is_enabled().then(|| recorder.span(&timing_name(line)));
-        writer
-            .write_all(format!("{line}\n").as_bytes())
-            .map_err(|e| format!("send: {e}"))?;
-        let mut response = String::new();
-        let n = reader.read_line(&mut response).map_err(|e| format!("recv: {e}"))?;
+        let mut retry = Retry::new(retries);
+        let response = loop {
+            writer
+                .write_all(format!("{line}\n").as_bytes())
+                .map_err(|e| format!("send: {e}"))?;
+            let mut response = String::new();
+            let n = reader.read_line(&mut response).map_err(|e| format!("recv: {e}"))?;
+            if n == 0 {
+                // The server closed the connection (drain or timeout):
+                // reconnect and re-send if the budget allows.
+                let Some(delay) = retry.next_delay(0) else {
+                    return Err("server closed the connection mid-script".to_owned());
+                };
+                std::thread::sleep(delay);
+                (reader, writer) = connect(addr, retries)?;
+                continue;
+            }
+            match overload_hint(&response) {
+                Some(hint) => match retry.next_delay(hint) {
+                    Some(delay) => std::thread::sleep(delay),
+                    None => break response,
+                },
+                None => break response,
+            }
+        };
         drop(span);
-        if n == 0 {
-            return Err("server closed the connection mid-script".to_owned());
-        }
         out.write_all(response.as_bytes()).map_err(|e| e.to_string())?;
     }
     Ok(())

@@ -25,10 +25,16 @@ struct Args {
     max_sessions: Option<usize>,
     max_relax_steps: Option<u64>,
     metrics_out: Option<String>,
+    max_inflight: Option<usize>,
+    io_timeout_ms: Option<u64>,
+    checkpoint_dir: Option<String>,
+    interactive_deadlines: bool,
 }
 
 const USAGE: &str = "usage: viva-server [--stdio | --tcp ADDR] [--workers N] \
-                     [--max-sessions N] [--max-relax-steps N] [--metrics-out PATH]";
+                     [--max-sessions N] [--max-relax-steps N] [--metrics-out PATH] \
+                     [--max-inflight N] [--io-timeout-ms N] [--checkpoint-dir DIR] \
+                     [--interactive-deadlines]";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
@@ -37,6 +43,10 @@ fn parse_args() -> Result<Args, String> {
         max_sessions: None,
         max_relax_steps: None,
         metrics_out: None,
+        max_inflight: None,
+        io_timeout_ms: None,
+        checkpoint_dir: None,
+        interactive_deadlines: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -64,6 +74,22 @@ fn parse_args() -> Result<Args, String> {
                 );
             }
             "--metrics-out" => args.metrics_out = Some(value("--metrics-out")?),
+            "--max-inflight" => {
+                args.max_inflight = Some(
+                    value("--max-inflight")?
+                        .parse()
+                        .map_err(|_| "--max-inflight needs an integer".to_owned())?,
+                );
+            }
+            "--io-timeout-ms" => {
+                args.io_timeout_ms = Some(
+                    value("--io-timeout-ms")?
+                        .parse()
+                        .map_err(|_| "--io-timeout-ms needs an integer".to_owned())?,
+                );
+            }
+            "--checkpoint-dir" => args.checkpoint_dir = Some(value("--checkpoint-dir")?),
+            "--interactive-deadlines" => args.interactive_deadlines = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -100,6 +126,21 @@ fn main() -> ExitCode {
     }
     if let Some(n) = args.max_relax_steps {
         limits.max_relax_steps = n;
+    }
+    if let Some(n) = args.max_inflight {
+        limits.max_inflight_commands = n;
+    }
+    if let Some(ms) = args.io_timeout_ms {
+        // 0 disables the read/write timeouts entirely.
+        limits.io_timeout_ms = if ms == 0 { None } else { Some(ms) };
+    }
+    if let Some(dir) = &args.checkpoint_dir {
+        limits.checkpoint_dir = Some(std::path::PathBuf::from(dir));
+    }
+    if args.interactive_deadlines {
+        // Opt-in: deadline enforcement reads the wall clock, so replays
+        // with deadlines on are not bound by the golden transcripts.
+        limits.deadlines = viva_server::DeadlineBudgets::interactive();
     }
     // `--metrics-out` turns observability on; metrics never change a
     // response byte, so a metrics-on replay still matches the golden

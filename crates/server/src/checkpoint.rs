@@ -1,0 +1,564 @@
+//! Session checkpoint/restore: crash-only serving.
+//!
+//! A [`SessionCheckpoint`] is a deterministic, versioned snapshot of
+//! everything that makes a session's **view**: the trace (as canonical
+//! CSV interchange text, so the checkpoint is self-contained across a
+//! process restart), the collapse set, the time slice, the force
+//! sliders, the per-group scaling sliders, the position and pin state
+//! of every visible node, the ingestion-degradation counters, and the
+//! view revision.
+//!
+//! The correctness bar is **byte-identical rendering**: a session
+//! restored from a checkpoint renders exactly the bytes the live
+//! session rendered at checkpoint time, at the same revision. A second
+//! consequence is the *fixed point* property — checkpointing a restored
+//! session reproduces the original checkpoint byte for byte — which is
+//! what makes kill-restore-replay cycles testable.
+//!
+//! Serialization goes through the same canonical JSON codec as the wire
+//! protocol ([`crate::json`]): fixed member order, sorted collections,
+//! shortest-round-trip numbers. Same checkpoint, same bytes, always.
+//!
+//! What a checkpoint deliberately does **not** carry:
+//!
+//! * layout *momentum* (velocities) and the layout RNG: positions are
+//!   the visual contract; a restored session relaxes from rest;
+//! * the frame cache: it is a pure function of (revision, viewport)
+//!   and refills on demand;
+//! * watchdog freeze state: a restored layout starts thawed — the
+//!   conditions that froze it are gone with the process.
+
+use std::fmt;
+
+use viva::AnalysisSession;
+use viva_layout::{NodeKey, Vec2};
+use viva_obs::Recorder;
+use viva_trace::{
+    ContainerId, MetricId, RecoveryMode, ResourceBudget, TraceError, TraceLoader,
+};
+
+use crate::json::Json;
+use crate::protocol::DecodeError;
+
+/// Format version written by [`SessionCheckpoint::capture`]. Bump on
+/// any incompatible change to the member set; [`SessionCheckpoint::
+/// from_json`] rejects versions it does not understand.
+pub const CHECKPOINT_VERSION: u64 = 1;
+
+/// Position and pin state of one visible node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodePlacement {
+    /// Container index (stable across the canonical CSV round trip).
+    pub container: u64,
+    /// Layout x coordinate.
+    pub x: f64,
+    /// Layout y coordinate.
+    pub y: f64,
+    /// Whether the node is pinned (dragged and not yet released).
+    pub pinned: bool,
+}
+
+/// A deterministic, versioned snapshot of one session's view state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionCheckpoint {
+    /// Checkpoint format version ([`CHECKPOINT_VERSION`]).
+    pub version: u64,
+    /// The session's name at capture time.
+    pub session: String,
+    /// The session's view revision at capture time.
+    pub revision: u64,
+    /// Effective time slice (already clamped to the trace extent).
+    pub slice_start: f64,
+    /// Effective time slice end.
+    pub slice_end: f64,
+    /// Collapsed container indices, sorted.
+    pub collapsed: Vec<u64>,
+    /// Sanitized force sliders: repulsion, spring, damping.
+    pub forces: (f64, f64, f64),
+    /// Touched scaling sliders, sorted by group name.
+    pub scaling: Vec<(String, f64)>,
+    /// Every visible node's position and pin state, sorted by
+    /// container index.
+    pub placements: Vec<NodePlacement>,
+    /// Quarantine counters `(container, metric, count)`, sorted — the
+    /// ingestion facts the canonical CSV cannot carry.
+    pub quarantined: Vec<(u64, u64, u64)>,
+    /// Records dropped by the original (possibly lenient) ingest.
+    pub ingest_dropped: u64,
+    /// The trace as canonical CSV interchange text. Kept last so the
+    /// bulk payload does not obscure the state members in a dump.
+    pub trace_csv: String,
+}
+
+/// Why a checkpoint could not be turned back into a session. The
+/// server maps this onto the typed `bad_checkpoint` wire error.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RestoreError {
+    /// The checkpoint was written by an unknown format version.
+    Version {
+        /// The version the checkpoint claims.
+        found: u64,
+    },
+    /// The embedded trace failed to load (parse error or budget
+    /// breach — checkpoints are external input and get the same
+    /// ingestion scrutiny as an upload).
+    Trace(String),
+    /// The state members do not fit the embedded trace (unknown
+    /// container, hidden placement target, non-finite values).
+    State(String),
+}
+
+impl fmt::Display for RestoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RestoreError::Version { found } => write!(
+                f,
+                "checkpoint version {found} is not supported (this server writes \
+                 version {CHECKPOINT_VERSION})"
+            ),
+            RestoreError::Trace(m) => write!(f, "checkpoint trace rejected: {m}"),
+            RestoreError::State(m) => write!(f, "checkpoint state rejected: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RestoreError {}
+
+fn key_of(index: u64) -> NodeKey {
+    NodeKey(index)
+}
+
+impl SessionCheckpoint {
+    /// Snapshots `analysis` (named `session` in the registry) into a
+    /// checkpoint. Pure read: the session is not perturbed.
+    pub fn capture(session: &str, analysis: &AnalysisSession) -> SessionCheckpoint {
+        let trace = analysis.trace();
+        let slice = analysis.time_slice();
+        let cfg = analysis.layout().config();
+
+        let mut placements: Vec<NodePlacement> = analysis
+            .layout()
+            .positions()
+            .map(|(k, pos)| NodePlacement {
+                container: k.0,
+                x: pos.x,
+                y: pos.y,
+                pinned: analysis.layout().is_pinned(k),
+            })
+            .collect();
+        placements.sort_by_key(|p| p.container);
+
+        let mut quarantined: Vec<(u64, u64, u64)> = trace
+            .quarantined_entries()
+            .map(|(c, m, n)| (c.index() as u64, m.index() as u64, n))
+            .collect();
+        quarantined.sort_unstable();
+
+        SessionCheckpoint {
+            version: CHECKPOINT_VERSION,
+            session: session.to_owned(),
+            revision: analysis.revision(),
+            slice_start: slice.start(),
+            slice_end: slice.end(),
+            collapsed: analysis
+                .view_state()
+                .collapsed_ids()
+                .into_iter()
+                .map(|c| c.index() as u64)
+                .collect(),
+            forces: (cfg.repulsion, cfg.spring, cfg.damping),
+            scaling: analysis.scaling().sliders(),
+            placements,
+            quarantined,
+            ingest_dropped: trace.ingest_dropped(),
+            trace_csv: viva_trace::export::to_csv(trace),
+        }
+    }
+
+    /// Rebuilds a live session from this checkpoint. The embedded
+    /// trace is re-ingested in strict mode under `budget` (checkpoints
+    /// are external input), then the view state is replayed through the
+    /// session's ordinary mutators and the revision snapped back to the
+    /// captured value. A render of the result is byte-identical to a
+    /// render of the captured session.
+    pub fn restore(
+        &self,
+        budget: ResourceBudget,
+        recorder: Recorder,
+    ) -> Result<AnalysisSession, RestoreError> {
+        if self.version != CHECKPOINT_VERSION {
+            return Err(RestoreError::Version { found: self.version });
+        }
+        let loader = TraceLoader::new()
+            .mode(RecoveryMode::Strict)
+            .budget(budget)
+            .recorder(recorder.clone());
+        let report = loader.load_str(&self.trace_csv).map_err(|e| match e {
+            TraceError::BudgetExceeded(b) => RestoreError::Trace(b.to_string()),
+            other => RestoreError::Trace(other.to_string()),
+        })?;
+        let mut trace = report.trace.clone();
+        let containers = trace.containers().len() as u64;
+        let metrics = trace.metrics().len() as u64;
+
+        let quarantined: Vec<(ContainerId, MetricId, u64)> = self
+            .quarantined
+            .iter()
+            .map(|&(c, m, n)| {
+                if c >= containers || m >= metrics {
+                    return Err(RestoreError::State(format!(
+                        "quarantine entry ({c}, {m}) is outside the trace"
+                    )));
+                }
+                Ok((
+                    ContainerId::from_index(c as usize),
+                    MetricId::from_index(m as usize),
+                    n,
+                ))
+            })
+            .collect::<Result<_, _>>()?;
+        trace.restore_ingest_degradation(&quarantined, self.ingest_dropped);
+
+        let mut analysis = AnalysisSession::builder(trace).recorder(recorder).build();
+
+        for &c in &self.collapsed {
+            if c >= containers {
+                return Err(RestoreError::State(format!(
+                    "collapsed container {c} is outside the trace"
+                )));
+            }
+            analysis
+                .collapse(ContainerId::from_index(c as usize))
+                .map_err(|e| RestoreError::State(e.to_string()))?;
+        }
+        analysis
+            .try_set_time_slice(self.slice_start, self.slice_end)
+            .map_err(|e| RestoreError::State(e.to_string()))?;
+        {
+            let cfg = analysis.layout_config_mut();
+            cfg.repulsion = self.forces.0;
+            cfg.spring = self.forces.1;
+            cfg.damping = self.forces.2;
+            *cfg = cfg.sanitized();
+        }
+        for (group, factor) in &self.scaling {
+            if !(factor.is_finite() && *factor >= 0.0) {
+                return Err(RestoreError::State(format!(
+                    "scaling slider {group:?} has illegal factor {factor}"
+                )));
+            }
+            analysis.scaling_mut().set_slider(group.clone(), *factor);
+        }
+        for p in &self.placements {
+            if !(p.x.is_finite() && p.y.is_finite()) {
+                return Err(RestoreError::State(format!(
+                    "placement of container {} is not finite",
+                    p.container
+                )));
+            }
+            let k = key_of(p.container);
+            if !analysis.layout_mut().move_node(k, Vec2::new(p.x, p.y)) {
+                return Err(RestoreError::State(format!(
+                    "placement names container {} which is not visible under the \
+                     checkpointed collapse set",
+                    p.container
+                )));
+            }
+            if p.pinned {
+                analysis.layout_mut().pin(k);
+            }
+        }
+        analysis.restore_revision(self.revision);
+        Ok(analysis)
+    }
+
+    /// Serializes to the canonical one-line JSON form.
+    pub fn encode(&self) -> String {
+        self.to_json().encode()
+    }
+
+    /// Parses a checkpoint from its canonical JSON line.
+    pub fn decode(line: &str) -> Result<SessionCheckpoint, DecodeError> {
+        let v = Json::parse(line)
+            .map_err(|e| DecodeError { message: format!("invalid JSON: {e}") })?;
+        SessionCheckpoint::from_json(&v)
+    }
+
+    pub(crate) fn to_json(&self) -> Json {
+        let num = Json::Num;
+        Json::Obj(vec![
+            ("version".into(), num(self.version as f64)),
+            ("session".into(), Json::Str(self.session.clone())),
+            ("revision".into(), num(self.revision as f64)),
+            (
+                "slice".into(),
+                Json::Obj(vec![
+                    ("start".into(), num(self.slice_start)),
+                    ("end".into(), num(self.slice_end)),
+                ]),
+            ),
+            (
+                "collapsed".into(),
+                Json::Arr(self.collapsed.iter().map(|&c| num(c as f64)).collect()),
+            ),
+            (
+                "forces".into(),
+                Json::Obj(vec![
+                    ("repulsion".into(), num(self.forces.0)),
+                    ("spring".into(), num(self.forces.1)),
+                    ("damping".into(), num(self.forces.2)),
+                ]),
+            ),
+            (
+                "scaling".into(),
+                Json::Obj(
+                    self.scaling.iter().map(|(g, f)| (g.clone(), num(*f))).collect(),
+                ),
+            ),
+            (
+                "nodes".into(),
+                Json::Arr(
+                    self.placements
+                        .iter()
+                        .map(|p| {
+                            Json::Obj(vec![
+                                ("c".into(), num(p.container as f64)),
+                                ("x".into(), num(p.x)),
+                                ("y".into(), num(p.y)),
+                                ("pin".into(), Json::Bool(p.pinned)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "quarantined".into(),
+                Json::Arr(
+                    self.quarantined
+                        .iter()
+                        .map(|&(c, m, n)| {
+                            Json::Arr(vec![num(c as f64), num(m as f64), num(n as f64)])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("ingest_dropped".into(), num(self.ingest_dropped as f64)),
+            ("trace_csv".into(), Json::Str(self.trace_csv.clone())),
+        ])
+    }
+
+    pub(crate) fn from_json(v: &Json) -> Result<SessionCheckpoint, DecodeError> {
+        let bad = |m: &str| DecodeError { message: m.to_owned() };
+        let uint = |v: &Json, k: &str| -> Result<u64, DecodeError> {
+            v.get(k)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| bad(&format!("missing or non-integer checkpoint field {k:?}")))
+        };
+        let num = |v: &Json, k: &str| -> Result<f64, DecodeError> {
+            v.get(k)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| bad(&format!("missing or non-numeric checkpoint field {k:?}")))
+        };
+        let text = |v: &Json, k: &str| -> Result<String, DecodeError> {
+            v.get(k)
+                .and_then(Json::as_str)
+                .map(str::to_owned)
+                .ok_or_else(|| bad(&format!("missing or non-string checkpoint field {k:?}")))
+        };
+
+        let slice = v.get("slice").ok_or_else(|| bad("missing checkpoint field \"slice\""))?;
+        let forces = v.get("forces").ok_or_else(|| bad("missing checkpoint field \"forces\""))?;
+        let collapsed = match v.get("collapsed") {
+            Some(Json::Arr(items)) => items
+                .iter()
+                .map(|i| i.as_u64().ok_or_else(|| bad("non-integer collapsed entry")))
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => return Err(bad("missing or non-array checkpoint field \"collapsed\"")),
+        };
+        let scaling = match v.get("scaling") {
+            Some(Json::Obj(members)) => members
+                .iter()
+                .map(|(g, f)| {
+                    f.as_f64()
+                        .map(|f| (g.clone(), f))
+                        .ok_or_else(|| bad("non-numeric scaling slider"))
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => return Err(bad("missing or non-object checkpoint field \"scaling\"")),
+        };
+        let placements = match v.get("nodes") {
+            Some(Json::Arr(items)) => items
+                .iter()
+                .map(|p| {
+                    Ok(NodePlacement {
+                        container: uint(p, "c")?,
+                        x: num(p, "x")?,
+                        y: num(p, "y")?,
+                        pinned: p
+                            .get("pin")
+                            .and_then(Json::as_bool)
+                            .ok_or_else(|| bad("missing or non-boolean placement \"pin\""))?,
+                    })
+                })
+                .collect::<Result<Vec<_>, DecodeError>>()?,
+            _ => return Err(bad("missing or non-array checkpoint field \"nodes\"")),
+        };
+        let quarantined = match v.get("quarantined") {
+            Some(Json::Arr(items)) => items
+                .iter()
+                .map(|e| match e {
+                    Json::Arr(t) if t.len() == 3 => {
+                        let g = |i: usize| {
+                            t[i].as_u64().ok_or_else(|| bad("non-integer quarantine entry"))
+                        };
+                        Ok((g(0)?, g(1)?, g(2)?))
+                    }
+                    _ => Err(bad("quarantine entry must be a [container, metric, count] triple")),
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => return Err(bad("missing or non-array checkpoint field \"quarantined\"")),
+        };
+
+        Ok(SessionCheckpoint {
+            version: uint(v, "version")?,
+            session: text(v, "session")?,
+            revision: uint(v, "revision")?,
+            slice_start: num(slice, "start")?,
+            slice_end: num(slice, "end")?,
+            collapsed,
+            forces: (num(forces, "repulsion")?, num(forces, "spring")?, num(forces, "damping")?),
+            scaling,
+            placements,
+            quarantined,
+            ingest_dropped: uint(v, "ingest_dropped")?,
+            trace_csv: text(v, "trace_csv")?,
+        })
+    }
+}
+
+/// The file name a session's checkpoint is written under inside the
+/// server's checkpoint directory, or `None` when the session name
+/// cannot be used as a path component safely (checkpoint names are
+/// analyst input; a name like `../x` must never escape the directory).
+pub fn checkpoint_file_name(session: &str) -> Option<String> {
+    if session.is_empty()
+        || session.len() > 128
+        || !session
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.'))
+        || session.starts_with('.')
+    {
+        return None;
+    }
+    Some(format!("{session}.ckpt.json"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use viva_trace::{ContainerKind, TraceBuilder};
+
+    fn sample_session() -> AnalysisSession {
+        let mut b = TraceBuilder::new();
+        let power = b.metric("power", "MFlop/s");
+        for cn in ["c1", "c2"] {
+            let cl = b.new_container(b.root(), cn, ContainerKind::Cluster).unwrap();
+            for i in 0..2 {
+                let h = b
+                    .new_container(cl, format!("{cn}-h{i}"), ContainerKind::Host)
+                    .unwrap();
+                b.set_variable(0.0, h, power, 100.0 + i as f64).unwrap();
+            }
+        }
+        AnalysisSession::builder(b.finish(10.0)).build()
+    }
+
+    #[test]
+    fn checkpoint_round_trips_through_json() {
+        let mut s = sample_session();
+        let c1 = s.trace().containers().by_name("c1").unwrap().id();
+        s.collapse(c1).unwrap();
+        s.relax(25);
+        s.try_set_time_slice(1.0, 7.0).unwrap();
+        s.scaling_mut().set_slider("power", 2.0);
+        let ckpt = SessionCheckpoint::capture("a", &s);
+        let line = ckpt.encode();
+        let back = SessionCheckpoint::decode(&line).unwrap();
+        assert_eq!(back, ckpt);
+        assert_eq!(back.encode(), line, "stable re-encode");
+    }
+
+    #[test]
+    fn restore_is_render_identical_and_a_fixed_point() {
+        let mut s = sample_session();
+        let c2 = s.trace().containers().by_name("c2").unwrap().id();
+        s.collapse(c2).unwrap();
+        s.relax(40);
+        let h = s.trace().containers().by_name("c1-h0").unwrap().id();
+        s.drag(h, viva_layout::Vec2::new(17.5, -3.25)).unwrap();
+        s.try_set_time_slice(2.0, 9.0).unwrap();
+
+        let ckpt = SessionCheckpoint::capture("a", &s);
+        let restored = ckpt
+            .restore(ResourceBudget::default(), Recorder::disabled())
+            .unwrap();
+        let vp = viva::Viewport::new(640.0, 480.0);
+        assert_eq!(restored.render(&vp), s.render(&vp), "render bytes must survive restore");
+        assert_eq!(restored.revision(), s.revision());
+        // Fixed point: checkpointing the restored session reproduces
+        // the original checkpoint byte for byte.
+        let again = SessionCheckpoint::capture("a", &restored);
+        assert_eq!(again.encode(), ckpt.encode());
+    }
+
+    #[test]
+    fn hostile_checkpoints_are_rejected_with_typed_errors() {
+        let s = sample_session();
+        let good = SessionCheckpoint::capture("a", &s);
+        let budget = ResourceBudget::default;
+
+        let mut wrong_version = good.clone();
+        wrong_version.version = 99;
+        assert!(matches!(
+            wrong_version.restore(budget(), Recorder::disabled()),
+            Err(RestoreError::Version { found: 99 })
+        ));
+
+        let mut bad_trace = good.clone();
+        bad_trace.trace_csv = "not a trace".into();
+        assert!(matches!(
+            bad_trace.restore(budget(), Recorder::disabled()),
+            Err(RestoreError::Trace(_))
+        ));
+
+        let mut bad_collapse = good.clone();
+        bad_collapse.collapsed = vec![999];
+        assert!(matches!(
+            bad_collapse.restore(budget(), Recorder::disabled()),
+            Err(RestoreError::State(_))
+        ));
+
+        let mut bad_place = good.clone();
+        bad_place.placements[0].x = f64::NAN;
+        assert!(matches!(
+            bad_place.restore(budget(), Recorder::disabled()),
+            Err(RestoreError::State(_))
+        ));
+
+        let mut bad_slider = good.clone();
+        bad_slider.scaling = vec![("power".into(), -1.0)];
+        assert!(matches!(
+            bad_slider.restore(budget(), Recorder::disabled()),
+            Err(RestoreError::State(_))
+        ));
+    }
+
+    #[test]
+    fn checkpoint_file_names_are_path_safe() {
+        assert_eq!(checkpoint_file_name("demo"), Some("demo.ckpt.json".into()));
+        assert_eq!(checkpoint_file_name("a-b_c.1"), Some("a-b_c.1.ckpt.json".into()));
+        for bad in ["", "../x", "a/b", "a\\b", ".hidden", "a b", "a\nb", &"x".repeat(200)] {
+            assert_eq!(checkpoint_file_name(bad), None, "{bad:?}");
+        }
+    }
+}

@@ -27,7 +27,12 @@
 //!   without re-aggregating, repeat renders are free.
 //! * [`server`] — [`Server`]: the transport-agnostic
 //!   request loop, served over stdio (single analyst) or a
-//!   `TcpListener` with a thread-per-connection worker pool.
+//!   `TcpListener` with a thread-per-connection worker pool — behind
+//!   admission control, per-command deadlines, and a graceful drain
+//!   (DESIGN.md §14).
+//! * [`checkpoint`] — [`SessionCheckpoint`]:
+//!   deterministic, versioned snapshots of per-session view state;
+//!   a restored session renders byte-identically to the live one.
 //!
 //! ## Determinism
 //!
@@ -49,15 +54,17 @@
 //! ```
 
 pub mod cache;
+pub mod checkpoint;
 pub mod json;
 pub mod protocol;
 pub mod registry;
 pub mod server;
 
 pub use cache::{FrameCache, FrameKey};
+pub use checkpoint::{NodePlacement, RestoreError, SessionCheckpoint, CHECKPOINT_VERSION};
 pub use json::{Json, JsonError};
 pub use protocol::{
-    Command, DecodeError, ErrorKind, Response, SessionStats, StatsBlock, StatsEvent,
+    Command, CommandClass, DecodeError, ErrorKind, Response, SessionStats, StatsBlock, StatsEvent,
 };
-pub use registry::{ServerLimits, ServerSession, SessionRegistry};
+pub use registry::{DeadlineBudgets, ServerLimits, ServerSession, SessionRegistry, SessionSlot};
 pub use server::{serve_tcp, Server};

@@ -20,6 +20,7 @@ use std::str::FromStr;
 use viva::Theme;
 use viva_trace::RecoveryMode;
 
+use crate::checkpoint::SessionCheckpoint;
 use crate::json::Json;
 
 /// A request from the analyst's client to the server.
@@ -163,6 +164,48 @@ pub enum Command {
         /// Draw node labels.
         labels: bool,
     },
+    /// Snapshots a session's view state into a [`SessionCheckpoint`]
+    /// and returns it (also writing it to the server's checkpoint
+    /// directory when one is configured). Pure read — the session is
+    /// not perturbed.
+    Checkpoint {
+        /// Session name.
+        session: String,
+    },
+    /// Rebuilds a session from a checkpoint: the one supplied inline
+    /// in `state`, or — when `state` is absent — the one previously
+    /// written to the server's checkpoint directory under this
+    /// session's name. Replaces any live session of the same name.
+    Restore {
+        /// Session to (re)create.
+        session: String,
+        /// Inline checkpoint; `None` reads the checkpoint directory.
+        state: Option<Box<SessionCheckpoint>>,
+    },
+    /// Starts a graceful drain: every live session is checkpointed (to
+    /// the checkpoint directory when configured), new connections and
+    /// state-changing commands are refused with `overloaded`, in-flight
+    /// commands finish, and the accept loops exit.
+    Shutdown,
+}
+
+/// Deadline classes: commands with similar cost share one budget (a
+/// render is allowed far more time than flipping the time slice).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommandClass {
+    /// Constant-time bookkeeping: ping, session listing, stats, close,
+    /// shutdown.
+    Control,
+    /// Interactive view mutations and queries: slice, collapse, forces,
+    /// scaling, drag, aggregate.
+    Interact,
+    /// Trace ingestion: load, checkpoint, restore (all touch the whole
+    /// trace).
+    Load,
+    /// Layout iteration batches.
+    Relax,
+    /// Frame rendering.
+    Render,
 }
 
 /// Why a command was rejected. The variant is the wire-visible `err`
@@ -199,6 +242,21 @@ pub enum ErrorKind {
     /// A strict-mode trace upload exhausted the server's resource
     /// budget.
     BudgetExceeded,
+    /// The server shed this command instead of queueing it: admission
+    /// control (too many in-flight commands or too many waiters on the
+    /// session) or a drain in progress. The work was **not** started;
+    /// retry after the hinted delay.
+    Overloaded {
+        /// Client back-off hint, milliseconds.
+        retry_after_ms: u64,
+    },
+    /// The command exceeded its deadline budget and was abandoned; the
+    /// session is at its last consistent revision.
+    DeadlineExceeded,
+    /// A `restore` was given a checkpoint the server cannot honor
+    /// (unsupported version, rejected trace, state that does not fit
+    /// the trace, or no stored checkpoint for the session).
+    BadCheckpoint,
 }
 
 impl ErrorKind {
@@ -218,6 +276,9 @@ impl ErrorKind {
             ErrorKind::BadArgument => "bad_argument",
             ErrorKind::ParseTrace => "parse_trace",
             ErrorKind::BudgetExceeded => "budget_exceeded",
+            ErrorKind::Overloaded { .. } => "overloaded",
+            ErrorKind::DeadlineExceeded => "deadline_exceeded",
+            ErrorKind::BadCheckpoint => "bad_checkpoint",
         }
     }
 
@@ -237,6 +298,11 @@ impl ErrorKind {
             "bad_argument" => BadArgument,
             "parse_trace" => ParseTrace,
             "budget_exceeded" => BudgetExceeded,
+            // The hint rides in a separate response member;
+            // `Response::decode` fills it in.
+            "overloaded" => Overloaded { retry_after_ms: 0 },
+            "deadline_exceeded" => DeadlineExceeded,
+            "bad_checkpoint" => BadCheckpoint,
             _ => return None,
         })
     }
@@ -550,6 +616,28 @@ pub enum Response {
         /// The SVG document.
         svg: String,
     },
+    /// A session's checkpoint, after [`Command::Checkpoint`]. Boxed:
+    /// the checkpoint embeds the whole trace.
+    Checkpointed {
+        /// The checkpointed session's name.
+        session: String,
+        /// The snapshot.
+        state: Box<SessionCheckpoint>,
+    },
+    /// A session was rebuilt from a checkpoint.
+    Restored {
+        /// The restored session's name.
+        session: String,
+        /// The session's view revision (as captured).
+        revision: u64,
+    },
+    /// A graceful drain started (or was already in progress).
+    ShutdownStarted {
+        /// Sessions live at drain time.
+        sessions: u64,
+        /// Sessions checkpointed to the checkpoint directory.
+        checkpointed: u64,
+    },
     /// The command failed; the session (if any) is unchanged.
     Error {
         /// Machine-readable failure kind.
@@ -654,6 +742,35 @@ impl Command {
             Command::Aggregate { .. } => "aggregate",
             Command::Stats { .. } => "stats",
             Command::Render { .. } => "render",
+            Command::Checkpoint { .. } => "checkpoint",
+            Command::Restore { .. } => "restore",
+            Command::Shutdown => "shutdown",
+        }
+    }
+
+    /// The deadline class this command is billed under.
+    pub fn class(&self) -> CommandClass {
+        match self {
+            Command::Ping
+            | Command::Sessions
+            | Command::CloseSession { .. }
+            | Command::Stats { .. }
+            | Command::Shutdown => CommandClass::Control,
+            Command::SetTimeSlice { .. }
+            | Command::Collapse { .. }
+            | Command::Expand { .. }
+            | Command::CollapseAtDepth { .. }
+            | Command::ExpandAll { .. }
+            | Command::SetForces { .. }
+            | Command::SetScaling { .. }
+            | Command::Drag { .. }
+            | Command::Release { .. }
+            | Command::Aggregate { .. } => CommandClass::Interact,
+            Command::LoadTrace { .. }
+            | Command::Checkpoint { .. }
+            | Command::Restore { .. } => CommandClass::Load,
+            Command::Relax { .. } => CommandClass::Relax,
+            Command::Render { .. } => CommandClass::Render,
         }
     }
 
@@ -753,6 +870,17 @@ impl Command {
                 ("theme", Json::Str(theme.to_string())),
                 ("labels", Json::Bool(*labels)),
             ]),
+            Command::Checkpoint { session } => {
+                obj(vec![("cmd", name), ("session", Json::Str(session.clone()))])
+            }
+            Command::Restore { session, state } => {
+                let mut members = vec![("cmd", name), ("session", Json::Str(session.clone()))];
+                if let Some(s) = state {
+                    members.push(("state", s.to_json()));
+                }
+                obj(members)
+            }
+            Command::Shutdown => obj(vec![("cmd", name)]),
         }
     }
 
@@ -841,6 +969,15 @@ impl Command {
                         .unwrap_or(false),
                 }
             }
+            "checkpoint" => Command::Checkpoint { session: session()? },
+            "restore" => Command::Restore {
+                session: session()?,
+                state: match v.get("state") {
+                    None | Some(Json::Null) => None,
+                    Some(s) => Some(Box::new(SessionCheckpoint::from_json(s)?)),
+                },
+            },
+            "shutdown" => Command::Shutdown,
             other => return Err(bad(format!("unknown command {other:?}"))),
         })
     }
@@ -953,10 +1090,31 @@ impl Response {
                 ("cached", Json::Bool(*cached)),
                 ("svg", Json::Str(svg.clone())),
             ]),
-            Response::Error { kind, message } => obj(vec![
-                ("err", Json::Str(kind.token().to_owned())),
-                ("message", Json::Str(message.clone())),
+            Response::Checkpointed { session, state } => obj(vec![
+                ("ok", Json::Str("checkpoint".into())),
+                ("session", Json::Str(session.clone())),
+                ("state", state.to_json()),
             ]),
+            Response::Restored { session, revision } => obj(vec![
+                ("ok", Json::Str("restored".into())),
+                ("session", Json::Str(session.clone())),
+                ("revision", Json::Num(*revision as f64)),
+            ]),
+            Response::ShutdownStarted { sessions, checkpointed } => obj(vec![
+                ("ok", Json::Str("shutdown".into())),
+                ("sessions", Json::Num(*sessions as f64)),
+                ("checkpointed", Json::Num(*checkpointed as f64)),
+            ]),
+            Response::Error { kind, message } => {
+                let mut members = vec![
+                    ("err", Json::Str(kind.token().to_owned())),
+                    ("message", Json::Str(message.clone())),
+                ];
+                if let ErrorKind::Overloaded { retry_after_ms } = kind {
+                    members.push(("retry_after_ms", Json::Num(*retry_after_ms as f64)));
+                }
+                obj(members)
+            }
         }
     }
 
@@ -966,8 +1124,11 @@ impl Response {
         let v = Json::parse(line).map_err(|e| bad(format!("invalid JSON: {e}")))?;
         if let Some(err) = v.get("err") {
             let token = err.as_str().ok_or_else(|| bad("non-string \"err\""))?;
-            let kind = ErrorKind::from_token(token)
+            let mut kind = ErrorKind::from_token(token)
                 .ok_or_else(|| bad(format!("unknown error kind {token:?}")))?;
+            if matches!(kind, ErrorKind::Overloaded { .. }) {
+                kind = ErrorKind::Overloaded { retry_after_ms: uint_field(&v, "retry_after_ms")? };
+            }
             return Ok(Response::Error { kind, message: str_field(&v, "message")? });
         }
         let ok = str_field(&v, "ok")?;
@@ -1040,6 +1201,20 @@ impl Response {
                     .ok_or_else(|| bad("missing or non-boolean field \"cached\""))?,
                 svg: str_field(&v, "svg")?,
             },
+            "checkpoint" => Response::Checkpointed {
+                session: str_field(&v, "session")?,
+                state: Box::new(SessionCheckpoint::from_json(
+                    v.get("state").ok_or_else(|| bad("missing field \"state\""))?,
+                )?),
+            },
+            "restored" => Response::Restored {
+                session: str_field(&v, "session")?,
+                revision: uint_field(&v, "revision")?,
+            },
+            "shutdown" => Response::ShutdownStarted {
+                sessions: uint_field(&v, "sessions")?,
+                checkpointed: uint_field(&v, "checkpointed")?,
+            },
             other => return Err(bad(format!("unknown response kind {other:?}"))),
         })
     }
@@ -1048,6 +1223,24 @@ impl Response {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::checkpoint::{NodePlacement, CHECKPOINT_VERSION};
+
+    fn tiny_checkpoint() -> SessionCheckpoint {
+        SessionCheckpoint {
+            version: CHECKPOINT_VERSION,
+            session: "s".into(),
+            revision: 3,
+            slice_start: 0.5,
+            slice_end: 9.25,
+            collapsed: vec![1, 4],
+            forces: (100.0, 2.0, 0.6),
+            scaling: vec![("power".into(), 2.0)],
+            placements: vec![NodePlacement { container: 2, x: -1.5, y: 3.25, pinned: true }],
+            quarantined: vec![(2, 0, 7)],
+            ingest_dropped: 1,
+            trace_csv: "span,0,10\n".into(),
+        }
+    }
 
     #[test]
     fn command_encoding_is_stable() {
@@ -1098,6 +1291,10 @@ mod tests {
             },
             Command::Stats { session: None },
             Command::Stats { session: Some("s".into()) },
+            Command::Checkpoint { session: "s".into() },
+            Command::Restore { session: "s".into(), state: None },
+            Command::Restore { session: "s".into(), state: Some(Box::new(tiny_checkpoint())) },
+            Command::Shutdown,
         ];
         for cmd in cmds {
             let line = cmd.encode();
@@ -1178,7 +1375,16 @@ mod tests {
                     },
                 })),
             },
+            Response::Checkpointed { session: "a".into(), state: Box::new(tiny_checkpoint()) },
+            Response::Restored { session: "a".into(), revision: 3 },
+            Response::ShutdownStarted { sessions: 2, checkpointed: 2 },
             Response::Error { kind: ErrorKind::NoSession, message: "session \"x\"".into() },
+            Response::Error {
+                kind: ErrorKind::Overloaded { retry_after_ms: 50 },
+                message: "64 commands in flight".into(),
+            },
+            Response::Error { kind: ErrorKind::DeadlineExceeded, message: "render".into() },
+            Response::Error { kind: ErrorKind::BadCheckpoint, message: "version 9".into() },
         ];
         for r in responses {
             let line = r.encode();

@@ -15,12 +15,60 @@
 //! protocol-visible behaviour.
 
 use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::AtomicUsize;
 use std::sync::{Arc, Mutex, MutexGuard};
 
 use viva::AnalysisSession;
 use viva_trace::ResourceBudget;
 
 use crate::cache::FrameCache;
+use crate::protocol::CommandClass;
+
+/// Per-class deadline budgets, milliseconds. `None` disables the
+/// deadline for that class — and with every class disabled (the
+/// default) the command path never reads the wall clock, which is what
+/// keeps golden transcripts reproducible. `Some(0)` is a budget that
+/// is *always* already exhausted (also without reading the clock),
+/// which is how tests exercise the breach path deterministically.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeadlineBudgets {
+    /// Budget for [`CommandClass::Control`] commands.
+    pub control_ms: Option<u64>,
+    /// Budget for [`CommandClass::Interact`] commands.
+    pub interact_ms: Option<u64>,
+    /// Budget for [`CommandClass::Load`] commands.
+    pub load_ms: Option<u64>,
+    /// Budget for [`CommandClass::Relax`] commands.
+    pub relax_ms: Option<u64>,
+    /// Budget for [`CommandClass::Render`] commands.
+    pub render_ms: Option<u64>,
+}
+
+impl DeadlineBudgets {
+    /// Budgets tuned for interactive serving: cheap bookkeeping answers
+    /// fast or not at all, loads get seconds, renders get a couple.
+    pub fn interactive() -> DeadlineBudgets {
+        DeadlineBudgets {
+            control_ms: Some(50),
+            interact_ms: Some(100),
+            load_ms: Some(10_000),
+            relax_ms: Some(1_000),
+            render_ms: Some(2_000),
+        }
+    }
+
+    /// The budget billed against `class`.
+    pub fn budget_for(self, class: CommandClass) -> Option<u64> {
+        match class {
+            CommandClass::Control => self.control_ms,
+            CommandClass::Interact => self.interact_ms,
+            CommandClass::Load => self.load_ms,
+            CommandClass::Relax => self.relax_ms,
+            CommandClass::Render => self.render_ms,
+        }
+    }
+}
 
 /// Hard ceilings a server instance enforces; the serving analogue of
 /// [`ResourceBudget`]. Defaults are sized for an interactive
@@ -37,8 +85,32 @@ pub struct ServerLimits {
     pub max_line_bytes: usize,
     /// Frames each session's cache retains.
     pub frame_cache_frames: usize,
-    /// Ingestion budget applied to every `load_trace`.
+    /// Ingestion budget applied to every `load_trace` (and to the
+    /// trace embedded in a `restore` checkpoint).
     pub load_budget: ResourceBudget,
+    /// Commands allowed in flight across the whole server before
+    /// admission control sheds with `overloaded`. Shedding is
+    /// deterministic — over the limit the command is refused before
+    /// any work starts; nothing queues.
+    pub max_inflight_commands: usize,
+    /// Connections allowed to *wait* on one session's lock (the
+    /// holder is not counted). Beyond this the command is shed —
+    /// a convoy on a hot session must not absorb every worker thread.
+    pub max_session_waiters: usize,
+    /// Back-off hint carried by `overloaded` responses, milliseconds.
+    pub overload_retry_after_ms: u64,
+    /// Per-class command deadlines. All `None` by default: deadlines
+    /// are opt-in because enforcing them reads the wall clock.
+    pub deadlines: DeadlineBudgets,
+    /// Read/write timeout on TCP connections, milliseconds (`None`
+    /// disables). A peer that trickles bytes or stops reading holds a
+    /// worker thread; this bounds for how long (slow-loris defense).
+    pub io_timeout_ms: Option<u64>,
+    /// Directory session checkpoints are written to (on `checkpoint`,
+    /// on LRU eviction, and on drain) and read from by `restore`
+    /// without an inline state. `None` disables persistence;
+    /// `checkpoint`/`restore` still work inline.
+    pub checkpoint_dir: Option<PathBuf>,
 }
 
 impl Default for ServerLimits {
@@ -57,6 +129,12 @@ impl Default for ServerLimits {
                 max_memory_bytes: 512 << 20,
                 max_diagnostics: 64,
             },
+            max_inflight_commands: 64,
+            max_session_waiters: 4,
+            overload_retry_after_ms: 50,
+            deadlines: DeadlineBudgets::default(),
+            io_timeout_ms: Some(30_000),
+            checkpoint_dir: None,
         }
     }
 }
@@ -70,9 +148,47 @@ pub struct ServerSession {
     pub frames: FrameCache,
 }
 
+/// A registry slot: the session behind its per-session lock, plus a
+/// count of connections currently *waiting* for that lock. The count
+/// is what lets admission control bound the convoy on a hot session
+/// ([`ServerLimits::max_session_waiters`]) instead of letting every
+/// worker thread pile up behind one slow command.
+#[derive(Debug)]
+pub struct SessionSlot {
+    lock: Mutex<ServerSession>,
+    waiters: AtomicUsize,
+}
+
+impl SessionSlot {
+    fn new(session: ServerSession) -> SessionSlot {
+        SessionSlot { lock: Mutex::new(session), waiters: AtomicUsize::new(0) }
+    }
+
+    /// Tries to take the session lock without blocking, recovering
+    /// from poisoning.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, ServerSession>> {
+        match self.lock.try_lock() {
+            Ok(g) => Some(g),
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Blocks for the session lock, recovering from poisoning.
+    pub fn lock(&self) -> MutexGuard<'_, ServerSession> {
+        relock(&self.lock)
+    }
+
+    /// Connections currently blocked on [`SessionSlot::lock`] via the
+    /// counted path.
+    pub(crate) fn waiters(&self) -> &AtomicUsize {
+        &self.waiters
+    }
+}
+
 #[derive(Debug, Default)]
 struct RegistryInner {
-    sessions: HashMap<String, Arc<Mutex<ServerSession>>>,
+    sessions: HashMap<String, Arc<SessionSlot>>,
     /// name → last-touched logical tick (LRU order).
     last_used: HashMap<String, u64>,
     clock: u64,
@@ -106,13 +222,14 @@ impl SessionRegistry {
 
     /// Creates (or replaces) the session `name`, evicting the least
     /// recently used session if the registry is full. Returns the
-    /// names of evicted sessions (deterministic for a given command
-    /// history).
-    pub fn create(&self, name: &str, session: AnalysisSession) -> Vec<String> {
+    /// evicted sessions as `(name, slot)` pairs, name-sorted and
+    /// deterministic for a given command history — the caller owns
+    /// the victims' last handles and can checkpoint them before drop.
+    pub fn create(&self, name: &str, session: AnalysisSession) -> Vec<(String, Arc<SessionSlot>)> {
         let mut inner = relock(&self.inner);
         inner.clock += 1;
         let tick = inner.clock;
-        let entry = Arc::new(Mutex::new(ServerSession {
+        let entry = Arc::new(SessionSlot::new(ServerSession {
             analysis: session,
             frames: FrameCache::new(self.limits.frame_cache_frames),
         }));
@@ -129,17 +246,17 @@ impl SessionRegistry {
                 .min_by_key(|(_, &t)| t)
                 .map(|(n, _)| n.clone())
                 .expect("non-empty registry");
-            inner.sessions.remove(&victim);
+            let slot = inner.sessions.remove(&victim).expect("victim is live");
             inner.last_used.remove(&victim);
-            evicted.push(victim);
+            evicted.push((victim, slot));
         }
-        evicted.sort();
+        evicted.sort_by(|a, b| a.0.cmp(&b.0));
         evicted
     }
 
     /// Fetches a session by name, refreshing its LRU recency. The
-    /// returned handle is locked per command by the caller.
-    pub fn get(&self, name: &str) -> Option<Arc<Mutex<ServerSession>>> {
+    /// returned slot is locked per command by the caller.
+    pub fn get(&self, name: &str) -> Option<Arc<SessionSlot>> {
         let mut inner = relock(&self.inner);
         inner.clock += 1;
         let tick = inner.clock;
@@ -155,7 +272,7 @@ impl SessionRegistry {
     /// so reading a session's stats never changes which session a
     /// later `create` evicts — the observer must not disturb the
     /// observed.
-    pub fn peek(&self, name: &str) -> Option<Arc<Mutex<ServerSession>>> {
+    pub fn peek(&self, name: &str) -> Option<Arc<SessionSlot>> {
         relock(&self.inner).sessions.get(name).cloned()
     }
 
@@ -186,10 +303,8 @@ impl SessionRegistry {
 
     /// Locks `name`'s session for one command, recovering from
     /// poisoning (a panicking handler must not wedge the session).
-    pub fn lock_session<'a>(
-        session: &'a Arc<Mutex<ServerSession>>,
-    ) -> MutexGuard<'a, ServerSession> {
-        relock(session)
+    pub fn lock_session<'a>(session: &'a Arc<SessionSlot>) -> MutexGuard<'a, ServerSession> {
+        session.lock()
     }
 }
 
@@ -231,7 +346,10 @@ mod tests {
         // Touch "a" so "b" becomes the LRU victim.
         assert!(r.get("a").is_some());
         let evicted = r.create("c", tiny_session());
-        assert_eq!(evicted, vec!["b".to_owned()]);
+        assert_eq!(evicted.len(), 1);
+        assert_eq!(evicted[0].0, "b");
+        // The evicted slot is handed back alive for checkpointing.
+        assert_eq!(evicted[0].1.lock().analysis.revision(), 0);
         assert_eq!(r.names(), vec!["a".to_owned(), "c".to_owned()]);
         assert!(r.get("b").is_none(), "evicted session is gone");
     }
@@ -244,7 +362,7 @@ mod tests {
         assert!(r.peek("a").is_some());
         assert!(r.peek("nope").is_none());
         // Despite the peek, "a" is still the LRU victim.
-        assert_eq!(r.create("c", tiny_session()), vec!["a".to_owned()]);
+        assert_eq!(r.create("c", tiny_session())[0].0, "a");
     }
 
     #[test]
@@ -260,7 +378,18 @@ mod tests {
     fn capacity_one_always_keeps_the_newest() {
         let r = registry(1);
         assert!(r.create("a", tiny_session()).is_empty());
-        assert_eq!(r.create("b", tiny_session()), vec!["a".to_owned()]);
+        assert_eq!(r.create("b", tiny_session())[0].0, "a");
         assert_eq!(r.names(), vec!["b".to_owned()]);
+    }
+
+    #[test]
+    fn slot_try_lock_reports_contention() {
+        let r = registry(2);
+        r.create("a", tiny_session());
+        let slot = r.get("a").unwrap();
+        let held = slot.try_lock().unwrap();
+        assert!(slot.try_lock().is_none(), "second try_lock must not succeed");
+        drop(held);
+        assert!(slot.try_lock().is_some());
     }
 }

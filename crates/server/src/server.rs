@@ -8,25 +8,58 @@
 //!   single-analyst mode, and the per-connection loop of TCP;
 //! * [`serve_tcp`] accepts on a `std::net::TcpListener` from a fixed
 //!   pool of worker threads (thread-per-connection, no external
-//!   dependencies): each worker blocks in `accept`, serves its
-//!   connection to EOF, then returns to accepting.
+//!   dependencies): each worker polls `accept`, serves its connection
+//!   to EOF, then returns to accepting — until a drain is started.
 //!
 //! Responses are deterministic: a fresh server given the same command
 //! script produces byte-identical output, including the `cached`
 //! flags of frame responses (the caches run on logical clocks).
+//!
+//! # Resilience
+//!
+//! The serving layer is **crash-only** (DESIGN.md §14): it prefers a
+//! deterministic refusal now over an unbounded queue later, and it can
+//! rebuild any session from a checkpoint.
+//!
+//! * **Admission control** — at most
+//!   [`ServerLimits::max_inflight_commands`] commands run at once and
+//!   at most [`ServerLimits::max_session_waiters`] connections wait on
+//!   one session's lock; beyond either, commands are *shed* with the
+//!   typed `overloaded` error (and a `retry_after_ms` hint) before any
+//!   work starts.
+//! * **Deadlines** — each command class can carry a wall-clock budget
+//!   ([`crate::registry::DeadlineBudgets`], opt-in); a breach returns
+//!   the typed `deadline_exceeded` error and leaves the session at its
+//!   last consistent revision.
+//! * **Checkpoint/restore** — `checkpoint` snapshots a session
+//!   ([`SessionCheckpoint`]); `restore` rebuilds one with
+//!   byte-identical renders. LRU victims and drains are checkpointed
+//!   to [`ServerLimits::checkpoint_dir`] when configured.
+//! * **Drain** — `shutdown` checkpoints live sessions, refuses new
+//!   connections and state-changing commands with `overloaded`, lets
+//!   in-flight commands finish, and winds the accept loops down.
 
+use std::fs;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, MutexGuard};
 use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
 
 use viva::{AnalysisSession, SessionError, Viewport};
 use viva_layout::Vec2;
 use viva_obs::Recorder;
 use viva_trace::{ContainerId, TraceError, TraceLoader};
 
+use crate::checkpoint::{checkpoint_file_name, SessionCheckpoint};
 use crate::protocol::{Command, ErrorKind, Response, SessionStats, StatsBlock};
-use crate::registry::{ServerLimits, ServerSession, SessionRegistry};
+use crate::registry::{ServerLimits, ServerSession, SessionRegistry, SessionSlot};
+
+/// Layout iterations run between deadline checks when a `relax` budget
+/// is configured. Small enough to bound overshoot, large enough that
+/// the `Instant` read stays off the per-step hot path.
+const RELAX_DEADLINE_CHUNK: usize = 64;
 
 /// A protocol server over a session registry. Cheap to share:
 /// transports hold it behind an [`Arc`].
@@ -42,6 +75,51 @@ use crate::registry::{ServerLimits, ServerSession, SessionRegistry};
 pub struct Server {
     registry: SessionRegistry,
     recorder: Recorder,
+    /// Commands currently executing (admission-control gauge).
+    inflight: AtomicUsize,
+    /// Set once by `shutdown`; never cleared. Everything that checks it
+    /// degrades to refusal, so a draining server quiesces instead of
+    /// wedging.
+    draining: AtomicBool,
+}
+
+/// One command's wall-clock budget. With no budget the deadline never
+/// reads the clock and never expires — the default configuration stays
+/// wall-clock-free, which is what keeps golden transcripts exact. A
+/// zero budget is expired *a priori* (also without a clock read), the
+/// deterministic breach tests rely on.
+struct Deadline {
+    budget_ms: Option<u64>,
+    started: Option<Instant>,
+}
+
+impl Deadline {
+    fn start(budget_ms: Option<u64>) -> Deadline {
+        let started = match budget_ms {
+            Some(ms) if ms > 0 => Some(Instant::now()),
+            _ => None,
+        };
+        Deadline { budget_ms, started }
+    }
+
+    fn expired(&self) -> bool {
+        match (self.budget_ms, self.started) {
+            (None, _) => false,
+            (Some(0), _) => true,
+            (Some(ms), Some(t0)) => t0.elapsed() >= Duration::from_millis(ms),
+            (Some(_), None) => true,
+        }
+    }
+}
+
+/// RAII admission permit: holds one in-flight slot for the duration of
+/// a command, released even when the handler panics.
+struct InflightPermit<'a>(&'a AtomicUsize);
+
+impl Drop for InflightPermit<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
 }
 
 fn err(kind: ErrorKind, message: impl Into<String>) -> Response {
@@ -76,7 +154,12 @@ fn container_id(s: &ServerSession, name: &str) -> Result<ContainerId, Response> 
 impl Server {
     /// A server with the given limits, no sessions, and metrics off.
     pub fn new(limits: ServerLimits) -> Server {
-        Server { registry: SessionRegistry::new(limits), recorder: Recorder::disabled() }
+        Server {
+            registry: SessionRegistry::new(limits),
+            recorder: Recorder::disabled(),
+            inflight: AtomicUsize::new(0),
+            draining: AtomicBool::new(false),
+        }
     }
 
     /// A server with observability on: server-scope command metrics,
@@ -85,7 +168,12 @@ impl Server {
     /// except through the `stats` command's deterministic subset, so
     /// transcripts stay byte-identical to a metrics-off server's.
     pub fn with_metrics(limits: ServerLimits) -> Server {
-        Server { registry: SessionRegistry::new(limits), recorder: Recorder::enabled() }
+        Server {
+            registry: SessionRegistry::new(limits),
+            recorder: Recorder::enabled(),
+            inflight: AtomicUsize::new(0),
+            draining: AtomicBool::new(false),
+        }
     }
 
     /// The underlying registry (tests and embedding).
@@ -97,6 +185,77 @@ impl Server {
     /// [`Server::with_metrics`]).
     pub fn recorder(&self) -> &Recorder {
         &self.recorder
+    }
+
+    /// Whether a graceful drain has started ([`Command::Shutdown`]).
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Bumps a server-scope counter when metrics are on.
+    fn note(&self, counter: &str) {
+        if self.recorder.is_enabled() {
+            self.recorder.counter(counter).inc();
+        }
+    }
+
+    /// The typed shed response: `overloaded` + back-off hint. Counted
+    /// under `server.shed`; the work was never started.
+    fn shed(&self, message: impl Into<String>) -> Response {
+        self.note("server.shed");
+        err(
+            ErrorKind::Overloaded {
+                retry_after_ms: self.registry.limits().overload_retry_after_ms,
+            },
+            message,
+        )
+    }
+
+    /// The typed deadline-breach response. Counted under
+    /// `server.deadline_exceeded`.
+    fn deadline_exceeded(&self, what: &str, detail: &str) -> Response {
+        self.note("server.deadline_exceeded");
+        if self.recorder.is_enabled() {
+            self.recorder.event("server.deadline_exceeded", what);
+        }
+        err(ErrorKind::DeadlineExceeded, format!("{what} exceeded its deadline budget: {detail}"))
+    }
+
+    /// The global admission gate: reserves one in-flight slot or sheds.
+    fn admit(&self) -> Result<InflightPermit<'_>, Response> {
+        let max = self.registry.limits().max_inflight_commands;
+        let prev = self.inflight.fetch_add(1, Ordering::SeqCst);
+        if prev >= max {
+            self.inflight.fetch_sub(1, Ordering::SeqCst);
+            return Err(self.shed(format!(
+                "{prev} commands already in flight (limit {max}); retry later"
+            )));
+        }
+        Ok(InflightPermit(&self.inflight))
+    }
+
+    /// The per-session admission gate: takes the session lock, but
+    /// refuses to become more than the `max_session_waiters`-th waiter
+    /// — a convoy behind one slow command on a hot session must not
+    /// absorb every worker thread.
+    fn lock_admitted<'a>(
+        &self,
+        slot: &'a Arc<SessionSlot>,
+    ) -> Result<MutexGuard<'a, ServerSession>, Response> {
+        if let Some(g) = slot.try_lock() {
+            return Ok(g);
+        }
+        let max = self.registry.limits().max_session_waiters;
+        let prev = slot.waiters().fetch_add(1, Ordering::SeqCst);
+        if prev >= max {
+            slot.waiters().fetch_sub(1, Ordering::SeqCst);
+            return Err(self.shed(format!(
+                "session busy with {prev} commands already waiting (limit {max}); retry later"
+            )));
+        }
+        let g = slot.lock();
+        slot.waiters().fetch_sub(1, Ordering::SeqCst);
+        Ok(g)
     }
 
     /// Handles one raw request line. Returns `None` for blank lines
@@ -120,8 +279,17 @@ impl Server {
                 .encode(),
             );
         }
-        let response = match Command::decode(trimmed) {
-            Ok(cmd) => self.execute(cmd),
+        let encoded = match Command::decode(trimmed) {
+            Ok(cmd) => {
+                // Encode while the admission permit is still held:
+                // serializing a megabyte frame is real CPU, and work
+                // the gate does not cover would overlap admitted
+                // commands and erode their latency under overload.
+                let (response, permit) = self.execute_gated(cmd);
+                let encoded = response.encode();
+                drop(permit);
+                encoded
+            }
             Err(e) => {
                 let kind = if e.message.starts_with("unknown command") {
                     ErrorKind::UnknownCommand
@@ -130,25 +298,59 @@ impl Server {
                 } else {
                     ErrorKind::Protocol
                 };
-                err(kind, e.message)
+                err(kind, e.message).encode()
             }
         };
-        Some(response.encode())
+        Some(encoded)
     }
 
-    /// Executes one decoded command, tallying per-command counters and
-    /// latency histograms when metrics are on (the span's wall-clock
-    /// duration stays in the recorder — it never reaches a response).
+    /// Executes one decoded command behind the resilience gates:
+    /// drain refusal, then global admission, then the per-command
+    /// deadline. Per-command counters and latency histograms are
+    /// tallied when metrics are on (the span's wall-clock duration
+    /// stays in the recorder — it never reaches a response). Shed
+    /// commands are counted under `server.shed` only: no work of
+    /// theirs ever started.
     pub fn execute(&self, cmd: Command) -> Response {
+        self.execute_gated(cmd).0
+    }
+
+    /// [`Server::execute`], but the admission permit (when one was
+    /// granted) is returned alive so [`Server::handle_line`] can keep
+    /// the gate closed while it encodes the response.
+    fn execute_gated(&self, cmd: Command) -> (Response, Option<InflightPermit<'_>>) {
+        if self.is_draining() && !drain_exempt(&cmd) {
+            let resp = self.shed(format!(
+                "server is draining; command \"{}\" refused",
+                cmd.name()
+            ));
+            return (resp, None);
+        }
+        // `shutdown` bypasses admission: a drain must be possible on an
+        // overloaded server — that is when it is most needed.
+        let permit = if matches!(cmd, Command::Shutdown) {
+            None
+        } else {
+            match self.admit() {
+                Ok(p) => Some(p),
+                Err(resp) => return (resp, None),
+            }
+        };
         let _span = self.recorder.is_enabled().then(|| {
             let name = cmd.name();
             self.recorder.counter(&format!("server.cmd.{name}")).inc();
             self.recorder.span(&format!("server.cmd.{name}.seconds"))
         });
-        self.dispatch(cmd)
+        let deadline = Deadline::start(self.registry.limits().deadlines.budget_for(cmd.class()));
+        if deadline.expired() {
+            // Only reachable with a zero budget: already out of time
+            // before any work (the deterministic breach used by tests).
+            return (self.deadline_exceeded(cmd.name(), "the budget is zero"), permit);
+        }
+        (self.dispatch(cmd, &deadline), permit)
     }
 
-    fn dispatch(&self, cmd: Command) -> Response {
+    fn dispatch(&self, cmd: Command, deadline: &Deadline) -> Response {
         match cmd {
             Command::Ping => Response::Pong,
             Command::Sessions => Response::SessionList { names: self.registry.names() },
@@ -160,9 +362,15 @@ impl Server {
                     err(ErrorKind::NoSession, format!("session {session:?} does not exist"))
                 }
             }
-            Command::LoadTrace { session, mode, text } => self.load_trace(session, mode, &text),
+            Command::LoadTrace { session, mode, text } => {
+                self.load_trace(session, mode, &text, deadline)
+            }
             Command::Stats { session } => self.stats(session),
-            cmd => self.with_session(cmd),
+            Command::Restore { session, state } => {
+                self.restore(session, state.map(|b| *b), deadline)
+            }
+            Command::Shutdown => self.shutdown(),
+            cmd => self.with_session(cmd, deadline),
         }
     }
 
@@ -201,6 +409,7 @@ impl Server {
         session: String,
         mode: viva_trace::RecoveryMode,
         text: &str,
+        deadline: &Deadline,
     ) -> Response {
         // A metrics-on server gives each session its own recorder,
         // shared by the loader, index, layout, and frame-cache
@@ -223,12 +432,19 @@ impl Server {
         };
         let trace = report.trace.clone();
         let analysis = AnalysisSession::builder(trace).recorder(session_recorder).build();
+        if deadline.expired() {
+            // Checked before the registry insert so a breached load
+            // leaves no half-made session behind.
+            return self.deadline_exceeded("load_trace", "no session was created");
+        }
         let containers = analysis.trace().containers().len() as u64;
         let (start, end) = (analysis.trace().start(), analysis.trace().end());
-        // Evicted names are dropped silently: eviction is deterministic
-        // for a given script, and the victims' owners find out through
-        // a typed `no_session` error on their next command.
-        let _evicted = self.registry.create(&session, analysis);
+        // Eviction is deterministic for a given script; the victims'
+        // owners find out through a typed `no_session` error on their
+        // next command. With a checkpoint directory configured the
+        // victims' state survives for `restore`.
+        let evicted = self.registry.create(&session, analysis);
+        self.checkpoint_evicted(evicted);
         self.update_occupancy();
         Response::Loaded {
             session,
@@ -242,8 +458,142 @@ impl Server {
         }
     }
 
+    /// Rebuilds `session` from an inline checkpoint, or from the
+    /// checkpoint directory when none is supplied.
+    fn restore(
+        &self,
+        session: String,
+        state: Option<SessionCheckpoint>,
+        deadline: &Deadline,
+    ) -> Response {
+        let ckpt = match state {
+            Some(c) => c,
+            None => {
+                let Some(dir) = &self.registry.limits().checkpoint_dir else {
+                    return err(
+                        ErrorKind::BadCheckpoint,
+                        "no inline state, and the server has no checkpoint directory",
+                    );
+                };
+                let Some(file) = checkpoint_file_name(&session) else {
+                    return err(
+                        ErrorKind::BadCheckpoint,
+                        format!("session name {session:?} cannot name a checkpoint file"),
+                    );
+                };
+                let text = match fs::read_to_string(dir.join(file)) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        return err(
+                            ErrorKind::BadCheckpoint,
+                            format!("no stored checkpoint for session {session:?}: {e}"),
+                        )
+                    }
+                };
+                match SessionCheckpoint::decode(text.trim_end()) {
+                    Ok(c) => c,
+                    Err(e) => {
+                        return err(
+                            ErrorKind::BadCheckpoint,
+                            format!("stored checkpoint for session {session:?} is unreadable: {e}"),
+                        )
+                    }
+                }
+            }
+        };
+        let session_recorder = if self.recorder.is_enabled() {
+            Recorder::enabled()
+        } else {
+            Recorder::disabled()
+        };
+        let analysis = match ckpt.restore(self.registry.limits().load_budget, session_recorder) {
+            Ok(a) => a,
+            Err(e) => return err(ErrorKind::BadCheckpoint, e.to_string()),
+        };
+        if deadline.expired() {
+            return self.deadline_exceeded("restore", "no session was created");
+        }
+        let revision = analysis.revision();
+        let evicted = self.registry.create(&session, analysis);
+        self.checkpoint_evicted(evicted);
+        self.update_occupancy();
+        self.note("server.restores");
+        Response::Restored { session, revision }
+    }
+
+    /// Starts (or re-reports) a graceful drain: checkpoint every live
+    /// session, then refuse new work. Idempotent — a second `shutdown`
+    /// re-checkpoints and re-answers.
+    fn shutdown(&self) -> Response {
+        if !self.draining.swap(true, Ordering::SeqCst) {
+            self.note("server.drains");
+            if self.recorder.is_enabled() {
+                self.recorder.event("server.drain", "begin");
+            }
+        }
+        let names = self.registry.names();
+        let sessions = names.len() as u64;
+        let mut checkpointed = 0u64;
+        if self.registry.limits().checkpoint_dir.is_some() {
+            for name in names {
+                let Some(slot) = self.registry.peek(&name) else { continue };
+                let ckpt = {
+                    let s = slot.lock();
+                    SessionCheckpoint::capture(&name, &s.analysis)
+                };
+                self.note("server.checkpoints");
+                if self.persist_checkpoint(&ckpt) {
+                    checkpointed += 1;
+                }
+            }
+        }
+        Response::ShutdownStarted { sessions, checkpointed }
+    }
+
+    /// Checkpoints LRU-eviction victims to the checkpoint directory
+    /// (when configured) before their last handle drops.
+    fn checkpoint_evicted(&self, evicted: Vec<(String, Arc<SessionSlot>)>) {
+        for (name, slot) in evicted {
+            self.note("server.evictions");
+            if self.registry.limits().checkpoint_dir.is_some() {
+                let ckpt = {
+                    let s = slot.lock();
+                    SessionCheckpoint::capture(&name, &s.analysis)
+                };
+                self.note("server.checkpoints");
+                self.persist_checkpoint(&ckpt);
+            }
+        }
+    }
+
+    /// Writes a checkpoint to the checkpoint directory. Returns whether
+    /// a file was written; persistence failures are observable (counter
+    /// and event) but never fail the command — the inline checkpoint in
+    /// the response is still good.
+    fn persist_checkpoint(&self, ckpt: &SessionCheckpoint) -> bool {
+        let Some(dir) = &self.registry.limits().checkpoint_dir else {
+            return false;
+        };
+        let Some(file) = checkpoint_file_name(&ckpt.session) else {
+            if self.recorder.is_enabled() {
+                self.recorder.event("server.checkpoint_skipped", &ckpt.session);
+            }
+            return false;
+        };
+        let written = fs::create_dir_all(dir)
+            .and_then(|()| fs::write(dir.join(file), format!("{}\n", ckpt.encode())))
+            .is_ok();
+        if !written {
+            self.note("server.checkpoint_io_errors");
+            if self.recorder.is_enabled() {
+                self.recorder.event("server.checkpoint_io_error", &ckpt.session);
+            }
+        }
+        written
+    }
+
     /// Dispatches the commands that operate on an existing session.
-    fn with_session(&self, cmd: Command) -> Response {
+    fn with_session(&self, cmd: Command, deadline: &Deadline) -> Response {
         let name = match session_name(&cmd) {
             Some(n) => n.to_owned(),
             None => return err(ErrorKind::Protocol, "command carries no session"),
@@ -251,7 +601,10 @@ impl Server {
         let Some(handle) = self.registry.get(&name) else {
             return err(ErrorKind::NoSession, format!("session {name:?} does not exist"));
         };
-        let mut s = SessionRegistry::lock_session(&handle);
+        let mut s = match self.lock_admitted(&handle) {
+            Ok(g) => g,
+            Err(resp) => return resp,
+        };
         match cmd {
             Command::SetTimeSlice { start, end, .. } => {
                 match s.analysis.try_set_time_slice(start, end) {
@@ -328,7 +681,41 @@ impl Server {
             },
             Command::Relax { steps, .. } => {
                 let budget = self.registry.limits().max_relax_steps;
-                let executed = s.analysis.relax(steps.min(budget) as usize) as u64;
+                let want = steps.min(budget) as usize;
+                let executed = if self.registry.limits().deadlines.relax_ms.is_some() {
+                    // Chunked so the deadline is checked between
+                    // batches. A breach abandons the *remaining* steps:
+                    // completed chunks are ordinary relax progress and
+                    // the session stays at its last consistent
+                    // revision. (Chunking bumps the revision once per
+                    // chunk instead of once per command, which is why
+                    // it only runs when a relax deadline is opted in.)
+                    let mut done = 0usize;
+                    loop {
+                        let left = want - done;
+                        if left == 0 {
+                            break;
+                        }
+                        if deadline.expired() {
+                            return self.deadline_exceeded(
+                                "relax",
+                                &format!(
+                                    "stopped after {done} of {want} steps; the session is at \
+                                     its last consistent revision"
+                                ),
+                            );
+                        }
+                        let chunk = left.min(RELAX_DEADLINE_CHUNK);
+                        let ran = s.analysis.relax(chunk);
+                        done += ran;
+                        if ran < chunk {
+                            break; // converged or frozen
+                        }
+                    }
+                    done
+                } else {
+                    s.analysis.relax(want)
+                } as u64;
                 Response::Relaxed {
                     steps: executed,
                     frozen: s.analysis.layout_freeze_reason().map(|r| r.to_string()),
@@ -365,6 +752,12 @@ impl Server {
                     return Response::Frame { revision, cached: true, svg };
                 }
                 let svg = s.analysis.render(&viewport);
+                if deadline.expired() {
+                    // Too late to be useful: the frame is abandoned and
+                    // stays out of the cache (a cached frame must mean
+                    // "served within budget").
+                    return self.deadline_exceeded("render", "the frame was abandoned");
+                }
                 let before = s.frames.evictions();
                 s.frames.insert(key, svg.clone());
                 if let Some(rec) = &obs {
@@ -373,28 +766,68 @@ impl Server {
                 }
                 Response::Frame { revision, cached: false, svg }
             }
+            Command::Checkpoint { .. } => {
+                let ckpt = SessionCheckpoint::capture(&name, &s.analysis);
+                self.note("server.checkpoints");
+                self.persist_checkpoint(&ckpt);
+                Response::Checkpointed { session: name, state: Box::new(ckpt) }
+            }
             // Session-free commands are handled by `dispatch`.
             Command::Ping
             | Command::Sessions
             | Command::CloseSession { .. }
             | Command::LoadTrace { .. }
-            | Command::Stats { .. } => unreachable!("handled by dispatch"),
+            | Command::Stats { .. }
+            | Command::Restore { .. }
+            | Command::Shutdown => unreachable!("handled by dispatch"),
         }
     }
 
     /// Pumps `reader` to `writer`: one response line per request line,
     /// until EOF. I/O errors end the loop (the connection is gone);
-    /// content never does.
-    pub fn serve<R: BufRead, W: Write>(&self, reader: R, mut writer: W) -> io::Result<()> {
-        for line in reader.lines() {
-            let line = line?;
+    /// content never does. Two hardening behaviours:
+    ///
+    /// * a **torn frame** — bytes that end without a newline (a client
+    ///   that died mid-command, or trickled half a frame until the
+    ///   read timeout) — is *never* executed; the connection ends and
+    ///   the fragment is dropped (`server.torn_frames`);
+    /// * once a **drain** starts, the loop finishes the in-flight
+    ///   command, writes its response, and ends the connection.
+    pub fn serve<R: BufRead, W: Write>(&self, mut reader: R, mut writer: W) -> io::Result<()> {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            let n = match reader.read_line(&mut line) {
+                Ok(n) => n,
+                Err(e) => {
+                    if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) {
+                        // The read timeout fired: a slow-loris peer (or
+                        // a stalled one) loses its connection, not a
+                        // worker thread.
+                        self.note("server.io_timeouts");
+                    }
+                    return Err(e);
+                }
+            };
+            if n == 0 {
+                return Ok(()); // clean EOF between frames
+            }
+            if !line.ends_with('\n') {
+                self.note("server.torn_frames");
+                if self.recorder.is_enabled() {
+                    self.recorder.event("server.torn_frame", "dropped");
+                }
+                return Ok(());
+            }
             if let Some(response) = self.handle_line(&line) {
                 writer.write_all(response.as_bytes())?;
                 writer.write_all(b"\n")?;
                 writer.flush()?;
             }
+            if self.is_draining() {
+                return Ok(());
+            }
         }
-        Ok(())
     }
 
     /// Serves a single analyst over stdin/stdout until EOF.
@@ -408,7 +841,7 @@ impl Server {
 /// The session name a command addresses, if any.
 fn session_name(cmd: &Command) -> Option<&str> {
     match cmd {
-        Command::Ping | Command::Sessions | Command::Stats { .. } => None,
+        Command::Ping | Command::Sessions | Command::Stats { .. } | Command::Shutdown => None,
         Command::CloseSession { session }
         | Command::LoadTrace { session, .. }
         | Command::SetTimeSlice { session, .. }
@@ -422,8 +855,19 @@ fn session_name(cmd: &Command) -> Option<&str> {
         | Command::Release { session, .. }
         | Command::Relax { session, .. }
         | Command::Aggregate { session, .. }
-        | Command::Render { session, .. } => Some(session),
+        | Command::Render { session, .. }
+        | Command::Checkpoint { session }
+        | Command::Restore { session, .. } => Some(session),
     }
+}
+
+/// Commands still answered during a drain: liveness, observability,
+/// state export, and the drain itself. Everything else is shed.
+fn drain_exempt(cmd: &Command) -> bool {
+    matches!(
+        cmd,
+        Command::Ping | Command::Stats { .. } | Command::Checkpoint { .. } | Command::Shutdown
+    )
 }
 
 /// Accepts connections on `listener` from a pool of `workers` threads,
@@ -431,14 +875,18 @@ fn session_name(cmd: &Command) -> Option<&str> {
 /// workers share the server (and thus its sessions): two analysts can
 /// connect separately and collaborate in one named session.
 ///
-/// Returns the worker handles; the pool runs until the listener is
-/// shut down externally (the handles are typically detached —
-/// `serve_tcp` is the lifetime of the process).
+/// The listener is switched to non-blocking and polled (~5 ms) so the
+/// pool can observe a drain: once [`Command::Shutdown`] runs, idle
+/// workers exit, busy workers finish their in-flight command first,
+/// and connections accepted mid-drain are refused with one
+/// `overloaded` line. Joining the returned handles is therefore a
+/// complete graceful shutdown.
 pub fn serve_tcp(
     listener: TcpListener,
     workers: usize,
     server: Arc<Server>,
 ) -> Vec<JoinHandle<()>> {
+    let _ = listener.set_nonblocking(true);
     let listener = Arc::new(listener);
     (0..workers.max(1))
         .map(|i| {
@@ -446,11 +894,17 @@ pub fn serve_tcp(
             let server = Arc::clone(&server);
             thread::Builder::new()
                 .name(format!("viva-server-worker-{i}"))
-                .spawn(move || {
-                    // Accept errors (e.g. the listener was closed) end
-                    // this worker.
-                    while let Ok((stream, _addr)) = listener.accept() {
-                        serve_stream(&server, stream);
+                .spawn(move || loop {
+                    if server.is_draining() {
+                        return;
+                    }
+                    match listener.accept() {
+                        Ok((stream, _addr)) => serve_stream(&server, stream),
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            thread::sleep(Duration::from_millis(5));
+                        }
+                        // The listener is gone; nothing left to accept.
+                        Err(_) => return,
                     }
                 })
                 .expect("spawn worker thread")
@@ -458,7 +912,23 @@ pub fn serve_tcp(
         .collect()
 }
 
-fn serve_stream(server: &Server, stream: TcpStream) {
+fn serve_stream(server: &Server, mut stream: TcpStream) {
+    // The listener is non-blocking; its accepted sockets must not be.
+    if stream.set_nonblocking(false).is_err() {
+        return;
+    }
+    if let Some(ms) = server.registry().limits().io_timeout_ms {
+        let t = Duration::from_millis(ms.max(1));
+        let _ = stream.set_read_timeout(Some(t));
+        let _ = stream.set_write_timeout(Some(t));
+    }
+    if server.is_draining() {
+        // Accepted after the drain began: one typed refusal, then close
+        // — the client's retry logic takes it from here.
+        let resp = server.shed("server is draining; connection refused");
+        let _ = stream.write_all(format!("{}\n", resp.encode()).as_bytes());
+        return;
+    }
     let reader = match stream.try_clone() {
         Ok(s) => BufReader::new(s),
         Err(_) => return,
@@ -865,6 +1335,150 @@ mod tests {
         let huge = format!(r#"{{"cmd":"ping","pad":"{}"}}"#, "x".repeat(1000));
         let r = s.handle_line(&huge).unwrap();
         assert!(r.starts_with(r#"{"err":"protocol""#), "{r}");
+    }
+
+    #[test]
+    fn checkpoint_restore_round_trips_over_the_protocol() {
+        let s = server();
+        load(&s, "a");
+        s.execute(Command::SetTimeSlice { session: "a".into(), start: 1.0, end: 9.0 });
+        s.execute(Command::Collapse { session: "a".into(), container: "c1".into() });
+        s.execute(Command::Relax { session: "a".into(), steps: 40 });
+        s.execute(Command::Drag { session: "a".into(), container: "c1".into(), x: 3.0, y: -2.0 });
+        let render = |srv: &Server, session: &str| {
+            match srv.execute(Command::Render {
+                session: session.into(),
+                width: 640.0,
+                height: 480.0,
+                theme: viva::Theme::Dark,
+                labels: true,
+            }) {
+                Response::Frame { svg, revision, .. } => (svg, revision),
+                other => panic!("{other:?}"),
+            }
+        };
+        let (live_svg, live_rev) = render(&s, "a");
+        let state = match s.execute(Command::Checkpoint { session: "a".into() }) {
+            Response::Checkpointed { session, state } => {
+                assert_eq!(session, "a");
+                state
+            }
+            other => panic!("{other:?}"),
+        };
+        // Restore into a *fresh* server (a process restart, in effect).
+        let fresh = server();
+        match fresh.execute(Command::Restore { session: "a".into(), state: Some(state.clone()) }) {
+            Response::Restored { session, revision } => {
+                assert_eq!(session, "a");
+                assert_eq!(revision, live_rev);
+            }
+            other => panic!("{other:?}"),
+        }
+        let (restored_svg, restored_rev) = render(&fresh, "a");
+        assert_eq!(restored_svg, live_svg, "restored render must be byte-identical");
+        assert_eq!(restored_rev, live_rev);
+        // Fixed point: checkpointing the restored session reproduces
+        // the checkpoint byte for byte.
+        match fresh.execute(Command::Checkpoint { session: "a".into() }) {
+            Response::Checkpointed { state: again, .. } => {
+                assert_eq!(again.encode(), state.encode());
+            }
+            other => panic!("{other:?}"),
+        }
+        // Checkpointing an unknown session is the usual typed error.
+        assert!(matches!(
+            s.execute(Command::Checkpoint { session: "ghost".into() }),
+            Response::Error { kind: ErrorKind::NoSession, .. }
+        ));
+        // Restoring garbage is typed, and creates no session.
+        let mut broken = (*state).clone();
+        broken.version = 99;
+        assert!(matches!(
+            fresh.execute(Command::Restore { session: "b".into(), state: Some(Box::new(broken)) }),
+            Response::Error { kind: ErrorKind::BadCheckpoint, .. }
+        ));
+        assert!(fresh.registry().get("b").is_none());
+    }
+
+    #[test]
+    fn admission_control_sheds_deterministically() {
+        let s = Server::new(ServerLimits {
+            max_inflight_commands: 0,
+            overload_retry_after_ms: 25,
+            ..ServerLimits::default()
+        });
+        match s.execute(Command::Ping) {
+            Response::Error { kind: ErrorKind::Overloaded { retry_after_ms }, .. } => {
+                assert_eq!(retry_after_ms, 25, "the configured hint rides the error");
+            }
+            other => panic!("{other:?}"),
+        }
+        // `shutdown` bypasses admission: draining an overloaded server
+        // must always be possible.
+        assert!(matches!(
+            s.execute(Command::Shutdown),
+            Response::ShutdownStarted { sessions: 0, checkpointed: 0 }
+        ));
+    }
+
+    #[test]
+    fn zero_deadline_budget_breaches_deterministically() {
+        let s = Server::new(ServerLimits {
+            deadlines: crate::registry::DeadlineBudgets {
+                relax_ms: Some(0),
+                ..Default::default()
+            },
+            ..ServerLimits::default()
+        });
+        load(&s, "a");
+        let r = s.execute(Command::Relax { session: "a".into(), steps: 100 });
+        assert!(
+            matches!(r, Response::Error { kind: ErrorKind::DeadlineExceeded, .. }),
+            "{r:?}"
+        );
+        // Other classes have no budget and are untouched; the session
+        // is still at its last consistent revision.
+        assert!(matches!(
+            s.execute(Command::SetTimeSlice { session: "a".into(), start: 1.0, end: 5.0 }),
+            Response::Slice { .. }
+        ));
+    }
+
+    #[test]
+    fn drain_refuses_new_state_changes_but_answers_observability() {
+        let s = server();
+        load(&s, "a");
+        assert!(!s.is_draining());
+        match s.execute(Command::Shutdown) {
+            Response::ShutdownStarted { sessions, checkpointed } => {
+                assert_eq!(sessions, 1);
+                assert_eq!(checkpointed, 0, "no checkpoint dir configured");
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(s.is_draining());
+        // State changes are shed…
+        assert!(matches!(
+            s.execute(Command::Relax { session: "a".into(), steps: 1 }),
+            Response::Error { kind: ErrorKind::Overloaded { .. }, .. }
+        ));
+        assert!(matches!(
+            s.execute(Command::LoadTrace {
+                session: "b".into(),
+                mode: viva_trace::RecoveryMode::Strict,
+                text: trace_csv(),
+            }),
+            Response::Error { kind: ErrorKind::Overloaded { .. }, .. }
+        ));
+        // …while liveness, stats, and state export still answer.
+        assert!(matches!(s.execute(Command::Ping), Response::Pong));
+        assert!(matches!(s.execute(Command::Stats { session: None }), Response::Stats { .. }));
+        assert!(matches!(
+            s.execute(Command::Checkpoint { session: "a".into() }),
+            Response::Checkpointed { .. }
+        ));
+        // Shutdown is idempotent.
+        assert!(matches!(s.execute(Command::Shutdown), Response::ShutdownStarted { .. }));
     }
 
     #[test]

@@ -220,6 +220,31 @@ impl Trace {
     pub fn ingest_dropped(&self) -> u64 {
         self.ingest_dropped
     }
+
+    /// Reinstates ingestion-degradation bookkeeping on a rebuilt trace.
+    ///
+    /// Quarantine counters and the dropped-record tally are *ingestion*
+    /// facts — the canonical CSV interchange form carries only the
+    /// surviving samples, so a trace round-tripped through
+    /// [`crate::export::to_csv`] loses them. Session checkpoint/restore
+    /// serializes the counters alongside the CSV and replays them here,
+    /// keeping the degraded-data badges of a restored session's renders
+    /// byte-identical to the live session's. Entries naming containers
+    /// or metrics the trace does not contain are ignored rather than
+    /// trusted (checkpoints are external input).
+    pub fn restore_ingest_degradation(
+        &mut self,
+        quarantined: &[(ContainerId, MetricId, u64)],
+        ingest_dropped: u64,
+    ) {
+        for &(c, m, n) in quarantined {
+            if n == 0 || self.containers.get(c).is_none() || self.metrics.get(m).is_none() {
+                continue;
+            }
+            self.quarantined.insert((c, m), n);
+        }
+        self.ingest_dropped = ingest_dropped;
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,142 @@
+//! Stateful property test for checkpoint/restore (DESIGN.md §14):
+//! after an arbitrary interactive session, a checkpoint→restore
+//! round-trip is invisible to the analyst.
+//!
+//! 1. **Render equality** — the restored session renders byte-identical
+//!    SVG at the same view revision as the session it was captured
+//!    from.
+//! 2. **Fixed point** — checkpointing the restored session reproduces
+//!    the checkpoint byte-for-byte: restore loses nothing that a second
+//!    crash would then lose.
+
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+use viva::Theme;
+use viva_server::protocol::{Command, Response};
+use viva_server::{Server, ServerLimits};
+use viva_trace::{ContainerKind, RecoveryMode, TraceBuilder};
+
+/// One interactive gesture, expressed as a protocol command.
+#[derive(Debug, Clone)]
+enum Op {
+    Slice(f64, f64),
+    Collapse(usize),
+    Expand(usize),
+    Level(u32),
+    ExpandAll,
+    Drag(usize, f64, f64),
+    Relax(usize),
+}
+
+/// Containers addressable by the ops (clusters and hosts by name).
+const CONTAINERS: &[&str] =
+    &["c1", "c2", "c1-h0", "c1-h1", "c1-h2", "c2-h0", "c2-h1", "c2-h2", "nope"];
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0.0f64..8.0, 0.5f64..3.0).prop_map(|(a, w)| Op::Slice(a, w)),
+        (0usize..CONTAINERS.len()).prop_map(Op::Collapse),
+        (0usize..CONTAINERS.len()).prop_map(Op::Expand),
+        (0u32..4).prop_map(Op::Level),
+        Just(Op::ExpandAll),
+        (0usize..CONTAINERS.len(), -40.0f64..40.0, -40.0f64..40.0)
+            .prop_map(|(i, x, y)| Op::Drag(i, x, y)),
+        (1usize..8).prop_map(Op::Relax),
+    ]
+}
+
+fn trace_csv() -> String {
+    let mut b = TraceBuilder::new();
+    let power = b.metric("power", "MFlop/s");
+    let used = b.metric("power_used", "MFlop/s");
+    for cn in ["c1", "c2"] {
+        let cl = b.new_container(b.root(), cn, ContainerKind::Cluster).unwrap();
+        for i in 0..3 {
+            let h = b.new_container(cl, format!("{cn}-h{i}"), ContainerKind::Host).unwrap();
+            b.set_variable(0.0, h, power, 100.0).unwrap();
+            b.set_variable(0.0, h, used, (20 * (i + 1)) as f64).unwrap();
+        }
+    }
+    viva_trace::export::to_csv(&b.finish(10.0))
+}
+
+fn command(op: &Op) -> Command {
+    let session = "s".to_owned();
+    let name = |i: usize| CONTAINERS[i % CONTAINERS.len()].to_owned();
+    match *op {
+        Op::Slice(a, w) => Command::SetTimeSlice { session, start: a, end: a + w },
+        Op::Collapse(i) => Command::Collapse { session, container: name(i) },
+        Op::Expand(i) => Command::Expand { session, container: name(i) },
+        Op::Level(depth) => Command::CollapseAtDepth { session, depth },
+        Op::ExpandAll => Command::ExpandAll { session },
+        Op::Drag(i, x, y) => Command::Drag { session, container: name(i), x, y },
+        Op::Relax(steps) => Command::Relax { session, steps: steps as u64 },
+    }
+}
+
+/// Renders and returns (revision, svg); panics on anything but a frame.
+fn frame(server: &Server) -> (u64, String) {
+    match server.execute(Command::Render {
+        session: "s".to_owned(),
+        width: 640.0,
+        height: 480.0,
+        theme: Theme::Dark,
+        labels: true,
+    }) {
+        Response::Frame { revision, svg, .. } => (revision, svg),
+        other => panic!("render failed: {other:?}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn checkpoint_restore_is_invisible(ops in proptest::collection::vec(op_strategy(), 1..20)) {
+        let server = Server::new(ServerLimits::default());
+        let loaded = server.execute(Command::LoadTrace {
+            session: "s".to_owned(),
+            mode: RecoveryMode::Strict,
+            text: trace_csv(),
+        });
+        prop_assert!(matches!(loaded, Response::Loaded { .. }), "load failed: {loaded:?}");
+
+        for op in &ops {
+            // Ops on unknown/hidden containers answer with typed errors;
+            // those responses are part of the session history too.
+            let _ = server.execute(command(op));
+        }
+
+        let before = frame(&server);
+        let state = match server.execute(Command::Checkpoint { session: "s".to_owned() }) {
+            Response::Checkpointed { state, .. } => state,
+            other => return Err(TestCaseError::fail(format!("checkpoint failed: {other:?}"))),
+        };
+
+        // Restore over the live session (the crash-recovery path).
+        let restored = server.execute(Command::Restore {
+            session: "s".to_owned(),
+            state: Some(state.clone()),
+        });
+        match restored {
+            Response::Restored { revision, .. } => {
+                prop_assert_eq!(revision, state.revision, "restore must report the captured revision");
+            }
+            other => return Err(TestCaseError::fail(format!("restore failed: {other:?}"))),
+        }
+
+        // 1. Render equality: the analyst cannot tell a restore happened.
+        let after = frame(&server);
+        prop_assert_eq!(before.0, after.0, "view revision must survive the round-trip");
+        prop_assert_eq!(&before.1, &after.1, "restored render must be byte-identical");
+
+        // 2. Fixed point: checkpointing the restored session reproduces
+        //    the checkpoint bytes exactly.
+        let again = server.execute(Command::Checkpoint { session: "s".to_owned() });
+        let (first, second) = (
+            Response::Checkpointed { session: "s".to_owned(), state }.encode(),
+            again.encode(),
+        );
+        prop_assert_eq!(first, second, "double checkpoint must be a fixed point");
+    }
+}

@@ -1,0 +1,211 @@
+//! Resilience guarantees of the serving layer (DESIGN.md §14):
+//!
+//! 1. **Poison recovery** — a handler that panics while holding a
+//!    session lock must not wedge the session: the next command on the
+//!    same session succeeds (regression test for the `SessionSlot`
+//!    poison-recovery path).
+//! 2. **Admission control** — past `max_inflight_commands` the server
+//!    sheds with a typed `overloaded` error carrying the configured
+//!    `retry_after_ms` hint; it never queues.
+//! 3. **Deadlines** — a zero budget turns every command of that class
+//!    into a typed `deadline` error without touching session state.
+//! 4. **Torn frames** — bytes that arrive without a trailing newline
+//!    are dropped, never executed.
+//! 5. **Drain** — after `shutdown`, state-changing commands are shed
+//!    while liveness/observability/export still answer, and `serve`
+//!    ends its connection after the in-flight response.
+
+use std::sync::Arc;
+
+use viva::Theme;
+use viva_server::protocol::{Command, ErrorKind, Response};
+use viva_server::{Server, ServerLimits, SessionRegistry};
+use viva_trace::{ContainerKind, RecoveryMode, TraceBuilder};
+
+/// A small two-cluster trace as CSV for `load_trace`.
+fn trace_csv() -> String {
+    let mut b = TraceBuilder::new();
+    let power = b.metric("power", "MFlop/s");
+    let used = b.metric("power_used", "MFlop/s");
+    for cn in ["c1", "c2"] {
+        let cl = b.new_container(b.root(), cn, ContainerKind::Cluster).unwrap();
+        for i in 0..3 {
+            let h = b.new_container(cl, format!("{cn}-h{i}"), ContainerKind::Host).unwrap();
+            b.set_variable(0.0, h, power, 100.0).unwrap();
+            b.set_variable(0.0, h, used, (20 * (i + 1)) as f64).unwrap();
+        }
+    }
+    viva_trace::export::to_csv(&b.finish(10.0))
+}
+
+fn load(server: &Server, name: &str) {
+    let resp = server.execute(Command::LoadTrace {
+        session: name.to_owned(),
+        mode: RecoveryMode::Strict,
+        text: trace_csv(),
+    });
+    assert!(matches!(resp, Response::Loaded { .. }), "load failed: {resp:?}");
+}
+
+fn render(server: &Server, name: &str) -> Response {
+    server.execute(Command::Render {
+        session: name.to_owned(),
+        width: 400.0,
+        height: 300.0,
+        theme: Theme::Light,
+        labels: false,
+    })
+}
+
+// ---------------------------------------------------------------------
+// 1. Poison recovery
+// ---------------------------------------------------------------------
+
+#[test]
+fn panicking_handler_does_not_wedge_the_session() {
+    let server = Arc::new(Server::new(ServerLimits::default()));
+    load(&server, "s");
+    let before = match render(&server, "s") {
+        Response::Frame { svg, revision, .. } => (svg, revision),
+        other => panic!("render failed: {other:?}"),
+    };
+
+    // Simulate a handler panicking while holding the session lock —
+    // the exact situation that poisons the slot's mutex.
+    let slot = server.registry().peek("s").expect("live session");
+    let poisoner = std::thread::spawn(move || {
+        let _guard = SessionRegistry::lock_session(&slot);
+        panic!("injected handler panic");
+    });
+    assert!(poisoner.join().is_err(), "the injected panic must fire");
+
+    // The session must answer again, with the same deterministic bytes.
+    let after = match render(&server, "s") {
+        Response::Frame { svg, revision, .. } => (svg, revision),
+        other => panic!("render after poison failed: {other:?}"),
+    };
+    assert_eq!(before, after, "a poisoned-then-recovered session must render identically");
+
+    // And it is still fully operable, not just readable.
+    let resp = server.execute(Command::Relax { session: "s".to_owned(), steps: 3 });
+    assert!(matches!(resp, Response::Relaxed { .. }), "relax after poison failed: {resp:?}");
+}
+
+// ---------------------------------------------------------------------
+// 2. Admission control
+// ---------------------------------------------------------------------
+
+#[test]
+fn full_gate_sheds_with_typed_overloaded_and_hint() {
+    let limits = ServerLimits {
+        max_inflight_commands: 0,
+        overload_retry_after_ms: 123,
+        ..ServerLimits::default()
+    };
+    let server = Server::new(limits);
+    match server.execute(Command::Ping) {
+        Response::Error { kind: ErrorKind::Overloaded { retry_after_ms }, .. } => {
+            assert_eq!(retry_after_ms, 123, "the shed must carry the configured hint");
+        }
+        other => panic!("a zero-width gate must shed everything: {other:?}"),
+    }
+    // Shedding never queues: the server stays immediately responsive
+    // and the gate releases as soon as a command finishes (a non-zero
+    // gate admits again right away).
+    let server = Server::new(ServerLimits {
+        max_inflight_commands: 1,
+        ..ServerLimits::default()
+    });
+    for _ in 0..3 {
+        assert!(matches!(server.execute(Command::Ping), Response::Pong));
+    }
+}
+
+// ---------------------------------------------------------------------
+// 3. Deadlines
+// ---------------------------------------------------------------------
+
+#[test]
+fn zero_budget_breaches_deterministically_without_state_change() {
+    let mut limits = ServerLimits::default();
+    limits.deadlines.relax_ms = Some(0);
+    let server = Server::new(limits);
+    load(&server, "s");
+    let before = match render(&server, "s") {
+        Response::Frame { revision, .. } => revision,
+        other => panic!("render failed: {other:?}"),
+    };
+    for _ in 0..5 {
+        let resp = server.execute(Command::Relax { session: "s".to_owned(), steps: 10 });
+        assert!(
+            matches!(resp, Response::Error { kind: ErrorKind::DeadlineExceeded, .. }),
+            "a zero relax budget must breach: {resp:?}"
+        );
+    }
+    let after = match render(&server, "s") {
+        Response::Frame { revision, .. } => revision,
+        other => panic!("render failed: {other:?}"),
+    };
+    assert_eq!(before, after, "a breached command must not have advanced the layout");
+}
+
+// ---------------------------------------------------------------------
+// 4. Torn frames
+// ---------------------------------------------------------------------
+
+#[test]
+fn torn_frame_is_dropped_not_executed() {
+    let server = Server::with_metrics(ServerLimits::default());
+    // A valid command with the final newline missing: the peer died
+    // mid-frame. It must produce no response and no session.
+    let torn = Command::LoadTrace {
+        session: "torn".to_owned(),
+        mode: RecoveryMode::Strict,
+        text: trace_csv(),
+    }
+    .encode();
+    let mut out = Vec::new();
+    server.serve(torn.as_bytes(), &mut out).expect("serve ends cleanly on a torn frame");
+    assert!(out.is_empty(), "a torn frame must produce no response bytes");
+    assert!(server.registry().peek("torn").is_none(), "a torn frame must never execute");
+    match server.execute(Command::Stats { session: None }) {
+        Response::Stats { server: block, .. } => {
+            let torn = block.counters.iter().find(|(n, _)| n == "server.torn_frames");
+            assert_eq!(torn.map(|(_, v)| *v), Some(1), "the drop must be observable");
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// 5. Drain
+// ---------------------------------------------------------------------
+
+#[test]
+fn drain_sheds_mutations_answers_observability_and_ends_connections() {
+    let server = Server::new(ServerLimits::default());
+    load(&server, "s");
+    match server.execute(Command::Shutdown) {
+        Response::ShutdownStarted { sessions, .. } => assert_eq!(sessions, 1),
+        other => panic!("shutdown failed: {other:?}"),
+    }
+    assert!(server.is_draining());
+    // Mutations are shed with the typed overload error...
+    let resp = server.execute(Command::Relax { session: "s".to_owned(), steps: 5 });
+    assert!(
+        matches!(resp, Response::Error { kind: ErrorKind::Overloaded { .. }, .. }),
+        "a draining server must shed mutations: {resp:?}"
+    );
+    // ...while liveness, observability, and state export still answer.
+    assert!(matches!(server.execute(Command::Ping), Response::Pong));
+    assert!(matches!(server.execute(Command::Stats { session: None }), Response::Stats { .. }));
+    assert!(matches!(
+        server.execute(Command::Checkpoint { session: "s".to_owned() }),
+        Response::Checkpointed { .. }
+    ));
+    // A serve loop answers the in-flight line, then ends its connection.
+    let mut out = Vec::new();
+    server.serve("{\"cmd\":\"ping\"}\n{\"cmd\":\"ping\"}\n".as_bytes(), &mut out).expect("serve");
+    let out = String::from_utf8(out).expect("utf8");
+    assert_eq!(out.lines().count(), 1, "a draining connection ends after one response: {out}");
+}
