@@ -35,6 +35,29 @@ cargo run --quiet --release -p viva-server --bin viva-server -- --stdio \
   < tests/data/server_session.script > /tmp/viva_server_smoke_2.ndjson
 diff -u tests/data/server_session.golden /tmp/viva_server_smoke_1.ndjson
 diff -u /tmp/viva_server_smoke_1.ndjson /tmp/viva_server_smoke_2.ndjson
+
+echo "==> server-smoke: TCP replay over the event-driven transport"
+# The same script over a real socket against the sharded readiness loop
+# must also reproduce the golden transcript byte for byte — the
+# transport never changes a byte. The server is then drained with a
+# protocol `shutdown`, which must end the process cleanly (all shard
+# workers join).
+rm -f /tmp/viva_server_smoke_tcp.log
+target/release/viva-server --tcp 127.0.0.1:0 --workers 4 \
+  > /dev/null 2> /tmp/viva_server_smoke_tcp.log &
+SRV_PID=$!
+ADDR=""
+for _ in $(seq 1 200); do
+  ADDR=$(sed -n 's/^viva-server: listening on \([0-9.:]*\) .*/\1/p' /tmp/viva_server_smoke_tcp.log)
+  [ -n "$ADDR" ] && break
+  sleep 0.05
+done
+test -n "$ADDR" || { echo "viva-server never announced its address" >&2; kill "$SRV_PID"; exit 1; }
+target/release/viva-server-client --tcp "$ADDR" tests/data/server_session.script \
+  > /tmp/viva_server_smoke_tcp.ndjson
+diff -u tests/data/server_session.golden /tmp/viva_server_smoke_tcp.ndjson
+echo '{"cmd":"shutdown"}' | target/release/viva-server-client --tcp "$ADDR" > /dev/null
+wait "$SRV_PID"
 cargo run --quiet --release -p viva-bench --bin fig_server -- --small > /dev/null
 
 echo "==> obs-smoke: metrics-on replay is byte-identical, exposition lands"
@@ -64,7 +87,8 @@ echo "==> chaos-smoke: adversarial serving, recovery, and overload shedding"
 # sliders, torn frames, slow-loris peers, kill->restore->replay cycles,
 # mutated checkpoints, a mid-storm golden replay) and asserts zero
 # panics, zero wedges, byte-identical recovery renders, and a clean
-# graceful drain. The resilience bench smoke then checks the gate sheds
+# graceful drain. Its TCP storm runs over the same event-driven shard
+# loop `viva-server --tcp` serves with. The resilience bench smoke then checks the gate sheds
 # under pressure and restore works (latency claims are only asserted by
 # the full run).
 cargo run --quiet --release -p viva-bench --bin fuzz_server > /dev/null

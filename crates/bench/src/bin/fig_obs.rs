@@ -78,6 +78,7 @@ fn drive(server: &Server, csv: &str, scale: &Scale) -> u64 {
         session: session.clone(),
         mode: RecoveryMode::Strict,
         text: csv.to_owned(),
+        trace: None,
     });
     send(&Command::Relax { session: session.clone(), steps: 50 });
     let render = Command::Render {

@@ -148,6 +148,7 @@ fn setup(server: &Server, name: &str, csv: &str) {
             session: name.to_owned(),
             mode: RecoveryMode::Strict,
             text: csv.to_owned(),
+            trace: None,
         },
         &mut sheds,
     );
@@ -279,6 +280,7 @@ fn run_shed_probe(csv: &str) -> (u64, u64) {
         session: "probe".to_owned(),
         mode: RecoveryMode::Strict,
         text: csv.to_owned(),
+        trace: None,
     };
     let resp = server.handle_line(&load.encode()).expect("non-blank command");
     assert!(resp.starts_with("{\"ok\""), "probe load failed: {resp}");
@@ -318,6 +320,7 @@ fn run_restore(csv: &str, scale: &Scale) -> (f64, f64) {
         session: "r".to_owned(),
         mode: RecoveryMode::Strict,
         text: csv.to_owned(),
+        trace: None,
     });
     send(&Command::Relax { session: "r".to_owned(), steps: 50 });
     let state = match send(&Command::Checkpoint { session: "r".to_owned() }) {

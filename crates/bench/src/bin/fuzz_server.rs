@@ -134,6 +134,7 @@ fn chaos_line(rng: &mut SmallRng) -> String {
             } else {
                 hostile_csv(rng)
             },
+            trace: None,
         },
         4 => Command::SetTimeSlice { session, start: wild_f64(rng), end: wild_f64(rng) },
         5 => {
@@ -235,6 +236,7 @@ fn kill_restore_replay(
             session: name.clone(),
             mode: RecoveryMode::Strict,
             text: valid_csv(rng.gen_range(0..7u64)),
+            trace: None,
         }
         .encode(),
         tally,
@@ -395,6 +397,7 @@ fn run_zero_budget(seed: u64) {
             session: "z".to_owned(),
             mode: RecoveryMode::Strict,
             text: valid_csv(0),
+            trace: None,
         }
         .encode(),
         &mut tally,
@@ -452,7 +455,12 @@ fn clean_script() -> Vec<String> {
     let s = "clean".to_owned();
     let render = probe_render(&s);
     [
-        Command::LoadTrace { session: s.clone(), mode: RecoveryMode::Strict, text: valid_csv(3) },
+        Command::LoadTrace {
+            session: s.clone(),
+            mode: RecoveryMode::Strict,
+            text: valid_csv(3),
+            trace: None,
+        },
         Command::SetTimeSlice { session: s.clone(), start: 1.0, end: 8.0 },
         Command::Relax { session: s.clone(), steps: 120 },
         Command::Collapse { session: s.clone(), container: "adonis".to_owned() },

@@ -18,6 +18,7 @@
 use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
 use std::fmt;
+use std::sync::Arc;
 
 use viva_agg::{AggIndex, GroupAggregate, TimeSlice, TimeSliceError, ViewState};
 use viva_layout::{FreezeReason, LayoutConfig, LayoutEngine, NodeKey, Vec2};
@@ -113,7 +114,7 @@ impl Default for SessionConfig {
 /// An interactive topology-based analysis of one trace.
 #[derive(Debug)]
 pub struct AnalysisSession {
-    trace: Trace,
+    trace: Arc<Trace>,
     mapping: MappingConfig,
     scaling: ScalingConfig,
     state: ViewState,
@@ -127,8 +128,10 @@ pub struct AnalysisSession {
     frontier: Vec<ContainerId>,
     /// Prebuilt aggregation index (`None` on
     /// [`SessionBuilder::without_index`] sessions, which fall back to
-    /// full rescans — the benchmark baseline).
-    index: Option<AggIndex>,
+    /// full rescans — the benchmark baseline). Shared: many sessions
+    /// over one stored trace reuse a single build (see
+    /// [`SessionBuilder::shared_index`]).
+    index: Option<Arc<AggIndex>>,
     /// Per-container cache of first-pass view aggregates. Interior
     /// mutability keeps [`view`](AnalysisSession::view) `&self`;
     /// mutators invalidate exactly what their change dirtied (see
@@ -228,22 +231,30 @@ fn platform_edges(trace: &Trace, platform: &Platform) -> Vec<(ContainerId, Conta
 /// ```
 #[derive(Debug)]
 pub struct SessionBuilder {
-    trace: Trace,
+    trace: Arc<Trace>,
     config: SessionConfig,
     edges: Option<Vec<(ContainerId, ContainerId)>>,
     use_index: bool,
+    shared_index: Option<Arc<AggIndex>>,
     recorder: Recorder,
 }
 
 impl SessionBuilder {
     /// Starts a builder over `trace` with the default configuration,
     /// communication-pair topology, and the aggregation index enabled.
-    pub fn new(trace: Trace) -> SessionBuilder {
+    ///
+    /// Accepts either an owned [`Trace`] (the 0.6 calling convention —
+    /// it is wrapped in an [`Arc`] via `From<Trace>`) or an
+    /// `Arc<Trace>` shared with other sessions. Sharing the `Arc` is
+    /// the copy-on-nothing path: N sessions over one trace hold one
+    /// copy of the event data.
+    pub fn new(trace: impl Into<Arc<Trace>>) -> SessionBuilder {
         SessionBuilder {
-            trace,
+            trace: trace.into(),
             config: SessionConfig::default(),
             edges: None,
             use_index: true,
+            shared_index: None,
             recorder: Recorder::disabled(),
         }
     }
@@ -291,6 +302,19 @@ impl SessionBuilder {
     #[must_use]
     pub fn without_index(mut self) -> SessionBuilder {
         self.use_index = false;
+        self.shared_index = None;
+        self
+    }
+
+    /// Reuses an aggregation index built over the **same** trace
+    /// instead of building a fresh one — the attach path: a thousand
+    /// sessions over one stored trace share one `O(n log n)` build.
+    /// The caller must pass an index built from the identical trace
+    /// (the server's `TraceStore` guarantees this by construction).
+    #[must_use]
+    pub fn shared_index(mut self, index: Arc<AggIndex>) -> SessionBuilder {
+        self.use_index = true;
+        self.shared_index = Some(index);
         self
     }
 
@@ -298,10 +322,11 @@ impl SessionBuilder {
     /// pairs unless overridden), constructs the aggregation index, and
     /// seeds the layout with the initial visible frontier.
     pub fn build(self) -> AnalysisSession {
-        let SessionBuilder { trace, config, edges, use_index, recorder } = self;
+        let SessionBuilder { trace, config, edges, use_index, shared_index, recorder } = self;
         let leaf_edges = edges.unwrap_or_else(|| trace.communication_pairs());
         let slice = TimeSlice::new(trace.start(), trace.end());
-        let index = use_index.then(|| AggIndex::build_observed(&trace, &recorder));
+        let index = shared_index
+            .or_else(|| use_index.then(|| Arc::new(AggIndex::build_observed(&trace, &recorder))));
         let mut layout = LayoutEngine::new(config.layout, config.seed);
         layout.set_recorder(recorder.clone());
         let obs = recorder.is_enabled().then(|| Box::new(SessionObs::new(&recorder)));
@@ -332,7 +357,9 @@ impl SessionBuilder {
 
 impl AnalysisSession {
     /// Starts a [`SessionBuilder`] over `trace` — the one constructor.
-    pub fn builder(trace: Trace) -> SessionBuilder {
+    /// Takes an owned [`Trace`] or a shared `Arc<Trace>`; see
+    /// [`SessionBuilder::new`].
+    pub fn builder(trace: impl Into<Arc<Trace>>) -> SessionBuilder {
         SessionBuilder::new(trace)
     }
 
@@ -379,6 +406,20 @@ impl AnalysisSession {
     /// The trace under analysis.
     pub fn trace(&self) -> &Trace {
         &self.trace
+    }
+
+    /// The shared handle to the trace under analysis. Cloning the
+    /// `Arc` (not the trace) is how checkpointing and the server's
+    /// `TraceStore` hold the same data without copying it.
+    pub fn shared_trace(&self) -> Arc<Trace> {
+        Arc::clone(&self.trace)
+    }
+
+    /// The shared aggregation index, when the session has one. Pass it
+    /// to [`SessionBuilder::shared_index`] to build sibling sessions
+    /// over the same trace without re-indexing.
+    pub fn shared_index(&self) -> Option<Arc<AggIndex>> {
+        self.index.clone()
     }
 
     /// The observability recorder the session reports into (disabled

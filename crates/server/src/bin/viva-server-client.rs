@@ -22,6 +22,22 @@
 //! jitter; the server's `retry_after_ms` hint is honoured as the floor
 //! for the next wait. The default (`--retry 0`) never retries, so the
 //! golden-transcript replays are unchanged.
+//!
+//! The shared-trace store has first-class flags, each synthesizing the
+//! corresponding protocol command ahead of the script (in the order
+//! given on the command line):
+//!
+//! ```sh
+//! # Open a session over a trace already in the server's store:
+//! viva-server-client --tcp 127.0.0.1:7878 --attach mine=prod tour.script
+//!
+//! # Inspect / trim the store (no script needed):
+//! viva-server-client --tcp 127.0.0.1:7878 --list-traces
+//! viva-server-client --tcp 127.0.0.1:7878 --drop-trace prod
+//! ```
+//!
+//! When any of these flags is present and no script is named, stdin is
+//! *not* read — the synthesized commands are the whole script.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
@@ -31,8 +47,8 @@ use std::time::Duration;
 use viva_obs::Recorder;
 use viva_server::{Command, ErrorKind, Response, Server, ServerLimits};
 
-const USAGE: &str =
-    "usage: viva-server-client [--tcp ADDR] [--timing] [--retry N] [SCRIPT (default stdin)]";
+const USAGE: &str = "usage: viva-server-client [--tcp ADDR] [--timing] [--retry N] \
+     [--attach SESSION=TRACE] [--list-traces] [--drop-trace TRACE] [SCRIPT (default stdin)]";
 
 /// Exponential backoff with deterministic jitter. Each command (and the
 /// initial connect) gets a fresh budget of `budget` retries; the wait
@@ -83,6 +99,9 @@ fn main() -> ExitCode {
     let mut script_path: Option<String> = None;
     let mut timing = false;
     let mut retry = 0u32;
+    // Protocol commands synthesized from flags, replayed ahead of the
+    // script in command-line order.
+    let mut prelude: Vec<Command> = Vec::new();
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -94,6 +113,26 @@ fn main() -> ExitCode {
                 }
             },
             "--timing" => timing = true,
+            "--attach" => match it.next().as_deref().and_then(|v| v.split_once('=')) {
+                Some((session, trace)) if !session.is_empty() && !trace.is_empty() => {
+                    prelude.push(Command::Attach {
+                        session: session.to_owned(),
+                        trace: trace.to_owned(),
+                    });
+                }
+                _ => {
+                    eprintln!("viva-server-client: --attach needs SESSION=TRACE\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--list-traces" => prelude.push(Command::ListTraces),
+            "--drop-trace" => match it.next() {
+                Some(trace) => prelude.push(Command::DropTrace { trace }),
+                None => {
+                    eprintln!("viva-server-client: --drop-trace needs a trace name\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--retry" => match it.next().and_then(|v| v.parse().ok()) {
                 Some(n) => retry = n,
                 None => {
@@ -115,7 +154,7 @@ fn main() -> ExitCode {
         }
     }
 
-    let script = match &script_path {
+    let body = match &script_path {
         Some(path) => match std::fs::read_to_string(path) {
             Ok(s) => s,
             Err(e) => {
@@ -123,6 +162,9 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         },
+        // Flags alone are a complete script; only fall back to stdin
+        // when there is nothing else to run.
+        None if !prelude.is_empty() => String::new(),
         None => {
             let mut s = String::new();
             if let Err(e) = std::io::stdin().read_to_string(&mut s) {
@@ -132,6 +174,12 @@ fn main() -> ExitCode {
             s
         }
     };
+    let mut script = String::new();
+    for cmd in &prelude {
+        script.push_str(&cmd.encode());
+        script.push('\n');
+    }
+    script.push_str(&body);
 
     // With `--timing`, each command's round-trip is recorded into a
     // client-side observability histogram keyed by command name; the

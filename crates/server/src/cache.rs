@@ -105,6 +105,24 @@ impl FrameCache {
         }
     }
 
+    /// Looks up a frame, refreshing its recency and counting the hit —
+    /// but **not** counting a miss. The lock-free render fast path
+    /// probes with a possibly-stale revision mirror; a miss there is
+    /// re-checked under the session lock via [`FrameCache::get`], which
+    /// is where the authoritative miss is recorded. Counting here too
+    /// would double-bill every real miss.
+    pub fn lookup(&mut self, key: &FrameKey) -> Option<String> {
+        match self.frames.get_mut(key) {
+            Some((used, svg)) => {
+                self.clock += 1;
+                *used = self.clock;
+                self.hits += 1;
+                Some(svg.clone())
+            }
+            None => None,
+        }
+    }
+
     /// Inserts a freshly rendered frame, evicting the least recently
     /// used entry when full. Frames at an older revision than `key`
     /// are dropped eagerly — the session can never render them again,

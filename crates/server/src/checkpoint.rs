@@ -29,21 +29,26 @@
 //!   conditions that froze it are gone with the process.
 
 use std::fmt;
+use std::sync::Arc;
 
 use viva::AnalysisSession;
+use viva_agg::AggIndex;
 use viva_layout::{NodeKey, Vec2};
 use viva_obs::Recorder;
 use viva_trace::{
-    ContainerId, MetricId, RecoveryMode, ResourceBudget, TraceError, TraceLoader,
+    ContainerId, MetricId, RecoveryMode, ResourceBudget, Trace, TraceError, TraceLoader,
 };
 
 use crate::json::Json;
 use crate::protocol::DecodeError;
+use crate::store::{content_hash, hash_token};
 
 /// Format version written by [`SessionCheckpoint::capture`]. Bump on
-/// any incompatible change to the member set; [`SessionCheckpoint::
-/// from_json`] rejects versions it does not understand.
-pub const CHECKPOINT_VERSION: u64 = 1;
+/// any incompatible change to the member set; restore rejects versions
+/// it does not understand. Version 2 added `trace_hash` — the content
+/// hash the server's `TraceStore` uses to re-link a restored session
+/// to an already-loaded shared trace.
+pub const CHECKPOINT_VERSION: u64 = 2;
 
 /// Position and pin state of one visible node.
 #[derive(Debug, Clone, PartialEq)]
@@ -85,6 +90,11 @@ pub struct SessionCheckpoint {
     pub quarantined: Vec<(u64, u64, u64)>,
     /// Records dropped by the original (possibly lenient) ingest.
     pub ingest_dropped: u64,
+    /// Content hash of `trace_csv` (FNV-1a 64, 16 lowercase hex
+    /// digits). Restore verifies it against the embedded CSV, and the
+    /// server uses it to re-link the session to a stored shared trace
+    /// with the same content instead of re-parsing.
+    pub trace_hash: String,
     /// The trace as canonical CSV interchange text. Kept last so the
     /// bulk payload does not obscure the state members in a dump.
     pub trace_csv: String,
@@ -153,6 +163,7 @@ impl SessionCheckpoint {
             .map(|(c, m, n)| (c.index() as u64, m.index() as u64, n))
             .collect();
         quarantined.sort_unstable();
+        let trace_csv = viva_trace::export::to_csv(trace);
 
         SessionCheckpoint {
             version: CHECKPOINT_VERSION,
@@ -171,7 +182,8 @@ impl SessionCheckpoint {
             placements,
             quarantined,
             ingest_dropped: trace.ingest_dropped(),
-            trace_csv: viva_trace::export::to_csv(trace),
+            trace_hash: hash_token(content_hash(trace_csv.as_bytes())),
+            trace_csv,
         }
     }
 
@@ -188,6 +200,14 @@ impl SessionCheckpoint {
     ) -> Result<AnalysisSession, RestoreError> {
         if self.version != CHECKPOINT_VERSION {
             return Err(RestoreError::Version { found: self.version });
+        }
+        let found = hash_token(content_hash(self.trace_csv.as_bytes()));
+        if found != self.trace_hash {
+            return Err(RestoreError::Trace(format!(
+                "trace hash mismatch: checkpoint claims {} but the embedded CSV hashes \
+                 to {found}",
+                self.trace_hash
+            )));
         }
         let loader = TraceLoader::new()
             .mode(RecoveryMode::Strict)
@@ -220,7 +240,55 @@ impl SessionCheckpoint {
         trace.restore_ingest_degradation(&quarantined, self.ingest_dropped);
 
         let mut analysis = AnalysisSession::builder(trace).recorder(recorder).build();
+        self.replay_state(&mut analysis)?;
+        Ok(analysis)
+    }
 
+    /// Rebuilds a session over an **already-loaded shared trace** — the
+    /// server's re-link fast path: no CSV re-parse, no index rebuild.
+    /// Only sound when the checkpoint carries no ingestion degradation
+    /// (quarantine counters and drop counts live on the trace, and a
+    /// shared trace cannot be mutated) and when both the checkpoint and
+    /// the shared trace are clean; the caller matches `trace_hash`
+    /// against the store before calling. Violations are reported as
+    /// [`RestoreError::State`] and the caller falls back to
+    /// [`restore`](SessionCheckpoint::restore).
+    pub fn restore_shared(
+        &self,
+        trace: Arc<Trace>,
+        index: Option<Arc<AggIndex>>,
+        recorder: Recorder,
+    ) -> Result<AnalysisSession, RestoreError> {
+        if self.version != CHECKPOINT_VERSION {
+            return Err(RestoreError::Version { found: self.version });
+        }
+        if !self.quarantined.is_empty() || self.ingest_dropped != 0 {
+            return Err(RestoreError::State(
+                "checkpoint carries ingestion degradation; shared-trace restore \
+                 requires a clean trace"
+                    .into(),
+            ));
+        }
+        if trace.quarantined_entries().next().is_some() || trace.ingest_dropped() != 0 {
+            return Err(RestoreError::State(
+                "stored trace carries ingestion degradation the checkpoint does not"
+                    .into(),
+            ));
+        }
+        let mut builder = AnalysisSession::builder(trace).recorder(recorder);
+        if let Some(index) = index {
+            builder = builder.shared_index(index);
+        }
+        let mut analysis = builder.build();
+        self.replay_state(&mut analysis)?;
+        Ok(analysis)
+    }
+
+    /// Replays the checkpointed view state into a freshly built
+    /// session through its ordinary mutators, then snaps the revision
+    /// back to the captured value.
+    fn replay_state(&self, analysis: &mut AnalysisSession) -> Result<(), RestoreError> {
+        let containers = analysis.trace().containers().len() as u64;
         for &c in &self.collapsed {
             if c >= containers {
                 return Err(RestoreError::State(format!(
@@ -269,7 +337,7 @@ impl SessionCheckpoint {
             }
         }
         analysis.restore_revision(self.revision);
-        Ok(analysis)
+        Ok(())
     }
 
     /// Serializes to the canonical one-line JSON form.
@@ -343,6 +411,7 @@ impl SessionCheckpoint {
                 ),
             ),
             ("ingest_dropped".into(), num(self.ingest_dropped as f64)),
+            ("trace_hash".into(), Json::Str(self.trace_hash.clone())),
             ("trace_csv".into(), Json::Str(self.trace_csv.clone())),
         ])
     }
@@ -431,6 +500,15 @@ impl SessionCheckpoint {
             placements,
             quarantined,
             ingest_dropped: uint(v, "ingest_dropped")?,
+            // Absent on version-1 checkpoints; they decode, then the
+            // version check in restore reports the typed error.
+            trace_hash: match v.get("trace_hash") {
+                None | Some(Json::Null) => String::new(),
+                Some(h) => h
+                    .as_str()
+                    .map(str::to_owned)
+                    .ok_or_else(|| bad("non-string checkpoint field \"trace_hash\""))?,
+            },
             trace_csv: text(v, "trace_csv")?,
         })
     }
@@ -526,10 +604,21 @@ mod tests {
 
         let mut bad_trace = good.clone();
         bad_trace.trace_csv = "not a trace".into();
+        bad_trace.trace_hash = hash_token(content_hash(b"not a trace"));
         assert!(matches!(
             bad_trace.restore(budget(), Recorder::disabled()),
             Err(RestoreError::Trace(_))
         ));
+
+        let mut tampered = good.clone();
+        tampered.trace_csv.push_str("# tampered\n");
+        assert!(
+            matches!(
+                tampered.restore(budget(), Recorder::disabled()),
+                Err(RestoreError::Trace(m)) if m.contains("hash mismatch")
+            ),
+            "CSV edited under a stale hash must be rejected"
+        );
 
         let mut bad_collapse = good.clone();
         bad_collapse.collapsed = vec![999];
@@ -549,6 +638,38 @@ mod tests {
         bad_slider.scaling = vec![("power".into(), -1.0)];
         assert!(matches!(
             bad_slider.restore(budget(), Recorder::disabled()),
+            Err(RestoreError::State(_))
+        ));
+    }
+
+    #[test]
+    fn shared_restore_is_render_identical_to_full_restore() {
+        let mut s = sample_session();
+        let c1 = s.trace().containers().by_name("c1").unwrap().id();
+        s.collapse(c1).unwrap();
+        s.relax(30);
+        s.try_set_time_slice(1.0, 8.0).unwrap();
+        let ckpt = SessionCheckpoint::capture("a", &s);
+
+        let relinked = ckpt
+            .restore_shared(s.shared_trace(), s.shared_index(), Recorder::disabled())
+            .unwrap();
+        let vp = viva::Viewport::new(640.0, 480.0);
+        assert_eq!(relinked.render(&vp), s.render(&vp));
+        assert_eq!(relinked.revision(), s.revision());
+        // The re-linked session shares the trace, not a copy.
+        assert!(Arc::ptr_eq(&relinked.shared_trace(), &s.shared_trace()));
+        // Fixed point holds on the shared path too.
+        assert_eq!(SessionCheckpoint::capture("a", &relinked).encode(), ckpt.encode());
+    }
+
+    #[test]
+    fn shared_restore_refuses_degraded_checkpoints() {
+        let s = sample_session();
+        let mut ckpt = SessionCheckpoint::capture("a", &s);
+        ckpt.ingest_dropped = 3;
+        assert!(matches!(
+            ckpt.restore_shared(s.shared_trace(), None, Recorder::disabled()),
             Err(RestoreError::State(_))
         ));
     }

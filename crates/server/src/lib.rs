@@ -33,6 +33,9 @@
 //! * [`checkpoint`] — [`SessionCheckpoint`]:
 //!   deterministic, versioned snapshots of per-session view state;
 //!   a restored session renders byte-identically to the live one.
+//! * [`store`] — [`TraceStore`]: named, content-hashed, refcounted
+//!   traces; `load_trace` pays parse + index once and `attach` creates
+//!   further sessions over the same `Arc<Trace>` for free.
 //!
 //! ## Determinism
 //!
@@ -59,6 +62,7 @@ pub mod json;
 pub mod protocol;
 pub mod registry;
 pub mod server;
+pub mod store;
 
 pub use cache::{FrameCache, FrameKey};
 pub use checkpoint::{NodePlacement, RestoreError, SessionCheckpoint, CHECKPOINT_VERSION};
@@ -68,3 +72,4 @@ pub use protocol::{
 };
 pub use registry::{DeadlineBudgets, ServerLimits, ServerSession, SessionRegistry, SessionSlot};
 pub use server::{serve_tcp, Server};
+pub use store::{content_hash, hash_token, StoredTrace, TraceEntry, TraceStore};

@@ -22,6 +22,7 @@ use viva_trace::RecoveryMode;
 
 use crate::checkpoint::SessionCheckpoint;
 use crate::json::Json;
+use crate::store::TraceEntry;
 
 /// A request from the analyst's client to the server.
 #[derive(Debug, Clone, PartialEq)]
@@ -38,7 +39,10 @@ pub enum Command {
     /// Uploads a trace (the CSV interchange format of `viva-trace`)
     /// and (re)creates `session` over it. Routed through
     /// `TraceLoader` with the server's resource budget, so hostile
-    /// uploads degrade or error — they never crash the server.
+    /// uploads degrade or error — they never crash the server. The
+    /// loaded trace is also registered in the server's `TraceStore`
+    /// (under `trace` when given, else under the session's name), so
+    /// later [`Command::Attach`]es share it without re-uploading.
     LoadTrace {
         /// Session to create or replace.
         session: String,
@@ -46,6 +50,28 @@ pub enum Command {
         mode: RecoveryMode,
         /// The trace text (CSV lines).
         text: String,
+        /// Store name to register the trace under; defaults to the
+        /// session name. Absent on the wire when `None`, so pre-0.7
+        /// scripts encode (and replay) byte-identically.
+        trace: Option<String>,
+    },
+    /// Creates (or replaces) `session` over a trace already registered
+    /// in the `TraceStore` — no re-upload, no re-parse, no re-index:
+    /// the new session shares the stored `Arc<Trace>` and `AggIndex`.
+    Attach {
+        /// Session to create or replace.
+        session: String,
+        /// Store name of the trace to attach to.
+        trace: String,
+    },
+    /// Lists the stored traces (name, content hash, size, live session
+    /// count), name-sorted.
+    ListTraces,
+    /// Drops a trace from the store. Sessions already attached keep
+    /// their shared handle; only new attaches are stopped.
+    DropTrace {
+        /// Store name of the trace to drop.
+        trace: String,
     },
     /// Sets the analysis time-slice (§3.2.1); answered with the
     /// effective (clamped) slice.
@@ -257,6 +283,8 @@ pub enum ErrorKind {
     /// (unsupported version, rejected trace, state that does not fit
     /// the trace, or no stored checkpoint for the session).
     BadCheckpoint,
+    /// An `attach`/`drop_trace` named a trace the store does not hold.
+    NoTrace,
 }
 
 impl ErrorKind {
@@ -279,6 +307,7 @@ impl ErrorKind {
             ErrorKind::Overloaded { .. } => "overloaded",
             ErrorKind::DeadlineExceeded => "deadline_exceeded",
             ErrorKind::BadCheckpoint => "bad_checkpoint",
+            ErrorKind::NoTrace => "no_trace",
         }
     }
 
@@ -303,6 +332,7 @@ impl ErrorKind {
             "overloaded" => Overloaded { retry_after_ms: 0 },
             "deadline_exceeded" => DeadlineExceeded,
             "bad_checkpoint" => BadCheckpoint,
+            "no_trace" => NoTrace,
             _ => return None,
         })
     }
@@ -546,6 +576,33 @@ pub enum Response {
         /// Budget breach summary, if a budget axis stopped the load.
         breach: Option<String>,
     },
+    /// A session was created over a stored trace, after
+    /// [`Command::Attach`]. No degradation fields: the stored trace
+    /// already survived its load-time budget.
+    Attached {
+        /// The session name.
+        session: String,
+        /// The store name attached to.
+        trace: String,
+        /// Containers in the trace.
+        containers: u64,
+        /// Event records in the trace.
+        events: u64,
+        /// Trace span start, seconds.
+        start: f64,
+        /// Trace span end, seconds.
+        end: f64,
+    },
+    /// The stored traces, after [`Command::ListTraces`]; name-sorted.
+    TraceList {
+        /// One row per stored trace.
+        traces: Vec<TraceEntry>,
+    },
+    /// A trace was dropped from the store.
+    TraceDropped {
+        /// The dropped trace's store name.
+        trace: String,
+    },
     /// The effective (clamped) time-slice after
     /// [`Command::SetTimeSlice`].
     Slice {
@@ -729,6 +786,9 @@ impl Command {
             Command::Sessions => "sessions",
             Command::CloseSession { .. } => "close_session",
             Command::LoadTrace { .. } => "load_trace",
+            Command::Attach { .. } => "attach",
+            Command::ListTraces => "list_traces",
+            Command::DropTrace { .. } => "drop_trace",
             Command::SetTimeSlice { .. } => "set_time_slice",
             Command::Collapse { .. } => "collapse",
             Command::Expand { .. } => "expand",
@@ -754,6 +814,8 @@ impl Command {
             Command::Ping
             | Command::Sessions
             | Command::CloseSession { .. }
+            | Command::ListTraces
+            | Command::DropTrace { .. }
             | Command::Stats { .. }
             | Command::Shutdown => CommandClass::Control,
             Command::SetTimeSlice { .. }
@@ -767,6 +829,7 @@ impl Command {
             | Command::Release { .. }
             | Command::Aggregate { .. } => CommandClass::Interact,
             Command::LoadTrace { .. }
+            | Command::Attach { .. }
             | Command::Checkpoint { .. }
             | Command::Restore { .. } => CommandClass::Load,
             Command::Relax { .. } => CommandClass::Relax,
@@ -786,12 +849,27 @@ impl Command {
             Command::CloseSession { session } => {
                 obj(vec![("cmd", name), ("session", Json::Str(session.clone()))])
             }
-            Command::LoadTrace { session, mode, text } => obj(vec![
+            Command::LoadTrace { session, mode, text, trace } => {
+                let mut members = vec![
+                    ("cmd", name),
+                    ("session", Json::Str(session.clone())),
+                    ("mode", Json::Str(mode_token(*mode).to_owned())),
+                    ("text", Json::Str(text.clone())),
+                ];
+                if let Some(t) = trace {
+                    members.push(("trace", Json::Str(t.clone())));
+                }
+                obj(members)
+            }
+            Command::Attach { session, trace } => obj(vec![
                 ("cmd", name),
                 ("session", Json::Str(session.clone())),
-                ("mode", Json::Str(mode_token(*mode).to_owned())),
-                ("text", Json::Str(text.clone())),
+                ("trace", Json::Str(trace.clone())),
             ]),
+            Command::ListTraces => obj(vec![("cmd", name)]),
+            Command::DropTrace { trace } => {
+                obj(vec![("cmd", name), ("trace", Json::Str(trace.clone()))])
+            }
             Command::SetTimeSlice { session, start, end } => obj(vec![
                 ("cmd", name),
                 ("session", Json::Str(session.clone())),
@@ -907,8 +985,16 @@ impl Command {
                         )))
                     }
                 };
-                Command::LoadTrace { session: session()?, mode, text: str_field(&v, "text")? }
+                Command::LoadTrace {
+                    session: session()?,
+                    mode,
+                    text: str_field(&v, "text")?,
+                    trace: opt_str_field(&v, "trace")?,
+                }
             }
+            "attach" => Command::Attach { session: session()?, trace: str_field(&v, "trace")? },
+            "list_traces" => Command::ListTraces,
+            "drop_trace" => Command::DropTrace { trace: str_field(&v, "trace")? },
             "set_time_slice" => Command::SetTimeSlice {
                 session: session()?,
                 start: num_field(&v, "start")?,
@@ -1025,6 +1111,39 @@ impl Response {
                         None => Json::Null,
                     },
                 ),
+            ]),
+            Response::Attached { session, trace, containers, events, start, end } => obj(vec![
+                ("ok", Json::Str("attached".into())),
+                ("session", Json::Str(session.clone())),
+                ("trace", Json::Str(trace.clone())),
+                ("containers", Json::Num(*containers as f64)),
+                ("events", Json::Num(*events as f64)),
+                ("start", Json::Num(*start)),
+                ("end", Json::Num(*end)),
+            ]),
+            Response::TraceList { traces } => obj(vec![
+                ("ok", Json::Str("traces".into())),
+                (
+                    "traces",
+                    Json::Arr(
+                        traces
+                            .iter()
+                            .map(|t| {
+                                obj(vec![
+                                    ("name", Json::Str(t.name.clone())),
+                                    ("hash", Json::Str(t.hash.clone())),
+                                    ("containers", Json::Num(t.containers as f64)),
+                                    ("events", Json::Num(t.events as f64)),
+                                    ("sessions", Json::Num(t.sessions as f64)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+            Response::TraceDropped { trace } => obj(vec![
+                ("ok", Json::Str("trace_dropped".into())),
+                ("trace", Json::Str(trace.clone())),
             ]),
             Response::Slice { start, end } => obj(vec![
                 ("ok", Json::Str("slice".into())),
@@ -1157,6 +1276,33 @@ impl Response {
                 end: num_field(&v, "end")?,
                 breach: opt_str_field(&v, "breach")?,
             },
+            "attached" => Response::Attached {
+                session: str_field(&v, "session")?,
+                trace: str_field(&v, "trace")?,
+                containers: uint_field(&v, "containers")?,
+                events: uint_field(&v, "events")?,
+                start: num_field(&v, "start")?,
+                end: num_field(&v, "end")?,
+            },
+            "traces" => {
+                let traces = match v.get("traces") {
+                    Some(Json::Arr(items)) => items
+                        .iter()
+                        .map(|t| {
+                            Ok(TraceEntry {
+                                name: str_field(t, "name")?,
+                                hash: str_field(t, "hash")?,
+                                containers: uint_field(t, "containers")?,
+                                events: uint_field(t, "events")?,
+                                sessions: uint_field(t, "sessions")?,
+                            })
+                        })
+                        .collect::<Result<Vec<_>, DecodeError>>()?,
+                    _ => return Err(bad("missing or non-array field \"traces\"")),
+                };
+                Response::TraceList { traces }
+            }
+            "trace_dropped" => Response::TraceDropped { trace: str_field(&v, "trace")? },
             "slice" => {
                 Response::Slice { start: num_field(&v, "start")?, end: num_field(&v, "end")? }
             }
@@ -1238,6 +1384,7 @@ mod tests {
             placements: vec![NodePlacement { container: 2, x: -1.5, y: 3.25, pinned: true }],
             quarantined: vec![(2, 0, 7)],
             ingest_dropped: 1,
+            trace_hash: crate::store::hash_token(crate::store::content_hash(b"span,0,10\n")),
             trace_csv: "span,0,10\n".into(),
         }
     }
@@ -1268,7 +1415,17 @@ mod tests {
                 session: "s".into(),
                 mode: RecoveryMode::Lenient,
                 text: "span,0.0,10.0\n".into(),
+                trace: None,
             },
+            Command::LoadTrace {
+                session: "s".into(),
+                mode: RecoveryMode::Strict,
+                text: "span,0.0,10.0\n".into(),
+                trace: Some("shared".into()),
+            },
+            Command::Attach { session: "s2".into(), trace: "shared".into() },
+            Command::ListTraces,
+            Command::DropTrace { trace: "shared".into() },
             Command::SetTimeSlice { session: "s".into(), start: 0.25, end: 7.5 },
             Command::Collapse { session: "s".into(), container: "c1".into() },
             Command::Expand { session: "s".into(), container: "c1".into() },
@@ -1319,6 +1476,25 @@ mod tests {
                 end: 10.0,
                 breach: Some("event count budget (10) exhausted at line 7 (byte 130)".into()),
             },
+            Response::Attached {
+                session: "s2".into(),
+                trace: "shared".into(),
+                containers: 12,
+                events: 300,
+                start: 0.0,
+                end: 10.0,
+            },
+            Response::TraceList {
+                traces: vec![TraceEntry {
+                    name: "shared".into(),
+                    hash: "00c0ffee00c0ffee".into(),
+                    containers: 12,
+                    events: 300,
+                    sessions: 2,
+                }],
+            },
+            Response::TraceList { traces: vec![] },
+            Response::TraceDropped { trace: "shared".into() },
             Response::Slice { start: 0.0, end: 2.5 },
             Response::Done { revision: 42 },
             Response::Forces { repulsion: 100.0, spring: 2.0, damping: 0.6 },
@@ -1385,6 +1561,7 @@ mod tests {
             },
             Response::Error { kind: ErrorKind::DeadlineExceeded, message: "render".into() },
             Response::Error { kind: ErrorKind::BadCheckpoint, message: "version 9".into() },
+            Response::Error { kind: ErrorKind::NoTrace, message: "trace \"shared\"".into() },
         ];
         for r in responses {
             let line = r.encode();

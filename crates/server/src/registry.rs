@@ -8,6 +8,15 @@
 //! driving the *same* session serialize their commands (the analysis
 //! session is single-writer by design).
 //!
+//! The registry itself is read-mostly: the name → slot map sits behind
+//! an `RwLock` and the LRU clock and per-slot recency ticks are
+//! atomics, so the hot lookup path (`get`) never takes an exclusive
+//! lock. Each slot additionally carries its frame cache behind its own
+//! small mutex and a lock-free mirror of the session revision, which is
+//! what lets a cached render answer without touching the session lock
+//! at all — the fix for the p99 collapse under many concurrent
+//! sessions.
+//!
 //! Capacity is bounded: creating a session beyond
 //! [`ServerLimits::max_sessions`] evicts the least-recently-*used*
 //! session, tracked with a logical clock so eviction order is a pure
@@ -16,10 +25,11 @@
 
 use std::collections::HashMap;
 use std::path::PathBuf;
-use std::sync::atomic::AtomicUsize;
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock};
 
 use viva::AnalysisSession;
+use viva_obs::Recorder;
 use viva_trace::ResourceBudget;
 
 use crate::cache::FrameCache;
@@ -103,8 +113,9 @@ pub struct ServerLimits {
     /// are opt-in because enforcing them reads the wall clock.
     pub deadlines: DeadlineBudgets,
     /// Read/write timeout on TCP connections, milliseconds (`None`
-    /// disables). A peer that trickles bytes or stops reading holds a
-    /// worker thread; this bounds for how long (slow-loris defense).
+    /// disables). A peer that trickles bytes or stops reading holds
+    /// buffers on a shard; this bounds for how long (slow-loris
+    /// defense).
     pub io_timeout_ms: Option<u64>,
     /// Directory session checkpoints are written to (on `checkpoint`,
     /// on LRU eviction, and on drain) and read from by `restore`
@@ -139,29 +150,53 @@ impl Default for ServerLimits {
     }
 }
 
-/// One named session: the analysis state plus its frame cache.
+/// One named session: the analysis state behind the per-session lock.
+/// The frame cache lives on the [`SessionSlot`], outside this lock, so
+/// cached renders never serialize behind a slow command.
 #[derive(Debug)]
 pub struct ServerSession {
     /// The interactive analysis this session wraps.
     pub analysis: AnalysisSession,
-    /// Rendered-frame cache keyed on (revision, viewport, theme).
-    pub frames: FrameCache,
 }
 
-/// A registry slot: the session behind its per-session lock, plus a
-/// count of connections currently *waiting* for that lock. The count
-/// is what lets admission control bound the convoy on a hot session
+/// A registry slot: the session behind its per-session lock, plus the
+/// pieces the fast paths read without that lock — the frame cache
+/// (its own mutex), a lock-free mirror of the session revision, the
+/// session's recorder, and the LRU recency tick. The waiter count is
+/// what lets admission control bound the convoy on a hot session
 /// ([`ServerLimits::max_session_waiters`]) instead of letting every
 /// worker thread pile up behind one slow command.
 #[derive(Debug)]
 pub struct SessionSlot {
     lock: Mutex<ServerSession>,
     waiters: AtomicUsize,
+    /// Rendered-frame cache keyed on (revision, viewport, theme).
+    /// Separate mutex: a cache hit takes this lock only.
+    frames: Mutex<FrameCache>,
+    /// Mirror of `analysis.revision()`, published after every command
+    /// while the session lock is still held. A reader that sees a
+    /// stale value misses the cache and falls back to the locked path,
+    /// so staleness costs latency, never correctness.
+    revision: AtomicU64,
+    /// The session's recorder (cloned handle; recorders share state),
+    /// so the lock-free render path can count cache hits.
+    recorder: Recorder,
+    /// Last-touched logical tick (LRU order).
+    last_used: AtomicU64,
 }
 
 impl SessionSlot {
-    fn new(session: ServerSession) -> SessionSlot {
-        SessionSlot { lock: Mutex::new(session), waiters: AtomicUsize::new(0) }
+    fn new(session: ServerSession, frames: FrameCache, tick: u64) -> SessionSlot {
+        let recorder = session.analysis.recorder().clone();
+        let revision = session.analysis.revision();
+        SessionSlot {
+            lock: Mutex::new(session),
+            waiters: AtomicUsize::new(0),
+            frames: Mutex::new(frames),
+            revision: AtomicU64::new(revision),
+            recorder,
+            last_used: AtomicU64::new(tick),
+        }
     }
 
     /// Tries to take the session lock without blocking, recovering
@@ -179,26 +214,50 @@ impl SessionSlot {
         relock(&self.lock)
     }
 
+    /// Locks the slot's frame cache (independent of the session lock).
+    pub fn frames(&self) -> MutexGuard<'_, FrameCache> {
+        relock(&self.frames)
+    }
+
+    /// The last revision published for this session. May trail the
+    /// authoritative `analysis.revision()` while a command is in
+    /// flight; the cached-render fast path tolerates that by design.
+    pub fn revision(&self) -> u64 {
+        self.revision.load(Ordering::Acquire)
+    }
+
+    /// Publishes the session revision for lock-free readers. Called
+    /// with the session lock held, after the command has run.
+    pub(crate) fn publish_revision(&self, revision: u64) {
+        self.revision.store(revision, Ordering::Release);
+    }
+
+    /// The session's recorder handle.
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
     /// Connections currently blocked on [`SessionSlot::lock`] via the
     /// counted path.
     pub(crate) fn waiters(&self) -> &AtomicUsize {
         &self.waiters
     }
-}
 
-#[derive(Debug, Default)]
-struct RegistryInner {
-    sessions: HashMap<String, Arc<SessionSlot>>,
-    /// name → last-touched logical tick (LRU order).
-    last_used: HashMap<String, u64>,
-    clock: u64,
+    fn touch(&self, tick: u64) {
+        self.last_used.store(tick, Ordering::Relaxed);
+    }
+
+    fn tick(&self) -> u64 {
+        self.last_used.load(Ordering::Relaxed)
+    }
 }
 
 /// A bounded, concurrency-safe map of named [`ServerSession`]s.
 #[derive(Debug)]
 pub struct SessionRegistry {
     limits: ServerLimits,
-    inner: Mutex<RegistryInner>,
+    sessions: RwLock<HashMap<String, Arc<SessionSlot>>>,
+    clock: AtomicU64,
 }
 
 /// Recovers from a poisoned mutex: a panic in one request handler must
@@ -212,12 +271,30 @@ fn relock<T>(lock: &Mutex<T>) -> MutexGuard<'_, T> {
 impl SessionRegistry {
     /// An empty registry enforcing `limits`.
     pub fn new(limits: ServerLimits) -> SessionRegistry {
-        SessionRegistry { limits, inner: Mutex::new(RegistryInner::default()) }
+        SessionRegistry {
+            limits,
+            sessions: RwLock::new(HashMap::new()),
+            clock: AtomicU64::new(0),
+        }
     }
 
     /// The limits this registry enforces.
     pub fn limits(&self) -> &ServerLimits {
         &self.limits
+    }
+
+    fn read(&self) -> std::sync::RwLockReadGuard<'_, HashMap<String, Arc<SessionSlot>>> {
+        self.sessions.read().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    fn write(&self) -> std::sync::RwLockWriteGuard<'_, HashMap<String, Arc<SessionSlot>>> {
+        self.sessions.write().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Advances the logical clock and returns the fresh tick. Ticks
+    /// are unique, so LRU victims are always unambiguous.
+    fn next_tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed) + 1
     }
 
     /// Creates (or replaces) the session `name`, evicting the least
@@ -226,28 +303,25 @@ impl SessionRegistry {
     /// deterministic for a given command history — the caller owns
     /// the victims' last handles and can checkpoint them before drop.
     pub fn create(&self, name: &str, session: AnalysisSession) -> Vec<(String, Arc<SessionSlot>)> {
-        let mut inner = relock(&self.inner);
-        inner.clock += 1;
-        let tick = inner.clock;
-        let entry = Arc::new(SessionSlot::new(ServerSession {
-            analysis: session,
-            frames: FrameCache::new(self.limits.frame_cache_frames),
-        }));
-        inner.sessions.insert(name.to_owned(), entry);
-        inner.last_used.insert(name.to_owned(), tick);
+        let tick = self.next_tick();
+        let entry = Arc::new(SessionSlot::new(
+            ServerSession { analysis: session },
+            FrameCache::new(self.limits.frame_cache_frames),
+            tick,
+        ));
+        let mut sessions = self.write();
+        sessions.insert(name.to_owned(), entry);
         let mut evicted = Vec::new();
-        while inner.sessions.len() > self.limits.max_sessions.max(1) {
+        while sessions.len() > self.limits.max_sessions.max(1) {
             // Victim: stalest tick; ticks are unique so this is
             // unambiguous. The session just created has the freshest
             // tick and can never evict itself.
-            let victim = inner
-                .last_used
+            let victim = sessions
                 .iter()
-                .min_by_key(|(_, &t)| t)
+                .min_by_key(|(n, slot)| (slot.tick(), (*n).clone()))
                 .map(|(n, _)| n.clone())
                 .expect("non-empty registry");
-            let slot = inner.sessions.remove(&victim).expect("victim is live");
-            inner.last_used.remove(&victim);
+            let slot = sessions.remove(&victim).expect("victim is live");
             evicted.push((victim, slot));
         }
         evicted.sort_by(|a, b| a.0.cmp(&b.0));
@@ -255,14 +329,14 @@ impl SessionRegistry {
     }
 
     /// Fetches a session by name, refreshing its LRU recency. The
-    /// returned slot is locked per command by the caller.
+    /// returned slot is locked per command by the caller. Takes only
+    /// the read half of the registry lock — the hot path under
+    /// concurrent sessions.
     pub fn get(&self, name: &str) -> Option<Arc<SessionSlot>> {
-        let mut inner = relock(&self.inner);
-        inner.clock += 1;
-        let tick = inner.clock;
-        let found = inner.sessions.get(name).cloned();
-        if found.is_some() {
-            inner.last_used.insert(name.to_owned(), tick);
+        let tick = self.next_tick();
+        let found = self.read().get(name).cloned();
+        if let Some(slot) = &found {
+            slot.touch(tick);
         }
         found
     }
@@ -273,27 +347,24 @@ impl SessionRegistry {
     /// later `create` evicts — the observer must not disturb the
     /// observed.
     pub fn peek(&self, name: &str) -> Option<Arc<SessionSlot>> {
-        relock(&self.inner).sessions.get(name).cloned()
+        self.read().get(name).cloned()
     }
 
     /// Drops a session. Returns whether it existed.
     pub fn close(&self, name: &str) -> bool {
-        let mut inner = relock(&self.inner);
-        inner.last_used.remove(name);
-        inner.sessions.remove(name).is_some()
+        self.write().remove(name).is_some()
     }
 
     /// Live session names, sorted.
     pub fn names(&self) -> Vec<String> {
-        let inner = relock(&self.inner);
-        let mut names: Vec<String> = inner.sessions.keys().cloned().collect();
+        let mut names: Vec<String> = self.read().keys().cloned().collect();
         names.sort();
         names
     }
 
     /// Number of live sessions.
     pub fn len(&self) -> usize {
-        relock(&self.inner).sessions.len()
+        self.read().len()
     }
 
     /// Whether no session is live.
@@ -391,5 +462,18 @@ mod tests {
         assert!(slot.try_lock().is_none(), "second try_lock must not succeed");
         drop(held);
         assert!(slot.try_lock().is_some());
+    }
+
+    #[test]
+    fn slot_publishes_revision_and_owns_frame_cache() {
+        let r = registry(2);
+        r.create("a", tiny_session());
+        let slot = r.get("a").unwrap();
+        assert_eq!(slot.revision(), 0, "mirror starts at the session revision");
+        slot.publish_revision(7);
+        assert_eq!(slot.revision(), 7);
+        // The frame cache is usable without the session lock held.
+        let _held = slot.lock();
+        assert!(slot.frames().is_empty());
     }
 }

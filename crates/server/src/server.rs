@@ -5,15 +5,20 @@
 //! [`Server::handle_line`] drives every transport:
 //!
 //! * [`Server::serve`] pumps any `BufRead`/`Write` pair — the stdio
-//!   single-analyst mode, and the per-connection loop of TCP;
-//! * [`serve_tcp`] accepts on a `std::net::TcpListener` from a fixed
-//!   pool of worker threads (thread-per-connection, no external
-//!   dependencies): each worker polls `accept`, serves its connection
-//!   to EOF, then returns to accepting — until a drain is started.
+//!   single-analyst mode;
+//! * [`serve_tcp`] runs an **event-driven readiness loop** over
+//!   non-blocking sockets (std-only — `set_nonblocking` plus a
+//!   sleep-backed poll shim, no external dependencies): `workers`
+//!   shard threads each own a set of connections with per-connection
+//!   read/write buffers, so one shard multiplexes hundreds of
+//!   connections and one syscall round drains every complete NDJSON
+//!   frame a pipelining client has batched.
 //!
 //! Responses are deterministic: a fresh server given the same command
 //! script produces byte-identical output, including the `cached`
 //! flags of frame responses (the caches run on logical clocks).
+//! The transport never changes a byte — stdio and TCP replay the
+//! same golden transcripts.
 //!
 //! # Resilience
 //!
@@ -40,7 +45,7 @@
 //!   in-flight commands finish, and winds the accept loops down.
 
 use std::fs;
-use std::io::{self, BufRead, BufReader, Write};
+use std::io::{self, BufRead, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, MutexGuard};
@@ -48,6 +53,7 @@ use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 use viva::{AnalysisSession, SessionError, Viewport};
+use viva_agg::AggIndex;
 use viva_layout::Vec2;
 use viva_obs::Recorder;
 use viva_trace::{ContainerId, TraceError, TraceLoader};
@@ -55,6 +61,7 @@ use viva_trace::{ContainerId, TraceError, TraceLoader};
 use crate::checkpoint::{checkpoint_file_name, SessionCheckpoint};
 use crate::protocol::{Command, ErrorKind, Response, SessionStats, StatsBlock};
 use crate::registry::{ServerLimits, ServerSession, SessionRegistry, SessionSlot};
+use crate::store::{content_hash, hash_token, StoredTrace, TraceStore};
 
 /// Layout iterations run between deadline checks when a `relax` budget
 /// is configured. Small enough to bound overshoot, large enough that
@@ -74,6 +81,9 @@ const RELAX_DEADLINE_CHUNK: usize = 64;
 #[derive(Debug)]
 pub struct Server {
     registry: SessionRegistry,
+    /// Named, content-hashed shared traces: `load_trace` registers,
+    /// `attach` shares, `restore` re-links by hash.
+    store: TraceStore,
     recorder: Recorder,
     /// Commands currently executing (admission-control gauge).
     inflight: AtomicUsize,
@@ -156,6 +166,7 @@ impl Server {
     pub fn new(limits: ServerLimits) -> Server {
         Server {
             registry: SessionRegistry::new(limits),
+            store: TraceStore::new(),
             recorder: Recorder::disabled(),
             inflight: AtomicUsize::new(0),
             draining: AtomicBool::new(false),
@@ -170,6 +181,7 @@ impl Server {
     pub fn with_metrics(limits: ServerLimits) -> Server {
         Server {
             registry: SessionRegistry::new(limits),
+            store: TraceStore::new(),
             recorder: Recorder::enabled(),
             inflight: AtomicUsize::new(0),
             draining: AtomicBool::new(false),
@@ -179,6 +191,11 @@ impl Server {
     /// The underlying registry (tests and embedding).
     pub fn registry(&self) -> &SessionRegistry {
         &self.registry
+    }
+
+    /// The shared-trace store (tests and embedding).
+    pub fn store(&self) -> &TraceStore {
+        &self.store
     }
 
     /// The server-scope recorder (disabled unless built by
@@ -362,8 +379,17 @@ impl Server {
                     err(ErrorKind::NoSession, format!("session {session:?} does not exist"))
                 }
             }
-            Command::LoadTrace { session, mode, text } => {
-                self.load_trace(session, mode, &text, deadline)
+            Command::LoadTrace { session, mode, text, trace } => {
+                self.load_trace(session, mode, &text, trace, deadline)
+            }
+            Command::Attach { session, trace } => self.attach(session, &trace, deadline),
+            Command::ListTraces => Response::TraceList { traces: self.store.list() },
+            Command::DropTrace { trace } => {
+                if self.store.remove(&trace) {
+                    Response::TraceDropped { trace }
+                } else {
+                    err(ErrorKind::NoTrace, format!("trace {trace:?} is not loaded"))
+                }
             }
             Command::Stats { session } => self.stats(session),
             Command::Restore { session, state } => {
@@ -404,21 +430,28 @@ impl Server {
         Response::Stats { sessions: self.registry.len() as u64, server, session }
     }
 
+    /// The per-session recorder handed to every new session: enabled
+    /// iff the server itself carries metrics.
+    fn session_recorder(&self) -> Recorder {
+        if self.recorder.is_enabled() {
+            Recorder::enabled()
+        } else {
+            Recorder::disabled()
+        }
+    }
+
     fn load_trace(
         &self,
         session: String,
         mode: viva_trace::RecoveryMode,
         text: &str,
+        trace_name: Option<String>,
         deadline: &Deadline,
     ) -> Response {
         // A metrics-on server gives each session its own recorder,
         // shared by the loader, index, layout, and frame-cache
         // counters — `stats` reads it back per session.
-        let session_recorder = if self.recorder.is_enabled() {
-            Recorder::enabled()
-        } else {
-            Recorder::disabled()
-        };
+        let session_recorder = self.session_recorder();
         let loader = TraceLoader::new()
             .mode(mode)
             .budget(self.registry.limits().load_budget)
@@ -430,8 +463,14 @@ impl Server {
             }
             Err(e) => return err(ErrorKind::ParseTrace, e.to_string()),
         };
-        let trace = report.trace.clone();
-        let analysis = AnalysisSession::builder(trace).recorder(session_recorder).build();
+        // Parse and index are paid exactly once, here; the session and
+        // every later `attach` share the results through `Arc`s.
+        let trace = Arc::new(report.trace.clone());
+        let index = Arc::new(AggIndex::build_observed(&trace, &session_recorder));
+        let analysis = AnalysisSession::builder(Arc::clone(&trace))
+            .shared_index(Arc::clone(&index))
+            .recorder(session_recorder)
+            .build();
         if deadline.expired() {
             // Checked before the registry insert so a breached load
             // leaves no half-made session behind.
@@ -446,6 +485,19 @@ impl Server {
         let evicted = self.registry.create(&session, analysis);
         self.checkpoint_evicted(evicted);
         self.update_occupancy();
+        // Register into the store (under the explicit name, or the
+        // session's) so `attach` and hash re-links can find it.
+        let store_name = trace_name.unwrap_or_else(|| session.clone());
+        let hash = content_hash(viva_trace::export::to_csv(&trace).as_bytes());
+        self.store.insert(
+            &store_name,
+            StoredTrace {
+                trace,
+                index: Some(index),
+                hash,
+                events: report.events as u64,
+            },
+        );
         Response::Loaded {
             session,
             containers,
@@ -455,6 +507,38 @@ impl Server {
             start,
             end,
             breach: report.breach.map(|b| b.to_string()),
+        }
+    }
+
+    /// Creates (or replaces) `session` over a stored trace: two `Arc`
+    /// clones instead of a parse and an index build. This is what makes
+    /// a thousand sessions over one trace cost one trace.
+    fn attach(&self, session: String, trace_name: &str, deadline: &Deadline) -> Response {
+        let Some(stored) = self.store.get(trace_name) else {
+            return err(ErrorKind::NoTrace, format!("trace {trace_name:?} is not loaded"));
+        };
+        let mut builder = AnalysisSession::builder(Arc::clone(&stored.trace))
+            .recorder(self.session_recorder());
+        if let Some(index) = &stored.index {
+            builder = builder.shared_index(Arc::clone(index));
+        }
+        let analysis = builder.build();
+        if deadline.expired() {
+            return self.deadline_exceeded("attach", "no session was created");
+        }
+        let containers = analysis.trace().containers().len() as u64;
+        let (start, end) = (analysis.trace().start(), analysis.trace().end());
+        let evicted = self.registry.create(&session, analysis);
+        self.checkpoint_evicted(evicted);
+        self.update_occupancy();
+        self.note("server.attaches");
+        Response::Attached {
+            session,
+            trace: trace_name.to_owned(),
+            containers,
+            events: stored.events,
+            start,
+            end,
         }
     }
 
@@ -501,14 +585,41 @@ impl Server {
                 }
             }
         };
-        let session_recorder = if self.recorder.is_enabled() {
-            Recorder::enabled()
+        let session_recorder = self.session_recorder();
+        // Prefer re-linking to a stored trace with the same content
+        // hash: the restored session then shares the `Arc<Trace>` and
+        // index instead of re-parsing the embedded CSV. Only clean
+        // checkpoints are eligible (quarantine counters are per-trace
+        // state a shared trace cannot carry), and the checkpoint's
+        // claimed hash must match its own CSV — a tampered checkpoint
+        // must fail the same way on both paths.
+        let shared = if ckpt.quarantined.is_empty() && ckpt.ingest_dropped == 0 {
+            let found = content_hash(ckpt.trace_csv.as_bytes());
+            if hash_token(found) == ckpt.trace_hash {
+                self.store.find_by_hash(found)
+            } else {
+                None
+            }
         } else {
-            Recorder::disabled()
+            None
         };
-        let analysis = match ckpt.restore(self.registry.limits().load_budget, session_recorder) {
-            Ok(a) => a,
-            Err(e) => return err(ErrorKind::BadCheckpoint, e.to_string()),
+        let relinked = shared.and_then(|stored| {
+            ckpt.restore_shared(
+                Arc::clone(&stored.trace),
+                stored.index.clone(),
+                session_recorder.clone(),
+            )
+            .ok()
+        });
+        let analysis = match relinked {
+            Some(a) => {
+                self.note("server.restore_relinks");
+                a
+            }
+            None => match ckpt.restore(self.registry.limits().load_budget, session_recorder) {
+                Ok(a) => a,
+                Err(e) => return err(ErrorKind::BadCheckpoint, e.to_string()),
+            },
         };
         if deadline.expired() {
             return self.deadline_exceeded("restore", "no session was created");
@@ -601,10 +712,46 @@ impl Server {
         let Some(handle) = self.registry.get(&name) else {
             return err(ErrorKind::NoSession, format!("session {name:?} does not exist"));
         };
+        // Cached-render fast path: answered from the slot's frame
+        // cache and revision mirror without ever taking the session
+        // lock, so repeat renders on a hot session never queue behind
+        // a slow command (and the registry lock was only held for the
+        // name lookup above). A stale mirror can only cause a cache
+        // miss — the locked path below re-checks authoritatively.
+        if let Command::Render { width, height, theme, labels, .. } = &cmd {
+            if let Ok(vp) = Viewport::try_new(*width, *height) {
+                let viewport = vp.with_theme(*theme).with_labels(*labels);
+                let revision = handle.revision();
+                let key = crate::cache::FrameKey::new(revision, &viewport);
+                if let Some(svg) = handle.frames().lookup(&key) {
+                    if handle.recorder().is_enabled() {
+                        handle.recorder().counter("cache.hits").inc();
+                    }
+                    return Response::Frame { revision, cached: true, svg };
+                }
+            }
+        }
         let mut s = match self.lock_admitted(&handle) {
             Ok(g) => g,
             Err(resp) => return resp,
         };
+        let response = self.session_command(&name, &handle, &mut s, cmd, deadline);
+        // Publish the (possibly bumped) revision for lock-free readers
+        // while the session lock is still held, so a fast-path reader
+        // never sees a mirror *ahead* of the frames the cache holds.
+        handle.publish_revision(s.analysis.revision());
+        response
+    }
+
+    /// One session-scoped command, run under the session lock.
+    fn session_command(
+        &self,
+        name: &str,
+        handle: &Arc<SessionSlot>,
+        s: &mut ServerSession,
+        cmd: Command,
+        deadline: &Deadline,
+    ) -> Response {
         match cmd {
             Command::SetTimeSlice { start, end, .. } => {
                 match s.analysis.try_set_time_slice(start, end) {
@@ -612,14 +759,14 @@ impl Server {
                     Err(e) => session_error(e),
                 }
             }
-            Command::Collapse { container, .. } => match container_id(&s, &container) {
+            Command::Collapse { container, .. } => match container_id(s, &container) {
                 Ok(id) => match s.analysis.collapse(id) {
                     Ok(()) => Response::Done { revision: s.analysis.revision() },
                     Err(e) => session_error(e),
                 },
                 Err(resp) => resp,
             },
-            Command::Expand { container, .. } => match container_id(&s, &container) {
+            Command::Expand { container, .. } => match container_id(s, &container) {
                 Ok(id) => match s.analysis.expand(id) {
                     Ok(()) => Response::Done { revision: s.analysis.revision() },
                     Err(e) => session_error(e),
@@ -665,14 +812,14 @@ impl Server {
                 s.analysis.scaling_mut().set_slider(group, factor);
                 Response::Done { revision: s.analysis.revision() }
             }
-            Command::Drag { container, x, y, .. } => match container_id(&s, &container) {
+            Command::Drag { container, x, y, .. } => match container_id(s, &container) {
                 Ok(id) => match s.analysis.drag(id, Vec2::new(x, y)) {
                     Ok(()) => Response::Done { revision: s.analysis.revision() },
                     Err(e) => session_error(e),
                 },
                 Err(resp) => resp,
             },
-            Command::Release { container, .. } => match container_id(&s, &container) {
+            Command::Release { container, .. } => match container_id(s, &container) {
                 Ok(id) => match s.analysis.release(id) {
                     Ok(()) => Response::Done { revision: s.analysis.revision() },
                     Err(e) => session_error(e),
@@ -721,7 +868,7 @@ impl Server {
                     frozen: s.analysis.layout_freeze_reason().map(|r| r.to_string()),
                 }
             }
-            Command::Aggregate { metric, group, .. } => match container_id(&s, &group) {
+            Command::Aggregate { metric, group, .. } => match container_id(s, &group) {
                 Ok(id) => match s.analysis.aggregate(&metric, id) {
                     Ok(agg) => Response::Aggregated {
                         members: agg.members as u64,
@@ -745,7 +892,9 @@ impl Server {
                 let revision = s.analysis.revision();
                 let key = crate::cache::FrameKey::new(revision, &viewport);
                 let obs = s.analysis.recorder().is_enabled().then(|| s.analysis.recorder().clone());
-                if let Some(svg) = s.frames.get(&key) {
+                // Authoritative re-check: the lock-free probe in
+                // `with_session` may have missed on a stale revision.
+                if let Some(svg) = handle.frames().get(&key) {
                     if let Some(rec) = &obs {
                         rec.counter("cache.hits").inc();
                     }
@@ -758,25 +907,32 @@ impl Server {
                     // "served within budget").
                     return self.deadline_exceeded("render", "the frame was abandoned");
                 }
-                let before = s.frames.evictions();
-                s.frames.insert(key, svg.clone());
+                let evicted = {
+                    let mut frames = handle.frames();
+                    let before = frames.evictions();
+                    frames.insert(key, svg.clone());
+                    frames.evictions() - before
+                };
                 if let Some(rec) = &obs {
                     rec.counter("cache.misses").inc();
-                    rec.counter("cache.evictions").add(s.frames.evictions() - before);
+                    rec.counter("cache.evictions").add(evicted);
                 }
                 Response::Frame { revision, cached: false, svg }
             }
             Command::Checkpoint { .. } => {
-                let ckpt = SessionCheckpoint::capture(&name, &s.analysis);
+                let ckpt = SessionCheckpoint::capture(name, &s.analysis);
                 self.note("server.checkpoints");
                 self.persist_checkpoint(&ckpt);
-                Response::Checkpointed { session: name, state: Box::new(ckpt) }
+                Response::Checkpointed { session: name.to_owned(), state: Box::new(ckpt) }
             }
             // Session-free commands are handled by `dispatch`.
             Command::Ping
             | Command::Sessions
             | Command::CloseSession { .. }
             | Command::LoadTrace { .. }
+            | Command::Attach { .. }
+            | Command::ListTraces
+            | Command::DropTrace { .. }
             | Command::Stats { .. }
             | Command::Restore { .. }
             | Command::Shutdown => unreachable!("handled by dispatch"),
@@ -841,9 +997,15 @@ impl Server {
 /// The session name a command addresses, if any.
 fn session_name(cmd: &Command) -> Option<&str> {
     match cmd {
-        Command::Ping | Command::Sessions | Command::Stats { .. } | Command::Shutdown => None,
+        Command::Ping
+        | Command::Sessions
+        | Command::Stats { .. }
+        | Command::ListTraces
+        | Command::DropTrace { .. }
+        | Command::Shutdown => None,
         Command::CloseSession { session }
         | Command::LoadTrace { session, .. }
+        | Command::Attach { session, .. }
         | Command::SetTimeSlice { session, .. }
         | Command::Collapse { session, .. }
         | Command::Expand { session, .. }
@@ -866,20 +1028,72 @@ fn session_name(cmd: &Command) -> Option<&str> {
 fn drain_exempt(cmd: &Command) -> bool {
     matches!(
         cmd,
-        Command::Ping | Command::Stats { .. } | Command::Checkpoint { .. } | Command::Shutdown
+        Command::Ping
+            | Command::Stats { .. }
+            | Command::ListTraces
+            | Command::Checkpoint { .. }
+            | Command::Shutdown
     )
 }
 
-/// Accepts connections on `listener` from a pool of `workers` threads,
-/// each serving one connection at a time with [`Server::serve`]. All
-/// workers share the server (and thus its sessions): two analysts can
-/// connect separately and collaborate in one named session.
+/// Connections one shard accepts per loop tick. Bounded so draining a
+/// deep accept backlog cannot starve the shard's live connections.
+const ACCEPT_BURST: usize = 64;
+
+/// Bytes a connection's write buffer may hold before the shard stops
+/// reading new requests from it — natural pipelining backpressure. A
+/// peer that never reads its responses eventually trips the io
+/// timeout instead of growing the buffer without bound.
+const WRITE_HIGH_WATER: usize = 8 << 20;
+
+/// One client connection owned by a shard: the non-blocking socket
+/// plus its buffers and activity clock. Requests accumulate in
+/// `read_buf` until a newline completes a frame; responses accumulate
+/// in `write_buf` and drain as the socket accepts them — neither side
+/// ever blocks the shard.
+struct Conn {
+    stream: TcpStream,
+    read_buf: Vec<u8>,
+    write_buf: Vec<u8>,
+    /// How far `read_buf` has been scanned without finding a newline,
+    /// so a large frame arriving in many chunks is scanned once.
+    scan_from: usize,
+    /// Last byte received (io-timeout bookkeeping).
+    last_activity: Instant,
+    /// Flush what we owe, then close: EOF seen, protocol violation,
+    /// or drain.
+    close_after_flush: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Conn {
+        Conn {
+            stream,
+            read_buf: Vec::new(),
+            write_buf: Vec::new(),
+            scan_from: 0,
+            last_activity: Instant::now(),
+            close_after_flush: false,
+        }
+    }
+}
+
+/// Serves `listener` with an event-driven readiness loop across
+/// `workers` shard threads. Each shard owns a set of connections and
+/// multiplexes all of them: per tick it accepts a bounded burst of new
+/// sockets, flushes pending responses, drains readable sockets, and
+/// executes **every complete NDJSON frame** the reads produced — so a
+/// pipelining client gets many commands answered per syscall round.
+/// All shards share the server (and thus its sessions and traces):
+/// two analysts can connect separately and collaborate in one named
+/// session.
 ///
-/// The listener is switched to non-blocking and polled (~5 ms) so the
-/// pool can observe a drain: once [`Command::Shutdown`] runs, idle
-/// workers exit, busy workers finish their in-flight command first,
-/// and connections accepted mid-drain are refused with one
-/// `overloaded` line. Joining the returned handles is therefore a
+/// Sockets are non-blocking throughout; readiness is emulated with a
+/// short sleep when a full tick makes no progress (a std-only poll
+/// shim — no external event API, same observable semantics). Once
+/// [`Command::Shutdown`] runs, each shard flushes what it owes,
+/// closes its connections, answers any backlog with one `overloaded`
+/// line each, and exits. Joining the returned handles is therefore a
 /// complete graceful shutdown.
 pub fn serve_tcp(
     listener: TcpListener,
@@ -893,48 +1107,242 @@ pub fn serve_tcp(
             let listener = Arc::clone(&listener);
             let server = Arc::clone(&server);
             thread::Builder::new()
-                .name(format!("viva-server-worker-{i}"))
-                .spawn(move || loop {
-                    if server.is_draining() {
-                        return;
-                    }
-                    match listener.accept() {
-                        Ok((stream, _addr)) => serve_stream(&server, stream),
-                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                            thread::sleep(Duration::from_millis(5));
-                        }
-                        // The listener is gone; nothing left to accept.
-                        Err(_) => return,
-                    }
-                })
-                .expect("spawn worker thread")
+                .name(format!("viva-server-shard-{i}"))
+                .spawn(move || shard_loop(&listener, &server))
+                .expect("spawn shard thread")
         })
         .collect()
 }
 
-fn serve_stream(server: &Server, mut stream: TcpStream) {
-    // The listener is non-blocking; its accepted sockets must not be.
-    if stream.set_nonblocking(false).is_err() {
-        return;
+/// One shard's readiness loop: accept, flush, read, execute — until
+/// the listener dies or a drain completes.
+fn shard_loop(listener: &TcpListener, server: &Server) {
+    let io_timeout = server
+        .registry()
+        .limits()
+        .io_timeout_ms
+        .map(|ms| Duration::from_millis(ms.max(1)));
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut scratch = vec![0u8; 64 << 10];
+    loop {
+        if server.is_draining() {
+            drain_shard(server, listener, &mut conns);
+            return;
+        }
+        let mut progressed = false;
+        for _ in 0..ACCEPT_BURST {
+            match listener.accept() {
+                Ok((stream, _addr)) => {
+                    if stream.set_nonblocking(true).is_ok() {
+                        conns.push(Conn::new(stream));
+                        progressed = true;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                // The listener is gone; drop the shard's connections.
+                Err(_) => return,
+            }
+        }
+        let mut idx = 0;
+        while idx < conns.len() {
+            match pump_conn(server, &mut conns[idx], &mut scratch, io_timeout) {
+                (true, worked) => {
+                    progressed |= worked;
+                    idx += 1;
+                }
+                (false, worked) => {
+                    progressed |= worked;
+                    conns.swap_remove(idx);
+                }
+            }
+            if server.is_draining() {
+                break; // handled at the top of the loop
+            }
+        }
+        if !progressed {
+            // The poll shim: nothing readable, writable, or acceptable
+            // this tick — yield the CPU briefly instead of spinning.
+            thread::sleep(Duration::from_millis(1));
+        }
     }
-    if let Some(ms) = server.registry().limits().io_timeout_ms {
-        let t = Duration::from_millis(ms.max(1));
-        let _ = stream.set_read_timeout(Some(t));
-        let _ = stream.set_write_timeout(Some(t));
+}
+
+/// Winds one shard down: flush every connection's pending responses
+/// (briefly, best-effort — a peer that stopped reading cannot hold
+/// the drain hostage), then answer the accept backlog with one typed
+/// refusal each.
+fn drain_shard(server: &Server, listener: &TcpListener, conns: &mut Vec<Conn>) {
+    for mut conn in conns.drain(..) {
+        let give_up = Instant::now() + Duration::from_millis(250);
+        while !conn.write_buf.is_empty() && Instant::now() < give_up {
+            match conn.stream.write(&conn.write_buf) {
+                Ok(0) => break,
+                Ok(n) => {
+                    conn.write_buf.drain(..n);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    thread::sleep(Duration::from_millis(1));
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => break,
+            }
+        }
     }
-    if server.is_draining() {
-        // Accepted after the drain began: one typed refusal, then close
-        // — the client's retry logic takes it from here.
+    while let Ok((mut stream, _addr)) = listener.accept() {
+        // Accepted after the drain began: one typed refusal, then
+        // close — the client's retry logic takes it from here.
         let resp = server.shed("server is draining; connection refused");
+        let _ = stream.set_nonblocking(false);
         let _ = stream.write_all(format!("{}\n", resp.encode()).as_bytes());
-        return;
     }
-    let reader = match stream.try_clone() {
-        Ok(s) => BufReader::new(s),
-        Err(_) => return,
-    };
-    // A dying connection is that connection's problem only.
-    let _ = server.serve(reader, stream);
+}
+
+/// One tick of one connection. Returns `(keep, made_progress)`.
+fn pump_conn(
+    server: &Server,
+    conn: &mut Conn,
+    scratch: &mut [u8],
+    io_timeout: Option<Duration>,
+) -> (bool, bool) {
+    let mut worked = false;
+    // Flush first: pipelined clients read while we keep working, and
+    // a response from a previous tick must not wait behind new reads.
+    if !flush_write(conn, &mut worked) {
+        return (false, worked);
+    }
+    // Read until the socket runs dry — unless the peer owes us reads
+    // (write high-water backpressure) or is already closing.
+    let mut eof = false;
+    if !conn.close_after_flush && conn.write_buf.len() < WRITE_HIGH_WATER {
+        loop {
+            match conn.stream.read(scratch) {
+                Ok(0) => {
+                    eof = true;
+                    worked = true;
+                    break;
+                }
+                Ok(n) => {
+                    conn.read_buf.extend_from_slice(&scratch[..n]);
+                    conn.last_activity = Instant::now();
+                    worked = true;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => return (false, true),
+            }
+        }
+    }
+    // Slow-loris defence: a peer that trickles half a frame (or stops
+    // reading its responses) loses the connection, not a shard.
+    if let Some(t) = io_timeout {
+        if !conn.close_after_flush && !eof && conn.last_activity.elapsed() >= t {
+            server.note("server.io_timeouts");
+            return (false, worked);
+        }
+    }
+    worked |= process_frames(server, conn);
+    if eof && !conn.close_after_flush {
+        if !conn.read_buf.is_empty() {
+            // Bytes that end without a newline are a torn frame:
+            // never executed, observably dropped.
+            server.note("server.torn_frames");
+            if server.recorder().is_enabled() {
+                server.recorder().event("server.torn_frame", "dropped");
+            }
+            conn.read_buf.clear();
+            conn.scan_from = 0;
+        }
+        conn.close_after_flush = true;
+    }
+    if !flush_write(conn, &mut worked) {
+        return (false, worked);
+    }
+    if conn.close_after_flush && conn.write_buf.is_empty() {
+        return (false, worked);
+    }
+    (true, worked)
+}
+
+/// Executes every complete frame batched in `read_buf` — the
+/// pipelining payoff: one read syscall round, many commands answered.
+fn process_frames(server: &Server, conn: &mut Conn) -> bool {
+    let mut worked = false;
+    let mut consumed = 0usize;
+    let mut rest_has_no_newline = false;
+    loop {
+        let search_from = consumed.max(conn.scan_from);
+        let Some(rel) = conn.read_buf[search_from..].iter().position(|&b| b == b'\n') else {
+            rest_has_no_newline = true;
+            break;
+        };
+        let end = search_from + rel;
+        worked = true;
+        match std::str::from_utf8(&conn.read_buf[consumed..=end]) {
+            Ok(text) => {
+                if let Some(response) = server.handle_line(text) {
+                    conn.write_buf.extend_from_slice(response.as_bytes());
+                    conn.write_buf.push(b'\n');
+                }
+            }
+            Err(_) => {
+                // Invalid UTF-8 cannot carry a protocol command; end
+                // the connection (the blocking transport's read_line
+                // failed the same way).
+                conn.close_after_flush = true;
+                consumed = end + 1;
+                break;
+            }
+        }
+        consumed = end + 1;
+        if server.is_draining() {
+            // The drain response is owed; the rest of the batch is
+            // refused by closing, exactly like the blocking loop.
+            conn.close_after_flush = true;
+            break;
+        }
+    }
+    if consumed > 0 {
+        conn.read_buf.drain(..consumed);
+    }
+    conn.scan_from = if rest_has_no_newline { conn.read_buf.len() } else { 0 };
+    // An unterminated fragment larger than any legal frame can never
+    // complete: answer the protocol error once and close.
+    let max_line = server.registry().limits().max_line_bytes;
+    if rest_has_no_newline && !conn.close_after_flush && conn.read_buf.len() > max_line {
+        let resp = err(
+            ErrorKind::Protocol,
+            format!(
+                "request line of {} bytes exceeds the {}-byte limit",
+                conn.read_buf.len(),
+                max_line
+            ),
+        );
+        conn.write_buf.extend_from_slice(resp.encode().as_bytes());
+        conn.write_buf.push(b'\n');
+        conn.read_buf.clear();
+        conn.scan_from = 0;
+        conn.close_after_flush = true;
+        worked = true;
+    }
+    worked
+}
+
+/// Drains `write_buf` into the socket as far as it will go without
+/// blocking. Returns `false` when the connection is dead.
+fn flush_write(conn: &mut Conn, worked: &mut bool) -> bool {
+    while !conn.write_buf.is_empty() {
+        match conn.stream.write(&conn.write_buf) {
+            Ok(0) => return false,
+            Ok(n) => {
+                conn.write_buf.drain(..n);
+                *worked = true;
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return true,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return false,
+        }
+    }
+    true
 }
 
 #[cfg(test)]
@@ -972,6 +1380,7 @@ mod tests {
             session: session.into(),
             mode: viva_trace::RecoveryMode::Strict,
             text: trace_csv(),
+            trace: None,
         });
         assert!(matches!(r, Response::Loaded { .. }), "{r:?}");
     }
@@ -1184,6 +1593,7 @@ mod tests {
                 session: "a".into(),
                 mode: viva_trace::RecoveryMode::Strict,
                 text: trace_csv(),
+                trace: None,
             },
             Command::SetTimeSlice { session: "a".into(), start: 1.0, end: 9.0 },
             Command::Collapse { session: "a".into(), container: "c1".into() },
@@ -1295,6 +1705,7 @@ mod tests {
             session: "dmg".into(),
             mode: viva_trace::RecoveryMode::Lenient,
             text,
+            trace: None,
         });
         match r {
             Response::Loaded { dropped, quarantined, .. } => {
@@ -1309,6 +1720,7 @@ mod tests {
             session: "dmg2".into(),
             mode: viva_trace::RecoveryMode::Strict,
             text,
+            trace: None,
         });
         assert!(
             matches!(r, Response::Error { kind: ErrorKind::ParseTrace, .. }),
@@ -1467,6 +1879,7 @@ mod tests {
                 session: "b".into(),
                 mode: viva_trace::RecoveryMode::Strict,
                 text: trace_csv(),
+                trace: None,
             }),
             Response::Error { kind: ErrorKind::Overloaded { .. }, .. }
         ));
@@ -1508,6 +1921,7 @@ mod tests {
                         session: session.clone(),
                         mode: viva_trace::RecoveryMode::Strict,
                         text: csv,
+                        trace: None,
                     });
                     assert!(matches!(r, Response::Loaded { .. }));
                     let r = send(&Command::Render {
@@ -1525,5 +1939,132 @@ mod tests {
             c.join().unwrap();
         }
         assert_eq!(server.registry().len(), 2);
+    }
+
+    #[test]
+    fn attach_shares_one_trace_among_sessions() {
+        let s = Server::new(ServerLimits { max_sessions: 64, ..ServerLimits::default() });
+        let (loaded_containers, loaded_events) = match s.execute(Command::LoadTrace {
+            session: "a".into(),
+            mode: viva_trace::RecoveryMode::Strict,
+            text: trace_csv(),
+            trace: Some("shared".into()),
+        }) {
+            Response::Loaded { containers, events, .. } => (containers, events),
+            other => panic!("{other:?}"),
+        };
+        for i in 0..10 {
+            let r = s.execute(Command::Attach {
+                session: format!("att-{i}"),
+                trace: "shared".into(),
+            });
+            match r {
+                Response::Attached { trace, containers, events, .. } => {
+                    assert_eq!(trace, "shared");
+                    assert_eq!(containers, loaded_containers);
+                    assert_eq!(events, loaded_events);
+                }
+                other => panic!("{other:?}"),
+            }
+        }
+        // The store sees one trace shared by eleven sessions (loader's
+        // plus ten attached): one Arc strong count per session, plus
+        // the store's own reference.
+        match s.execute(Command::ListTraces) {
+            Response::TraceList { traces } => {
+                assert_eq!(traces.len(), 1);
+                assert_eq!(traces[0].name, "shared");
+                assert_eq!(traces[0].sessions, 11);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Attached sessions truly share: same allocation, not a copy.
+        let a = s.registry().get("a").unwrap().lock().analysis.shared_trace();
+        let b = s.registry().get("att-0").unwrap().lock().analysis.shared_trace();
+        assert!(Arc::ptr_eq(&a, &b));
+        // The shared index was built once and is shared too.
+        let ia = s.registry().get("a").unwrap().lock().analysis.shared_index().unwrap();
+        let ib = s.registry().get("att-9").unwrap().lock().analysis.shared_index().unwrap();
+        assert!(Arc::ptr_eq(&ia, &ib));
+        // Attached sessions render identically to the loaded one.
+        let render = |session: &str| match s.execute(Command::Render {
+            session: session.into(),
+            width: 320.0,
+            height: 240.0,
+            theme: viva::Theme::Light,
+            labels: false,
+        }) {
+            Response::Frame { svg, .. } => svg,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(render("a"), render("att-5"));
+        // Dropping the trace stops new attaches; live sessions keep
+        // working.
+        assert!(matches!(
+            s.execute(Command::DropTrace { trace: "shared".into() }),
+            Response::TraceDropped { .. }
+        ));
+        assert!(matches!(
+            s.execute(Command::Attach { session: "late".into(), trace: "shared".into() }),
+            Response::Error { kind: ErrorKind::NoTrace, .. }
+        ));
+        assert!(matches!(
+            s.execute(Command::DropTrace { trace: "shared".into() }),
+            Response::Error { kind: ErrorKind::NoTrace, .. }
+        ));
+        assert!(matches!(
+            s.execute(Command::Relax { session: "att-3".into(), steps: 5 }),
+            Response::Relaxed { .. }
+        ));
+    }
+
+    #[test]
+    fn attach_to_missing_trace_is_typed() {
+        let s = server();
+        assert!(matches!(
+            s.execute(Command::Attach { session: "x".into(), trace: "ghost".into() }),
+            Response::Error { kind: ErrorKind::NoTrace, .. }
+        ));
+        assert!(s.registry().is_empty());
+    }
+
+    #[test]
+    fn restore_relinks_to_stored_trace_by_content_hash() {
+        let s = server();
+        let r = s.execute(Command::LoadTrace {
+            session: "a".into(),
+            mode: viva_trace::RecoveryMode::Strict,
+            text: trace_csv(),
+            trace: Some("shared".into()),
+        });
+        assert!(matches!(r, Response::Loaded { .. }));
+        s.execute(Command::Collapse { session: "a".into(), container: "c1".into() });
+        s.execute(Command::Relax { session: "a".into(), steps: 25 });
+        let state = match s.execute(Command::Checkpoint { session: "a".into() }) {
+            Response::Checkpointed { state, .. } => state,
+            other => panic!("{other:?}"),
+        };
+        // Restore into a *different* session on the same server: the
+        // checkpoint's content hash matches the stored trace, so the
+        // restored session shares it instead of re-parsing.
+        assert!(matches!(
+            s.execute(Command::Restore { session: "b".into(), state: Some(state) }),
+            Response::Restored { .. }
+        ));
+        let restored = s.registry().get("b").unwrap().lock().analysis.shared_trace();
+        let stored = s.store().get("shared").unwrap().trace;
+        assert!(Arc::ptr_eq(&restored, &stored), "restore re-linked to the shared trace");
+        // And it renders byte-identically to the original session.
+        let render = |session: &str| match s.execute(Command::Render {
+            session: session.into(),
+            width: 640.0,
+            height: 480.0,
+            theme: viva::Theme::Dark,
+            labels: true,
+        }) {
+            Response::Frame { svg, .. } => svg,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(render("a"), render("b"));
     }
 }

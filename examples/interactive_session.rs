@@ -47,6 +47,7 @@ fn main() {
         session: TOUR.into(),
         mode: RecoveryMode::Strict,
         text: viva_trace::export::to_csv(&trace),
+        trace: None,
     }];
     let mut session =
         AnalysisSession::builder(trace).platform(&platform).build();

@@ -98,6 +98,7 @@ proptest! {
             session: "s".to_owned(),
             mode: RecoveryMode::Strict,
             text: trace_csv(),
+            trace: None,
         });
         prop_assert!(matches!(loaded, Response::Loaded { .. }), "load failed: {loaded:?}");
 

@@ -129,6 +129,7 @@ proptest! {
                 session: "a".into(),
                 mode: RecoveryMode::Strict,
                 text: csv.clone(),
+                trace: None,
             });
             assert!(matches!(loaded, Response::Loaded { .. }), "{loaded:?}");
             let mut transcript = String::new();

@@ -14,7 +14,7 @@ use proptest::prelude::*;
 use proptest::test_runner::TestCaseError;
 use viva::Theme;
 use viva_server::protocol::{Command, ErrorKind, Response, SessionStats, StatsBlock, StatsEvent};
-use viva_server::{Server, ServerLimits};
+use viva_server::{Server, ServerLimits, TraceEntry};
 use viva_trace::RecoveryMode;
 
 // ---------------------------------------------------------------------
@@ -73,8 +73,11 @@ fn command() -> impl Strategy<Value = Command> {
         Just(Command::Ping),
         Just(Command::Sessions),
         name().prop_map(|session| Command::CloseSession { session }),
-        (name(), mode(), name())
-            .prop_map(|(session, mode, text)| Command::LoadTrace { session, mode, text }),
+        (name(), mode(), name(), opt_name())
+            .prop_map(|(session, mode, text, trace)| Command::LoadTrace { session, mode, text, trace }),
+        (name(), name()).prop_map(|(session, trace)| Command::Attach { session, trace }),
+        Just(Command::ListTraces),
+        name().prop_map(|trace| Command::DropTrace { trace }),
         (name(), num(), num())
             .prop_map(|(session, start, end)| Command::SetTimeSlice { session, start, end }),
         (name(), name()).prop_map(|(session, container)| Command::Collapse { session, container }),
@@ -142,6 +145,7 @@ fn error_kind() -> impl Strategy<Value = ErrorKind> {
         ErrorKind::BadArgument,
         ErrorKind::ParseTrace,
         ErrorKind::BudgetExceeded,
+        ErrorKind::NoTrace,
     ];
     (0usize..kinds.len()).prop_map(move |i| kinds[i])
 }
@@ -181,6 +185,30 @@ fn response() -> impl Strategy<Value = Response> {
             }),
         (uint(), prop_oneof![Just(false), Just(true)], name())
             .prop_map(|(revision, cached, svg)| Response::Frame { revision, cached, svg }),
+        (name(), name(), (uint(), uint()), (num(), num())).prop_map(
+            |(session, trace, (containers, events), (start, end))| Response::Attached {
+                session,
+                trace,
+                containers,
+                events,
+                start,
+                end,
+            }
+        ),
+        proptest::collection::vec(
+            (name(), name(), (uint(), uint(), uint())).prop_map(
+                |(name, hash, (containers, events, sessions))| TraceEntry {
+                    name,
+                    hash,
+                    containers,
+                    events,
+                    sessions,
+                }
+            ),
+            0..3,
+        )
+        .prop_map(|traces| Response::TraceList { traces }),
+        name().prop_map(|trace| Response::TraceDropped { trace }),
         (error_kind(), name()).prop_map(|(kind, message)| Response::Error { kind, message }),
         (
             uint(),

@@ -43,6 +43,7 @@ fn load(server: &Server, name: &str) {
         session: name.to_owned(),
         mode: RecoveryMode::Strict,
         text: trace_csv(),
+        trace: None,
     });
     assert!(matches!(resp, Response::Loaded { .. }), "load failed: {resp:?}");
 }
@@ -162,6 +163,7 @@ fn torn_frame_is_dropped_not_executed() {
         session: "torn".to_owned(),
         mode: RecoveryMode::Strict,
         text: trace_csv(),
+        trace: None,
     }
     .encode();
     let mut out = Vec::new();
