@@ -94,4 +94,94 @@ echo "==> chaos-smoke: adversarial serving, recovery, and overload shedding"
 cargo run --quiet --release -p viva-bench --bin fuzz_server > /dev/null
 cargo run --quiet --release -p viva-bench --bin fig_resilience -- --small > /dev/null
 
+echo "==> stream-smoke: durable appends survive SIGKILL, resend converges"
+# End-to-end durability at the process level: a client streams 10k
+# events into a journaled TCP server, the server is SIGKILLed mid-
+# append, a fresh server over the same journal directory recovers the
+# session, and the client's at-least-once resend (duplicates acked
+# idempotently, remainder applied) must converge to a render byte-
+# identical to an uninterrupted run. A `--follow` subscriber on the
+# recovered server must then see a live delta push. The streaming bench
+# smoke re-checks recovery byte-identity and subscriber fan-out in
+# process (timing gates are only asserted by the full run).
+STREAM_SCRIPT=/tmp/viva_stream_smoke.script
+STREAM_DIR_GOLD=/tmp/viva_stream_smoke_gold
+STREAM_DIR_CRASH=/tmp/viva_stream_smoke_crash
+rm -rf "$STREAM_DIR_GOLD" "$STREAM_DIR_CRASH"
+{
+  printf '{"cmd":"append","session":"live","seq":1,"text":"span,0.0,20000.0\\ncontainer,1,0,host,h0\\ncontainer,2,0,host,h1\\nmetric,0,MFlop/s,power\\nvar,0.0,1,0,100.0\\nvar,0.0,2,0,50.0"}\n'
+  awk 'BEGIN { for (i = 2; i <= 10000; i++)
+    printf "{\"cmd\":\"append\",\"session\":\"live\",\"seq\":%d,\"text\":\"var,%d,%d,0,%d\"}\n", i, i, (i % 2) + 1, i % 100 }'
+  printf '{"cmd":"render","session":"live","width":640,"height":480,"theme":"light","labels":false}\n'
+} > "$STREAM_SCRIPT"
+# The uninterrupted reference run (stdio, journaled like the real one).
+cargo run --quiet --release -p viva-server --bin viva-server -- --stdio \
+  --journal-dir "$STREAM_DIR_GOLD" --journal-sync-every 100 \
+  < "$STREAM_SCRIPT" | tail -n 1 > /tmp/viva_stream_smoke_gold.render
+# The crashed run: fsync every append so every acked event survives.
+rm -f /tmp/viva_stream_smoke_tcp.log
+target/release/viva-server --tcp 127.0.0.1:0 --workers 2 \
+  --journal-dir "$STREAM_DIR_CRASH" --journal-sync-every 1 \
+  > /dev/null 2> /tmp/viva_stream_smoke_tcp.log &
+SRV_PID=$!
+ADDR=""
+for _ in $(seq 1 200); do
+  ADDR=$(sed -n 's/^viva-server: listening on \([0-9.:]*\) .*/\1/p' /tmp/viva_stream_smoke_tcp.log)
+  [ -n "$ADDR" ] && break
+  sleep 0.05
+done
+test -n "$ADDR" || { echo "viva-server never announced its address" >&2; kill "$SRV_PID"; exit 1; }
+target/release/viva-server-client --tcp "$ADDR" "$STREAM_SCRIPT" > /dev/null 2>&1 &
+CLIENT_PID=$!
+# Pull the trigger once at least ~2000 appends are durable, so the kill
+# lands mid-stream rather than before or after it.
+for _ in $(seq 1 500); do
+  [ -f "$STREAM_DIR_CRASH/live.journal" ] \
+    && [ "$(wc -l < "$STREAM_DIR_CRASH/live.journal")" -ge 2000 ] && break
+  sleep 0.01
+done
+kill -9 "$SRV_PID" 2> /dev/null || true
+wait "$SRV_PID" 2> /dev/null || true
+wait "$CLIENT_PID" 2> /dev/null || true
+test -s "$STREAM_DIR_CRASH/live.journal" || { echo "no journal written before the kill" >&2; exit 1; }
+# Restart over the same journal directory: the session must come back,
+# and resending the whole stream must converge byte-for-byte.
+rm -f /tmp/viva_stream_smoke_tcp2.log
+target/release/viva-server --tcp 127.0.0.1:0 --workers 2 \
+  --journal-dir "$STREAM_DIR_CRASH" --journal-sync-every 1 \
+  > /dev/null 2> /tmp/viva_stream_smoke_tcp2.log &
+SRV_PID=$!
+ADDR=""
+for _ in $(seq 1 200); do
+  ADDR=$(sed -n 's/^viva-server: listening on \([0-9.:]*\) .*/\1/p' /tmp/viva_stream_smoke_tcp2.log)
+  [ -n "$ADDR" ] && break
+  sleep 0.05
+done
+test -n "$ADDR" || { echo "restarted viva-server never announced its address" >&2; kill "$SRV_PID"; exit 1; }
+grep -q 'recovered live session "live"' /tmp/viva_stream_smoke_tcp2.log \
+  || { echo "restarted server did not recover the live session" >&2; kill "$SRV_PID"; exit 1; }
+target/release/viva-server-client --tcp "$ADDR" "$STREAM_SCRIPT" \
+  | tail -n 1 > /tmp/viva_stream_smoke_recovered.render
+diff -u /tmp/viva_stream_smoke_gold.render /tmp/viva_stream_smoke_recovered.render
+# A live follower on the recovered stream must see the next delta.
+target/release/viva-server-client --tcp "$ADDR" --follow live \
+  > /tmp/viva_stream_smoke_follow.ndjson 2> /dev/null &
+FOLLOW_PID=$!
+sleep 0.3
+echo '{"cmd":"append","session":"live","seq":10001,"text":"var,10001,1,0,42"}' \
+  | target/release/viva-server-client --tcp "$ADDR" > /dev/null
+for _ in $(seq 1 100); do
+  grep -q '"push":"delta"' /tmp/viva_stream_smoke_follow.ndjson && break
+  sleep 0.05
+done
+kill "$FOLLOW_PID" 2> /dev/null || true
+wait "$FOLLOW_PID" 2> /dev/null || true
+grep -q '"push":"subscribed"\|"ok":"subscribed"' /tmp/viva_stream_smoke_follow.ndjson \
+  || { echo "follower never subscribed" >&2; kill "$SRV_PID"; exit 1; }
+grep -q '"push":"delta"' /tmp/viva_stream_smoke_follow.ndjson \
+  || { echo "follower never saw a delta push" >&2; kill "$SRV_PID"; exit 1; }
+echo '{"cmd":"shutdown"}' | target/release/viva-server-client --tcp "$ADDR" > /dev/null
+wait "$SRV_PID"
+cargo run --quiet --release -p viva-bench --bin fig_streaming -- --small > /dev/null
+
 echo "ci: all green"

@@ -21,7 +21,7 @@
 //! reproducible run to run.
 
 use viva_obs::{Counter, Histogram, Recorder};
-use viva_trace::{ContainerId, MetricId, Signal, Trace};
+use viva_trace::{ContainerId, MetricId, SamplePrior, Signal, Trace};
 
 use crate::multiscale::GroupAggregate;
 use crate::stats::Summary;
@@ -72,7 +72,7 @@ impl GroupSeries {
 }
 
 /// Per-metric slice of the index.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 struct MetricIndex {
     /// Euler-tour entry times of the carrier containers, ascending.
     /// Carriers under a group = one binary-searched range.
@@ -105,6 +105,19 @@ pub struct AggIndex {
     /// Cached query-metric handles; `None` until a live recorder is
     /// wired via [`set_recorder`](AggIndex::set_recorder).
     obs: Option<Box<AggObs>>,
+}
+
+/// Structural equality of the *data* (tour, carrier sets, merged
+/// series with their prefix integrals, quarantine sums) — exactly what
+/// "incremental insert is bit-identical to a rebuild" quantifies over.
+/// Observability handles are wiring, not data, and are ignored.
+impl PartialEq for AggIndex {
+    fn eq(&self, other: &AggIndex) -> bool {
+        self.tin == other.tin
+            && self.tout == other.tout
+            && self.order == other.order
+            && self.metrics == other.metrics
+    }
 }
 
 /// Pre-resolved handles for the query paths (`agg.index.*`).
@@ -253,6 +266,204 @@ impl AggIndex {
 
     fn metric_index(&self, metric: MetricId) -> Option<&MetricIndex> {
         self.metrics.get(metric.index())
+    }
+
+    /// Incrementally folds one new sample into the index, **after** the
+    /// sample has been applied to `trace` (via
+    /// [`viva_trace::Trace::live_push_sample`], whose returned
+    /// [`SamplePrior`] is passed through here).
+    ///
+    /// The result is bit-identical to `AggIndex::build(trace)` — the
+    /// proptests below pin that down. The common case (an existing
+    /// carrier appending at or after every affected group's last
+    /// breakpoint) updates only the `O(depth)` ancestor chain; anything
+    /// the fast path cannot reproduce exactly (new carrier, time before
+    /// an ancestor's last breakpoint because a sibling is ahead,
+    /// saturated series, overflow) falls back to rebuilding that one
+    /// metric from the already-updated trace, so the index is *always*
+    /// consistent on return.
+    ///
+    /// Topology and metric registration are append-only in live
+    /// sessions and arrive as structural records, which force a full
+    /// [`AggIndex::build`] upstream — this method only handles samples
+    /// on containers and metrics the index already knows.
+    pub fn insert_sample(
+        &mut self,
+        trace: &Trace,
+        container: ContainerId,
+        metric: MetricId,
+        t: f64,
+        v: f64,
+        prior: SamplePrior,
+    ) {
+        let mi = metric.index();
+        if mi >= self.metrics.len() || container.index() >= self.tin.len() {
+            // A metric or container the index has never seen arrives
+            // via a structural record, which rebuilds the whole index
+            // upstream; tolerate the call anyway.
+            return;
+        }
+        if !self.try_fast_insert(trace, container, metric, t, v, prior) {
+            self.metrics[mi] = Self::build_metric(trace, metric, &self.order, &self.tin);
+        }
+    }
+
+    /// The `O(depth)` fast path of [`insert_sample`](Self::insert_sample).
+    /// Returns `false` when the update cannot be reproduced
+    /// bit-identically without a rebuild.
+    fn try_fast_insert(
+        &mut self,
+        trace: &Trace,
+        container: ContainerId,
+        metric: MetricId,
+        t: f64,
+        v: f64,
+        prior: SamplePrior,
+    ) -> bool {
+        if !prior.existed || !t.is_finite() || !v.is_finite() {
+            return false;
+        }
+        let midx = &mut self.metrics[metric.index()];
+        let tree = trace.containers();
+        // Ancestor chain, leaf first — the update order (children
+        // before parents, exactly like the build's reverse pre-order).
+        let mut path = vec![container];
+        let mut cur = container;
+        while let Some(p) = tree.node(cur).parent() {
+            path.push(p);
+            cur = p;
+        }
+        // Pre-flight: every group on the chain must already have a
+        // series (the carrier existed), must be unsaturated (clamped
+        // sums don't obey pure delta arithmetic), and must end at or
+        // before `t` (a sibling ahead of `t` would force a mid-series
+        // merge insert).
+        for &g in &path {
+            match &midx.series[g.index()] {
+                Some(s) if s.saturated == 0 => match s.signal.last_time() {
+                    Some(last) if t >= last => {}
+                    _ => return false,
+                },
+                _ => return false,
+            }
+        }
+        // Compute each group's new breakpoint value by replaying the
+        // arithmetic its `build_metric` arm would perform, bottom-up so
+        // parents read already-updated children.
+        for (step, &g) in path.iter().enumerate() {
+            let node = tree.node(g);
+            let own = trace.signal(g, metric);
+            let carrier_children: Vec<ContainerId> = node
+                .children()
+                .iter()
+                .copied()
+                .filter(|ch| midx.series[ch.index()].is_some())
+                .collect();
+            let series_last = |s: &GroupSeries| -> (Option<f64>, f64, f64) {
+                let sig = &s.signal;
+                let n = sig.len();
+                let last_v = sig.values().last().copied().unwrap_or(0.0);
+                let prev_v = if n >= 2 { sig.values()[n - 2] } else { 0.0 };
+                (sig.last_time(), last_v, prev_v)
+            };
+            let val = match (own, carrier_children.len()) {
+                // Leaf arm: the group series mirrors the raw signal
+                // (which the trace push already updated) — copy its new
+                // last value rather than re-deriving it through delta
+                // arithmetic, which wouldn't be bit-identical.
+                (Some(sig), 0) => {
+                    debug_assert_eq!(g, container);
+                    sig.values().last().copied().unwrap_or(v)
+                }
+                // Clone arm: mirrors the single carrier child, which
+                // the previous iteration already updated.
+                (None, 1) => {
+                    let ch = carrier_children[0];
+                    debug_assert_eq!(ch, path[step - 1]);
+                    match &midx.series[ch.index()] {
+                        Some(s) => s.signal.values().last().copied().unwrap_or(v),
+                        None => return false,
+                    }
+                }
+                // Merge arm: the series is a delta sweep over parts
+                // (own signal first, carrier children in declaration
+                // order) — replay exactly the sweep's float ops for the
+                // breakpoints at `t`.
+                _ => {
+                    let s = midx.series[g.index()].as_ref().expect("pre-flight checked");
+                    let (s_last_t, s_last_v, s_prev_v) = series_last(s);
+                    let tied = s_last_t == Some(t);
+                    // Parts in build order, as (last_time, last, prev).
+                    let mut parts: Vec<(Option<f64>, f64, f64)> = Vec::new();
+                    if let Some(sig) = own {
+                        let n = sig.len();
+                        parts.push((
+                            sig.last_time(),
+                            sig.values().last().copied().unwrap_or(0.0),
+                            if n >= 2 { sig.values()[n - 2] } else { 0.0 },
+                        ));
+                    }
+                    for &ch in node.children() {
+                        if let Some(cs) = &midx.series[ch.index()] {
+                            parts.push(series_last(cs));
+                        }
+                    }
+                    let mut acc = if tied {
+                        // Re-collapse every part breakpoint at `t` onto
+                        // the value just before `t`, in part order —
+                        // the sweep's stable-sort order.
+                        s_prev_v
+                    } else {
+                        s_last_v
+                    };
+                    let mut contributed = false;
+                    for (p_last_t, p_last, p_prev) in parts {
+                        if p_last_t == Some(t) {
+                            acc += p_last - p_prev;
+                            contributed = true;
+                            if !acc.is_finite() {
+                                // The rebuild sweep would clamp here —
+                                // different arithmetic from this point
+                                // on, so replay it for real.
+                                return false;
+                            }
+                        }
+                    }
+                    if !contributed {
+                        // The updated part always ends at `t` by now,
+                        // so this is unreachable — but if the invariant
+                        // ever breaks, a rebuild is correct and a
+                        // silent push is not.
+                        return false;
+                    }
+                    acc
+                }
+            };
+            let s = midx.series[g.index()].as_mut().expect("pre-flight checked");
+            s.signal.push(t, val).expect("t >= last and finite by pre-flight");
+        }
+        true
+    }
+
+    /// Folds a newly-quarantined sample (a non-finite value on a valid
+    /// carrier pair) into the index: only the metric's quarantine
+    /// prefix sums change, rebuilt in `O(n)` from the already-updated
+    /// trace — bit-identical to a full rebuild's.
+    pub fn note_quarantine(&mut self, trace: &Trace, metric: MetricId) {
+        let mi = metric.index();
+        if mi >= self.metrics.len() {
+            return;
+        }
+        let mut quarantine_prefix = Vec::new();
+        if self.order.iter().any(|&c| trace.quarantined(c, metric) > 0) {
+            quarantine_prefix.reserve(self.order.len() + 1);
+            quarantine_prefix.push(0u64);
+            for &c in &self.order {
+                let last = *quarantine_prefix.last().expect("seeded with 0");
+                quarantine_prefix.push(last + trace.quarantined(c, metric));
+            }
+        }
+        self.metrics[mi].quarantine_prefix = quarantine_prefix;
     }
 
     /// The merged series of `(metric, group)`, `None` when no container
@@ -773,6 +984,48 @@ mod proptests {
         })
     }
 
+    /// The `O(depth)` fast path itself (not its rebuild fallback) must
+    /// carry the common streaming cases: append, equal-time collapse,
+    /// and sibling-tie refold — asserted by calling it directly.
+    #[test]
+    fn fast_insert_handles_append_tie_and_sibling_tie() {
+        use viva_trace::{ContainerKind, TraceBuilder};
+        let mut b = TraceBuilder::new();
+        let m = b.metric("power_used", "MFlop/s");
+        let c1 = b.new_container(b.root(), "c1", ContainerKind::Cluster).unwrap();
+        let h0 = b.new_container(c1, "c1-h0", ContainerKind::Host).unwrap();
+        let h1 = b.new_container(c1, "c1-h1", ContainerKind::Host).unwrap();
+        let c2 = b.new_container(b.root(), "c2", ContainerKind::Cluster).unwrap();
+        let h2 = b.new_container(c2, "c2-h0", ContainerKind::Host).unwrap();
+        for (i, &h) in [h0, h1, h2].iter().enumerate() {
+            b.set_variable(0.0, h, m, 10.0 * (i + 1) as f64).unwrap();
+            b.set_variable(2.0 + i as f64, h, m, 5.0).unwrap();
+        }
+        let mut trace = b.finish(10.0);
+        let mut idx = AggIndex::build(&trace);
+        // Pure append past every last breakpoint.
+        let prior = trace.live_push_sample(h0, m, 20.0, 42.0).unwrap();
+        assert!(idx.try_fast_insert(&trace, h0, m, 20.0, 42.0, prior));
+        assert!(idx == AggIndex::build(&trace), "append diverged");
+        // Sibling tie: h1 lands at h0's new last time — the parent
+        // series collapses the equal-time breakpoints via refold.
+        let prior = trace.live_push_sample(h1, m, 20.0, 7.0).unwrap();
+        assert!(idx.try_fast_insert(&trace, h1, m, 20.0, 7.0, prior));
+        assert!(idx == AggIndex::build(&trace), "sibling tie diverged");
+        // Same-signal tie: overwrite h0's breakpoint at 20.0.
+        let prior = trace.live_push_sample(h0, m, 20.0, 1.5).unwrap();
+        assert!(prior.tied);
+        assert!(idx.try_fast_insert(&trace, h0, m, 20.0, 1.5, prior));
+        assert!(idx == AggIndex::build(&trace), "tie overwrite diverged");
+        // Cross-sibling out-of-order: 15.0 is past h2's own clock but
+        // precedes the *root's* last breakpoint (20.0 from c1) — the
+        // fast path must refuse and the fallback rebuild take over.
+        let prior = trace.live_push_sample(h2, m, 15.0, 3.0).unwrap();
+        assert!(!idx.try_fast_insert(&trace, h2, m, 15.0, 3.0, prior));
+        idx.insert_sample(&trace, h2, m, 15.0, 3.0, prior);
+        assert!(idx == AggIndex::build(&trace), "rebuild fallback diverged");
+    }
+
     proptest! {
         /// The tentpole invariant: the incremental index agrees with
         /// the naive full-rescan aggregation on random traces and
@@ -864,6 +1117,69 @@ mod proptests {
                         other => return Err(TestCaseError::fail(format!("presence mismatch {other:?}"))),
                     }
                 }
+            }
+        }
+
+        /// The streaming invariant: folding samples in one at a time
+        /// with [`AggIndex::insert_sample`] / [`AggIndex::note_quarantine`]
+        /// yields an index **bit-identical** (structural `PartialEq`,
+        /// prefix integrals and quarantine sums included) to
+        /// `AggIndex::build` of the same trace — after *every* event,
+        /// across new carriers, equal-time collapses, cross-sibling
+        /// out-of-order arrivals (fast-path bail), samples on inner
+        /// containers, NaN quarantines, and saturating `1e308` sums.
+        #[test]
+        fn incremental_insert_is_bit_identical_to_rebuild(
+            ops in proptest::collection::vec(
+                // (container selector, metric selector, value kind,
+                //  time advance selector, value)
+                (0usize..16, 0usize..2, 0usize..8, 0usize..4, -500.0f64..500.0),
+                0..40,
+            ),
+        ) {
+            use viva_trace::{ContainerKind, TraceBuilder};
+            // root → {c0: h0 h1, c1: h2}, plus a host directly under
+            // root: exercises leaf, clone, and merge arms.
+            let mut b = TraceBuilder::new();
+            let m0 = b.metric("power_used", "MFlop/s");
+            let m1 = b.metric("bandwidth", "Mbit/s");
+            let c0 = b.new_container(b.root(), "c0", ContainerKind::Cluster).unwrap();
+            let h0 = b.new_container(c0, "h0", ContainerKind::Host).unwrap();
+            let h1 = b.new_container(c0, "h1", ContainerKind::Host).unwrap();
+            let c1 = b.new_container(b.root(), "c1", ContainerKind::Cluster).unwrap();
+            let h2 = b.new_container(c1, "h2", ContainerKind::Host).unwrap();
+            let h3 = b.new_container(b.root(), "h3", ContainerKind::Host).unwrap();
+            // Seed one carrier so existing-carrier fast paths fire from
+            // the first op; everything else starts silent.
+            b.set_variable(0.0, h0, m0, 10.0).unwrap();
+            let mut trace = b.finish(0.0);
+            let mut idx = AggIndex::build(&trace);
+            let containers = [c0, h0, h1, c1, h2, h3, trace.containers().root()];
+            for (ci, mi, kind, dt_sel, v) in ops {
+                let c = containers[ci % containers.len()];
+                let m = if mi == 0 { m0 } else { m1 };
+                if kind == 6 {
+                    // Non-finite sample on a valid pair: quarantine.
+                    trace.live_note_quarantined(c, m);
+                    idx.note_quarantine(&trace, m);
+                } else {
+                    // Discrete time advances force equal-time collapses
+                    // both within a signal (dt = 0) and across siblings
+                    // (shared grid); per-pair clocks stay monotonic
+                    // while the *merged* ancestors see out-of-order
+                    // arrivals whenever a sibling is ahead.
+                    let dt = [0.0, 1.0, 1.0, 2.5][dt_sel];
+                    let t = trace.signal(c, m)
+                        .and_then(|s| s.last_time())
+                        .unwrap_or(0.0) + dt;
+                    let v = if kind == 7 { 1.0e308 } else { v };
+                    let prior = trace.live_push_sample(c, m, t, v).unwrap();
+                    idx.insert_sample(&trace, c, m, t, v, prior);
+                }
+                let rebuilt = AggIndex::build(&trace);
+                prop_assert!(idx == rebuilt,
+                             "incremental index diverged from rebuild after \
+                              ({c:?}, {m:?}, kind {kind})");
             }
         }
 

@@ -553,7 +553,253 @@ fn loris_connection(addr: std::net::SocketAddr, timeout_ms: u64) {
     let _ = BufReader::new(stream).read_line(&mut sink);
 }
 
-/// Phase 4: TCP chaos around a clean scripted client, then a graceful
+/// Builds a seeded live event stream: a structural opener, then a mix
+/// of valid samples, hostile lines, and occasional topology growth —
+/// every one of which a live session must absorb (live content is a
+/// lenient load, so garbage is dropped, never fatal).
+fn stream_events(rng: &mut SmallRng, n: usize) -> Vec<String> {
+    let mut events = vec![
+        "span,0.0,1000.0\n\
+         container,1,0,site,grenoble\n\
+         container,2,1,cluster,adonis\n\
+         container,3,2,host,adonis-1\n\
+         container,4,2,host,adonis-2\n\
+         metric,0,MFlop/s,power\n\
+         metric,1,MFlop/s,power_used\n\
+         var,0.0,3,0,100.0\nvar,0.0,4,0,100.0"
+            .to_owned(),
+    ];
+    let mut next_container = 5u32;
+    for i in 1..n {
+        let t = i as f64;
+        let ev = match rng.gen_range(0..8u32) {
+            0..=3 => format!(
+                "var,{t},{c},{m},{v}",
+                c = rng.gen_range(3..next_container.min(5)),
+                m = rng.gen_range(0..2u32),
+                v = rng.gen_range(0.0..200.0),
+            ),
+            4 => format!("var,{t},3,1,NaN"), // quarantine fodder
+            5 => "complete garbage, not a record".to_owned(),
+            6 => format!("var,{t},99,0,1.0"), // unknown container: dropped
+            _ => {
+                // Topology growth: the structural rebuild slow path.
+                let id = next_container;
+                next_container += 1;
+                format!("container,{id},2,host,hx{id}\nvar,{t},{id},0,50.0")
+            }
+        };
+        events.push(ev);
+    }
+    events
+}
+
+/// A journaled server that took `events[..upto]` as appends 1..=upto.
+fn stream_server(dir: &Path, events: &[String], upto: usize, tally: &mut Tally) -> Server {
+    let limits = ServerLimits {
+        journal_dir: Some(dir.to_path_buf()),
+        journal_sync_every: 1, // every ack durable: a kill loses nothing acked
+        ..ServerLimits::default()
+    };
+    let server = Server::new(limits);
+    append_range(&server, events, 0, upto, tally);
+    server
+}
+
+/// Appends `events[from..upto]` (seq = index + 1), asserting every one
+/// acks — a live session absorbs hostile payloads, it never refuses
+/// them.
+fn append_range(server: &Server, events: &[String], from: usize, upto: usize, tally: &mut Tally) {
+    for (i, text) in events.iter().enumerate().take(upto).skip(from) {
+        let cmd = Command::Append {
+            session: "stream".to_owned(),
+            seq: (i + 1) as u64,
+            text: text.clone(),
+        };
+        match fire(server, &cmd.encode(), tally) {
+            Some(Response::Appended { .. }) => {}
+            other => panic!("append seq {} refused: {other:?}", i + 1),
+        }
+    }
+}
+
+/// Asks a recovered server where its stream stands: the typed
+/// `seq_gap` names the next expected seq (the duplicate-free resume
+/// point); a missing session means nothing survived and the stream
+/// restarts at 1.
+fn probe_resume_seq(server: &Server, probe_seq: u64, tally: &mut Tally) -> u64 {
+    let cmd = Command::Append {
+        session: "stream".to_owned(),
+        seq: probe_seq,
+        text: "# resume probe".to_owned(),
+    };
+    match fire(server, &cmd.encode(), tally) {
+        Some(Response::Error { kind: ErrorKind::SeqGap { expected }, .. }) => expected,
+        Some(Response::Error { kind: ErrorKind::NoSession, .. }) => 1,
+        other => panic!("resume probe got {other:?}"),
+    }
+}
+
+/// Phase 4: durable-streaming chaos. One golden uninterrupted run,
+/// then three crash scenarios that must all converge back to its
+/// exact bytes — kill-mid-append, torn journal tail, random bit flip
+/// — plus a slow subscriber that must shed, not block.
+fn run_streaming(seed: u64, base_dir: &Path) {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xF00D);
+    let mut tally = Tally::default();
+    let events = stream_events(&mut rng, 60);
+    let probe = probe_render("stream");
+
+    // The uninterrupted reference run.
+    let ref_dir = base_dir.join("stream-ref");
+    std::fs::create_dir_all(&ref_dir).expect("create ref dir");
+    let reference = stream_server(&ref_dir, &events, events.len(), &mut tally);
+    let golden_svg = match fire(&reference, &probe.encode(), &mut tally) {
+        Some(Response::Frame { svg, .. }) => svg,
+        other => panic!("reference render failed: {other:?}"),
+    };
+    drop(reference);
+
+    // Scenario A: kill mid-append (three random cut points). The
+    // restarted server recovers every acked event; the appender
+    // resumes from the seq the gap error names; the final render is
+    // byte-identical to the uninterrupted run.
+    for trial in 0..3u32 {
+        let dir = base_dir.join(format!("stream-kill-{trial}"));
+        std::fs::create_dir_all(&dir).expect("create kill dir");
+        let cut = rng.gen_range(1..events.len());
+        drop(stream_server(&dir, &events, cut, &mut tally)); // SIGKILL stand-in
+        let limits = ServerLimits {
+            journal_dir: Some(dir.clone()),
+            journal_sync_every: 1,
+            ..ServerLimits::default()
+        };
+        let revived = Server::new(limits);
+        assert_eq!(revived.recover_journals(), vec!["stream".to_owned()]);
+        let resume = probe_resume_seq(&revived, events.len() as u64 + 10, &mut tally);
+        assert_eq!(resume, cut as u64 + 1, "every acked event must survive the kill");
+        append_range(&revived, &events, resume as usize - 1, events.len(), &mut tally);
+        match fire(&revived, &probe.encode(), &mut tally) {
+            Some(Response::Frame { svg, .. }) => {
+                assert_eq!(svg, golden_svg, "kill-mid-append run diverged (cut {cut})");
+            }
+            other => panic!("revived render failed: {other:?}"),
+        }
+    }
+
+    // Scenario B: torn tail — half a record that never finished
+    // hitting disk. Recovery truncates it; everything acked survives.
+    {
+        let dir = base_dir.join("stream-torn");
+        std::fs::create_dir_all(&dir).expect("create torn dir");
+        drop(stream_server(&dir, &events, events.len(), &mut tally));
+        let path = dir.join("stream.journal");
+        use std::io::Write as _;
+        let mut f =
+            std::fs::OpenOptions::new().append(true).open(&path).expect("open journal");
+        f.write_all(b"v1,999,a-record-that-never-finished").expect("tear tail");
+        drop(f);
+        let limits = ServerLimits {
+            journal_dir: Some(dir),
+            journal_sync_every: 1,
+            ..ServerLimits::default()
+        };
+        let revived = Server::new(limits);
+        assert_eq!(revived.recover_journals(), vec!["stream".to_owned()]);
+        let resume = probe_resume_seq(&revived, events.len() as u64 + 10, &mut tally);
+        assert_eq!(resume, events.len() as u64 + 1, "torn tail must not eat acked events");
+        match fire(&revived, &probe.encode(), &mut tally) {
+            Some(Response::Frame { svg, .. }) => {
+                assert_eq!(svg, golden_svg, "torn-tail recovery diverged");
+            }
+            other => panic!("torn-tail render failed: {other:?}"),
+        }
+    }
+
+    // Scenario C: a random bit flip anywhere in the journal. The CRC
+    // catches it, recovery keeps the longest valid prefix (possibly
+    // none), and resending from the probed resume point converges
+    // back to the golden bytes.
+    for trial in 0..3u32 {
+        let dir = base_dir.join(format!("stream-flip-{trial}"));
+        std::fs::create_dir_all(&dir).expect("create flip dir");
+        drop(stream_server(&dir, &events, events.len(), &mut tally));
+        let path = dir.join("stream.journal");
+        let mut bytes = std::fs::read(&path).expect("read journal");
+        let at = rng.gen_range(0..bytes.len());
+        bytes[at] ^= 1 << rng.gen_range(0..8u32);
+        std::fs::write(&path, &bytes).expect("write flipped journal");
+        let limits = ServerLimits {
+            journal_dir: Some(dir),
+            journal_sync_every: 1,
+            ..ServerLimits::default()
+        };
+        let revived = Server::new(limits);
+        let _ = revived.recover_journals(); // may be empty if the header took the hit
+        let resume = probe_resume_seq(&revived, events.len() as u64 + 10, &mut tally);
+        assert!(
+            resume <= events.len() as u64 + 1,
+            "bit flip invented events (resume {resume})"
+        );
+        append_range(&revived, &events, resume as usize - 1, events.len(), &mut tally);
+        match fire(&revived, &probe.encode(), &mut tally) {
+            Some(Response::Frame { svg, .. }) => {
+                assert_eq!(svg, golden_svg, "bit-flip recovery diverged (byte {at})");
+            }
+            other => panic!("bit-flip render failed: {other:?}"),
+        }
+    }
+
+    // Scenario D: a subscriber that never drains. Every append must
+    // still ack immediately; the subscriber's bounded queue sheds to
+    // one `lagging`, and re-subscribing from its resume point
+    // resynchronizes.
+    {
+        let limits = ServerLimits { subscriber_queue: 4, ..ServerLimits::default() };
+        let server = Server::with_metrics(limits);
+        let conn = server.open_conn();
+        append_range(&server, &events, 0, 1, &mut tally);
+        let sub = Command::Subscribe { session: "stream".to_owned(), from_seq: None };
+        let resp = server.handle_line_on(Some(conn), &format!("{}\n", sub.encode()));
+        assert!(
+            matches!(resp.as_deref().map(Response::decode), Some(Ok(Response::Subscribed { .. }))),
+            "subscribe failed: {resp:?}"
+        );
+        append_range(&server, &events, 1, events.len(), &mut tally);
+        let pushes = server.take_pushes(conn);
+        let lagging = pushes
+            .iter()
+            .filter_map(|l| viva_server::Push::decode(l).ok())
+            .find_map(|p| match p {
+                viva_server::Push::Lagging { resume_seq, .. } => Some(resume_seq),
+                viva_server::Push::Delta { .. } => None,
+            });
+        let resume_seq = lagging.expect("a never-draining subscriber must be shed to lagging");
+        let resub =
+            Command::Subscribe { session: "stream".to_owned(), from_seq: Some(resume_seq) };
+        let resp = server.handle_line_on(Some(conn), &format!("{}\n", resub.encode()));
+        assert!(
+            matches!(resp.as_deref().map(Response::decode), Some(Ok(Response::Subscribed { .. }))),
+            "re-subscribe failed: {resp:?}"
+        );
+        let pushes = server.take_pushes(conn);
+        assert!(
+            pushes.iter().any(|l| matches!(
+                viva_server::Push::decode(l),
+                Ok(viva_server::Push::Delta { .. })
+            )),
+            "re-subscribe must deliver a snapshot delta"
+        );
+        let stats = match fire(&server, &Command::Stats { session: None }.encode(), &mut tally) {
+            Some(Response::Stats { server: block, .. }) => *block,
+            other => panic!("stream stats failed: {other:?}"),
+        };
+        assert!(counter(&stats, "server.subscriber_sheds") > 0, "shed was not counted");
+        server.close_conn(conn);
+    }
+}
+
+/// Phase 5: TCP chaos around a clean scripted client, then a graceful
 /// drain that the worker pool actually exits on.
 fn run_tcp(seed: u64, connections: u64, ckpt_dir: &Path) {
     const IO_TIMEOUT_MS: u64 = 1_000;
@@ -692,6 +938,12 @@ fn main() {
 
     run_golden();
     println!("  clean path: golden transcript reproduced byte-for-byte");
+
+    run_streaming(seed, &ckpt_dir);
+    println!(
+        "  streaming: 3 kill-mid-append + torn-tail + 3 bit-flip recoveries all byte-identical; \
+         slow subscriber shed, appends never blocked"
+    );
 
     let connections = (events / 200).clamp(8, 64);
     run_tcp(seed, connections, &ckpt_dir);

@@ -24,7 +24,7 @@ use viva_agg::{AggIndex, GroupAggregate, TimeSlice, TimeSliceError, ViewState};
 use viva_layout::{FreezeReason, LayoutConfig, LayoutEngine, NodeKey, Vec2};
 use viva_obs::{Counter, Histogram, Recorder};
 use viva_platform::Platform;
-use viva_trace::{ContainerId, Trace};
+use viva_trace::{ContainerId, MetricId, Trace, TraceError};
 
 use crate::mapping::MappingConfig;
 use crate::scaling::ScalingConfig;
@@ -472,6 +472,128 @@ impl AnalysisSession {
     pub fn restore_revision(&mut self, revision: u64) {
         self.clear_cache();
         self.revision = revision;
+    }
+
+    // -----------------------------------------------------------------
+    // Live streaming (see DESIGN.md §16)
+    // -----------------------------------------------------------------
+
+    /// Whether the current slice covers the full recorded extent — such
+    /// a slice *tracks* the extent as live samples grow it, so a
+    /// streaming session keeps showing "everything so far" until the
+    /// analyst narrows the window by hand.
+    fn slice_tracks_extent(&self) -> bool {
+        self.slice.start() == self.trace.start() && self.slice.end() == self.trace.end()
+    }
+
+    /// Applies one validated live sample in place: trace signal push,
+    /// incremental [`AggIndex`] insert (bit-identical to a rebuild),
+    /// extent-tracking slice growth, and precise cache invalidation of
+    /// the leaf's ancestor chain. `O(depth)` — a live session never
+    /// re-indexes on the sample fast path.
+    ///
+    /// The shared trace/index `Arc`s are copy-on-write
+    /// ([`Arc::make_mut`]): a live session normally holds the only
+    /// reference and mutates in place; if a checkpoint or sibling still
+    /// shares the allocation, the first live write clones it rather
+    /// than mutating data someone else sees.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError`] when the sample is rejected (non-monotonic time,
+    /// non-finite input) — callers that pre-validate with
+    /// [`viva_trace::live::classify`] never see this, and the session
+    /// is unchanged when it happens.
+    pub fn live_apply_sample(
+        &mut self,
+        container: ContainerId,
+        metric: MetricId,
+        t: f64,
+        v: f64,
+    ) -> Result<(), TraceError> {
+        let tracked = self.slice_tracks_extent();
+        let prior = Arc::make_mut(&mut self.trace).live_push_sample(container, metric, t, v)?;
+        if let Some(index) = &mut self.index {
+            Arc::make_mut(index).insert_sample(&self.trace, container, metric, t, v, prior);
+        }
+        if tracked && !self.slice_tracks_extent() {
+            // The sample grew the extent: follow it, dropping every
+            // cached aggregate (they integrated over the old slice).
+            self.slice = TimeSlice::new(self.trace.start(), self.trace.end());
+            self.clear_cache();
+        } else {
+            self.invalidate_chain(container);
+        }
+        self.touch();
+        Ok(())
+    }
+
+    /// Books one quarantined non-finite live sample: per-pair counter,
+    /// dropped tally, index quarantine sums, and the ancestor chain's
+    /// cached badges.
+    pub fn live_quarantine_sample(&mut self, container: ContainerId, metric: MetricId) {
+        Arc::make_mut(&mut self.trace).live_note_quarantined(container, metric);
+        if let Some(index) = &mut self.index {
+            Arc::make_mut(index).note_quarantine(&self.trace, metric);
+        }
+        self.invalidate_chain(container);
+        self.touch();
+    }
+
+    /// Books one dropped (malformed) live record — surfaces in
+    /// [`GraphView::ingest_dropped`] and the SVG degraded-data badge.
+    pub fn live_note_dropped(&mut self) {
+        Arc::make_mut(&mut self.trace).live_note_dropped();
+        self.touch();
+    }
+
+    /// Swaps the session onto a rebuilt trace/index pair while keeping
+    /// the analyst's interaction state — collapse set, layout
+    /// positions, sliders — intact.
+    ///
+    /// This is the structural-record path of a live session: container,
+    /// metric, span, state and link records cannot be folded in
+    /// incrementally, so the server reloads the accumulated stream text
+    /// and rebases. It is sound because live streams are append-only —
+    /// container and metric ids are dense and stable, so every
+    /// `NodeKey`, collapse entry and cache key minted against the old
+    /// trace still names the same entity in the new one. New containers
+    /// join the layout frontier exactly as an expand would place them;
+    /// the topology edge set is re-derived from the new trace's
+    /// communication pairs (live sessions infer edges — platform-wired
+    /// sessions are not rebased).
+    pub fn rebase(&mut self, trace: impl Into<Arc<Trace>>, index: Option<Arc<AggIndex>>) {
+        let tracked = self.slice_tracks_extent();
+        self.trace = trace.into();
+        self.index = index;
+        self.leaf_edges = self.trace.communication_pairs();
+        self.slice = if tracked {
+            TimeSlice::new(self.trace.start(), self.trace.end())
+        } else {
+            self.slice.clamped_to(self.trace.start(), self.trace.end())
+        };
+        self.clear_cache();
+        self.apply_state();
+        self.touch();
+    }
+
+    /// Drops cached aggregates for `c` and its ancestors — the only
+    /// visible nodes whose aggregate can include a new sample on `c`.
+    fn invalidate_chain(&mut self, c: ContainerId) {
+        let tree = self.trace.containers();
+        let mut cache = self.cache.borrow_mut();
+        let mut removed = 0u64;
+        let mut cur = Some(c);
+        while let Some(g) = cur {
+            if cache.remove(&g).is_some() {
+                removed += 1;
+            }
+            cur = tree.node(g).parent();
+        }
+        drop(cache);
+        if let Some(obs) = &self.obs {
+            obs.invalidated.add(removed);
+        }
     }
 
     /// Current time-slice.
@@ -1373,5 +1495,154 @@ mod tests {
             Err(SessionError::InvalidTimeSlice(_))
         ));
         assert_eq!(s.try_set_time_slice(-3.0, 4.0), Ok(TimeSlice::new(0.0, 4.0)));
+    }
+
+    /// The live fast path is equivalence-tested against the only
+    /// definition that matters: a session *built from scratch* over the
+    /// trace the live mutations produced. Views, renders and aggregates
+    /// must be identical — a stale cache entry, a drifting incremental
+    /// index or a missed slice update would all show up here.
+    #[test]
+    fn live_samples_match_a_fresh_session_over_the_same_trace() {
+        let mut live = session();
+        let used = live.trace().metrics().by_name("power_used").unwrap().id();
+        let power = live.trace().metrics().by_name("power").unwrap().id();
+        let h0 = live.trace().containers().by_name("c1-h0").unwrap().id();
+        let h3 = live.trace().containers().by_name("c2-h1").unwrap().id();
+        // Interleave reads with writes so caches are warm when
+        // invalidation runs — and extend the extent past finish(10.0).
+        let _ = live.view();
+        live.live_apply_sample(h0, used, 12.0, 90.0).unwrap();
+        let _ = live.view();
+        live.live_apply_sample(h3, power, 14.0, 150.0).unwrap();
+        live.live_apply_sample(h3, used, 14.0, 10.0).unwrap();
+        let _ = live.view();
+        live.live_apply_sample(h0, used, 14.0, 95.0).unwrap();
+
+        let mut fresh = AnalysisSession::builder(live.trace().clone())
+            .edges(live.leaf_edges.clone())
+            .build();
+        assert_eq!(live.time_slice(), fresh.time_slice(), "slice followed the extent");
+        assert_eq!(live.view(), fresh.view());
+        let vp = Viewport::default();
+        assert_eq!(live.render(&vp), fresh.render(&vp));
+        for s in [&mut live, &mut fresh] {
+            s.set_time_slice(TimeSlice::new(3.0, 13.0));
+        }
+        assert_eq!(live.view(), fresh.view());
+        let root = live.trace().containers().root();
+        assert_eq!(
+            live.aggregate("power_used", root).unwrap(),
+            fresh.aggregate("power_used", root).unwrap()
+        );
+    }
+
+    /// A full-extent slice follows live growth; a hand-narrowed slice
+    /// stays put (the analyst chose a window — don't yank it).
+    #[test]
+    fn live_slice_tracking_respects_manual_windows() {
+        let mut s = session();
+        let used = s.trace().metrics().by_name("power_used").unwrap().id();
+        let h0 = s.trace().containers().by_name("c1-h0").unwrap().id();
+        assert_eq!(s.time_slice(), TimeSlice::new(0.0, 10.0));
+        s.live_apply_sample(h0, used, 15.0, 70.0).unwrap();
+        assert_eq!(s.time_slice(), TimeSlice::new(0.0, 15.0));
+        s.set_time_slice(TimeSlice::new(2.0, 6.0));
+        s.live_apply_sample(h0, used, 20.0, 80.0).unwrap();
+        assert_eq!(s.time_slice(), TimeSlice::new(2.0, 6.0), "narrowed window survives");
+        assert_eq!(s.trace().end(), 20.0);
+    }
+
+    /// Rejected samples (non-monotonic time) leave the session exactly
+    /// as it was — no half-applied trace/index state, no revision bump.
+    #[test]
+    fn rejected_live_sample_leaves_session_untouched() {
+        let mut s = session();
+        let used = s.trace().metrics().by_name("power_used").unwrap().id();
+        let h0 = s.trace().containers().by_name("c1-h0").unwrap().id();
+        s.live_apply_sample(h0, used, 12.0, 90.0).unwrap();
+        let before = s.view();
+        let rev = s.revision();
+        assert!(s.live_apply_sample(h0, used, 5.0, 1.0).is_err());
+        assert_eq!(s.revision(), rev);
+        assert_eq!(s.view(), before);
+    }
+
+    /// Quarantine/drop bookkeeping reaches the view exactly as a
+    /// reloaded trace would report it.
+    #[test]
+    fn live_quarantine_and_drop_surface_in_views() {
+        let mut s = session();
+        let used = s.trace().metrics().by_name("power_used").unwrap().id();
+        let h0 = s.trace().containers().by_name("c1-h0").unwrap().id();
+        s.live_quarantine_sample(h0, used);
+        s.live_note_dropped();
+        assert_eq!(s.trace().quarantined(h0, used), 1);
+        assert_eq!(s.trace().ingest_dropped(), 2, "quarantine counts as dropped too");
+        let fresh = AnalysisSession::builder(s.trace().clone())
+            .edges(s.leaf_edges.clone())
+            .build();
+        assert_eq!(s.view(), fresh.view());
+    }
+
+    /// Rebase swaps the trace under a session while preserving the
+    /// analyst's collapse state and pinned layout — the structural
+    /// path of a live stream. New containers join the frontier; views
+    /// must agree with a fresh session put into the same state.
+    #[test]
+    fn rebase_preserves_interaction_state_over_a_grown_trace() {
+        let mut s = session();
+        let c1 = s.trace().containers().by_name("c1").unwrap().id();
+        let h3 = s.trace().containers().by_name("c2-h1").unwrap().id();
+        s.collapse(c1).unwrap();
+        s.drag(h3, Vec2::new(42.0, 7.0)).unwrap();
+
+        // Grow the topology: same prefix plus one extra host in c2.
+        let mut b = TraceBuilder::new();
+        let power = b.metric("power", "MFlop/s");
+        let used = b.metric("power_used", "MFlop/s");
+        let bw = b.metric("bandwidth", "Mbit/s");
+        let mut c2 = None;
+        for cn in ["c1", "c2"] {
+            let cl = b.new_container(b.root(), cn, ContainerKind::Cluster).unwrap();
+            if cn == "c2" {
+                c2 = Some(cl);
+            }
+            for i in 0..2 {
+                let h = b
+                    .new_container(cl, format!("{cn}-h{i}"), ContainerKind::Host)
+                    .unwrap();
+                b.set_variable(0.0, h, power, 100.0).unwrap();
+                b.set_variable(0.0, h, used, 60.0).unwrap();
+            }
+        }
+        let bb = b.new_container(b.root(), "bb", ContainerKind::Link).unwrap();
+        b.set_variable(0.0, bb, bw, 1000.0).unwrap();
+        let h_new = b
+            .new_container(c2.unwrap(), "c2-h2", ContainerKind::Host)
+            .unwrap();
+        b.set_variable(3.0, h_new, power, 100.0).unwrap();
+        let grown = Arc::new(b.finish(12.0));
+        let index = Arc::new(AggIndex::build(&grown));
+        s.rebase(grown.clone(), Some(index.clone()));
+
+        assert_eq!(s.time_slice(), TimeSlice::new(0.0, 12.0), "full slice follows");
+        let view = s.view();
+        // c1 stays collapsed: c1 aggregate + 3 c2 hosts + bb link.
+        assert_eq!(view.nodes.len(), 5);
+        assert!(view.node_by_label("c1").is_some());
+        assert!(view.node_by_label("c2-h2").is_some());
+        assert_eq!(s.layout().position(key(h3)), Some(Vec2::new(42.0, 7.0)), "pin kept");
+        // Equivalent fresh session: build, then replay the collapse.
+        let mut fresh = AnalysisSession::builder(grown)
+            .shared_index(index)
+            .build();
+        fresh.collapse(c1).unwrap();
+        let fv = fresh.view();
+        assert_eq!(view.nodes.len(), fv.nodes.len());
+        for n in &view.nodes {
+            let fn_ = fv.nodes.iter().find(|m| m.label == n.label).unwrap();
+            assert_eq!((n.fill_value, n.size_value, n.members), (fn_.fill_value, fn_.size_value, fn_.members));
+        }
     }
 }

@@ -38,6 +38,17 @@
 //!
 //! When any of these flags is present and no script is named, stdin is
 //! *not* read — the synthesized commands are the whole script.
+//!
+//! `--follow SESSION` turns the client into a live subscriber: it
+//! connects over TCP, sends `subscribe`, and prints every pushed view
+//! delta as a line on stdout. When the server sheds it as a laggard it
+//! re-subscribes from the pushed `resume_seq`; when the connection
+//! drops it reconnects with the `--retry` backoff and resumes from the
+//! last delta it printed.
+//!
+//! ```sh
+//! viva-server-client --tcp 127.0.0.1:7878 --retry 5 --follow mysession
+//! ```
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
@@ -45,10 +56,11 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 use viva_obs::Recorder;
-use viva_server::{Command, ErrorKind, Response, Server, ServerLimits};
+use viva_server::{Command, ErrorKind, Push, Response, Server, ServerLimits};
 
 const USAGE: &str = "usage: viva-server-client [--tcp ADDR] [--timing] [--retry N] \
-     [--attach SESSION=TRACE] [--list-traces] [--drop-trace TRACE] [SCRIPT (default stdin)]";
+     [--attach SESSION=TRACE] [--list-traces] [--drop-trace TRACE] \
+     [--follow SESSION] [SCRIPT (default stdin)]";
 
 /// Exponential backoff with deterministic jitter. Each command (and the
 /// initial connect) gets a fresh budget of `budget` retries; the wait
@@ -99,6 +111,7 @@ fn main() -> ExitCode {
     let mut script_path: Option<String> = None;
     let mut timing = false;
     let mut retry = 0u32;
+    let mut follow: Option<String> = None;
     // Protocol commands synthesized from flags, replayed ahead of the
     // script in command-line order.
     let mut prelude: Vec<Command> = Vec::new();
@@ -133,6 +146,13 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--follow" => match it.next() {
+                Some(session) => follow = Some(session),
+                None => {
+                    eprintln!("viva-server-client: --follow needs a session name\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--retry" => match it.next().and_then(|v| v.parse().ok()) {
                 Some(n) => retry = n,
                 None => {
@@ -152,6 +172,26 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+    }
+
+    if let Some(session) = follow {
+        // Follow mode is a long-lived subscription, not a replay: it
+        // needs a push-capable transport and takes no script.
+        let Some(addr) = tcp else {
+            eprintln!("viva-server-client: --follow requires --tcp\n{USAGE}");
+            return ExitCode::FAILURE;
+        };
+        if script_path.is_some() || !prelude.is_empty() {
+            eprintln!("viva-server-client: --follow cannot be combined with a script\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+        return match follow_tcp(&addr, &session, retry) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("viva-server-client: {e}");
+                ExitCode::FAILURE
+            }
+        };
     }
 
     let body = match &script_path {
@@ -275,6 +315,73 @@ fn connect(addr: &str, retries: u32) -> Result<(BufReader<TcpStream>, TcpStream)
     };
     let reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
     Ok((reader, stream))
+}
+
+/// `--follow`: subscribe to a live session and print every line the
+/// server pushes. Three resume paths, all converging on `subscribe`:
+///
+/// * a **`lagging` push** (this subscriber fell behind and its queue
+///   was shed) re-subscribes from the pushed `resume_seq` on the same
+///   connection — one snapshot delta resynchronizes;
+/// * a **dropped connection** reconnects with the retry backoff and
+///   re-subscribes from just after the last delta printed;
+/// * the **first** subscribe sends no `from_seq` and receives the full
+///   current view as its opening snapshot.
+///
+/// Exits cleanly when the server goes away for good (retry budget
+/// spent after at least one successful subscription).
+fn follow_tcp(addr: &str, session: &str, retries: u32) -> Result<(), String> {
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let mut from_seq: Option<u64> = None;
+    let mut subscribed_once = false;
+    loop {
+        let (mut reader, mut writer) = match connect(addr, retries) {
+            Ok(rw) => rw,
+            Err(e) if subscribed_once => {
+                eprintln!("viva-server-client: follow: server is gone ({e}); exiting");
+                return Ok(());
+            }
+            Err(e) => return Err(e),
+        };
+        let sub = Command::Subscribe { session: session.to_owned(), from_seq };
+        if writer.write_all(format!("{}\n", sub.encode()).as_bytes()).is_err() {
+            continue; // connection died immediately; reconnect
+        }
+        let mut line = String::new();
+        loop {
+            line.clear();
+            match reader.read_line(&mut line) {
+                Ok(0) | Err(_) => break, // reconnect and resume
+                Ok(_) => {}
+            }
+            let text = line.trim_end();
+            writeln!(out, "{text}").map_err(|e| e.to_string())?;
+            out.flush().map_err(|e| e.to_string())?;
+            if Push::is_push(text) {
+                match Push::decode(text) {
+                    Ok(Push::Delta { seq, .. }) => from_seq = Some(seq + 1),
+                    Ok(Push::Lagging { resume_seq, .. }) => {
+                        from_seq = Some(resume_seq);
+                        let resub =
+                            Command::Subscribe { session: session.to_owned(), from_seq };
+                        if writer.write_all(format!("{}\n", resub.encode()).as_bytes()).is_err() {
+                            break;
+                        }
+                    }
+                    Err(_) => {}
+                }
+            } else {
+                match Response::decode(text) {
+                    Ok(Response::Subscribed { .. }) => subscribed_once = true,
+                    Ok(Response::Error { .. }) => {
+                        return Err(format!("follow {session:?}: {text}"));
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
 }
 
 /// Replays against a live TCP server, printing its responses. A shed

@@ -28,12 +28,15 @@ struct Args {
     max_inflight: Option<usize>,
     io_timeout_ms: Option<u64>,
     checkpoint_dir: Option<String>,
+    journal_dir: Option<String>,
+    journal_sync_every: Option<u32>,
     interactive_deadlines: bool,
 }
 
 const USAGE: &str = "usage: viva-server [--stdio | --tcp ADDR] [--workers N] \
                      [--max-sessions N] [--max-relax-steps N] [--metrics-out PATH] \
                      [--max-inflight N] [--io-timeout-ms N] [--checkpoint-dir DIR] \
+                     [--journal-dir DIR] [--journal-sync-every N] \
                      [--interactive-deadlines]";
 
 fn parse_args() -> Result<Args, String> {
@@ -46,6 +49,8 @@ fn parse_args() -> Result<Args, String> {
         max_inflight: None,
         io_timeout_ms: None,
         checkpoint_dir: None,
+        journal_dir: None,
+        journal_sync_every: None,
         interactive_deadlines: false,
     };
     let mut it = std::env::args().skip(1);
@@ -89,6 +94,14 @@ fn parse_args() -> Result<Args, String> {
                 );
             }
             "--checkpoint-dir" => args.checkpoint_dir = Some(value("--checkpoint-dir")?),
+            "--journal-dir" => args.journal_dir = Some(value("--journal-dir")?),
+            "--journal-sync-every" => {
+                args.journal_sync_every = Some(
+                    value("--journal-sync-every")?
+                        .parse()
+                        .map_err(|_| "--journal-sync-every needs an integer".to_owned())?,
+                );
+            }
             "--interactive-deadlines" => args.interactive_deadlines = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -137,6 +150,12 @@ fn main() -> ExitCode {
     if let Some(dir) = &args.checkpoint_dir {
         limits.checkpoint_dir = Some(std::path::PathBuf::from(dir));
     }
+    if let Some(dir) = &args.journal_dir {
+        limits.journal_dir = Some(std::path::PathBuf::from(dir));
+    }
+    if let Some(n) = args.journal_sync_every {
+        limits.journal_sync_every = n;
+    }
     if args.interactive_deadlines {
         // Opt-in: deadline enforcement reads the wall clock, so replays
         // with deadlines on are not bound by the golden transcripts.
@@ -149,6 +168,13 @@ fn main() -> ExitCode {
         Some(_) => Server::with_metrics(limits),
         None => Server::new(limits),
     });
+    // Crash recovery: every journal in the journal directory becomes a
+    // live session again before the first command is read.
+    if args.journal_dir.is_some() {
+        for name in server.recover_journals() {
+            eprintln!("viva-server: recovered live session {name:?} from its journal");
+        }
+    }
     match args.tcp {
         None => {
             if let Err(e) = server.serve_stdio() {

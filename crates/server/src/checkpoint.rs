@@ -47,8 +47,14 @@ use crate::store::{content_hash, hash_token};
 /// any incompatible change to the member set; restore rejects versions
 /// it does not understand. Version 2 added `trace_hash` — the content
 /// hash the server's `TraceStore` uses to re-link a restored session
-/// to an already-loaded shared trace.
-pub const CHECKPOINT_VERSION: u64 = 2;
+/// to an already-loaded shared trace. Version 3 added the optional
+/// `journal` member linking a live streaming session back to its
+/// event journal; version-2 checkpoints still restore (they simply
+/// carry no journal link).
+pub const CHECKPOINT_VERSION: u64 = 3;
+
+/// Oldest checkpoint version [`SessionCheckpoint::restore`] accepts.
+pub const OLDEST_RESTORABLE_VERSION: u64 = 2;
 
 /// Position and pin state of one visible node.
 #[derive(Debug, Clone, PartialEq)]
@@ -90,6 +96,14 @@ pub struct SessionCheckpoint {
     pub quarantined: Vec<(u64, u64, u64)>,
     /// Records dropped by the original (possibly lenient) ingest.
     pub ingest_dropped: u64,
+    /// For live streaming sessions: the `(journal id, last acked
+    /// sequence number)` pair linking this checkpoint back to its
+    /// event journal. A restoring server re-opens the journal and
+    /// replays the records after `last_seq` through the ordinary
+    /// append path, so a checkpoint plus its journal reconstructs the
+    /// stream exactly. `None` for batch sessions (and for version-2
+    /// checkpoints).
+    pub journal: Option<(String, u64)>,
     /// Content hash of `trace_csv` (FNV-1a 64, 16 lowercase hex
     /// digits). Restore verifies it against the embedded CSV, and the
     /// server uses it to re-link the session to a stored shared trace
@@ -182,6 +196,7 @@ impl SessionCheckpoint {
             placements,
             quarantined,
             ingest_dropped: trace.ingest_dropped(),
+            journal: None,
             trace_hash: hash_token(content_hash(trace_csv.as_bytes())),
             trace_csv,
         }
@@ -198,7 +213,7 @@ impl SessionCheckpoint {
         budget: ResourceBudget,
         recorder: Recorder,
     ) -> Result<AnalysisSession, RestoreError> {
-        if self.version != CHECKPOINT_VERSION {
+        if !(OLDEST_RESTORABLE_VERSION..=CHECKPOINT_VERSION).contains(&self.version) {
             return Err(RestoreError::Version { found: self.version });
         }
         let found = hash_token(content_hash(self.trace_csv.as_bytes()));
@@ -259,7 +274,7 @@ impl SessionCheckpoint {
         index: Option<Arc<AggIndex>>,
         recorder: Recorder,
     ) -> Result<AnalysisSession, RestoreError> {
-        if self.version != CHECKPOINT_VERSION {
+        if !(OLDEST_RESTORABLE_VERSION..=CHECKPOINT_VERSION).contains(&self.version) {
             return Err(RestoreError::Version { found: self.version });
         }
         if !self.quarantined.is_empty() || self.ingest_dropped != 0 {
@@ -354,7 +369,7 @@ impl SessionCheckpoint {
 
     pub(crate) fn to_json(&self) -> Json {
         let num = Json::Num;
-        Json::Obj(vec![
+        let mut members = vec![
             ("version".into(), num(self.version as f64)),
             ("session".into(), Json::Str(self.session.clone())),
             ("revision".into(), num(self.revision as f64)),
@@ -411,9 +426,22 @@ impl SessionCheckpoint {
                 ),
             ),
             ("ingest_dropped".into(), num(self.ingest_dropped as f64)),
-            ("trace_hash".into(), Json::Str(self.trace_hash.clone())),
-            ("trace_csv".into(), Json::Str(self.trace_csv.clone())),
-        ])
+        ];
+        // Optional member: absent for batch sessions, so version-3
+        // checkpoints of non-streaming sessions are byte-identical to
+        // version-2 ones apart from the version number.
+        if let Some((id, last_seq)) = &self.journal {
+            members.push((
+                "journal".into(),
+                Json::Obj(vec![
+                    ("id".into(), Json::Str(id.clone())),
+                    ("last_seq".into(), num(*last_seq as f64)),
+                ]),
+            ));
+        }
+        members.push(("trace_hash".into(), Json::Str(self.trace_hash.clone())));
+        members.push(("trace_csv".into(), Json::Str(self.trace_csv.clone())));
+        Json::Obj(members)
     }
 
     pub(crate) fn from_json(v: &Json) -> Result<SessionCheckpoint, DecodeError> {
@@ -500,6 +528,10 @@ impl SessionCheckpoint {
             placements,
             quarantined,
             ingest_dropped: uint(v, "ingest_dropped")?,
+            journal: match v.get("journal") {
+                None | Some(Json::Null) => None,
+                Some(j) => Some((text(j, "id")?, uint(j, "last_seq")?)),
+            },
             // Absent on version-1 checkpoints; they decode, then the
             // version check in restore reports the typed error.
             trace_hash: match v.get("trace_hash") {
@@ -671,6 +703,30 @@ mod tests {
         assert!(matches!(
             ckpt.restore_shared(s.shared_trace(), None, Recorder::disabled()),
             Err(RestoreError::State(_))
+        ));
+    }
+
+    #[test]
+    fn journal_link_round_trips_and_v2_checkpoints_still_restore() {
+        let s = sample_session();
+        let mut ckpt = SessionCheckpoint::capture("a", &s);
+        assert_eq!(ckpt.version, CHECKPOINT_VERSION);
+        assert_eq!(ckpt.journal, None);
+        ckpt.journal = Some(("a".into(), 41));
+        let line = ckpt.encode();
+        let back = SessionCheckpoint::decode(&line).unwrap();
+        assert_eq!(back.journal, Some(("a".into(), 41)));
+        assert_eq!(back.encode(), line, "stable re-encode with a journal link");
+        // A version-2 checkpoint (no journal member) still restores.
+        let mut v2 = SessionCheckpoint::capture("a", &s);
+        v2.version = 2;
+        assert!(v2.restore(ResourceBudget::default(), Recorder::disabled()).is_ok());
+        // Version 1 stays rejected.
+        let mut v1 = SessionCheckpoint::capture("a", &s);
+        v1.version = 1;
+        assert!(matches!(
+            v1.restore(ResourceBudget::default(), Recorder::disabled()),
+            Err(RestoreError::Version { found: 1 })
         ));
     }
 

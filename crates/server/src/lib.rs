@@ -65,11 +65,16 @@ pub mod server;
 pub mod store;
 
 pub use cache::{FrameCache, FrameKey};
-pub use checkpoint::{NodePlacement, RestoreError, SessionCheckpoint, CHECKPOINT_VERSION};
+pub use checkpoint::{
+    NodePlacement, RestoreError, SessionCheckpoint, CHECKPOINT_VERSION, OLDEST_RESTORABLE_VERSION,
+};
 pub use json::{Json, JsonError};
 pub use protocol::{
-    Command, CommandClass, DecodeError, ErrorKind, Response, SessionStats, StatsBlock, StatsEvent,
+    Command, CommandClass, DecodeError, DeltaNode, ErrorKind, Push, Response, SessionStats,
+    StatsBlock, StatsEvent,
 };
-pub use registry::{DeadlineBudgets, ServerLimits, ServerSession, SessionRegistry, SessionSlot};
+pub use registry::{
+    DeadlineBudgets, LiveStream, ServerLimits, ServerSession, SessionRegistry, SessionSlot,
+};
 pub use server::{serve_tcp, Server};
 pub use store::{content_hash, hash_token, StoredTrace, TraceEntry, TraceStore};

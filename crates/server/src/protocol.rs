@@ -208,6 +208,44 @@ pub enum Command {
         /// Inline checkpoint; `None` reads the checkpoint directory.
         state: Option<Box<SessionCheckpoint>>,
     },
+    /// Appends one trace line to a **live streaming session**,
+    /// creating the session on the first append. The record is written
+    /// to the session's journal (and acknowledged only after the write
+    /// succeeds — journal-before-ack), then applied incrementally to
+    /// the live trace. Delivery is at-least-once: a `seq` at or below
+    /// the session's high-water mark is acknowledged again without
+    /// re-applying (idempotent duplicate), a `seq` beyond
+    /// `last_seq + 1` is refused with [`ErrorKind::SeqGap`] carrying
+    /// the expected value.
+    Append {
+        /// Live session to create or extend.
+        session: String,
+        /// Client-assigned sequence number, contiguous from 1.
+        seq: u64,
+        /// One trace interchange line (no trailing newline needed).
+        text: String,
+    },
+    /// Seals a live session's journal: the stream is complete, no
+    /// further appends are accepted (they fail with
+    /// [`ErrorKind::SessionSealed`]). The session itself stays live
+    /// for analysis.
+    Seal {
+        /// Live session to seal.
+        session: String,
+    },
+    /// Subscribes this connection to a live session's view deltas.
+    /// Each applied append pushes a [`Push::Delta`] line (changed
+    /// nodes only) to every subscriber. Queues are bounded: a slow
+    /// subscriber is shed with a single [`Push::Lagging`] line and
+    /// must re-subscribe from the carried `resume_seq`.
+    Subscribe {
+        /// Live session to follow.
+        session: String,
+        /// First sequence number the subscriber has **not** seen;
+        /// anything at or after it is covered by an immediate snapshot
+        /// delta. Absent means "from now on".
+        from_seq: Option<u64>,
+    },
     /// Starts a graceful drain: every live session is checkpointed (to
     /// the checkpoint directory when configured), new connections and
     /// state-changing commands are refused with `overloaded`, in-flight
@@ -285,6 +323,23 @@ pub enum ErrorKind {
     BadCheckpoint,
     /// An `attach`/`drop_trace` named a trace the store does not hold.
     NoTrace,
+    /// An `append` skipped ahead of the session's high-water mark. The
+    /// journal never holds a gap; resend from `expected`.
+    SeqGap {
+        /// The sequence number the session expects next.
+        expected: u64,
+    },
+    /// An `append`/`seal`/`subscribe` named a session that exists but
+    /// is not a live streaming session (it was created by
+    /// `load_trace`/`attach`/`restore` without a journal).
+    NotLive,
+    /// An `append` on a sealed live session.
+    SessionSealed,
+    /// The journal write behind an `append` (or `seal`) failed at the
+    /// filesystem. The event was **not** acknowledged and was not
+    /// applied — the ack is a durability promise, so an event the
+    /// journal could not hold must be resent once the disk recovers.
+    JournalIo,
 }
 
 impl ErrorKind {
@@ -308,6 +363,10 @@ impl ErrorKind {
             ErrorKind::DeadlineExceeded => "deadline_exceeded",
             ErrorKind::BadCheckpoint => "bad_checkpoint",
             ErrorKind::NoTrace => "no_trace",
+            ErrorKind::SeqGap { .. } => "seq_gap",
+            ErrorKind::NotLive => "not_live",
+            ErrorKind::SessionSealed => "sealed",
+            ErrorKind::JournalIo => "journal_io",
         }
     }
 
@@ -333,6 +392,12 @@ impl ErrorKind {
             "deadline_exceeded" => DeadlineExceeded,
             "bad_checkpoint" => BadCheckpoint,
             "no_trace" => NoTrace,
+            // The expected seq rides in a separate response member;
+            // `Response::decode` fills it in.
+            "seq_gap" => SeqGap { expected: 0 },
+            "not_live" => NotLive,
+            "sealed" => SessionSealed,
+            "journal_io" => JournalIo,
             _ => return None,
         })
     }
@@ -688,6 +753,35 @@ pub enum Response {
         /// The session's view revision (as captured).
         revision: u64,
     },
+    /// One append was journaled and applied (or recognized as an
+    /// idempotent duplicate).
+    Appended {
+        /// The live session's name.
+        session: String,
+        /// The acknowledged sequence number.
+        seq: u64,
+        /// View revision after the append (unchanged for duplicates
+        /// and for records the lenient loader skips).
+        revision: u64,
+        /// Whether this `seq` was already applied (at-least-once
+        /// retransmit); the record was **not** re-applied.
+        duplicate: bool,
+    },
+    /// A live session's journal was sealed.
+    Sealed {
+        /// The sealed session's name.
+        session: String,
+        /// High-water sequence number at seal time.
+        last_seq: u64,
+    },
+    /// This connection now follows a live session.
+    Subscribed {
+        /// The followed session's name.
+        session: String,
+        /// High-water sequence number at subscribe time — deltas for
+        /// later appends arrive as [`Push::Delta`] lines.
+        last_seq: u64,
+    },
     /// A graceful drain started (or was already in progress).
     ShutdownStarted {
         /// Sessions live at drain time.
@@ -804,6 +898,9 @@ impl Command {
             Command::Render { .. } => "render",
             Command::Checkpoint { .. } => "checkpoint",
             Command::Restore { .. } => "restore",
+            Command::Append { .. } => "append",
+            Command::Seal { .. } => "seal",
+            Command::Subscribe { .. } => "subscribe",
             Command::Shutdown => "shutdown",
         }
     }
@@ -827,7 +924,14 @@ impl Command {
             | Command::SetScaling { .. }
             | Command::Drag { .. }
             | Command::Release { .. }
-            | Command::Aggregate { .. } => CommandClass::Interact,
+            | Command::Aggregate { .. }
+            // The append fast path applies one incremental sample;
+            // structural records (rare) escalate to a reload that runs
+            // to completion — the journal already holds the record, so
+            // abandoning it mid-reload would lose the ack.
+            | Command::Append { .. }
+            | Command::Seal { .. }
+            | Command::Subscribe { .. } => CommandClass::Interact,
             Command::LoadTrace { .. }
             | Command::Attach { .. }
             | Command::Checkpoint { .. }
@@ -958,6 +1062,22 @@ impl Command {
                 }
                 obj(members)
             }
+            Command::Append { session, seq, text } => obj(vec![
+                ("cmd", name),
+                ("session", Json::Str(session.clone())),
+                ("seq", Json::Num(*seq as f64)),
+                ("text", Json::Str(text.clone())),
+            ]),
+            Command::Seal { session } => {
+                obj(vec![("cmd", name), ("session", Json::Str(session.clone()))])
+            }
+            Command::Subscribe { session, from_seq } => {
+                let mut members = vec![("cmd", name), ("session", Json::Str(session.clone()))];
+                if let Some(f) = from_seq {
+                    members.push(("from_seq", Json::Num(*f as f64)));
+                }
+                obj(members)
+            }
             Command::Shutdown => obj(vec![("cmd", name)]),
         }
     }
@@ -1061,6 +1181,21 @@ impl Command {
                 state: match v.get("state") {
                     None | Some(Json::Null) => None,
                     Some(s) => Some(Box::new(SessionCheckpoint::from_json(s)?)),
+                },
+            },
+            "append" => Command::Append {
+                session: session()?,
+                seq: uint_field(&v, "seq")?,
+                text: str_field(&v, "text")?,
+            },
+            "seal" => Command::Seal { session: session()? },
+            "subscribe" => Command::Subscribe {
+                session: session()?,
+                from_seq: match v.get("from_seq") {
+                    None | Some(Json::Null) => None,
+                    Some(f) => Some(
+                        f.as_u64().ok_or_else(|| bad("non-integer field \"from_seq\""))?,
+                    ),
                 },
             },
             "shutdown" => Command::Shutdown,
@@ -1219,6 +1354,23 @@ impl Response {
                 ("session", Json::Str(session.clone())),
                 ("revision", Json::Num(*revision as f64)),
             ]),
+            Response::Appended { session, seq, revision, duplicate } => obj(vec![
+                ("ok", Json::Str("appended".into())),
+                ("session", Json::Str(session.clone())),
+                ("seq", Json::Num(*seq as f64)),
+                ("revision", Json::Num(*revision as f64)),
+                ("duplicate", Json::Bool(*duplicate)),
+            ]),
+            Response::Sealed { session, last_seq } => obj(vec![
+                ("ok", Json::Str("sealed".into())),
+                ("session", Json::Str(session.clone())),
+                ("last_seq", Json::Num(*last_seq as f64)),
+            ]),
+            Response::Subscribed { session, last_seq } => obj(vec![
+                ("ok", Json::Str("subscribed".into())),
+                ("session", Json::Str(session.clone())),
+                ("last_seq", Json::Num(*last_seq as f64)),
+            ]),
             Response::ShutdownStarted { sessions, checkpointed } => obj(vec![
                 ("ok", Json::Str("shutdown".into())),
                 ("sessions", Json::Num(*sessions as f64)),
@@ -1231,6 +1383,9 @@ impl Response {
                 ];
                 if let ErrorKind::Overloaded { retry_after_ms } = kind {
                     members.push(("retry_after_ms", Json::Num(*retry_after_ms as f64)));
+                }
+                if let ErrorKind::SeqGap { expected } = kind {
+                    members.push(("expected", Json::Num(*expected as f64)));
                 }
                 obj(members)
             }
@@ -1247,6 +1402,9 @@ impl Response {
                 .ok_or_else(|| bad(format!("unknown error kind {token:?}")))?;
             if matches!(kind, ErrorKind::Overloaded { .. }) {
                 kind = ErrorKind::Overloaded { retry_after_ms: uint_field(&v, "retry_after_ms")? };
+            }
+            if matches!(kind, ErrorKind::SeqGap { .. }) {
+                kind = ErrorKind::SeqGap { expected: uint_field(&v, "expected")? };
             }
             return Ok(Response::Error { kind, message: str_field(&v, "message")? });
         }
@@ -1357,11 +1515,174 @@ impl Response {
                 session: str_field(&v, "session")?,
                 revision: uint_field(&v, "revision")?,
             },
+            "appended" => Response::Appended {
+                session: str_field(&v, "session")?,
+                seq: uint_field(&v, "seq")?,
+                revision: uint_field(&v, "revision")?,
+                duplicate: v
+                    .get("duplicate")
+                    .and_then(Json::as_bool)
+                    .ok_or_else(|| bad("missing or non-boolean field \"duplicate\""))?,
+            },
+            "sealed" => Response::Sealed {
+                session: str_field(&v, "session")?,
+                last_seq: uint_field(&v, "last_seq")?,
+            },
+            "subscribed" => Response::Subscribed {
+                session: str_field(&v, "session")?,
+                last_seq: uint_field(&v, "last_seq")?,
+            },
             "shutdown" => Response::ShutdownStarted {
                 sessions: uint_field(&v, "sessions")?,
                 checkpointed: uint_field(&v, "checkpointed")?,
             },
             other => return Err(bad(format!("unknown response kind {other:?}"))),
+        })
+    }
+}
+
+/// One node's worth of view delta, as pushed to subscribers. A compact
+/// projection of the session's `GraphView` node: identity plus the
+/// values an observer dashboard needs, not geometry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeltaNode {
+    /// Container id (stable within the live trace).
+    pub container: u64,
+    /// Container name.
+    pub label: String,
+    /// Fill (color) value — the time-averaged fill metric.
+    pub fill: f64,
+    /// Size value — the aggregated size metric.
+    pub size: f64,
+    /// Leaf members aggregated under this node (1 for a leaf).
+    pub members: u64,
+}
+
+/// A server-initiated line pushed to a subscribed connection, distinct
+/// from command responses by its leading `push` member (see
+/// [`Push::is_push`]). Pushes interleave *between* request/response
+/// pairs, never inside one.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Push {
+    /// The view changed after an applied append: the nodes whose view
+    /// row changed (or appeared), and the container ids of nodes that
+    /// vanished. A subscribe with a `from_seq` in the past receives
+    /// one snapshot delta carrying every visible node.
+    Delta {
+        /// The live session.
+        session: String,
+        /// The append that caused this delta (the session high-water
+        /// mark for a subscribe-time snapshot).
+        seq: u64,
+        /// Session view revision after the change.
+        revision: u64,
+        /// Changed or new nodes, view order.
+        changed: Vec<DeltaNode>,
+        /// Container ids no longer visible, ascending.
+        removed: Vec<u64>,
+    },
+    /// The subscriber fell behind and its queue was shed. No further
+    /// pushes will arrive; re-subscribe with `from_seq = resume_seq`
+    /// to resynchronize via a snapshot delta.
+    Lagging {
+        /// The live session.
+        session: String,
+        /// First sequence number not covered by deltas already
+        /// delivered to this subscriber.
+        resume_seq: u64,
+    },
+}
+
+impl Push {
+    /// Cheap syntactic test: does this line look like a push (as
+    /// opposed to a response)? Exact for lines the server produced.
+    pub fn is_push(line: &str) -> bool {
+        line.starts_with("{\"push\":")
+    }
+
+    /// Serializes to the canonical one-line JSON form.
+    pub fn encode(&self) -> String {
+        self.to_json().encode()
+    }
+
+    fn to_json(&self) -> Json {
+        match self {
+            Push::Delta { session, seq, revision, changed, removed } => obj(vec![
+                ("push", Json::Str("delta".into())),
+                ("session", Json::Str(session.clone())),
+                ("seq", Json::Num(*seq as f64)),
+                ("revision", Json::Num(*revision as f64)),
+                (
+                    "changed",
+                    Json::Arr(
+                        changed
+                            .iter()
+                            .map(|n| {
+                                obj(vec![
+                                    ("c", Json::Num(n.container as f64)),
+                                    ("label", Json::Str(n.label.clone())),
+                                    ("fill", Json::Num(n.fill)),
+                                    ("size", Json::Num(n.size)),
+                                    ("members", Json::Num(n.members as f64)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+                (
+                    "removed",
+                    Json::Arr(removed.iter().map(|c| Json::Num(*c as f64)).collect()),
+                ),
+            ]),
+            Push::Lagging { session, resume_seq } => obj(vec![
+                ("push", Json::Str("lagging".into())),
+                ("session", Json::Str(session.clone())),
+                ("resume_seq", Json::Num(*resume_seq as f64)),
+            ]),
+        }
+    }
+
+    /// Decodes one pushed line.
+    pub fn decode(line: &str) -> Result<Push, DecodeError> {
+        let v = Json::parse(line).map_err(|e| bad(format!("invalid JSON: {e}")))?;
+        let kind = str_field(&v, "push")?;
+        Ok(match kind.as_str() {
+            "delta" => {
+                let changed = match v.get("changed") {
+                    Some(Json::Arr(items)) => items
+                        .iter()
+                        .map(|n| {
+                            Ok(DeltaNode {
+                                container: uint_field(n, "c")?,
+                                label: str_field(n, "label")?,
+                                fill: num_field(n, "fill")?,
+                                size: num_field(n, "size")?,
+                                members: uint_field(n, "members")?,
+                            })
+                        })
+                        .collect::<Result<Vec<_>, DecodeError>>()?,
+                    _ => return Err(bad("missing or non-array field \"changed\"")),
+                };
+                let removed = match v.get("removed") {
+                    Some(Json::Arr(items)) => items
+                        .iter()
+                        .map(|c| c.as_u64().ok_or_else(|| bad("non-integer removed id")))
+                        .collect::<Result<Vec<_>, _>>()?,
+                    _ => return Err(bad("missing or non-array field \"removed\"")),
+                };
+                Push::Delta {
+                    session: str_field(&v, "session")?,
+                    seq: uint_field(&v, "seq")?,
+                    revision: uint_field(&v, "revision")?,
+                    changed,
+                    removed,
+                }
+            }
+            "lagging" => Push::Lagging {
+                session: str_field(&v, "session")?,
+                resume_seq: uint_field(&v, "resume_seq")?,
+            },
+            other => return Err(bad(format!("unknown push kind {other:?}"))),
         })
     }
 }
@@ -1384,6 +1705,7 @@ mod tests {
             placements: vec![NodePlacement { container: 2, x: -1.5, y: 3.25, pinned: true }],
             quarantined: vec![(2, 0, 7)],
             ingest_dropped: 1,
+            journal: Some(("s".into(), 12)),
             trace_hash: crate::store::hash_token(crate::store::content_hash(b"span,0,10\n")),
             trace_csv: "span,0,10\n".into(),
         }
@@ -1451,6 +1773,10 @@ mod tests {
             Command::Checkpoint { session: "s".into() },
             Command::Restore { session: "s".into(), state: None },
             Command::Restore { session: "s".into(), state: Some(Box::new(tiny_checkpoint())) },
+            Command::Append { session: "live".into(), seq: 42, text: "var,1.0,1,0,3.5".into() },
+            Command::Seal { session: "live".into() },
+            Command::Subscribe { session: "live".into(), from_seq: None },
+            Command::Subscribe { session: "live".into(), from_seq: Some(7) },
             Command::Shutdown,
         ];
         for cmd in cmds {
@@ -1553,6 +1879,10 @@ mod tests {
             },
             Response::Checkpointed { session: "a".into(), state: Box::new(tiny_checkpoint()) },
             Response::Restored { session: "a".into(), revision: 3 },
+            Response::Appended { session: "live".into(), seq: 42, revision: 17, duplicate: false },
+            Response::Appended { session: "live".into(), seq: 41, revision: 17, duplicate: true },
+            Response::Sealed { session: "live".into(), last_seq: 42 },
+            Response::Subscribed { session: "live".into(), last_seq: 42 },
             Response::ShutdownStarted { sessions: 2, checkpointed: 2 },
             Response::Error { kind: ErrorKind::NoSession, message: "session \"x\"".into() },
             Response::Error {
@@ -1562,6 +1892,12 @@ mod tests {
             Response::Error { kind: ErrorKind::DeadlineExceeded, message: "render".into() },
             Response::Error { kind: ErrorKind::BadCheckpoint, message: "version 9".into() },
             Response::Error { kind: ErrorKind::NoTrace, message: "trace \"shared\"".into() },
+            Response::Error {
+                kind: ErrorKind::SeqGap { expected: 8 },
+                message: "expected seq 8, got 12".into(),
+            },
+            Response::Error { kind: ErrorKind::NotLive, message: "session \"s\"".into() },
+            Response::Error { kind: ErrorKind::SessionSealed, message: "session \"s\"".into() },
         ];
         for r in responses {
             let line = r.encode();
@@ -1618,6 +1954,59 @@ mod tests {
         ] {
             assert!(Command::decode(bad).is_err(), "{bad:?} should fail to decode");
         }
+    }
+
+    #[test]
+    fn pushes_round_trip() {
+        let pushes = vec![
+            Push::Delta {
+                session: "live".into(),
+                seq: 42,
+                revision: 17,
+                changed: vec![
+                    DeltaNode {
+                        container: 3,
+                        label: "h0".into(),
+                        fill: 0.5,
+                        size: 120.0,
+                        members: 1,
+                    },
+                    DeltaNode {
+                        container: 1,
+                        label: "c1".into(),
+                        fill: 0.25,
+                        size: 240.0,
+                        members: 2,
+                    },
+                ],
+                removed: vec![4, 9],
+            },
+            Push::Delta {
+                session: "live".into(),
+                seq: 1,
+                revision: 1,
+                changed: vec![],
+                removed: vec![],
+            },
+            Push::Lagging { session: "live".into(), resume_seq: 40 },
+        ];
+        for p in pushes {
+            let line = p.encode();
+            assert!(Push::is_push(&line), "{line}");
+            assert_eq!(Push::decode(&line).unwrap(), p, "{line}");
+            assert_eq!(Push::decode(&line).unwrap().encode(), line, "stable re-encode");
+        }
+        // Responses never look like pushes.
+        assert!(!Push::is_push(&Response::Pong.encode()));
+        assert!(!Push::is_push(
+            &Response::Appended {
+                session: "s".into(),
+                seq: 1,
+                revision: 1,
+                duplicate: false
+            }
+            .encode()
+        ));
     }
 
     #[test]

@@ -28,9 +28,9 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, RwLock};
 
-use viva::AnalysisSession;
+use viva::{AnalysisSession, GraphView};
 use viva_obs::Recorder;
-use viva_trace::ResourceBudget;
+use viva_trace::{JournalWriter, ResourceBudget};
 
 use crate::cache::FrameCache;
 use crate::protocol::CommandClass;
@@ -122,6 +122,21 @@ pub struct ServerLimits {
     /// without an inline state. `None` disables persistence;
     /// `checkpoint`/`restore` still work inline.
     pub checkpoint_dir: Option<PathBuf>,
+    /// Directory live-session journals are written to. `None` disables
+    /// durability: `append` still works but an `appended` ack only
+    /// promises in-memory application, and a crash loses the stream.
+    pub journal_dir: Option<PathBuf>,
+    /// Journal fsync batching: sync the journal file every N appended
+    /// records (and always on seal). `1` means sync-per-record — the
+    /// strongest durability, what the crash-recovery smoke test runs.
+    pub journal_sync_every: u32,
+    /// Per-subscriber bound on queued push lines. A subscriber whose
+    /// connection stops draining is shed once its queue reaches this
+    /// bound: the queue is dropped and replaced with a single
+    /// `lagging` push naming the oldest lost sequence number, so the
+    /// client can re-subscribe without silent gaps. Appends never
+    /// block on subscribers.
+    pub subscriber_queue: usize,
 }
 
 impl Default for ServerLimits {
@@ -146,8 +161,39 @@ impl Default for ServerLimits {
             deadlines: DeadlineBudgets::default(),
             io_timeout_ms: Some(30_000),
             checkpoint_dir: None,
+            journal_dir: None,
+            journal_sync_every: 64,
+            subscriber_queue: 64,
         }
     }
+}
+
+/// The streaming half of a live session: the append cursor, the
+/// durable journal behind it, and the accumulated event text that
+/// *defines* the session's content (a live session always equals the
+/// lenient load of its acked texts, concatenated in sequence order —
+/// the invariant crash recovery restores).
+#[derive(Debug)]
+pub struct LiveStream {
+    /// Durable backing, when the server has a journal directory.
+    pub journal: Option<JournalWriter>,
+    /// Highest acknowledged sequence number (appends are contiguous:
+    /// the next must be `last_seq + 1`; re-sends of older numbers are
+    /// acked as duplicates without re-applying).
+    pub last_seq: u64,
+    /// Every acked event text, concatenated. Structural records force
+    /// a rebuild from this text, and seal/checkpoint capture it.
+    pub text: String,
+    /// The trace extent the stream has declared, if any — the last
+    /// valid `span` record wins, exactly as in a batch load.
+    pub span: Option<(f64, f64)>,
+    /// Sealed streams refuse further appends (the journal, if any, is
+    /// sealed too, so recovery knows the stream ended on purpose).
+    pub sealed: bool,
+    /// The view as of the last published delta — the diff base.
+    /// `None` until the first subscriber snapshot, so sessions nobody
+    /// watches never pay for view extraction.
+    pub last_view: Option<GraphView>,
 }
 
 /// One named session: the analysis state behind the per-session lock.
@@ -157,6 +203,10 @@ impl Default for ServerLimits {
 pub struct ServerSession {
     /// The interactive analysis this session wraps.
     pub analysis: AnalysisSession,
+    /// Streaming state, present only on sessions fed by `append`.
+    /// Batch-loaded and restored sessions leave this `None` and are
+    /// indistinguishable from before streaming existed.
+    pub live: Option<LiveStream>,
 }
 
 /// A registry slot: the session behind its per-session lock, plus the
@@ -303,9 +353,20 @@ impl SessionRegistry {
     /// deterministic for a given command history — the caller owns
     /// the victims' last handles and can checkpoint them before drop.
     pub fn create(&self, name: &str, session: AnalysisSession) -> Vec<(String, Arc<SessionSlot>)> {
+        self.create_session(name, ServerSession { analysis: session, live: None })
+    }
+
+    /// Like [`create`](SessionRegistry::create), but the caller builds
+    /// the whole [`ServerSession`] — the streaming path uses this to
+    /// install a session with live state attached atomically.
+    pub fn create_session(
+        &self,
+        name: &str,
+        session: ServerSession,
+    ) -> Vec<(String, Arc<SessionSlot>)> {
         let tick = self.next_tick();
         let entry = Arc::new(SessionSlot::new(
-            ServerSession { analysis: session },
+            session,
             FrameCache::new(self.limits.frame_cache_frames),
             tick,
         ));

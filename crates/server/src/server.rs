@@ -44,23 +44,27 @@
 //!   connections and state-changing commands with `overloaded`, lets
 //!   in-flight commands finish, and winds the accept loops down.
 
+use std::collections::HashMap;
 use std::fs;
 use std::io::{self, BufRead, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, MutexGuard};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
-use viva::{AnalysisSession, SessionError, Viewport};
+use viva::{AnalysisSession, GraphView, SessionError, ViewNode, Viewport};
 use viva_agg::AggIndex;
 use viva_layout::Vec2;
 use viva_obs::Recorder;
-use viva_trace::{ContainerId, TraceError, TraceLoader};
+use viva_trace::{
+    live, ContainerId, JournalConfig, JournalWriter, LiveLine, RecoveryMode, ResourceBudget,
+    TraceError, TraceLoader,
+};
 
 use crate::checkpoint::{checkpoint_file_name, SessionCheckpoint};
-use crate::protocol::{Command, ErrorKind, Response, SessionStats, StatsBlock};
-use crate::registry::{ServerLimits, ServerSession, SessionRegistry, SessionSlot};
+use crate::protocol::{Command, DeltaNode, ErrorKind, Push, Response, SessionStats, StatsBlock};
+use crate::registry::{LiveStream, ServerLimits, ServerSession, SessionRegistry, SessionSlot};
 use crate::store::{content_hash, hash_token, StoredTrace, TraceStore};
 
 /// Layout iterations run between deadline checks when a `relax` budget
@@ -91,6 +95,116 @@ pub struct Server {
     /// degrades to refusal, so a draining server quiesces instead of
     /// wedging.
     draining: AtomicBool,
+    /// Per-connection push queues and per-session subscriber lists —
+    /// the delivery half of `subscribe`.
+    conns: Mutex<ConnTable>,
+    /// Total push lines queued across every connection. Lets the
+    /// transport tick skip the table lock when nothing is pending —
+    /// the common case for servers nobody subscribes to.
+    queued_pushes: AtomicUsize,
+}
+
+/// One registered subscriber of a live session.
+#[derive(Debug)]
+struct SubEntry {
+    /// The subscribed connection.
+    conn: u64,
+    /// Oldest sequence number queued for this subscriber and not yet
+    /// drained by its transport — the resume point if it is shed.
+    /// `None` means the subscriber is fully caught up.
+    low_seq: Option<u64>,
+}
+
+/// Connection-scoped push state, shared by every transport. Lock
+/// order: the session lock (when held) is always taken *before* this
+/// table's lock, never after.
+#[derive(Debug, Default)]
+struct ConnTable {
+    next_id: u64,
+    /// Encoded push lines queued per connection, drained by the
+    /// transport between request/response pairs.
+    queues: HashMap<u64, Vec<String>>,
+    /// Session name → subscribers.
+    subs: HashMap<String, Vec<SubEntry>>,
+}
+
+/// Sheds one connection's push backlog: its queue is dropped and
+/// replaced with one `lagging` line per subscription that had
+/// undelivered pushes (now lost), and those subscriptions are removed.
+/// `active` names the session whose publish tripped the shed — its
+/// subscription always goes, with `seq` as the fallback resume point.
+/// Subscriptions with nothing queued lost nothing and stay. Returns
+/// `(net change to the queued-push count, subscriptions shed)`.
+fn shed_conn(tbl: &mut ConnTable, conn: u64, active: &str, seq: u64) -> (isize, u64) {
+    let ConnTable { queues, subs, .. } = tbl;
+    let Some(q) = queues.get_mut(&conn) else { return (0, 0) };
+    let mut delta = -(q.len() as isize);
+    q.clear();
+    let mut shed = 0u64;
+    // Deterministic lagging order for multi-session subscribers.
+    let mut names: Vec<String> = subs.keys().cloned().collect();
+    names.sort();
+    for name in names {
+        let Some(entries) = subs.get_mut(&name) else { continue };
+        let Some(pos) = entries.iter().position(|e| e.conn == conn) else { continue };
+        let resume_seq = match entries[pos].low_seq {
+            Some(low) => low,
+            None if name == active => seq,
+            None => continue,
+        };
+        entries.remove(pos);
+        q.push(Push::Lagging { session: name, resume_seq }.encode());
+        delta += 1;
+        shed += 1;
+    }
+    subs.retain(|_, v| !v.is_empty());
+    (delta, shed)
+}
+
+/// Projects one view node onto the wire delta row.
+fn delta_node(n: &ViewNode) -> DeltaNode {
+    DeltaNode {
+        container: n.container.index() as u64,
+        label: n.label.clone(),
+        fill: n.fill_value,
+        size: n.size_value,
+        members: n.members as u64,
+    }
+}
+
+/// Diffs two views into the wire delta: nodes whose view row changed
+/// (or appeared), plus the container ids that vanished, ascending.
+/// `None` as the base means everything is new — the subscribe-time
+/// snapshot.
+fn diff_views(old: Option<&GraphView>, new: &GraphView) -> (Vec<DeltaNode>, Vec<u64>) {
+    let changed = new
+        .nodes
+        .iter()
+        .filter(|n| old.and_then(|o| o.node(n.container)).is_none_or(|prev| prev != *n))
+        .map(delta_node)
+        .collect();
+    let mut removed: Vec<u64> = old
+        .map(|o| {
+            o.nodes
+                .iter()
+                .filter(|n| new.node(n.container).is_none())
+                .map(|n| n.container.index() as u64)
+                .collect()
+        })
+        .unwrap_or_default();
+    removed.sort_unstable();
+    (changed, removed)
+}
+
+/// Captures a checkpoint of a server session, including the journal
+/// link for live streaming sessions — what lets a restore re-attach
+/// the journal and replay the suffix the checkpoint has not seen.
+fn capture_session(name: &str, s: &ServerSession) -> SessionCheckpoint {
+    let mut ckpt = SessionCheckpoint::capture(name, &s.analysis);
+    if let Some(live) = &s.live {
+        ckpt.journal = live.journal.as_ref().map(|j| (j.id().to_owned(), live.last_seq));
+    }
+    ckpt
 }
 
 /// One command's wall-clock budget. With no budget the deadline never
@@ -170,6 +284,8 @@ impl Server {
             recorder: Recorder::disabled(),
             inflight: AtomicUsize::new(0),
             draining: AtomicBool::new(false),
+            conns: Mutex::new(ConnTable::default()),
+            queued_pushes: AtomicUsize::new(0),
         }
     }
 
@@ -185,6 +301,8 @@ impl Server {
             recorder: Recorder::enabled(),
             inflight: AtomicUsize::new(0),
             draining: AtomicBool::new(false),
+            conns: Mutex::new(ConnTable::default()),
+            queued_pushes: AtomicUsize::new(0),
         }
     }
 
@@ -275,10 +393,170 @@ impl Server {
         Ok(g)
     }
 
+    /// Locks the connection table, recovering from poisoning.
+    fn conns(&self) -> MutexGuard<'_, ConnTable> {
+        self.conns.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Applies a net change to the queued-push gauge the transports
+    /// poll before taking the table lock.
+    fn adjust_queued(&self, delta: isize) {
+        match delta.cmp(&0) {
+            std::cmp::Ordering::Greater => {
+                self.queued_pushes.fetch_add(delta as usize, Ordering::Relaxed);
+            }
+            std::cmp::Ordering::Less => {
+                self.queued_pushes.fetch_sub(delta.unsigned_abs(), Ordering::Relaxed);
+            }
+            std::cmp::Ordering::Equal => {}
+        }
+    }
+
+    /// Publishes the streaming observability pair: the shed counter
+    /// and the deepest subscriber queue seen by this publish.
+    fn push_metrics(&self, shed: u64, depth: usize) {
+        if !self.recorder.is_enabled() {
+            return;
+        }
+        if shed > 0 {
+            self.recorder.counter("server.subscriber_sheds").add(shed);
+        }
+        self.recorder.gauge("server.subscriber_queue").set(depth as f64);
+    }
+
+    /// Registers a transport connection for push delivery, returning
+    /// its id. Every transport that can carry pushes calls this once
+    /// per connection, pairs request lines with it through
+    /// [`Server::handle_line_on`], drains [`Server::take_pushes`], and
+    /// calls [`Server::close_conn`] when the connection ends.
+    pub fn open_conn(&self) -> u64 {
+        let mut tbl = self.conns();
+        tbl.next_id += 1;
+        let id = tbl.next_id;
+        tbl.queues.insert(id, Vec::new());
+        id
+    }
+
+    /// Unregisters a connection: its queue and subscriptions go with
+    /// it. Idempotent.
+    pub fn close_conn(&self, conn: u64) {
+        let mut tbl = self.conns();
+        let dropped = tbl.queues.remove(&conn).map_or(0, |q| q.len());
+        self.adjust_queued(-(dropped as isize));
+        for entries in tbl.subs.values_mut() {
+            entries.retain(|e| e.conn != conn);
+        }
+        tbl.subs.retain(|_, v| !v.is_empty());
+    }
+
+    /// Drains the push lines owed to `conn` (encoded, no trailing
+    /// newline). Transports write them after the response to the
+    /// command currently in flight — pushes interleave *between*
+    /// request/response pairs, never inside one.
+    pub fn take_pushes(&self, conn: u64) -> Vec<String> {
+        if self.queued_pushes.load(Ordering::Relaxed) == 0 {
+            return Vec::new();
+        }
+        let mut tbl = self.conns();
+        let Some(q) = tbl.queues.get_mut(&conn) else { return Vec::new() };
+        let drained = std::mem::take(q);
+        if drained.is_empty() {
+            return drained;
+        }
+        self.adjust_queued(-(drained.len() as isize));
+        // The subscriber is caught up: its next undelivered push (if
+        // it is ever shed) starts from whatever gets queued next.
+        for entries in tbl.subs.values_mut() {
+            for e in entries.iter_mut().filter(|e| e.conn == conn) {
+                e.low_seq = None;
+            }
+        }
+        drained
+    }
+
+    /// Queues one push line on every subscriber of `session`, shedding
+    /// subscribers whose queues are full — an append never blocks on
+    /// (or waits for) a slow subscriber.
+    fn enqueue_push(&self, session: &str, seq: u64, line: &str) {
+        let cap = self.registry.limits().subscriber_queue.max(1);
+        let mut tbl = self.conns();
+        let mut delta = 0isize;
+        let mut shed_conns: Vec<u64> = Vec::new();
+        let mut depth = 0usize;
+        {
+            let ConnTable { queues, subs, .. } = &mut *tbl;
+            let Some(entries) = subs.get_mut(session) else { return };
+            for e in entries.iter_mut() {
+                let Some(q) = queues.get_mut(&e.conn) else { continue };
+                if q.len() >= cap {
+                    shed_conns.push(e.conn);
+                    continue;
+                }
+                q.push(line.to_owned());
+                delta += 1;
+                if e.low_seq.is_none() {
+                    e.low_seq = Some(seq);
+                }
+                depth = depth.max(q.len());
+            }
+        }
+        let mut shed = 0u64;
+        for conn in shed_conns {
+            let (d, n) = shed_conn(&mut tbl, conn, session, seq);
+            delta += d;
+            shed += n;
+        }
+        self.adjust_queued(delta);
+        drop(tbl);
+        self.push_metrics(shed, depth);
+    }
+
+    /// Queues one push line for a single connection (the subscribe-
+    /// time snapshot), under the same bound/shed discipline as a
+    /// broadcast.
+    fn enqueue_push_for(&self, conn: u64, session: &str, seq: u64, line: String) {
+        let cap = self.registry.limits().subscriber_queue.max(1);
+        let mut tbl = self.conns();
+        let mut delta = 0isize;
+        let mut shed = 0u64;
+        let mut depth = 0usize;
+        let full = tbl.queues.get(&conn).is_some_and(|q| q.len() >= cap);
+        if full {
+            let (d, n) = shed_conn(&mut tbl, conn, session, seq);
+            delta += d;
+            shed += n;
+        } else if let Some(q) = tbl.queues.get_mut(&conn) {
+            q.push(line);
+            delta += 1;
+            depth = q.len();
+            if let Some(e) = tbl
+                .subs
+                .get_mut(session)
+                .and_then(|entries| entries.iter_mut().find(|e| e.conn == conn))
+            {
+                if e.low_seq.is_none() {
+                    e.low_seq = Some(seq);
+                }
+            }
+        }
+        self.adjust_queued(delta);
+        drop(tbl);
+        self.push_metrics(shed, depth);
+    }
+
     /// Handles one raw request line. Returns `None` for blank lines
     /// (they produce no response), otherwise exactly one encoded
-    /// response line (without trailing newline).
+    /// response line (without trailing newline). Connection-free:
+    /// `subscribe` through this entry point is refused (there is no
+    /// queue to deliver pushes to) — transports use
+    /// [`Server::handle_line_on`].
     pub fn handle_line(&self, line: &str) -> Option<String> {
+        self.handle_line_on(None, line)
+    }
+
+    /// [`Server::handle_line`] on behalf of a registered transport
+    /// connection, which is what entitles the line to `subscribe`.
+    pub fn handle_line_on(&self, conn: Option<u64>, line: &str) -> Option<String> {
         let trimmed = line.trim();
         if trimmed.is_empty() {
             return None;
@@ -302,7 +580,7 @@ impl Server {
                 // serializing a megabyte frame is real CPU, and work
                 // the gate does not cover would overlap admitted
                 // commands and erode their latency under overload.
-                let (response, permit) = self.execute_gated(cmd);
+                let (response, permit) = self.execute_gated(conn, cmd);
                 let encoded = response.encode();
                 drop(permit);
                 encoded
@@ -329,13 +607,17 @@ impl Server {
     /// commands are counted under `server.shed` only: no work of
     /// theirs ever started.
     pub fn execute(&self, cmd: Command) -> Response {
-        self.execute_gated(cmd).0
+        self.execute_gated(None, cmd).0
     }
 
     /// [`Server::execute`], but the admission permit (when one was
     /// granted) is returned alive so [`Server::handle_line`] can keep
     /// the gate closed while it encodes the response.
-    fn execute_gated(&self, cmd: Command) -> (Response, Option<InflightPermit<'_>>) {
+    fn execute_gated(
+        &self,
+        conn: Option<u64>,
+        cmd: Command,
+    ) -> (Response, Option<InflightPermit<'_>>) {
         if self.is_draining() && !drain_exempt(&cmd) {
             let resp = self.shed(format!(
                 "server is draining; command \"{}\" refused",
@@ -364,10 +646,10 @@ impl Server {
             // before any work (the deterministic breach used by tests).
             return (self.deadline_exceeded(cmd.name(), "the budget is zero"), permit);
         }
-        (self.dispatch(cmd, &deadline), permit)
+        (self.dispatch(conn, cmd, &deadline), permit)
     }
 
-    fn dispatch(&self, cmd: Command, deadline: &Deadline) -> Response {
+    fn dispatch(&self, conn: Option<u64>, cmd: Command, deadline: &Deadline) -> Response {
         match cmd {
             Command::Ping => Response::Pong,
             Command::Sessions => Response::SessionList { names: self.registry.names() },
@@ -396,7 +678,10 @@ impl Server {
                 self.restore(session, state.map(|b| *b), deadline)
             }
             Command::Shutdown => self.shutdown(),
-            cmd => self.with_session(cmd, deadline),
+            // `append` creates the session on its first event, so it
+            // cannot go through the existing-session path unconditionally.
+            Command::Append { session, seq, text } => self.append(session, seq, &text),
+            cmd => self.with_session(conn, cmd, deadline),
         }
     }
 
@@ -624,8 +909,23 @@ impl Server {
         if deadline.expired() {
             return self.deadline_exceeded("restore", "no session was created");
         }
-        let revision = analysis.revision();
-        let evicted = self.registry.create(&session, analysis);
+        let mut server_session = ServerSession { analysis, live: None };
+        // A v3 checkpoint of a live session names its journal: re-link
+        // and replay the suffix so streaming picks up where it left
+        // off. If the journal is gone or mismatched the session still
+        // restores — as a plain batch session — and says why.
+        if let Some((journal_id, ckpt_seq)) = &ckpt.journal {
+            if let Err(detail) = self.relink_journal(&session, journal_id, *ckpt_seq, &mut server_session)
+            {
+                self.note("server.journal_relink_misses");
+                if self.recorder.is_enabled() {
+                    self.recorder.event("server.journal_relink_miss", &format!("{session}: {detail}"));
+                }
+                server_session.live = None;
+            }
+        }
+        let revision = server_session.analysis.revision();
+        let evicted = self.registry.create_session(&session, server_session);
         self.checkpoint_evicted(evicted);
         self.update_occupancy();
         self.note("server.restores");
@@ -650,7 +950,7 @@ impl Server {
                 let Some(slot) = self.registry.peek(&name) else { continue };
                 let ckpt = {
                     let s = slot.lock();
-                    SessionCheckpoint::capture(&name, &s.analysis)
+                    capture_session(&name, &s)
                 };
                 self.note("server.checkpoints");
                 if self.persist_checkpoint(&ckpt) {
@@ -669,7 +969,7 @@ impl Server {
             if self.registry.limits().checkpoint_dir.is_some() {
                 let ckpt = {
                     let s = slot.lock();
-                    SessionCheckpoint::capture(&name, &s.analysis)
+                    capture_session(&name, &s)
                 };
                 self.note("server.checkpoints");
                 self.persist_checkpoint(&ckpt);
@@ -703,8 +1003,445 @@ impl Server {
         written
     }
 
+    /// Handles `append`: the durable streaming ingest path.
+    ///
+    /// Ordering contract (at-least-once): validate, **journal**, then
+    /// apply, then acknowledge. A crash after the journal write but
+    /// before the ack costs the client one resend, which the duplicate
+    /// check acknowledges harmlessly — an acked event is never lost,
+    /// and recovery replays exactly what the journal holds.
+    fn append(&self, name: String, seq: u64, text: &str) -> Response {
+        if let Some(handle) = self.registry.get(&name) {
+            let mut s = match self.lock_admitted(&handle) {
+                Ok(g) => g,
+                Err(resp) => return resp,
+            };
+            let response = self.append_existing(&name, &mut s, seq, text);
+            handle.publish_revision(s.analysis.revision());
+            return response;
+        }
+        if seq != 1 {
+            return err(
+                ErrorKind::NoSession,
+                format!("session {name:?} does not exist; a new stream starts at seq 1"),
+            );
+        }
+        self.append_first(name, text)
+    }
+
+    /// `append` seq 1 for an unknown session: creates the live
+    /// session — and its journal — from the first event text.
+    fn append_first(&self, name: String, text: &str) -> Response {
+        let session_recorder = self.session_recorder();
+        let analysis = self.build_live_analysis(text, &session_recorder);
+        let mut journal = match self.create_journal(&name) {
+            Ok(j) => j,
+            Err(resp) => return resp,
+        };
+        // Journal before ack: the record is durable before any state
+        // exists that could acknowledge it.
+        if let Some(j) = &mut journal {
+            if let Err(e) = j.append(1, text) {
+                return err(ErrorKind::JournalIo, format!("journal append failed: {e}"));
+            }
+        }
+        let live = LiveStream {
+            journal,
+            last_seq: 1,
+            text: text.to_owned(),
+            span: live::span_after(text),
+            sealed: false,
+            last_view: None,
+        };
+        let revision = analysis.revision();
+        let evicted =
+            self.registry.create_session(&name, ServerSession { analysis, live: Some(live) });
+        self.checkpoint_evicted(evicted);
+        self.update_occupancy();
+        self.note("server.appends");
+        Response::Appended { session: name, seq: 1, revision, duplicate: false }
+    }
+
+    /// `append` on an existing session: idempotent by sequence number,
+    /// contiguous, journaled before acknowledgement.
+    fn append_existing(&self, name: &str, s: &mut ServerSession, seq: u64, text: &str) -> Response {
+        {
+            let Some(live) = s.live.as_mut() else {
+                return err(
+                    ErrorKind::NotLive,
+                    format!("session {name:?} was not created by append; it cannot stream"),
+                );
+            };
+            if seq == 0 {
+                return err(ErrorKind::BadArgument, "sequence numbers start at 1");
+            }
+            if seq <= live.last_seq {
+                // At-least-once delivery: a resend of an acked event
+                // is acknowledged again and not re-applied. Checked
+                // before the seal so retries of a sealed stream's
+                // final events stay idempotent.
+                self.note("server.append_duplicates");
+                return Response::Appended {
+                    session: name.to_owned(),
+                    seq,
+                    revision: s.analysis.revision(),
+                    duplicate: true,
+                };
+            }
+            if live.sealed {
+                return err(
+                    ErrorKind::SessionSealed,
+                    format!("session {name:?} is sealed; the stream has ended"),
+                );
+            }
+            if seq != live.last_seq + 1 {
+                let expected = live.last_seq + 1;
+                return err(
+                    ErrorKind::SeqGap { expected },
+                    format!("append skipped ahead: got seq {seq}, expected {expected}"),
+                );
+            }
+            if let Some(j) = &mut live.journal {
+                if let Err(e) = j.append(seq, text) {
+                    return err(ErrorKind::JournalIo, format!("journal append failed: {e}"));
+                }
+            }
+        }
+        self.apply_live_text(s, text);
+        s.live.as_mut().expect("checked live above").last_seq = seq;
+        self.note("server.appends");
+        let revision = s.analysis.revision();
+        self.publish_delta(name, s, seq);
+        Response::Appended { session: name.to_owned(), seq, revision, duplicate: false }
+    }
+
+    /// Loads live-stream text into a fresh analysis session. Live
+    /// content is *defined* as the lenient, unbudgeted load of the
+    /// acked texts in sequence order — the rebuild path and crash
+    /// recovery agree with the incremental path because all three are
+    /// this function (or the classifier that mirrors it line-exactly).
+    fn build_live_analysis(&self, text: &str, recorder: &Recorder) -> AnalysisSession {
+        let loader = TraceLoader::new()
+            .mode(RecoveryMode::Lenient)
+            .budget(ResourceBudget::unlimited())
+            .recorder(recorder.clone());
+        let report = loader
+            .load_str(text)
+            .expect("a lenient load with an unlimited budget recovers from anything");
+        let trace = Arc::new(report.trace.clone());
+        let index = Arc::new(AggIndex::build_observed(&trace, recorder));
+        AnalysisSession::builder(Arc::clone(&trace))
+            .shared_index(index)
+            .recorder(recorder.clone())
+            .build()
+    }
+
+    /// Opens the journal for a new live session, or `None` when the
+    /// server has no journal directory. Session names that cannot
+    /// safely name a file are refused outright — silently dropping
+    /// durability would betray the ack contract.
+    fn create_journal(&self, name: &str) -> Result<Option<JournalWriter>, Response> {
+        let Some(dir) = &self.registry.limits().journal_dir else { return Ok(None) };
+        if checkpoint_file_name(name).is_none() {
+            return Err(err(
+                ErrorKind::BadArgument,
+                format!("session name {name:?} cannot name a journal file"),
+            ));
+        }
+        if let Err(e) = fs::create_dir_all(dir) {
+            return Err(err(
+                ErrorKind::JournalIo,
+                format!("cannot create journal directory {}: {e}", dir.display()),
+            ));
+        }
+        let config = JournalConfig { sync_every: self.registry.limits().journal_sync_every };
+        match JournalWriter::create(&dir.join(format!("{name}.journal")), name, config) {
+            Ok(w) => Ok(Some(w.with_recorder(self.recorder.clone()))),
+            Err(e) => Err(err(ErrorKind::JournalIo, format!("cannot create journal: {e}"))),
+        }
+    }
+
+    /// Applies one event text to a live session: each line is
+    /// classified against the current trace and applied incrementally;
+    /// the first structural record (new container, metric, span, ...)
+    /// escalates to a rebuild from the accumulated text, which is the
+    /// authoritative definition of live content. Extends the
+    /// accumulated text first so the rebuild sees the whole stream.
+    fn apply_live_text(&self, s: &mut ServerSession, text: &str) {
+        {
+            let live = s.live.as_mut().expect("live session");
+            if !live.text.is_empty() && !live.text.ends_with('\n') {
+                live.text.push('\n');
+            }
+            live.text.push_str(text);
+        }
+        let mut structural = false;
+        for raw in text.lines() {
+            let span = s.live.as_ref().expect("live session").span;
+            match live::classify(s.analysis.trace(), span, raw) {
+                LiveLine::Skip => {}
+                LiveLine::Sample { container, metric, t, v } => {
+                    if s.analysis.live_apply_sample(container, metric, t, v).is_err() {
+                        // `classify` mirrors the loader's checks, so a
+                        // failure here is a record the lenient loader
+                        // would have dropped too.
+                        s.analysis.live_note_dropped();
+                    }
+                }
+                LiveLine::Quarantine { container, metric } => {
+                    s.analysis.live_quarantine_sample(container, metric);
+                }
+                LiveLine::Drop => s.analysis.live_note_dropped(),
+                LiveLine::Structural => {
+                    structural = true;
+                    break;
+                }
+            }
+        }
+        if structural {
+            self.rebuild_live(s);
+        }
+    }
+
+    /// Rebuilds a live session from its accumulated text — the
+    /// structural-record slow path. The analyst's interaction state
+    /// (collapse set, pins, sliders, slice) survives via
+    /// [`AnalysisSession::rebase`].
+    fn rebuild_live(&self, s: &mut ServerSession) {
+        self.note("server.live_rebuilds");
+        let recorder = s.analysis.recorder().clone();
+        let loader = TraceLoader::new()
+            .mode(RecoveryMode::Lenient)
+            .budget(ResourceBudget::unlimited())
+            .recorder(recorder.clone());
+        let live = s.live.as_mut().expect("live session");
+        let report = loader
+            .load_str(&live.text)
+            .expect("a lenient load with an unlimited budget recovers from anything");
+        let trace = Arc::new(report.trace.clone());
+        let index = Arc::new(AggIndex::build_observed(&trace, &recorder));
+        live.span = live::span_after(&live.text);
+        s.analysis.rebase(trace, Some(index));
+    }
+
+    /// Publishes one applied append to the session's subscribers:
+    /// computes the view delta against the stream's last published
+    /// view and enqueues it on every subscriber queue. Runs under the
+    /// session lock so the delta corresponds to exactly this sequence
+    /// number; sessions without subscribers skip the view extraction
+    /// entirely (the no-subscriber append fast path).
+    fn publish_delta(&self, name: &str, s: &mut ServerSession, seq: u64) {
+        {
+            let tbl = self.conns();
+            if tbl.subs.get(name).is_none_or(|v| v.is_empty()) {
+                return;
+            }
+        }
+        let view = s.analysis.view();
+        let revision = s.analysis.revision();
+        let live = s.live.as_mut().expect("publish_delta is only called on live sessions");
+        let (changed, removed) = diff_views(live.last_view.as_ref(), &view);
+        let push = Push::Delta { session: name.to_owned(), seq, revision, changed, removed };
+        live.last_view = Some(view);
+        self.enqueue_push(name, seq, &push.encode());
+    }
+
+    /// Handles `subscribe` under the session lock, so the catch-up
+    /// snapshot corresponds exactly to the stream's `last_seq`.
+    fn subscribe(
+        &self,
+        conn: Option<u64>,
+        name: &str,
+        s: &mut ServerSession,
+        from_seq: Option<u64>,
+    ) -> Response {
+        let Some(conn) = conn else {
+            return err(
+                ErrorKind::Protocol,
+                "subscribe requires a transport connection that can carry pushes",
+            );
+        };
+        let Some(live) = s.live.as_ref() else {
+            return err(
+                ErrorKind::NotLive,
+                format!("session {name:?} was not created by append; it cannot stream"),
+            );
+        };
+        let last_seq = live.last_seq;
+        {
+            let mut tbl = self.conns();
+            if !tbl.queues.contains_key(&conn) {
+                return err(ErrorKind::Protocol, "subscribe on an unregistered connection");
+            }
+            let entries = tbl.subs.entry(name.to_owned()).or_default();
+            if !entries.iter().any(|e| e.conn == conn) {
+                entries.push(SubEntry { conn, low_seq: None });
+            }
+        }
+        // Catch-up snapshot: everything at or before `last_seq` the
+        // subscriber has not seen is covered by one full-view delta.
+        // A subscriber that is already current (`from_seq ==
+        // last_seq + 1`) skips it and just receives future deltas.
+        let wants_snapshot = from_seq.is_none_or(|f| f <= last_seq);
+        let view = s.analysis.view();
+        let revision = s.analysis.revision();
+        if wants_snapshot {
+            let (changed, removed) = diff_views(None, &view);
+            let push = Push::Delta {
+                session: name.to_owned(),
+                seq: last_seq,
+                revision,
+                changed,
+                removed,
+            };
+            self.enqueue_push_for(conn, name, last_seq, push.encode());
+        }
+        // Refresh the diff base: if appends ran while nobody was
+        // subscribed, the stored view predates them.
+        s.live.as_mut().expect("checked live above").last_view = Some(view);
+        self.note("server.subscribes");
+        Response::Subscribed { session: name.to_owned(), last_seq }
+    }
+
+    /// Scans the journal directory and rebuilds a live session from
+    /// every journal found — the crash-recovery startup step. Each
+    /// journal is recovered (truncating any torn tail), then its
+    /// records are replayed through the ordinary live apply path, so a
+    /// recovered session is indistinguishable — same revision, same
+    /// renders — from one that took the same appends without a crash.
+    /// Returns the recovered session names, sorted.
+    pub fn recover_journals(&self) -> Vec<String> {
+        let Some(dir) = self.registry.limits().journal_dir.clone() else {
+            return Vec::new();
+        };
+        let Ok(entries) = fs::read_dir(&dir) else { return Vec::new() };
+        let mut paths: Vec<std::path::PathBuf> = entries
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|x| x == "journal"))
+            .collect();
+        paths.sort();
+        let config = JournalConfig { sync_every: self.registry.limits().journal_sync_every };
+        let mut names = Vec::new();
+        for path in paths {
+            let (writer, recovered) = match JournalWriter::recover(&path, config) {
+                Ok(r) => r,
+                Err(e) => {
+                    self.note("server.journal_recovery_errors");
+                    if self.recorder.is_enabled() {
+                        self.recorder
+                            .event("server.journal_recovery_error", &format!("{}: {e}", path.display()));
+                    }
+                    continue;
+                }
+            };
+            self.note("server.journal_recoveries");
+            if recovered.truncated_bytes > 0 {
+                self.note("journal.recovery_truncations");
+            }
+            let writer = writer.with_recorder(self.recorder.clone());
+            let name = recovered.id.clone();
+            let Some(first) = recovered.records.first() else {
+                // Header-only journal: a stream that never acked an
+                // event has no state to rebuild.
+                continue;
+            };
+            let session_recorder = self.session_recorder();
+            let analysis = self.build_live_analysis(&first.text, &session_recorder);
+            let mut s = ServerSession {
+                analysis,
+                live: Some(LiveStream {
+                    journal: Some(writer),
+                    last_seq: first.seq,
+                    text: first.text.clone(),
+                    span: live::span_after(&first.text),
+                    sealed: false,
+                    last_view: None,
+                }),
+            };
+            for rec in &recovered.records[1..] {
+                self.apply_live_text(&mut s, &rec.text);
+                s.live.as_mut().expect("live").last_seq = rec.seq;
+            }
+            if recovered.sealed {
+                s.live.as_mut().expect("live").sealed = true;
+            }
+            let evicted = self.registry.create_session(&name, s);
+            self.checkpoint_evicted(evicted);
+            names.push(name);
+        }
+        self.update_occupancy();
+        names.sort();
+        names
+    }
+
+    /// Re-attaches a restored session to its journal: recover the
+    /// file, replay every record after the checkpoint's `last_seq`
+    /// through the ordinary live apply path, and install the live
+    /// stream. On any failure the caller restores a plain batch
+    /// session instead — the view state is intact, only streaming
+    /// continuity is lost.
+    fn relink_journal(
+        &self,
+        session: &str,
+        journal_id: &str,
+        ckpt_seq: u64,
+        s: &mut ServerSession,
+    ) -> Result<(), String> {
+        let Some(dir) = &self.registry.limits().journal_dir else {
+            return Err("the server has no journal directory".into());
+        };
+        if checkpoint_file_name(session).is_none() {
+            return Err(format!("session name {session:?} cannot name a journal file"));
+        }
+        let path = dir.join(format!("{session}.journal"));
+        let config = JournalConfig { sync_every: self.registry.limits().journal_sync_every };
+        let (writer, recovered) = JournalWriter::recover(&path, config)
+            .map_err(|e| format!("journal recovery failed: {e}"))?;
+        if recovered.id != journal_id {
+            return Err(format!(
+                "journal id {:?} does not match the checkpoint's {journal_id:?}",
+                recovered.id
+            ));
+        }
+        if recovered.last_seq() < ckpt_seq {
+            return Err(format!(
+                "journal ends at seq {} but the checkpoint is at seq {ckpt_seq}",
+                recovered.last_seq()
+            ));
+        }
+        let writer = writer.with_recorder(self.recorder.clone());
+        s.live = Some(LiveStream {
+            journal: Some(writer),
+            last_seq: ckpt_seq,
+            text: String::new(),
+            span: None,
+            sealed: recovered.sealed,
+            last_view: None,
+        });
+        // The accumulated text is rebuilt from the journal (the
+        // checkpoint carries canonical CSV, not the original event
+        // texts): records the checkpoint already covers only extend
+        // the text; records after it are applied too.
+        {
+            let live = s.live.as_mut().expect("just installed");
+            for rec in recovered.records.iter().filter(|r| r.seq <= ckpt_seq) {
+                if !live.text.is_empty() && !live.text.ends_with('\n') {
+                    live.text.push('\n');
+                }
+                live.text.push_str(&rec.text);
+            }
+            live.span = live::span_after(&live.text);
+        }
+        for rec in recovered.records.iter().filter(|r| r.seq > ckpt_seq) {
+            self.apply_live_text(s, &rec.text);
+            s.live.as_mut().expect("live").last_seq = rec.seq;
+        }
+        self.note("server.journal_relinks");
+        Ok(())
+    }
+
     /// Dispatches the commands that operate on an existing session.
-    fn with_session(&self, cmd: Command, deadline: &Deadline) -> Response {
+    fn with_session(&self, conn: Option<u64>, cmd: Command, deadline: &Deadline) -> Response {
         let name = match session_name(&cmd) {
             Some(n) => n.to_owned(),
             None => return err(ErrorKind::Protocol, "command carries no session"),
@@ -735,7 +1472,7 @@ impl Server {
             Ok(g) => g,
             Err(resp) => return resp,
         };
-        let response = self.session_command(&name, &handle, &mut s, cmd, deadline);
+        let response = self.session_command(conn, &name, &handle, &mut s, cmd, deadline);
         // Publish the (possibly bumped) revision for lock-free readers
         // while the session lock is still held, so a fast-path reader
         // never sees a mirror *ahead* of the frames the cache holds.
@@ -743,9 +1480,12 @@ impl Server {
         response
     }
 
-    /// One session-scoped command, run under the session lock.
+    /// One session-scoped command, run under the session lock. `conn`
+    /// is the transport connection carrying the command, when there is
+    /// one — `subscribe` needs it to know where pushes go.
     fn session_command(
         &self,
+        conn: Option<u64>,
         name: &str,
         handle: &Arc<SessionSlot>,
         s: &mut ServerSession,
@@ -920,12 +1660,34 @@ impl Server {
                 Response::Frame { revision, cached: false, svg }
             }
             Command::Checkpoint { .. } => {
-                let ckpt = SessionCheckpoint::capture(name, &s.analysis);
+                let ckpt = capture_session(name, s);
                 self.note("server.checkpoints");
                 self.persist_checkpoint(&ckpt);
                 Response::Checkpointed { session: name.to_owned(), state: Box::new(ckpt) }
             }
-            // Session-free commands are handled by `dispatch`.
+            Command::Seal { .. } => {
+                let Some(live) = s.live.as_mut() else {
+                    return err(
+                        ErrorKind::NotLive,
+                        format!("session {name:?} was not created by append; it cannot stream"),
+                    );
+                };
+                if !live.sealed {
+                    if let Some(j) = &mut live.journal {
+                        if let Err(e) = j.seal() {
+                            return err(ErrorKind::JournalIo, format!("journal seal failed: {e}"));
+                        }
+                    }
+                    live.sealed = true;
+                    self.note("server.seals");
+                }
+                // Idempotent: re-sealing re-answers with the same
+                // final sequence number.
+                Response::Sealed { session: name.to_owned(), last_seq: live.last_seq }
+            }
+            Command::Subscribe { from_seq, .. } => self.subscribe(conn, name, s, from_seq),
+            // Session-free commands — and `append`, which must work
+            // before the session exists — are handled by `dispatch`.
             Command::Ping
             | Command::Sessions
             | Command::CloseSession { .. }
@@ -935,6 +1697,7 @@ impl Server {
             | Command::DropTrace { .. }
             | Command::Stats { .. }
             | Command::Restore { .. }
+            | Command::Append { .. }
             | Command::Shutdown => unreachable!("handled by dispatch"),
         }
     }
@@ -949,7 +1712,24 @@ impl Server {
     ///   the fragment is dropped (`server.torn_frames`);
     /// * once a **drain** starts, the loop finishes the in-flight
     ///   command, writes its response, and ends the connection.
-    pub fn serve<R: BufRead, W: Write>(&self, mut reader: R, mut writer: W) -> io::Result<()> {
+    pub fn serve<R: BufRead, W: Write>(&self, reader: R, writer: W) -> io::Result<()> {
+        let conn = self.open_conn();
+        let result = self.serve_conn(conn, reader, writer);
+        self.close_conn(conn);
+        result
+    }
+
+    /// [`serve`](Self::serve) on an already-registered connection —
+    /// the caller owns `open_conn`/`close_conn`. Queued pushes
+    /// (subscription deltas, lagging notices) drain after each
+    /// response, so within one connection a push never lands between a
+    /// request and its response.
+    fn serve_conn<R: BufRead, W: Write>(
+        &self,
+        conn: u64,
+        mut reader: R,
+        mut writer: W,
+    ) -> io::Result<()> {
         let mut line = String::new();
         loop {
             line.clear();
@@ -975,11 +1755,15 @@ impl Server {
                 }
                 return Ok(());
             }
-            if let Some(response) = self.handle_line(&line) {
+            if let Some(response) = self.handle_line_on(Some(conn), &line) {
                 writer.write_all(response.as_bytes())?;
                 writer.write_all(b"\n")?;
-                writer.flush()?;
             }
+            for push in self.take_pushes(conn) {
+                writer.write_all(push.as_bytes())?;
+                writer.write_all(b"\n")?;
+            }
+            writer.flush()?;
             if self.is_draining() {
                 return Ok(());
             }
@@ -1019,7 +1803,10 @@ fn session_name(cmd: &Command) -> Option<&str> {
         | Command::Aggregate { session, .. }
         | Command::Render { session, .. }
         | Command::Checkpoint { session }
-        | Command::Restore { session, .. } => Some(session),
+        | Command::Restore { session, .. }
+        | Command::Append { session, .. }
+        | Command::Seal { session }
+        | Command::Subscribe { session, .. } => Some(session),
     }
 }
 
@@ -1052,6 +1839,9 @@ const WRITE_HIGH_WATER: usize = 8 << 20;
 /// in `write_buf` and drain as the socket accepts them — neither side
 /// ever blocks the shard.
 struct Conn {
+    /// The server-side connection id ([`Server::open_conn`]) — the
+    /// address subscription pushes are queued under.
+    id: u64,
     stream: TcpStream,
     read_buf: Vec<u8>,
     write_buf: Vec<u8>,
@@ -1066,8 +1856,9 @@ struct Conn {
 }
 
 impl Conn {
-    fn new(stream: TcpStream) -> Conn {
+    fn new(stream: TcpStream, id: u64) -> Conn {
         Conn {
+            id,
             stream,
             read_buf: Vec::new(),
             write_buf: Vec::new(),
@@ -1134,7 +1925,7 @@ fn shard_loop(listener: &TcpListener, server: &Server) {
             match listener.accept() {
                 Ok((stream, _addr)) => {
                     if stream.set_nonblocking(true).is_ok() {
-                        conns.push(Conn::new(stream));
+                        conns.push(Conn::new(stream, server.open_conn()));
                         progressed = true;
                     }
                 }
@@ -1152,6 +1943,7 @@ fn shard_loop(listener: &TcpListener, server: &Server) {
                 }
                 (false, worked) => {
                     progressed |= worked;
+                    server.close_conn(conns[idx].id);
                     conns.swap_remove(idx);
                 }
             }
@@ -1173,6 +1965,7 @@ fn shard_loop(listener: &TcpListener, server: &Server) {
 /// refusal each.
 fn drain_shard(server: &Server, listener: &TcpListener, conns: &mut Vec<Conn>) {
     for mut conn in conns.drain(..) {
+        server.close_conn(conn.id);
         let give_up = Instant::now() + Duration::from_millis(250);
         while !conn.write_buf.is_empty() && Instant::now() < give_up {
             match conn.stream.write(&conn.write_buf) {
@@ -1241,6 +2034,18 @@ fn pump_conn(
         }
     }
     worked |= process_frames(server, conn);
+    // Drain queued subscription pushes (deltas published by *other*
+    // connections' appends included) into the write buffer — but only
+    // below the high-water mark: a subscriber that stops reading keeps
+    // its pushes in the bounded queue, overflows it, and is shed with
+    // `lagging`. Memory stays bounded and appenders never block.
+    if !conn.close_after_flush && conn.write_buf.len() < WRITE_HIGH_WATER {
+        for push in server.take_pushes(conn.id) {
+            conn.write_buf.extend_from_slice(push.as_bytes());
+            conn.write_buf.push(b'\n');
+            worked = true;
+        }
+    }
     if eof && !conn.close_after_flush {
         if !conn.read_buf.is_empty() {
             // Bytes that end without a newline are a torn frame:
@@ -1279,7 +2084,7 @@ fn process_frames(server: &Server, conn: &mut Conn) -> bool {
         worked = true;
         match std::str::from_utf8(&conn.read_buf[consumed..=end]) {
             Ok(text) => {
-                if let Some(response) = server.handle_line(text) {
+                if let Some(response) = server.handle_line_on(Some(conn.id), text) {
                     conn.write_buf.extend_from_slice(response.as_bytes());
                     conn.write_buf.push(b'\n');
                 }
@@ -2066,5 +2871,433 @@ mod tests {
             other => panic!("{other:?}"),
         };
         assert_eq!(render("a"), render("b"));
+    }
+
+    // ---- durable live streaming -------------------------------------
+
+    /// Opening event of every streaming test: span + two hosts + one
+    /// metric + one sample.
+    const LIVE_BASE: &str = "span,0.0,10.0\ncontainer,1,0,host,h0\ncontainer,2,0,host,h1\n\
+                             metric,0,MFlop/s,power\nvar,1.0,1,0,100.0";
+    /// Pure-sample events (incremental fast path).
+    const LIVE_EV2: &str = "var,2.0,1,0,50.0";
+    const LIVE_EV3: &str = "var,3.0,2,0,75.5";
+    /// A structural event (forces the rebuild slow path).
+    const LIVE_EV4: &str = "container,3,0,host,h2\nvar,4.0,3,0,10.0";
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "viva_server_stream_{tag}_{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&d);
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn stream_limits(dir: &std::path::Path) -> ServerLimits {
+        ServerLimits {
+            journal_dir: Some(dir.to_path_buf()),
+            journal_sync_every: 1,
+            ..ServerLimits::default()
+        }
+    }
+
+    fn append(s: &Server, session: &str, seq: u64, text: &str) -> Response {
+        s.execute(Command::Append { session: session.into(), seq, text: text.into() })
+    }
+
+    fn render_svg(s: &Server, session: &str) -> String {
+        match s.execute(Command::Render {
+            session: session.into(),
+            width: 640.0,
+            height: 480.0,
+            theme: viva::Theme::Light,
+            labels: false,
+        }) {
+            Response::Frame { svg, .. } => svg,
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn append_round_trip_idempotency_and_gap_detection() {
+        let s = server(); // no journal dir: streaming still works, just not durable
+        // A stream must start at seq 1.
+        assert!(matches!(
+            append(&s, "s", 2, LIVE_BASE),
+            Response::Error { kind: ErrorKind::NoSession, .. }
+        ));
+        assert!(matches!(
+            append(&s, "s", 1, LIVE_BASE),
+            Response::Appended { seq: 1, duplicate: false, .. }
+        ));
+        let r2 = append(&s, "s", 2, LIVE_EV2);
+        let rev2 = match r2 {
+            Response::Appended { seq: 2, duplicate: false, revision, .. } => revision,
+            other => panic!("{other:?}"),
+        };
+        // Resend of an acked event: acknowledged again, not re-applied.
+        match append(&s, "s", 2, LIVE_EV2) {
+            Response::Appended { seq: 2, duplicate: true, revision, .. } => {
+                assert_eq!(revision, rev2, "a duplicate does not change the session");
+            }
+            other => panic!("{other:?}"),
+        }
+        // Sequence numbers start at 1; skipping ahead is a typed gap
+        // that names the expected seq (the client's resume point).
+        assert!(matches!(
+            append(&s, "s", 0, "x"),
+            Response::Error { kind: ErrorKind::BadArgument, .. }
+        ));
+        match append(&s, "s", 5, LIVE_EV3) {
+            Response::Error { kind: ErrorKind::SeqGap { expected }, .. } => {
+                assert_eq!(expected, 3);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn incremental_appends_match_one_shot_load_of_the_same_text() {
+        let s = server();
+        // Session "inc" receives the stream event by event (exercising
+        // both the sample fast path and the structural rebuild);
+        // session "one" gets the identical concatenation as one event.
+        for (seq, text) in [(1, LIVE_BASE), (2, LIVE_EV2), (3, LIVE_EV3), (4, LIVE_EV4)] {
+            assert!(matches!(
+                append(&s, "inc", seq, text),
+                Response::Appended { duplicate: false, .. }
+            ));
+        }
+        let all = format!("{LIVE_BASE}\n{LIVE_EV2}\n{LIVE_EV3}\n{LIVE_EV4}");
+        assert!(matches!(append(&s, "one", 1, &all), Response::Appended { .. }));
+        // Live content is defined as the lenient load of the
+        // concatenated texts, so both sessions must hold the same
+        // view values (geometry may differ — layout seeding is
+        // path-dependent — so compare the data projection).
+        let deltas = |name: &str| {
+            let handle = s.registry().get(name).unwrap();
+            let guard = handle.lock();
+            diff_views(None, &guard.analysis.view())
+        };
+        assert_eq!(deltas("inc"), deltas("one"));
+    }
+
+    #[test]
+    fn seal_ends_the_stream_idempotently() {
+        let s = server();
+        append(&s, "s", 1, LIVE_BASE);
+        append(&s, "s", 2, LIVE_EV2);
+        assert_eq!(
+            s.execute(Command::Seal { session: "s".into() }),
+            Response::Sealed { session: "s".into(), last_seq: 2 }
+        );
+        // Sealed: new events are refused, duplicates still ack.
+        assert!(matches!(
+            append(&s, "s", 3, LIVE_EV3),
+            Response::Error { kind: ErrorKind::SessionSealed, .. }
+        ));
+        assert!(matches!(
+            append(&s, "s", 2, LIVE_EV2),
+            Response::Appended { duplicate: true, .. }
+        ));
+        // Re-sealing re-answers identically.
+        assert_eq!(
+            s.execute(Command::Seal { session: "s".into() }),
+            Response::Sealed { session: "s".into(), last_seq: 2 }
+        );
+    }
+
+    #[test]
+    fn streaming_commands_are_typed_errors_on_batch_sessions() {
+        let s = server();
+        load(&s, "a");
+        assert!(matches!(
+            append(&s, "a", 1, LIVE_BASE),
+            Response::Error { kind: ErrorKind::NotLive, .. }
+        ));
+        assert!(matches!(
+            s.execute(Command::Seal { session: "a".into() }),
+            Response::Error { kind: ErrorKind::NotLive, .. }
+        ));
+        // `subscribe` additionally needs a transport connection that
+        // can carry pushes — `execute` has none.
+        append(&s, "s", 1, LIVE_BASE);
+        assert!(matches!(
+            s.execute(Command::Subscribe { session: "s".into(), from_seq: None }),
+            Response::Error { kind: ErrorKind::Protocol, .. }
+        ));
+    }
+
+    #[test]
+    fn restart_recovers_journals_into_identical_sessions() {
+        let dir = tmpdir("recover");
+        let s = Server::new(stream_limits(&dir));
+        for (seq, text) in [(1, LIVE_BASE), (2, LIVE_EV2), (3, LIVE_EV3), (4, LIVE_EV4)] {
+            assert!(matches!(append(&s, "s", seq, text), Response::Appended { .. }));
+        }
+        let rev_a = match append(&s, "s", 4, LIVE_EV4) {
+            Response::Appended { duplicate: true, revision, .. } => revision,
+            other => panic!("{other:?}"),
+        };
+        let svg_a = render_svg(&s, "s");
+        drop(s); // crash: no seal, no checkpoint
+        // A fresh server over the same journal directory rebuilds the
+        // session — same revision, same bytes on screen.
+        let t = Server::new(stream_limits(&dir));
+        assert_eq!(t.recover_journals(), vec!["s".to_string()]);
+        match append(&t, "s", 4, LIVE_EV4) {
+            Response::Appended { duplicate: true, revision, .. } => {
+                assert_eq!(revision, rev_a, "recovery replays to the identical revision");
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(render_svg(&t, "s"), svg_a, "recovered render is byte-identical");
+        // And the stream continues where it left off.
+        assert!(matches!(
+            append(&t, "s", 5, "var,5.0,1,0,25.0"),
+            Response::Appended { seq: 5, duplicate: false, .. }
+        ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_journal_tail_recovers_the_acked_prefix() {
+        use std::io::Write as _;
+        let dir = tmpdir("torn");
+        let s = Server::with_metrics(stream_limits(&dir));
+        append(&s, "s", 1, LIVE_BASE);
+        append(&s, "s", 2, LIVE_EV2);
+        append(&s, "s", 3, LIVE_EV3);
+        drop(s);
+        // A torn tail: half a record that never finished hitting disk.
+        let path = dir.join("s.journal");
+        let mut f = fs::OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(b"v1,9,garbage-without-a-news").unwrap();
+        drop(f);
+        let t = Server::with_metrics(stream_limits(&dir));
+        assert_eq!(t.recover_journals(), vec!["s".to_string()]);
+        // The acked prefix survives; the torn record was never acked
+        // and is physically gone.
+        assert!(matches!(
+            append(&t, "s", 3, LIVE_EV3),
+            Response::Appended { duplicate: true, .. }
+        ));
+        match append(&t, "s", 5, "x") {
+            Response::Error { kind: ErrorKind::SeqGap { expected }, .. } => {
+                assert_eq!(expected, 4)
+            }
+            other => panic!("{other:?}"),
+        }
+        // The truncation is observable.
+        let block = match t.execute(Command::Stats { session: None }) {
+            Response::Stats { server, .. } => server,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(counter(&block, "journal.recovery_truncations"), Some(1));
+        assert_eq!(counter(&block, "server.journal_recoveries"), Some(1));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_v3_links_the_journal_and_restore_relinks_it() {
+        let dir = tmpdir("ckpt");
+        let s = Server::new(stream_limits(&dir));
+        append(&s, "s", 1, LIVE_BASE);
+        append(&s, "s", 2, LIVE_EV2);
+        let state = match s.execute(Command::Checkpoint { session: "s".into() }) {
+            Response::Checkpointed { state, .. } => state,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(state.journal, Some(("s".to_string(), 2)));
+        drop(s);
+        // Restore on a fresh server with the same journal directory:
+        // the session is live again and the stream continues.
+        let t = Server::new(stream_limits(&dir));
+        assert!(matches!(
+            t.execute(Command::Restore { session: "s".into(), state: Some(state.clone()) }),
+            Response::Restored { .. }
+        ));
+        // Double-checkpoint byte fixed point: checkpointing the
+        // restored (unchanged) session reproduces the same bytes.
+        let state2 = match t.execute(Command::Checkpoint { session: "s".into() }) {
+            Response::Checkpointed { state, .. } => state,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(state.encode(), state2.encode());
+        assert!(matches!(
+            append(&t, "s", 3, LIVE_EV3),
+            Response::Appended { seq: 3, duplicate: false, .. }
+        ));
+        drop(t);
+        // Without the journal directory the restore still succeeds —
+        // as a plain batch session that cannot stream.
+        let u = Server::new(ServerLimits::default());
+        assert!(matches!(
+            u.execute(Command::Restore { session: "s".into(), state: Some(state) }),
+            Response::Restored { .. }
+        ));
+        assert!(matches!(
+            append(&u, "s", 3, LIVE_EV3),
+            Response::Error { kind: ErrorKind::NotLive, .. }
+        ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_after_journal_truncation_replays_the_suffix() {
+        let dir = tmpdir("suffix");
+        let s = Server::new(stream_limits(&dir));
+        append(&s, "s", 1, LIVE_BASE);
+        append(&s, "s", 2, LIVE_EV2);
+        let state = match s.execute(Command::Checkpoint { session: "s".into() }) {
+            Response::Checkpointed { state, .. } => state,
+            other => panic!("{other:?}"),
+        };
+        // Two more acked events after the checkpoint.
+        append(&s, "s", 3, LIVE_EV3);
+        append(&s, "s", 4, LIVE_EV4);
+        let svg_live = render_svg(&s, "s");
+        drop(s);
+        // Restoring the *older* checkpoint replays the journal suffix
+        // (seqs 3 and 4) — nothing acked is lost.
+        let t = Server::new(stream_limits(&dir));
+        assert!(matches!(
+            t.execute(Command::Restore { session: "s".into(), state: Some(state) }),
+            Response::Restored { .. }
+        ));
+        assert!(matches!(
+            append(&t, "s", 4, LIVE_EV4),
+            Response::Appended { duplicate: true, .. }
+        ));
+        assert_eq!(render_svg(&t, "s"), svg_live);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn subscribe_streams_snapshot_then_incremental_deltas_over_serve() {
+        let s = server();
+        let mut script = String::new();
+        for line in [
+            Command::Append { session: "s".into(), seq: 1, text: LIVE_BASE.into() }.encode(),
+            Command::Subscribe { session: "s".into(), from_seq: None }.encode(),
+            Command::Append { session: "s".into(), seq: 2, text: LIVE_EV2.into() }.encode(),
+            // Already current: no snapshot owed.
+            Command::Subscribe { session: "s".into(), from_seq: Some(3) }.encode(),
+        ] {
+            script.push_str(&line);
+            script.push('\n');
+        }
+        let mut out = Vec::new();
+        s.serve(io::Cursor::new(script.into_bytes()), &mut out).unwrap();
+        let lines: Vec<&str> = std::str::from_utf8(&out).unwrap().lines().collect();
+        assert_eq!(lines.len(), 6, "{lines:#?}");
+        assert!(matches!(
+            Response::decode(lines[0]),
+            Ok(Response::Appended { seq: 1, .. })
+        ));
+        assert!(matches!(
+            Response::decode(lines[1]),
+            Ok(Response::Subscribed { last_seq: 1, .. })
+        ));
+        // The catch-up snapshot: one delta carrying every visible node.
+        match Push::decode(lines[2]) {
+            Ok(Push::Delta { seq, changed, removed, .. }) => {
+                assert_eq!(seq, 1);
+                assert_eq!(changed.len(), 2, "both hosts visible");
+                assert!(removed.is_empty());
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(
+            Response::decode(lines[3]),
+            Ok(Response::Appended { seq: 2, .. })
+        ));
+        // The incremental delta: only the node the sample touched.
+        match Push::decode(lines[4]) {
+            Ok(Push::Delta { seq, changed, removed, .. }) => {
+                assert_eq!(seq, 2);
+                assert_eq!(changed.len(), 1, "only h0's aggregate moved: {changed:?}");
+                assert_eq!(changed[0].container, 1);
+                assert!(removed.is_empty());
+            }
+            other => panic!("{other:?}"),
+        }
+        // The already-current re-subscribe answers without a snapshot.
+        assert!(matches!(
+            Response::decode(lines[5]),
+            Ok(Response::Subscribed { last_seq: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn slow_subscriber_sheds_to_lagging_and_never_blocks_append() {
+        let limits = ServerLimits { subscriber_queue: 2, ..ServerLimits::default() };
+        let s = Server::with_metrics(limits);
+        let conn = s.open_conn();
+        assert!(matches!(append(&s, "s", 1, LIVE_BASE), Response::Appended { .. }));
+        let (r, _) =
+            s.execute_gated(Some(conn), Command::Subscribe { session: "s".into(), from_seq: None });
+        assert!(matches!(r, Response::Subscribed { last_seq: 1, .. }));
+        // The subscriber never drains. Queue capacity is 2: the
+        // snapshot plus one delta fit, the next delta overflows — the
+        // queue is shed to a single `lagging`, and every append still
+        // acks immediately.
+        for seq in 2..=5u64 {
+            let text = format!("var,{seq}.0,1,0,{}.0", 100 - seq);
+            assert!(matches!(
+                append(&s, "s", seq, &text),
+                Response::Appended { duplicate: false, .. }
+            ));
+        }
+        let pushes = s.take_pushes(conn);
+        assert_eq!(pushes.len(), 1, "{pushes:#?}");
+        match Push::decode(&pushes[0]) {
+            // resume_seq = the snapshot's seq: nothing after it was
+            // delivered, so the subscriber resumes from there.
+            Ok(Push::Lagging { session, resume_seq }) => {
+                assert_eq!(session, "s");
+                assert_eq!(resume_seq, 1);
+            }
+            other => panic!("{other:?}"),
+        }
+        // The lagging notice also cancelled the subscription: further
+        // appends push nothing.
+        append(&s, "s", 6, "var,6.0,1,0,1.0");
+        assert!(s.take_pushes(conn).is_empty());
+        // Re-subscribing from the resume point resynchronizes with a
+        // fresh snapshot.
+        let (r, _) = s.execute_gated(
+            Some(conn),
+            Command::Subscribe { session: "s".into(), from_seq: Some(1) },
+        );
+        assert!(matches!(r, Response::Subscribed { last_seq: 6, .. }));
+        let pushes = s.take_pushes(conn);
+        assert_eq!(pushes.len(), 1);
+        assert!(matches!(Push::decode(&pushes[0]), Ok(Push::Delta { seq: 6, .. })));
+        // The shed is observable.
+        let block = match s.execute(Command::Stats { session: None }) {
+            Response::Stats { server, .. } => server,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(counter(&block, "server.subscriber_sheds"), Some(1));
+        s.close_conn(conn);
+    }
+
+    #[test]
+    fn closing_a_connection_drops_its_subscriptions() {
+        let s = server();
+        append(&s, "s", 1, LIVE_BASE);
+        let conn = s.open_conn();
+        let (r, _) =
+            s.execute_gated(Some(conn), Command::Subscribe { session: "s".into(), from_seq: None });
+        assert!(matches!(r, Response::Subscribed { .. }));
+        s.close_conn(conn);
+        // Appends after the close publish to nobody — and don't leak
+        // queue entries for the dead connection.
+        assert!(matches!(append(&s, "s", 2, LIVE_EV2), Response::Appended { .. }));
+        assert!(s.take_pushes(conn).is_empty());
+        assert!(s.conns().subs.is_empty());
     }
 }

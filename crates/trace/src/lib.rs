@@ -38,6 +38,8 @@ pub mod container;
 pub mod error;
 pub mod event;
 pub mod export;
+pub mod journal;
+pub mod live;
 pub mod loader;
 pub mod metric;
 pub mod signal;
@@ -49,6 +51,10 @@ pub use builder::TraceBuilder;
 pub use container::{Container, ContainerId, ContainerKind, ContainerTree};
 pub use error::TraceError;
 pub use event::Event;
+pub use journal::{
+    AppendOutcome, JournalConfig, JournalError, JournalRecord, JournalWriter, RecoveredJournal,
+};
+pub use live::{LiveLine, SamplePrior};
 pub use loader::{
     BudgetBreach, BudgetKind, LoadDiagnostic, LoadReport, RecoveryMode, ResourceBudget,
     TraceLoader,

@@ -1,0 +1,343 @@
+//! Live-append support: incremental classification and application of
+//! streamed trace lines.
+//!
+//! A live session's content is *defined* as the lenient load
+//! ([`crate::TraceLoader`]) of the concatenation of every acknowledged
+//! `append` text — that definition is what makes crash recovery
+//! byte-identical (replay the journal through the same loader) and
+//! what the incremental fast path below must reproduce bit for bit.
+//!
+//! [`classify`] mirrors the loader's per-record `var` validation
+//! exactly (same checks, same order): a line classified as
+//! [`LiveLine::Sample`] is guaranteed to be accepted by a from-scratch
+//! lenient reload, a [`LiveLine::Quarantine`] line is guaranteed to
+//! quarantine, and a [`LiveLine::Drop`] line is guaranteed to be
+//! skipped. Structural records (`span`/`container`/`metric`/`state`/
+//! `link`) are not replayed incrementally — the caller falls back to a
+//! full reload of the accumulated text, which by construction lands in
+//! the same state.
+//!
+//! Live sessions use an **unlimited** resource budget (overload is the
+//! server's admission control's job, not the loader's), so the
+//! incremental path never has to model budget exhaustion.
+
+use crate::container::ContainerId;
+use crate::error::TraceError;
+use crate::loader::{fields, parse_f64, parse_finite, parse_id};
+use crate::metric::MetricId;
+use crate::trace::Trace;
+
+/// How a lenient loader would treat one appended line, given the
+/// current live trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LiveLine {
+    /// Blank or comment: ignored, not counted.
+    Skip,
+    /// A valid `var` record the builder will accept — apply with
+    /// [`Trace::live_push_sample`].
+    Sample {
+        /// Target container.
+        container: ContainerId,
+        /// Target metric.
+        metric: MetricId,
+        /// Sample time.
+        t: f64,
+        /// Sample value (finite).
+        v: f64,
+    },
+    /// A `var` record with a non-finite value on a valid
+    /// (container, metric): quarantined + dropped.
+    Quarantine {
+        /// Target container.
+        container: ContainerId,
+        /// Target metric.
+        metric: MetricId,
+    },
+    /// A malformed record a lenient load skips (dropped + 1, no other
+    /// state change).
+    Drop,
+    /// A structural record (`span`/`container`/`metric`/`state`/
+    /// `link`): the caller must reload the accumulated text.
+    Structural,
+}
+
+/// Classifies one line exactly as the lenient loader would, given the
+/// live trace state and the currently-declared span (see
+/// [`span_after`]).
+pub fn classify(trace: &Trace, span: Option<(f64, f64)>, raw: &str) -> LiveLine {
+    let line = raw.trim_end();
+    if line.is_empty() || line.starts_with('#') {
+        return LiveLine::Skip;
+    }
+    let Some((kind, rest)) = line.split_once(',') else {
+        return LiveLine::Drop; // "missing record kind"
+    };
+    match kind {
+        "span" | "container" | "metric" | "state" | "link" => return LiveLine::Structural,
+        "var" => {}
+        _ => return LiveLine::Drop, // "unknown record kind"
+    }
+    // Mirror of the loader's `var` arm, check for check, in order.
+    let Ok([t_s, c_s, m_s, v_s]) = fields::<4>(rest) else {
+        return LiveLine::Drop;
+    };
+    let Ok(t) = parse_finite(t_s, "time") else {
+        return LiveLine::Drop;
+    };
+    let Ok(c_idx) = parse_id(c_s) else {
+        return LiveLine::Drop;
+    };
+    let container = ContainerId::from_index(c_idx);
+    if trace.containers().get(container).is_none() {
+        return LiveLine::Drop;
+    }
+    let Ok(m_idx) = parse_id(m_s) else {
+        return LiveLine::Drop;
+    };
+    if m_idx >= trace.metrics().len() {
+        return LiveLine::Drop;
+    }
+    let metric = MetricId::from_index(m_idx);
+    if let Some((s, e)) = span {
+        if t < s || t > e {
+            return LiveLine::Drop;
+        }
+    }
+    let Ok(v) = parse_f64(v_s) else {
+        return LiveLine::Drop;
+    };
+    if !v.is_finite() {
+        return LiveLine::Quarantine { container, metric };
+    }
+    // The builder's `set_variable` would reject a non-monotonic push.
+    if let Some(sig) = trace.signal(container, metric) {
+        if let Some(last) = sig.last_time() {
+            if t < last {
+                return LiveLine::Drop;
+            }
+        }
+    }
+    LiveLine::Sample { container, metric, t, v }
+}
+
+/// The span a lenient load of `text` ends with: the last *valid* `span`
+/// record (parses, finite, `end >= start`), if any. Span validity
+/// depends on nothing else in the stream, so this can be derived by a
+/// flat rescan after every structural reload.
+pub fn span_after(text: &str) -> Option<(f64, f64)> {
+    let mut span = None;
+    for raw in text.lines() {
+        let line = raw.trim_end();
+        let Some(rest) = line.strip_prefix("span,") else {
+            continue;
+        };
+        let Ok([s_s, e_s]) = fields::<2>(rest) else {
+            continue;
+        };
+        let (Ok(s), Ok(e)) = (parse_finite(s_s, "span start"), parse_finite(e_s, "span end"))
+        else {
+            continue;
+        };
+        if e < s {
+            continue;
+        }
+        span = Some((s, e));
+    }
+    span
+}
+
+/// State of the leaf signal *before* a [`Trace::live_push_sample`] —
+/// everything `viva-agg`'s incremental insert needs to update the
+/// merged series without rescanning.
+#[derive(Debug, Clone, Copy)]
+pub struct SamplePrior {
+    /// Whether the (container, metric) pair already carried a signal.
+    /// `false` means the insert adds a new carrier (index structure
+    /// changes, not just values).
+    pub existed: bool,
+    /// Whether the new sample's time equals the signal's previous last
+    /// breakpoint (the push overwrote rather than appended).
+    pub tied: bool,
+    /// The signal's last value before the push (0.0 when `!existed`).
+    pub prev_value: f64,
+}
+
+impl Trace {
+    /// Applies one validated live sample, returning the leaf-signal
+    /// prior the aggregation index needs. Maintains `start`/`end`
+    /// exactly as a from-scratch lenient reload would (the builder's
+    /// earliest/latest fold plus the loader's state-time fold).
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::NonMonotonicTime`] / [`TraceError::NotFinite`]
+    /// when the sample would be rejected — callers that pre-validate
+    /// with [`classify`] never see these.
+    pub fn live_push_sample(
+        &mut self,
+        container: ContainerId,
+        metric: MetricId,
+        t: f64,
+        v: f64,
+    ) -> Result<SamplePrior, TraceError> {
+        let prior = match self.signals.get(&(container, metric)) {
+            Some(sig) => {
+                let last = sig.last_time().unwrap_or(t);
+                if t < last {
+                    return Err(TraceError::NonMonotonicTime { time: t, last });
+                }
+                SamplePrior {
+                    existed: true,
+                    tied: t == last,
+                    prev_value: sig.values().last().copied().unwrap_or(0.0),
+                }
+            }
+            None => SamplePrior { existed: false, tied: false, prev_value: 0.0 },
+        };
+        // Capture *before* the push: whether the builder had seen any
+        // event at all decides whether `start` is a fold or a seed.
+        let had_events = !self.signals.is_empty() || !self.links.is_empty();
+        self.signals.entry((container, metric)).or_default().push(t, v)?;
+        self.start = if had_events || !self.states.is_empty() { self.start.min(t) } else { t };
+        self.end = self.end.max(t);
+        Ok(prior)
+    }
+
+    /// Books one quarantined non-finite sample on a live session: the
+    /// per-pair quarantine counter and the dropped tally both advance
+    /// (quarantines are a subset of drops, as in the loader).
+    pub fn live_note_quarantined(&mut self, container: ContainerId, metric: MetricId) {
+        *self.quarantined.entry((container, metric)).or_insert(0) += 1;
+        self.ingest_dropped += 1;
+    }
+
+    /// Books one dropped (malformed) live record.
+    pub fn live_note_dropped(&mut self) {
+        self.ingest_dropped += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loader::{RecoveryMode, ResourceBudget, TraceLoader};
+
+    const BASE: &str = "span,0.0,10.0\n\
+        container,1,0,host,h0\n\
+        container,2,0,host,h1\n\
+        metric,0,MFlop/s,power\n\
+        var,1.0,1,0,100.0\n";
+
+    fn load(text: &str) -> Trace {
+        TraceLoader::new()
+            .mode(RecoveryMode::Lenient)
+            .budget(ResourceBudget::unlimited())
+            .load(text.as_bytes())
+            .unwrap()
+            .trace
+    }
+
+    /// The contract `classify` exists for: every classification must
+    /// match what a from-scratch lenient reload of base + line does.
+    #[test]
+    fn classify_matches_reload() {
+        let base = load(BASE);
+        let span = span_after(BASE);
+        let cases: Vec<(&str, LiveLine)> = vec![
+            ("", LiveLine::Skip),
+            ("# comment", LiveLine::Skip),
+            ("var,2.0,1,0,50.0", LiveLine::Sample {
+                container: ContainerId::from_index(1),
+                metric: MetricId::from_index(0),
+                t: 2.0,
+                v: 50.0,
+            }),
+            ("var,2.0,2,0,75.5", LiveLine::Sample {
+                container: ContainerId::from_index(2),
+                metric: MetricId::from_index(0),
+                t: 2.0,
+                v: 75.5,
+            }),
+            ("var,2.0,1,0,NaN", LiveLine::Quarantine {
+                container: ContainerId::from_index(1),
+                metric: MetricId::from_index(0),
+            }),
+            ("var,2.0,1,0,inf", LiveLine::Quarantine {
+                container: ContainerId::from_index(1),
+                metric: MetricId::from_index(0),
+            }),
+            ("var,0.5,1,0,50.0", LiveLine::Drop), // before last breakpoint
+            ("var,11.0,1,0,50.0", LiveLine::Drop), // outside span
+            ("var,2.0,9,0,50.0", LiveLine::Drop),  // unknown container
+            ("var,2.0,1,7,50.0", LiveLine::Drop),  // unknown metric
+            ("var,NaN,1,0,50.0", LiveLine::Drop),  // non-finite time
+            ("var,2.0,1,0", LiveLine::Drop),       // missing field
+            ("var,2.0,1,0,1.0,extra", LiveLine::Drop), // junk tail folds into v
+            ("frobnicate,1,2", LiveLine::Drop),    // unknown kind
+            ("no comma here", LiveLine::Drop),
+            ("span,0.0,20.0", LiveLine::Structural),
+            ("container,3,0,host,h2", LiveLine::Structural),
+            ("metric,1,B/s,net", LiveLine::Structural),
+            ("state,1,1.0,2.0,0,busy", LiveLine::Structural),
+            ("link,1.0,2.0,1,2,8.0", LiveLine::Structural),
+        ];
+        for (line, want) in cases {
+            assert_eq!(classify(&base, span, line), want, "line {line:?}");
+        }
+    }
+
+    #[test]
+    fn push_sample_matches_reload_bytes() {
+        let mut live = load(BASE);
+        let appended = "var,2.0,1,0,50.0\nvar,2.0,2,0,75.5\nvar,2.0,2,0,80.0\n";
+        for raw in appended.lines() {
+            match classify(&live, span_after(BASE), raw) {
+                LiveLine::Sample { container, metric, t, v } => {
+                    live.live_push_sample(container, metric, t, v).unwrap();
+                }
+                other => panic!("unexpected classification {other:?}"),
+            }
+        }
+        let reloaded = load(&format!("{BASE}{appended}"));
+        assert_eq!(live.start(), reloaded.start());
+        assert_eq!(live.end(), reloaded.end());
+        assert_eq!(live.signal_count(), reloaded.signal_count());
+        for (c, m, sig) in reloaded.signals() {
+            let l = live.signal(c, m).expect("signal present");
+            assert_eq!(l.times(), sig.times());
+            assert_eq!(l.values(), sig.values());
+            assert_eq!(l.cumulative(), sig.cumulative());
+        }
+    }
+
+    /// First-ever event seeds `start` (the builder's `unwrap_or(0.0)`
+    /// never applies once a real event exists).
+    #[test]
+    fn start_end_maintenance_without_prior_events() {
+        let topo = "container,1,0,host,h0\nmetric,0,u,m\n";
+        let mut live = load(topo);
+        assert_eq!((live.start(), live.end()), (0.0, 0.0));
+        live.live_push_sample(ContainerId::from_index(1), MetricId::from_index(0), 3.0, 1.0)
+            .unwrap();
+        let reloaded = load(&format!("{topo}var,3.0,1,0,1\n"));
+        assert_eq!(live.start(), reloaded.start());
+        assert_eq!(live.end(), reloaded.end());
+    }
+
+    #[test]
+    fn quarantine_and_drop_counters_match_reload() {
+        let mut live = load(BASE);
+        live.live_note_quarantined(ContainerId::from_index(1), MetricId::from_index(0));
+        live.live_note_dropped();
+        let reloaded = load(&format!("{BASE}var,2.0,1,0,NaN\ngarbage line, eh\n"));
+        assert_eq!(live.quarantined_total(), reloaded.quarantined_total());
+        assert_eq!(live.ingest_dropped(), reloaded.ingest_dropped());
+    }
+
+    #[test]
+    fn span_after_takes_last_valid() {
+        let text = "span,0.0,10.0\nspan,bad,10\nspan,5.0,2.0\nspan,1.0,20.0\n# span,9,9\n";
+        assert_eq!(span_after(text), Some((1.0, 20.0)));
+        assert_eq!(span_after("var,1,1,0,2\n"), None);
+    }
+}

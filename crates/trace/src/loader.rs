@@ -408,7 +408,7 @@ struct Ingest {
 }
 
 /// Why a single record could not be applied.
-enum RecordFault {
+pub(crate) enum RecordFault {
     /// Malformed or inconsistent: skip in `Lenient`, abort in `Strict`.
     Bad(String),
     /// A non-finite metric sample on a *valid* (container, metric,
@@ -732,14 +732,14 @@ impl Ingest {
     }
 }
 
-fn parse_f64(s: &str) -> Result<f64, RecordFault> {
+pub(crate) fn parse_f64(s: &str) -> Result<f64, RecordFault> {
     s.parse::<f64>()
         .map_err(|e| RecordFault::Bad(format!("bad float {s:?}: {e}")))
 }
 
 /// Parses a float that must be finite (timestamps, sizes, spans —
 /// everything except metric samples, which quarantine instead).
-fn parse_finite(s: &str, what: &str) -> Result<f64, RecordFault> {
+pub(crate) fn parse_finite(s: &str, what: &str) -> Result<f64, RecordFault> {
     let v = parse_f64(s)?;
     if !v.is_finite() {
         return Err(RecordFault::Bad(format!("non-finite {what} {v:?}")));
@@ -755,7 +755,7 @@ fn parse_usize(s: &str) -> Result<usize, RecordFault> {
 /// Parses a container/metric id. Ids are dense `u32` indices; anything
 /// larger would silently truncate in `from_index` and alias a valid id,
 /// so reject it here.
-fn parse_id(s: &str) -> Result<usize, RecordFault> {
+pub(crate) fn parse_id(s: &str) -> Result<usize, RecordFault> {
     let idx = parse_usize(s)?;
     if idx > u32::MAX as usize {
         return Err(RecordFault::Bad(format!("id {idx} out of range")));
@@ -763,7 +763,7 @@ fn parse_id(s: &str) -> Result<usize, RecordFault> {
     Ok(idx)
 }
 
-fn fields<const N: usize>(rest: &str) -> Result<[&str; N], RecordFault> {
+pub(crate) fn fields<const N: usize>(rest: &str) -> Result<[&str; N], RecordFault> {
     let mut it = rest.splitn(N, ',');
     let mut out = [""; N];
     for slot in out.iter_mut() {
