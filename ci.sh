@@ -1,7 +1,48 @@
 #!/usr/bin/env bash
 # Local CI gate: build, lints, full test suite. Run before pushing.
+# `./ci.sh scale-smoke` runs only the columnar+LoD scale gate.
 set -euo pipefail
 cd "$(dirname "$0")"
+
+scale_smoke() {
+  echo "==> scale-smoke: columnar+LoD gates, golden LoD transcript replay"
+  # The reduced fig_scale run exercises the full pipeline (trace build,
+  # memory-ratio assertion, LoD cut tiling) without the timing gates.
+  cargo run --quiet --release -p viva-bench --bin fig_scale -- --small > /dev/null
+  # Camera renders over the wire are deterministic: the checked-in LoD
+  # script (camera-less baseline, identity camera, zoom/pan sweeps, an
+  # invalid camera's typed error) must reproduce its golden transcript
+  # byte for byte — twice over stdio, once over TCP.
+  target/release/viva-server --stdio \
+    < tests/data/server_lod.script > /tmp/viva_lod_smoke_1.ndjson
+  target/release/viva-server --stdio \
+    < tests/data/server_lod.script > /tmp/viva_lod_smoke_2.ndjson
+  diff -u tests/data/server_lod.golden /tmp/viva_lod_smoke_1.ndjson
+  diff -u /tmp/viva_lod_smoke_1.ndjson /tmp/viva_lod_smoke_2.ndjson
+  rm -f /tmp/viva_lod_smoke_tcp.log
+  target/release/viva-server --tcp 127.0.0.1:0 --workers 2 \
+    > /dev/null 2> /tmp/viva_lod_smoke_tcp.log &
+  LOD_SRV_PID=$!
+  LOD_ADDR=""
+  for _ in $(seq 1 200); do
+    LOD_ADDR=$(sed -n 's/^viva-server: listening on \([0-9.:]*\) .*/\1/p' /tmp/viva_lod_smoke_tcp.log)
+    [ -n "$LOD_ADDR" ] && break
+    sleep 0.05
+  done
+  test -n "$LOD_ADDR" || { echo "viva-server never announced its address" >&2; kill "$LOD_SRV_PID"; exit 1; }
+  target/release/viva-server-client --tcp "$LOD_ADDR" tests/data/server_lod.script \
+    > /tmp/viva_lod_smoke_tcp.ndjson
+  diff -u tests/data/server_lod.golden /tmp/viva_lod_smoke_tcp.ndjson
+  echo '{"cmd":"shutdown"}' | target/release/viva-server-client --tcp "$LOD_ADDR" > /dev/null
+  wait "$LOD_SRV_PID"
+}
+
+if [ "${1:-}" = "scale-smoke" ]; then
+  cargo build --quiet --release -p viva-bench -p viva-server
+  scale_smoke
+  echo "ci: scale-smoke green"
+  exit 0
+fi
 
 echo "==> cargo build --workspace --release"
 cargo build --workspace --release
@@ -59,6 +100,8 @@ diff -u tests/data/server_session.golden /tmp/viva_server_smoke_tcp.ndjson
 echo '{"cmd":"shutdown"}' | target/release/viva-server-client --tcp "$ADDR" > /dev/null
 wait "$SRV_PID"
 cargo run --quiet --release -p viva-bench --bin fig_server -- --small > /dev/null
+
+scale_smoke
 
 echo "==> obs-smoke: metrics-on replay is byte-identical, exposition lands"
 # Observability must never perturb the protocol: the same script with

@@ -25,6 +25,7 @@ use std::time::Instant;
 
 use viva::{AnalysisSession, SessionBuilder, Viewport};
 use viva_agg::TimeSlice;
+use viva_layout::{LayoutConfig, LayoutEngine, NodeKey};
 use viva_trace::{ContainerKind, Trace, TraceBuilder};
 
 struct Scale {
@@ -165,6 +166,23 @@ fn main() {
     assert_eq!(serial.view(), parallel.view(), "serial and parallel layouts diverged");
     let par_identical = serial.render(&vp) == parallel.render(&vp);
     assert!(par_identical, "serial and parallel SVG output differ");
+
+    // Regression guard for the measured crossover: this very bench
+    // recorded the parallel repulsion pass *slower* than serial at 500
+    // hosts (142.9 ms vs 124.6 ms over 60 steps), so the auto policy
+    // must plan the serial path there. Deterministic by construction —
+    // no timing on a possibly loaded CI box.
+    let cfg = LayoutConfig::default();
+    assert!(cfg.parallel_threshold > 500, "auto threshold regressed below 500 hosts");
+    let mut probe = LayoutEngine::new(cfg, 42);
+    for i in 0..500 {
+        probe.add_node(NodeKey(i), 1.0);
+    }
+    assert_eq!(
+        probe.planned_repulsion_threads(),
+        1,
+        "auto policy must stay serial at 500 hosts where parallel measured slower"
+    );
 
     println!(
         "  relax ({} steps, {} nodes): serial {:.2} ms, 4 threads {:.2} ms",

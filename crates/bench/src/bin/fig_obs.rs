@@ -87,6 +87,9 @@ fn drive(server: &Server, csv: &str, scale: &Scale) -> u64 {
         height: 600.0,
         theme: Theme::Light,
         labels: false,
+        zoom: None,
+        pan_x: None,
+        pan_y: None,
     };
     for round in 0..scale.rounds {
         let start = (round % scale.steps) as f64;

@@ -185,6 +185,9 @@ fn drive(server: &Server, name: &str, scale: &Scale) -> (Vec<f64>, Vec<f64>, u64
                 height: 600.0,
                 theme: Theme::Light,
                 labels: false,
+                zoom: None,
+                pan_x: None,
+                pan_y: None,
             },
             &mut sheds,
         );

@@ -148,6 +148,9 @@ fn one_round(
         height: 600.0,
         theme: Theme::Light,
         labels: false,
+        zoom: None,
+        pan_x: None,
+        pan_y: None,
     };
     let t0 = Instant::now();
     let first = send(server, commands, &render);

@@ -96,6 +96,9 @@ fn render(server: &Server) -> String {
             height: 600.0,
             theme: Theme::Light,
             labels: false,
+            zoom: None,
+            pan_x: None,
+            pan_y: None,
         },
     ) {
         Response::Frame { svg, .. } => svg,

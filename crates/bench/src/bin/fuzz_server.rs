@@ -177,6 +177,9 @@ fn chaos_line(rng: &mut SmallRng) -> String {
             height: wild_f64(rng),
             theme: if rng.gen_bool(0.5) { Theme::Light } else { Theme::Dark },
             labels: rng.gen_bool(0.5),
+            zoom: None,
+            pan_x: None,
+            pan_y: None,
         },
         _ => return garbage_line(rng),
     };
@@ -217,6 +220,9 @@ fn probe_render(session: &str) -> Command {
         height: 480.0,
         theme: Theme::Light,
         labels: false,
+        zoom: None,
+        pan_x: None,
+        pan_y: None,
     }
 }
 
@@ -479,6 +485,9 @@ fn clean_script() -> Vec<String> {
             height: 480.0,
             theme: Theme::Dark,
             labels: true,
+            zoom: None,
+            pan_x: None,
+            pan_y: None,
         },
         Command::Checkpoint { session: s.clone() },
         Command::CloseSession { session: s },

@@ -58,6 +58,7 @@
 
 pub mod animation;
 pub mod color;
+pub mod lod;
 pub mod mapping;
 pub mod scaling;
 pub mod session;
@@ -66,8 +67,9 @@ pub mod view;
 pub mod viewport;
 
 pub use animation::Animation;
+pub use lod::{LodCut, TileSeed};
 pub use mapping::{MappingConfig, NodeMapping, Shape};
 pub use scaling::ScalingConfig;
 pub use session::{AnalysisSession, SessionBuilder, SessionConfig, SessionError};
-pub use view::{GraphView, ViewEdge, ViewNode};
-pub use viewport::{ParseThemeError, Theme, Viewport, ViewportError};
+pub use view::{GraphView, ViewEdge, ViewNode, ViewTile};
+pub use viewport::{Camera, CameraError, ParseThemeError, Theme, Viewport, ViewportError};

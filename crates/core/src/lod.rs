@@ -1,0 +1,277 @@
+//! Level-of-detail cut: which containers to draw, which to tile.
+//!
+//! The paper scales its topology view by letting the *analyst*
+//! aggregate subtrees (§3.2.2). This module adds the complementary
+//! *automatic* scaling: given a camera (zoom/pan) over the layout
+//! plane, walk the container hierarchy **top-down** and stop early —
+//! real nodes are drawn only where they are visible at readable size,
+//! and every subtree that is collapsed-by-resolution or fully
+//! offscreen is represented by a single aggregate **tile**. Because
+//! the walk prunes whole subtrees before any per-node aggregation
+//! happens, a frame over 100k hosts costs `O(drawn + tiles)` index
+//! queries instead of `O(frontier)`.
+//!
+//! The cut never second-guesses the analyst: it only ever *groups*
+//! visible-frontier nodes, so a tile aggregates exactly the subtree an
+//! explicit collapse of its root would — which is what makes tile
+//! values testable against plain `AggIndex` subtree queries.
+
+use viva_layout::Vec2;
+use viva_trace::{ContainerId, ContainerTree};
+
+/// A subtree the cut decided to draw as one aggregate tile.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TileSeed {
+    /// Root of the tiled subtree.
+    pub root: ContainerId,
+    /// Number of visible-frontier nodes the tile absorbed.
+    pub nodes: usize,
+    /// World-space bounding box of those nodes' positions.
+    pub lo: Vec2,
+    /// See [`TileSeed::lo`].
+    pub hi: Vec2,
+    /// `true` when the subtree was tiled for being fully outside the
+    /// canvas (rather than too small to read).
+    pub offscreen: bool,
+}
+
+/// The result of a level-of-detail cut over one frame.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LodCut {
+    /// Frontier containers drawn as real nodes, in container-id order.
+    pub keep: Vec<ContainerId>,
+    /// Tiled subtrees, in container-id order of their roots. Disjoint
+    /// from each other and from `keep`.
+    pub tiles: Vec<TileSeed>,
+    /// Frontier nodes dropped for being individually offscreen. A
+    /// *subtree* that is fully offscreen collapses to one offscreen
+    /// tile; but once the walk has descended into a partly-visible
+    /// subtree, its offscreen members are simply culled — at deep zoom
+    /// over 100k spread hosts, tiling each of them would materialize
+    /// the very per-node cost the cut exists to avoid. `keep`, the
+    /// tiles' absorbed nodes, and `culled` together partition the
+    /// visible frontier.
+    pub culled: usize,
+}
+
+/// Computes the cut for one frame.
+///
+/// * `frontier` — the visible frontier (the collapse state's output);
+/// * `position` — world coordinates per frontier container;
+/// * `to_screen` — the frame's world→canvas projection (camera
+///   applied). It must preserve axis order (positive uniform scale);
+/// * `canvas_w`/`canvas_h` — canvas size in pixels;
+/// * `detail_px` — readability threshold: an expanded subtree of two
+///   or more frontier nodes is tiled when its projected extent is
+///   below this, or when its projected footprint gives each node less
+///   than `detail_px²` of canvas area. `0.0` disables resolution
+///   tiling (only fully-offscreen subtrees tile).
+///
+/// The walk starts at the tree root and descends only through
+/// subtrees that are partly on screen and large enough to resolve;
+/// everything else becomes a [`TileSeed`]. A frontier node reached by
+/// the walk is always kept (a single node is always readable), so
+/// with an identity camera and `detail_px = 0` the cut keeps the
+/// whole frontier — the byte-identity guarantee of the legacy render
+/// path rests on that.
+pub fn cut(
+    tree: &ContainerTree,
+    frontier: &[ContainerId],
+    position: &dyn Fn(ContainerId) -> Vec2,
+    to_screen: &dyn Fn(Vec2) -> Vec2,
+    canvas_w: f64,
+    canvas_h: f64,
+    detail_px: f64,
+) -> LodCut {
+    let n = tree.len();
+    // Per-container bbox + count of frontier positions, accumulated up
+    // the ancestor chains: O(frontier × depth), dense-indexed.
+    let mut lo = vec![Vec2::new(f64::INFINITY, f64::INFINITY); n];
+    let mut hi = vec![Vec2::new(f64::NEG_INFINITY, f64::NEG_INFINITY); n];
+    let mut count = vec![0usize; n];
+    let mut on_frontier = vec![false; n];
+    for &c in frontier {
+        on_frontier[c.index()] = true;
+        let p = position(c);
+        let mut cur = Some(c);
+        while let Some(g) = cur {
+            let i = g.index();
+            lo[i] = lo[i].min(p);
+            hi[i] = hi[i].max(p);
+            count[i] += 1;
+            cur = tree.node(g).parent();
+        }
+    }
+
+    let mut keep = Vec::new();
+    let mut tiles = Vec::new();
+    let mut culled = 0usize;
+    let mut stack = vec![tree.root()];
+    while let Some(c) = stack.pop() {
+        let i = c.index();
+        if count[i] == 0 {
+            continue; // no visible member anywhere below
+        }
+        let seed = |offscreen| TileSeed { root: c, nodes: count[i], lo: lo[i], hi: hi[i], offscreen };
+        let a = to_screen(lo[i]);
+        // Single-member bbox is a point: one projection suffices, and
+        // at deep zoom the walk reaches every frontier leaf.
+        let b = if count[i] == 1 { a } else { to_screen(hi[i]) };
+        if b.x < 0.0 || b.y < 0.0 || a.x > canvas_w || a.y > canvas_h {
+            // A whole offscreen subtree is worth one summary tile; a
+            // single offscreen frontier node inside a partly-visible
+            // subtree is just culled (see [`LodCut::culled`]).
+            if on_frontier[i] {
+                culled += 1;
+            } else {
+                tiles.push(seed(true));
+            }
+            continue;
+        }
+        if on_frontier[i] {
+            keep.push(c);
+            continue;
+        }
+        if count[i] >= 2 {
+            let (w, h) = (b.x - a.x, b.y - a.y);
+            // Footprint area for the density test: a thin line of
+            // nodes is still readable if spacing along it is, so each
+            // dimension counts as at least one glyph.
+            let area = w.max(detail_px) * h.max(detail_px);
+            if w.max(h) < detail_px || (count[i] as f64) * detail_px * detail_px > area {
+                tiles.push(seed(false));
+                continue;
+            }
+        }
+        for &child in tree.node(c).children() {
+            stack.push(child);
+        }
+    }
+    keep.sort();
+    tiles.sort_by_key(|t| t.root);
+    LodCut { keep, tiles, culled }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use viva_agg::ViewState;
+    use viva_trace::ContainerKind;
+
+    /// root → (c1 → h0,h1 tight at x≈0 ; c2 → h2,h3 spread at x≈100).
+    fn tree() -> (ContainerTree, Vec<ContainerId>) {
+        let mut t = ContainerTree::new();
+        let c1 = t.add(t.root(), "c1", ContainerKind::Cluster).unwrap();
+        let c2 = t.add(t.root(), "c2", ContainerKind::Cluster).unwrap();
+        let h0 = t.add(c1, "h0", ContainerKind::Host).unwrap();
+        let h1 = t.add(c1, "h1", ContainerKind::Host).unwrap();
+        let h2 = t.add(c2, "h2", ContainerKind::Host).unwrap();
+        let h3 = t.add(c2, "h3", ContainerKind::Host).unwrap();
+        (t, vec![c1, c2, h0, h1, h2, h3])
+    }
+
+    fn positions(ids: &[ContainerId]) -> impl Fn(ContainerId) -> Vec2 + '_ {
+        move |c| match () {
+            _ if c == ids[2] => Vec2::new(0.0, 0.0),
+            _ if c == ids[3] => Vec2::new(1.0, 1.0),
+            _ if c == ids[4] => Vec2::new(100.0, 0.0),
+            _ if c == ids[5] => Vec2::new(100.0, 80.0),
+            _ => Vec2::default(),
+        }
+    }
+
+    #[test]
+    fn zero_threshold_identity_projection_keeps_everything() {
+        let (t, ids) = tree();
+        let frontier = ViewState::new().visible(&t);
+        let cut = cut(&t, &frontier, &positions(&ids), &|p| p, 200.0, 200.0, 0.0);
+        assert_eq!(cut.keep, frontier);
+        assert!(cut.tiles.is_empty());
+    }
+
+    #[test]
+    fn unreadable_subtree_becomes_one_tile() {
+        let (t, ids) = tree();
+        let frontier = ViewState::new().visible(&t);
+        // c1's two hosts project ~1.4px apart: below a 16px threshold
+        // they tile; c2's spread hosts survive as real nodes.
+        let cut = cut(&t, &frontier, &positions(&ids), &|p| p, 200.0, 200.0, 16.0);
+        assert_eq!(cut.keep, vec![ids[4], ids[5]]);
+        assert_eq!(cut.tiles.len(), 1);
+        let tile = cut.tiles[0];
+        assert_eq!(tile.root, ids[0]);
+        assert_eq!(tile.nodes, 2);
+        assert!(!tile.offscreen);
+        assert_eq!((tile.lo, tile.hi), (Vec2::new(0.0, 0.0), Vec2::new(1.0, 1.0)));
+    }
+
+    #[test]
+    fn offscreen_subtree_becomes_one_tile() {
+        let (t, ids) = tree();
+        let frontier = ViewState::new().visible(&t);
+        // Shift the world so c2 lands past the right canvas edge.
+        let shifted = |p: Vec2| Vec2::new(p.x + 50.0, p.y);
+        let pos = positions(&ids);
+        let cut = cut(&t, &frontier, &pos, &shifted, 120.0, 200.0, 0.0);
+        assert_eq!(cut.keep, vec![ids[2], ids[3]]);
+        assert_eq!(cut.tiles.len(), 1);
+        assert_eq!(cut.tiles[0].root, ids[1]);
+        assert!(cut.tiles[0].offscreen);
+    }
+
+    #[test]
+    fn dense_footprint_tiles_even_when_spread() {
+        let (t, ids) = tree();
+        let frontier = ViewState::new().visible(&t);
+        // A huge per-node threshold: even well-separated nodes get
+        // less canvas area than detail_px² each, so the root tiles.
+        let cut = cut(&t, &frontier, &positions(&ids), &|p| p, 200.0, 200.0, 150.0);
+        assert!(cut.keep.is_empty());
+        assert_eq!(cut.tiles.len(), 1);
+        assert_eq!(cut.tiles[0].root, t.root());
+        assert_eq!(cut.tiles[0].nodes, 4);
+    }
+
+    #[test]
+    fn collapsed_frontier_node_is_kept_not_tiled() {
+        let (t, ids) = tree();
+        let mut state = ViewState::new();
+        state.collapse(ids[0]); // c1 aggregated by the analyst
+        let frontier = state.visible(&t);
+        let cut = cut(&t, &frontier, &positions(&ids), &|p| p, 200.0, 200.0, 16.0);
+        // The analyst's aggregate is a real frontier node: kept even
+        // though its own extent is a point.
+        assert!(cut.keep.contains(&ids[0]));
+    }
+
+    #[test]
+    fn cut_partitions_the_frontier() {
+        let (t, ids) = tree();
+        let frontier = ViewState::new().visible(&t);
+        for detail in [0.0, 4.0, 16.0, 150.0] {
+            let cut = cut(&t, &frontier, &positions(&ids), &|p| p, 200.0, 200.0, detail);
+            let absorbed: usize = cut.tiles.iter().map(|s| s.nodes).sum();
+            assert_eq!(
+                cut.keep.len() + absorbed + cut.culled,
+                frontier.len(),
+                "detail={detail}"
+            );
+        }
+    }
+
+    #[test]
+    fn lone_offscreen_frontier_node_is_culled_not_tiled() {
+        let (t, ids) = tree();
+        let frontier = ViewState::new().visible(&t);
+        // Clip the canvas so h3 (y = 80) falls below the bottom edge
+        // while its sibling h2 stays visible: c2 is partly visible, so
+        // the walk descends and h3 is culled rather than tiled.
+        let cut = cut(&t, &frontier, &positions(&ids), &|p| p, 200.0, 50.0, 0.0);
+        assert!(cut.keep.contains(&ids[4]));
+        assert!(!cut.keep.contains(&ids[5]));
+        assert_eq!(cut.culled, 1);
+        assert!(cut.tiles.is_empty());
+        let absorbed: usize = cut.tiles.iter().map(|s| s.nodes).sum();
+        assert_eq!(cut.keep.len() + absorbed + cut.culled, frontier.len());
+    }
+}

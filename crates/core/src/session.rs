@@ -26,11 +26,12 @@ use viva_obs::{Counter, Histogram, Recorder};
 use viva_platform::Platform;
 use viva_trace::{ContainerId, MetricId, Trace, TraceError};
 
+use crate::lod;
 use crate::mapping::MappingConfig;
 use crate::scaling::ScalingConfig;
 use crate::svg;
-use crate::view::{build_view_cached, AggSource, GraphView, NodePartial};
-use crate::viewport::Viewport;
+use crate::view::{build_view_cached, build_view_lod, AggSource, GraphView, NodePartial};
+use crate::viewport::{Camera, Viewport};
 
 /// Why a session operation could not be applied. Session inputs come
 /// from interactive UI events (clicks on stale node ids, slider
@@ -1008,11 +1009,87 @@ impl AnalysisSession {
         )
     }
 
+    /// The scene under `viewport`'s level-of-detail camera: the cut
+    /// decides which frontier nodes are drawn individually and which
+    /// subtrees become aggregate [`crate::view::ViewTile`]s. Without a
+    /// camera this is exactly [`view`](AnalysisSession::view).
+    pub fn view_lod(&self, viewport: &Viewport) -> GraphView {
+        match viewport.camera {
+            None => self.view(),
+            Some(cam) => self.lod_scene(&cam, viewport).0,
+        }
+    }
+
+    /// Builds the level-of-detail scene and the projection it was cut
+    /// against. The projection fits the **full** frontier bounds (so
+    /// an identity camera reproduces the classic framing bit for bit)
+    /// and must be reused for rendering — refitting to the kept subset
+    /// would shift the frame.
+    fn lod_scene(&self, camera: &Camera, viewport: &Viewport) -> (GraphView, svg::Projection) {
+        let opts = svg::SvgOptions::from(viewport);
+        let tree = self.trace.containers();
+        // Memoize frontier positions into a dense table: the bounds
+        // fold, the cut's bbox accumulation, and the scene build all
+        // read positions, and at 100k hosts the per-call layout map
+        // lookup dominates the frame otherwise.
+        let mut memo = vec![Vec2::default(); tree.len()];
+        for (k, p) in self.layout.positions() {
+            if let Some(slot) = memo.get_mut(k.0 as usize) {
+                *slot = p;
+            }
+        }
+        let position = |c: ContainerId| memo.get(c.index()).copied().unwrap_or_default();
+        let bounds = self.frontier.iter().fold(None, |acc: Option<(Vec2, Vec2)>, &c| {
+            let p = position(c);
+            Some(match acc {
+                None => (p, p),
+                Some((lo, hi)) => (lo.min(p), hi.max(p)),
+            })
+        });
+        let proj = svg::Projection::fit_camera(bounds, &opts, camera);
+        let cut = lod::cut(
+            tree,
+            &self.frontier,
+            &position,
+            &|p| proj.project(p),
+            opts.width,
+            opts.height,
+            camera.detail_px,
+        );
+        let mut cache = self.cache.borrow_mut();
+        let view = build_view_lod(
+            &self.trace,
+            &self.state,
+            self.slice,
+            &self.mapping,
+            &self.scaling,
+            &position,
+            &self.leaf_edges,
+            &self.breakdown,
+            self.agg_source(),
+            &mut cache,
+            &cut,
+        );
+        (view, proj)
+    }
+
     /// Renders the current view into `viewport` as an SVG document.
+    /// With a [`Camera`] on the viewport, rendering goes through the
+    /// level-of-detail cut; without one it takes the classic path,
+    /// byte-identical to pre-camera releases.
     pub fn render(&self, viewport: &Viewport) -> String {
-        let view = self.view();
-        let _timer = self.obs.as_ref().map(|obs| obs.render_seconds.start_timer());
-        svg::render(&view, &svg::SvgOptions::from(viewport))
+        match viewport.camera {
+            None => {
+                let view = self.view();
+                let _timer = self.obs.as_ref().map(|obs| obs.render_seconds.start_timer());
+                svg::render(&view, &svg::SvgOptions::from(viewport))
+            }
+            Some(cam) => {
+                let (view, proj) = self.lod_scene(&cam, viewport);
+                let _timer = self.obs.as_ref().map(|obs| obs.render_seconds.start_timer());
+                svg::render_projected(&view, &svg::SvgOptions::from(viewport), &proj)
+            }
+        }
     }
 
     /// Renders the current view to an SVG document.
@@ -1225,6 +1302,79 @@ mod tests {
         assert!(svg.starts_with("<svg"));
         assert!(svg.ends_with("</svg>\n"));
         assert_eq!(svg.matches("class=\"node").count(), 5);
+    }
+
+    /// The identity camera (zoom 1, pan 0, tiling off) runs the whole
+    /// level-of-detail machinery — frontier bounds fit, cut, LoD scene
+    /// build, explicit-projection render — and must reproduce the
+    /// classic path byte for byte.
+    #[test]
+    fn identity_camera_render_is_byte_identical() {
+        let mut s = session();
+        s.relax(50);
+        for (w, h, labels) in [(800.0, 600.0, false), (640.0, 480.0, true)] {
+            let plain = Viewport::new(w, h).with_labels(labels);
+            let lod = plain.clone().with_camera(Camera::new(1.0, 0.0, 0.0).with_detail_px(0.0));
+            assert_eq!(s.render(&plain), s.render(&lod), "{w}x{h} labels={labels}");
+            let lv = s.view_lod(&lod);
+            assert!(lv.tiles.is_empty());
+            assert_eq!(lv, s.view());
+        }
+    }
+
+    /// When the camera cannot resolve the scene, everything collapses
+    /// into one root tile whose aggregate equals what an explicit
+    /// collapse of the root would show — the tile is an automatic
+    /// §3.2.2 aggregation, not a new kind of value.
+    #[test]
+    fn unresolvable_scene_tiles_to_the_root_with_collapse_equal_values() {
+        let mut s = session();
+        s.relax(50);
+        let root = s.trace().containers().root();
+        let vp = Viewport::new(800.0, 600.0)
+            .with_camera(Camera::new(1.0, 0.0, 0.0).with_detail_px(1e6));
+        let view = s.view_lod(&vp);
+        assert!(view.nodes.is_empty());
+        assert_eq!(view.edges.len(), 0, "edges inside one tile vanish");
+        assert_eq!(view.tiles.len(), 1);
+        let tile = view.tiles[0].clone();
+        assert_eq!(tile.container, root);
+        assert_eq!(tile.nodes, 5);
+        // The tile renders as a tile glyph carrying its count.
+        let svg = s.render(&vp);
+        assert!(svg.contains("class=\"tile\""), "{svg}");
+        assert!(svg.contains(r#"data-nodes="5""#), "{svg}");
+        // Reference: collapse the root for real and compare values.
+        s.collapse(root).unwrap();
+        let collapsed = s.view();
+        let node = collapsed.node(root).unwrap();
+        assert_eq!(tile.size_value, node.size_value);
+        assert_eq!(tile.fill_value, node.fill_value);
+        assert_eq!(tile.fill_fraction, node.fill_fraction);
+        assert_eq!(tile.availability, node.availability);
+        assert_eq!(tile.quarantined, node.quarantined);
+        // After the analyst collapses the root for real, the camera
+        // draws the aggregate as a real node — explicit collapse wins
+        // over automatic tiling.
+        let lod_view = s.view_lod(&vp);
+        assert_eq!(lod_view.nodes.len(), 1);
+        assert!(lod_view.tiles.is_empty());
+    }
+
+    /// Panning the whole scene off the canvas leaves a single
+    /// offscreen tile hugging the border.
+    #[test]
+    fn fully_panned_out_scene_becomes_an_offscreen_tile() {
+        let mut s = session();
+        s.relax(50);
+        let vp = Viewport::new(800.0, 600.0).with_camera(Camera::new(1.0, 100_000.0, 0.0));
+        let view = s.view_lod(&vp);
+        assert!(view.nodes.is_empty());
+        assert_eq!(view.tiles.len(), 1);
+        assert!(view.tiles[0].offscreen);
+        assert_eq!(view.tiles[0].container, s.trace().containers().root());
+        let svg = s.render(&vp);
+        assert!(svg.contains("class=\"tile offscreen\""), "{svg}");
     }
 
     #[test]

@@ -13,7 +13,7 @@ use viva_layout::Vec2;
 
 use crate::color::kind_color;
 use crate::mapping::Shape;
-use crate::view::{GraphView, ViewNode};
+use crate::view::{GraphView, ViewNode, ViewTile};
 use crate::viewport::{Theme, Viewport};
 
 /// Rendering options.
@@ -57,14 +57,23 @@ impl From<&Viewport> for SvgOptions {
 
 /// Maps layout coordinates to the SVG viewport (uniform scale,
 /// centered).
-struct Projection {
+pub(crate) struct Projection {
     scale: f64,
     offset: Vec2,
 }
 
 impl Projection {
     fn fit(view: &GraphView, opts: &SvgOptions) -> Projection {
-        let (lo, hi) = view.bounds().unwrap_or((Vec2::default(), Vec2::default()));
+        Projection::fit_bounds(view.bounds(), opts)
+    }
+
+    /// Fits a world bounding box into the padded canvas — the one
+    /// place the fit arithmetic lives. The camera path feeds it the
+    /// *full-frontier* bounds so an identity camera reproduces the
+    /// classic fit bit for bit even when the view it draws keeps only
+    /// a subset of the frontier.
+    pub(crate) fn fit_bounds(bounds: Option<(Vec2, Vec2)>, opts: &SvgOptions) -> Projection {
+        let (lo, hi) = bounds.unwrap_or((Vec2::default(), Vec2::default()));
         let span = hi - lo;
         let usable_w = (opts.width - 2.0 * opts.padding).max(1.0);
         let usable_h = (opts.height - 2.0 * opts.padding).max(1.0);
@@ -77,7 +86,40 @@ impl Projection {
         Projection { scale, offset: canvas_center - center * scale }
     }
 
-    fn project(&self, p: Vec2) -> Vec2 {
+    /// [`Projection::fit_bounds`] followed by the camera transform:
+    /// zoom multiplies the fitted scale about the canvas center, pan
+    /// shifts the canvas in pixels. Every step is guarded so the
+    /// identity camera leaves the fitted projection bit-identical —
+    /// `scale * 1.0` and `offset - 0.0` are *not* no-ops for every
+    /// float (`-0.0` flips under `+ 0.0`), so they are skipped rather
+    /// than trusted.
+    pub(crate) fn fit_camera(
+        bounds: Option<(Vec2, Vec2)>,
+        opts: &SvgOptions,
+        camera: &crate::viewport::Camera,
+    ) -> Projection {
+        let base = Projection::fit_bounds(bounds, opts);
+        let mut scale = base.scale;
+        let mut offset = base.offset;
+        if camera.zoom != 1.0 {
+            let canvas_center = Vec2::new(opts.width / 2.0, opts.height / 2.0);
+            let world_center = Vec2::new(
+                (canvas_center.x - base.offset.x) / base.scale,
+                (canvas_center.y - base.offset.y) / base.scale,
+            );
+            scale = base.scale * camera.zoom;
+            offset = canvas_center - world_center * scale;
+        }
+        if camera.pan_x != 0.0 {
+            offset.x -= camera.pan_x;
+        }
+        if camera.pan_y != 0.0 {
+            offset.y -= camera.pan_y;
+        }
+        Projection { scale, offset }
+    }
+
+    pub(crate) fn project(&self, p: Vec2) -> Vec2 {
         p * self.scale + self.offset
     }
 }
@@ -250,9 +292,94 @@ fn xml_escape(s: &str) -> String {
     s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
 }
 
+/// The aggregate tile glyph of a level-of-detail render: a dashed
+/// rounded rectangle over the subtree's projected footprint, filled
+/// bottom-up by mean utilization, annotated with the count of nodes it
+/// stands for. Degenerate footprints are grown to a readable minimum
+/// and the whole glyph is clamped into the canvas, so fully-offscreen
+/// subtrees hug the nearest border.
+fn write_tile(out: &mut String, tile: &ViewTile, proj: &Projection, opts: &SvgOptions) {
+    const MIN_SIDE: f64 = 12.0;
+    const MARGIN: f64 = 3.0;
+    let a = proj.project(tile.lo);
+    let b = proj.project(tile.hi);
+    let clamp_span = |lo: f64, hi: f64, limit: f64| {
+        let span = (hi - lo).max(MIN_SIDE).min((limit - 2.0 * MARGIN).max(MIN_SIDE));
+        let center = (lo + hi) * 0.5;
+        let lo = (center - span * 0.5)
+            .max(MARGIN)
+            .min(limit - MARGIN - span);
+        (lo, span)
+    };
+    let (x, w) = clamp_span(a.x, b.x, opts.width);
+    let (y, h) = clamp_span(a.y, b.y, opts.height);
+    let color = kind_color(tile.kind).hex();
+    let degraded = if tile.is_degraded() { " degraded" } else { "" };
+    let offscreen = if tile.offscreen { " offscreen" } else { "" };
+    let _ = write!(
+        out,
+        r#"<g class="tile{degraded}{offscreen}" data-container="{}" data-nodes="{}" data-size="{:.3}" data-fill="{:.3}" data-availability="{:.3}""#,
+        tile.container.index(),
+        tile.nodes,
+        tile.size_value,
+        tile.fill_value,
+        tile.availability,
+    );
+    if tile.quarantined > 0 {
+        let _ = write!(out, r#" data-quarantined="{}""#, tile.quarantined);
+    }
+    if !tile.segments.is_empty() {
+        let mix: Vec<String> = tile
+            .segments
+            .iter()
+            .map(|(name, share)| format!("{}:{:.3}", xml_escape(name), share))
+            .collect();
+        let _ = write!(out, r#" data-mix="{}""#, mix.join(";"));
+    }
+    out.push('>');
+    let stroke = if tile.is_degraded() { FAULT_STROKE } else { &color };
+    let _ = write!(
+        out,
+        r#"<rect x="{x:.2}" y="{y:.2}" width="{w:.2}" height="{h:.2}" rx="3" fill="none" stroke="{stroke}" stroke-width="1.2" stroke-dasharray="2 3"/>"#,
+    );
+    if tile.fill_fraction > 0.0 {
+        let fh = h * tile.fill_fraction;
+        let _ = write!(
+            out,
+            r#"<rect x="{x:.2}" y="{:.2}" width="{w:.2}" height="{fh:.2}" fill="{color}" fill-opacity="0.35"/>"#,
+            y + h - fh,
+        );
+    }
+    let _ = write!(
+        out,
+        r#"<text x="{:.2}" y="{:.2}" font-size="10" text-anchor="middle" fill="{}">{}</text>"#,
+        x + w / 2.0,
+        y + h / 2.0 + 3.5,
+        opts.theme.label_fill(),
+        tile.nodes,
+    );
+    if opts.labels {
+        let _ = write!(
+            out,
+            r#"<text x="{:.2}" y="{:.2}" font-size="9" text-anchor="middle" fill="{}">{}</text>"#,
+            x + w / 2.0,
+            y + h + 10.0,
+            opts.theme.label_fill(),
+            xml_escape(&tile.label)
+        );
+    }
+    out.push_str("</g>\n");
+}
+
 /// Renders a view to a standalone SVG document.
 pub fn render(view: &GraphView, opts: &SvgOptions) -> String {
-    let proj = Projection::fit(view, opts);
+    render_projected(view, opts, &Projection::fit(view, opts))
+}
+
+/// [`render`] with an explicit projection — the level-of-detail path,
+/// whose projection is fitted to the *full* frontier bounds (plus
+/// camera) rather than to the subset of nodes that survived the cut.
+pub(crate) fn render_projected(view: &GraphView, opts: &SvgOptions, proj: &Projection) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -264,13 +391,21 @@ pub fn render(view: &GraphView, opts: &SvgOptions) -> String {
         r#"<rect width="100%" height="100%" fill="{}"/>"#,
         opts.theme.background()
     );
-    // Edges below nodes.
+    // Edges below everything. An endpoint is either a drawn node or,
+    // on the level-of-detail path, an aggregate tile (anchored at its
+    // world-footprint center); edges to entities in neither list are
+    // dropped, as before.
+    let endpoint = |id| {
+        view.node(id)
+            .map(|n| n.position)
+            .or_else(|| view.tile(id).map(|t| (t.lo + t.hi) * 0.5))
+    };
     for e in &view.edges {
-        let (Some(a), Some(b)) = (view.node(e.a), view.node(e.b)) else {
+        let (Some(a), Some(b)) = (endpoint(e.a), endpoint(e.b)) else {
             continue;
         };
-        let pa = proj.project(a.position);
-        let pb = proj.project(b.position);
+        let pa = proj.project(a);
+        let pb = proj.project(b);
         let _ = writeln!(
             out,
             r#"<line x1="{:.2}" y1="{:.2}" x2="{:.2}" y2="{:.2}" stroke="{}" stroke-width="1"/>"#,
@@ -280,6 +415,10 @@ pub fn render(view: &GraphView, opts: &SvgOptions) -> String {
             pb.y,
             opts.theme.edge_stroke()
         );
+    }
+    // Tiles under the real nodes: they are background context.
+    for tile in &view.tiles {
+        write_tile(&mut out, tile, proj, opts);
     }
     for node in &view.nodes {
         write_node(&mut out, node, proj.project(node.position), opts);
@@ -392,6 +531,7 @@ mod tests {
         let v = GraphView {
             nodes: Vec::new(),
             edges: Vec::new(),
+            tiles: Vec::new(),
             slice: TimeSlice::new(0.0, 1.0),
             ingest_dropped: 0,
         };

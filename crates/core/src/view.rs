@@ -99,6 +99,54 @@ pub struct ViewEdge {
     pub b: ContainerId,
 }
 
+/// One aggregate **tile** of a level-of-detail render: a whole subtree
+/// that the camera's resolution (or the canvas edge) collapsed into a
+/// single glyph. Its values aggregate exactly what an explicit
+/// collapse of [`ViewTile::container`] would show — Equation 1 over
+/// the subtree and slice, one `O(log n)` index query per metric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ViewTile {
+    /// Root of the tiled subtree.
+    pub container: ContainerId,
+    /// Display name of the root.
+    pub label: String,
+    /// Root container kind (drives the glyph color).
+    pub kind: ContainerKind,
+    /// Number of visible-frontier nodes the tile absorbed — the
+    /// "count" the glyph displays.
+    pub nodes: usize,
+    /// Aggregated size-metric value (time-mean over the slice, summed
+    /// over members), in metric units.
+    pub size_value: f64,
+    /// Aggregated fill-metric value, in metric units.
+    pub fill_value: f64,
+    /// `fill_value / size_value`, clamped to `[0, 1]` — the subtree's
+    /// mean utilization.
+    pub fill_fraction: f64,
+    /// Breakdown-metric shares, exactly as a collapsed node's pie
+    /// segments (see [`ViewNode::segments`]).
+    pub segments: Vec<(String, f64)>,
+    /// Mean availability of the subtree over the slice, in `[0, 1]`.
+    pub availability: f64,
+    /// Quarantined ingest samples under the subtree, all metrics.
+    pub quarantined: u64,
+    /// World-space bounding box of the absorbed nodes' positions —
+    /// the tile's footprint.
+    pub lo: Vec2,
+    /// See [`ViewTile::lo`].
+    pub hi: Vec2,
+    /// `true` when the subtree was tiled for lying fully outside the
+    /// canvas rather than for being too small to read.
+    pub offscreen: bool,
+}
+
+impl ViewTile {
+    /// Whether part of the subtree was unavailable during the slice.
+    pub fn is_degraded(&self) -> bool {
+        self.availability < 1.0
+    }
+}
+
 /// A complete scene for one time-slice.
 #[derive(Debug, Clone, PartialEq)]
 pub struct GraphView {
@@ -106,6 +154,10 @@ pub struct GraphView {
     pub nodes: Vec<ViewNode>,
     /// Drawn edges (deduplicated, no self-loops).
     pub edges: Vec<ViewEdge>,
+    /// Aggregate tiles of a level-of-detail render, in container-id
+    /// order of their roots. Always empty on the classic (camera-less)
+    /// path.
+    pub tiles: Vec<ViewTile>,
     /// The time-slice the values were aggregated over.
     pub slice: TimeSlice,
     /// Events the lenient ingest path dropped while loading the trace
@@ -119,11 +171,17 @@ impl GraphView {
         self.nodes.iter().find(|n| n.container == container)
     }
 
+    /// Finds a level-of-detail tile by its root container id.
+    pub fn tile(&self, container: ContainerId) -> Option<&ViewTile> {
+        self.tiles.iter().find(|t| t.container == container)
+    }
+
     /// Total quarantined samples across the visible frontier. Because
-    /// the frontier partitions the container tree, this equals the
-    /// trace-wide quarantine count.
+    /// the drawn nodes plus the level-of-detail tiles partition the
+    /// container tree, this equals the trace-wide quarantine count.
     pub fn quarantined_total(&self) -> u64 {
-        self.nodes.iter().map(|n| n.quarantined).sum()
+        self.nodes.iter().map(|n| n.quarantined).sum::<u64>()
+            + self.tiles.iter().map(|t| t.quarantined).sum::<u64>()
     }
 
     /// Whether this view draws data that survived a lossy ingest
@@ -377,8 +435,57 @@ pub(crate) fn build_view_cached(
     source: AggSource<'_>,
     cache: &mut HashMap<ContainerId, NodePartial>,
 ) -> GraphView {
+    build_scene(
+        trace, state, slice, mapping, scaling, positions, leaf_edges, breakdown, source, cache,
+        None,
+    )
+}
+
+/// [`build_view_cached`] under a level-of-detail cut: only the cut's
+/// kept containers are aggregated and scaled as real nodes, every
+/// [`crate::lod::TileSeed`] becomes a [`ViewTile`] (one cached
+/// aggregate query on its root), and lifted edges whose endpoint was
+/// absorbed into a tile re-anchor on that tile. With a cut that keeps
+/// the whole frontier this is value-identical to [`build_view_cached`].
+#[allow(clippy::too_many_arguments)] // one parameter per §3–§4 input
+pub(crate) fn build_view_lod(
+    trace: &Trace,
+    state: &ViewState,
+    slice: TimeSlice,
+    mapping: &MappingConfig,
+    scaling: &ScalingConfig,
+    positions: &dyn Fn(ContainerId) -> Vec2,
+    leaf_edges: &[(ContainerId, ContainerId)],
+    breakdown: &[String],
+    source: AggSource<'_>,
+    cache: &mut HashMap<ContainerId, NodePartial>,
+    cut: &crate::lod::LodCut,
+) -> GraphView {
+    build_scene(
+        trace, state, slice, mapping, scaling, positions, leaf_edges, breakdown, source, cache,
+        Some(cut),
+    )
+}
+
+#[allow(clippy::too_many_arguments)] // one parameter per §3–§4 input
+fn build_scene(
+    trace: &Trace,
+    state: &ViewState,
+    slice: TimeSlice,
+    mapping: &MappingConfig,
+    scaling: &ScalingConfig,
+    positions: &dyn Fn(ContainerId) -> Vec2,
+    leaf_edges: &[(ContainerId, ContainerId)],
+    breakdown: &[String],
+    source: AggSource<'_>,
+    cache: &mut HashMap<ContainerId, NodePartial>,
+    cut: Option<&crate::lod::LodCut>,
+) -> GraphView {
     let tree = trace.containers();
-    let visible = state.visible(tree);
+    let visible = match cut {
+        None => state.visible(tree),
+        Some(c) => c.keep.clone(),
+    };
 
     // First pass: aggregate metric values per node (cached).
     let partials: Vec<(ContainerId, NodePartial)> = visible
@@ -446,12 +553,65 @@ pub(crate) fn build_view_cached(
         .collect();
     nodes.sort_by_key(|n| n.container);
 
-    // Lift leaf edges to the visible frontier.
+    // Level-of-detail tiles: one cached subtree aggregate per seed.
+    let tiles: Vec<ViewTile> = cut.map_or_else(Vec::new, |c| {
+        c.tiles
+            .iter()
+            .map(|seed| {
+                let p = cache
+                    .entry(seed.root)
+                    .or_insert_with(|| {
+                        compute_partial(trace, state, slice, mapping, breakdown, source, seed.root)
+                    })
+                    .clone();
+                ViewTile {
+                    container: seed.root,
+                    label: tree.node(seed.root).name().to_owned(),
+                    kind: p.kind,
+                    nodes: seed.nodes,
+                    size_value: p.size_value,
+                    fill_value: p.fill_value,
+                    fill_fraction: fraction(p.fill_value, p.size_value),
+                    segments: p.segments,
+                    availability: p.availability,
+                    quarantined: p.quarantined,
+                    lo: seed.lo,
+                    hi: seed.hi,
+                    offscreen: seed.offscreen,
+                }
+            })
+            .collect()
+    });
+
+    // Where a lifted edge endpoint is drawn: on itself (classic path,
+    // or kept by the cut), or on the tile that absorbed it.
+    let kept: Option<std::collections::HashSet<ContainerId>> =
+        cut.map(|c| c.keep.iter().copied().collect());
+    let tile_roots: Option<std::collections::HashSet<ContainerId>> =
+        cut.map(|c| c.tiles.iter().map(|s| s.root).collect());
+    let resolve = |r: ContainerId| -> Option<ContainerId> {
+        let (Some(kept), Some(tile_roots)) = (&kept, &tile_roots) else {
+            return Some(r);
+        };
+        if kept.contains(&r) {
+            return Some(r);
+        }
+        let mut cur = Some(r);
+        while let Some(g) = cur {
+            if tile_roots.contains(&g) {
+                return Some(g);
+            }
+            cur = tree.node(g).parent();
+        }
+        None
+    };
+
+    // Lift leaf edges to the visible frontier (then through the cut).
     let mut edges: Vec<ViewEdge> = leaf_edges
         .iter()
         .filter_map(|&(a, b)| {
-            let ra = state.representative(tree, a)?;
-            let rb = state.representative(tree, b)?;
+            let ra = resolve(state.representative(tree, a)?)?;
+            let rb = resolve(state.representative(tree, b)?)?;
             (ra != rb).then(|| {
                 if ra <= rb {
                     ViewEdge { a: ra, b: rb }
@@ -464,7 +624,7 @@ pub(crate) fn build_view_cached(
     edges.sort_by_key(|e| (e.a, e.b));
     edges.dedup();
 
-    GraphView { nodes, edges, slice, ingest_dropped: trace.ingest_dropped() }
+    GraphView { nodes, edges, tiles, slice, ingest_dropped: trace.ingest_dropped() }
 }
 
 #[cfg(test)]

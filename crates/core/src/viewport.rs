@@ -88,6 +88,93 @@ impl Theme {
     }
 }
 
+/// A level-of-detail camera over the layout plane: zoom factor, pan
+/// offset, and the readability threshold that decides when a subtree
+/// collapses into an aggregate tile.
+///
+/// The *identity* camera (`zoom = 1`, `pan = 0`) keeps the classic
+/// fit-everything framing; zooming multiplies the fitted scale about
+/// the canvas center, and panning shifts the canvas in pixels
+/// (positive `pan_x` moves the camera right, so content slides left).
+/// A [`Viewport`] without a camera (`camera: None`) renders through
+/// the exact pre-LoD code path, byte for byte.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Camera {
+    /// Magnification over the fit-everything scale. `1.0` = fitted.
+    pub zoom: f64,
+    /// Horizontal pan, canvas pixels (positive pans the camera right).
+    pub pan_x: f64,
+    /// Vertical pan, canvas pixels (positive pans the camera down).
+    pub pan_y: f64,
+    /// Readability threshold, pixels: an expanded subtree whose
+    /// projected extent is smaller than this (or whose nodes have less
+    /// than `detail_px²` canvas area each) is drawn as one aggregate
+    /// tile instead of its individual nodes. `0.0` disables
+    /// level-of-detail collapsing entirely.
+    pub detail_px: f64,
+}
+
+impl Default for Camera {
+    fn default() -> Self {
+        Camera { zoom: 1.0, pan_x: 0.0, pan_y: 0.0, detail_px: 16.0 }
+    }
+}
+
+/// A camera a [`Viewport`] refuses to take (see [`Camera::try_new`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CameraError {
+    /// The rejected zoom.
+    pub zoom: f64,
+    /// The rejected horizontal pan.
+    pub pan_x: f64,
+    /// The rejected vertical pan.
+    pub pan_y: f64,
+}
+
+impl fmt::Display for CameraError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid camera zoom={} pan=({}, {}) (zoom must be finite and positive, pan finite)",
+            self.zoom, self.pan_x, self.pan_y
+        )
+    }
+}
+
+impl std::error::Error for CameraError {}
+
+impl Camera {
+    /// A camera with the default readability threshold.
+    pub fn new(zoom: f64, pan_x: f64, pan_y: f64) -> Camera {
+        Camera { zoom, pan_x, pan_y, ..Camera::default() }
+    }
+
+    /// Checked constructor for cameras that cross a trust boundary
+    /// (wire protocols, CLI flags): rejects non-finite pans and
+    /// non-finite or non-positive zooms — either would poison every
+    /// projected coordinate.
+    pub fn try_new(zoom: f64, pan_x: f64, pan_y: f64) -> Result<Camera, CameraError> {
+        if zoom.is_finite() && zoom > 0.0 && pan_x.is_finite() && pan_y.is_finite() {
+            Ok(Camera::new(zoom, pan_x, pan_y))
+        } else {
+            Err(CameraError { zoom, pan_x, pan_y })
+        }
+    }
+
+    /// Sets the readability threshold (see [`Camera::detail_px`]).
+    #[must_use]
+    pub fn with_detail_px(mut self, detail_px: f64) -> Camera {
+        self.detail_px = detail_px;
+        self
+    }
+
+    /// Whether this camera leaves the fitted framing untouched
+    /// (`zoom = 1`, `pan = 0`). Level-of-detail tiling may still apply.
+    pub fn is_identity(&self) -> bool {
+        self.zoom == 1.0 && self.pan_x == 0.0 && self.pan_y == 0.0
+    }
+}
+
 /// A render target: canvas geometry plus presentation options.
 ///
 /// ```
@@ -109,6 +196,11 @@ pub struct Viewport {
     pub labels: bool,
     /// Padding around the drawing, pixels.
     pub padding: f64,
+    /// Level-of-detail camera. `None` (the default) renders the
+    /// classic fit-everything frame through the pre-LoD code path —
+    /// output is byte-identical to viewports from before cameras
+    /// existed.
+    pub camera: Option<Camera>,
 }
 
 impl Default for Viewport {
@@ -119,6 +211,7 @@ impl Default for Viewport {
             theme: Theme::Light,
             labels: false,
             padding: 30.0,
+            camera: None,
         }
     }
 }
@@ -185,6 +278,13 @@ impl Viewport {
         self.padding = padding;
         self
     }
+
+    /// Attaches a level-of-detail camera (zoom/pan + tile threshold).
+    #[must_use]
+    pub fn with_camera(mut self, camera: Camera) -> Viewport {
+        self.camera = Some(camera);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -238,6 +338,33 @@ mod tests {
         ] {
             let err = Viewport::try_new(w, h).expect_err("degenerate size accepted");
             assert!(err.to_string().contains("invalid viewport size"), "{err}");
+        }
+    }
+
+    #[test]
+    fn camera_defaults_to_identity() {
+        let cam = Camera::default();
+        assert!(cam.is_identity());
+        assert_eq!(cam.detail_px, 16.0);
+        assert!(Viewport::default().camera.is_none(), "legacy viewports carry no camera");
+        let vp = Viewport::new(800.0, 600.0).with_camera(Camera::new(2.0, 10.0, -5.0));
+        assert_eq!(vp.camera, Some(Camera { zoom: 2.0, pan_x: 10.0, pan_y: -5.0, detail_px: 16.0 }));
+        assert!(!vp.camera.unwrap().is_identity());
+    }
+
+    #[test]
+    fn try_camera_rejects_degenerate_parameters() {
+        assert_eq!(Camera::try_new(2.0, 1.0, -1.0), Ok(Camera::new(2.0, 1.0, -1.0)));
+        for (z, px, py) in [
+            (0.0, 0.0, 0.0),
+            (-1.0, 0.0, 0.0),
+            (f64::NAN, 0.0, 0.0),
+            (f64::INFINITY, 0.0, 0.0),
+            (1.0, f64::NAN, 0.0),
+            (1.0, 0.0, f64::NEG_INFINITY),
+        ] {
+            let err = Camera::try_new(z, px, py).expect_err("degenerate camera accepted");
+            assert!(err.to_string().contains("invalid camera"), "{err}");
         }
     }
 

@@ -147,10 +147,6 @@ impl LayoutObs {
     }
 }
 
-/// Below this node count the auto parallelism mode stays serial:
-/// spawning scoped threads costs more than the whole repulsion pass.
-const PARALLEL_THRESHOLD: usize = 256;
-
 /// Consecutive at-cap steps before the iteration watchdog declares
 /// divergence. Healthy layouts ride the displacement cap briefly (a
 /// dragged node snapping back, a freshly split aggregate fanning out);
@@ -212,6 +208,32 @@ impl LayoutEngine {
     /// [`set_parallelism`](LayoutEngine::set_parallelism)).
     pub fn parallelism(&self) -> Option<usize> {
         self.threads
+    }
+
+    /// Worker threads the next repulsion pass will actually use, given
+    /// the current policy, node count, and the config's
+    /// [`parallel_threshold`](LayoutConfig::parallel_threshold). `1`
+    /// means the serial path — benches assert this stays serial at node
+    /// counts where forking measured slower.
+    pub fn planned_repulsion_threads(&self) -> usize {
+        Self::thread_plan(
+            self.threads,
+            self.nodes.len(),
+            self.config.sanitized().parallel_threshold,
+        )
+    }
+
+    /// The thread-count decision shared by `repulsion_pass` and its
+    /// public mirror above: explicit policy wins, auto stays serial
+    /// below the configured threshold, and the count never exceeds the
+    /// node count.
+    fn thread_plan(policy: Option<usize>, n: usize, threshold: usize) -> usize {
+        match policy {
+            Some(t) => t,
+            None if n < threshold => 1,
+            None => std::thread::available_parallelism().map_or(1, |p| p.get()),
+        }
+        .min(n.max(1))
     }
 
     /// Mutable parameters — the §4.2 sliders. Values are sanitized
@@ -546,12 +568,7 @@ impl LayoutEngine {
     fn repulsion_pass(&self, tree: &QuadTree, cfg: &LayoutConfig, forces: &mut [Vec2]) -> u64 {
         let counting = self.obs.is_some();
         let n = self.nodes.len();
-        let threads = match self.threads {
-            Some(t) => t,
-            None if n < PARALLEL_THRESHOLD => 1,
-            None => std::thread::available_parallelism().map_or(1, |p| p.get()),
-        }
-        .min(n.max(1));
+        let threads = Self::thread_plan(self.threads, n, cfg.parallel_threshold);
         if threads <= 1 {
             if counting {
                 let mut visits = 0u64;

@@ -34,6 +34,9 @@
 //! # Inspect / trim the store (no script needed):
 //! viva-server-client --tcp 127.0.0.1:7878 --list-traces
 //! viva-server-client --tcp 127.0.0.1:7878 --drop-trace prod
+//!
+//! # Render a level-of-detail frame (zoom 4x, panned) with no script:
+//! viva-server-client --tcp 127.0.0.1:7878 --render mine=1280x720@4,160,-40
 //! ```
 //!
 //! When any of these flags is present and no script is named, stdin is
@@ -55,12 +58,57 @@ use std::net::TcpStream;
 use std::process::ExitCode;
 use std::time::Duration;
 
+use viva::Theme;
 use viva_obs::Recorder;
 use viva_server::{Command, ErrorKind, Push, Response, Server, ServerLimits};
 
 const USAGE: &str = "usage: viva-server-client [--tcp ADDR] [--timing] [--retry N] \
      [--attach SESSION=TRACE] [--list-traces] [--drop-trace TRACE] \
+     [--render SESSION=WxH[@ZOOM[,PANX,PANY]]] \
      [--follow SESSION] [SCRIPT (default stdin)]";
+
+/// Parses `--render SESSION=WxH[@ZOOM[,PANX,PANY]]` into a `render`
+/// command (light theme, no labels). The optional `@` suffix attaches
+/// the level-of-detail camera — zoom alone, or zoom plus both pans;
+/// without it the render is the classic camera-less frame.
+fn parse_render(spec: &str) -> Option<Command> {
+    let (session, rest) = spec.split_once('=')?;
+    if session.is_empty() {
+        return None;
+    }
+    let (size, camera) = match rest.split_once('@') {
+        Some((s, c)) => (s, Some(c)),
+        None => (rest, None),
+    };
+    let (w, h) = size.split_once('x')?;
+    let width: f64 = w.parse().ok()?;
+    let height: f64 = h.parse().ok()?;
+    let (zoom, pan_x, pan_y) = match camera {
+        None => (None, None, None),
+        Some(c) => {
+            let mut parts = c.split(',');
+            let zoom: f64 = parts.next()?.parse().ok()?;
+            let pans = match (parts.next(), parts.next(), parts.next()) {
+                (None, None, None) => (None, None),
+                (Some(x), Some(y), None) => {
+                    (Some(x.parse::<f64>().ok()?), Some(y.parse::<f64>().ok()?))
+                }
+                _ => return None,
+            };
+            (Some(zoom), pans.0, pans.1)
+        }
+    };
+    Some(Command::Render {
+        session: session.to_owned(),
+        width,
+        height,
+        theme: Theme::Light,
+        labels: false,
+        zoom,
+        pan_x,
+        pan_y,
+    })
+}
 
 /// Exponential backoff with deterministic jitter. Each command (and the
 /// initial connect) gets a fresh budget of `budget` retries; the wait
@@ -139,6 +187,15 @@ fn main() -> ExitCode {
                 }
             },
             "--list-traces" => prelude.push(Command::ListTraces),
+            "--render" => match it.next().as_deref().and_then(parse_render) {
+                Some(cmd) => prelude.push(cmd),
+                None => {
+                    eprintln!(
+                        "viva-server-client: --render needs SESSION=WxH[@ZOOM[,PANX,PANY]]\n{USAGE}"
+                    );
+                    return ExitCode::FAILURE;
+                }
+            },
             "--drop-trace" => match it.next() {
                 Some(trace) => prelude.push(Command::DropTrace { trace }),
                 None => {

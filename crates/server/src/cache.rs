@@ -29,6 +29,13 @@ pub struct FrameKey {
     padding_bits: u64,
     theme: Theme,
     labels: bool,
+    /// Level-of-detail camera as exact bit patterns
+    /// `(zoom, pan_x, pan_y, detail_px)`; `None` is the classic
+    /// camera-less render and never collides with any camera value —
+    /// including the identity camera, which renders the same bytes but
+    /// is still keyed separately (a cache key must never *assume* two
+    /// paths agree).
+    camera_bits: Option<(u64, u64, u64, u64)>,
 }
 
 impl FrameKey {
@@ -41,6 +48,9 @@ impl FrameKey {
             padding_bits: viewport.padding.to_bits(),
             theme: viewport.theme,
             labels: viewport.labels,
+            camera_bits: viewport.camera.map(|c| {
+                (c.zoom.to_bits(), c.pan_x.to_bits(), c.pan_y.to_bits(), c.detail_px.to_bits())
+            }),
         }
     }
 }

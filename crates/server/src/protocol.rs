@@ -189,6 +189,14 @@ pub enum Command {
         theme: Theme,
         /// Draw node labels.
         labels: bool,
+        /// Level-of-detail camera zoom factor. When all three camera
+        /// fields are absent the render takes the classic camera-less
+        /// path and is byte-identical to pre-LoD servers.
+        zoom: Option<f64>,
+        /// Camera pan along x, in canvas pixels.
+        pan_x: Option<f64>,
+        /// Camera pan along y, in canvas pixels.
+        pan_y: Option<f64>,
     },
     /// Snapshots a session's view state into a [`SessionCheckpoint`]
     /// and returns it (also writing it to the server's checkpoint
@@ -1044,14 +1052,26 @@ impl Command {
                 }
                 obj(members)
             }
-            Command::Render { session, width, height, theme, labels } => obj(vec![
-                ("cmd", name),
-                ("session", Json::Str(session.clone())),
-                ("width", Json::Num(*width)),
-                ("height", Json::Num(*height)),
-                ("theme", Json::Str(theme.to_string())),
-                ("labels", Json::Bool(*labels)),
-            ]),
+            Command::Render { session, width, height, theme, labels, zoom, pan_x, pan_y } => {
+                let mut members = vec![
+                    ("cmd", name),
+                    ("session", Json::Str(session.clone())),
+                    ("width", Json::Num(*width)),
+                    ("height", Json::Num(*height)),
+                    ("theme", Json::Str(theme.to_string())),
+                    ("labels", Json::Bool(*labels)),
+                ];
+                if let Some(z) = zoom {
+                    members.push(("zoom", Json::Num(*z)));
+                }
+                if let Some(p) = pan_x {
+                    members.push(("pan_x", Json::Num(*p)));
+                }
+                if let Some(p) = pan_y {
+                    members.push(("pan_y", Json::Num(*p)));
+                }
+                obj(members)
+            }
             Command::Checkpoint { session } => {
                 obj(vec![("cmd", name), ("session", Json::Str(session.clone()))])
             }
@@ -1173,6 +1193,9 @@ impl Command {
                         .map(|l| l.as_bool().ok_or_else(|| bad("non-boolean field \"labels\"")))
                         .transpose()?
                         .unwrap_or(false),
+                    zoom: opt_num_field(&v, "zoom")?,
+                    pan_x: opt_num_field(&v, "pan_x")?,
+                    pan_y: opt_num_field(&v, "pan_y")?,
                 }
             }
             "checkpoint" => Command::Checkpoint { session: session()? },
@@ -1719,12 +1742,31 @@ mod tests {
             height: 600.0,
             theme: Theme::Dark,
             labels: false,
+            zoom: None,
+            pan_x: None,
+            pan_y: None,
         };
         assert_eq!(
             cmd.encode(),
             r#"{"cmd":"render","session":"a","width":800,"height":600,"theme":"dark","labels":false}"#
         );
         assert_eq!(Command::decode(&cmd.encode()).unwrap(), cmd);
+
+        let lod = Command::Render {
+            session: "a".into(),
+            width: 800.0,
+            height: 600.0,
+            theme: Theme::Dark,
+            labels: false,
+            zoom: Some(4.0),
+            pan_x: Some(-12.5),
+            pan_y: None,
+        };
+        assert_eq!(
+            lod.encode(),
+            r#"{"cmd":"render","session":"a","width":800,"height":600,"theme":"dark","labels":false,"zoom":4,"pan_x":-12.5}"#
+        );
+        assert_eq!(Command::decode(&lod.encode()).unwrap(), lod);
     }
 
     #[test]

@@ -53,7 +53,7 @@ use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
-use viva::{AnalysisSession, GraphView, SessionError, ViewNode, Viewport};
+use viva::{AnalysisSession, Camera, GraphView, SessionError, Theme, ViewNode, Viewport};
 use viva_agg::AggIndex;
 use viva_layout::Vec2;
 use viva_obs::Recorder;
@@ -260,6 +260,34 @@ fn session_error(e: SessionError) -> Response {
         SessionError::NonFinitePosition { .. } => ErrorKind::NonFinitePosition,
     };
     err(kind, e.to_string())
+}
+
+/// Builds the viewport for a `render` command. A level-of-detail
+/// camera is attached only when at least one camera field was present
+/// on the wire — absent fields default to the identity component, and
+/// a fully absent camera takes the classic camera-less render path
+/// (byte-identical to pre-LoD servers, and keyed separately in the
+/// frame cache).
+fn render_viewport(
+    width: f64,
+    height: f64,
+    theme: Theme,
+    labels: bool,
+    zoom: Option<f64>,
+    pan_x: Option<f64>,
+    pan_y: Option<f64>,
+) -> Result<Viewport, Response> {
+    let vp = match Viewport::try_new(width, height) {
+        Ok(vp) => vp.with_theme(theme).with_labels(labels),
+        Err(e) => return Err(err(ErrorKind::BadViewport, e.to_string())),
+    };
+    if zoom.is_none() && pan_x.is_none() && pan_y.is_none() {
+        return Ok(vp);
+    }
+    match Camera::try_new(zoom.unwrap_or(1.0), pan_x.unwrap_or(0.0), pan_y.unwrap_or(0.0)) {
+        Ok(cam) => Ok(vp.with_camera(cam)),
+        Err(e) => Err(err(ErrorKind::BadViewport, e.to_string())),
+    }
 }
 
 /// Resolves a container *name* against the session's trace. Names are
@@ -1455,9 +1483,10 @@ impl Server {
         // a slow command (and the registry lock was only held for the
         // name lookup above). A stale mirror can only cause a cache
         // miss — the locked path below re-checks authoritatively.
-        if let Command::Render { width, height, theme, labels, .. } = &cmd {
-            if let Ok(vp) = Viewport::try_new(*width, *height) {
-                let viewport = vp.with_theme(*theme).with_labels(*labels);
+        if let Command::Render { width, height, theme, labels, zoom, pan_x, pan_y, .. } = &cmd {
+            if let Ok(viewport) =
+                render_viewport(*width, *height, *theme, *labels, *zoom, *pan_x, *pan_y)
+            {
                 let revision = handle.revision();
                 let key = crate::cache::FrameKey::new(revision, &viewport);
                 if let Some(svg) = handle.frames().lookup(&key) {
@@ -1624,10 +1653,11 @@ impl Server {
                 },
                 Err(resp) => resp,
             },
-            Command::Render { width, height, theme, labels, .. } => {
-                let viewport = match Viewport::try_new(width, height) {
-                    Ok(vp) => vp.with_theme(theme).with_labels(labels),
-                    Err(e) => return err(ErrorKind::BadViewport, e.to_string()),
+            Command::Render { width, height, theme, labels, zoom, pan_x, pan_y, .. } => {
+                let viewport = match render_viewport(width, height, theme, labels, zoom, pan_x, pan_y)
+                {
+                    Ok(vp) => vp,
+                    Err(resp) => return resp,
                 };
                 let revision = s.analysis.revision();
                 let key = crate::cache::FrameKey::new(revision, &viewport);
@@ -2254,6 +2284,9 @@ mod tests {
             height: 480.0,
             theme: viva::Theme::Dark,
             labels: true,
+            zoom: None,
+            pan_x: None,
+            pan_y: None,
         });
         match r {
             Response::Frame { cached, svg, .. } => {
@@ -2275,6 +2308,9 @@ mod tests {
                 height: 480.0,
                 theme: viva::Theme::Light,
                 labels: false,
+                zoom: None,
+                pan_x: None,
+                pan_y: None,
             })
         };
         let (first, second) = (render(640.0), render(640.0));
@@ -2318,6 +2354,9 @@ mod tests {
                 height: 480.0,
                 theme: viva::Theme::Light,
                 labels: false,
+                zoom: None,
+                pan_x: None,
+                pan_y: None,
             })
         };
         assert!(matches!(render(640.0), Response::Frame { cached: false, .. }));
@@ -2379,6 +2418,9 @@ mod tests {
                 height: 480.0,
                 theme: viva::Theme::Light,
                 labels: false,
+                zoom: None,
+                pan_x: None,
+                pan_y: None,
             });
             assert!(matches!(r, Response::Frame { cached: false, .. }));
         }
@@ -2409,6 +2451,9 @@ mod tests {
                 height: 480.0,
                 theme: viva::Theme::Dark,
                 labels: true,
+                zoom: None,
+                pan_x: None,
+                pan_y: None,
             },
             Command::Render {
                 session: "a".into(),
@@ -2416,6 +2461,9 @@ mod tests {
                 height: 480.0,
                 theme: viva::Theme::Dark,
                 labels: true,
+                zoom: None,
+                pan_x: None,
+                pan_y: None,
             },
             Command::Sessions,
         ];
@@ -2468,6 +2516,9 @@ mod tests {
                     height: 480.0,
                     theme: viva::Theme::Light,
                     labels: false,
+                    zoom: None,
+                    pan_x: None,
+                    pan_y: None,
                 },
                 ErrorKind::BadViewport,
             ),
@@ -2569,6 +2620,9 @@ mod tests {
                 height: 480.0,
                 theme: viva::Theme::Dark,
                 labels: true,
+                zoom: None,
+                pan_x: None,
+                pan_y: None,
             }) {
                 Response::Frame { svg, revision, .. } => (svg, revision),
                 other => panic!("{other:?}"),
@@ -2735,6 +2789,9 @@ mod tests {
                         height: 240.0,
                         theme: viva::Theme::Light,
                         labels: false,
+                        zoom: None,
+                        pan_x: None,
+                        pan_y: None,
                     });
                     assert!(matches!(r, Response::Frame { .. }));
                 })
@@ -2798,6 +2855,9 @@ mod tests {
             height: 240.0,
             theme: viva::Theme::Light,
             labels: false,
+            zoom: None,
+            pan_x: None,
+            pan_y: None,
         }) {
             Response::Frame { svg, .. } => svg,
             other => panic!("{other:?}"),
@@ -2866,6 +2926,9 @@ mod tests {
             height: 480.0,
             theme: viva::Theme::Dark,
             labels: true,
+            zoom: None,
+            pan_x: None,
+            pan_y: None,
         }) {
             Response::Frame { svg, .. } => svg,
             other => panic!("{other:?}"),
@@ -2914,6 +2977,9 @@ mod tests {
             height: 480.0,
             theme: viva::Theme::Light,
             labels: false,
+            zoom: None,
+            pan_x: None,
+            pan_y: None,
         }) {
             Response::Frame { svg, .. } => svg,
             other => panic!("{other:?}"),

@@ -7,11 +7,11 @@
 
 use std::collections::HashMap;
 
+use crate::columns::ColumnStore;
 use crate::container::{ContainerId, ContainerKind, ContainerTree};
 use crate::error::TraceError;
 use crate::event::Event;
 use crate::metric::{MetricId, MetricRegistry};
-use crate::signal::Signal;
 use crate::state::StateLog;
 use crate::trace::{LinkRecord, Trace};
 
@@ -36,7 +36,7 @@ use crate::trace::{LinkRecord, Trace};
 pub struct TraceBuilder {
     containers: ContainerTree,
     metrics: MetricRegistry,
-    signals: HashMap<(ContainerId, MetricId), Signal>,
+    columns: ColumnStore,
     states: StateLog,
     links: Vec<LinkRecord>,
     earliest: Option<f64>,
@@ -69,6 +69,12 @@ impl TraceBuilder {
     /// Read access to the metric registry built so far.
     pub fn metrics(&self) -> &MetricRegistry {
         &self.metrics
+    }
+
+    /// Read access to the columnar event log accumulated so far —
+    /// scale benches use this for exact per-event memory accounting.
+    pub fn columns(&self) -> &ColumnStore {
+        &self.columns
     }
 
     /// Number of metrics registered so far. Loaders use this to
@@ -132,10 +138,7 @@ impl TraceBuilder {
         value: f64,
     ) -> Result<(), TraceError> {
         self.check_container(container)?;
-        self.signals
-            .entry((container, metric))
-            .or_default()
-            .push(t, value)?;
+        self.columns.append(container, metric, t, value)?;
         self.touch(t);
         Ok(())
     }
@@ -155,9 +158,8 @@ impl TraceBuilder {
         value: f64,
     ) -> Result<(), TraceError> {
         self.check_container(container)?;
-        let sig = self.signals.entry((container, metric)).or_default();
-        let cur = sig.last_time().map_or(0.0, |lt| sig.value_at(lt));
-        sig.push(t, cur + value)?;
+        let cur = self.columns.last(container, metric).map_or(0.0, |(_, v)| v);
+        self.columns.append(container, metric, t, cur + value)?;
         self.touch(t);
         Ok(())
     }
@@ -177,13 +179,12 @@ impl TraceBuilder {
         value: f64,
     ) -> Result<(), TraceError> {
         self.check_container(container)?;
-        let sig = self.signals.entry((container, metric)).or_default();
-        let cur = sig.last_time().map_or(0.0, |lt| sig.value_at(lt));
+        let cur = self.columns.last(container, metric).map_or(0.0, |(_, v)| v);
         let next = cur - value;
         if next < -1e-9 {
             return Err(TraceError::NegativeVariable { value: next });
         }
-        sig.push(t, next.max(0.0))?;
+        self.columns.append(container, metric, t, next.max(0.0))?;
         self.touch(t);
         Ok(())
     }
@@ -296,7 +297,7 @@ impl TraceBuilder {
         Trace {
             containers: self.containers,
             metrics: self.metrics,
-            signals: self.signals,
+            signals: self.columns.into_table(),
             states: self.states.finish(end),
             links: self.links,
             start,

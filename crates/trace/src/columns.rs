@@ -1,0 +1,393 @@
+//! Columnar (structure-of-arrays) event storage.
+//!
+//! At 100k+ hosts and 10M+ events, a `HashMap<(ContainerId, MetricId),
+//! Signal>` pays twice: per-entry hashing overhead on every insert, and
+//! pointer-chasing iteration when the aggregation index streams all
+//! signals of one metric. This module replaces both sides:
+//!
+//! * [`ColumnStore`] is the *ingest* form — four parallel columns
+//!   (container ids, metric ids, times, values) appended to in arrival
+//!   order. One event costs exactly 24 bytes (`u32 + u32 + f64 + f64`),
+//!   roughly half of the row-of-structs [`crate::Event`] baseline, and
+//!   appends are branch-light `Vec` pushes validated through a small
+//!   per-pair cursor table.
+//! * [`SignalTable`] is the *query* form — pair keys sorted
+//!   metric-major in one `Vec`, signals in a parallel `Vec`, so a
+//!   single-pair lookup is a binary search and "all signals of metric
+//!   m" (the aggregation-index build scan) is one contiguous slice
+//!   walk in container-id order, with no hashing and no sort.
+//!
+//! [`ColumnStore::into_table`] converts between the two with a
+//! counting pass plus one streaming replay through [`Signal::push`], so
+//! the resulting signals are *bit-identical* to what pushing each event
+//! into a per-pair `Signal` directly would have produced — including
+//! the overwrite-at-equal-time and running-prefix-integral semantics.
+//! Validation happens at append time with the exact check order of
+//! [`Signal::push`] (time finite, value finite, monotonic per pair), so
+//! the replay in `into_table` cannot fail and error surfaces observed
+//! by loaders are unchanged.
+
+use std::collections::HashMap;
+
+use crate::container::ContainerId;
+use crate::error::TraceError;
+use crate::metric::MetricId;
+use crate::signal::Signal;
+
+/// Per-pair ingest cursor: enough state to validate the next append and
+/// to serve read-your-writes queries (`add_variable`'s "current value")
+/// without materializing a `Signal`.
+#[derive(Debug, Clone, Copy)]
+struct PairCursor {
+    last_t: f64,
+    last_v: f64,
+    count: usize,
+}
+
+/// Append-only SoA event log for variable samples.
+///
+/// # Example
+///
+/// ```
+/// use viva_trace::columns::ColumnStore;
+/// use viva_trace::{ContainerId, MetricId};
+///
+/// let c = ContainerId::from_index(1);
+/// let m = MetricId::from_index(0);
+/// let mut store = ColumnStore::new();
+/// store.append(c, m, 0.0, 100.0)?;
+/// store.append(c, m, 5.0, 50.0)?;
+/// let table = store.into_table();
+/// assert_eq!(table.get(c, m).unwrap().integrate(0.0, 10.0), 750.0);
+/// # Ok::<(), viva_trace::TraceError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ColumnStore {
+    containers: Vec<ContainerId>,
+    metrics: Vec<MetricId>,
+    times: Vec<f64>,
+    values: Vec<f64>,
+    cursors: HashMap<(ContainerId, MetricId), PairCursor>,
+}
+
+impl ColumnStore {
+    /// Creates an empty store.
+    pub fn new() -> ColumnStore {
+        ColumnStore::default()
+    }
+
+    /// Number of appended events (overwrites at equal time included).
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Whether no event was ever appended.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// Number of distinct `(container, metric)` pairs seen.
+    pub fn pair_count(&self) -> usize {
+        self.cursors.len()
+    }
+
+    /// Bytes held by the four event columns — the columnar counterpart
+    /// of `events * size_of::<Event>()` for the scale bench's memory
+    /// gate. Excludes the per-pair cursor table (proportional to pair
+    /// count, not event count) and `Vec` growth slack.
+    pub fn approx_bytes(&self) -> usize {
+        self.times.len()
+            * (std::mem::size_of::<ContainerId>()
+                + std::mem::size_of::<MetricId>()
+                + 2 * std::mem::size_of::<f64>())
+    }
+
+    /// The `(time, value)` of the pair's latest append, if any — what
+    /// `Signal::last_time` / last value would report after a replay.
+    pub fn last(&self, container: ContainerId, metric: MetricId) -> Option<(f64, f64)> {
+        self.cursors
+            .get(&(container, metric))
+            .map(|cur| (cur.last_t, cur.last_v))
+    }
+
+    /// Appends one sample, validating exactly as [`Signal::push`]
+    /// would: time finite, then value finite, then per-pair monotonic.
+    /// Appending at the pair's exact last time is the overwrite case —
+    /// the row is logged and the replay in [`ColumnStore::into_table`]
+    /// reproduces the overwrite.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::NotFinite`] / [`TraceError::NonMonotonicTime`],
+    /// with the same payloads `Signal::push` reports.
+    pub fn append(
+        &mut self,
+        container: ContainerId,
+        metric: MetricId,
+        t: f64,
+        value: f64,
+    ) -> Result<(), TraceError> {
+        if !t.is_finite() {
+            return Err(TraceError::NotFinite { value: t });
+        }
+        if !value.is_finite() {
+            return Err(TraceError::NotFinite { value });
+        }
+        match self.cursors.entry((container, metric)) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                let cur = e.get_mut();
+                if t < cur.last_t {
+                    return Err(TraceError::NonMonotonicTime { time: t, last: cur.last_t });
+                }
+                cur.last_t = t;
+                cur.last_v = value;
+                cur.count += 1;
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(PairCursor { last_t: t, last_v: value, count: 1 });
+            }
+        }
+        self.containers.push(container);
+        self.metrics.push(metric);
+        self.times.push(t);
+        self.values.push(value);
+        Ok(())
+    }
+
+    /// Converts the arrival-order log into the sorted query form.
+    ///
+    /// One counting pass sizes every signal exactly, then one streaming
+    /// scan replays the columns through [`Signal::push`] in arrival
+    /// order per pair — bit-identical to having pushed into per-pair
+    /// signals directly.
+    pub fn into_table(self) -> SignalTable {
+        let mut pairs: Vec<(MetricId, ContainerId)> =
+            self.cursors.keys().map(|&(c, m)| (m, c)).collect();
+        pairs.sort_unstable();
+        let slots: HashMap<(ContainerId, MetricId), u32> = pairs
+            .iter()
+            .enumerate()
+            .map(|(i, &(m, c))| ((c, m), i as u32))
+            .collect();
+        let mut signals: Vec<Signal> = pairs
+            .iter()
+            .map(|&(m, c)| {
+                let mut s = Signal::new();
+                s.reserve(self.cursors[&(c, m)].count);
+                s
+            })
+            .collect();
+        for i in 0..self.times.len() {
+            let slot = slots[&(self.containers[i], self.metrics[i])] as usize;
+            signals[slot]
+                .push(self.times[i], self.values[i])
+                .expect("columns validated on append");
+        }
+        SignalTable { pairs, signals }
+    }
+}
+
+/// Sorted pair-table of signals: the immutable query form of the
+/// columnar store, owned by [`crate::Trace`].
+///
+/// Keys are `(metric, container)` in one sorted `Vec` with signals in a
+/// parallel `Vec`: point lookups are a binary search, and all carriers
+/// of one metric are a contiguous slice in ascending container order —
+/// the exact enumeration the aggregation index streams, now without a
+/// filter-the-whole-map-and-sort pass.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SignalTable {
+    /// Metric-major sorted keys.
+    pairs: Vec<(MetricId, ContainerId)>,
+    /// `signals[i]` belongs to `pairs[i]`.
+    signals: Vec<Signal>,
+}
+
+impl SignalTable {
+    /// Number of stored signals.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether the table holds no signal at all.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// The signal of `(container, metric)`, if present.
+    pub fn get(&self, container: ContainerId, metric: MetricId) -> Option<&Signal> {
+        self.pairs
+            .binary_search(&(metric, container))
+            .ok()
+            .map(|i| &self.signals[i])
+    }
+
+    /// Mutable access to an existing pair's signal.
+    pub fn get_mut(&mut self, container: ContainerId, metric: MetricId) -> Option<&mut Signal> {
+        self.pairs
+            .binary_search(&(metric, container))
+            .ok()
+            .map(|i| &mut self.signals[i])
+    }
+
+    /// The pair's signal, inserting an empty one at its sorted slot if
+    /// absent. Live appends of brand-new pairs pay an `O(n)` `Vec`
+    /// insert here — rare by construction (a pair is new once, then
+    /// streams through the in-place fast path forever).
+    pub fn get_or_insert(&mut self, container: ContainerId, metric: MetricId) -> &mut Signal {
+        match self.pairs.binary_search(&(metric, container)) {
+            Ok(i) => &mut self.signals[i],
+            Err(i) => {
+                self.pairs.insert(i, (metric, container));
+                self.signals.insert(i, Signal::new());
+                &mut self.signals[i]
+            }
+        }
+    }
+
+    /// Iterates `(container, metric, signal)` in deterministic
+    /// metric-major, then container-id, order.
+    pub fn iter(&self) -> impl Iterator<Item = (ContainerId, MetricId, &Signal)> {
+        self.pairs
+            .iter()
+            .zip(&self.signals)
+            .map(|(&(m, c), s)| (c, m, s))
+    }
+
+    /// Iterates all signals without their keys.
+    pub fn signals(&self) -> impl Iterator<Item = &Signal> {
+        self.signals.iter()
+    }
+
+    /// All carriers of `metric` as a contiguous ascending-container
+    /// walk — the aggregation-index build scan.
+    pub fn for_metric(
+        &self,
+        metric: MetricId,
+    ) -> impl Iterator<Item = (ContainerId, &Signal)> {
+        let lo = self.pairs.partition_point(|&(m, _)| m < metric);
+        let hi = self.pairs.partition_point(|&(m, _)| m <= metric);
+        self.pairs[lo..hi]
+            .iter()
+            .zip(&self.signals[lo..hi])
+            .map(|(&(_, c), s)| (c, s))
+    }
+
+    /// Bytes held by breakpoint storage (times + values + prefix
+    /// integrals) plus the key column.
+    pub fn approx_bytes(&self) -> usize {
+        let keys = self.pairs.len()
+            * (std::mem::size_of::<MetricId>() + std::mem::size_of::<ContainerId>());
+        let breaks: usize = self.signals.iter().map(|s| s.len() * 3 * 8).sum();
+        keys + breaks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(i: u32) -> ContainerId {
+        ContainerId::from_index(i as usize)
+    }
+    fn m(i: u32) -> MetricId {
+        MetricId::from_index(i as usize)
+    }
+
+    #[test]
+    fn replay_matches_direct_pushes() {
+        // Interleaved pairs, including an equal-time overwrite.
+        let events = [
+            (1, 0, 0.0, 10.0),
+            (2, 0, 0.0, 20.0),
+            (1, 1, 0.5, 1.0),
+            (1, 0, 2.0, 30.0),
+            (1, 0, 2.0, 35.0), // overwrite
+            (2, 0, 3.0, 0.0),
+        ];
+        let mut store = ColumnStore::new();
+        let mut reference: HashMap<(ContainerId, MetricId), Signal> = HashMap::new();
+        for &(ci, mi, t, v) in &events {
+            store.append(c(ci), m(mi), t, v).unwrap();
+            reference.entry((c(ci), m(mi))).or_default().push(t, v).unwrap();
+        }
+        assert_eq!(store.len(), events.len());
+        let table = store.into_table();
+        assert_eq!(table.len(), reference.len());
+        for ((rc, rm), sig) in &reference {
+            assert_eq!(table.get(*rc, *rm), Some(sig));
+        }
+    }
+
+    #[test]
+    fn append_validates_like_signal_push() {
+        let mut store = ColumnStore::new();
+        let mut sig = Signal::new();
+        for (t, v) in [(f64::NAN, 1.0), (0.0, f64::INFINITY)] {
+            // NaN payloads compare unequal; the rendered error carries
+            // the same information and is what users see.
+            assert_eq!(
+                store.append(c(1), m(0), t, v).unwrap_err().to_string(),
+                sig.push(t, v).unwrap_err().to_string()
+            );
+        }
+        store.append(c(1), m(0), 5.0, 1.0).unwrap();
+        sig.push(5.0, 1.0).unwrap();
+        assert_eq!(
+            store.append(c(1), m(0), 4.0, 1.0).unwrap_err(),
+            sig.push(4.0, 1.0).unwrap_err()
+        );
+        // Rejected appends leave no partial row behind.
+        assert_eq!(store.len(), 1);
+        // Other pairs are independent timelines.
+        store.append(c(2), m(0), 0.0, 1.0).unwrap();
+    }
+
+    #[test]
+    fn last_tracks_overwrites() {
+        let mut store = ColumnStore::new();
+        assert_eq!(store.last(c(1), m(0)), None);
+        store.append(c(1), m(0), 1.0, 10.0).unwrap();
+        store.append(c(1), m(0), 1.0, 12.0).unwrap();
+        assert_eq!(store.last(c(1), m(0)), Some((1.0, 12.0)));
+    }
+
+    #[test]
+    fn table_order_is_metric_major() {
+        let mut store = ColumnStore::new();
+        store.append(c(2), m(1), 0.0, 1.0).unwrap();
+        store.append(c(1), m(1), 0.0, 1.0).unwrap();
+        store.append(c(9), m(0), 0.0, 1.0).unwrap();
+        let table = store.into_table();
+        let keys: Vec<(ContainerId, MetricId)> =
+            table.iter().map(|(tc, tm, _)| (tc, tm)).collect();
+        assert_eq!(keys, vec![(c(9), m(0)), (c(1), m(1)), (c(2), m(1))]);
+        let carriers: Vec<ContainerId> = table.for_metric(m(1)).map(|(tc, _)| tc).collect();
+        assert_eq!(carriers, vec![c(1), c(2)]);
+        assert!(table.for_metric(m(7)).next().is_none());
+    }
+
+    #[test]
+    fn get_or_insert_keeps_sorted_order() {
+        let mut table = ColumnStore::new().into_table();
+        table.get_or_insert(c(5), m(1)).push(0.0, 1.0).unwrap();
+        table.get_or_insert(c(1), m(0)).push(0.0, 2.0).unwrap();
+        table.get_or_insert(c(5), m(1)).push(1.0, 3.0).unwrap();
+        assert_eq!(table.len(), 2);
+        assert_eq!(table.get(c(5), m(1)).unwrap().len(), 2);
+        let keys: Vec<(ContainerId, MetricId)> =
+            table.iter().map(|(tc, tm, _)| (tc, tm)).collect();
+        assert_eq!(keys, vec![(c(1), m(0)), (c(5), m(1))]);
+    }
+
+    #[test]
+    fn bytes_accounting() {
+        let mut store = ColumnStore::new();
+        for i in 0..10 {
+            store.append(c(1), m(0), i as f64, 1.0).unwrap();
+        }
+        assert_eq!(store.approx_bytes(), 10 * 24);
+        let table = store.into_table();
+        assert_eq!(table.approx_bytes(), 8 + 10 * 24);
+    }
+}

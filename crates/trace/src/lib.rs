@@ -34,6 +34,7 @@
 //! ```
 
 pub mod builder;
+pub mod columns;
 pub mod container;
 pub mod error;
 pub mod event;
@@ -48,6 +49,7 @@ pub mod timeline;
 pub mod trace;
 
 pub use builder::TraceBuilder;
+pub use columns::{ColumnStore, SignalTable};
 pub use container::{Container, ContainerId, ContainerKind, ContainerTree};
 pub use error::TraceError;
 pub use event::Event;

@@ -180,7 +180,7 @@ impl Trace {
         t: f64,
         v: f64,
     ) -> Result<SamplePrior, TraceError> {
-        let prior = match self.signals.get(&(container, metric)) {
+        let prior = match self.signals.get(container, metric) {
             Some(sig) => {
                 let last = sig.last_time().unwrap_or(t);
                 if t < last {
@@ -197,7 +197,7 @@ impl Trace {
         // Capture *before* the push: whether the builder had seen any
         // event at all decides whether `start` is a fold or a seed.
         let had_events = !self.signals.is_empty() || !self.links.is_empty();
-        self.signals.entry((container, metric)).or_default().push(t, v)?;
+        self.signals.get_or_insert(container, metric).push(t, v)?;
         self.start = if had_events || !self.states.is_empty() { self.start.min(t) } else { t };
         self.end = self.end.max(t);
         Ok(prior)

@@ -60,6 +60,14 @@ impl Signal {
         self.times.len()
     }
 
+    /// Reserves capacity for `additional` further breakpoints in all
+    /// three columns — lets bulk conversions size signals exactly.
+    pub(crate) fn reserve(&mut self, additional: usize) {
+        self.times.reserve(additional);
+        self.values.reserve(additional);
+        self.cum.reserve(additional);
+    }
+
     /// Whether the signal has no breakpoints (identically 0).
     pub fn is_empty(&self) -> bool {
         self.times.is_empty()

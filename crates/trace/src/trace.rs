@@ -2,6 +2,7 @@
 
 use std::collections::HashMap;
 
+use crate::columns::SignalTable;
 use crate::container::{ContainerId, ContainerKind, ContainerTree};
 use crate::metric::{Metric, MetricId, MetricRegistry};
 use crate::signal::Signal;
@@ -31,7 +32,7 @@ pub struct LinkRecord {
 pub struct Trace {
     pub(crate) containers: ContainerTree,
     pub(crate) metrics: MetricRegistry,
-    pub(crate) signals: HashMap<(ContainerId, MetricId), Signal>,
+    pub(crate) signals: SignalTable,
     pub(crate) states: Vec<StateRecord>,
     pub(crate) links: Vec<LinkRecord>,
     pub(crate) start: f64,
@@ -75,7 +76,7 @@ impl Trace {
     /// The signal of `metric` on `container`, if any value was ever
     /// recorded for that pair.
     pub fn signal(&self, container: ContainerId, metric: MetricId) -> Option<&Signal> {
-        self.signals.get(&(container, metric))
+        self.signals.get(container, metric)
     }
 
     /// Convenience: signal looked up by metric *name*.
@@ -85,9 +86,10 @@ impl Trace {
     }
 
     /// Iterates over all `(container, metric, signal)` triples in
-    /// unspecified order.
+    /// deterministic metric-major, then container-id, order (the
+    /// [`SignalTable`] storage order).
     pub fn signals(&self) -> impl Iterator<Item = (ContainerId, MetricId, &Signal)> {
-        self.signals.iter().map(|(&(c, m), s)| (c, m, s))
+        self.signals.iter()
     }
 
     /// Number of stored signals.
@@ -95,32 +97,18 @@ impl Trace {
         self.signals.len()
     }
 
-    /// Containers that carry a signal for `metric`.
+    /// Containers that carry a signal for `metric`, in ascending id
+    /// order — one contiguous range walk of the pair table.
     pub fn containers_with_metric(&self, metric: MetricId) -> Vec<ContainerId> {
-        let mut v: Vec<ContainerId> = self
-            .signals
-            .keys()
-            .filter(|&&(_, m)| m == metric)
-            .map(|&(c, _)| c)
-            .collect();
-        v.sort();
-        v
+        self.signals.for_metric(metric).map(|(c, _)| c).collect()
     }
 
     /// All `(container, signal)` pairs recorded for `metric`, in
-    /// container-id order. The deterministic enumeration aggregation
-    /// indices are built from (the unordered [`Trace::signals`]
-    /// iterator would make merged-timeline float summation
-    /// irreproducible).
+    /// container-id order — the deterministic enumeration aggregation
+    /// indices are built from. With the metric-major [`SignalTable`]
+    /// this is a contiguous slice walk: no whole-map filter, no sort.
     pub fn signals_for_metric(&self, metric: MetricId) -> Vec<(ContainerId, &Signal)> {
-        let mut v: Vec<(ContainerId, &Signal)> = self
-            .signals
-            .iter()
-            .filter(|&(&(_, m), _)| m == metric)
-            .map(|(&(c, _), s)| (c, s))
-            .collect();
-        v.sort_by_key(|&(c, _)| c);
-        v
+        self.signals.for_metric(metric).collect()
     }
 
     /// Completed state intervals, sorted by `(container, start)`.
@@ -136,7 +124,14 @@ impl Trace {
     /// Total number of breakpoints across all signals — a measure of
     /// trace size for scalability experiments.
     pub fn breakpoint_count(&self) -> usize {
-        self.signals.values().map(Signal::len).sum()
+        self.signals.signals().map(Signal::len).sum()
+    }
+
+    /// Approximate bytes held by signal storage (breakpoint columns
+    /// plus pair keys) — the resident-memory side of the scale bench's
+    /// columnar accounting.
+    pub fn signal_bytes(&self) -> usize {
+        self.signals.approx_bytes()
     }
 
     /// Distinct unordered communication pairs, usable as graph edges

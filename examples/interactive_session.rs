@@ -194,6 +194,9 @@ fn main() {
         height: 600.0,
         theme: Theme::Light,
         labels: false,
+        zoom: None,
+        pan_x: None,
+        pan_y: None,
     });
     let mut ndjson = String::new();
     for cmd in &script {

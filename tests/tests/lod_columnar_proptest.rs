@@ -1,0 +1,273 @@
+//! Property tests for the columnar-store + level-of-detail subsystem.
+//!
+//! Three invariants pin the new rendering path to the old semantics:
+//!
+//! 1. **Tiles are honest aggregates** — every level-of-detail tile of a
+//!    fully-zoomed-out render carries exactly the values that plain
+//!    `AggIndex` subtree queries produce for its root, bit for bit
+//!    (size, fill, breakdown shares, availability, quarantine count).
+//!    A tile is a collapse the camera performed, not a new estimator.
+//! 2. **Full visibility is the identity** — a camera that keeps every
+//!    node readable (identity transform, `detail_px = 0`) renders SVG
+//!    byte-identical to the classic camera-less path. Attaching the
+//!    LoD machinery to a scene it cannot prune must be invisible.
+//! 3. **Columnar storage is lossless** — the SoA signal store holds
+//!    exactly the breakpoints a row-of-events reference model predicts,
+//!    bit for bit, whichever door the data came through: the builder,
+//!    the CSV loader round-trip, or live journal-replay pushes.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+use viva::{AnalysisSession, Camera, SessionBuilder, Viewport};
+use viva_agg::TimeSlice;
+use viva_trace::export::{from_csv, to_csv};
+use viva_trace::{ContainerId, ContainerKind, MetricId, Trace, TraceBuilder};
+
+/// A compact generator-friendly trace description: a two-cluster site
+/// so zoomed-out cuts have real subtrees to tile.
+#[derive(Debug, Clone)]
+struct TraceSpec {
+    hosts: usize, // per cluster
+    // (host, metric, time-grid index, value)
+    vars: Vec<(usize, usize, u32, f64)>,
+}
+
+const SPAN: f64 = 128.0;
+const METRICS: [(&str, &str); 3] =
+    [("power", "MFlop/s"), ("power_used", "MFlop/s"), ("bandwidth", "Mbit/s")];
+
+fn grid(g: u32) -> f64 {
+    f64::from(g % 256) * 0.5 // 0.0 .. 127.5, always inside the span
+}
+
+/// Builds the trace and returns the id handles the properties need to
+/// address hosts and metrics directly.
+fn build(spec: &TraceSpec) -> (Trace, Vec<ContainerId>, Vec<MetricId>) {
+    let mut b = builder_skeleton(spec);
+    let hosts = host_ids(&b);
+    let metrics: Vec<_> = METRICS.iter().map(|&(n, u)| b.metric(n, u)).collect();
+    // The builder rejects non-monotonic pushes per (container, metric):
+    // sort by time first; duplicate times legitimately overwrite.
+    let mut vars = spec.vars.clone();
+    vars.sort_by_key(|v| v.2);
+    for &(h, m, g, v) in &vars {
+        b.set_variable(grid(g), hosts[h % hosts.len()], metrics[m % metrics.len()], v)
+            .unwrap();
+    }
+    (b.finish(SPAN), hosts, metrics)
+}
+
+/// Containers only — the skeleton both the builder path and the
+/// journal-replay path start from, so ids line up across stores.
+fn builder_skeleton(spec: &TraceSpec) -> TraceBuilder {
+    let mut b = TraceBuilder::new();
+    for c in 0..2 {
+        let cluster = b
+            .new_container(b.root(), format!("c{c}"), ContainerKind::Cluster)
+            .unwrap();
+        for i in 0..spec.hosts {
+            b.new_container(cluster, format!("c{c}h{i}"), ContainerKind::Host)
+                .unwrap();
+        }
+    }
+    b
+}
+
+/// The host ids of a skeleton, in creation order (c0's hosts then
+/// c1's) — the order the reference model indexes by.
+fn host_ids(b: &TraceBuilder) -> Vec<ContainerId> {
+    b.containers()
+        .iter()
+        .filter(|n| n.kind() == ContainerKind::Host)
+        .map(|n| n.id())
+        .collect()
+}
+
+/// The row-of-events reference model: per (host, metric), the
+/// breakpoint list a plain append-and-overwrite event log would hold.
+fn row_reference(spec: &TraceSpec) -> BTreeMap<(usize, usize), Vec<(f64, f64)>> {
+    let hosts = spec.hosts * 2;
+    let mut vars = spec.vars.clone();
+    vars.sort_by_key(|v| v.2);
+    let mut model: BTreeMap<(usize, usize), Vec<(f64, f64)>> = BTreeMap::new();
+    for &(h, m, g, v) in &vars {
+        let col = model.entry((h % hosts, m % METRICS.len())).or_default();
+        let t = grid(g);
+        match col.last_mut() {
+            Some(last) if last.0 == t => last.1 = v, // same-time overwrite
+            _ => col.push((t, v)),
+        }
+    }
+    model
+}
+
+fn spec_strategy() -> impl Strategy<Value = TraceSpec> {
+    (
+        2usize..5,
+        proptest::collection::vec(
+            (0usize..10, 0usize..3, 0u32..256, -1.0e6f64..1.0e6),
+            1..48,
+        ),
+    )
+        .prop_map(|(hosts, vars)| TraceSpec { hosts, vars })
+}
+
+/// Checks one trace's signals against the reference model, bit for
+/// bit, both directions (nothing missing, nothing invented).
+fn assert_matches_reference(
+    trace: &Trace,
+    hosts: &[ContainerId],
+    metrics: &[MetricId],
+    model: &BTreeMap<(usize, usize), Vec<(f64, f64)>>,
+    path: &str,
+) -> Result<(), TestCaseError> {
+    for (&(h, m), expected) in model {
+        let sig = trace.signal(hosts[h], metrics[m]);
+        prop_assert!(sig.is_some(), "{path}: signal ({h},{m}) missing");
+        let sig = sig.unwrap();
+        prop_assert_eq!(
+            sig.times().len(),
+            expected.len(),
+            "{} : breakpoint count for ({}, {})", path, h, m
+        );
+        for (i, &(t, v)) in expected.iter().enumerate() {
+            prop_assert_eq!(sig.times()[i].to_bits(), t.to_bits(), "{} : time[{}]", path, i);
+            prop_assert_eq!(sig.values()[i].to_bits(), v.to_bits(), "{} : value[{}]", path, i);
+        }
+    }
+    prop_assert_eq!(
+        trace.signals().count(),
+        model.len(),
+        "{} : signal invented beyond the reference model", path
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Invariant 1: a fully-zoomed-out render tiles the scene, and each
+    /// tile's values are the `AggIndex` subtree queries of its root —
+    /// bit-identical, including the §6 breakdown shares.
+    #[test]
+    fn zoomed_out_tiles_match_agg_index_queries(
+        spec in spec_strategy(),
+        slice in (0u32..200, 1u32..56),
+    ) {
+        let (trace, _, _) = build(&spec);
+        let mut session: AnalysisSession = SessionBuilder::new(trace).build();
+        session
+            .set_breakdown_metrics(vec!["power".into(), "power_used".into()])
+            .unwrap();
+        let (s, w) = slice;
+        session.set_time_slice(TimeSlice::new(grid(s), (grid(s) + grid(w).max(0.5)).min(SPAN)));
+
+        // An absurd readability threshold: nothing resolves, the cut
+        // must fall back to aggregate tiles (the fully-zoomed-out
+        // regime at 100k hosts, reproduced in miniature).
+        let vp = Viewport::new(640.0, 480.0)
+            .with_camera(Camera::new(1.0, 0.0, 0.0).with_detail_px(1.0e9));
+        let view = session.view_lod(&vp);
+        prop_assert!(view.nodes.is_empty(), "nothing is readable below 1e9 px");
+        prop_assert!(!view.tiles.is_empty(), "an unresolvable frontier must tile");
+
+        let idx = session.shared_index().expect("default sessions build an index");
+        let trace = session.shared_trace();
+        let slice = session.time_slice();
+        let width = slice.width();
+        let norm = |v: f64| if width > 0.0 { v / width } else { 0.0 };
+        let power = trace.metric_id("power").unwrap();
+        let used = trace.metric_id("power_used").unwrap();
+        for tile in &view.tiles {
+            let c = tile.container;
+            // Size and fill are Equation 1 over the subtree: the
+            // index's Euler-tour integral, normalized by slice width.
+            prop_assert_eq!(
+                tile.size_value.to_bits(),
+                norm(idx.integrate(power, c, slice)).to_bits(),
+                "tile {} size_value", c
+            );
+            prop_assert_eq!(
+                tile.fill_value.to_bits(),
+                norm(idx.integrate(used, c, slice)).to_bits(),
+                "tile {} fill_value", c
+            );
+            // Breakdown pie shares: positive integrals normalized.
+            let mut segments: Vec<(String, f64)> = [("power", power), ("power_used", used)]
+                .into_iter()
+                .filter_map(|(name, m)| {
+                    let integral = idx.integrate(m, c, slice);
+                    (integral > 0.0).then(|| (name.to_owned(), integral))
+                })
+                .collect();
+            let total: f64 = segments.iter().map(|(_, v)| v).sum();
+            if total > 0.0 {
+                for (_, v) in segments.iter_mut() {
+                    *v /= total;
+                }
+            }
+            prop_assert_eq!(&tile.segments, &segments, "tile segments");
+            // No availability signal in these traces: always up.
+            prop_assert_eq!(tile.availability.to_bits(), 1.0f64.to_bits());
+            // Quarantine is the Euler-tour prefix-sum count.
+            prop_assert_eq!(tile.quarantined, idx.quarantined_under_all(c));
+        }
+    }
+
+    /// Invariant 2: a camera that prunes nothing renders byte-identical
+    /// SVG to the classic camera-less path.
+    #[test]
+    fn full_visibility_lod_render_is_byte_identical(
+        spec in spec_strategy(),
+        w in 320.0f64..1600.0,
+        h in 240.0f64..900.0,
+        labels in prop_oneof![Just(false), Just(true)],
+    ) {
+        let (trace, _, _) = build(&spec);
+        let session: AnalysisSession = SessionBuilder::new(trace).build();
+        let classic = Viewport::new(w, h).with_labels(labels);
+        let lod = classic
+            .clone()
+            .with_camera(Camera::new(1.0, 0.0, 0.0).with_detail_px(0.0));
+        prop_assert_eq!(
+            session.render(&classic),
+            session.render(&lod),
+            "identity camera with detail_px=0 must not perturb a single byte"
+        );
+    }
+
+    /// Invariant 3: the columnar store round-trips the row reference
+    /// model bit-exactly through all three ingestion doors.
+    #[test]
+    fn columnar_store_round_trips_row_reference(spec in spec_strategy()) {
+        let model = row_reference(&spec);
+
+        // Door 1: the builder.
+        let (built, hosts, metrics) = build(&spec);
+        assert_matches_reference(&built, &hosts, &metrics, &model, "builder")?;
+
+        // Door 2: CSV export → strict loader (ids survive the hop).
+        let loaded = from_csv(&to_csv(&built)).expect("own output must parse strictly");
+        assert_matches_reference(&loaded, &hosts, &metrics, &model, "loader")?;
+
+        // Door 3: live journal replay — an empty skeleton trace fed
+        // one validated sample at a time, the crash-recovery path.
+        let mut b = builder_skeleton(&spec);
+        let live_metrics: Vec<_> = METRICS.iter().map(|&(n, u)| b.metric(n, u)).collect();
+        let mut live = b.finish(SPAN);
+        let mut vars = spec.vars.clone();
+        vars.sort_by_key(|v| v.2);
+        for &(h, m, g, v) in &vars {
+            live.live_push_sample(
+                hosts[h % hosts.len()],
+                live_metrics[m % live_metrics.len()],
+                grid(g),
+                v,
+            )
+            .expect("time-sorted replay is monotonic per pair");
+        }
+        assert_matches_reference(&live, &hosts, &metrics, &model, "live replay")?;
+    }
+}

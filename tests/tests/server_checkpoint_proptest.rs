@@ -82,6 +82,9 @@ fn frame(server: &Server) -> (u64, String) {
         height: 480.0,
         theme: Theme::Dark,
         labels: true,
+        zoom: None,
+        pan_x: None,
+        pan_y: None,
     }) {
         Response::Frame { revision, svg, .. } => (revision, svg),
         other => panic!("render failed: {other:?}"),

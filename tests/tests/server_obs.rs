@@ -105,6 +105,9 @@ fn gesture() -> impl Strategy<Value = Command> {
             height: 480.0,
             theme: Theme::Light,
             labels: false,
+            zoom: None,
+            pan_x: None,
+            pan_y: None,
         }),
         Just(Command::Aggregate {
             session: s(),

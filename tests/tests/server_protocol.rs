@@ -95,15 +95,13 @@ fn command() -> impl Strategy<Value = Command> {
         (name(), uint()).prop_map(|(session, steps)| Command::Relax { session, steps }),
         (name(), name(), name())
             .prop_map(|(session, metric, group)| Command::Aggregate { session, metric, group }),
-        (name(), num(), num(), theme(), prop_oneof![Just(false), Just(true)]).prop_map(
-            |(session, width, height, theme, labels)| Command::Render {
-                session,
-                width,
-                height,
-                theme,
-                labels
-            }
-        ),
+        (
+            (name(), num(), num(), theme(), prop_oneof![Just(false), Just(true)]),
+            (opt_num(), opt_num(), opt_num()),
+        )
+            .prop_map(|((session, width, height, theme, labels), (zoom, pan_x, pan_y))| {
+                Command::Render { session, width, height, theme, labels, zoom, pan_x, pan_y }
+            }),
         opt_name().prop_map(|session| Command::Stats { session }),
     ]
 }

@@ -55,6 +55,9 @@ fn render(server: &Server, name: &str) -> Response {
         height: 300.0,
         theme: Theme::Light,
         labels: false,
+        zoom: None,
+        pan_x: None,
+        pan_y: None,
     })
 }
 

@@ -133,6 +133,9 @@ fn drop_trace_removes_the_name_but_not_live_sessions() {
             height: 240.0,
             theme: Theme::Light,
             labels: false,
+            zoom: None,
+            pan_x: None,
+            pan_y: None,
         });
         assert!(matches!(frame, Response::Frame { .. }), "{session}: {frame:?}");
     }
