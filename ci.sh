@@ -103,7 +103,7 @@ cargo run --quiet --release -p viva-bench --bin fig_server -- --small > /dev/nul
 
 scale_smoke
 
-echo "==> obs-smoke: metrics-on replay is byte-identical, exposition lands"
+echo "==> obs-smoke: metrics/tracing replays byte-identical, self-trace deterministic"
 # Observability must never perturb the protocol: the same script with
 # self-profiling enabled must still reproduce the golden transcript
 # byte for byte, while the Prometheus-style exposition file materializes
@@ -116,6 +116,28 @@ cargo run --quiet --release -p viva-server --bin viva-server -- --stdio \
 diff -u tests/data/server_session.golden /tmp/viva_server_smoke_obs.ndjson
 test -s /tmp/viva_server_smoke_metrics.txt
 grep -q 'viva_counter{scope="server",name="server.cmd.render"}' /tmp/viva_server_smoke_metrics.txt
+# The stats golden pins the reset semantics on the wire: the reset
+# response carries the pre-reset snapshot, the follow-up shows zeroed
+# counters and histograms with gauges untouched, and the exact
+# histogram bucket bounds ride along.
+cargo run --quiet --release -p viva-server --bin viva-server -- --stdio \
+  --metrics-out /tmp/viva_server_smoke_stats_metrics.txt \
+  < tests/data/server_stats.script > /tmp/viva_server_smoke_stats.ndjson
+diff -u tests/data/server_stats.golden /tmp/viva_server_smoke_stats.ndjson
+# Self-trace determinism: the same golden replay with span tracing on
+# (fixed seed, sample-everything) still matches the golden transcript,
+# two runs export byte-identical CSV (logical ticks, never wall time),
+# and the export passes the same strict ingest bar as any real trace.
+rm -rf /tmp/viva_selftrace_1 /tmp/viva_selftrace_2
+target/release/viva-server --stdio --self-trace /tmp/viva_selftrace_1 \
+  --trace-seed 42 --trace-sample 1 \
+  < tests/data/server_session.script > /tmp/viva_server_smoke_selftrace_1.ndjson
+target/release/viva-server --stdio --self-trace /tmp/viva_selftrace_2 \
+  --trace-seed 42 --trace-sample 1 \
+  < tests/data/server_session.script > /tmp/viva_server_smoke_selftrace_2.ndjson
+diff -u tests/data/server_session.golden /tmp/viva_server_smoke_selftrace_1.ndjson
+diff -u /tmp/viva_selftrace_1/selftrace.csv /tmp/viva_selftrace_2/selftrace.csv
+target/release/viva-server --check-trace /tmp/viva_selftrace_1/selftrace.csv
 cargo run --quiet --release -p viva-bench --bin fig_obs -- --small > /dev/null
 
 echo "==> fuzz-smoke: adversarial ingest corpus, both recovery modes"

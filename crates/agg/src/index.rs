@@ -165,6 +165,7 @@ impl AggIndex {
     pub fn build_observed(trace: &Trace, recorder: &Recorder) -> AggIndex {
         let mut idx = {
             let _span = recorder.span("agg.index.build.seconds");
+            let _phase = recorder.tracer().phase("agg.build");
             AggIndex::build(trace)
         };
         recorder.counter("agg.index.builds").inc();

@@ -15,15 +15,20 @@
 //! runs three times and keeps its best throughput (the conventional
 //! guard against scheduler noise in a gate that compares two runs).
 //!
-//! Full mode asserts the instrumented server keeps at least **95%** of
-//! the no-op throughput (the < 5% regression gate from the design) and
-//! writes `BENCH_obs.json`; `--small` keeps the correctness checks —
-//! including that the instrumented run really did count its commands —
-//! but skips timing claims.
+//! Three configurations run: metrics off, metrics on, and metrics plus
+//! **1-in-16 sampled span tracing** (the `--self-trace` shape). Full
+//! mode asserts the metrics-on server keeps at least **95%** of the
+//! no-op throughput and the tracing server keeps at least **95%** of
+//! the spans-off (metrics-on) throughput — the < 5% regression gates
+//! from the design — and writes `BENCH_obs.json`; `--small` keeps the
+//! correctness checks — including that the instrumented run really did
+//! count its commands and the traced run really did record span trees
+//! — but skips timing claims.
 
 use std::time::Instant;
 
 use viva::Theme;
+use viva_obs::{Recorder, Tracer};
 use viva_server::protocol::{Command, Response};
 use viva_server::{Server, ServerLimits};
 use viva_trace::{ContainerKind, RecoveryMode, TraceBuilder};
@@ -37,7 +42,7 @@ struct Scale {
     repeats: usize,
 }
 
-const FULL: Scale = Scale { clusters: 4, hosts: 12, steps: 80, rounds: 60, repeats: 3 };
+const FULL: Scale = Scale { clusters: 4, hosts: 12, steps: 80, rounds: 60, repeats: 6 };
 const SMALL: Scale = Scale { clusters: 2, hosts: 3, steps: 10, rounds: 4, repeats: 1 };
 
 /// Same exactly-representable trace family as `fig_server`.
@@ -112,30 +117,77 @@ fn drive(server: &Server, csv: &str, scale: &Scale) -> u64 {
     commands
 }
 
-/// Best-of-`repeats` commands/sec for one server configuration.
-fn measure(metrics: bool, csv: &str, scale: &Scale) -> f64 {
-    let mut best = 0.0f64;
-    for _ in 0..scale.repeats {
-        let server = if metrics {
-            Server::with_metrics(ServerLimits::default())
-        } else {
-            Server::new(ServerLimits::default())
-        };
-        let t0 = Instant::now();
-        let commands = drive(&server, csv, scale);
-        let wall = t0.elapsed().as_secs_f64();
-        if metrics {
-            check_counts(&server, commands);
-        }
-        best = best.max(commands as f64 / wall.max(1e-9));
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    /// Disabled recorder, disabled tracer: the original hot path.
+    Off,
+    /// Enabled recorder, spans off.
+    Metrics,
+    /// Enabled recorder plus a 1-in-16 deterministic sampling tracer.
+    Traced,
+}
+
+/// One timed replay of the workload on a fresh server in `mode`,
+/// returning commands/sec. Verification (counters, span trees) runs
+/// outside the timed window.
+fn measure_once(mode: Mode, csv: &str, scale: &Scale) -> f64 {
+    let server = match mode {
+        Mode::Off => Server::new(ServerLimits::default()),
+        Mode::Metrics => Server::with_metrics(ServerLimits::default()),
+        Mode::Traced => Server::with_observability(
+            ServerLimits::default(),
+            Recorder::enabled().with_tracer(Tracer::enabled(1, 42, 16)),
+        ),
+    };
+    let t0 = Instant::now();
+    let commands = drive(&server, csv, scale);
+    let wall = t0.elapsed().as_secs_f64();
+    if mode != Mode::Off {
+        check_counts(&server, commands);
     }
-    best
+    if mode == Mode::Traced {
+        check_spans(&server);
+    }
+    commands as f64 / wall.max(1e-9)
+}
+
+/// Best-of-`repeats` for all three modes, repeats interleaved
+/// round-robin (Off, Metrics, Traced, Off, …) after one untimed
+/// warmup — sequential per-mode blocks would let thermal and
+/// scheduler drift masquerade as instrumentation overhead.
+fn measure_all(csv: &str, scale: &Scale) -> (f64, f64, f64) {
+    let _ = measure_once(Mode::Off, csv, scale);
+    let mut best = [0.0f64; 3];
+    for _ in 0..scale.repeats {
+        for (i, mode) in [Mode::Off, Mode::Metrics, Mode::Traced].into_iter().enumerate() {
+            best[i] = best[i].max(measure_once(mode, csv, scale));
+        }
+    }
+    (best[0], best[1], best[2])
+}
+
+/// The traced run must have actually recorded span trees — with 1-in-16
+/// sampling over hundreds of commands, an empty ring means the tracer
+/// was never wired, and the "overhead" being measured is of nothing.
+fn check_spans(server: &Server) {
+    let (spans, _dropped) = server.tracer().finished_spans();
+    assert!(!spans.is_empty(), "sampled tracer recorded no spans");
+    assert!(
+        spans.iter().any(|s| s.parent != viva_obs::SpanId::NONE),
+        "span trees have no phase children"
+    );
+    match server.execute(Command::Spans { session: None, limit: Some(4) }) {
+        Response::Spans { spans, .. } => {
+            assert!(!spans.is_empty(), "the spans command answered empty")
+        }
+        other => panic!("spans failed: {other:?}"),
+    }
 }
 
 /// The instrumented run must have actually counted what it served —
 /// otherwise the "overhead" being measured is of nothing.
 fn check_counts(server: &Server, commands: u64) {
-    match server.execute(Command::Stats { session: Some("bench".into()) }) {
+    match server.execute(Command::Stats { session: Some("bench".into()), reset: false }) {
         Response::Stats { server: block, session: Some(sess), .. } => {
             let total: u64 = block
                 .counters
@@ -169,14 +221,18 @@ fn main() {
         if small { "smoke" } else { "full" }
     );
 
-    let noop = measure(false, &csv, &scale);
-    let instrumented = measure(true, &csv, &scale);
+    let (noop, instrumented, traced) = measure_all(&csv, &scale);
     let ratio = instrumented / noop.max(1e-9);
-    println!("  metrics off: {noop:>8.0} cmd/s");
-    println!("  metrics on:  {instrumented:>8.0} cmd/s  ({:.1}% of no-op)", ratio * 100.0);
+    let traced_ratio = traced / instrumented.max(1e-9);
+    println!("  metrics off:     {noop:>8.0} cmd/s");
+    println!("  metrics on:      {instrumented:>8.0} cmd/s  ({:.1}% of no-op)", ratio * 100.0);
+    println!(
+        "  + tracing 1/16:  {traced:>8.0} cmd/s  ({:.1}% of spans-off)",
+        traced_ratio * 100.0
+    );
 
     if small {
-        println!("  smoke mode: counters verified, overhead not asserted");
+        println!("  smoke mode: counters and span trees verified, overhead not asserted");
         return;
     }
 
@@ -184,6 +240,11 @@ fn main() {
         ratio >= 0.95,
         "instrumentation costs more than 5% of throughput ({:.1}%)",
         (1.0 - ratio) * 100.0
+    );
+    assert!(
+        traced_ratio >= 0.95,
+        "sampled tracing costs more than 5% of the spans-off throughput ({:.1}%)",
+        (1.0 - traced_ratio) * 100.0
     );
 
     let mut json = String::from("{\n  \"benchmark\": \"obs\",\n");
@@ -194,7 +255,7 @@ fn main() {
         scale.repeats
     ));
     json.push_str(&format!(
-        "  \"noop_commands_per_sec\": {noop:.0},\n  \"instrumented_commands_per_sec\": {instrumented:.0},\n  \"throughput_ratio\": {ratio:.4},\n  \"gate\": \"ratio >= 0.95\"\n}}\n"
+        "  \"noop_commands_per_sec\": {noop:.0},\n  \"instrumented_commands_per_sec\": {instrumented:.0},\n  \"traced_commands_per_sec\": {traced:.0},\n  \"throughput_ratio\": {ratio:.4},\n  \"traced_ratio\": {traced_ratio:.4},\n  \"gate\": \"ratio >= 0.95 && traced_ratio >= 0.95\"\n}}\n"
     ));
     std::fs::write("BENCH_obs.json", &json).expect("write BENCH_obs.json");
     println!("  [json] BENCH_obs.json");

@@ -357,7 +357,7 @@ fn run_in_process(events: u64, seed: u64, ckpt_dir: &Path) -> Tally {
     }
 
     // The churn must actually have happened, observably.
-    let stats = match fire(&server, &Command::Stats { session: None }.encode(), &mut tally) {
+    let stats = match fire(&server, &Command::Stats { session: None, reset: false }.encode(), &mut tally) {
         Some(Response::Stats { server: block, .. }) => *block,
         other => panic!("stats failed: {other:?}"),
     };
@@ -799,7 +799,7 @@ fn run_streaming(seed: u64, base_dir: &Path) {
             )),
             "re-subscribe must deliver a snapshot delta"
         );
-        let stats = match fire(&server, &Command::Stats { session: None }.encode(), &mut tally) {
+        let stats = match fire(&server, &Command::Stats { session: None, reset: false }.encode(), &mut tally) {
             Some(Response::Stats { server: block, .. }) => *block,
             other => panic!("stream stats failed: {other:?}"),
         };
@@ -885,7 +885,7 @@ fn run_tcp(seed: u64, connections: u64, ckpt_dir: &Path) {
         reader.read_line(&mut resp).expect("control recv");
         Response::decode(resp.trim()).expect("control decode")
     };
-    let stats = match send(&Command::Stats { session: None }.encode(), &mut reader) {
+    let stats = match send(&Command::Stats { session: None, reset: false }.encode(), &mut reader) {
         Response::Stats { server: block, .. } => *block,
         other => panic!("tcp stats failed: {other:?}"),
     };

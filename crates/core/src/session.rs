@@ -881,6 +881,7 @@ impl AnalysisSession {
     /// Runs up to `steps` layout iterations (stops early on
     /// convergence). Returns the number of steps executed.
     pub fn relax(&mut self, steps: usize) -> usize {
+        let _phase = self.recorder.tracer().phase("layout.step");
         let executed = self.layout.run(steps, 1e-4);
         if executed > 0 {
             if let Some(obs) = &self.obs {
@@ -1047,15 +1048,18 @@ impl AnalysisSession {
             })
         });
         let proj = svg::Projection::fit_camera(bounds, &opts, camera);
-        let cut = lod::cut(
-            tree,
-            &self.frontier,
-            &position,
-            &|p| proj.project(p),
-            opts.width,
-            opts.height,
-            camera.detail_px,
-        );
+        let cut = {
+            let _phase = self.recorder.tracer().phase("lod.cut");
+            lod::cut(
+                tree,
+                &self.frontier,
+                &position,
+                &|p| proj.project(p),
+                opts.width,
+                opts.height,
+                camera.detail_px,
+            )
+        };
         let mut cache = self.cache.borrow_mut();
         let view = build_view_lod(
             &self.trace,
@@ -1082,11 +1086,13 @@ impl AnalysisSession {
             None => {
                 let view = self.view();
                 let _timer = self.obs.as_ref().map(|obs| obs.render_seconds.start_timer());
+                let _phase = self.recorder.tracer().phase("svg.encode");
                 svg::render(&view, &svg::SvgOptions::from(viewport))
             }
             Some(cam) => {
                 let (view, proj) = self.lod_scene(&cam, viewport);
                 let _timer = self.obs.as_ref().map(|obs| obs.render_seconds.start_timer());
+                let _phase = self.recorder.tracer().phase("svg.encode");
                 svg::render_projected(&view, &svg::SvgOptions::from(viewport), &proj)
             }
         }
@@ -1106,6 +1112,7 @@ impl AnalysisSession {
     /// surviving data yields an aggregate with
     /// [`GroupAggregate::is_empty`] set.
     pub fn aggregate(&self, metric: &str, group: ContainerId) -> Result<GroupAggregate, SessionError> {
+        let _phase = self.recorder.tracer().phase("agg.query");
         self.check_container(group)?;
         let m = self
             .trace

@@ -7,10 +7,13 @@
 //! dependency-free observability substrate:
 //!
 //! * a **registry of metrics**: monotonic [`Counter`]s, last-value
-//!   [`Gauge`]s, and fixed log-scale [`Histogram`]s (power-of-two
-//!   buckets, see [`bucket_index`]);
+//!   [`Gauge`]s, and fixed log-linear [`Histogram`]s (four sub-buckets
+//!   per power-of-two octave, see [`bucket_index`]);
 //! * **span timers** ([`Recorder::span`]) that record wall-clock
 //!   durations into histograms on drop;
+//! * **causal span traces** ([`Tracer`], the [`span`] module): per-shard
+//!   rings of parent-linked spans with seeded head-sampling, for
+//!   answering "where did this one slow command spend its time?";
 //! * a **bounded ring-buffer event log** with logical-clock sequence
 //!   numbers ([`Recorder::event`]) for rare, discrete transitions
 //!   (layout freezes, budget breaches);
@@ -48,27 +51,40 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 mod snapshot;
+pub mod span;
 pub use snapshot::{snapshot_to_text, EventRecord, HistogramSnapshot, Snapshot};
+pub use span::{sample_one_in, SpanGuard, SpanId, SpanRecord, TraceCtx, Tracer, SPAN_CAPACITY};
 
-/// Number of histogram buckets. Bucket `i` holds samples in
-/// `[2^(BUCKET_EXP_MIN + i - 1), 2^(BUCKET_EXP_MIN + i))` seconds (or
-/// whatever unit the caller records); the first and last buckets absorb
-/// underflow and overflow respectively.
-pub const BUCKET_COUNT: usize = 48;
+/// Number of octaves (powers of two) the histogram scale spans.
+pub const OCTAVE_COUNT: usize = 48;
+
+/// Log-linear sub-buckets per octave. Four sub-buckets cut the
+/// worst-case relative quantile error from 100% (pure power-of-two
+/// buckets, where the reported upper bound can be 2× the true sample)
+/// to 25%: within one octave `[2^e, 2^(e+1))` the samples are split
+/// linearly at `2^e·1.25`, `2^e·1.5` and `2^e·1.75`.
+pub const SUB_BUCKETS: usize = 4;
+
+/// Number of histogram buckets. Bucket 0 absorbs underflow (and NaN /
+/// non-positive samples); the last bucket absorbs overflow. Every
+/// other bucket `i` holds samples in
+/// `[bucket_upper_bound(i-1), bucket_upper_bound(i))`.
+pub const BUCKET_COUNT: usize = OCTAVE_COUNT * SUB_BUCKETS;
 
 /// Exponent of the first bucket's upper bound: `2^-30 ≈ 0.93 ns` —
 /// comfortably below anything a span timer can resolve, so the
 /// interesting range `[1 µs, 100 s]` sits in the middle of the scale
 /// with headroom for model quantities (energies, byte counts) too:
-/// the last bucket's lower bound is `2^16 = 65536`.
+/// the last octave's lower bound is `2^17 = 131072`.
 pub const BUCKET_EXP_MIN: i32 = -30;
 
 /// Capacity of the bounded event ring buffer; older events are dropped
 /// (and counted) once it fills.
 pub const EVENT_CAPACITY: usize = 1024;
 
-/// Map a sample to its log-scale bucket, using only the IEEE-754
-/// exponent bits — no libm, fully deterministic on every platform.
+/// Map a sample to its log-linear bucket, using only the IEEE-754
+/// exponent bits and the top two mantissa bits — no libm, fully
+/// deterministic on every platform.
 ///
 /// Non-positive and NaN samples land in bucket 0; `+inf` in the last.
 pub fn bucket_index(v: f64) -> usize {
@@ -79,14 +95,39 @@ pub fn bucket_index(v: f64) -> usize {
     if v.is_infinite() {
         return BUCKET_COUNT - 1;
     }
-    let exp = ((v.to_bits() >> 52) & 0x7ff) as i32 - 1023;
-    (exp + 1 - BUCKET_EXP_MIN).clamp(0, BUCKET_COUNT as i32 - 1) as usize
+    let bits = v.to_bits();
+    // Subnormals decode to exponent -1023 and clamp into bucket 0,
+    // which is exactly where sub-2^-30 values belong.
+    let exp = ((bits >> 52) & 0x7ff) as i32 - 1023;
+    let sub = ((bits >> 50) & 0x3) as i32; // top two mantissa bits
+    let idx = (exp - BUCKET_EXP_MIN) * SUB_BUCKETS as i32 + sub + 1;
+    idx.clamp(0, BUCKET_COUNT as i32 - 1) as usize
 }
 
-/// Upper bound of bucket `i`: `2^(BUCKET_EXP_MIN + i)`.
+/// Exact upper bound of bucket `i`: `2^(BUCKET_EXP_MIN)` for the
+/// underflow bucket, `2^(BUCKET_EXP_MIN + OCTAVE_COUNT)` for the
+/// overflow bucket, and `2^(BUCKET_EXP_MIN + octave)·(1 + (sub+1)/4)`
+/// in between. Every bound is exactly representable (a power of two
+/// times a 2-bit fraction), so reporting them over the wire is
+/// deterministic across platforms.
 pub fn bucket_upper_bound(i: usize) -> f64 {
-    // Exact: exponent range stays well inside f64.
-    (2.0f64).powi(BUCKET_EXP_MIN + i as i32)
+    if i == 0 {
+        return (2.0f64).powi(BUCKET_EXP_MIN);
+    }
+    if i >= BUCKET_COUNT - 1 {
+        return (2.0f64).powi(BUCKET_EXP_MIN + OCTAVE_COUNT as i32);
+    }
+    let j = i - 1;
+    let octave = (j / SUB_BUCKETS) as i32;
+    let sub = (j % SUB_BUCKETS) as f64;
+    (2.0f64).powi(BUCKET_EXP_MIN + octave) * (1.0 + (sub + 1.0) / SUB_BUCKETS as f64)
+}
+
+/// All `BUCKET_COUNT` upper bounds, in order — the scale the `stats`
+/// wire protocol reports alongside histogram counts so clients can
+/// interpret bucket occupancy without hard-coding the scheme.
+pub fn bucket_bounds() -> Vec<f64> {
+    (0..BUCKET_COUNT).map(bucket_upper_bound).collect()
 }
 
 // ---------------------------------------------------------------------
@@ -176,21 +217,38 @@ struct Inner {
 #[derive(Clone, Debug, Default)]
 pub struct Recorder {
     inner: Option<Arc<Inner>>,
+    tracer: Tracer,
 }
 
 impl Recorder {
     /// A recorder with a live registry.
     pub fn enabled() -> Self {
-        Recorder { inner: Some(Arc::new(Inner::default())) }
+        Recorder { inner: Some(Arc::new(Inner::default())), tracer: Tracer::disabled() }
     }
 
     /// The no-op recorder (same as `Default`).
     pub fn disabled() -> Self {
-        Recorder { inner: None }
+        Recorder { inner: None, tracer: Tracer::disabled() }
     }
 
     pub fn is_enabled(&self) -> bool {
         self.inner.is_some()
+    }
+
+    /// Attach a causal-span [`Tracer`]; clones share it, so every layer
+    /// holding a clone of this recorder emits phase spans into the same
+    /// per-shard rings. The metric registry is untouched.
+    pub fn with_tracer(mut self, tracer: Tracer) -> Recorder {
+        self.tracer = tracer;
+        self
+    }
+
+    /// The attached causal-span tracer — [`Tracer::disabled`] (and so
+    /// provably free: one `Option` branch, no clock reads, no
+    /// thread-local access) unless [`Recorder::with_tracer`] installed
+    /// a live one.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// Look up or create the named counter. Disabled recorders return a
@@ -233,11 +291,15 @@ impl Recorder {
     }
 
     /// Append a discrete event to the bounded ring buffer, stamped with
-    /// the next logical-clock value.
+    /// the next logical-clock value. The stamp is allocated *under* the
+    /// ring lock: two concurrent writers must not be able to push their
+    /// records in the opposite order of their sequence numbers, or the
+    /// ring's monotonicity (which `stats` consumers sort by) would tear.
     pub fn event(&self, name: &str, detail: &str) {
         if let Some(inner) = &self.inner {
+            let mut log = inner.events.lock().unwrap();
             let seq = inner.clock.fetch_add(1, Ordering::Relaxed);
-            inner.events.lock().unwrap().push(EventRecord {
+            log.push(EventRecord {
                 seq,
                 name: name.to_string(),
                 detail: detail.to_string(),
@@ -251,6 +313,54 @@ impl Recorder {
         match &self.inner {
             Some(inner) => inner.clock.fetch_add(1, Ordering::Relaxed),
             None => 0,
+        }
+    }
+
+    /// Like [`Recorder::snapshot`], but atomically zeros every counter
+    /// and histogram as it reads them — the returned snapshot is the
+    /// complete tally for the window since the last reset, and the next
+    /// window starts from zero. Gauges (last-value model quantities)
+    /// and the event ring are read but left untouched. Backs the
+    /// `stats {"reset": true}` protocol command, so closed-loop benches
+    /// can measure per-window rates without restarting the server.
+    pub fn snapshot_and_reset(&self) -> Snapshot {
+        let Some(inner) = &self.inner else {
+            return Snapshot::default();
+        };
+        let counters = inner
+            .counters
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(name, core)| (name.clone(), core.0.swap(0, Ordering::Relaxed)))
+            .collect();
+        let gauges = inner
+            .gauges
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(name, core)| (name.clone(), f64::from_bits(core.0.load(Ordering::Relaxed))))
+            .collect();
+        let histograms = inner
+            .histograms
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(name, core)| HistogramSnapshot {
+                name: name.clone(),
+                count: core.count.swap(0, Ordering::Relaxed),
+                sum: f64::from_bits(core.sum_bits.swap(0.0f64.to_bits(), Ordering::Relaxed)),
+                buckets: core.buckets.iter().map(|b| b.swap(0, Ordering::Relaxed)).collect(),
+            })
+            .collect();
+        let log = inner.events.lock().unwrap();
+        Snapshot {
+            clock: inner.clock.load(Ordering::Relaxed),
+            counters,
+            gauges,
+            histograms,
+            events: log.buf.iter().cloned().collect(),
+            events_dropped: log.dropped,
         }
     }
 
@@ -375,9 +485,10 @@ impl Histogram {
     }
 
     /// Upper bound of the bucket holding the `q`-quantile sample
-    /// (`0 < q <= 1`); 0 when empty. Factor-of-two resolution — enough
-    /// to tell a 2 ms render from a 200 ms one, which is the question
-    /// the latency summaries answer.
+    /// (`0 < q <= 1`); 0 when empty. Log-linear resolution: the
+    /// reported bound overestimates the true sample by at most 25%
+    /// (see [`SUB_BUCKETS`]), tight enough for `--timing` p50/p99
+    /// summaries to be read as real latencies.
     pub fn quantile(&self, q: f64) -> f64 {
         let Some(core) = &self.0 else { return 0.0 };
         let count = core.count.load(Ordering::Relaxed);
@@ -513,6 +624,113 @@ mod tests {
         assert_eq!(snap.events[0].detail, "10");
         for w in snap.events.windows(2) {
             assert!(w[0].seq < w[1].seq);
+        }
+    }
+
+    /// Satellite regression: with 4 log-linear sub-buckets per octave,
+    /// the quantile estimate (a bucket upper bound) may overshoot the
+    /// true sample by at most 25%. The old power-of-two scheme was off
+    /// by up to 100% — `--timing` p50/p99 could read 2× high.
+    #[test]
+    fn bucket_bounds_pin_relative_quantile_error() {
+        // Sweep the whole in-range scale on a dense multiplicative grid.
+        let mut v = 1.5e-9; // just above 2^-30
+        while v < 1.0e5 {
+            let i = bucket_index(v);
+            let upper = bucket_upper_bound(i);
+            assert!(upper >= v, "upper bound below sample at {v}");
+            let rel = (upper - v) / v;
+            assert!(rel <= 0.25 + 1e-12, "relative error {rel} at {v} (bucket {i})");
+            // The bucket is half-open: its lower neighbour ends at or
+            // below the sample.
+            if i > 0 {
+                assert!(bucket_upper_bound(i - 1) <= v, "sample below bucket at {v}");
+            }
+            v *= 1.0137;
+        }
+        // And through a histogram: a point mass has every quantile in
+        // its own bucket, so the estimate is within 25% of the truth.
+        let r = Recorder::enabled();
+        let h = r.histogram("q");
+        for _ in 0..1000 {
+            h.record(0.0042);
+        }
+        for q in [0.5, 0.9, 0.99, 1.0] {
+            let est = h.quantile(q);
+            assert!(est >= 0.0042, "quantile below the only sample");
+            assert!((est - 0.0042) / 0.0042 <= 0.25, "q{q} estimate {est} off by >25%");
+        }
+        // Bounds are strictly increasing and exactly reproducible.
+        let bounds = bucket_bounds();
+        assert_eq!(bounds.len(), BUCKET_COUNT);
+        for w in bounds.windows(2) {
+            assert!(w[0] < w[1], "bounds must be strictly increasing");
+        }
+        assert_eq!(bounds[0], (2.0f64).powi(BUCKET_EXP_MIN));
+        assert_eq!(bounds[BUCKET_COUNT - 1], (2.0f64).powi(BUCKET_EXP_MIN + OCTAVE_COUNT as i32));
+    }
+
+    #[test]
+    fn snapshot_and_reset_zeros_counters_and_histograms_only() {
+        let r = Recorder::enabled();
+        r.counter("hits").add(7);
+        r.gauge("energy").set(2.5);
+        r.histogram("lat").record(0.01);
+        r.event("freeze", "x");
+        let win = r.snapshot_and_reset();
+        assert_eq!(win.counters, vec![("hits".into(), 7)]);
+        assert_eq!(win.histograms[0].count, 1);
+        assert_eq!(win.events.len(), 1, "events are reported, not cleared");
+        // The next window starts from zero — except gauges and events.
+        let after = r.snapshot();
+        assert_eq!(after.counters, vec![("hits".into(), 0)]);
+        assert_eq!(after.histograms[0].count, 0);
+        assert_eq!(after.histograms[0].sum, 0.0);
+        assert!(after.histograms[0].buckets.iter().all(|b| *b == 0));
+        assert_eq!(after.gauges, vec![("energy".into(), 2.5)]);
+        assert_eq!(after.events.len(), 1);
+        // Disabled recorders reset to nothing, quietly.
+        assert!(Recorder::disabled().snapshot_and_reset().counters.is_empty());
+    }
+
+    /// Satellite stress: the bounded event ring at capacity under 8
+    /// concurrent writers must keep logical clocks monotone per
+    /// snapshot order, never tear an entry (name and detail always
+    /// agree), and account for every drop.
+    #[test]
+    fn event_ring_survives_concurrent_wraparound() {
+        let r = Recorder::enabled();
+        const THREADS: usize = 8;
+        const PER_THREAD: usize = 400; // 3200 total >> EVENT_CAPACITY
+        let mut handles = Vec::new();
+        for t in 0..THREADS {
+            let r = r.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..PER_THREAD {
+                    let tag = format!("{t}:{i}");
+                    r.event(&format!("writer-{tag}"), &tag);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let snap = r.snapshot();
+        assert_eq!(snap.events.len(), EVENT_CAPACITY, "ring holds exactly its capacity");
+        assert_eq!(
+            snap.events_dropped as usize,
+            THREADS * PER_THREAD - EVENT_CAPACITY,
+            "every displaced record is counted"
+        );
+        for w in snap.events.windows(2) {
+            assert!(w[0].seq < w[1].seq, "logical clocks stay strictly monotone");
+        }
+        for e in &snap.events {
+            assert_eq!(
+                e.name,
+                format!("writer-{}", e.detail),
+                "entry torn: name and detail disagree"
+            );
         }
     }
 

@@ -28,7 +28,7 @@ pub struct HistogramSnapshot {
 }
 
 impl HistogramSnapshot {
-    /// Same factor-of-two quantile estimate as
+    /// Same log-linear quantile estimate (≤ 25% relative error) as
     /// [`Histogram::quantile`](crate::Histogram::quantile).
     pub fn quantile(&self, q: f64) -> f64 {
         if self.count == 0 {

@@ -1,0 +1,579 @@
+//! Causal span tracing: who called what, and where the time went.
+//!
+//! Counters and histograms (the rest of `viva-obs`) answer "how many"
+//! and "how long on average"; they cannot answer *"where did this one
+//! slow `render` spend its time?"*. That question needs parent-linked
+//! spans — the aggregate-driven trace model of Anand et al. — and this
+//! module supplies them with the same discipline as the rest of the
+//! crate:
+//!
+//! * **Zero cost when disabled.** [`Tracer::disabled`] is a `None`
+//!   inner; every operation is a single `Option` branch — no clock
+//!   read, no thread-local access, no allocation. The serving layer's
+//!   byte-identical-transcript promise survives untouched.
+//! * **Lock-light when enabled.** Each shard worker owns a bounded
+//!   ring ([`SPAN_CAPACITY`] records) behind its own mutex; a span
+//!   touches only its shard's ring, and only once, at drop.
+//! * **Deterministic head-sampling.** The keep/drop decision is made
+//!   once per root span from a seeded hash of the root's arrival index
+//!   ([`sample_one_in`]) — never from wall time — so two replays of
+//!   the same script with the same seed sample the same trees.
+//! * **Two clocks per span.** Wall time in nanoseconds (for real
+//!   profiling: `viva-server-client --profile`) *and* a logical tick
+//!   pair (for deterministic artifacts: the `--self-trace` export that
+//!   viva renders of itself). Ticks advance only on sampled span
+//!   start/end, so they are as reproducible as the sampling decision.
+//!
+//! Propagation is thread-local by default: a live root parks its
+//! [`TraceCtx`] in a thread-local slot and [`Tracer::phase`] creates
+//! children of whatever is current, which lets deep layers (trace
+//! loading, aggregation, layout, LoD, SVG) emit phase spans without
+//! threading a context through every signature. When work hops shard
+//! workers, carry the [`TraceCtx`] explicitly and reattach with
+//! [`Tracer::child_of`] — the records still share one `trace_id`, so
+//! one pipelined batch yields one coherent tree per command.
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Capacity of each per-shard span ring; once full, the oldest records
+/// are dropped (and counted) — recent history wins, like the event log.
+pub const SPAN_CAPACITY: usize = 4096;
+
+/// Identity of one span within its tracer. `0` means "none" and is
+/// never allocated to a real span.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SpanId(pub u64);
+
+impl SpanId {
+    /// The null id: no span.
+    pub const NONE: SpanId = SpanId(0);
+}
+
+/// Propagation context: everything a child span needs to join its
+/// parent's tree from another thread. Copy it across the hop and
+/// reattach with [`Tracer::child_of`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TraceCtx {
+    /// Tree identity; `0` means unsampled/none, and children of an
+    /// unsampled context are no-ops.
+    pub trace_id: u64,
+    /// The span to parent new children under.
+    pub span_id: SpanId,
+}
+
+impl TraceCtx {
+    /// The empty context: not sampled, parents nothing.
+    pub const NONE: TraceCtx = TraceCtx { trace_id: 0, span_id: SpanId::NONE };
+
+    /// Whether spans created under this context will be recorded.
+    pub fn is_sampled(&self) -> bool {
+        self.trace_id != 0
+    }
+}
+
+/// One finished span, as read back by [`Tracer::finished_spans`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Tree identity (equals the sampled root's arrival index + 1).
+    pub trace_id: u64,
+    /// This span's id; unique within the tracer, allocated at start,
+    /// so parents always have smaller ids than their children.
+    pub id: SpanId,
+    /// Parent span id; [`SpanId::NONE`] for roots.
+    pub parent: SpanId,
+    /// Static phase name (e.g. `"render"`, `"svg.encode"`).
+    pub name: &'static str,
+    /// Free-form annotation — the session name on command roots, empty
+    /// on most phase spans.
+    pub detail: String,
+    /// The shard worker the span ran on.
+    pub shard: u16,
+    /// Logical tick at start (deterministic under a fixed seed).
+    pub start_tick: u64,
+    /// Logical tick at end; always `> start_tick`.
+    pub end_tick: u64,
+    /// Wall-clock start, nanoseconds since the tracer's epoch.
+    pub start_ns: u64,
+    /// Wall-clock end, nanoseconds since the tracer's epoch.
+    pub end_ns: u64,
+}
+
+impl SpanRecord {
+    /// Wall-clock duration in nanoseconds.
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+
+    /// Logical duration in ticks: 1 + the number of sampled span
+    /// starts/ends nested inside — a deterministic proxy for "work".
+    pub fn duration_ticks(&self) -> u64 {
+        self.end_tick.saturating_sub(self.start_tick)
+    }
+}
+
+/// The deterministic head-sampling predicate: keep root `index` iff the
+/// seeded splitmix64 hash of its arrival index lands in residue 0 mod
+/// `n`. `n = 0` and `n = 1` both mean "keep everything"; the hash (not
+/// `index % n`) is what keeps periodic workloads from beating against
+/// the sampling period.
+pub fn sample_one_in(seed: u64, index: u64, n: u64) -> bool {
+    if n <= 1 {
+        return true;
+    }
+    // splitmix64 finalizer — dependency-free, platform-independent.
+    let mut z = seed ^ index.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    z.is_multiple_of(n)
+}
+
+#[derive(Debug, Default)]
+struct ShardRing {
+    buf: VecDeque<SpanRecord>,
+    dropped: u64,
+}
+
+impl ShardRing {
+    fn push(&mut self, rec: SpanRecord) {
+        if self.buf.len() == SPAN_CAPACITY {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(rec);
+    }
+}
+
+#[derive(Debug)]
+struct TracerInner {
+    seed: u64,
+    sample_n: u64,
+    epoch: Instant,
+    /// Logical clock; advances on every sampled span start and end.
+    clock: AtomicU64,
+    /// Root arrival counter — feeds the sampling decision and trace ids.
+    roots: AtomicU64,
+    /// Span-id allocator; starts at 1 so 0 stays "none".
+    next_span: AtomicU64,
+    shards: Vec<Mutex<ShardRing>>,
+}
+
+thread_local! {
+    /// The span currently live on this thread (the implicit parent for
+    /// [`Tracer::phase`]), plus the shard it runs on.
+    static CURRENT: Cell<(TraceCtx, u16)> = const { Cell::new((TraceCtx::NONE, 0)) };
+}
+
+/// The span sink: cheap to clone, shared by every layer that emits
+/// spans. Like [`crate::Recorder`], its default state is disabled and
+/// every operation on a disabled tracer is a no-op.
+#[derive(Clone, Debug, Default)]
+pub struct Tracer {
+    inner: Option<Arc<TracerInner>>,
+}
+
+impl Tracer {
+    /// A live tracer with `shards` independent rings, sampling one root
+    /// trace in `sample_n` (seeded, deterministic — see
+    /// [`sample_one_in`]).
+    pub fn enabled(shards: usize, seed: u64, sample_n: u64) -> Tracer {
+        Tracer {
+            inner: Some(Arc::new(TracerInner {
+                seed,
+                sample_n,
+                epoch: Instant::now(),
+                clock: AtomicU64::new(0),
+                roots: AtomicU64::new(0),
+                next_span: AtomicU64::new(1),
+                shards: (0..shards.max(1)).map(|_| Mutex::new(ShardRing::default())).collect(),
+            })),
+        }
+    }
+
+    /// The no-op tracer (same as `Default`).
+    pub fn disabled() -> Tracer {
+        Tracer { inner: None }
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Number of shard rings (0 when disabled).
+    pub fn shard_count(&self) -> usize {
+        self.inner.as_ref().map_or(0, |i| i.shards.len())
+    }
+
+    /// Current logical clock value (0 when disabled).
+    pub fn clock(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |i| i.clock.load(Ordering::Relaxed))
+    }
+
+    /// Start a root span for a new causal tree on `shard`. The sampling
+    /// decision happens here — an unsampled root (and every descendant)
+    /// costs one atomic increment and records nothing.
+    pub fn root(&self, shard: u16, name: &'static str, detail: &str) -> SpanGuard {
+        let Some(inner) = &self.inner else {
+            return SpanGuard::noop();
+        };
+        let index = inner.roots.fetch_add(1, Ordering::Relaxed);
+        if !sample_one_in(inner.seed, index, inner.sample_n) {
+            return SpanGuard::noop();
+        }
+        let trace_id = index + 1;
+        self.start_live(inner, trace_id, SpanId::NONE, shard, name, detail.to_string())
+    }
+
+    /// Child of the thread-current span: the workhorse for deep layers
+    /// (loader, aggregation, layout, LoD, SVG) that should not thread a
+    /// context through every signature. No current span — or an
+    /// unsampled one — means a no-op guard.
+    pub fn phase(&self, name: &'static str) -> SpanGuard {
+        let Some(inner) = &self.inner else {
+            return SpanGuard::noop();
+        };
+        let (ctx, shard) = CURRENT.get();
+        if !ctx.is_sampled() {
+            return SpanGuard::noop();
+        }
+        self.start_live(inner, ctx.trace_id, ctx.span_id, shard, name, String::new())
+    }
+
+    /// Child of an explicit context — cross-thread propagation. Use
+    /// when a command's work hops to another shard worker (subscriber
+    /// pushes, parallel layout): the records keep the originating
+    /// `trace_id`, so the tree stays whole.
+    pub fn child_of(&self, ctx: TraceCtx, shard: u16, name: &'static str) -> SpanGuard {
+        let Some(inner) = &self.inner else {
+            return SpanGuard::noop();
+        };
+        if !ctx.is_sampled() {
+            return SpanGuard::noop();
+        }
+        self.start_live(inner, ctx.trace_id, ctx.span_id, shard, name, String::new())
+    }
+
+    /// Record an already-finished phase under the thread-current span —
+    /// for work measured *before* its tree could exist (frame decode
+    /// runs before the command's root span can be named). The tick pair
+    /// is allocated at record time, so it nests as a leaf inside the
+    /// current span; the wall interval is back-dated by `duration`.
+    pub fn phase_completed(&self, name: &'static str, duration: std::time::Duration) {
+        let Some(inner) = &self.inner else {
+            return;
+        };
+        let (ctx, shard) = CURRENT.get();
+        if !ctx.is_sampled() {
+            return;
+        }
+        let id = SpanId(inner.next_span.fetch_add(1, Ordering::Relaxed));
+        let start_tick = inner.clock.fetch_add(1, Ordering::Relaxed);
+        let end_tick = inner.clock.fetch_add(1, Ordering::Relaxed);
+        let end_ns = inner.epoch.elapsed().as_nanos() as u64;
+        let start_ns = end_ns.saturating_sub(duration.as_nanos() as u64);
+        let slot = shard as usize % inner.shards.len();
+        inner.shards[slot].lock().unwrap().push(SpanRecord {
+            trace_id: ctx.trace_id,
+            id,
+            parent: ctx.span_id,
+            name,
+            detail: String::new(),
+            shard,
+            start_tick,
+            end_tick,
+            start_ns,
+            end_ns,
+        });
+    }
+
+    /// The thread-current context ([`TraceCtx::NONE`] when disabled or
+    /// outside any sampled span). Capture before handing work to
+    /// another thread, then reattach there with [`Tracer::child_of`].
+    pub fn current(&self) -> TraceCtx {
+        if self.inner.is_none() {
+            return TraceCtx::NONE;
+        }
+        CURRENT.get().0
+    }
+
+    fn start_live(
+        &self,
+        inner: &Arc<TracerInner>,
+        trace_id: u64,
+        parent: SpanId,
+        shard: u16,
+        name: &'static str,
+        detail: String,
+    ) -> SpanGuard {
+        let id = SpanId(inner.next_span.fetch_add(1, Ordering::Relaxed));
+        let start_tick = inner.clock.fetch_add(1, Ordering::Relaxed);
+        let start_ns = inner.epoch.elapsed().as_nanos() as u64;
+        let prev = CURRENT.replace((TraceCtx { trace_id, span_id: id }, shard));
+        SpanGuard {
+            live: Some(LiveSpan {
+                inner: Arc::clone(inner),
+                trace_id,
+                id,
+                parent,
+                name,
+                detail,
+                shard,
+                start_tick,
+                start_ns,
+                prev,
+            }),
+        }
+    }
+
+    /// A deterministic copy of every finished span: shards in index
+    /// order, each ring oldest-first (rings are push-ordered by span
+    /// *end*). Also returns the total number of records dropped to ring
+    /// bounds, so exporters can say what they did not see.
+    pub fn finished_spans(&self) -> (Vec<SpanRecord>, u64) {
+        let Some(inner) = &self.inner else {
+            return (Vec::new(), 0);
+        };
+        let mut out = Vec::new();
+        let mut dropped = 0u64;
+        for shard in &inner.shards {
+            let ring = shard.lock().unwrap();
+            out.extend(ring.buf.iter().cloned());
+            dropped += ring.dropped;
+        }
+        (out, dropped)
+    }
+}
+
+#[derive(Debug)]
+struct LiveSpan {
+    inner: Arc<TracerInner>,
+    trace_id: u64,
+    id: SpanId,
+    parent: SpanId,
+    name: &'static str,
+    detail: String,
+    shard: u16,
+    start_tick: u64,
+    start_ns: u64,
+    /// Thread-local (context, shard) to restore when this span ends.
+    prev: (TraceCtx, u16),
+}
+
+/// RAII span: finishes (stamps end tick + end ns, pushes its record
+/// into its shard's ring, restores the thread-current context) on drop.
+/// Guards from disabled tracers or unsampled trees hold nothing and do
+/// nothing.
+#[derive(Debug, Default)]
+pub struct SpanGuard {
+    live: Option<LiveSpan>,
+}
+
+impl SpanGuard {
+    /// The do-nothing guard.
+    pub fn noop() -> SpanGuard {
+        SpanGuard { live: None }
+    }
+
+    /// Whether this span is actually recording.
+    pub fn is_sampled(&self) -> bool {
+        self.live.is_some()
+    }
+
+    /// This span's propagation context ([`TraceCtx::NONE`] when not
+    /// sampled) — hand it to another thread with [`Tracer::child_of`].
+    pub fn ctx(&self) -> TraceCtx {
+        self.live
+            .as_ref()
+            .map_or(TraceCtx::NONE, |l| TraceCtx { trace_id: l.trace_id, span_id: l.id })
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(live) = self.live.take() else { return };
+        let end_tick = live.inner.clock.fetch_add(1, Ordering::Relaxed);
+        let end_ns = live.inner.epoch.elapsed().as_nanos() as u64;
+        CURRENT.set(live.prev);
+        let shard = live.shard as usize % live.inner.shards.len();
+        live.inner.shards[shard].lock().unwrap().push(SpanRecord {
+            trace_id: live.trace_id,
+            id: live.id,
+            parent: live.parent,
+            name: live.name,
+            detail: live.detail,
+            shard: live.shard,
+            start_tick: live.start_tick,
+            end_tick,
+            start_ns: live.start_ns,
+            end_ns,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_is_inert() {
+        let t = Tracer::disabled();
+        assert!(!t.is_enabled());
+        assert_eq!(t.shard_count(), 0);
+        assert_eq!(t.clock(), 0);
+        let root = t.root(0, "cmd", "sess");
+        assert!(!root.is_sampled());
+        assert_eq!(root.ctx(), TraceCtx::NONE);
+        drop(t.phase("inner"));
+        drop(root);
+        assert_eq!(t.finished_spans().0.len(), 0);
+        assert_eq!(t.current(), TraceCtx::NONE);
+    }
+
+    #[test]
+    fn spans_nest_and_link_parents() {
+        let t = Tracer::enabled(1, 7, 1);
+        {
+            let root = t.root(0, "render", "demo");
+            assert!(root.is_sampled());
+            {
+                let a = t.phase("layout.step");
+                assert_eq!(a.ctx().trace_id, root.ctx().trace_id);
+                let b = t.phase("lod.cut");
+                assert_eq!(t.current().span_id, b.ctx().span_id);
+            }
+            assert_eq!(t.current().span_id, root.ctx().span_id, "children restore parent");
+        }
+        let (spans, dropped) = t.finished_spans();
+        assert_eq!(dropped, 0);
+        assert_eq!(spans.len(), 3);
+        // Rings are end-ordered: lod.cut ends first, root last.
+        assert_eq!(spans[0].name, "lod.cut");
+        assert_eq!(spans[2].name, "render");
+        let root = &spans[2];
+        assert_eq!(root.parent, SpanId::NONE);
+        assert_eq!(root.detail, "demo");
+        let layout = &spans[1];
+        assert_eq!(layout.parent, root.id);
+        let lod = &spans[0];
+        assert_eq!(lod.parent, layout.id, "phase nests under the innermost live span");
+        // Tick intervals nest strictly.
+        assert!(root.start_tick < layout.start_tick);
+        assert!(layout.start_tick < lod.start_tick);
+        assert!(lod.end_tick < layout.end_tick);
+        assert!(layout.end_tick < root.end_tick);
+        assert!(root.end_ns >= root.start_ns);
+    }
+
+    #[test]
+    fn sampling_is_seed_deterministic() {
+        let n = 16u64;
+        let picks = |seed: u64| -> Vec<bool> {
+            (0..2048).map(|i| sample_one_in(seed, i, n)).collect()
+        };
+        assert_eq!(picks(42), picks(42), "same seed, same picks");
+        assert_ne!(picks(42), picks(43), "different seeds diverge");
+        let kept = picks(42).iter().filter(|k| **k).count();
+        // ~1/16 of 2048 = 128; allow generous slack, not bias.
+        assert!((32..=512).contains(&kept), "kept {kept} of 2048");
+        assert!(picks(9).len() == 2048);
+        assert!(sample_one_in(1, 5, 0) && sample_one_in(1, 5, 1), "n<=1 keeps all");
+    }
+
+    #[test]
+    fn sampled_tracer_replays_identically() {
+        let run = || {
+            let t = Tracer::enabled(2, 0xfeed, 4);
+            for i in 0..64u16 {
+                let root = t.root(i % 2, "cmd", "s");
+                {
+                    let _p = t.phase("phase");
+                }
+                drop(root);
+            }
+            let (spans, _) = t.finished_spans();
+            spans
+                .iter()
+                .map(|s| (s.trace_id, s.id, s.parent, s.name, s.shard, s.start_tick, s.end_tick))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run(), "same seed + same script = same span trees");
+    }
+
+    #[test]
+    fn phase_completed_backdates_a_leaf_under_the_current_span() {
+        let t = Tracer::enabled(1, 11, 1);
+        {
+            let _root = t.root(0, "cmd", "");
+            // The back-dated start clamps at the tracer epoch; make sure
+            // at least the claimed duration has really elapsed since then.
+            std::thread::sleep(std::time::Duration::from_micros(50));
+            t.phase_completed("frame.decode", std::time::Duration::from_nanos(500));
+        }
+        let (spans, _) = t.finished_spans();
+        assert_eq!(spans.len(), 2);
+        let decode = &spans[0];
+        let root = &spans[1];
+        assert_eq!(decode.name, "frame.decode");
+        assert_eq!(decode.parent, root.id);
+        assert_eq!(decode.trace_id, root.trace_id);
+        assert_eq!(decode.end_tick, decode.start_tick + 1);
+        assert!(decode.start_tick > root.start_tick && decode.end_tick < root.end_tick);
+        assert!(decode.duration_ns() >= 500);
+        // Outside any sampled span it records nothing.
+        t.phase_completed("frame.decode", std::time::Duration::from_nanos(1));
+        assert_eq!(t.finished_spans().0.len(), 2);
+    }
+
+    #[test]
+    fn unsampled_roots_record_nothing() {
+        // sample 1-in-u64::MAX: overwhelmingly unsampled.
+        let t = Tracer::enabled(1, 3, u64::MAX);
+        let mut any = false;
+        for _ in 0..256 {
+            let root = t.root(0, "cmd", "");
+            any |= root.is_sampled();
+            let _child = t.phase("x");
+        }
+        let (spans, _) = t.finished_spans();
+        assert_eq!(spans.len(), if any { 2 } else { 0 });
+        assert!(t.clock() <= 4, "clock only moves for sampled spans");
+    }
+
+    #[test]
+    fn ring_is_bounded_and_counts_drops() {
+        let t = Tracer::enabled(1, 1, 1);
+        for _ in 0..(SPAN_CAPACITY + 25) {
+            drop(t.root(0, "cmd", ""));
+        }
+        let (spans, dropped) = t.finished_spans();
+        assert_eq!(spans.len(), SPAN_CAPACITY);
+        assert_eq!(dropped, 25);
+        // Oldest surviving record is root #26 (trace ids start at 1).
+        assert_eq!(spans[0].trace_id, 26);
+    }
+
+    #[test]
+    fn child_of_joins_a_tree_across_threads() {
+        let t = Tracer::enabled(4, 5, 1);
+        let root = t.root(0, "cmd", "");
+        let ctx = root.ctx();
+        let t2 = t.clone();
+        std::thread::spawn(move || {
+            drop(t2.child_of(ctx, 3, "subscriber.push"));
+        })
+        .join()
+        .unwrap();
+        drop(root);
+        let (spans, _) = t.finished_spans();
+        assert_eq!(spans.len(), 2);
+        let push = spans.iter().find(|s| s.name == "subscriber.push").unwrap();
+        let root = spans.iter().find(|s| s.name == "cmd").unwrap();
+        assert_eq!(push.trace_id, root.trace_id);
+        assert_eq!(push.parent, root.id);
+        assert_eq!(push.shard, 3);
+    }
+}

@@ -58,14 +58,17 @@ use std::net::TcpStream;
 use std::process::ExitCode;
 use std::time::Duration;
 
+use std::collections::BTreeMap;
+
 use viva::Theme;
 use viva_obs::Recorder;
+use viva_server::protocol::SpanNode;
 use viva_server::{Command, ErrorKind, Push, Response, Server, ServerLimits};
 
 const USAGE: &str = "usage: viva-server-client [--tcp ADDR] [--timing] [--retry N] \
      [--attach SESSION=TRACE] [--list-traces] [--drop-trace TRACE] \
      [--render SESSION=WxH[@ZOOM[,PANX,PANY]]] \
-     [--follow SESSION] [SCRIPT (default stdin)]";
+     [--follow SESSION] [--profile SESSION] [SCRIPT (default stdin)]";
 
 /// Parses `--render SESSION=WxH[@ZOOM[,PANX,PANY]]` into a `render`
 /// command (light theme, no labels). The optional `@` suffix attaches
@@ -160,6 +163,7 @@ fn main() -> ExitCode {
     let mut timing = false;
     let mut retry = 0u32;
     let mut follow: Option<String> = None;
+    let mut profile: Option<String> = None;
     // Protocol commands synthesized from flags, replayed ahead of the
     // script in command-line order.
     let mut prelude: Vec<Command> = Vec::new();
@@ -210,6 +214,13 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--profile" => match it.next() {
+                Some(session) => profile = Some(session),
+                None => {
+                    eprintln!("viva-server-client: --profile needs a session name\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--retry" => match it.next().and_then(|v| v.parse().ok()) {
                 Some(n) => retry = n,
                 None => {
@@ -229,6 +240,22 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+    }
+
+    if let Some(session) = profile {
+        // Profile mode asks a tracing server for its recent span trees
+        // and prints where the session's commands spent their time.
+        let Some(addr) = tcp else {
+            eprintln!("viva-server-client: --profile requires --tcp\n{USAGE}");
+            return ExitCode::FAILURE;
+        };
+        return match profile_tcp(&addr, &session, retry) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("viva-server-client: {e}");
+                ExitCode::FAILURE
+            }
+        };
     }
 
     if let Some(session) = follow {
@@ -329,6 +356,98 @@ fn format_seconds(s: f64) -> String {
         format!("<{:.0}ms", (s * 1e3).ceil())
     } else {
         format!("<{s:.0}s")
+    }
+}
+
+/// `--profile`: fetch the server's recent span trees for one session
+/// and print the per-phase breakdown — which commands ran, and inside
+/// them, where the nanoseconds went (`session.lock`, `svg.encode`,
+/// `journal.append`, ...). Requires a server started with tracing on
+/// (`viva-server --self-trace`).
+fn profile_tcp(addr: &str, session: &str, retries: u32) -> Result<(), String> {
+    let (mut reader, mut writer) = connect(addr, retries)?;
+    let cmd = Command::Spans { session: Some(session.to_owned()), limit: Some(64) };
+    writer
+        .write_all(format!("{}\n", cmd.encode()).as_bytes())
+        .map_err(|e| format!("send: {e}"))?;
+    let mut line = String::new();
+    reader.read_line(&mut line).map_err(|e| format!("recv: {e}"))?;
+    match Response::decode(line.trim()).map_err(|e| e.message)? {
+        Response::Spans { dropped, spans } => {
+            print_profile(session, dropped, &spans);
+            Ok(())
+        }
+        Response::Error { message, .. } => Err(format!("profile {session:?}: {message}")),
+        _ => Err(format!("unexpected response: {}", line.trim())),
+    }
+}
+
+/// Renders the span trees as two tables: sampled commands (roots) and
+/// the phases inside them, each with count, total and mean wall time,
+/// phases also with their share of the commands' total.
+fn print_profile(session: &str, dropped: u64, spans: &[SpanNode]) {
+    #[derive(Default)]
+    struct Acc {
+        count: u64,
+        total_ns: u64,
+    }
+    let mut commands: BTreeMap<&str, Acc> = BTreeMap::new();
+    let mut phases: BTreeMap<&str, Acc> = BTreeMap::new();
+    let mut root_ns = 0u64;
+    for s in spans {
+        let bucket = if s.parent == 0 {
+            root_ns += s.duration_ns;
+            commands.entry(&s.name).or_default()
+        } else {
+            phases.entry(&s.name).or_default()
+        };
+        bucket.count += 1;
+        bucket.total_ns += s.duration_ns;
+    }
+    let trees: u64 = commands.values().map(|a| a.count).sum();
+    println!(
+        "profile of session {session:?}: {trees} sampled command trees, {} spans{}",
+        spans.len(),
+        if dropped > 0 { format!(" ({dropped} older spans dropped)") } else { String::new() }
+    );
+    if trees == 0 {
+        println!("no sampled spans for this session yet (is tracing on? is the sample rate 1-in-N?)");
+        return;
+    }
+    println!("{:<24} {:>6} {:>10} {:>10}", "command", "count", "total", "mean");
+    for (name, a) in &commands {
+        println!(
+            "{name:<24} {:>6} {:>10} {:>10}",
+            a.count,
+            format_ns(a.total_ns),
+            format_ns(a.total_ns / a.count.max(1)),
+        );
+    }
+    if !phases.is_empty() {
+        println!();
+        println!("{:<24} {:>6} {:>10} {:>10} {:>6}", "phase", "count", "total", "mean", "share");
+        for (name, a) in &phases {
+            println!(
+                "{name:<24} {:>6} {:>10} {:>10} {:>5.1}%",
+                a.count,
+                format_ns(a.total_ns),
+                format_ns(a.total_ns / a.count.max(1)),
+                100.0 * a.total_ns as f64 / root_ns.max(1) as f64,
+            );
+        }
+    }
+}
+
+/// Compact wall-time rendering for the profile tables.
+fn format_ns(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}us", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.1}ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2}s", ns as f64 / 1e9)
     }
 }
 

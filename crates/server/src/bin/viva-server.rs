@@ -18,6 +18,7 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 use viva_server::{serve_tcp, Server, ServerLimits, SessionRegistry};
+use viva_obs::{Recorder, Tracer};
 
 struct Args {
     tcp: Option<String>,
@@ -31,13 +32,18 @@ struct Args {
     journal_dir: Option<String>,
     journal_sync_every: Option<u32>,
     interactive_deadlines: bool,
+    self_trace: Option<String>,
+    trace_seed: u64,
+    trace_sample: u64,
+    check_trace: Option<String>,
 }
 
 const USAGE: &str = "usage: viva-server [--stdio | --tcp ADDR] [--workers N] \
                      [--max-sessions N] [--max-relax-steps N] [--metrics-out PATH] \
                      [--max-inflight N] [--io-timeout-ms N] [--checkpoint-dir DIR] \
                      [--journal-dir DIR] [--journal-sync-every N] \
-                     [--interactive-deadlines]";
+                     [--interactive-deadlines] [--self-trace DIR] \
+                     [--trace-seed N] [--trace-sample N] [--check-trace FILE]";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
@@ -52,6 +58,10 @@ fn parse_args() -> Result<Args, String> {
         journal_dir: None,
         journal_sync_every: None,
         interactive_deadlines: false,
+        self_trace: None,
+        trace_seed: 42,
+        trace_sample: 1,
+        check_trace: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -103,6 +113,18 @@ fn parse_args() -> Result<Args, String> {
                 );
             }
             "--interactive-deadlines" => args.interactive_deadlines = true,
+            "--self-trace" => args.self_trace = Some(value("--self-trace")?),
+            "--trace-seed" => {
+                args.trace_seed = value("--trace-seed")?
+                    .parse()
+                    .map_err(|_| "--trace-seed needs an integer".to_owned())?;
+            }
+            "--check-trace" => args.check_trace = Some(value("--check-trace")?),
+            "--trace-sample" => {
+                args.trace_sample = value("--trace-sample")?
+                    .parse()
+                    .map_err(|_| "--trace-sample needs an integer".to_owned())?;
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -125,6 +147,35 @@ fn write_metrics(server: &Server, path: &str) -> std::io::Result<()> {
     std::fs::write(path, text)
 }
 
+/// Exports the tracer's finished spans as a viva trace — viva
+/// observing viva. Deterministic for a fixed script, seed, and sample
+/// rate: the export is built from logical ticks, never wall time.
+fn write_selftrace(server: &Server, dir: &str) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let csv = viva_server::selftrace::export_csv(server.tracer());
+    std::fs::write(std::path::Path::new(dir).join("selftrace.csv"), csv)
+}
+
+/// `--check-trace FILE`: strict-load a CSV trace from disk and print a
+/// one-line summary. Exits non-zero on the first malformed record —
+/// `ci.sh` uses this to hold the self-trace export to the same ingest
+/// bar as any real trace.
+fn check_trace(path: &str) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let report = viva_trace::TraceLoader::new()
+        .mode(viva_trace::RecoveryMode::Strict)
+        .load_str(&text)
+        .map_err(|e| format!("strict load {path}: {e}"))?;
+    let t = &report.trace;
+    Ok(format!(
+        "{path}: ok — {} containers, {} metrics, span {}..{}",
+        t.containers().len(),
+        t.metrics().len(),
+        t.start(),
+        t.end()
+    ))
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -133,6 +184,18 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let Some(path) = &args.check_trace {
+        return match check_trace(path) {
+            Ok(line) => {
+                println!("{line}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("viva-server: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let mut limits = ServerLimits::default();
     if let Some(n) = args.max_sessions {
         limits.max_sessions = n;
@@ -164,9 +227,24 @@ fn main() -> ExitCode {
     // `--metrics-out` turns observability on; metrics never change a
     // response byte, so a metrics-on replay still matches the golden
     // transcript. The exposition is dumped when serving ends.
-    let server = Arc::new(match args.metrics_out {
-        Some(_) => Server::with_metrics(limits),
-        None => Server::new(limits),
+    // `--self-trace` additionally wires a sampling span tracer (one
+    // ring per worker); the deterministic export of viva's own spans
+    // as a viva trace is written to DIR when serving ends.
+    let server = Arc::new(if args.metrics_out.is_some() || args.self_trace.is_some() {
+        let recorder = if args.metrics_out.is_some() {
+            Recorder::enabled()
+        } else {
+            Recorder::disabled()
+        };
+        let recorder = if args.self_trace.is_some() {
+            let shards = if args.tcp.is_some() { args.workers.max(1) } else { 1 };
+            recorder.with_tracer(Tracer::enabled(shards, args.trace_seed, args.trace_sample))
+        } else {
+            recorder
+        };
+        Server::with_observability(limits, recorder)
+    } else {
+        Server::new(limits)
     });
     // Crash recovery: every journal in the journal directory becomes a
     // live session again before the first command is read.
@@ -184,6 +262,12 @@ fn main() -> ExitCode {
             if let Some(path) = &args.metrics_out {
                 if let Err(e) = write_metrics(&server, path) {
                     eprintln!("viva-server: metrics-out {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            if let Some(dir) = &args.self_trace {
+                if let Err(e) = write_selftrace(&server, dir) {
+                    eprintln!("viva-server: self-trace {dir}: {e}");
                     return ExitCode::FAILURE;
                 }
             }
@@ -208,6 +292,12 @@ fn main() -> ExitCode {
             if let Some(path) = &args.metrics_out {
                 if let Err(e) = write_metrics(&server, path) {
                     eprintln!("viva-server: metrics-out {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            if let Some(dir) = &args.self_trace {
+                if let Err(e) = write_selftrace(&server, dir) {
+                    eprintln!("viva-server: self-trace {dir}: {e}");
                     return ExitCode::FAILURE;
                 }
             }

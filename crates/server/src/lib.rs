@@ -61,6 +61,7 @@ pub mod checkpoint;
 pub mod json;
 pub mod protocol;
 pub mod registry;
+pub mod selftrace;
 pub mod server;
 pub mod store;
 

@@ -174,6 +174,26 @@ pub enum Command {
     Stats {
         /// Session whose metrics to include, if any.
         session: Option<String>,
+        /// When `true`, atomically snapshot **and zero** the reported
+        /// counters and histograms (gauges and event rings untouched),
+        /// so closed-loop benches can measure per-window rates. The
+        /// returned blocks are the window that just ended. Absent on
+        /// the wire when `false`, so pre-0.10 scripts replay
+        /// byte-identically.
+        reset: bool,
+    },
+    /// Reads a deterministic subset of the recently finished causal
+    /// spans (newest root trees first, capped at `limit` roots). Spans
+    /// exist only when the server was started with tracing enabled
+    /// (`--self-trace`); otherwise the answer is an empty list. Wall
+    /// durations ride along for profiling clients — they are the one
+    /// non-deterministic member, and golden scripts simply do not
+    /// exercise this command.
+    Spans {
+        /// Only roots annotated with this session name, when given.
+        session: Option<String>,
+        /// Maximum root trees to return; default 16.
+        limit: Option<u64>,
     },
     /// Renders the current view to SVG. Viewport and theme come from
     /// the request; frames are served from the per-session cache when
@@ -278,6 +298,47 @@ pub enum CommandClass {
     Relax,
     /// Frame rendering.
     Render,
+}
+
+impl CommandClass {
+    /// Every class, in the fixed order the self-trace exporter
+    /// enumerates its metrics.
+    pub const ALL: [CommandClass; 5] = [
+        CommandClass::Control,
+        CommandClass::Interact,
+        CommandClass::Load,
+        CommandClass::Relax,
+        CommandClass::Render,
+    ];
+
+    /// Stable lowercase label (metric names in the self-trace export).
+    pub fn label(self) -> &'static str {
+        match self {
+            CommandClass::Control => "control",
+            CommandClass::Interact => "interact",
+            CommandClass::Load => "load",
+            CommandClass::Relax => "relax",
+            CommandClass::Render => "render",
+        }
+    }
+
+    /// The class of the command named `name` (the [`Command::name`]
+    /// token) — how span records, which carry only the name, find the
+    /// metric their duration bills to. `None` for names that are not
+    /// commands (phase spans).
+    pub fn of_name(name: &str) -> Option<CommandClass> {
+        Some(match name {
+            "ping" | "sessions" | "close_session" | "list_traces" | "drop_trace" | "stats"
+            | "spans" | "shutdown" => CommandClass::Control,
+            "set_time_slice" | "collapse" | "expand" | "collapse_at_depth" | "expand_all"
+            | "set_forces" | "set_scaling" | "drag" | "release" | "aggregate" | "append"
+            | "seal" | "subscribe" => CommandClass::Interact,
+            "load_trace" | "attach" | "checkpoint" | "restore" => CommandClass::Load,
+            "relax" => CommandClass::Relax,
+            "render" => CommandClass::Render,
+            _ => return None,
+        })
+    }
 }
 
 /// Why a command was rejected. The variant is the wire-visible `err`
@@ -571,6 +632,63 @@ impl StatsBlock {
     }
 }
 
+/// One finished causal span on the wire (flat tree encoding: children
+/// point at their parent's `id`; roots carry `parent: 0`).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SpanNode {
+    /// Tree identity — every span of one command shares it.
+    pub trace: u64,
+    /// This span's id; ids are allocated at span start, so a parent's
+    /// id is always smaller than its children's.
+    pub id: u64,
+    /// Parent span id; `0` marks a root.
+    pub parent: u64,
+    /// Phase name (command name on roots, e.g. `render`; phase name on
+    /// children, e.g. `svg.encode`).
+    pub name: String,
+    /// Session annotation on command roots, empty otherwise.
+    pub detail: String,
+    /// Shard worker the span ran on.
+    pub shard: u64,
+    /// Logical start tick (deterministic under a fixed sampling seed).
+    pub start_tick: u64,
+    /// Logical end tick.
+    pub end_tick: u64,
+    /// Wall-clock duration in nanoseconds — profiling data, the one
+    /// non-deterministic member.
+    pub duration_ns: u64,
+}
+
+impl SpanNode {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("trace", Json::Num(self.trace as f64)),
+            ("id", Json::Num(self.id as f64)),
+            ("parent", Json::Num(self.parent as f64)),
+            ("name", Json::Str(self.name.clone())),
+            ("detail", Json::Str(self.detail.clone())),
+            ("shard", Json::Num(self.shard as f64)),
+            ("start_tick", Json::Num(self.start_tick as f64)),
+            ("end_tick", Json::Num(self.end_tick as f64)),
+            ("duration_ns", Json::Num(self.duration_ns as f64)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<SpanNode, DecodeError> {
+        Ok(SpanNode {
+            trace: uint_field(v, "trace")?,
+            id: uint_field(v, "id")?,
+            parent: uint_field(v, "parent")?,
+            name: str_field(v, "name")?,
+            detail: str_field(v, "detail")?,
+            shard: uint_field(v, "shard")?,
+            start_tick: uint_field(v, "start_tick")?,
+            end_tick: uint_field(v, "end_tick")?,
+            duration_ns: uint_field(v, "duration_ns")?,
+        })
+    }
+}
+
 /// One session's metrics plus the session-level state the analyst
 /// cares about while reading them (revision, watchdog freeze).
 #[derive(Debug, Clone, PartialEq)]
@@ -736,6 +854,15 @@ pub enum Response {
         server: Box<StatsBlock>,
         /// The requested session's metrics, when one was named.
         session: Option<Box<SessionStats>>,
+    },
+    /// Recent causal span trees, after [`Command::Spans`]: flat,
+    /// ordered by `(trace, id)` — rebuild trees by following `parent`.
+    Spans {
+        /// Spans evicted from the tracer's bounded rings (history the
+        /// answer cannot include).
+        dropped: u64,
+        /// The selected spans.
+        spans: Vec<SpanNode>,
     },
     /// A rendered frame.
     Frame {
@@ -903,6 +1030,7 @@ impl Command {
             Command::Relax { .. } => "relax",
             Command::Aggregate { .. } => "aggregate",
             Command::Stats { .. } => "stats",
+            Command::Spans { .. } => "spans",
             Command::Render { .. } => "render",
             Command::Checkpoint { .. } => "checkpoint",
             Command::Restore { .. } => "restore",
@@ -922,6 +1050,7 @@ impl Command {
             | Command::ListTraces
             | Command::DropTrace { .. }
             | Command::Stats { .. }
+            | Command::Spans { .. }
             | Command::Shutdown => CommandClass::Control,
             Command::SetTimeSlice { .. }
             | Command::Collapse { .. }
@@ -1045,10 +1174,23 @@ impl Command {
                 ("metric", Json::Str(metric.clone())),
                 ("group", Json::Str(group.clone())),
             ]),
-            Command::Stats { session } => {
+            Command::Stats { session, reset } => {
                 let mut members = vec![("cmd", name)];
                 if let Some(s) = session {
                     members.push(("session", Json::Str(s.clone())));
+                }
+                if *reset {
+                    members.push(("reset", Json::Bool(true)));
+                }
+                obj(members)
+            }
+            Command::Spans { session, limit } => {
+                let mut members = vec![("cmd", name)];
+                if let Some(s) = session {
+                    members.push(("session", Json::Str(s.clone())));
+                }
+                if let Some(l) = limit {
+                    members.push(("limit", Json::Num(*l as f64)));
                 }
                 obj(members)
             }
@@ -1178,7 +1320,23 @@ impl Command {
                 metric: str_field(&v, "metric")?,
                 group: str_field(&v, "group")?,
             },
-            "stats" => Command::Stats { session: opt_str_field(&v, "session")? },
+            "stats" => Command::Stats {
+                session: opt_str_field(&v, "session")?,
+                reset: v
+                    .get("reset")
+                    .map(|r| r.as_bool().ok_or_else(|| bad("non-boolean field \"reset\"")))
+                    .transpose()?
+                    .unwrap_or(false),
+            },
+            "spans" => Command::Spans {
+                session: opt_str_field(&v, "session")?,
+                limit: match v.get("limit") {
+                    None | Some(Json::Null) => None,
+                    Some(l) => {
+                        Some(l.as_u64().ok_or_else(|| bad("non-integer field \"limit\""))?)
+                    }
+                },
+            },
             "render" => {
                 let theme_name = str_field(&v, "theme")?;
                 let theme = Theme::from_str(&theme_name)
@@ -1352,6 +1510,15 @@ impl Response {
             Response::Stats { sessions, server, session } => obj(vec![
                 ("ok", Json::Str("stats".into())),
                 ("sessions", Json::Num(*sessions as f64)),
+                // The exact histogram bucket upper bounds — a protocol
+                // constant (not state), so clients can turn the
+                // reported sample counts into real quantiles without
+                // hard-coding the log-linear scheme. Deterministic:
+                // every bound is a power of two times a 2-bit fraction.
+                (
+                    "bucket_bounds",
+                    Json::Arr(viva_obs::bucket_bounds().into_iter().map(Json::Num).collect()),
+                ),
                 ("server", server.to_json()),
                 (
                     "session",
@@ -1360,6 +1527,11 @@ impl Response {
                         None => Json::Null,
                     },
                 ),
+            ]),
+            Response::Spans { dropped, spans } => obj(vec![
+                ("ok", Json::Str("spans".into())),
+                ("dropped", Json::Num(*dropped as f64)),
+                ("spans", Json::Arr(spans.iter().map(SpanNode::to_json).collect())),
             ]),
             Response::Frame { revision, cached, svg } => obj(vec![
                 ("ok", Json::Str("frame".into())),
@@ -1518,6 +1690,16 @@ impl Response {
                 session: match v.get("session") {
                     None | Some(Json::Null) => None,
                     Some(s) => Some(Box::new(SessionStats::from_json(s)?)),
+                },
+            },
+            "spans" => Response::Spans {
+                dropped: uint_field(&v, "dropped")?,
+                spans: match v.get("spans") {
+                    Some(Json::Arr(items)) => items
+                        .iter()
+                        .map(SpanNode::from_json)
+                        .collect::<Result<Vec<_>, DecodeError>>()?,
+                    _ => return Err(bad("missing or non-array field \"spans\"")),
                 },
             },
             "frame" => Response::Frame {
@@ -1810,8 +1992,8 @@ mod tests {
                 metric: "power_used".into(),
                 group: "c1".into(),
             },
-            Command::Stats { session: None },
-            Command::Stats { session: Some("s".into()) },
+            Command::Stats { session: None, reset: false },
+            Command::Stats { session: Some("s".into()), reset: false },
             Command::Checkpoint { session: "s".into() },
             Command::Restore { session: "s".into(), state: None },
             Command::Restore { session: "s".into(), state: Some(Box::new(tiny_checkpoint())) },
@@ -1950,9 +2132,9 @@ mod tests {
 
     #[test]
     fn stats_command_encoding_is_stable() {
-        assert_eq!(Command::Stats { session: None }.encode(), r#"{"cmd":"stats"}"#);
+        assert_eq!(Command::Stats { session: None, reset: false }.encode(), r#"{"cmd":"stats"}"#);
         assert_eq!(
-            Command::Stats { session: Some("a".into()) }.encode(),
+            Command::Stats { session: Some("a".into()), reset: false }.encode(),
             r#"{"cmd":"stats","session":"a"}"#
         );
     }

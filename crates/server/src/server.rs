@@ -56,7 +56,7 @@ use std::time::{Duration, Instant};
 use viva::{AnalysisSession, Camera, GraphView, SessionError, Theme, ViewNode, Viewport};
 use viva_agg::AggIndex;
 use viva_layout::Vec2;
-use viva_obs::Recorder;
+use viva_obs::{Recorder, SpanGuard, SpanId, Tracer};
 use viva_trace::{
     live, ContainerId, JournalConfig, JournalWriter, LiveLine, RecoveryMode, ResourceBudget,
     TraceError, TraceLoader,
@@ -303,18 +303,21 @@ fn container_id(s: &ServerSession, name: &str) -> Result<ContainerId, Response> 
         })
 }
 
+thread_local! {
+    /// The shard worker index of the current thread: stamped onto the
+    /// root span of every command the thread executes. Stdio serving,
+    /// tests, and direct `execute` calls run as shard 0.
+    static SHARD: std::cell::Cell<u16> = const { std::cell::Cell::new(0) };
+}
+
+fn current_shard() -> u16 {
+    SHARD.get()
+}
+
 impl Server {
     /// A server with the given limits, no sessions, and metrics off.
     pub fn new(limits: ServerLimits) -> Server {
-        Server {
-            registry: SessionRegistry::new(limits),
-            store: TraceStore::new(),
-            recorder: Recorder::disabled(),
-            inflight: AtomicUsize::new(0),
-            draining: AtomicBool::new(false),
-            conns: Mutex::new(ConnTable::default()),
-            queued_pushes: AtomicUsize::new(0),
-        }
+        Server::with_observability(limits, Recorder::disabled())
     }
 
     /// A server with observability on: server-scope command metrics,
@@ -323,15 +326,32 @@ impl Server {
     /// except through the `stats` command's deterministic subset, so
     /// transcripts stay byte-identical to a metrics-off server's.
     pub fn with_metrics(limits: ServerLimits) -> Server {
+        Server::with_observability(limits, Recorder::enabled())
+    }
+
+    /// A server carrying the exact recorder (and through it, tracer)
+    /// the caller built — how `viva-server --self-trace` wires a
+    /// sampling [`Tracer`] through every layer. Sessions inherit the
+    /// tracer (every session recorder is minted with it), so phase
+    /// spans from
+    /// the loader, index, layout, LoD cut, and SVG encoder all land in
+    /// the same per-shard rings as the command roots.
+    pub fn with_observability(limits: ServerLimits, recorder: Recorder) -> Server {
         Server {
             registry: SessionRegistry::new(limits),
             store: TraceStore::new(),
-            recorder: Recorder::enabled(),
+            recorder,
             inflight: AtomicUsize::new(0),
             draining: AtomicBool::new(false),
             conns: Mutex::new(ConnTable::default()),
             queued_pushes: AtomicUsize::new(0),
         }
+    }
+
+    /// The server's span tracer (disabled unless an enabled one was
+    /// wired via [`Server::with_observability`]).
+    pub fn tracer(&self) -> &Tracer {
+        self.recorder.tracer()
     }
 
     /// The underlying registry (tests and embedding).
@@ -602,14 +622,24 @@ impl Server {
                 .encode(),
             );
         }
-        let encoded = match Command::decode(trimmed) {
+        // Decode is timed only when tracing is on: the duration becomes
+        // the root span's back-dated `frame.decode` child (the root
+        // cannot exist yet — its name *is* the decode's output).
+        let decode_started = self.recorder.tracer().is_enabled().then(Instant::now);
+        let decoded = Command::decode(trimmed);
+        let decode_cost = decode_started.map(|t| t.elapsed());
+        let encoded = match decoded {
             Ok(cmd) => {
                 // Encode while the admission permit is still held:
                 // serializing a megabyte frame is real CPU, and work
                 // the gate does not cover would overlap admitted
                 // commands and erode their latency under overload.
-                let (response, permit) = self.execute_gated(conn, cmd);
-                let encoded = response.encode();
+                let (response, permit, root) = self.execute_gated(conn, cmd, decode_cost);
+                let encoded = {
+                    let _enc = self.recorder.tracer().phase("response.encode");
+                    response.encode()
+                };
+                drop(root);
                 drop(permit);
                 encoded
             }
@@ -635,32 +665,55 @@ impl Server {
     /// commands are counted under `server.shed` only: no work of
     /// theirs ever started.
     pub fn execute(&self, cmd: Command) -> Response {
-        self.execute_gated(None, cmd).0
+        self.execute_gated(None, cmd, None).0
     }
 
     /// [`Server::execute`], but the admission permit (when one was
-    /// granted) is returned alive so [`Server::handle_line`] can keep
-    /// the gate closed while it encodes the response.
+    /// granted) and the command's root span are returned alive so
+    /// [`Server::handle_line`] can keep the gate closed — and the span
+    /// tree open — while it encodes the response.
     fn execute_gated(
         &self,
         conn: Option<u64>,
         cmd: Command,
-    ) -> (Response, Option<InflightPermit<'_>>) {
+        decode_cost: Option<Duration>,
+    ) -> (Response, Option<InflightPermit<'_>>, SpanGuard) {
         if self.is_draining() && !drain_exempt(&cmd) {
             let resp = self.shed(format!(
                 "server is draining; command \"{}\" refused",
                 cmd.name()
             ));
-            return (resp, None);
+            return (resp, None, SpanGuard::noop());
         }
+        // The causal root: one tree per command, named after the
+        // command, annotated with its session, stamped with the shard
+        // worker running it. Created before admission so the wait
+        // itself is a phase in the tree; the sampling decision happens
+        // inside `root`, and an unsampled root makes every descendant
+        // free.
+        let tracer = self.recorder.tracer();
+        let root = if tracer.is_enabled() {
+            let root =
+                tracer.root(current_shard(), cmd.name(), session_name(&cmd).unwrap_or(""));
+            if let Some(d) = decode_cost {
+                tracer.phase_completed("frame.decode", d);
+            }
+            root
+        } else {
+            SpanGuard::noop()
+        };
         // `shutdown` bypasses admission: a drain must be possible on an
         // overloaded server — that is when it is most needed.
         let permit = if matches!(cmd, Command::Shutdown) {
             None
         } else {
-            match self.admit() {
+            let admitted = {
+                let _wait = tracer.phase("admission.wait");
+                self.admit()
+            };
+            match admitted {
                 Ok(p) => Some(p),
-                Err(resp) => return (resp, None),
+                Err(resp) => return (resp, None, root),
             }
         };
         let _span = self.recorder.is_enabled().then(|| {
@@ -672,9 +725,9 @@ impl Server {
         if deadline.expired() {
             // Only reachable with a zero budget: already out of time
             // before any work (the deterministic breach used by tests).
-            return (self.deadline_exceeded(cmd.name(), "the budget is zero"), permit);
+            return (self.deadline_exceeded(cmd.name(), "the budget is zero"), permit, root);
         }
-        (self.dispatch(conn, cmd, &deadline), permit)
+        (self.dispatch(conn, cmd, &deadline), permit, root)
     }
 
     fn dispatch(&self, conn: Option<u64>, cmd: Command, deadline: &Deadline) -> Response {
@@ -701,7 +754,8 @@ impl Server {
                     err(ErrorKind::NoTrace, format!("trace {trace:?} is not loaded"))
                 }
             }
-            Command::Stats { session } => self.stats(session),
+            Command::Stats { session, reset } => self.stats(session, reset),
+            Command::Spans { session, limit } => self.spans(session.as_deref(), limit),
             Command::Restore { session, state } => {
                 self.restore(session, state.map(|b| *b), deadline)
             }
@@ -723,8 +777,13 @@ impl Server {
     /// Answers `stats`: the server's deterministic metric subset, plus
     /// one session's when named. Session lookup goes through
     /// [`SessionRegistry::peek`] so observing never perturbs LRU state.
-    fn stats(&self, session: Option<String>) -> Response {
-        let server = Box::new(StatsBlock::from_snapshot(&self.recorder.snapshot()));
+    /// With `reset`, every snapshot is the atomic snapshot-and-zero of
+    /// [`Recorder::snapshot_and_reset`] — the response carries the
+    /// final pre-reset values, counters and histograms restart at
+    /// zero, gauges keep stating what *is*.
+    fn stats(&self, session: Option<String>, reset: bool) -> Response {
+        let snap = |r: &Recorder| if reset { r.snapshot_and_reset() } else { r.snapshot() };
+        let server = Box::new(StatsBlock::from_snapshot(&snap(&self.recorder)));
         let session = match session {
             None => None,
             Some(name) => {
@@ -736,21 +795,70 @@ impl Server {
                     name,
                     revision: s.analysis.revision(),
                     frozen: s.analysis.layout_freeze_reason().map(|r| r.token().to_owned()),
-                    stats: StatsBlock::from_snapshot(&s.analysis.recorder().snapshot()),
+                    stats: StatsBlock::from_snapshot(&snap(s.analysis.recorder())),
                 }))
             }
         };
         Response::Stats { sessions: self.registry.len() as u64, server, session }
     }
 
+    /// Answers `spans`: a deterministic subset of recently finished
+    /// span trees — the newest `limit` sampled command roots (default
+    /// 16; optionally only one session's), each with every descendant
+    /// the rings still hold, sorted by `(trace, id)`. Two reads of a
+    /// quiet tracer answer identically; wall-clock durations ride
+    /// along for profiling but never order anything.
+    fn spans(&self, session: Option<&str>, limit: Option<u64>) -> Response {
+        let tracer = self.recorder.tracer();
+        if !tracer.is_enabled() {
+            return err(
+                ErrorKind::BadArgument,
+                "tracing is off: start the server with an enabled tracer (viva-server \
+                 --self-trace) to record spans",
+            );
+        }
+        let (records, dropped) = tracer.finished_spans();
+        let limit = limit.unwrap_or(16).max(1) as usize;
+        let mut root_traces: Vec<u64> = records
+            .iter()
+            .filter(|r| r.parent == SpanId::NONE)
+            .filter(|r| session.is_none_or(|s| r.detail == s))
+            .map(|r| r.trace_id)
+            .collect();
+        root_traces.sort_unstable();
+        let keep: std::collections::HashSet<u64> =
+            root_traces.iter().rev().take(limit).copied().collect();
+        let mut kept: Vec<_> = records.iter().filter(|r| keep.contains(&r.trace_id)).collect();
+        kept.sort_by_key(|r| (r.trace_id, r.id));
+        let spans = kept
+            .into_iter()
+            .map(|r| crate::protocol::SpanNode {
+                trace: r.trace_id,
+                id: r.id.0,
+                parent: r.parent.0,
+                name: r.name.to_owned(),
+                detail: r.detail.clone(),
+                shard: r.shard as u64,
+                start_tick: r.start_tick,
+                end_tick: r.end_tick,
+                duration_ns: r.duration_ns(),
+            })
+            .collect();
+        Response::Spans { dropped, spans }
+    }
+
     /// The per-session recorder handed to every new session: enabled
-    /// iff the server itself carries metrics.
+    /// iff the server itself carries metrics, and always sharing the
+    /// server's tracer — a session's deep phases (parse, index build,
+    /// layout, LoD, SVG) join the command trees of the server that
+    /// drove them.
     fn session_recorder(&self) -> Recorder {
-        if self.recorder.is_enabled() {
+        let recorder = if self.recorder.is_enabled() {
             Recorder::enabled()
         } else {
             Recorder::disabled()
-        }
+        };
+        recorder.with_tracer(self.recorder.tracer().clone())
     }
 
     fn load_trace(
@@ -1130,6 +1238,9 @@ impl Server {
                 );
             }
             if let Some(j) = &mut live.journal {
+                // Covers the write *and* any `sync_every` fsync — the
+                // durability cost an append profile must show.
+                let _j = self.recorder.tracer().phase("journal.append");
                 if let Err(e) = j.append(seq, text) {
                     return err(ErrorKind::JournalIo, format!("journal append failed: {e}"));
                 }
@@ -1265,6 +1376,7 @@ impl Server {
                 return;
             }
         }
+        let _push = self.recorder.tracer().phase("subscriber.push");
         let view = s.analysis.view();
         let revision = s.analysis.revision();
         let live = s.live.as_mut().expect("publish_delta is only called on live sessions");
@@ -1497,9 +1609,12 @@ impl Server {
                 }
             }
         }
-        let mut s = match self.lock_admitted(&handle) {
-            Ok(g) => g,
-            Err(resp) => return resp,
+        let mut s = {
+            let _wait = self.recorder.tracer().phase("session.lock");
+            match self.lock_admitted(&handle) {
+                Ok(g) => g,
+                Err(resp) => return resp,
+            }
         };
         let response = self.session_command(conn, &name, &handle, &mut s, cmd, deadline);
         // Publish the (possibly bumped) revision for lock-free readers
@@ -1726,6 +1841,7 @@ impl Server {
             | Command::ListTraces
             | Command::DropTrace { .. }
             | Command::Stats { .. }
+            | Command::Spans { .. }
             | Command::Restore { .. }
             | Command::Append { .. }
             | Command::Shutdown => unreachable!("handled by dispatch"),
@@ -1814,6 +1930,7 @@ fn session_name(cmd: &Command) -> Option<&str> {
         Command::Ping
         | Command::Sessions
         | Command::Stats { .. }
+        | Command::Spans { .. }
         | Command::ListTraces
         | Command::DropTrace { .. }
         | Command::Shutdown => None,
@@ -1847,6 +1964,7 @@ fn drain_exempt(cmd: &Command) -> bool {
         cmd,
         Command::Ping
             | Command::Stats { .. }
+            | Command::Spans { .. }
             | Command::ListTraces
             | Command::Checkpoint { .. }
             | Command::Shutdown
@@ -1929,7 +2047,7 @@ pub fn serve_tcp(
             let server = Arc::clone(&server);
             thread::Builder::new()
                 .name(format!("viva-server-shard-{i}"))
-                .spawn(move || shard_loop(&listener, &server))
+                .spawn(move || shard_loop(i as u16, &listener, &server))
                 .expect("spawn shard thread")
         })
         .collect()
@@ -1937,7 +2055,9 @@ pub fn serve_tcp(
 
 /// One shard's readiness loop: accept, flush, read, execute — until
 /// the listener dies or a drain completes.
-fn shard_loop(listener: &TcpListener, server: &Server) {
+fn shard_loop(shard: u16, listener: &TcpListener, server: &Server) {
+    // Root spans of commands this worker executes carry its index.
+    SHARD.set(shard);
     let io_timeout = server
         .registry()
         .limits()
@@ -2364,7 +2484,7 @@ mod tests {
         // A viewport-only change misses; the original still hits.
         assert!(matches!(render(800.0), Response::Frame { cached: false, .. }));
         assert!(matches!(render(640.0), Response::Frame { cached: true, .. }));
-        match s.execute(Command::Stats { session: Some("a".into()) }) {
+        match s.execute(Command::Stats { session: Some("a".into()), reset: false }) {
             Response::Stats { sessions, server, session } => {
                 assert_eq!(sessions, 1);
                 assert_eq!(counter(&server, "server.cmd.render"), Some(4));
@@ -2391,12 +2511,12 @@ mod tests {
         }
         // Unknown session name is the usual typed error.
         assert!(matches!(
-            s.execute(Command::Stats { session: Some("ghost".into()) }),
+            s.execute(Command::Stats { session: Some("ghost".into()), reset: false }),
             Response::Error { kind: ErrorKind::NoSession, .. }
         ));
         // A metrics-off server answers stats too — with empty blocks.
         let off = server();
-        match off.execute(Command::Stats { session: None }) {
+        match off.execute(Command::Stats { session: None, reset: false }) {
             Response::Stats { sessions: 0, server, session: None } => {
                 assert!(server.counters.is_empty());
             }
@@ -2424,7 +2544,7 @@ mod tests {
             });
             assert!(matches!(r, Response::Frame { cached: false, .. }));
         }
-        match s.execute(Command::Stats { session: Some("a".into()) }) {
+        match s.execute(Command::Stats { session: Some("a".into()), reset: false }) {
             Response::Stats { session: Some(sess), .. } => {
                 assert_eq!(counter(&sess.stats, "cache.misses"), Some(3));
                 assert_eq!(counter(&sess.stats, "cache.evictions"), Some(1));
@@ -2744,7 +2864,7 @@ mod tests {
         ));
         // …while liveness, stats, and state export still answer.
         assert!(matches!(s.execute(Command::Ping), Response::Pong));
-        assert!(matches!(s.execute(Command::Stats { session: None }), Response::Stats { .. }));
+        assert!(matches!(s.execute(Command::Stats { session: None, reset: false }), Response::Stats { .. }));
         assert!(matches!(
             s.execute(Command::Checkpoint { session: "a".into() }),
             Response::Checkpointed { .. }
@@ -3157,7 +3277,7 @@ mod tests {
             other => panic!("{other:?}"),
         }
         // The truncation is observable.
-        let block = match t.execute(Command::Stats { session: None }) {
+        let block = match t.execute(Command::Stats { session: None, reset: false }) {
             Response::Stats { server, .. } => server,
             other => panic!("{other:?}"),
         };
@@ -3303,8 +3423,8 @@ mod tests {
         let s = Server::with_metrics(limits);
         let conn = s.open_conn();
         assert!(matches!(append(&s, "s", 1, LIVE_BASE), Response::Appended { .. }));
-        let (r, _) =
-            s.execute_gated(Some(conn), Command::Subscribe { session: "s".into(), from_seq: None });
+        let (r, ..) = s
+            .execute_gated(Some(conn), Command::Subscribe { session: "s".into(), from_seq: None }, None);
         assert!(matches!(r, Response::Subscribed { last_seq: 1, .. }));
         // The subscriber never drains. Queue capacity is 2: the
         // snapshot plus one delta fit, the next delta overflows — the
@@ -3334,16 +3454,17 @@ mod tests {
         assert!(s.take_pushes(conn).is_empty());
         // Re-subscribing from the resume point resynchronizes with a
         // fresh snapshot.
-        let (r, _) = s.execute_gated(
+        let (r, ..) = s.execute_gated(
             Some(conn),
             Command::Subscribe { session: "s".into(), from_seq: Some(1) },
+            None,
         );
         assert!(matches!(r, Response::Subscribed { last_seq: 6, .. }));
         let pushes = s.take_pushes(conn);
         assert_eq!(pushes.len(), 1);
         assert!(matches!(Push::decode(&pushes[0]), Ok(Push::Delta { seq: 6, .. })));
         // The shed is observable.
-        let block = match s.execute(Command::Stats { session: None }) {
+        let block = match s.execute(Command::Stats { session: None, reset: false }) {
             Response::Stats { server, .. } => server,
             other => panic!("{other:?}"),
         };
@@ -3356,8 +3477,8 @@ mod tests {
         let s = server();
         append(&s, "s", 1, LIVE_BASE);
         let conn = s.open_conn();
-        let (r, _) =
-            s.execute_gated(Some(conn), Command::Subscribe { session: "s".into(), from_seq: None });
+        let (r, ..) = s
+            .execute_gated(Some(conn), Command::Subscribe { session: "s".into(), from_seq: None }, None);
         assert!(matches!(r, Response::Subscribed { .. }));
         s.close_conn(conn);
         // Appends after the close publish to nobody — and don't leak

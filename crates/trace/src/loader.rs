@@ -295,7 +295,11 @@ impl TraceLoader {
     ///   fails. A `Lenient` load never fails on *content*.
     pub fn load<R: BufRead>(&self, reader: R) -> Result<LoadReport, TraceError> {
         let _load_span = self.recorder.span("trace.load.seconds");
-        let result = Ingest::new(self.mode, self.budget, self.recorder.clone()).run(reader);
+        let result = {
+            // Joins the tree of whatever command drove this load.
+            let _parse = self.recorder.tracer().phase("trace.parse");
+            Ingest::new(self.mode, self.budget, self.recorder.clone()).run(reader)
+        };
         if self.recorder.is_enabled() {
             match &result {
                 Ok(report) => {

@@ -56,7 +56,7 @@ fn golden_transcript_is_unchanged_by_metrics() {
 
     // The recorder really was watching: the command counters add up to
     // the number of response lines the script produced.
-    match server.execute(Command::Stats { session: None }) {
+    match server.execute(Command::Stats { session: None, reset: false }) {
         Response::Stats { server: block, .. } => {
             let total: u64 = block
                 .counters
@@ -69,6 +69,34 @@ fn golden_transcript_is_unchanged_by_metrics() {
         }
         other => panic!("{other:?}"),
     }
+}
+
+// ---------------------------------------------------------------------
+// Golden stats transcript: snapshot, atomic reset, zeroed follow-up
+// ---------------------------------------------------------------------
+
+/// The `stats` wire block — counters, histogram sample counts, exact
+/// bucket bounds, and the `reset:true` snapshot-and-zero — replayed
+/// against checked-in bytes. The reset response returns the pre-reset
+/// values; the follow-up shows zeroed counters and histograms while
+/// gauges (`server.sessions`) survive untouched.
+#[test]
+fn golden_stats_transcript_pins_reset_semantics() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/data");
+    let script = std::fs::read_to_string(format!("{dir}/server_stats.script"))
+        .expect("checked-in stats script");
+    let golden = std::fs::read_to_string(format!("{dir}/server_stats.golden"))
+        .expect("checked-in stats golden");
+
+    let server = Server::with_metrics(ServerLimits::default());
+    let mut out = String::new();
+    for line in script.lines() {
+        if let Some(resp) = server.handle_line(line) {
+            out.push_str(&resp);
+            out.push('\n');
+        }
+    }
+    assert_eq!(out, golden, "stats replay must match the golden bytes");
 }
 
 // ---------------------------------------------------------------------
@@ -140,7 +168,7 @@ proptest! {
                 transcript.push_str(&server.execute(cmd.clone()).encode());
                 transcript.push('\n');
             }
-            let stats = server.execute(Command::Stats { session: Some("a".into()) }).encode();
+            let stats = server.execute(Command::Stats { session: Some("a".into()), reset: false }).encode();
             (transcript, stats)
         };
         let (t1, s1) = run(&cmds);

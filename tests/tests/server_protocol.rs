@@ -13,7 +13,9 @@
 use proptest::prelude::*;
 use proptest::test_runner::TestCaseError;
 use viva::Theme;
-use viva_server::protocol::{Command, ErrorKind, Response, SessionStats, StatsBlock, StatsEvent};
+use viva_server::protocol::{
+    Command, ErrorKind, Response, SessionStats, SpanNode, StatsBlock, StatsEvent,
+};
 use viva_server::{Server, ServerLimits, TraceEntry};
 use viva_trace::RecoveryMode;
 
@@ -102,7 +104,10 @@ fn command() -> impl Strategy<Value = Command> {
             .prop_map(|((session, width, height, theme, labels), (zoom, pan_x, pan_y))| {
                 Command::Render { session, width, height, theme, labels, zoom, pan_x, pan_y }
             }),
-        opt_name().prop_map(|session| Command::Stats { session }),
+        (opt_name(), prop_oneof![Just(false), Just(true)])
+            .prop_map(|(session, reset)| Command::Stats { session, reset }),
+        (opt_name(), prop_oneof![Just(None), uint().prop_map(Some)])
+            .prop_map(|(session, limit)| Command::Spans { session, limit }),
     ]
 }
 
@@ -228,6 +233,29 @@ fn response() -> impl Strategy<Value = Response> {
                 server: Box::new(server),
                 session
             }),
+        (
+            uint(),
+            proptest::collection::vec(
+                ((uint(), uint(), uint()), (name(), name()), (uint(), uint(), uint(), uint()))
+                    .prop_map(
+                        |((trace, id, parent), (name, detail), (shard, start_tick, end_tick, duration_ns))| {
+                            SpanNode {
+                                trace,
+                                id,
+                                parent,
+                                name,
+                                detail,
+                                shard,
+                                start_tick,
+                                end_tick,
+                                duration_ns,
+                            }
+                        }
+                    ),
+                0..3,
+            ),
+        )
+            .prop_map(|(dropped, spans)| Response::Spans { dropped, spans }),
     ]
 }
 

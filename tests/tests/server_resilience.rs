@@ -173,7 +173,7 @@ fn torn_frame_is_dropped_not_executed() {
     server.serve(torn.as_bytes(), &mut out).expect("serve ends cleanly on a torn frame");
     assert!(out.is_empty(), "a torn frame must produce no response bytes");
     assert!(server.registry().peek("torn").is_none(), "a torn frame must never execute");
-    match server.execute(Command::Stats { session: None }) {
+    match server.execute(Command::Stats { session: None, reset: false }) {
         Response::Stats { server: block, .. } => {
             let torn = block.counters.iter().find(|(n, _)| n == "server.torn_frames");
             assert_eq!(torn.map(|(_, v)| *v), Some(1), "the drop must be observable");
@@ -203,7 +203,7 @@ fn drain_sheds_mutations_answers_observability_and_ends_connections() {
     );
     // ...while liveness, observability, and state export still answer.
     assert!(matches!(server.execute(Command::Ping), Response::Pong));
-    assert!(matches!(server.execute(Command::Stats { session: None }), Response::Stats { .. }));
+    assert!(matches!(server.execute(Command::Stats { session: None, reset: false }), Response::Stats { .. }));
     assert!(matches!(
         server.execute(Command::Checkpoint { session: "s".to_owned() }),
         Response::Checkpointed { .. }

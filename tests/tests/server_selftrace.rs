@@ -1,0 +1,94 @@
+//! The dogfooding loop, end to end: a tracing server replays the
+//! golden script, exports its own spans as a viva trace, and a viva
+//! analysis session loads, aggregates, and renders that trace.
+//!
+//! Three guarantees:
+//!
+//! 1. **Zero perturbation** — replaying the golden script with span
+//!    tracing *on* still reproduces the golden transcript byte for
+//!    byte.
+//! 2. **Round trip** — the self-trace export parses under the strict
+//!    loader, builds an `AggIndex`, and renders an SVG in which every
+//!    shard shows up as a host and every command class as a metric.
+//! 3. **Determinism** — two same-script, same-seed servers export
+//!    byte-identical CSV: the export is ordered by logical ticks, not
+//!    wall time.
+
+use viva::{AnalysisSession, Viewport};
+use viva_agg::AggIndex;
+use viva_obs::{Recorder, Tracer};
+use viva_server::protocol::CommandClass;
+use viva_server::{selftrace, Server, ServerLimits};
+use viva_trace::{RecoveryMode, TraceLoader};
+
+const SHARDS: usize = 1; // stdio replay runs on one thread → one shard
+
+/// Replays the checked-in golden script through a sample-everything
+/// tracing server and returns (transcript, self-trace CSV).
+fn traced_replay() -> (String, String) {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/data");
+    let script = std::fs::read_to_string(format!("{dir}/server_session.script"))
+        .expect("checked-in script");
+    let recorder =
+        Recorder::enabled().with_tracer(Tracer::enabled(SHARDS, 42, 1));
+    let server = Server::with_observability(ServerLimits::default(), recorder);
+    let mut out = String::new();
+    for line in script.lines() {
+        if let Some(resp) = server.handle_line(line) {
+            out.push_str(&resp);
+            out.push('\n');
+        }
+    }
+    (out, selftrace::export_csv(server.tracer()))
+}
+
+#[test]
+fn tracing_never_perturbs_the_golden_transcript() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/data");
+    let golden = std::fs::read_to_string(format!("{dir}/server_session.golden"))
+        .expect("checked-in golden transcript");
+    let (transcript, _) = traced_replay();
+    assert_eq!(transcript, golden, "span tracing must not change a single response byte");
+}
+
+#[test]
+fn selftrace_round_trips_into_an_analysis_session() {
+    let (_, csv) = traced_replay();
+
+    // Parses under the strict loader — the export speaks the same
+    // dialect the ingest layer enforces on real traces.
+    let report = TraceLoader::new()
+        .mode(RecoveryMode::Strict)
+        .load(csv.as_bytes())
+        .expect("self-trace export must satisfy the strict loader");
+    let trace = report.trace;
+
+    // Every shard became a host, every command class a metric.
+    let names: Vec<_> = trace.containers().iter().map(|c| c.name().to_owned()).collect();
+    assert!(names.contains(&"viva-server".to_owned()), "cluster container");
+    for s in 0..SHARDS {
+        assert!(names.contains(&format!("shard-{s}")), "host for shard {s}");
+    }
+    for class in CommandClass::ALL {
+        assert!(trace.metric_id(class.label()).is_some(), "metric {}", class.label());
+    }
+
+    // The index builds and the session renders — viva draws viva. The
+    // golden script's render commands billed ticks into the `render`
+    // metric, so the root carries at least one signal for it.
+    let index = AggIndex::build(&trace);
+    let render = trace.metric_id("render").expect("render metric");
+    let root = trace.containers().root();
+    assert!(index.carrier_count(render, root) >= 1, "render roots billed to their class");
+    let session = AnalysisSession::builder(trace).build();
+    let svg = session.render(&Viewport::new(800.0, 600.0));
+    assert!(svg.starts_with("<svg"), "renderable self-portrait");
+    assert!(svg.contains("</svg>"));
+}
+
+#[test]
+fn same_script_same_seed_exports_identical_csv() {
+    let (_, a) = traced_replay();
+    let (_, b) = traced_replay();
+    assert_eq!(a, b, "self-trace export is a pure function of the command history");
+}

@@ -77,7 +77,7 @@ fn replay_tcp(addr: std::net::SocketAddr, script: &str, chunk_lines: usize) -> S
 fn stats_line(addr: std::net::SocketAddr) -> String {
     let mut stream = connect(addr);
     stream
-        .write_all(format!("{}\n", Command::Stats { session: None }.encode()).as_bytes())
+        .write_all(format!("{}\n", Command::Stats { session: None, reset: false }.encode()).as_bytes())
         .expect("write stats");
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
